@@ -1,0 +1,57 @@
+// Netobjd is the network objects agent daemon: it runs a space that
+// serves a name directory at the well-known agent index, through which
+// other processes publish and import objects by name — the bootstrap of
+// the system, as in the original design of one agent per machine.
+//
+// Usage:
+//
+//	netobjd [-listen tcp:127.0.0.1:7707] [-v]
+//
+// The daemon prints its endpoint on startup; pass that endpoint to
+// naming.Lookup / naming.Bind from other processes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"netobjects"
+	"netobjects/internal/naming"
+)
+
+func main() {
+	listen := flag.String("listen", "tcp:127.0.0.1:7707", "endpoint to listen on")
+	verbose := flag.Bool("v", false, "log runtime events")
+	flag.Parse()
+
+	var logger *slog.Logger
+	if *verbose {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	}
+	sp, err := netobjects.New(netobjects.Options{
+		Name:            "netobjd",
+		ListenEndpoints: []string{*listen},
+		Logger:          logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netobjd:", err)
+		os.Exit(1)
+	}
+	agent, err := naming.Serve(sp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netobjd:", err)
+		os.Exit(1)
+	}
+	_ = agent
+	fmt.Printf("netobjd: serving agent at %s (space %v)\n", sp.Endpoints()[0], sp.ID())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("netobjd: shutting down")
+	_ = sp.Close()
+}

@@ -1,0 +1,129 @@
+// Refmodel explores the abstract state machine of Birrell's distributed
+// reference listing algorithm: it exhaustively enumerates the reachable
+// configurations, checks every invariant of the correctness proof at each
+// one, reproduces the life-cycle cube diagram as Graphviz DOT, exhibits
+// the naive reference-counting race as a counterexample trace, and prints
+// the §5 variant-cost comparison.
+//
+// Usage:
+//
+//	refmodel [-procs 3] [-copies 2] [-dot cube.dot] [-max 2000000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"netobjects/internal/refmodel"
+)
+
+func main() {
+	procs := flag.Int("procs", 3, "number of processes (p0 owns the reference)")
+	copies := flag.Int("copies", 2, "make_copy budget bounding the state space")
+	maxStates := flag.Int("max", 2_000_000, "state cap")
+	dotFile := flag.String("dot", "", "write the observed life-cycle cube as DOT to this file")
+	flag.Parse()
+
+	cfg := refmodel.NewConfig(*procs, []refmodel.Proc{0}, *copies)
+	fmt.Printf("exploring: %d processes, 1 reference, %d copies\n", *procs, *copies)
+	res := refmodel.Explore(cfg, refmodel.ExploreOptions{
+		MaxStates:       *maxStates,
+		CheckInvariants: true,
+		CheckMeasure:    true,
+	})
+	fmt.Printf("reachable states: %d\ntransitions:      %d\n", res.States, res.Transitions)
+	if res.Truncated {
+		fmt.Println("WARNING: truncated at state cap")
+	}
+	var rules []string
+	for r := range res.RuleCounts {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	fmt.Println("rule firings:")
+	for _, r := range rules {
+		fmt.Printf("  %-20s %d\n", r, res.RuleCounts[r])
+	}
+	if res.Violation != nil {
+		fmt.Printf("INVARIANT VIOLATION: %v\ntrace:\n  %s\n",
+			res.Violation.Err, strings.Join(res.Violation.Trace, "\n  "))
+		os.Exit(1)
+	}
+	fmt.Println("all invariants hold at every reachable state (lemmas 1-11, safety theorem, termination measure)")
+
+	// Life-cycle edges (the cube).
+	edges := map[string]bool{}
+	for _, set := range res.StateEdges {
+		for e := range set {
+			edges[e] = true
+		}
+	}
+	var es []string
+	for e := range edges {
+		es = append(es, e)
+	}
+	sort.Strings(es)
+	fmt.Printf("observed life-cycle edges: %s\n", strings.Join(es, ", "))
+	if *dotFile != "" {
+		if err := os.WriteFile(*dotFile, []byte(res.CubeDOT()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "refmodel:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("cube diagram written to %s\n", *dotFile)
+	}
+
+	// The naive baseline's race.
+	fmt.Println("\nnaive reference counting (the strawman):")
+	if trace := refmodel.FindNaiveRace(*procs, 1, *maxStates); trace != nil {
+		fmt.Printf("  premature collection counterexample (%d steps):\n", len(trace))
+		for _, step := range trace {
+			fmt.Printf("    %s\n", step)
+		}
+	} else {
+		fmt.Println("  no race found (unexpected for procs >= 3)")
+	}
+
+	// FIFO-variant safety.
+	fc := refmodel.NewFConfig(*procs, []refmodel.Proc{0}, *copies)
+	states, violation, _ := refmodel.FExplore(fc, *maxStates)
+	fmt.Printf("\nFIFO variant: %d reachable states, ", states)
+	if violation != nil {
+		fmt.Printf("VIOLATION: %v\n", violation)
+		os.Exit(1)
+	}
+	fmt.Println("safety holds at every state")
+
+	// Owner-sender optimisation (§5.2.1): refute the naive protocol,
+	// verify the repaired one.
+	nc := refmodel.NewFConfig(2, []refmodel.Proc{0}, 2)
+	if _, violation, trace := refmodel.OSExplore(nc, refmodel.OwnerSenderNaive, *maxStates); violation != nil {
+		fmt.Println("\nowner-sender (naive §5.2.1): UNSAFE as the paper hints — counterexample:")
+		for _, step := range trace {
+			fmt.Printf("    %s\n", step)
+		}
+	} else {
+		fmt.Println("\nowner-sender (naive §5.2.1): no race found (unexpected)")
+	}
+	rc := refmodel.NewFConfig(*procs, []refmodel.Proc{0}, *copies)
+	rstates, violation, _ := refmodel.OSExplore(rc, refmodel.OwnerSenderRepaired, *maxStates)
+	if violation != nil {
+		fmt.Printf("owner-sender (repaired): VIOLATION: %v\n", violation)
+		os.Exit(1)
+	}
+	fmt.Printf("owner-sender (repaired): %d reachable states, safety holds\n", rstates)
+
+	// Variant cost table (§5 ablation).
+	rows, err := refmodel.CompareVariants()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "refmodel:", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nvariant costs (T5):")
+	fmt.Printf("  %-14s %-16s %9s %9s\n", "variant", "scenario", "messages", "blocking")
+	for _, r := range rows {
+		fmt.Printf("  %-14s %-16s %9d %9d\n", r.Variant, r.Scenario, r.Messages, r.BlockingEvents)
+	}
+}

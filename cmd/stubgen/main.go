@@ -1,0 +1,62 @@
+// Stubgen is the stub compiler of the network objects system: it reads a
+// Go source file, finds interface declarations, and writes typed client
+// stubs plus registration helpers for them.
+//
+// Usage:
+//
+//	stubgen -src api.go [-types Account,Directory] [-o api_stubs.go] [-pkg name]
+//
+// With no -types, stubs are generated for every exported interface in the
+// file. The generated stubs marshal arguments at their declared types
+// (the fast path), carry the interface fingerprint for version checking,
+// and register a factory so surrogates arrive ready to call.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"netobjects/internal/stubgen"
+)
+
+func main() {
+	src := flag.String("src", "", "source file containing the interface declarations")
+	types := flag.String("types", "", "comma-separated interface names (default: all exported)")
+	out := flag.String("o", "", "output file (default: stdout)")
+	pkg := flag.String("pkg", "", "package name for the generated file (default: same as source)")
+	runtimeImport := flag.String("runtime", "netobjects", "import path of the runtime package")
+	flag.Parse()
+
+	if *src == "" {
+		fmt.Fprintln(os.Stderr, "stubgen: -src is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stubgen:", err)
+		os.Exit(1)
+	}
+	var names []string
+	if *types != "" {
+		names = strings.Split(*types, ",")
+	}
+	generated, err := stubgen.Generate(*src, data, names, stubgen.Options{
+		Package:       *pkg,
+		RuntimeImport: *runtimeImport,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		os.Stdout.Write(generated)
+		return
+	}
+	if err := os.WriteFile(*out, generated, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "stubgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,158 @@
+// The bank example runs a bank service and a client over loopback TCP
+// with the name service for bootstrapping and generated stubs for typed
+// calls — including Transfer, whose Account arguments are network
+// references resolved back to concrete objects at the bank (no surrogate
+// is created at an owner for its own object).
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	"netobjects"
+	"netobjects/internal/naming"
+)
+
+// account is the bank-side implementation of Account.
+type account struct {
+	mu      sync.Mutex
+	name    string
+	balance int64
+}
+
+func (a *account) Deposit(amount int64) (int64, error) {
+	if amount <= 0 {
+		return 0, errors.New("deposit must be positive")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.balance += amount
+	return a.balance, nil
+}
+
+func (a *account) Withdraw(amount int64) (int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if amount > a.balance {
+		return a.balance, fmt.Errorf("insufficient funds in %s: have %d, want %d", a.name, a.balance, amount)
+	}
+	a.balance -= amount
+	return a.balance, nil
+}
+
+func (a *account) Balance() (int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.balance, nil
+}
+
+// bank is the implementation of Bank.
+type bank struct {
+	mu       sync.Mutex
+	accounts map[string]*account
+}
+
+func (b *bank) Open(name string) (Account, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if acc, ok := b.accounts[name]; ok {
+		return acc, nil
+	}
+	acc := &account{name: name}
+	b.accounts[name] = acc
+	return acc, nil
+}
+
+// Transfer moves money between two accounts. The Account arguments arrive
+// as references; when they name this bank's own accounts they resolve to
+// the concrete objects, so the transfer runs entirely locally.
+func (b *bank) Transfer(from, to Account, amount int64) error {
+	if _, err := from.Withdraw(amount); err != nil {
+		return err
+	}
+	_, err := to.Deposit(amount)
+	return err
+}
+
+func main() {
+	// Bank process.
+	server, err := netobjects.New(netobjects.Options{Name: "bank"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer server.Close()
+	if err := RegisterAccount(server); err != nil {
+		log.Fatal(err)
+	}
+	if err := RegisterBank(server); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := naming.Serve(server); err != nil {
+		log.Fatal(err)
+	}
+	b := &bank{accounts: make(map[string]*account)}
+	bankRef, err := server.Export(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agentEP := server.Endpoints()[0]
+	if err := naming.Bind(server, agentEP, "bank", bankRef); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bank serving at %s\n", agentEP)
+
+	// Client process (second space, real TCP in between).
+	client, err := netobjects.New(netobjects.Options{Name: "teller"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	if err := RegisterAccount(client); err != nil {
+		log.Fatal(err)
+	}
+	if err := RegisterBank(client); err != nil {
+		log.Fatal(err)
+	}
+
+	ref, err := naming.Lookup(client, agentEP, "bank")
+	if err != nil {
+		log.Fatal(err)
+	}
+	remoteBank := NewBankStub(ref)
+
+	alice, err := remoteBank.Open("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := remoteBank.Open("bob")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if _, err := alice.Deposit(1000); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := bob.Deposit(50); err != nil {
+		log.Fatal(err)
+	}
+	// Third-party style transfer: the client passes two references it
+	// holds back to their owner, which operates on the concrete objects.
+	if err := remoteBank.Transfer(alice, bob, 250); err != nil {
+		log.Fatal(err)
+	}
+	if err := remoteBank.Transfer(alice, bob, 10_000); err != nil {
+		fmt.Printf("expected failure: %v\n", err)
+	}
+
+	ab, _ := alice.Balance()
+	bb, _ := bob.Balance()
+	fmt.Printf("alice: %d, bob: %d\n", ab, bb)
+
+	st := client.Stats()
+	fmt.Printf("client stats: calls=%d dirty calls=%d surrogates=%d\n",
+		st.CallsSent, st.DirtySent, st.SurrogatesMade)
+}

@@ -1,0 +1,167 @@
+// Chat demonstrates bidirectional network objects: clients register
+// listener objects *they* own with a room owned by the server, and the
+// server calls back into the clients to deliver messages. References thus
+// flow both ways, and when a client leaves, the server releases its
+// listener so the client's space can reclaim it — distributed garbage
+// collection working in the server→client direction.
+//
+//	go run ./examples/chat
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"netobjects"
+)
+
+// Listener is implemented by client-owned callback objects.
+type Listener interface {
+	Deliver(from, text string) error
+}
+
+// listenerStub is a hand-written stub for Listener (the generated
+// equivalent would come from cmd/stubgen; written out here to keep the
+// example self-contained in one file).
+type listenerStub struct{ ref *netobjects.Ref }
+
+func (s *listenerStub) NetObjRef() *netobjects.Ref { return s.ref }
+
+func (s *listenerStub) Deliver(from, text string) error {
+	_, err := s.ref.Call("Deliver", from, text)
+	return err
+}
+
+// Room is the server-owned chat room.
+type Room struct {
+	mu      sync.Mutex
+	members map[string]Listener
+}
+
+// Join registers a member's listener.
+func (r *Room) Join(name string, l Listener) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.members[name] = l
+	return nil
+}
+
+// Leave removes a member and releases the room's reference to its
+// listener, letting the member's space reclaim it.
+func (r *Room) Leave(name string) error {
+	r.mu.Lock()
+	l, ok := r.members[name]
+	delete(r.members, name)
+	r.mu.Unlock()
+	if ok {
+		if s, isStub := l.(*listenerStub); isStub {
+			s.ref.Release()
+		}
+	}
+	return nil
+}
+
+// Post fans a message out to every member.
+func (r *Room) Post(from, text string) error {
+	r.mu.Lock()
+	members := make(map[string]Listener, len(r.members))
+	for k, v := range r.members {
+		members[k] = v
+	}
+	r.mu.Unlock()
+	names := make([]string, 0, len(members))
+	for n := range members {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := members[n].Deliver(from, text); err != nil {
+			fmt.Printf("room: delivery to %s failed: %v\n", n, err)
+		}
+	}
+	return nil
+}
+
+// client is the client-side listener implementation.
+type client struct {
+	name string
+	got  chan string
+}
+
+// Deliver is invoked remotely by the room.
+func (c *client) Deliver(from, text string) error {
+	c.got <- fmt.Sprintf("[%s] %s: %s", c.name, from, text)
+	return nil
+}
+
+func main() {
+	mem := netobjects.NewMem()
+	newSpace := func(name string) *netobjects.Space {
+		sp, err := netobjects.New(netobjects.Options{
+			Name:       name,
+			Transports: []netobjects.Transport{mem},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := netobjects.RegisterRemoteInterface[Listener](sp,
+			func(r *netobjects.Ref) Listener { return &listenerStub{ref: r} }); err != nil {
+			log.Fatal(err)
+		}
+		return sp
+	}
+	server := newSpace("server")
+	defer server.Close()
+
+	room := &Room{members: make(map[string]Listener)}
+	roomRef, err := server.Export(room)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, _ := roomRef.WireRep()
+
+	// Two clients join with their own listener objects.
+	inbox := make(chan string, 16)
+	spaces := map[string]*netobjects.Space{}
+	rooms := map[string]*netobjects.Ref{}
+	for _, name := range []string{"ana", "bo"} {
+		sp := newSpace(name)
+		defer sp.Close()
+		spaces[name] = sp
+		rref, err := sp.Import(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rooms[name] = rref
+		l := &client{name: name, got: inbox}
+		if _, err := rref.Call("Join", name, Listener(l)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if _, err := rooms["ana"].Call("Post", "ana", "hello from a surrogate"); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		fmt.Println(<-inbox)
+	}
+
+	// Bo leaves; the room releases his listener, so Bo's space reclaims
+	// the export entry.
+	if _, err := rooms["bo"].Call("Leave", "bo"); err != nil {
+		log.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && spaces["bo"].Exports().Len() > 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("bo's export table after leaving: %d entries\n", spaces["bo"].Exports().Len())
+
+	if _, err := rooms["ana"].Call("Post", "ana", "just me now"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(<-inbox)
+}

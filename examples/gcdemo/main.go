@@ -1,0 +1,109 @@
+// Gcdemo traces a remote reference through the life cycle of Birrell's
+// distributed reference listing algorithm — the ⊥ → nil → OK → ccit → ⊥
+// cycle of the formalisation — and then demonstrates crash recovery: a
+// client that dies without clean calls is detected by the owner's ping
+// daemon and swept from every dirty set.
+//
+//	go run ./examples/gcdemo
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"netobjects"
+)
+
+// Resource is the object whose reference we trace.
+type Resource struct{ label string }
+
+// Label returns the resource's label.
+func (r *Resource) Label() (string, error) { return r.label, nil }
+
+func main() {
+	mem := netobjects.NewMem()
+	newSpace := func(name string, opt func(*netobjects.Options)) *netobjects.Space {
+		opts := netobjects.Options{Name: name, Transports: []netobjects.Transport{mem}}
+		if opt != nil {
+			opt(&opts)
+		}
+		sp, err := netobjects.New(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sp
+	}
+	owner := newSpace("owner", func(o *netobjects.Options) {
+		o.PingInterval = 100 * time.Millisecond
+		o.PingTimeout = 100 * time.Millisecond
+		o.PingMaxFailures = 2
+	})
+	defer owner.Close()
+	client := newSpace("client", nil)
+	defer client.Close()
+
+	ref, err := owner.Export(&Resource{label: "demo"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := ref.WireRep()
+	if err != nil {
+		log.Fatal(err)
+	}
+	showAt := func(event string, rep netobjects.WireRep) {
+		fmt.Printf("%-34s client state=%-8v owner entries=%d dirty(client)=%v\n",
+			event, client.Imports().StateOf(rep.Key()), owner.Exports().Len(),
+			owner.Exports().HoldsDirty(rep.Index, client.ID()))
+	}
+	show := func(event string) { showAt(event, w) }
+
+	show("initially (⊥)")
+	cref, err := client.Import(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("after import (dirty call done)")
+
+	if _, err := cref.Call("Label"); err != nil {
+		log.Fatal(err)
+	}
+	show("after a call")
+
+	cref.Release()
+	show("just after Release")
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && owner.Exports().Len() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	show("after clean call settles")
+
+	// Resurrection: re-import and observe a fresh life cycle with a
+	// fresh export epoch at the owner.
+	w2, err := ref.WireRep()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cref2, err := client.Import(w2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	showAt("after re-import (new epoch)", w2)
+	_ = cref2
+
+	// Crash: a second client imports the object and then dies without
+	// clean calls. The owner's ping daemon notices and sweeps it.
+	doomed := newSpace("doomed", nil)
+	if _, err := doomed.Import(w2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("doomed client registered: dirty(doomed)=%v\n",
+		owner.Exports().HoldsDirty(w2.Index, doomed.ID()))
+	doomed.Abort()
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && owner.Exports().HoldsDirty(w2.Index, doomed.ID()) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("after crash + pings:  dirty(doomed)=%v (dropped clients: %d)\n",
+		owner.Exports().HoldsDirty(w2.Index, doomed.ID()), owner.Stats().ClientsDropped)
+}

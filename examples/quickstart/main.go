@@ -1,0 +1,93 @@
+// Quickstart: two spaces in one process, a counter exported by one and
+// invoked by the other, and the distributed collector reclaiming the
+// object when the client releases its reference.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"netobjects"
+)
+
+// Counter is a network object: clients invoke its methods remotely.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Incr adds delta and returns the new value.
+func (c *Counter) Incr(delta int64) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += delta
+	return c.n, nil
+}
+
+// Value returns the current value.
+func (c *Counter) Value() (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n, nil
+}
+
+func main() {
+	// The in-memory transport composes spaces inside one process; swap in
+	// the default TCP transport for real distribution.
+	mem := netobjects.NewMem()
+	newSpace := func(name string) *netobjects.Space {
+		sp, err := netobjects.New(netobjects.Options{
+			Name:       name,
+			Transports: []netobjects.Transport{mem},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sp
+	}
+	owner := newSpace("owner")
+	defer owner.Close()
+	client := newSpace("client")
+	defer client.Close()
+
+	// Owner side: export the concrete object.
+	ref, err := owner.Export(&Counter{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := ref.WireRep()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exported counter as %v\n", w)
+
+	// Client side: import the wireRep. This registers the client in the
+	// owner's dirty set (the dirty call) and yields a surrogate.
+	cref, err := client.Import(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		out, err := cref.Call("Incr", int64(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Incr(%d) -> %v\n", i, out[0])
+	}
+
+	// Release the surrogate: a clean call removes the client from the
+	// dirty set, and the owner withdraws the object from its export table.
+	cref.Release()
+	for i := 0; i < 100 && owner.Exports().Len() > 0; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("after release: owner export table has %d entries\n", owner.Exports().Len())
+
+	st := client.Stats()
+	fmt.Printf("client stats: calls=%d dirty=%d clean=%d surrogates=%d\n",
+		st.CallsSent, st.DirtySent, st.CleanSent, st.SurrogatesMade)
+}

@@ -1,0 +1,145 @@
+// Thirdparty reproduces the motivating scenario of the Network Objects
+// paper's introduction: a user's browser obtains a file object from a
+// file server and hands it to a print server; the printer then fetches
+// the file's contents directly from the file server — the reference moved
+// A→B→C, the data only A→C. The collector keeps the file alive throughout
+// (the browser holds it transiently dirty while it is in transit to the
+// printer) and reclaims it when both parties let go.
+//
+//	go run ./examples/thirdparty
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"netobjects"
+)
+
+// File is a remote file handle owned by the file server.
+type File struct {
+	name    string
+	content string
+}
+
+// Name returns the file's name.
+func (f *File) Name() (string, error) { return f.name, nil }
+
+// Read returns a chunk of the file's contents.
+func (f *File) Read(offset, n int64) (string, error) {
+	if offset >= int64(len(f.content)) {
+		return "", nil
+	}
+	end := min(offset+n, int64(len(f.content)))
+	return f.content[offset:end], nil
+}
+
+// Size returns the content length.
+func (f *File) Size() (int64, error) { return int64(len(f.content)), nil }
+
+// Printer renders files it is handed. It receives *references*; the bytes
+// stream from the owner, not from whoever handed the reference over.
+type Printer struct {
+	sp *netobjects.Space
+}
+
+// Print fetches the file through its reference and renders it, releasing
+// the reference when the job is done.
+func (p *Printer) Print(file *netobjects.Ref) (string, error) {
+	defer file.Release()
+	nameOut, err := file.Call("Name")
+	if err != nil {
+		return "", err
+	}
+	sizeOut, err := file.Call("Size")
+	if err != nil {
+		return "", err
+	}
+	size := sizeOut[0].(int64)
+	var sb strings.Builder
+	for off := int64(0); off < size; off += 8 {
+		chunk, err := file.Call("Read", off, int64(8))
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(chunk[0].(string))
+	}
+	return fmt.Sprintf("printed %q (%d bytes): %s", nameOut[0], size, sb.String()), nil
+}
+
+func main() {
+	mem := netobjects.NewMem()
+	newSpace := func(name string) *netobjects.Space {
+		sp, err := netobjects.New(netobjects.Options{
+			Name:       name,
+			Transports: []netobjects.Transport{mem},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sp
+	}
+	fileServer := newSpace("file-server")
+	defer fileServer.Close()
+	browser := newSpace("browser")
+	defer browser.Close()
+	printServer := newSpace("print-server")
+	defer printServer.Close()
+
+	// The file server owns a file; the print server owns a printer.
+	file := &File{name: "report.txt", content: "Network Objects, SOSP 1993."}
+	fileRef, err := fileServer.Export(file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printer := &Printer{sp: printServer}
+	printerRef, err := printServer.Export(printer)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The browser imports both.
+	fw, _ := fileRef.WireRep()
+	pw, _ := printerRef.WireRep()
+	fileAtBrowser, err := browser.Import(fw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printerAtBrowser, err := browser.Import(pw)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Third-party transfer: the browser passes the file REFERENCE to the
+	// printer. The printer's space registers itself with the file server
+	// during unmarshaling; the browser never touches the file's bytes.
+	out, err := printerAtBrowser.Call("Print", fileAtBrowser)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out[0])
+
+	fsw, _ := fileRef.WireRep()
+	fmt.Printf("dirty set holds browser: %v, print server: %v\n",
+		fileServer.Exports().HoldsDirty(fsw.Index, browser.ID()),
+		fileServer.Exports().HoldsDirty(fsw.Index, printServer.ID()))
+
+	// The printer released its reference when the job finished; once the
+	// browser drops its own, the dirty set empties and the file server
+	// withdraws the file from its export table.
+	fileAtBrowser.Release()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && fileServer.Exports().Len() > 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("file server export entries remaining: %d\n", fileServer.Exports().Len())
+}
+
+func min(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

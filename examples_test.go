@@ -1,0 +1,70 @@
+package netobjects_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example as a real program and checks its
+// key output lines, so the documented entry points cannot rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	cases := []struct {
+		dir  string
+		want []string
+	}{
+		{"./examples/quickstart", []string{
+			"Incr(3) -> 6",
+			"after release: owner export table has 0 entries",
+		}},
+		{"./examples/bank", []string{
+			"expected failure: insufficient funds",
+			"alice: 750, bob: 300",
+		}},
+		{"./examples/thirdparty", []string{
+			`printed "report.txt" (27 bytes)`,
+			"file server export entries remaining: 0",
+		}},
+		{"./examples/gcdemo", []string{
+			"after clean call settles",
+			"dirty(doomed)=false",
+		}},
+		{"./examples/chat", []string{
+			"[bo] ana: hello from a surrogate",
+			"bo's export table after leaving: 0 entries",
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			ctxCmd := exec.Command("go", "run", c.dir)
+			ctxCmd.Dir = "."
+			done := make(chan struct{})
+			var out []byte
+			var err error
+			go func() {
+				out, err = ctxCmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(120 * time.Second):
+				_ = ctxCmd.Process.Kill()
+				t.Fatal("example hung")
+			}
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module netobjects
+
+go 1.24

@@ -1,0 +1,115 @@
+package netobjects_test
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"netobjects"
+	"netobjects/internal/naming"
+)
+
+// TestCrossProcessNetobjd builds the netobjd daemon, runs it as a separate
+// OS process, and exercises the full system across a real process
+// boundary: bind, lookup, invoke, release, reclaim.
+func TestCrossProcessNetobjd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := filepath.Join(t.TempDir(), "netobjd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/netobjd")
+	build.Dir = "."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Skipf("cannot build netobjd (no toolchain?): %v\n%s", err, out)
+	}
+
+	daemon := exec.Command(bin, "-listen", "tcp:127.0.0.1:0")
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = daemon.Process.Kill()
+		_, _ = daemon.Process.Wait()
+	})
+
+	// The daemon prints "netobjd: serving agent at tcp:127.0.0.1:NNNN ...".
+	var agentEP string
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(30 * time.Second)
+	lineCh := make(chan string, 1)
+	go func() {
+		if sc.Scan() {
+			lineCh <- sc.Text()
+		}
+		close(lineCh)
+	}()
+	select {
+	case line := <-lineCh:
+		for _, f := range strings.Fields(line) {
+			if strings.HasPrefix(f, "tcp:") {
+				agentEP = f
+			}
+		}
+		if agentEP == "" {
+			t.Fatalf("no endpoint in daemon banner: %q", line)
+		}
+	case <-deadline:
+		t.Fatal("daemon never printed its banner")
+	}
+
+	// This process is a second participant: it owns an object, publishes
+	// it at the daemon's agent, and a third space imports it by name.
+	server, err := netobjects.New(netobjects.Options{Name: "server", PingInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	impl := newKV()
+	ref, err := server.Export(impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := naming.Bind(server, agentEP, "kv", ref); err != nil {
+		t.Fatalf("bind at daemon: %v", err)
+	}
+
+	client, err := netobjects.New(netobjects.Options{Name: "client", PingInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	got, err := naming.Lookup(client, agentEP, "kv")
+	if err != nil {
+		t.Fatalf("lookup at daemon: %v", err)
+	}
+	if _, err := got.Call("Put", "paper", "network objects"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := got.Call("Get", "paper")
+	if err != nil || out[0].(string) != "network objects" {
+		t.Fatalf("got %v %v", out, err)
+	}
+	// The daemon process sits in the dirty set (it holds the binding);
+	// unbinding releases it, and with the client's release too, the
+	// server reclaims.
+	got.Release()
+	if err := naming.Unbind(server, agentEP, "kv"); err != nil {
+		t.Fatal(err)
+	}
+	deadline2 := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline2) && server.Exports().Len() > 0 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := server.Exports().Len(); n != 0 {
+		t.Fatalf("server still exports %d entries after unbind+release", n)
+	}
+}

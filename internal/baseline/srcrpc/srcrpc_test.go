@@ -1,0 +1,99 @@
+package srcrpc
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"netobjects/internal/transport"
+)
+
+func newPair(t *testing.T) (*Server, *Client, string) {
+	t.Helper()
+	mem := transport.NewMem()
+	l, err := mem.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer()
+	srv.Serve(l)
+	t.Cleanup(srv.Close)
+	cl := NewClient(transport.NewRegistry(mem), 5*time.Second)
+	t.Cleanup(cl.Close)
+	return srv, cl, l.Endpoint()
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	srv, cl, ep := newPair(t)
+	srv.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+	out, err := cl.Call(ep, "echo", []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, []byte("ping")) {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestCallError(t *testing.T) {
+	srv, cl, ep := newPair(t)
+	srv.Handle("fail", func(p []byte) ([]byte, error) { return Errorf("bad input %q", p) })
+	_, err := cl.Call(ep, "fail", []byte("x"))
+	if err == nil || !strings.Contains(err.Error(), `bad input "x"`) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestNoSuchMethod(t *testing.T) {
+	_, cl, ep := newPair(t)
+	if _, err := cl.Call(ep, "ghost", nil); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	srv, cl, ep := newPair(t)
+	srv.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g byte) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				msg := []byte{g, byte(i)}
+				out, err := cl.Call(ep, "echo", msg)
+				if err != nil || !bytes.Equal(out, msg) {
+					errs <- err
+					return
+				}
+			}
+		}(byte(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent call: %v", err)
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	srv, cl, ep := newPair(t)
+	block := make(chan struct{})
+	srv.Handle("hang", func(p []byte) ([]byte, error) { <-block; return nil, nil })
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.Call(ep, "hang", nil)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(block)
+	srv.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client stuck after server close")
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"weak"
+
+	"netobjects/internal/wire"
+)
+
+// This file implements finalizer-driven release of surrogates — the role
+// weak references and cleanup routines play in the paper (§2.2 of the
+// original report): "when the client's collector determines that the
+// surrogate is not reachable ... it schedules a clean up routine".
+//
+// With Options.AutoRelease enabled, the import table holds each surrogate
+// through a weak pointer, and a runtime cleanup attached to the Ref
+// schedules the clean call when the application lets go of it. The
+// paper's subtlety — a new surrogate may have been created by the time
+// the cleanup runs — is handled exactly as the paper prescribes, with the
+// generation counter playing the part of "the entry still has the special
+// null weak ref": a cleanup releases the reference only if the entry
+// still carries the incarnation the cleanup belongs to.
+
+// weakSurrogate is what the import table stores in auto-release mode.
+type weakSurrogate struct {
+	p weak.Pointer[Ref]
+}
+
+// bindSurrogate stores a freshly registered surrogate in the import
+// table, weakly when auto-release is on, and arms its cleanup.
+func (sp *Space) bindSurrogate(key wire.Key, ref *Ref) {
+	if !sp.opts.AutoRelease {
+		sp.imports.FinishRegister(key, ref, nil)
+		return
+	}
+	gen := sp.imports.FinishRegister(key, &weakSurrogate{p: weak.Make(ref)}, nil)
+	sp.armCleanup(key, ref, gen)
+}
+
+// armCleanup attaches the release cleanup for one surrogate incarnation.
+// The closure must not capture ref, or it would never become unreachable.
+func (sp *Space) armCleanup(key wire.Key, ref *Ref, gen uint64) {
+	runtime.AddCleanup(ref, func(g uint64) {
+		if sp.isClosed() {
+			return
+		}
+		if sp.imports.ReleaseGen(key, g) {
+			sp.count(func(s *Stats) { s.AutoReleases++ })
+			sp.cleaner.Schedule(key, nil)
+		}
+	}, gen)
+}
+
+// surrogateRef converts a stored surrogate (strong or weak) into a strong
+// *Ref, reviving a collected weak surrogate with a fresh incarnation
+// atomically with the table lookup.
+func (sp *Space) surrogateRef(key wire.Key, endpoints []string, stored any) (*Ref, error) {
+	if r, ok := stored.(*Ref); ok {
+		return r, nil
+	}
+	// Weak surrogate: resolve or revive under the import-table lock so two
+	// racing users cannot create two live incarnations, taking a strong
+	// reference inside the critical section so the referent cannot die
+	// between the check and the return.
+	var alive *Ref
+	var revived *Ref
+	s, gen, err := sp.imports.UseOrRebind(key, func(old any) any {
+		ws, ok := old.(*weakSurrogate)
+		if !ok {
+			if r, isRef := old.(*Ref); isRef {
+				alive = r
+			}
+			return nil
+		}
+		if r := ws.p.Value(); r != nil {
+			alive = r
+			return nil
+		}
+		revived = &Ref{sp: sp, key: key, endpoints: endpoints}
+		return &weakSurrogate{p: weak.Make(revived)}
+	})
+	if err != nil {
+		return nil, err
+	}
+	_ = s
+	if revived != nil {
+		sp.armCleanup(key, revived, gen)
+		return revived, nil
+	}
+	if alive != nil {
+		return alive, nil
+	}
+	return nil, fmt.Errorf("netobjects: surrogate for %v unavailable", key)
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"netobjects/internal/dgc"
+	"netobjects/internal/wire"
+)
+
+// rpc performs one simple request/response exchange (dirty, clean, ping)
+// on a pooled connection.
+func (sp *Space) rpc(endpoints []string, req wire.Message, timeout time.Duration) (wire.Message, error) {
+	if sp.isClosed() && req.Op() != wire.OpClean {
+		// Parting clean calls are allowed through during Close.
+		return nil, ErrSpaceClosed
+	}
+	c, ep, err := sp.pool.Get(endpoints)
+	if err != nil {
+		return nil, err
+	}
+	_ = c.SetDeadline(time.Now().Add(timeout))
+	if err := c.Send(wire.Marshal(nil, req)); err != nil {
+		sp.pool.Discard(c)
+		return nil, err
+	}
+	b, err := c.Recv(nil)
+	if err != nil {
+		sp.pool.Discard(c)
+		return nil, err
+	}
+	msg, err := wire.Unmarshal(b)
+	if err != nil {
+		sp.pool.Discard(c)
+		return nil, err
+	}
+	sp.pool.Put(ep, c)
+	return msg, nil
+}
+
+// sendDirty registers this space in the dirty set of key at its owner.
+func (sp *Space) sendDirty(key wire.Key, endpoints []string, seq uint64) error {
+	sp.count(func(s *Stats) { s.DirtySent++ })
+	req := &wire.Dirty{
+		Obj:             key.Index,
+		Client:          sp.id,
+		ClientEndpoints: sp.endpoints,
+		Seq:             seq,
+	}
+	if sp.opts.Variant == VariantFIFO {
+		// All collector traffic to one owner flows through its ordered
+		// queue so cleans can never overtake dirties.
+		return sp.gcQueueFor(key.Owner, endpoints).enqueue(req, endpoints).wait()
+	}
+	resp, err := sp.rpc(endpoints, req, sp.opts.CallTimeout)
+	if err != nil {
+		return err
+	}
+	ack, ok := resp.(*wire.DirtyAck)
+	if !ok {
+		return fmt.Errorf("netobjects: dirty call answered with %v", resp.Op())
+	}
+	if ack.Status != wire.StatusOK {
+		return statusError(ack.Status, ack.Err)
+	}
+	return nil
+}
+
+// sendClean removes this space from the dirty set of key at its owner.
+// Any acknowledgement counts as success: a clean for an absent entry is a
+// no-op by specification.
+func (sp *Space) sendClean(key wire.Key, endpoints []string, seq uint64, strong bool) error {
+	sp.count(func(s *Stats) { s.CleanSent++ })
+	req := &wire.Clean{Obj: key.Index, Client: sp.id, Seq: seq, Strong: strong}
+	if sp.opts.Variant == VariantFIFO {
+		return sp.gcQueueFor(key.Owner, endpoints).enqueue(req, endpoints).wait()
+	}
+	resp, err := sp.rpc(endpoints, req, sp.opts.CallTimeout)
+	if err != nil {
+		return err
+	}
+	if _, ok := resp.(*wire.CleanAck); !ok {
+		return fmt.Errorf("netobjects: clean call answered with %v", resp.Op())
+	}
+	return nil
+}
+
+// sendCleanBatch delivers several clean calls to one owner in a single
+// exchange. The FIFO variant routes it through the owner's ordered queue
+// like any other collector message.
+func (sp *Space) sendCleanBatch(owner wire.SpaceID, endpoints []string, items []dgc.CleanItem) error {
+	sp.count(func(s *Stats) { s.CleanSent += uint64(len(items)); s.CleanBatches++ })
+	req := &wire.CleanBatch{Client: sp.id}
+	for _, it := range items {
+		req.Objs = append(req.Objs, it.Key.Index)
+		req.Seqs = append(req.Seqs, it.Seq)
+		req.Strongs = append(req.Strongs, it.Strong)
+	}
+	var resp wire.Message
+	var err error
+	if sp.opts.Variant == VariantFIFO {
+		return sp.gcQueueFor(owner, endpoints).enqueue(req, endpoints).wait()
+	}
+	resp, err = sp.rpc(endpoints, req, sp.opts.CallTimeout)
+	if err != nil {
+		return err
+	}
+	if _, ok := resp.(*wire.CleanAck); !ok {
+		return fmt.Errorf("netobjects: batched clean answered with %v", resp.Op())
+	}
+	return nil
+}
+
+// sendCleanQuiet is sendClean with errors discarded; Close uses it for
+// best-effort parting cleans.
+func (sp *Space) sendCleanQuiet(key wire.Key, endpoints []string, seq uint64) error {
+	return sp.sendClean(key, endpoints, seq, false)
+}
+
+// sendLease renews this space's lease at an owner.
+func (sp *Space) sendLease(owner wire.SpaceID, endpoints []string) error {
+	sp.count(func(s *Stats) { s.LeasesSent++ })
+	resp, err := sp.rpc(endpoints, &wire.Lease{Client: sp.id, ClientEndpoints: sp.endpoints},
+		sp.opts.PingTimeout)
+	if err != nil {
+		return err
+	}
+	ack, ok := resp.(*wire.LeaseAck)
+	if !ok {
+		return fmt.Errorf("netobjects: lease answered with %v", resp.Op())
+	}
+	if ack.Status != wire.StatusOK {
+		return statusError(ack.Status, "lease refused")
+	}
+	return nil
+}
+
+// sendPing probes a client, verifying the responder carries the expected
+// space id so a reborn process at the same endpoint is not mistaken for
+// the client it replaced.
+func (sp *Space) sendPing(id wire.SpaceID, endpoints []string) error {
+	sp.count(func(s *Stats) { s.PingsSent++ })
+	resp, err := sp.rpc(endpoints, &wire.Ping{From: sp.id}, sp.opts.PingTimeout)
+	if err != nil {
+		return err
+	}
+	ack, ok := resp.(*wire.PingAck)
+	if !ok {
+		return fmt.Errorf("netobjects: ping answered with %v", resp.Op())
+	}
+	if ack.From != id {
+		return fmt.Errorf("netobjects: endpoint now hosts %v, expected %v", ack.From, id)
+	}
+	return nil
+}
+
+// callRemote performs one remote invocation exchange: send the call,
+// receive the result, let decode consume it, and acknowledge returned
+// references when the owner asks (Result.NeedAck). The connection is
+// pooled again only after the full exchange, so the request/response
+// framing can never skew.
+func (sp *Space) callRemote(endpoints []string, call *wire.Call, session *callSession, decode func(*wire.Result) error) error {
+	if sp.isClosed() {
+		return ErrSpaceClosed
+	}
+	sp.count(func(s *Stats) { s.CallsSent++ })
+	c, ep, err := sp.pool.Get(endpoints)
+	if err != nil {
+		return err
+	}
+	_ = c.SetDeadline(time.Now().Add(sp.opts.CallTimeout))
+	if err := c.Send(wire.Marshal(nil, call)); err != nil {
+		sp.pool.Discard(c)
+		return err
+	}
+	b, err := c.Recv(nil)
+	if err != nil {
+		sp.pool.Discard(c)
+		return err
+	}
+	msg, err := wire.Unmarshal(b)
+	if err != nil {
+		sp.pool.Discard(c)
+		return err
+	}
+	res, ok := msg.(*wire.Result)
+	if !ok {
+		sp.pool.Discard(c)
+		return fmt.Errorf("netobjects: call answered with %v", msg.Op())
+	}
+	decodeErr := decode(res)
+	// Under the FIFO variant decoding may have queued registrations whose
+	// dirty calls are still in flight; the result acknowledgement asserts
+	// they are registered, so wait here (overlapped with nothing on the
+	// client, but the server overlapped them with its method execution).
+	session.waitPending()
+	if res.NeedAck {
+		// The owner holds the returned references transiently dirty until
+		// this ack; send it even when decoding failed, because our dirty
+		// calls for any references we did unmarshal have already
+		// completed, and the rest were never materialized here.
+		sp.count(func(s *Stats) { s.ResultAcksSent++ })
+		if err := c.Send(wire.Marshal(nil, &wire.ResultAck{})); err != nil {
+			sp.pool.Discard(c)
+			return decodeErr
+		}
+	}
+	sp.pool.Put(ep, c)
+	return decodeErr
+}
+
+// dynamicCall invokes a method with interface-encoded arguments and
+// results: the caller needs no stub and no type information beyond what
+// the argument values themselves carry.
+func (sp *Space) dynamicCall(endpoints []string, index uint64, method string, args []any) ([]any, error) {
+	session := &callSession{sp: sp}
+	defer session.unpinAll()
+	argBytes, err := sp.pickler.MarshalAnySession(nil, args, session)
+	if err != nil {
+		return nil, fmt.Errorf("netobjects: marshaling arguments for %s: %w", method, err)
+	}
+	call := &wire.Call{Obj: index, Method: method, Args: argBytes}
+	var results []any
+	var appErr error
+	err = sp.callRemote(endpoints, call, session, func(res *wire.Result) error {
+		switch res.Status {
+		case wire.StatusOK, wire.StatusAppError:
+			rs, derr := sp.pickler.UnmarshalAnySession(res.Results, session)
+			if derr != nil {
+				return fmt.Errorf("netobjects: unmarshaling results of %s: %w", method, derr)
+			}
+			results = rs
+			if res.Status == wire.StatusAppError {
+				appErr = &RemoteError{Msg: res.Err}
+			}
+			return nil
+		default:
+			return statusError(res.Status, res.Err)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, appErr
+}
+
+// Call invokes a method dynamically: arguments and results travel as
+// self-describing values, so no generated stub is needed. It returns the
+// method's non-error results; a non-nil error is either the remote
+// method's own error (a *RemoteError) or a runtime failure (*CallError or
+// transport error).
+func (r *Ref) Call(method string, args ...any) ([]any, error) {
+	if r.IsOwner() {
+		return r.sp.localDynamicCall(r.concrete, method, args)
+	}
+	if _, err := r.sp.imports.Use(r.key); err != nil {
+		return nil, err
+	}
+	return r.sp.dynamicCall(r.endpoints, r.key.Index, method, args)
+}
+
+// CallEndpoint invokes a method on an object at a known endpoint and
+// table index without first holding a reference to it. It exists to
+// bootstrap: the agent object lives at the well-known agent index, and
+// its results carry proper references that follow the normal registration
+// path. No dirty entry is taken for the target itself.
+func (sp *Space) CallEndpoint(endpoint string, index uint64, method string, args ...any) ([]any, error) {
+	return sp.dynamicCall([]string{endpoint}, index, method, args)
+}
+
+// InvokeTyped invokes a method with statically typed arguments and
+// results — the generated-stub fast path. fingerprint guards against stub
+// and implementation drifting apart; resultTypes lists the method's
+// non-error results. The returned error follows the Call conventions.
+func (r *Ref) InvokeTyped(method string, fingerprint uint64, args []reflect.Value, resultTypes []reflect.Type) ([]reflect.Value, error) {
+	sp := r.sp
+	if r.IsOwner() {
+		return sp.localTypedCall(r.concrete, method, fingerprint, args)
+	}
+	if _, err := sp.imports.Use(r.key); err != nil {
+		return nil, err
+	}
+	session := &callSession{sp: sp}
+	defer session.unpinAll()
+	argBytes, err := sp.pickler.MarshalSession(nil, args, session)
+	if err != nil {
+		return nil, fmt.Errorf("netobjects: marshaling arguments for %s: %w", method, err)
+	}
+	call := &wire.Call{
+		Obj:         r.key.Index,
+		Method:      method,
+		Fingerprint: fingerprint,
+		Typed:       true,
+		Args:        argBytes,
+	}
+	var results []reflect.Value
+	var appErr error
+	err = sp.callRemote(r.endpoints, call, session, func(res *wire.Result) error {
+		switch res.Status {
+		case wire.StatusOK, wire.StatusAppError:
+			rs, derr := sp.pickler.UnmarshalSession(res.Results, resultTypes, session)
+			if derr != nil {
+				return fmt.Errorf("netobjects: unmarshaling results of %s: %w", method, derr)
+			}
+			results = rs
+			if res.Status == wire.StatusAppError {
+				appErr = &RemoteError{Msg: res.Err}
+			}
+			return nil
+		default:
+			return statusError(res.Status, res.Err)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, appErr
+}

@@ -1,0 +1,414 @@
+// Package core implements the network objects runtime: spaces, exported
+// concrete objects, surrogates, remote invocation, and the distributed
+// reference-listing garbage collector that ties them together.
+//
+// A Space is one participant in the distributed system — the paper's
+// "program instance". It owns an export table for the concrete objects it
+// has made remote, an import table for the surrogates it holds, listeners
+// on one or more transports, and the collector daemons. References cross
+// the network as wireReps inside pickles; the pickler calls back into the
+// space (through the pickle.NetRefs hook) to export concrete objects on
+// the way out and to create or reuse surrogates on the way in, including
+// the blocking dirty call that registers a new surrogate with its owner.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"netobjects/internal/dgc"
+	"netobjects/internal/objtable"
+	"netobjects/internal/pickle"
+	"netobjects/internal/transport"
+	"netobjects/internal/wire"
+)
+
+// Runtime errors surfaced to callers. Protocol-level failures reported by
+// the peer are wrapped in *CallError; use errors.Is with these sentinels.
+var (
+	// ErrSpaceClosed reports use of a closed space.
+	ErrSpaceClosed = errors.New("netobjects: space is closed")
+	// ErrNoSuchObject reports a call or dirty call against an object the
+	// owner has withdrawn (or never exported).
+	ErrNoSuchObject = errors.New("netobjects: no such object at owner")
+	// ErrNoSuchMethod reports an unknown or uncallable method name.
+	ErrNoSuchMethod = errors.New("netobjects: no such method")
+	// ErrBadFingerprint reports a stub whose type fingerprint does not
+	// match the concrete object's.
+	ErrBadFingerprint = errors.New("netobjects: stub fingerprint mismatch")
+	// ErrNoStub reports unmarshaling a reference into an interface type
+	// with no registered stub factory.
+	ErrNoStub = errors.New("netobjects: no stub registered for interface")
+	// ErrForeignRef reports marshaling a Ref that belongs to a different
+	// space in the same process.
+	ErrForeignRef = errors.New("netobjects: reference belongs to another space")
+)
+
+// LivenessMode selects how owners detect dead clients.
+type LivenessMode int
+
+// Liveness modes.
+const (
+	// LivenessPing is the paper's design: owners periodically ping every
+	// client holding surrogates and drop unresponsive ones.
+	LivenessPing LivenessMode = iota
+	// LivenessLease is the RMI-style design: clients periodically renew a
+	// lease with every owner; owners expire lapsed leases. No
+	// owner-to-client connectivity is required.
+	LivenessLease
+)
+
+// String names the mode.
+func (m LivenessMode) String() string {
+	if m == LivenessLease {
+		return "lease"
+	}
+	return "ping"
+}
+
+// Options configures a Space. The zero value is usable: it listens on an
+// ephemeral loopback TCP port with default timeouts.
+type Options struct {
+	// Name labels the space in logs; defaults to the space id.
+	Name string
+	// Transports are the protocols the space speaks; defaults to TCP.
+	Transports []transport.Transport
+	// ListenEndpoints are the endpoints to listen on ("tcp:host:port",
+	// "inmem:name"). By default the space listens once per transport on a
+	// transport-chosen address.
+	ListenEndpoints []string
+	// Registry resolves pickled type names; defaults to the package-level
+	// pickle.DefaultRegistry.
+	Registry *pickle.Registry
+	// CallTimeout bounds one remote exchange (default 30s).
+	CallTimeout time.Duration
+	// Liveness selects how owners detect dead clients: LivenessPing
+	// (default, the paper's owner-driven pinging) or LivenessLease (the
+	// RMI-style design: clients renew leases, owners expire them).
+	Liveness LivenessMode
+	// LeaseTTL is the lease duration granted to clients in lease mode;
+	// clients renew at a third of it (default 30s).
+	LeaseTTL time.Duration
+	// PingInterval is the owner's client-liveness probe period
+	// (default 15s).
+	PingInterval time.Duration
+	// PingTimeout bounds one ping exchange (default 3s).
+	PingTimeout time.Duration
+	// PingMaxFailures is how many consecutive failed pings a client
+	// survives before its dirty entries are dropped (default 3).
+	PingMaxFailures int
+	// CleanMaxAttempts bounds delivery attempts for one clean call
+	// (default 8).
+	CleanMaxAttempts int
+	// CleanBackoff is the initial clean-call retry delay (default 10ms).
+	CleanBackoff time.Duration
+	// MaxIdleConns caps cached idle connections per endpoint (default 4).
+	MaxIdleConns int
+	// Variant selects the collector protocol variant: VariantBirrell
+	// (default, correct over unordered channels) or VariantFIFO (the
+	// paper's §5.1 optimisation: per-owner ordered collector traffic and
+	// non-blocking registration of received references).
+	Variant CollectorVariant
+	// BatchCleans lets the cleaning daemon coalesce queued clean calls
+	// addressed to the same owner into one message — the batching the
+	// paper lists among its cost reductions.
+	BatchCleans bool
+	// AutoRelease holds surrogates weakly and schedules their clean calls
+	// when the application lets go of them — the paper's weak-reference
+	// design. Without it, surrogates live until Release is called
+	// explicitly or the space closes.
+	AutoRelease bool
+	// Logger receives runtime events; nil discards them.
+	Logger *slog.Logger
+}
+
+// Space is one participant in the network objects system.
+type Space struct {
+	id      wire.SpaceID
+	opts    Options
+	log     *slog.Logger
+	treg    *transport.Registry
+	pool    *transport.Pool
+	pickler *pickle.Pickler
+	exports *objtable.Exports
+	imports *objtable.Imports
+	cleaner *dgc.Cleaner
+	pinger  *dgc.Pinger
+
+	leases  *dgc.Leases
+	renewer *dgc.Renewer
+
+	listeners []transport.Listener
+	endpoints []string
+
+	mu        sync.Mutex
+	ownedRefs map[any]*Ref
+	remote    map[string]*remoteIface // by interface type name
+	gcQueues  map[wire.SpaceID]*gcQueue
+	closed    bool
+	closedCh  chan struct{}
+
+	wg sync.WaitGroup
+
+	stats Stats
+}
+
+// Stats counts collector and call events; all fields are monotonically
+// increasing. Snapshot with Space.Stats.
+type Stats struct {
+	CallsSent        uint64
+	CallsServed      uint64
+	DirtySent        uint64
+	DirtyServed      uint64
+	CleanSent        uint64
+	CleanBatches     uint64
+	CleanServed      uint64
+	PingsSent        uint64
+	LeasesSent       uint64
+	LeasesServed     uint64
+	ResultAcksSent   uint64
+	ResultAcksWaited uint64
+	SurrogatesMade   uint64
+	AutoReleases     uint64
+	Withdrawn        uint64
+	ClientsDropped   uint64
+}
+
+// NewSpace creates and starts a space: listeners accept immediately and
+// the collector daemons run until Close.
+func NewSpace(opts Options) (*Space, error) {
+	sp := &Space{
+		id:        wire.NewSpaceID(),
+		opts:      opts,
+		ownedRefs: make(map[any]*Ref),
+		remote:    make(map[string]*remoteIface),
+		gcQueues:  make(map[wire.SpaceID]*gcQueue),
+		closedCh:  make(chan struct{}),
+	}
+	if sp.opts.CallTimeout <= 0 {
+		sp.opts.CallTimeout = 30 * time.Second
+	}
+	if sp.opts.PingInterval <= 0 {
+		sp.opts.PingInterval = 15 * time.Second
+	}
+	if sp.opts.PingTimeout <= 0 {
+		sp.opts.PingTimeout = 3 * time.Second
+	}
+	if sp.opts.Name == "" {
+		sp.opts.Name = sp.id.String()
+	}
+	sp.log = opts.Logger
+	if sp.log == nil {
+		sp.log = slog.New(slog.DiscardHandler)
+	}
+	sp.log = sp.log.With("space", sp.opts.Name)
+
+	ts := opts.Transports
+	if len(ts) == 0 {
+		ts = []transport.Transport{transport.NewTCP()}
+	}
+	sp.treg = transport.NewRegistry(ts...)
+	sp.pool = transport.NewPool(sp.treg, opts.MaxIdleConns)
+
+	listenEPs := opts.ListenEndpoints
+	if len(listenEPs) == 0 {
+		for _, t := range ts {
+			listenEPs = append(listenEPs, wire.JoinEndpoint(t.Proto(), ""))
+		}
+	}
+	for _, ep := range listenEPs {
+		l, err := sp.treg.Listen(ep)
+		if err != nil {
+			sp.shutdownListeners()
+			return nil, fmt.Errorf("netobjects: listen %q: %w", ep, err)
+		}
+		sp.listeners = append(sp.listeners, l)
+		sp.endpoints = append(sp.endpoints, l.Endpoint())
+	}
+
+	sp.exports = objtable.NewExports()
+	sp.exports.OnWithdraw = sp.onWithdraw
+	sp.imports = objtable.NewImports()
+	sp.pickler = pickle.New(opts.Registry, (*netRefs)(sp))
+
+	cleanerCfg := dgc.CleanerConfig{
+		Begin:       sp.imports.BeginClean,
+		Send:        sp.sendClean,
+		Finish:      sp.imports.FinishClean,
+		Redo:        sp.redoDirty,
+		MaxAttempts: opts.CleanMaxAttempts,
+		Backoff:     opts.CleanBackoff,
+		Logger:      sp.log,
+	}
+	if opts.BatchCleans {
+		cleanerCfg.SendBatch = sp.sendCleanBatch
+	}
+	sp.cleaner = dgc.NewCleaner(cleanerCfg)
+	switch sp.opts.Liveness {
+	case LivenessLease:
+		sp.leases = dgc.NewLeases(sp.opts.LeaseTTL)
+		// The expiry sweep reuses the pinger's cadence machinery: every
+		// interval, clients in some dirty set whose lease lapsed are
+		// dropped. The "ping" is a local lease check, no network traffic.
+		sp.pinger = dgc.NewPinger(dgc.PingerConfig{
+			Interval:    max(sp.leases.TTL()/3, 10*time.Millisecond),
+			MaxFailures: 1,
+			Clients:     sp.exports.Clients,
+			Ping:        sp.checkLease,
+			Drop:        sp.dropClient,
+			Logger:      sp.log,
+		})
+		sp.renewer = dgc.NewRenewer(dgc.RenewerConfig{
+			Interval: max(sp.leases.TTL()/3, 10*time.Millisecond),
+			Owners:   sp.imports.OwnersSnapshot,
+			Renew:    sp.sendLease,
+			Logger:   sp.log,
+		})
+	default:
+		sp.pinger = dgc.NewPinger(dgc.PingerConfig{
+			Interval:    sp.opts.PingInterval,
+			MaxFailures: opts.PingMaxFailures,
+			Clients:     sp.exports.Clients,
+			Ping:        sp.sendPing,
+			Drop:        sp.dropClient,
+			Logger:      sp.log,
+		})
+	}
+
+	for _, l := range sp.listeners {
+		sp.wg.Add(1)
+		go sp.acceptLoop(l)
+	}
+	sp.log.Debug("space started", "endpoints", sp.endpoints)
+	return sp, nil
+}
+
+// ID returns the space's identifier.
+func (sp *Space) ID() wire.SpaceID { return sp.id }
+
+// Endpoints returns the endpoints the space listens on.
+func (sp *Space) Endpoints() []string { return append([]string(nil), sp.endpoints...) }
+
+// Pickler exposes the space's pickler; the benchmark harness uses it to
+// measure marshaling in isolation.
+func (sp *Space) Pickler() *pickle.Pickler { return sp.pickler }
+
+// Imports exposes the import table for tests, tracing and the gcdemo
+// example (read-only use).
+func (sp *Space) Imports() *objtable.Imports { return sp.imports }
+
+// Exports exposes the export table for tests, tracing and the benchmark
+// harness (read-only use).
+func (sp *Space) Exports() *objtable.Exports { return sp.exports }
+
+// Renewer exposes the lease renewal daemon (nil outside lease mode) for
+// tests and the benchmark harness.
+func (sp *Space) Renewer() *dgc.Renewer { return sp.renewer }
+
+// Stats snapshots the space's event counters.
+func (sp *Space) Stats() Stats {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.stats
+}
+
+func (sp *Space) count(f func(*Stats)) {
+	sp.mu.Lock()
+	f(&sp.stats)
+	sp.mu.Unlock()
+}
+
+// Close shuts the space down: it releases every surrogate, lets the
+// cleaner deliver the resulting clean calls (bounded by CallTimeout),
+// stops the daemons, and closes listeners and connections.
+func (sp *Space) Close() error { return sp.shutdown(true) }
+
+// Abort shuts the space down without the parting clean calls, simulating
+// a crash: owners discover the loss only through their ping daemons.
+// Fault-tolerance tests and the benchmark harness use it.
+func (sp *Space) Abort() { _ = sp.shutdown(false) }
+
+func (sp *Space) shutdown(graceful bool) error {
+	sp.mu.Lock()
+	if sp.closed {
+		sp.mu.Unlock()
+		return nil
+	}
+	sp.closed = true
+	close(sp.closedCh)
+	sp.mu.Unlock()
+
+	if graceful {
+		// Parting courtesy: tell every owner we are gone, so they need
+		// not discover it by ping timeout.
+		for _, key := range sp.imports.Keys() {
+			if sp.imports.Release(key) {
+				// Deliver directly with one attempt each; the cleaner
+				// queue would also work but this bounds shutdown time.
+				if seq, eps, ok := sp.imports.BeginClean(key); ok {
+					_ = sp.sendCleanQuiet(key, eps, seq)
+				}
+			}
+		}
+		sp.cleaner.Drain(2 * time.Second)
+	}
+	sp.cleaner.Close()
+	sp.pinger.Close()
+	if sp.renewer != nil {
+		sp.renewer.Close()
+	}
+	sp.closeGCQueues()
+	sp.shutdownListeners()
+	sp.pool.Close()
+	sp.wg.Wait()
+	sp.log.Debug("space closed", "graceful", graceful)
+	return nil
+}
+
+func (sp *Space) shutdownListeners() {
+	for _, l := range sp.listeners {
+		_ = l.Close()
+	}
+}
+
+func (sp *Space) isClosed() bool {
+	select {
+	case <-sp.closedCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// onWithdraw is called by the export table when an entry leaves the table;
+// it drops the canonical owned Ref so the concrete object can be collected
+// locally once the application lets go of it.
+func (sp *Space) onWithdraw(index uint64, obj any) {
+	sp.mu.Lock()
+	delete(sp.ownedRefs, obj)
+	sp.stats.Withdrawn++
+	sp.mu.Unlock()
+	sp.log.Debug("export withdrawn", "index", index)
+}
+
+// dropClient is the liveness daemon's verdict on a dead client.
+func (sp *Space) dropClient(id wire.SpaceID) {
+	sp.count(func(s *Stats) { s.ClientsDropped++ })
+	withdrawn := sp.exports.DropClient(id)
+	if sp.leases != nil {
+		sp.leases.Forget(id)
+	}
+	sp.log.Info("dropped dead client", "client", id.String(), "withdrawn", len(withdrawn))
+}
+
+// checkLease plays the pinger's probe role in lease mode: it "fails" for
+// clients whose lease lapsed, which (with MaxFailures 1) drops them.
+func (sp *Space) checkLease(id wire.SpaceID, _ []string) error {
+	if expired := sp.leases.Expired([]wire.SpaceID{id}); len(expired) != 0 {
+		return fmt.Errorf("netobjects: lease of %v expired", id)
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"runtime/debug"
+
+	"netobjects/internal/wire"
+)
+
+// methodInfo is the dispatch record for one exported method, computed on
+// demand from the concrete object's reflected method set.
+type methodInfo struct {
+	fn      reflect.Value
+	params  []reflect.Type
+	results []reflect.Type // excluding a trailing error
+	hasErr  bool
+}
+
+// lookupMethod resolves a method by name on obj and validates that it is
+// remotely callable: exported, non-variadic, and with any error return in
+// the final position only.
+func lookupMethod(obj any, name string) (*methodInfo, error) {
+	ov := reflect.ValueOf(obj)
+	m := ov.MethodByName(name)
+	if !m.IsValid() {
+		return nil, fmt.Errorf("%w: %T has no method %s", ErrNoSuchMethod, obj, name)
+	}
+	mt := m.Type()
+	if mt.IsVariadic() {
+		return nil, fmt.Errorf("%w: %s is variadic (unsupported remotely)", ErrNoSuchMethod, name)
+	}
+	mi := &methodInfo{fn: m}
+	for i := 0; i < mt.NumIn(); i++ {
+		mi.params = append(mi.params, mt.In(i))
+	}
+	for i := 0; i < mt.NumOut(); i++ {
+		out := mt.Out(i)
+		if out == errorType {
+			if i != mt.NumOut()-1 {
+				return nil, fmt.Errorf("%w: %s returns error before the final position", ErrNoSuchMethod, name)
+			}
+			mi.hasErr = true
+			continue
+		}
+		mi.results = append(mi.results, out)
+	}
+	return mi, nil
+}
+
+// invoke calls the method with the given arguments, separating the
+// trailing error (if declared) from the data results and converting a
+// panic in the method into an error rather than tearing down the serving
+// goroutine.
+func (mi *methodInfo) invoke(args []reflect.Value) (outs []reflect.Value, appErr error, runtimeErr error) {
+	defer func() {
+		if p := recover(); p != nil {
+			outs, appErr = nil, nil
+			runtimeErr = fmt.Errorf("netobjects: method panicked: %v\n%s", p, debug.Stack())
+		}
+	}()
+	rets := mi.fn.Call(args)
+	if mi.hasErr {
+		if e := rets[len(rets)-1]; !e.IsNil() {
+			appErr = e.Interface().(error)
+		}
+		rets = rets[:len(rets)-1]
+	}
+	return rets, appErr, nil
+}
+
+// localDynamicCall dispatches a dynamic call on a local concrete object —
+// the owner calling through its own reference. No pickling happens, but
+// arguments still pass through the same conversion rules as remote calls
+// so local and remote behaviour agree.
+func (sp *Space) localDynamicCall(obj any, method string, args []any) ([]any, error) {
+	mi, err := lookupMethod(obj, method)
+	if err != nil {
+		return nil, err
+	}
+	if len(args) != len(mi.params) {
+		return nil, fmt.Errorf("%w: %s takes %d arguments, got %d", ErrNoSuchMethod, method, len(mi.params), len(args))
+	}
+	argVals := make([]reflect.Value, len(args))
+	for i, a := range args {
+		v, err := sp.assignArg(mi.params[i], a)
+		if err != nil {
+			return nil, fmt.Errorf("netobjects: argument %d of %s: %w", i, method, err)
+		}
+		argVals[i] = v
+	}
+	outs, appErr, rerr := mi.invoke(argVals)
+	if rerr != nil {
+		return nil, rerr
+	}
+	results := make([]any, len(outs))
+	for i, o := range outs {
+		results[i] = o.Interface()
+	}
+	return results, appErr
+}
+
+// localTypedCall dispatches a typed (stub) call on a local concrete
+// object.
+func (sp *Space) localTypedCall(obj any, method string, fingerprint uint64, args []reflect.Value) ([]reflect.Value, error) {
+	if fingerprint != 0 && !acceptsFingerprint(sp, obj, fingerprint) {
+		return nil, &CallError{Status: wire.StatusBadFingerprint,
+			Msg: fmt.Sprintf("stub fingerprint %x not accepted by %T", fingerprint, obj)}
+	}
+	mi, err := lookupMethod(obj, method)
+	if err != nil {
+		return nil, err
+	}
+	if len(args) != len(mi.params) {
+		return nil, fmt.Errorf("%w: %s takes %d arguments, got %d", ErrNoSuchMethod, method, len(mi.params), len(args))
+	}
+	outs, appErr, rerr := mi.invoke(args)
+	if rerr != nil {
+		return nil, rerr
+	}
+	return outs, appErr
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"netobjects/internal/wire"
+)
+
+// RemoteError is an error returned by a remote method. The concrete error
+// type does not cross the wire; its message does.
+type RemoteError struct {
+	// Msg is the remote error's text.
+	Msg string
+}
+
+// Error returns the remote error text.
+func (e *RemoteError) Error() string { return e.Msg }
+
+// CallError reports a runtime-level call failure: the remote method did
+// not run to completion (or may not have run at all).
+type CallError struct {
+	// Status is the protocol status reported by the peer.
+	Status wire.Status
+	// Msg is the peer's error text.
+	Msg string
+}
+
+// Error renders the failure.
+func (e *CallError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("netobjects: call failed: %v", e.Status)
+	}
+	return fmt.Sprintf("netobjects: call failed: %v: %s", e.Status, e.Msg)
+}
+
+// Is maps protocol statuses onto the package's sentinel errors so callers
+// can write errors.Is(err, core.ErrNoSuchObject).
+func (e *CallError) Is(target error) bool {
+	switch target {
+	case ErrNoSuchObject:
+		return e.Status == wire.StatusNoSuchObject
+	case ErrNoSuchMethod:
+		return e.Status == wire.StatusNoSuchMethod
+	case ErrBadFingerprint:
+		return e.Status == wire.StatusBadFingerprint
+	default:
+		return false
+	}
+}
+
+// statusError converts a non-OK protocol status into an error.
+func statusError(status wire.Status, msg string) error {
+	if status == wire.StatusAppError {
+		return &RemoteError{Msg: msg}
+	}
+	return &CallError{Status: status, Msg: msg}
+}
+
+// errText renders err for transmission in a protocol message.
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

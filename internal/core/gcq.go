@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"netobjects/internal/wire"
+)
+
+// This file implements the FIFO collector variant of the paper's §5.1.
+//
+// With channels that deliver dirty and clean calls to an owner in order, a
+// clean can never overtake a dirty, so a freshly received reference can
+// become usable immediately: the dirty call is issued in the background
+// and deserialisation does not block. A dirty acknowledgement is still
+// required before this space may acknowledge the copy to its sender
+// (otherwise the naive race reappears), so the runtime waits for the
+// pending registrations of a call's references just before sending the
+// call's reply (server side) or the result acknowledgement (client side) —
+// overlapping the dirty round trip with the method's execution instead of
+// serialising in front of it.
+//
+// Ordering is provided not by the transport but by construction: all
+// dirty/clean traffic from this space to a given owner flows through one
+// gcQueue whose single worker sends each call and waits for its
+// acknowledgement before the next — at most one collector message to that
+// owner is ever outstanding, so arrival order equals enqueue order on any
+// reliable transport.
+
+// CollectorVariant selects the distributed collector protocol variant.
+type CollectorVariant int
+
+const (
+	// VariantBirrell is the base algorithm: registration of a new
+	// surrogate blocks deserialisation until the dirty call is
+	// acknowledged (correct over channels with no ordering guarantees).
+	VariantBirrell CollectorVariant = iota
+	// VariantFIFO is the §5.1 optimisation: references become usable on
+	// receipt, dirty calls are issued through per-owner ordered queues,
+	// and replies wait for pending registrations instead of the
+	// deserialiser.
+	VariantFIFO
+)
+
+// String names the variant.
+func (v CollectorVariant) String() string {
+	switch v {
+	case VariantBirrell:
+		return "birrell"
+	case VariantFIFO:
+		return "fifo"
+	default:
+		return "unknown"
+	}
+}
+
+// gcFuture is the pending outcome of an asynchronous collector call.
+type gcFuture struct {
+	done chan struct{}
+	err  error
+}
+
+func newGCFuture() *gcFuture { return &gcFuture{done: make(chan struct{})} }
+
+// wait blocks until the call settles and returns its error.
+func (f *gcFuture) wait() error {
+	<-f.done
+	return f.err
+}
+
+func (f *gcFuture) settle(err error) {
+	f.err = err
+	close(f.done)
+}
+
+// gcItem is one queued collector call.
+type gcItem struct {
+	msg    wire.Message
+	future *gcFuture
+}
+
+// gcQueue serializes this space's collector traffic to one owner.
+type gcQueue struct {
+	sp        *Space
+	owner     wire.SpaceID
+	endpoints []string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []gcItem
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newGCQueue(sp *Space, owner wire.SpaceID, endpoints []string) *gcQueue {
+	q := &gcQueue{sp: sp, owner: owner, endpoints: endpoints}
+	q.cond = sync.NewCond(&q.mu)
+	q.wg.Add(1)
+	go q.run()
+	return q
+}
+
+// enqueue schedules msg for ordered delivery and returns its future.
+func (q *gcQueue) enqueue(msg wire.Message, endpoints []string) *gcFuture {
+	f := newGCFuture()
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		f.settle(ErrSpaceClosed)
+		return f
+	}
+	if len(endpoints) > 0 {
+		q.endpoints = endpoints
+	}
+	q.items = append(q.items, gcItem{msg: msg, future: f})
+	q.mu.Unlock()
+	q.cond.Signal()
+	return f
+}
+
+func (q *gcQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	items := q.items
+	q.items = nil
+	q.mu.Unlock()
+	q.cond.Broadcast()
+	for _, it := range items {
+		it.future.settle(ErrSpaceClosed)
+	}
+	q.wg.Wait()
+}
+
+func (q *gcQueue) run() {
+	defer q.wg.Done()
+	for {
+		q.mu.Lock()
+		for len(q.items) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return
+		}
+		it := q.items[0]
+		q.items = q.items[1:]
+		eps := q.endpoints
+		q.mu.Unlock()
+		it.future.settle(q.deliver(it.msg, eps))
+	}
+}
+
+// deliver performs one ordered exchange. Any transport or protocol error
+// fails the future; the enqueuer decides whether to retry (cleans re-enter
+// through the cleaning daemon, dirty failures kill the registration).
+func (q *gcQueue) deliver(msg wire.Message, eps []string) error {
+	resp, err := q.sp.rpc(eps, msg, q.sp.opts.CallTimeout)
+	if err != nil {
+		return err
+	}
+	switch m := resp.(type) {
+	case *wire.DirtyAck:
+		if m.Status != wire.StatusOK {
+			return statusError(m.Status, m.Err)
+		}
+		return nil
+	case *wire.CleanAck:
+		return nil
+	default:
+		return &CallError{Status: wire.StatusInternal, Msg: "unexpected " + resp.Op().String()}
+	}
+}
+
+// gcQueueFor returns (creating if needed) the ordered queue to owner.
+func (sp *Space) gcQueueFor(owner wire.SpaceID, endpoints []string) *gcQueue {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	q, ok := sp.gcQueues[owner]
+	if !ok {
+		q = newGCQueue(sp, owner, endpoints)
+		sp.gcQueues[owner] = q
+	}
+	return q
+}
+
+func (sp *Space) closeGCQueues() {
+	sp.mu.Lock()
+	qs := make([]*gcQueue, 0, len(sp.gcQueues))
+	for _, q := range sp.gcQueues {
+		qs = append(qs, q)
+	}
+	sp.gcQueues = make(map[wire.SpaceID]*gcQueue)
+	sp.mu.Unlock()
+	for _, q := range qs {
+		q.close()
+	}
+}
+
+// registerAsync is the FIFO-variant registration: the surrogate becomes
+// usable immediately; the dirty call is queued for ordered delivery and
+// its future recorded so the enclosing call's acknowledgement can wait on
+// it. On failure the registration is killed retroactively: the surrogate
+// dies and a strong clean cancels whatever the dirty call did.
+func (sp *Space) registerAsync(key wire.Key, endpoints []string, seq uint64, session any) (*Ref, error) {
+	ref := &Ref{sp: sp, key: key, endpoints: endpoints}
+	sp.bindSurrogate(key, ref)
+	sp.count(func(s *Stats) { s.SurrogatesMade++ })
+	sp.count(func(s *Stats) { s.DirtySent++ })
+
+	q := sp.gcQueueFor(key.Owner, endpoints)
+	f := q.enqueue(&wire.Dirty{
+		Obj:             key.Index,
+		Client:          sp.id,
+		ClientEndpoints: sp.endpoints,
+		Seq:             seq,
+	}, endpoints)
+
+	pending := newGCFuture()
+	go func() {
+		err := f.wait()
+		if err != nil {
+			sp.log.Warn("async registration failed", "key", key.String(), "err", err)
+			sp.imports.Kill(key, err)
+			strongSeq := sp.imports.NextSeq(key)
+			sp.cleaner.ScheduleStrong(key, endpoints, strongSeq)
+		}
+		pending.settle(err)
+	}()
+	if cs, ok := session.(*callSession); ok && cs != nil {
+		cs.addPending(pending)
+		return ref, nil
+	}
+	// No session to carry the future (out-of-band import): fall back to
+	// blocking, which is always correct.
+	if err := pending.wait(); err != nil {
+		return nil, fmt.Errorf("netobjects: registering %v with owner: %w", key, err)
+	}
+	return ref, nil
+}

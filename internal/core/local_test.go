@@ -1,0 +1,316 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"netobjects/internal/pickle"
+	"netobjects/internal/wire"
+)
+
+// Local dispatch: the owner calling through its own handle must behave
+// exactly like a remote call, minus the network.
+
+func TestLocalDynamicCall(t *testing.T) {
+	tn := newTestNet(t)
+	owner := tn.space("owner", nil)
+	cnt := &counter{}
+	ref, err := owner.Export(cnt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.IsOwner() {
+		t.Fatal("export returned a surrogate")
+	}
+	out, err := ref.Call("Incr", int64(3))
+	if err != nil || out[0].(int64) != 3 {
+		t.Fatalf("got %v %v", out, err)
+	}
+	// Conversion rules match the remote path.
+	out, err = ref.Call("Incr", 2) // int -> int64
+	if err != nil || out[0].(int64) != 5 {
+		t.Fatalf("got %v %v", out, err)
+	}
+	// Application error.
+	_, err = ref.Call("Fail", "local trouble")
+	var re error
+	re = err
+	if re == nil || re.Error() != "local trouble" {
+		t.Fatalf("got %v", err)
+	}
+	// Arity and method errors.
+	if _, err := ref.Call("Incr"); !errors.Is(err, ErrNoSuchMethod) {
+		t.Fatalf("arity: %v", err)
+	}
+	if _, err := ref.Call("Nope"); !errors.Is(err, ErrNoSuchMethod) {
+		t.Fatalf("missing: %v", err)
+	}
+	// A panic in the method surfaces as an error, not a crash.
+	if _, err := ref.Call("Boom"); err == nil {
+		t.Fatal("panic swallowed")
+	}
+}
+
+func TestLocalTypedCall(t *testing.T) {
+	tn := newTestNet(t)
+	owner := tn.space("owner", nil)
+	registerAdder(owner)
+	cnt := &counter{}
+	ref, _ := owner.Export(cnt)
+
+	args := []reflect.Value{reflect.ValueOf(int64(4))}
+	rts := []reflect.Type{reflect.TypeOf(int64(0))}
+	out, err := ref.InvokeTyped("Incr", 0, args, rts)
+	if err != nil || out[0].Int() != 4 {
+		t.Fatalf("got %v %v", out, err)
+	}
+	// Interface fingerprint accepted locally too.
+	fp := pickle.Fingerprint(reflect.TypeOf((*Adder)(nil)).Elem())
+	if _, err := ref.InvokeTyped("Incr", fp, args, rts); err != nil {
+		t.Fatalf("interface fingerprint rejected locally: %v", err)
+	}
+	// Wrong fingerprint rejected locally.
+	if _, err := ref.InvokeTyped("Incr", 999, args, rts); !errors.Is(err, ErrBadFingerprint) {
+		t.Fatalf("got %v", err)
+	}
+	// Typed app error: the local path hands back the method's own error
+	// value (no serialization boundary to cross).
+	_, err = ref.InvokeTyped("Fail", 0, []reflect.Value{reflect.ValueOf("no")}, nil)
+	if err == nil || err.Error() != "no" {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestOwnerHandleAccessors(t *testing.T) {
+	tn := newTestNet(t)
+	owner := tn.space("owner", nil)
+	client := tn.space("client", nil)
+	cnt := &counter{}
+	ref, _ := owner.Export(cnt)
+
+	if ref.Concrete() != cnt {
+		t.Fatal("Concrete lost the object")
+	}
+	if ref.Owner() != owner.ID() {
+		t.Fatal("owner id mismatch")
+	}
+	if ref.NetObjRef() != ref {
+		t.Fatal("NetObjRef not identity")
+	}
+	if ref.String() == "" {
+		t.Fatal("empty String")
+	}
+	sref := handoff(t, ref, client)
+	if sref.IsOwner() || sref.Concrete() != nil {
+		t.Fatal("surrogate claims ownership")
+	}
+	if sref.Owner() != owner.ID() {
+		t.Fatal("surrogate owner mismatch")
+	}
+	if sref.String() == "" {
+		t.Fatal("empty surrogate String")
+	}
+	// Releasing an owner handle is a no-op.
+	ref.Release()
+	if _, err := ref.Call("Value"); err != nil {
+		t.Fatalf("owner handle dead after no-op release: %v", err)
+	}
+}
+
+func TestErrorRendering(t *testing.T) {
+	re := &RemoteError{Msg: "boom"}
+	if re.Error() != "boom" {
+		t.Fatalf("got %q", re.Error())
+	}
+	ce := &CallError{Status: wire.StatusNoSuchObject, Msg: "gone"}
+	if ce.Error() == "" || !errors.Is(ce, ErrNoSuchObject) {
+		t.Fatalf("got %q", ce.Error())
+	}
+	if errors.Is(ce, ErrNoSuchMethod) {
+		t.Fatal("status conflated")
+	}
+	bare := &CallError{Status: wire.StatusInternal}
+	if bare.Error() == "" {
+		t.Fatal("empty error text")
+	}
+	if errText(nil) != "" || errText(re) != "boom" {
+		t.Fatal("errText wrong")
+	}
+	if statusError(wire.StatusAppError, "x").(*RemoteError).Msg != "x" {
+		t.Fatal("statusError app path wrong")
+	}
+}
+
+func TestForeignRefRejected(t *testing.T) {
+	tn := newTestNet(t)
+	a := tn.space("A", nil)
+	b := tn.space("B", nil)
+	c := tn.space("C", nil)
+	cnt := &counter{}
+	aRef, _ := a.Export(cnt)
+	relayRef, _ := b.Export(&relay{})
+	relayAtC := handoff(t, relayRef, c)
+	// C marshals A's owner handle (same process, wrong space): must be
+	// rejected, not silently misattributed.
+	if _, err := relayAtC.Call("Put", aRef); !errors.Is(err, ErrForeignRef) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestWrapRefErrors(t *testing.T) {
+	tn := newTestNet(t)
+	owner := tn.space("owner", nil)
+	client := tn.space("client", nil)
+	cnt := &counter{}
+	ref, _ := owner.Export(cnt)
+	sref := handoff(t, ref, client)
+
+	// Interface with no registered stub factory.
+	type fancy interface{ NotImplemented() error }
+	ft := reflect.TypeOf((*fancy)(nil)).Elem()
+	if _, err := client.wrapRef(sref, ft); !errors.Is(err, ErrNoStub) {
+		t.Fatalf("got %v", err)
+	}
+	// Non-interface, non-Ref target.
+	if _, err := client.wrapRef(sref, reflect.TypeOf(0)); err == nil {
+		t.Fatal("int target accepted")
+	}
+	// Owner handle at an interface its concrete does not implement.
+	if _, err := owner.wrapRef(ref, ft); err == nil {
+		t.Fatal("non-implementing concrete accepted")
+	}
+	// anyType and refPtrType succeed.
+	if v, err := client.wrapRef(sref, anyType); err != nil || v.Interface().(*Ref) != sref {
+		t.Fatalf("any wrap: %v %v", v, err)
+	}
+	if v, err := client.wrapRef(sref, refPtrType); err != nil || v.Interface().(*Ref) != sref {
+		t.Fatalf("ref wrap: %v %v", v, err)
+	}
+}
+
+func TestExportRejectsNonPointer(t *testing.T) {
+	tn := newTestNet(t)
+	owner := tn.space("owner", nil)
+	if _, err := owner.Export(counter{}); err == nil {
+		t.Fatal("value export accepted")
+	}
+	if _, err := owner.Export(42); err == nil {
+		t.Fatal("int export accepted")
+	}
+}
+
+func TestClosedSpaceOperationsFail(t *testing.T) {
+	tn := newTestNet(t)
+	owner := tn.space("owner", nil)
+	client := tn.space("client", nil)
+	ref, _ := owner.Export(&counter{})
+	w, _ := ref.WireRep()
+	sref, err := client.Import(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = client.Close()
+	if _, err := client.Import(w); !errors.Is(err, ErrSpaceClosed) {
+		t.Fatalf("import: %v", err)
+	}
+	if _, err := client.Export(&counter{}); !errors.Is(err, ErrSpaceClosed) {
+		t.Fatalf("export: %v", err)
+	}
+	if _, err := sref.Call("Value"); err == nil {
+		t.Fatal("call through closed space succeeded")
+	}
+	sref.Release() // must not panic or hang
+	if err := client.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+// pingPong calls back into its caller: A invokes B.Bounce, which invokes
+// a method on an object owned by A before returning — reentrant,
+// bidirectional traffic on one logical call chain.
+type pingPong struct{}
+
+func (p *pingPong) Bounce(back *Ref, n int64) (int64, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	out, err := back.Call("Bounce", back, n-1)
+	if err != nil {
+		return 0, err
+	}
+	return out[0].(int64) + 1, nil
+}
+
+func TestReentrantCallbacks(t *testing.T) {
+	tn := newTestNet(t)
+	a := tn.space("A", nil)
+	b := tn.space("B", nil)
+	// Both spaces export a pingPong; each calls back through the ref it
+	// is handed (which resolves to the concrete object at its owner).
+	aImpl, bImpl := &pingPong{}, &pingPong{}
+	aRef, _ := a.Export(aImpl)
+	bRef, _ := b.Export(bImpl)
+	bAtA := handoff(t, bRef, a)
+	aw, _ := aRef.WireRep()
+	aAtA, err := a.Import(aw) // A's own handle to pass along
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = aAtA
+	out, err := bAtA.Call("Bounce", bAtA, int64(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].(int64) != 6 {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestDeepThirdPartyChain(t *testing.T) {
+	// A reference hops through a chain of relays, each space registering
+	// with the owner as it goes; the final holder calls the origin.
+	tn := newTestNet(t)
+	const hops = 6
+	spaces := make([]*Space, hops)
+	for i := range spaces {
+		spaces[i] = tn.space("hop", nil)
+	}
+	cnt := &counter{}
+	origin, _ := spaces[0].Export(cnt)
+
+	current := origin
+	for i := 1; i < hops; i++ {
+		relayImpl := &relay{}
+		rRef, _ := spaces[i].Export(relayImpl)
+		w, _ := rRef.WireRep()
+		rAtPrev, err := spaces[i-1].Import(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rAtPrev.Call("Put", current); err != nil {
+			t.Fatalf("hop %d put: %v", i, err)
+		}
+		out, err := rRef.Call("Get") // local dispatch at spaces[i]
+		if err != nil {
+			t.Fatalf("hop %d get: %v", i, err)
+		}
+		current = out[0].(*Ref)
+		if current.Owner() != spaces[0].ID() {
+			t.Fatalf("hop %d: owner drifted", i)
+		}
+	}
+	if _, err := current.Call("Incr", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if cnt.n != 1 {
+		t.Fatalf("n=%d", cnt.n)
+	}
+	// Every hop is registered with the origin.
+	w, _ := origin.WireRep()
+	for i := 1; i < hops; i++ {
+		if !spaces[0].Exports().HoldsDirty(w.Index, spaces[i].ID()) {
+			t.Errorf("hop %d not in dirty set", i)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"netobjects/internal/pickle"
+	"netobjects/internal/transport"
+)
+
+func TestMultiTransportSpace(t *testing.T) {
+	// The owner listens on both TCP and inmem; its wireReps carry both
+	// endpoints. A TCP-only client and an inmem-only client each reach it
+	// through whichever endpoint their transport registry recognizes.
+	mem := transport.NewMem()
+	owner, err := NewSpace(Options{
+		Name:         "owner",
+		Transports:   []transport.Transport{transport.NewTCP(), mem},
+		Registry:     pickle.NewRegistry(),
+		PingInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = owner.Close() })
+	if len(owner.Endpoints()) != 2 {
+		t.Fatalf("endpoints: %v", owner.Endpoints())
+	}
+
+	cnt := &counter{}
+	ref, _ := owner.Export(cnt)
+	w, _ := ref.WireRep()
+	if len(w.Endpoints) != 2 {
+		t.Fatalf("wireRep endpoints: %v", w.Endpoints)
+	}
+
+	mk := func(name string, tr transport.Transport) *Space {
+		sp, err := NewSpace(Options{
+			Name:         name,
+			Transports:   []transport.Transport{tr},
+			Registry:     pickle.NewRegistry(),
+			PingInterval: time.Hour,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = sp.Close() })
+		return sp
+	}
+	tcpClient := mk("tcp-client", transport.NewTCP())
+	memClient := mk("mem-client", mem)
+
+	for _, cl := range []*Space{tcpClient, memClient} {
+		r, err := cl.Import(w)
+		if err != nil {
+			t.Fatalf("%v: %v", cl.ID(), err)
+		}
+		if _, err := r.Call("Incr", int64(1)); err != nil {
+			t.Fatalf("%v: %v", cl.ID(), err)
+		}
+	}
+	if cnt.n != 2 {
+		t.Fatalf("n=%d", cnt.n)
+	}
+	// Both clients are in the dirty set despite arriving over different
+	// transports.
+	for _, cl := range []*Space{tcpClient, memClient} {
+		if !owner.Exports().HoldsDirty(w.Index, cl.ID()) {
+			t.Fatalf("%v missing from dirty set", cl.ID())
+		}
+	}
+}
+
+func TestExportAgentOnce(t *testing.T) {
+	tn := newTestNet(t)
+	sp := tn.space("sp", nil)
+	if _, err := sp.ExportAgent(&relay{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.ExportAgent(&relay{}); err == nil {
+		t.Fatal("second agent accepted")
+	}
+}
+
+func TestListenFailureCleansUp(t *testing.T) {
+	mem := transport.NewMem()
+	if _, err := mem.Listen("taken"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := NewSpace(Options{
+		Transports:      []transport.Transport{mem},
+		ListenEndpoints: []string{"inmem:taken"},
+		Registry:        pickle.NewRegistry(),
+	})
+	if err == nil || !strings.Contains(err.Error(), "listen") {
+		t.Fatalf("got %v", err)
+	}
+	// The namespace must not be left half-claimed: a fresh space on a new
+	// address still works.
+	sp, err := NewSpace(Options{
+		Transports: []transport.Transport{mem},
+		Registry:   pickle.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sp.Close()
+}
+
+func TestUnknownTransportEndpointSkipped(t *testing.T) {
+	// A wireRep listing an endpoint for a transport this space does not
+	// speak, followed by one it does, must still resolve.
+	tn := newTestNet(t)
+	owner := tn.space("owner", nil)
+	client := tn.space("client", nil)
+	ref, _ := owner.Export(&counter{})
+	w, _ := ref.WireRep()
+	w.Endpoints = append([]string{"carrier-pigeon:coop-7"}, w.Endpoints...)
+	r, err := client.Import(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Call("Value"); err != nil {
+		t.Fatal(err)
+	}
+	// All-unknown endpoints fail cleanly.
+	w2, _ := ref.WireRep()
+	w2.Endpoints = []string{"carrier-pigeon:coop-7"}
+	w2.Index++ // force a fresh key so the cached surrogate is not reused
+	if _, err := client.Import(w2); !errors.Is(err, transport.ErrNoEndpoint) {
+		t.Fatalf("got %v", err)
+	}
+}

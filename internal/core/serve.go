@@ -1,0 +1,254 @@
+package core
+
+import (
+	"reflect"
+	"time"
+
+	"netobjects/internal/pickle"
+	"netobjects/internal/transport"
+	"netobjects/internal/wire"
+)
+
+// acceptLoop accepts connections on one listener until it closes.
+func (sp *Space) acceptLoop(l transport.Listener) {
+	defer sp.wg.Done()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		sp.wg.Add(1)
+		go sp.serveConn(c)
+	}
+}
+
+// serveConn handles one inbound connection: a lock-step sequence of
+// request/response exchanges. Inbound connections are registered so Close
+// can unblock their reads.
+func (sp *Space) serveConn(c transport.Conn) {
+	defer sp.wg.Done()
+	defer c.Close()
+
+	// Unblock the read when the space closes.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-sp.closedCh:
+			_ = c.Close()
+		case <-stop:
+		}
+	}()
+
+	var buf []byte
+	for {
+		frame, err := c.Recv(buf)
+		if err != nil {
+			return
+		}
+		buf = frame
+		msg, err := wire.Unmarshal(frame)
+		if err != nil {
+			sp.log.Debug("protocol error on inbound connection", "peer", c.RemoteLabel(), "err", err)
+			return
+		}
+		var reply wire.Message
+		switch m := msg.(type) {
+		case *wire.Call:
+			if !sp.handleCall(c, m) {
+				return
+			}
+			continue
+		case *wire.Dirty:
+			reply = sp.handleDirty(m)
+		case *wire.Clean:
+			reply = sp.handleClean(m)
+		case *wire.CleanBatch:
+			reply = sp.handleCleanBatch(m)
+		case *wire.Ping:
+			reply = &wire.PingAck{From: sp.id}
+		case *wire.Lease:
+			reply = sp.handleLease(m)
+		default:
+			sp.log.Debug("unexpected message", "op", msg.Op().String(), "peer", c.RemoteLabel())
+			return
+		}
+		if err := c.Send(wire.Marshal(nil, reply)); err != nil {
+			return
+		}
+	}
+}
+
+func (sp *Space) handleDirty(m *wire.Dirty) *wire.DirtyAck {
+	sp.count(func(s *Stats) { s.DirtyServed++ })
+	if sp.isClosed() {
+		return &wire.DirtyAck{Status: wire.StatusNoSuchObject, Err: "space closing"}
+	}
+	if err := sp.exports.Dirty(m.Obj, m.Client, m.Seq, m.ClientEndpoints); err != nil {
+		return &wire.DirtyAck{Status: wire.StatusNoSuchObject, Err: err.Error()}
+	}
+	// A dirty call implicitly starts the client's lease.
+	if sp.leases != nil {
+		sp.leases.Renew(m.Client)
+	}
+	return &wire.DirtyAck{Status: wire.StatusOK}
+}
+
+func (sp *Space) handleLease(m *wire.Lease) *wire.LeaseAck {
+	sp.count(func(s *Stats) { s.LeasesServed++ })
+	if sp.leases == nil {
+		// Not in lease mode: renewals are harmless no-ops so mixed
+		// deployments interoperate.
+		return &wire.LeaseAck{Status: wire.StatusOK}
+	}
+	sp.leases.Renew(m.Client)
+	return &wire.LeaseAck{
+		Status:        wire.StatusOK,
+		GrantedMillis: uint64(sp.leases.TTL().Milliseconds()),
+	}
+}
+
+func (sp *Space) handleClean(m *wire.Clean) *wire.CleanAck {
+	sp.count(func(s *Stats) { s.CleanServed++ })
+	sp.exports.Clean(m.Obj, m.Client, m.Seq, m.Strong)
+	return &wire.CleanAck{Status: wire.StatusOK}
+}
+
+func (sp *Space) handleCleanBatch(m *wire.CleanBatch) *wire.CleanAck {
+	sp.count(func(s *Stats) { s.CleanServed += uint64(len(m.Objs)) })
+	for i := range m.Objs {
+		strong := false
+		if i < len(m.Strongs) {
+			strong = m.Strongs[i]
+		}
+		seq := uint64(0)
+		if i < len(m.Seqs) {
+			seq = m.Seqs[i]
+		}
+		sp.exports.Clean(m.Objs[i], m.Client, seq, strong)
+	}
+	return &wire.CleanAck{Status: wire.StatusOK}
+}
+
+// handleCall dispatches one remote invocation and sends its Result. When
+// the result carries network references it waits for the caller's
+// ResultAck before releasing the transient dirty entries. It reports
+// whether the connection is still usable.
+func (sp *Space) handleCall(c transport.Conn, call *wire.Call) bool {
+	sp.count(func(s *Stats) { s.CallsServed++ })
+	session := &callSession{sp: sp}
+	res := sp.executeCall(call, session)
+	res.NeedAck = session.pinned()
+
+	// Under the FIFO variant, argument decoding may have queued
+	// registrations that ran concurrently with the method; the reply
+	// asserts this space is registered for every reference it received,
+	// so settle them before answering.
+	session.waitPending()
+	if err := c.Send(wire.Marshal(nil, res)); err != nil {
+		session.unpinAll()
+		return false
+	}
+	if !res.NeedAck {
+		return true
+	}
+	// Wait for the caller to confirm it has registered the returned
+	// references; bound the wait so a dead caller cannot pin the entries
+	// forever (its references are then protected by its own dirty calls,
+	// made during unmarshaling, or were never created).
+	sp.count(func(s *Stats) { s.ResultAcksWaited++ })
+	_ = c.SetDeadline(time.Now().Add(sp.opts.CallTimeout))
+	ok := false
+	if frame, err := c.Recv(nil); err == nil {
+		if msg, err := wire.Unmarshal(frame); err == nil {
+			_, ok = msg.(*wire.ResultAck)
+		}
+	}
+	_ = c.SetDeadline(time.Time{})
+	session.unpinAll()
+	return ok
+}
+
+// executeCall runs one invocation end to end: object lookup, fingerprint
+// check, argument decoding, method invocation and result encoding.
+func (sp *Space) executeCall(call *wire.Call, session *callSession) *wire.Result {
+	ent, ok := sp.exports.Lookup(call.Obj)
+	if !ok {
+		return &wire.Result{Status: wire.StatusNoSuchObject, Err: "object not in export table"}
+	}
+	if call.Fingerprint != 0 && !ent.AcceptsFingerprint(call.Fingerprint) {
+		return &wire.Result{Status: wire.StatusBadFingerprint,
+			Err: "stub was generated from a different interface version"}
+	}
+	mi, err := lookupMethod(ent.Obj, call.Method)
+	if err != nil {
+		return &wire.Result{Status: wire.StatusNoSuchMethod, Err: err.Error()}
+	}
+
+	var args []reflect.Value
+	if call.Typed {
+		vals, err := sp.pickler.UnmarshalSession(call.Args, mi.params, session)
+		if err != nil {
+			return &wire.Result{Status: wire.StatusMarshal, Err: "decoding arguments: " + err.Error()}
+		}
+		args = vals
+	} else {
+		anys, err := sp.pickler.UnmarshalAnySession(call.Args, session)
+		if err != nil {
+			return &wire.Result{Status: wire.StatusMarshal, Err: "decoding arguments: " + err.Error()}
+		}
+		if len(anys) != len(mi.params) {
+			return &wire.Result{Status: wire.StatusNoSuchMethod,
+				Err: "wrong argument count for " + call.Method}
+		}
+		args = make([]reflect.Value, len(anys))
+		for i, a := range anys {
+			v, err := sp.assignArg(mi.params[i], a)
+			if err != nil {
+				return &wire.Result{Status: wire.StatusMarshal, Err: "binding arguments: " + err.Error()}
+			}
+			args[i] = v
+		}
+	}
+
+	outs, appErr, rerr := mi.invoke(args)
+	if rerr != nil {
+		sp.log.Error("method panicked", "method", call.Method, "err", rerr)
+		return &wire.Result{Status: wire.StatusInternal, Err: rerr.Error()}
+	}
+
+	var resultBytes []byte
+	if call.Typed {
+		resultBytes, err = sp.pickler.MarshalSession(nil, outs, session)
+	} else {
+		anys := make([]any, len(outs))
+		for i, o := range outs {
+			anys[i] = o.Interface()
+		}
+		resultBytes, err = sp.pickler.MarshalAnySession(nil, anys, session)
+	}
+	if err != nil {
+		session.unpinAll()
+		return &wire.Result{Status: wire.StatusMarshal, Err: "encoding results: " + err.Error()}
+	}
+	res := &wire.Result{Status: wire.StatusOK, Results: resultBytes}
+	if appErr != nil {
+		res.Status = wire.StatusAppError
+		res.Err = appErr.Error()
+	}
+	return res
+}
+
+// acceptsFingerprint reports whether a typed call bearing fp may dispatch
+// on obj: fp must match the concrete method set or a registered remote
+// interface obj implements.
+func acceptsFingerprint(sp *Space, obj any, fp uint64) bool {
+	for _, f := range sp.fingerprintsFor(obj) {
+		if f == fp {
+			return true
+		}
+	}
+	return false
+}
+
+var _ = pickle.Fingerprint // fingerprints are computed in ref.go

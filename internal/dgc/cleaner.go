@@ -1,0 +1,333 @@
+// Package dgc implements the daemons of the distributed garbage collector:
+// the cleaning daemon that delivers clean calls to owners, and the ping
+// daemon through which an owner detects terminated clients.
+//
+// The daemons contain no protocol I/O of their own — the runtime injects
+// callbacks — so the retry and liveness policies can be tested in
+// isolation and reused by the model checker. This mirrors the paper's "to
+// do table" discipline: rules only enqueue work; a background daemon
+// drains the queues and generates the messages.
+package dgc
+
+import (
+	"errors"
+	"log/slog"
+	"sync"
+	"time"
+
+	"netobjects/internal/wire"
+)
+
+// ErrAbandoned reports a clean call given up after exhausting retries,
+// which the runtime treats as the owner having terminated.
+var ErrAbandoned = errors.New("dgc: clean call abandoned")
+
+// CleanerConfig wires a Cleaner to the runtime.
+type CleanerConfig struct {
+	// Begin prepares a queued (non-strong) clean: it is the do_clean_call
+	// transition, returning the sequence number and owner endpoints, or
+	// ok=false when the reference was resurrected and the clean must be
+	// skipped. Strong cleans bypass Begin: their sequence number was
+	// allocated when the failed dirty call was abandoned.
+	Begin func(key wire.Key) (seq uint64, endpoints []string, ok bool)
+	// Send delivers one clean call and waits for its acknowledgement.
+	Send func(key wire.Key, endpoints []string, seq uint64, strong bool) error
+	// Finish is the receive_clean_ack transition for entry-bearing cleans:
+	// err == nil acknowledges the clean; non-nil abandons the reference.
+	// It returns redo=true with a fresh sequence number when a copy of the
+	// reference arrived while the clean was in transit (ccitnil) and a new
+	// dirty call must be made.
+	Finish func(key wire.Key, err error) (redo bool, seq uint64)
+	// Redo performs the dirty call demanded by a ccitnil redo and reports
+	// its outcome to the import table.
+	Redo func(key wire.Key, endpoints []string, seq uint64)
+	// SendBatch, when non-nil, delivers several clean calls addressed to
+	// one owner in a single exchange — the message batching the paper
+	// lists among its cost reductions. The cleaner groups queued cleans
+	// by owner opportunistically; batches of one still go through Send.
+	SendBatch func(owner wire.SpaceID, endpoints []string, items []CleanItem) error
+
+	// MaxAttempts bounds delivery attempts per clean call (default 8).
+	MaxAttempts int
+	// Backoff is the delay before the first retry, doubling per attempt
+	// and capped at 32x (default 10ms).
+	Backoff time.Duration
+	// Logger receives retry and abandonment events; nil discards them.
+	Logger *slog.Logger
+}
+
+type cleanItem struct {
+	key       wire.Key
+	endpoints []string
+	seq       uint64 // pre-allocated for strong cleans; 0 otherwise
+	strong    bool
+}
+
+// CleanItem is one member of a batched clean call.
+type CleanItem struct {
+	// Key names the reference being cleaned.
+	Key wire.Key
+	// Seq is the clean's sequence number.
+	Seq uint64
+	// Strong marks a strong clean.
+	Strong bool
+}
+
+// Cleaner is the cleaning daemon: a queue of clean calls drained by one
+// background worker, matching the single "cleaning demon" of the paper.
+type Cleaner struct {
+	cfg CleanerConfig
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []cleanItem
+	closed bool
+	idle   bool
+
+	wg sync.WaitGroup
+}
+
+// NewCleaner starts a cleaning daemon.
+func NewCleaner(cfg CleanerConfig) *Cleaner {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 8
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 10 * time.Millisecond
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	c := &Cleaner{cfg: cfg}
+	c.cond = sync.NewCond(&c.mu)
+	c.wg.Add(1)
+	go c.run()
+	return c
+}
+
+// Schedule enqueues a clean call for a released reference. The sequence
+// number is allocated by Begin when the call is actually sent, so a copy
+// of the reference arriving in the meantime can still cancel it.
+func (c *Cleaner) Schedule(key wire.Key, endpoints []string) {
+	c.enqueue(cleanItem{key: key, endpoints: endpoints})
+}
+
+// ScheduleStrong enqueues a strong clean with a pre-allocated sequence
+// number, issued after a dirty call failed with unknown outcome.
+func (c *Cleaner) ScheduleStrong(key wire.Key, endpoints []string, seq uint64) {
+	c.enqueue(cleanItem{key: key, endpoints: endpoints, seq: seq, strong: true})
+}
+
+func (c *Cleaner) enqueue(it cleanItem) {
+	c.mu.Lock()
+	if !c.closed {
+		c.queue = append(c.queue, it)
+	}
+	c.mu.Unlock()
+	c.cond.Signal()
+}
+
+// Close stops the daemon after the current delivery attempt. Queued cleans
+// are dropped; the process is terminating and owners will reclaim via
+// their ping daemons.
+func (c *Cleaner) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	c.wg.Wait()
+}
+
+// Drain blocks until the queue is empty and the worker idle, or the
+// timeout elapses; it reports whether the queue drained. Tests and orderly
+// shutdown use it to let scheduled cleans reach their owners.
+func (c *Cleaner) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		drained := len(c.queue) == 0 && c.idle
+		closed := c.closed
+		c.mu.Unlock()
+		if drained || closed {
+			return drained
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (c *Cleaner) run() {
+	defer c.wg.Done()
+	for {
+		c.mu.Lock()
+		c.idle = true
+		for len(c.queue) == 0 && !c.closed {
+			c.cond.Wait()
+		}
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		it := c.queue[0]
+		c.queue = c.queue[1:]
+		var batch []cleanItem
+		if c.cfg.SendBatch != nil {
+			// Opportunistically take every other queued clean addressed
+			// to the same owner.
+			rest := c.queue[:0]
+			for _, q := range c.queue {
+				if q.key.Owner == it.key.Owner {
+					batch = append(batch, q)
+				} else {
+					rest = append(rest, q)
+				}
+			}
+			c.queue = rest
+		}
+		c.idle = false
+		c.mu.Unlock()
+		if len(batch) == 0 {
+			c.process(it)
+		} else {
+			c.processBatch(append([]cleanItem{it}, batch...))
+		}
+	}
+}
+
+// processBatch delivers several cleans to one owner in a single exchange,
+// then settles each member individually.
+func (c *Cleaner) processBatch(items []cleanItem) {
+	var ready []cleanItem // with seq/endpoints resolved
+	var eps []string
+	var wireItems []CleanItem
+	for _, it := range items {
+		seq, itEps, strong := it.seq, it.endpoints, it.strong
+		if !strong {
+			var ok bool
+			seq, itEps, ok = c.cfg.Begin(it.key)
+			if !ok {
+				continue // resurrected: skip silently
+			}
+		}
+		if len(itEps) > 0 {
+			eps = itEps
+		}
+		it.seq, it.endpoints = seq, itEps
+		ready = append(ready, it)
+		wireItems = append(wireItems, CleanItem{Key: it.key, Seq: seq, Strong: strong})
+	}
+	if len(ready) == 0 {
+		return
+	}
+	if len(ready) == 1 {
+		c.finishOne(ready[0], c.deliver(ready[0].key, eps, ready[0].seq, ready[0].strong))
+		return
+	}
+	err := c.deliverBatch(ready[0].key.Owner, eps, wireItems)
+	for _, it := range ready {
+		c.finishOne(it, err)
+	}
+}
+
+// finishOne settles one clean outcome, handling the ccitnil redo.
+func (c *Cleaner) finishOne(it cleanItem, err error) {
+	if it.strong {
+		if err != nil {
+			c.cfg.Logger.Warn("dgc: strong clean abandoned", "key", it.key.String(), "err", err)
+		}
+		return
+	}
+	redo, redoSeq := c.cfg.Finish(it.key, err)
+	if redo {
+		c.cfg.Redo(it.key, it.endpoints, redoSeq)
+	}
+}
+
+// deliverBatch sends one batched clean exchange with the same retry
+// policy as single cleans.
+func (c *Cleaner) deliverBatch(owner wire.SpaceID, eps []string, items []CleanItem) error {
+	backoff := c.cfg.Backoff
+	var lastErr error
+	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
+		if c.isClosed() {
+			return ErrAbandoned
+		}
+		lastErr = c.cfg.SendBatch(owner, eps, items)
+		if lastErr == nil {
+			return nil
+		}
+		c.cfg.Logger.Debug("dgc: batched clean failed",
+			"owner", owner.String(), "count", len(items), "attempt", attempt, "err", lastErr)
+		if attempt == c.cfg.MaxAttempts {
+			break
+		}
+		time.Sleep(backoff)
+		if backoff < 32*c.cfg.Backoff {
+			backoff *= 2
+		}
+	}
+	return errors.Join(ErrAbandoned, lastErr)
+}
+
+func (c *Cleaner) process(it cleanItem) {
+	seq := it.seq
+	eps := it.endpoints
+	if !it.strong {
+		var ok bool
+		seq, eps, ok = c.cfg.Begin(it.key)
+		if !ok {
+			// Resurrected (receive_copy cancelled the clean) or already
+			// gone: nothing to send.
+			return
+		}
+	}
+	err := c.deliver(it.key, eps, seq, it.strong)
+	if it.strong {
+		// Strong cleans have no import entry to settle; an abandoned one
+		// means the owner is unreachable and will reclaim via pinging.
+		if err != nil {
+			c.cfg.Logger.Warn("dgc: strong clean abandoned", "key", it.key.String(), "err", err)
+		}
+		return
+	}
+	redo, redoSeq := c.cfg.Finish(it.key, err)
+	if redo {
+		c.cfg.Redo(it.key, eps, redoSeq)
+	}
+}
+
+// deliver sends one clean call, retrying with exponential backoff and the
+// same sequence number, exactly as the paper prescribes ("the cleanup
+// demon merely leaves the request on its queue, keeping the same sequence
+// number").
+func (c *Cleaner) deliver(key wire.Key, eps []string, seq uint64, strong bool) error {
+	backoff := c.cfg.Backoff
+	var lastErr error
+	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
+		if c.isClosed() {
+			return ErrAbandoned
+		}
+		lastErr = c.cfg.Send(key, eps, seq, strong)
+		if lastErr == nil {
+			return nil
+		}
+		c.cfg.Logger.Debug("dgc: clean call failed",
+			"key", key.String(), "attempt", attempt, "err", lastErr)
+		if attempt == c.cfg.MaxAttempts {
+			break
+		}
+		time.Sleep(backoff)
+		if backoff < 32*c.cfg.Backoff {
+			backoff *= 2
+		}
+	}
+	return errors.Join(ErrAbandoned, lastErr)
+}
+
+func (c *Cleaner) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}

@@ -1,0 +1,148 @@
+package dgc
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+
+	"netobjects/internal/wire"
+)
+
+// This file implements lease-based client liveness — the alternative to
+// owner-driven pinging that Java RMI adopted (the formalisation of
+// Birrell's algorithm notes both designs). Instead of the owner probing
+// clients, every client periodically renews a lease with each owner it
+// holds references from; an owner drops the dirty entries of clients
+// whose lease lapses. Leases trade the pinging design's prompt detection
+// for client-paced traffic and no owner→client connectivity requirement.
+
+// Leases is the owner-side lease table: the last renewal time per client.
+// A client's lease is implicitly started by its first dirty call and must
+// be renewed within the TTL thereafter.
+type Leases struct {
+	ttl time.Duration
+
+	mu      sync.Mutex
+	renewed map[wire.SpaceID]time.Time
+}
+
+// NewLeases returns a lease table with the given time-to-live.
+func NewLeases(ttl time.Duration) *Leases {
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	return &Leases{ttl: ttl, renewed: make(map[wire.SpaceID]time.Time)}
+}
+
+// TTL returns the granted lease duration.
+func (l *Leases) TTL() time.Duration { return l.ttl }
+
+// Renew stamps a client's lease.
+func (l *Leases) Renew(id wire.SpaceID) {
+	l.mu.Lock()
+	l.renewed[id] = time.Now()
+	l.mu.Unlock()
+}
+
+// Expired returns the clients among candidates whose lease has lapsed.
+// A candidate with no lease record (the owner restarted, or the entry
+// predates lease mode) is granted a fresh lease rather than dropped, so a
+// single sweep can never evict a live client spuriously.
+func (l *Leases) Expired(candidates []wire.SpaceID) []wire.SpaceID {
+	now := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []wire.SpaceID
+	for _, id := range candidates {
+		last, ok := l.renewed[id]
+		if !ok {
+			l.renewed[id] = now
+			continue
+		}
+		if now.Sub(last) > l.ttl {
+			out = append(out, id)
+			delete(l.renewed, id)
+		}
+	}
+	return out
+}
+
+// Forget drops a client's lease record (after its dirty entries are gone).
+func (l *Leases) Forget(id wire.SpaceID) {
+	l.mu.Lock()
+	delete(l.renewed, id)
+	l.mu.Unlock()
+}
+
+// RenewerConfig wires a Renewer to the runtime.
+type RenewerConfig struct {
+	// Interval is the renewal period; it should be a fraction of the
+	// owners' TTL (default: 1s).
+	Interval time.Duration
+	// Owners snapshots the spaces this client currently holds live
+	// references from, with dialable endpoints.
+	Owners func() map[wire.SpaceID][]string
+	// Renew delivers one lease renewal.
+	Renew func(owner wire.SpaceID, endpoints []string) error
+	// Logger receives renewal failures; nil discards them.
+	Logger *slog.Logger
+}
+
+// Renewer is the client-side lease daemon: it periodically renews this
+// space's lease with every owner it holds surrogates from.
+type Renewer struct {
+	cfg    RenewerConfig
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+// NewRenewer starts a renewal daemon.
+func NewRenewer(cfg RenewerConfig) *Renewer {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	r := &Renewer{cfg: cfg, closed: make(chan struct{})}
+	r.wg.Add(1)
+	go r.run()
+	return r
+}
+
+// Close stops the daemon.
+func (r *Renewer) Close() {
+	r.once.Do(func() { close(r.closed) })
+	r.wg.Wait()
+}
+
+// Poke runs one renewal round immediately (tests).
+func (r *Renewer) Poke() { r.round() }
+
+func (r *Renewer) run() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			r.round()
+		case <-r.closed:
+			return
+		}
+	}
+}
+
+func (r *Renewer) round() {
+	for owner, eps := range r.cfg.Owners() {
+		select {
+		case <-r.closed:
+			return
+		default:
+		}
+		if err := r.cfg.Renew(owner, eps); err != nil {
+			r.cfg.Logger.Debug("dgc: lease renewal failed", "owner", owner.String(), "err", err)
+		}
+	}
+}

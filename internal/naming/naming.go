@@ -1,0 +1,171 @@
+// Package naming implements the bootstrap agent of the network objects
+// system: a per-space directory object exported at the well-known agent
+// index, through which processes publish and import objects by name.
+//
+// The original system ran one agent per machine (the netobjd daemon);
+// here any space can serve an agent, and the cmd/netobjd command runs a
+// dedicated one. Importing by name needs only an endpoint string — the
+// agent call is bootstrapped by index, and the reference it returns
+// carries the full wireRep of the named object, after which the normal
+// registration path (dirty call, surrogate creation) applies.
+package naming
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"netobjects/internal/core"
+	"netobjects/internal/wire"
+)
+
+// Directory errors.
+var (
+	// ErrNotFound reports a lookup of an unbound name.
+	ErrNotFound = errors.New("naming: name not bound")
+	// ErrExists reports a Bind over an existing binding (use Rebind).
+	ErrExists = errors.New("naming: name already bound")
+)
+
+// Agent is the directory object. Its exported methods are remotely
+// callable; bindings hold live references, so a bound object stays in its
+// owner's export table (the agent's space sits in the dirty set) until
+// unbound.
+type Agent struct {
+	mu      sync.Mutex
+	entries map[string]*core.Ref
+}
+
+// NewAgent returns an empty directory.
+func NewAgent() *Agent { return &Agent{entries: make(map[string]*core.Ref)} }
+
+// Bind publishes ref under name; it fails if the name is taken.
+func (a *Agent) Bind(name string, ref *core.Ref) error {
+	if name == "" || ref == nil {
+		return errors.New("naming: empty name or nil reference")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.entries[name]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	a.entries[name] = ref
+	return nil
+}
+
+// Rebind publishes ref under name, replacing (and releasing) any previous
+// binding.
+func (a *Agent) Rebind(name string, ref *core.Ref) error {
+	if name == "" || ref == nil {
+		return errors.New("naming: empty name or nil reference")
+	}
+	a.mu.Lock()
+	old := a.entries[name]
+	a.entries[name] = ref
+	a.mu.Unlock()
+	if old != nil && old != ref {
+		old.Release()
+	}
+	return nil
+}
+
+// Lookup resolves name to its bound reference.
+func (a *Agent) Lookup(name string) (*core.Ref, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ref, ok := a.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return ref, nil
+}
+
+// Unbind removes a binding and releases the agent's reference to the
+// object, allowing its owner to reclaim it once no other client holds it.
+func (a *Agent) Unbind(name string) error {
+	a.mu.Lock()
+	ref, ok := a.entries[name]
+	delete(a.entries, name)
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	ref.Release()
+	return nil
+}
+
+// List returns the bound names in sorted order.
+func (a *Agent) List() ([]string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	names := make([]string, 0, len(a.entries))
+	for n := range a.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Len reports the number of bindings.
+func (a *Agent) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.entries)
+}
+
+// Serve installs a fresh agent on sp at the well-known agent index and
+// returns it. A space serves at most one agent.
+func Serve(sp *core.Space) (*Agent, error) {
+	a := NewAgent()
+	if _, err := sp.ExportAgent(a); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Lookup imports the object bound to name at the agent reachable via
+// endpoint, registering this space with the object's owner.
+func Lookup(sp *core.Space, endpoint, name string) (*core.Ref, error) {
+	out, err := sp.CallEndpoint(endpoint, wire.AgentIndex, "Lookup", name)
+	if err != nil {
+		return nil, err
+	}
+	ref, ok := out[0].(*core.Ref)
+	if !ok {
+		return nil, fmt.Errorf("naming: agent returned %T", out[0])
+	}
+	return ref, nil
+}
+
+// Bind publishes ref at the agent reachable via endpoint.
+func Bind(sp *core.Space, endpoint, name string, ref *core.Ref) error {
+	_, err := sp.CallEndpoint(endpoint, wire.AgentIndex, "Bind", name, ref)
+	return err
+}
+
+// Rebind publishes ref at the agent reachable via endpoint, replacing any
+// existing binding.
+func Rebind(sp *core.Space, endpoint, name string, ref *core.Ref) error {
+	_, err := sp.CallEndpoint(endpoint, wire.AgentIndex, "Rebind", name, ref)
+	return err
+}
+
+// Unbind removes a binding at the agent reachable via endpoint.
+func Unbind(sp *core.Space, endpoint, name string) error {
+	_, err := sp.CallEndpoint(endpoint, wire.AgentIndex, "Unbind", name)
+	return err
+}
+
+// List returns the names bound at the agent reachable via endpoint.
+func List(sp *core.Space, endpoint string) ([]string, error) {
+	out, err := sp.CallEndpoint(endpoint, wire.AgentIndex, "List")
+	if err != nil {
+		return nil, err
+	}
+	names, ok := out[0].([]string)
+	if !ok && out[0] != nil {
+		return nil, fmt.Errorf("naming: agent returned %T", out[0])
+	}
+	return names, nil
+}

@@ -1,0 +1,408 @@
+// Package objtable implements the per-space object tables of the network
+// objects runtime: the export table an owner keeps for its concrete
+// objects, and the import table a client keeps for its surrogates.
+//
+// The export table records, per exported object, the dirty set — which
+// client spaces hold surrogates — together with the largest dirty/clean
+// sequence number seen from each client, and a pin count standing in for
+// the transient dirty entries that keep an object alive while a reference
+// to it is in transit. The import table drives each remote reference
+// through the life cycle of Birrell's algorithm, including the ccitnil
+// state ("clean call in transit, reference wanted again") that the
+// formalisation showed is required for correctness.
+//
+// The package is pure bookkeeping: it performs no I/O and holds no locks
+// while the runtime is on the network, which keeps every state transition
+// an atomic critical section exactly as the formal rules require.
+package objtable
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+
+	"netobjects/internal/wire"
+)
+
+// Export table errors.
+var (
+	// ErrNoSuchObject reports an operation on an index absent from the
+	// export table (never exported, withdrawn, or already collected).
+	ErrNoSuchObject = errors.New("objtable: no such exported object")
+	// ErrNotExportable reports an attempt to export a value that cannot be
+	// tracked by identity.
+	ErrNotExportable = errors.New("objtable: object is not exportable (must be a pointer or other comparable reference type)")
+	// ErrIndexInUse reports an ExportAt collision on a well-known index.
+	ErrIndexInUse = errors.New("objtable: index already in use")
+)
+
+// ExportEntry is the owner-side record for one exported object.
+// All mutation goes through Exports methods; an entry obtained from
+// Lookup must be treated as read-only snapshot data.
+type ExportEntry struct {
+	// Index is the object's slot in the table.
+	Index uint64
+	// Obj is the concrete object.
+	Obj any
+	// Fingerprints are the method-set fingerprints accepted on typed
+	// calls: the concrete object's own, plus those of the remote
+	// interfaces it was exported as implementing.
+	Fingerprints []uint64
+	// Pinned marks well-known objects (such as the agent) that are never
+	// withdrawn even with an empty dirty set.
+	Pinned bool
+
+	clients map[wire.SpaceID]*clientInfo
+	pins    int
+}
+
+// clientInfo tracks one client space's relationship to an exported object.
+type clientInfo struct {
+	// inSet reports current dirty-set membership.
+	inSet bool
+	// lastSeq is the largest dirty/clean sequence number seen from the
+	// client; operations with seq <= lastSeq are ignored (Birrell's
+	// sequence-number rule for out-of-order calls).
+	lastSeq uint64
+	// endpoints is where the owner can ping the client.
+	endpoints []string
+}
+
+// Exports is the export table of one space. The zero value is not usable;
+// construct with NewExports. Exports is safe for concurrent use.
+type Exports struct {
+	mu      sync.Mutex
+	next    uint64
+	byIndex map[uint64]*ExportEntry
+	byObj   map[any]uint64
+
+	// OnWithdraw, if non-nil, is called (without the table lock) after an
+	// entry is removed from the table because its dirty set emptied. The
+	// runtime uses it for tracing; tests use it to observe collection.
+	OnWithdraw func(index uint64, obj any)
+}
+
+// NewExports returns an empty export table.
+func NewExports() *Exports {
+	return &Exports{
+		next:    wire.FirstUserIndex,
+		byIndex: make(map[uint64]*ExportEntry),
+		byObj:   make(map[any]uint64),
+	}
+}
+
+// exportable reports whether obj can be used as an identity map key.
+func exportable(obj any) bool {
+	if obj == nil {
+		return false
+	}
+	switch reflect.TypeOf(obj).Kind() {
+	case reflect.Pointer, reflect.Chan, reflect.Map, reflect.UnsafePointer:
+		return true
+	default:
+		// Values are copied on interface conversion, so identity would be
+		// meaningless even when the kind is comparable.
+		return false
+	}
+}
+
+// Export adds obj to the table (or finds its existing entry) and returns
+// its index. Export is idempotent per object: marshaling the same concrete
+// object twice yields the same wireRep while the entry lives.
+func (e *Exports) Export(obj any, fingerprints []uint64) (uint64, error) {
+	if !exportable(obj) {
+		return 0, fmt.Errorf("%w: %T", ErrNotExportable, obj)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ix, ok := e.byObj[obj]; ok {
+		return ix, nil
+	}
+	ix := e.next
+	e.next++
+	e.byIndex[ix] = &ExportEntry{
+		Index:        ix,
+		Obj:          obj,
+		Fingerprints: fingerprints,
+		clients:      make(map[wire.SpaceID]*clientInfo),
+	}
+	e.byObj[obj] = ix
+	return ix, nil
+}
+
+// ExportAt places obj at a specific well-known index and pins it there.
+// It is how the bootstrap agent claims wire.AgentIndex.
+func (e *Exports) ExportAt(obj any, index uint64, fingerprints []uint64) error {
+	if !exportable(obj) {
+		return fmt.Errorf("%w: %T", ErrNotExportable, obj)
+	}
+	if index == wire.InvalidIndex {
+		return fmt.Errorf("objtable: cannot export at the invalid index")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.byIndex[index]; ok {
+		return fmt.Errorf("%w: %d", ErrIndexInUse, index)
+	}
+	if _, ok := e.byObj[obj]; ok {
+		return fmt.Errorf("objtable: object already exported")
+	}
+	e.byIndex[index] = &ExportEntry{
+		Index:        index,
+		Obj:          obj,
+		Fingerprints: fingerprints,
+		Pinned:       true,
+		clients:      make(map[wire.SpaceID]*clientInfo),
+	}
+	e.byObj[obj] = index
+	return nil
+}
+
+// AcceptsFingerprint reports whether fp is one of the entry's accepted
+// method-set fingerprints.
+func (ent *ExportEntry) AcceptsFingerprint(fp uint64) bool {
+	for _, f := range ent.Fingerprints {
+		if f == fp {
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup returns the entry at index. The returned entry must be treated as
+// read-only.
+func (e *Exports) Lookup(index uint64) (*ExportEntry, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent, ok := e.byIndex[index]
+	return ent, ok
+}
+
+// IndexOf returns the index obj is currently exported at, if any.
+func (e *Exports) IndexOf(obj any) (uint64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ix, ok := e.byObj[obj]
+	return ix, ok
+}
+
+// Dirty applies a dirty call: client joins the dirty set of the object at
+// index, provided seq exceeds the largest sequence number already seen
+// from that client. Stale calls are ignored without error, per the paper.
+func (e *Exports) Dirty(index uint64, client wire.SpaceID, seq uint64, endpoints []string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent, ok := e.byIndex[index]
+	if !ok {
+		return fmt.Errorf("%w: index %d", ErrNoSuchObject, index)
+	}
+	ci := ent.clients[client]
+	if ci == nil {
+		ci = &clientInfo{}
+		ent.clients[client] = ci
+	}
+	if seq <= ci.lastSeq {
+		return nil // out-of-order duplicate: no effect
+	}
+	ci.lastSeq = seq
+	ci.inSet = true
+	if len(endpoints) > 0 {
+		ci.endpoints = endpoints
+	}
+	return nil
+}
+
+// Clean applies a clean call: client leaves the dirty set if seq exceeds
+// the largest sequence number seen. Cleans for unknown objects or clients
+// are no-ops, as the paper specifies ("if it is not in the set, the clean
+// call is a no-op"). It returns the objects withdrawn from the table as a
+// result, already removed; the caller reports them via OnWithdraw.
+func (e *Exports) Clean(index uint64, client wire.SpaceID, seq uint64, strong bool) {
+	e.mu.Lock()
+	ent, ok := e.byIndex[index]
+	if !ok {
+		e.mu.Unlock()
+		return
+	}
+	ci := ent.clients[client]
+	if ci == nil {
+		// A strong clean must leave a tombstone so the dirty call it
+		// cancels is ignored if it arrives later.
+		if strong {
+			ent.clients[client] = &clientInfo{lastSeq: seq}
+		}
+		e.mu.Unlock()
+		return
+	}
+	// The sequence rule applies to strong cleans too: a strong clean that
+	// has been overtaken by a later dirty call (a fresh registration)
+	// must not clear it. "Strong" only changes the handling of unknown
+	// clients above, where a tombstone must be left for the dirty call
+	// the strong clean cancels.
+	if seq <= ci.lastSeq {
+		e.mu.Unlock()
+		return
+	}
+	ci.lastSeq = seq
+	ci.inSet = false
+	withdrawn := e.maybeWithdrawLocked(ent)
+	e.mu.Unlock()
+	if withdrawn != nil && e.OnWithdraw != nil {
+		e.OnWithdraw(withdrawn.Index, withdrawn.Obj)
+	}
+}
+
+// Pin adds a transient dirty entry: the object at index must survive while
+// a reference to it is in transit. Pins nest.
+func (e *Exports) Pin(index uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent, ok := e.byIndex[index]
+	if !ok {
+		return fmt.Errorf("%w: index %d", ErrNoSuchObject, index)
+	}
+	ent.pins++
+	return nil
+}
+
+// Unpin removes a transient dirty entry, withdrawing the object if that
+// leaves it unreferenced.
+func (e *Exports) Unpin(index uint64) {
+	e.mu.Lock()
+	ent, ok := e.byIndex[index]
+	if !ok {
+		e.mu.Unlock()
+		return
+	}
+	if ent.pins > 0 {
+		ent.pins--
+	}
+	withdrawn := e.maybeWithdrawLocked(ent)
+	e.mu.Unlock()
+	if withdrawn != nil && e.OnWithdraw != nil {
+		e.OnWithdraw(withdrawn.Index, withdrawn.Obj)
+	}
+}
+
+// maybeWithdrawLocked removes ent from the table if nothing references it:
+// no dirty-set member, no transient pin, not a pinned well-known object.
+// It returns the entry if it was withdrawn.
+func (e *Exports) maybeWithdrawLocked(ent *ExportEntry) *ExportEntry {
+	if ent.Pinned || ent.pins > 0 {
+		return nil
+	}
+	for _, ci := range ent.clients {
+		if ci.inSet {
+			return nil
+		}
+	}
+	delete(e.byIndex, ent.Index)
+	delete(e.byObj, ent.Obj)
+	return ent
+}
+
+// Sweep withdraws every unpinned entry whose dirty set is empty and that
+// has no reference in transit, returning the withdrawn indices. Emptiness
+// is normally acted on at clean/unpin transitions; Sweep is the
+// local-collector integration point for entries that never made those
+// transitions (exported but never imported) — the "object table cleanup"
+// of the paper.
+func (e *Exports) Sweep() []uint64 {
+	e.mu.Lock()
+	var withdrawn []*ExportEntry
+	for _, ent := range e.byIndex {
+		if w := e.maybeWithdrawLocked(ent); w != nil {
+			withdrawn = append(withdrawn, w)
+		}
+	}
+	e.mu.Unlock()
+	ixs := make([]uint64, 0, len(withdrawn))
+	for _, w := range withdrawn {
+		ixs = append(ixs, w.Index)
+		if e.OnWithdraw != nil {
+			e.OnWithdraw(w.Index, w.Obj)
+		}
+	}
+	return ixs
+}
+
+// DropClient removes client from every dirty set — the owner's response to
+// a client it believes has terminated — and returns the indices withdrawn
+// as a result.
+func (e *Exports) DropClient(client wire.SpaceID) []uint64 {
+	e.mu.Lock()
+	var withdrawn []*ExportEntry
+	for _, ent := range e.byIndex {
+		if _, ok := ent.clients[client]; !ok {
+			continue
+		}
+		delete(ent.clients, client)
+		if w := e.maybeWithdrawLocked(ent); w != nil {
+			withdrawn = append(withdrawn, w)
+		}
+	}
+	e.mu.Unlock()
+	ixs := make([]uint64, 0, len(withdrawn))
+	for _, w := range withdrawn {
+		ixs = append(ixs, w.Index)
+		if e.OnWithdraw != nil {
+			e.OnWithdraw(w.Index, w.Obj)
+		}
+	}
+	return ixs
+}
+
+// Clients snapshots every client currently in some dirty set, with the
+// endpoints it can be pinged at. The ping daemon drives on this.
+func (e *Exports) Clients() map[wire.SpaceID][]string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[wire.SpaceID][]string)
+	for _, ent := range e.byIndex {
+		for id, ci := range ent.clients {
+			if ci.inSet && out[id] == nil {
+				out[id] = ci.endpoints
+			}
+		}
+	}
+	return out
+}
+
+// HoldsDirty reports whether client is in the dirty set of the object at
+// index; exposed for tests and the benchmark harness.
+func (e *Exports) HoldsDirty(index uint64, client wire.SpaceID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent, ok := e.byIndex[index]
+	if !ok {
+		return false
+	}
+	ci := ent.clients[client]
+	return ci != nil && ci.inSet
+}
+
+// DebugDump renders the table state for tests and troubleshooting.
+func (e *Exports) DebugDump() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var b strings.Builder
+	for ix, ent := range e.byIndex {
+		fmt.Fprintf(&b, "ix=%d obj=%T pins=%d pinned=%v members=[", ix, ent.Obj, ent.pins, ent.Pinned)
+		for id, ci := range ent.clients {
+			if ci.inSet {
+				fmt.Fprintf(&b, "%v ", id)
+			}
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+// Len reports the number of live export entries.
+func (e *Exports) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.byIndex)
+}

@@ -1,0 +1,23 @@
+package objtable
+
+import "testing"
+
+func TestSweepWithdrawsIdleEntries(t *testing.T) {
+	e := NewExports()
+	ix1, _ := e.Export(&thing{n: 1}, nil)
+	ix2, _ := e.Export(&thing{n: 2}, nil)
+	e.Pin(ix2)
+	agent := &thing{n: 3}
+	_ = e.ExportAt(agent, 1, nil)
+	got := e.Sweep()
+	if len(got) != 1 || got[0] != ix1 {
+		t.Fatalf("swept %v, want [%d]", got, ix1)
+	}
+	if e.Len() != 2 {
+		t.Fatalf("len=%d", e.Len())
+	}
+	e.Unpin(ix2)
+	if e.Len() != 1 {
+		t.Fatalf("len=%d after unpin", e.Len())
+	}
+}

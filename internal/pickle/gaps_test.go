@@ -1,0 +1,283 @@
+package pickle
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"netobjects/internal/wire"
+)
+
+func TestAnySessionRoundTrip(t *testing.T) {
+	p := newTestPickler()
+	p.Registry().Register(inner{})
+	vals := []any{int64(1), "two", inner{Label: "x", N: 3}, nil, []byte{9}}
+	b, err := p.MarshalAnySession(nil, vals, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.UnmarshalAnySession(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(vals) {
+		t.Fatalf("got %d values", len(out))
+	}
+	if out[0].(int64) != 1 || out[1].(string) != "two" || out[3] != nil {
+		t.Fatalf("got %#v", out)
+	}
+	if out[2].(inner).N != 3 {
+		t.Fatalf("got %#v", out[2])
+	}
+	// Bogus claimed count must be rejected, not allocated.
+	e := wire.NewEncoder(nil)
+	e.Uint(1 << 60)
+	if _, err := p.UnmarshalAnySession(e.Bytes(), nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestConvertAssignExported(t *testing.T) {
+	dst := reflect.New(reflect.TypeOf(int32(0))).Elem()
+	if err := ConvertAssign(dst, reflect.ValueOf(int64(7))); err != nil || dst.Int() != 7 {
+		t.Fatalf("got %v %v", dst, err)
+	}
+	if err := ConvertAssign(dst, reflect.ValueOf(int64(1)<<40)); err == nil {
+		t.Fatal("overflow accepted")
+	}
+	sdst := reflect.New(reflect.TypeOf("")).Elem()
+	if err := ConvertAssign(sdst, reflect.ValueOf([]byte("hi"))); err != nil || sdst.String() != "hi" {
+		t.Fatalf("bytes->string: %v %v", sdst, err)
+	}
+	if err := ConvertAssign(dst, reflect.ValueOf("nope")); err == nil {
+		t.Fatal("string->int accepted")
+	}
+}
+
+func TestEmptyStructCollections(t *testing.T) {
+	p := newTestPickler()
+	// Zero-size elements encode to zero bytes; the count sanity check
+	// must not reject them, and huge legitimate lengths must work.
+	in := make([]struct{}, 100000)
+	b, err := p.Marshal(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []struct{}
+	if err := p.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len=%d", len(out))
+	}
+	m := map[string]struct{}{"a": {}, "b": {}}
+	got := rtOne(t, p, m).(map[string]struct{})
+	if len(got) != 2 {
+		t.Fatalf("map: %v", got)
+	}
+}
+
+type badBinary struct{ X int }
+
+func (b badBinary) MarshalBinary() ([]byte, error) { return nil, errors.New("refuse") }
+func (b *badBinary) UnmarshalBinary([]byte) error  { return errors.New("refuse") }
+
+func TestBinaryMarshalerErrors(t *testing.T) {
+	p := newTestPickler()
+	if _, err := p.Marshal(nil, badBinary{X: 1}); err == nil {
+		t.Fatal("marshal error swallowed")
+	}
+}
+
+type goodBinary struct{ x byte }
+
+func (g goodBinary) MarshalBinary() ([]byte, error) { return []byte{g.x}, nil }
+func (g *goodBinary) UnmarshalBinary(b []byte) error {
+	if len(b) != 1 {
+		return fmt.Errorf("want 1 byte, got %d", len(b))
+	}
+	g.x = b[0]
+	return nil
+}
+
+func TestBinaryMarshalerRoundTrip(t *testing.T) {
+	p := newTestPickler()
+	p.Registry().Register(goodBinary{})
+	got := rtOne(t, p, goodBinary{x: 42}).(goodBinary)
+	if got.x != 42 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestRegistryConflictsPanic(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterName("x", inner{})
+	r.RegisterName("x", inner{}) // idempotent: same pair
+	expectPanic(t, func() { r.RegisterName("x", outer{}) })
+	expectPanic(t, func() { r.RegisterName("y", inner{}) })
+	expectPanic(t, func() { r.RegisterName("", inner{}) })
+	expectPanic(t, func() { r.Register(nil) })
+}
+
+func expectPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestTypeNameForms(t *testing.T) {
+	cases := []struct {
+		v    any
+		want string
+	}{
+		{int(0), "int"},
+		{[]int(nil), "[]int"},
+		{[3]byte{}, "[3]uint8"},
+		{map[string][]int(nil), "map[string][]int"},
+		{(*inner)(nil), "*netobjects/internal/pickle.inner"},
+		{inner{}, "netobjects/internal/pickle.inner"},
+	}
+	for _, c := range cases {
+		if got := TypeName(reflect.TypeOf(c.v)); got != c.want {
+			t.Errorf("TypeName(%T) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSynthesizeNestedComposites(t *testing.T) {
+	r := NewRegistry()
+	r.Register(inner{})
+	for _, name := range []string{
+		"map[string][]*netobjects/internal/pickle.inner",
+		"[4][]netobjects/internal/pickle.inner",
+		"*map[int]string",
+	} {
+		if _, err := r.typeOf(name); err != nil {
+			t.Errorf("synthesize %q: %v", name, err)
+		}
+	}
+	for _, bad := range []string{"map[broken", "[zz]int", "ghost.Type", "[]ghost.Type"} {
+		if _, err := r.typeOf(bad); err == nil {
+			t.Errorf("synthesize %q: want error", bad)
+		}
+	}
+}
+
+func TestMaxDepthBoundary(t *testing.T) {
+	p := newTestPickler()
+	p.Registry().Register(&node{})
+	// A deep but acyclic chain within the limit round-trips.
+	var head *node
+	for i := 0; i < 1000; i++ {
+		head = &node{V: i, Next: head}
+	}
+	got := rtOne(t, p, head).(*node)
+	if got.V != 999 {
+		t.Fatalf("head %d", got.V)
+	}
+}
+
+func TestPointerToPointer(t *testing.T) {
+	p := newTestPickler()
+	n := 5
+	pp := &n
+	ppp := &pp
+	b, err := p.Marshal(nil, ppp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out **int
+	if err := p.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if **out != 5 {
+		t.Fatalf("got %d", **out)
+	}
+}
+
+func TestArrayOfStructsWithPointers(t *testing.T) {
+	p := newTestPickler()
+	shared := &inner{N: 1}
+	type cell struct{ P *inner }
+	type arr [3]cell
+	in := arr{{P: shared}, {P: shared}, {P: nil}}
+	got := rtOne(t, p, in).(arr)
+	if got[0].P != got[1].P {
+		t.Fatal("sharing lost inside array")
+	}
+	if got[2].P != nil {
+		t.Fatal("nil pointer materialized")
+	}
+}
+
+func TestTypedTupleRoundTrip(t *testing.T) {
+	// MarshalValues/UnmarshalValues is the generated-stub fast path: the
+	// tuple is encoded at declared static types, with no type names for
+	// concrete slots.
+	p := newTestPickler()
+	registerDeep(p, reflect.TypeOf(outer{}), map[reflect.Type]bool{})
+	vals := []reflect.Value{
+		reflect.ValueOf(int64(5)),
+		reflect.ValueOf("s"),
+		reflect.ValueOf(outer{Name: "o", Ptr: &inner{N: 2}}),
+		reflect.ValueOf([]float64{1.5, 2.5}),
+	}
+	typed, err := p.MarshalValues(nil, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The typed encoding must be smaller than the dynamic one for the
+	// same tuple (no type names).
+	dynamic, err := p.Marshal(nil, int64(5), "s", outer{Name: "o", Ptr: &inner{N: 2}}, []float64{1.5, 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(typed) >= len(dynamic) {
+		t.Errorf("typed encoding (%dB) not smaller than dynamic (%dB)", len(typed), len(dynamic))
+	}
+	types := []reflect.Type{
+		reflect.TypeOf(int64(0)), reflect.TypeOf(""),
+		reflect.TypeOf(outer{}), reflect.TypeOf([]float64(nil)),
+	}
+	out, err := p.UnmarshalValues(typed, types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Int() != 5 || out[1].String() != "s" {
+		t.Fatalf("got %v %v", out[0], out[1])
+	}
+	if o := out[2].Interface().(outer); o.Name != "o" || o.Ptr.N != 2 {
+		t.Fatalf("got %+v", o)
+	}
+	if xs := out[3].Interface().([]float64); len(xs) != 2 || xs[1] != 2.5 {
+		t.Fatalf("got %v", xs)
+	}
+	// Wrong arity rejected.
+	if _, err := p.UnmarshalValues(typed, types[:2]); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestTypedTupleInterfaceSlot(t *testing.T) {
+	// Interface-typed slots inside a typed tuple still carry dynamic type
+	// names, so any-typed parameters work on the fast path too.
+	p := newTestPickler()
+	p.Registry().Register(inner{})
+	vals := []reflect.Value{reflect.ValueOf(&struct{ V any }{V: inner{N: 9}}).Elem().Field(0)}
+	b, err := p.MarshalValues(nil, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.UnmarshalValues(b, []reflect.Type{reflect.TypeOf((*any)(nil)).Elem()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out[0].Interface().(inner); got.N != 9 {
+		t.Fatalf("got %+v", got)
+	}
+}

@@ -1,0 +1,179 @@
+package pickle
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"netobjects/internal/wire"
+)
+
+// fakeRef is a stand-in for the runtime's network reference handle.
+type fakeRef struct {
+	W wire.WireRep
+}
+
+// remoteThing is a user-level remote interface in these tests: any value
+// implementing it is passed by reference.
+type remoteThing interface {
+	Thing() string
+}
+
+// concreteThing is an owner-side implementation of remoteThing.
+type concreteThing struct{ name string }
+
+func (c *concreteThing) Thing() string { return c.name }
+
+// fakeRefs implements NetRefs: it handles *fakeRef and the remoteThing
+// interface, simulating auto-export of concrete implementations.
+type fakeRefs struct {
+	exported map[*concreteThing]wire.WireRep
+	imported []wire.WireRep
+	nextIx   uint64
+}
+
+func newFakeRefs() *fakeRefs {
+	return &fakeRefs{exported: make(map[*concreteThing]wire.WireRep), nextIx: wire.FirstUserIndex}
+}
+
+var (
+	fakeRefType    = reflect.TypeOf((*fakeRef)(nil))
+	remoteIfaceTyp = reflect.TypeOf((*remoteThing)(nil)).Elem()
+)
+
+func (f *fakeRefs) Handles(t reflect.Type) bool {
+	return t == fakeRefType || t == remoteIfaceTyp || t.Implements(remoteIfaceTyp)
+}
+
+func (f *fakeRefs) ToWire(_ any, v reflect.Value) (wire.WireRep, error) {
+	switch x := v.Interface().(type) {
+	case *fakeRef:
+		if x == nil {
+			return wire.WireRep{}, nil
+		}
+		return x.W, nil
+	case *concreteThing:
+		w, ok := f.exported[x]
+		if !ok {
+			w = wire.WireRep{Owner: 1, Endpoints: []string{"inmem:t"}, Index: f.nextIx}
+			f.nextIx++
+			f.exported[x] = w
+		}
+		return w, nil
+	default:
+		return wire.WireRep{}, fmt.Errorf("unexpected ref value %v", v.Type())
+	}
+}
+
+func (f *fakeRefs) FromWire(_ any, w wire.WireRep, t reflect.Type) (reflect.Value, error) {
+	f.imported = append(f.imported, w)
+	if t == remoteIfaceTyp {
+		// Simulate stub wrapping for the remote interface.
+		return reflect.ValueOf(&concreteThing{name: fmt.Sprintf("stub-%d", w.Index)}), nil
+	}
+	return reflect.ValueOf(&fakeRef{W: w}), nil
+}
+
+func TestNetRefStaticType(t *testing.T) {
+	refs := newFakeRefs()
+	p := New(NewRegistry(), refs)
+	in := &fakeRef{W: wire.WireRep{Owner: 7, Endpoints: []string{"tcp:h:1"}, Index: 3}}
+	b, err := p.Marshal(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out *fakeRef
+	if err := p.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.W.Owner != 7 || out.W.Index != 3 {
+		t.Fatalf("got %+v", out.W)
+	}
+}
+
+func TestNetRefInsideStructAndSlice(t *testing.T) {
+	refs := newFakeRefs()
+	p := New(NewRegistry(), refs)
+	type carrier struct {
+		Name string
+		Ref  *fakeRef
+		More []*fakeRef
+	}
+	p.Registry().Register(carrier{})
+	in := carrier{
+		Name: "c",
+		Ref:  &fakeRef{W: wire.WireRep{Owner: 1, Index: 10}},
+		More: []*fakeRef{{W: wire.WireRep{Owner: 2, Index: 20}}, nil},
+	}
+	b, err := p.Marshal(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out carrier
+	if err := p.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Ref.W.Index != 10 || out.More[0].W.Index != 20 {
+		t.Fatalf("got %+v", out)
+	}
+	// nil refs round-trip as refs with zero wireRep; the runtime maps those
+	// back to nil. Here the fake hook produces a non-nil ref with zero rep.
+	if out.More[1] == nil || !out.More[1].W.IsZero() {
+		t.Fatalf("nil ref: got %+v", out.More[1])
+	}
+}
+
+func TestNetRefAutoExportOfInterfaceValue(t *testing.T) {
+	refs := newFakeRefs()
+	p := New(NewRegistry(), refs)
+	impl := &concreteThing{name: "server-side"}
+	// Marshal at static type remoteThing: the hook should auto-export.
+	vals := []reflect.Value{reflect.ValueOf(&impl).Elem().Convert(remoteIfaceTyp)}
+	b, err := p.MarshalValues(nil, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs.exported) != 1 {
+		t.Fatalf("auto-export did not happen: %d", len(refs.exported))
+	}
+	out, err := p.UnmarshalValues(b, []reflect.Type{remoteIfaceTyp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out[0].Interface().(remoteThing)
+	if got.Thing() != "stub-2" {
+		t.Fatalf("got %q", got.Thing())
+	}
+}
+
+func TestNetRefDynamicInsideAny(t *testing.T) {
+	refs := newFakeRefs()
+	p := New(NewRegistry(), refs)
+	in := any(&fakeRef{W: wire.WireRep{Owner: 9, Index: 9}})
+	b, err := p.Marshal(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out any
+	if err := p.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	ref, ok := out.(*fakeRef)
+	if !ok || ref.W.Owner != 9 {
+		t.Fatalf("got %#v", out)
+	}
+}
+
+func TestNetRefWithoutHookErrors(t *testing.T) {
+	refs := newFakeRefs()
+	enc := New(NewRegistry(), refs)
+	b, err := enc.Marshal(nil, any(&fakeRef{W: wire.WireRep{Owner: 1, Index: 2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := New(NewRegistry(), nil)
+	var out any
+	if err := dec.Unmarshal(b, &out); err == nil {
+		t.Fatal("want error decoding net ref without hook")
+	}
+}

@@ -1,0 +1,92 @@
+package pickle
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// quickStruct exercises most codec paths with quick-generated values.
+type quickStruct struct {
+	B   bool
+	I   int64
+	U   uint32
+	F   float64
+	S   string
+	Bs  []byte
+	Is  []int
+	M   map[string]int16
+	P   *int64
+	Arr [3]uint8
+}
+
+func TestQuickStructRoundTrip(t *testing.T) {
+	p := newTestPickler()
+	registerDeep(p, reflect.TypeOf(quickStruct{}), map[reflect.Type]bool{})
+	f := func(in quickStruct) bool {
+		b, err := p.Marshal(nil, in)
+		if err != nil {
+			t.Logf("marshal: %v", err)
+			return false
+		}
+		var out quickStruct
+		if err := p.Unmarshal(b, &out); err != nil {
+			t.Logf("unmarshal: %v", err)
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNestedMaps(t *testing.T) {
+	p := newTestPickler()
+	f := func(in map[string]map[int64]string) bool {
+		b, err := p.Marshal(nil, in)
+		if err != nil {
+			return false
+		}
+		var out map[string]map[int64]string
+		if err := p.Unmarshal(b, &out); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBytesNeverPanicOnDecode(t *testing.T) {
+	p := newTestPickler()
+	f := func(junk []byte) bool {
+		var out any
+		_ = p.Unmarshal(junk, &out) // must not panic
+		var s quickStruct
+		_ = p.Unmarshal(junk, &s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStringsRoundTrip(t *testing.T) {
+	p := newTestPickler()
+	f := func(ss []string) bool {
+		b, err := p.Marshal(nil, ss)
+		if err != nil {
+			return false
+		}
+		var out []string
+		if err := p.Unmarshal(b, &out); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(ss, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

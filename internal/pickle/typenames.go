@@ -1,0 +1,266 @@
+package pickle
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry maps stable names to Go types so interface values can be pickled
+// with their dynamic type and reconstructed by a peer. The two sides of a
+// connection must register the same types under the same names, exactly as
+// with encoding/gob.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]reflect.Type
+	byType map[reflect.Type]string
+}
+
+// NewRegistry returns an empty registry with the built-in types
+// pre-registered.
+func NewRegistry() *Registry {
+	r := &Registry{
+		byName: make(map[string]reflect.Type),
+		byType: make(map[reflect.Type]string),
+	}
+	r.registerBuiltins()
+	return r
+}
+
+// DefaultRegistry is the registry used by picklers constructed with a nil
+// registry. Package-level Register calls add to it.
+var DefaultRegistry = NewRegistry()
+
+// Register records the dynamic type of v in the default registry under its
+// derived name. It is the pickle analogue of gob.Register.
+func Register(v any) { DefaultRegistry.Register(v) }
+
+// RegisterName records the dynamic type of v in the default registry under
+// an explicit name.
+func RegisterName(name string, v any) { DefaultRegistry.RegisterName(name, v) }
+
+// Register records the dynamic type of v under its derived name (see
+// TypeName).
+func (r *Registry) Register(v any) {
+	t := reflect.TypeOf(v)
+	if t == nil {
+		panic("pickle: Register(nil)")
+	}
+	r.RegisterName(TypeName(t), v)
+}
+
+// RegisterName records the dynamic type of v under name. Registering a
+// different type under an existing name, or an existing type under a
+// different name, panics: name clashes silently corrupt decoding.
+func (r *Registry) RegisterName(name string, v any) {
+	t := reflect.TypeOf(v)
+	if t == nil {
+		panic("pickle: RegisterName(nil)")
+	}
+	if name == "" {
+		panic("pickle: RegisterName with empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byName[name]; ok && prev != t {
+		panic(fmt.Sprintf("pickle: name %q already registered for %v", name, prev))
+	}
+	if prev, ok := r.byType[t]; ok && prev != name {
+		panic(fmt.Sprintf("pickle: type %v already registered as %q", t, prev))
+	}
+	r.byName[name] = t
+	r.byType[t] = name
+}
+
+// nameOf returns the registered or derivable name for t.
+func (r *Registry) nameOf(t reflect.Type) (string, error) {
+	r.mu.RLock()
+	name, ok := r.byType[t]
+	r.mu.RUnlock()
+	if ok {
+		return name, nil
+	}
+	// Unnamed composites of registered types are nameable structurally,
+	// but only if every named component is itself registered — otherwise
+	// the peer cannot resolve the name and the failure would surface at
+	// decode time on the wrong machine. Named types must be registered.
+	if t.Name() == "" {
+		switch t.Kind() {
+		case reflect.Pointer, reflect.Slice, reflect.Array:
+			if _, err := r.nameOf(t.Elem()); err != nil {
+				return "", err
+			}
+			return TypeName(t), nil
+		case reflect.Map:
+			if _, err := r.nameOf(t.Key()); err != nil {
+				return "", err
+			}
+			if _, err := r.nameOf(t.Elem()); err != nil {
+				return "", err
+			}
+			return TypeName(t), nil
+		default:
+			return TypeName(t), nil
+		}
+	}
+	if t.PkgPath() == "" {
+		return TypeName(t), nil // predeclared named type
+	}
+	return "", fmt.Errorf("%w: %v (call pickle.Register)", ErrUnregistered, t)
+}
+
+// typeOf resolves a pickled type name back to a type, synthesizing
+// composite types ("[]T", "*T", "map[K]V", "[N]T") from registered
+// elements when the composite itself was never registered.
+func (r *Registry) typeOf(name string) (reflect.Type, error) {
+	r.mu.RLock()
+	t, ok := r.byName[name]
+	r.mu.RUnlock()
+	if ok {
+		return t, nil
+	}
+	t, err := r.synthesize(name)
+	if err != nil {
+		return nil, err
+	}
+	// Cache the synthesized mapping for next time.
+	r.mu.Lock()
+	if prev, ok := r.byName[name]; ok {
+		t = prev
+	} else {
+		r.byName[name] = t
+	}
+	r.mu.Unlock()
+	return t, nil
+}
+
+func (r *Registry) synthesize(name string) (reflect.Type, error) {
+	switch {
+	case strings.HasPrefix(name, "*"):
+		elem, err := r.typeOf(name[1:])
+		if err != nil {
+			return nil, err
+		}
+		return reflect.PointerTo(elem), nil
+	case strings.HasPrefix(name, "[]"):
+		elem, err := r.typeOf(name[2:])
+		if err != nil {
+			return nil, err
+		}
+		return reflect.SliceOf(elem), nil
+	case strings.HasPrefix(name, "map["):
+		keyName, valName, ok := splitMapName(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnregistered, name)
+		}
+		key, err := r.typeOf(keyName)
+		if err != nil {
+			return nil, err
+		}
+		val, err := r.typeOf(valName)
+		if err != nil {
+			return nil, err
+		}
+		return reflect.MapOf(key, val), nil
+	case strings.HasPrefix(name, "["):
+		i := strings.IndexByte(name, ']')
+		if i < 0 {
+			return nil, fmt.Errorf("%w: %q", ErrUnregistered, name)
+		}
+		n, err := strconv.Atoi(name[1:i])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%w: %q", ErrUnregistered, name)
+		}
+		elem, err := r.typeOf(name[i+1:])
+		if err != nil {
+			return nil, err
+		}
+		return reflect.ArrayOf(n, elem), nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnregistered, name)
+}
+
+// splitMapName splits "map[K]V" into K and V, honoring nested brackets in K.
+func splitMapName(name string) (key, val string, ok bool) {
+	rest := name[len("map["):]
+	depth := 1
+	for i := 0; i < len(rest); i++ {
+		switch rest[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+			if depth == 0 {
+				return rest[:i], rest[i+1:], rest[:i] != "" && rest[i+1:] != ""
+			}
+		}
+	}
+	return "", "", false
+}
+
+// TypeName derives the stable pickle name of a type: package-path-qualified
+// for named types ("netobjects/examples/bank.Receipt"), structural for
+// unnamed composites ("[]*bank.Receipt" style, using the same rule
+// recursively).
+func TypeName(t reflect.Type) string {
+	if t.Name() != "" {
+		if t.PkgPath() == "" {
+			return t.Name() // predeclared: int, string, ...
+		}
+		return t.PkgPath() + "." + t.Name()
+	}
+	switch t.Kind() {
+	case reflect.Pointer:
+		return "*" + TypeName(t.Elem())
+	case reflect.Slice:
+		return "[]" + TypeName(t.Elem())
+	case reflect.Array:
+		return "[" + strconv.Itoa(t.Len()) + "]" + TypeName(t.Elem())
+	case reflect.Map:
+		return "map[" + TypeName(t.Key()) + "]" + TypeName(t.Elem())
+	case reflect.Interface:
+		if t.NumMethod() == 0 {
+			return "interface{}"
+		}
+	case reflect.Struct:
+		if t.NumField() == 0 {
+			return "struct{}"
+		}
+	}
+	// Anonymous structs and non-empty anonymous interfaces have no stable
+	// cross-process name; use the reflect rendering, which both sides
+	// derive identically from identical declarations.
+	return t.String()
+}
+
+func (r *Registry) registerBuiltins() {
+	builtins := []any{
+		bool(false),
+		int(0), int8(0), int16(0), int32(0), int64(0),
+		uint(0), uint8(0), uint16(0), uint32(0), uint64(0), uintptr(0),
+		float32(0), float64(0),
+		complex64(0), complex128(0),
+		string(""),
+		[]byte(nil),
+		[]string(nil), []int(nil), []int64(nil), []float64(nil), []any(nil),
+		map[string]any(nil), map[string]string(nil), map[string]int(nil),
+		time.Time{}, time.Duration(0),
+	}
+	for _, v := range builtins {
+		t := reflect.TypeOf(v)
+		name := TypeName(t)
+		r.byName[name] = t
+		r.byType[t] = name
+	}
+	// interface{} has no value to register; map its name for composites.
+	anyT := reflect.TypeOf((*any)(nil)).Elem()
+	r.byName["interface{}"] = anyT
+	r.byType[anyT] = "interface{}"
+	// The empty struct appears as a set element type.
+	emptyT := reflect.TypeOf(struct{}{})
+	r.byName["struct{}"] = emptyT
+	r.byType[emptyT] = "struct{}"
+}

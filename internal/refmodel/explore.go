@@ -1,0 +1,246 @@
+package refmodel
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// ExploreResult summarizes an exhaustive exploration of the reachable
+// state space.
+type ExploreResult struct {
+	// States is the number of distinct reachable configurations.
+	States int
+	// Transitions is the number of edges traversed.
+	Transitions int
+	// RuleCounts tallies firings per rule name.
+	RuleCounts map[string]int
+	// StateEdges records the per-reference life-cycle edges observed,
+	// "from→to" keyed by rule name — the projection that reproduces the
+	// cube diagram.
+	StateEdges map[string]map[string]bool
+	// Violation is the first invariant violation found, with the path
+	// that reaches it; nil when the space is clean.
+	Violation *Violation
+	// Truncated reports that exploration stopped at MaxStates.
+	Truncated bool
+}
+
+// Violation is an invariant failure with a witness trace.
+type Violation struct {
+	Err   error
+	Trace []string
+}
+
+// ExploreOptions bounds an exploration.
+type ExploreOptions struct {
+	// MaxStates stops the search after this many states (default 2_000_000).
+	MaxStates int
+	// CheckInvariants runs the full lemma suite at every state.
+	CheckInvariants bool
+	// CheckMeasure verifies the termination measure decreases across
+	// every non-mutator transition.
+	CheckMeasure bool
+}
+
+// Explore performs a breadth-first search of every configuration
+// reachable from c.
+func Explore(c *Config, opts ExploreOptions) *ExploreResult {
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = 2_000_000
+	}
+	res := &ExploreResult{
+		RuleCounts: make(map[string]int),
+		StateEdges: make(map[string]map[string]bool),
+	}
+	type node struct {
+		cfg   *Config
+		trace []string
+	}
+	visited := map[string]bool{c.Key(): true}
+	queue := []node{{cfg: c}}
+
+	check := func(n node) bool {
+		if !opts.CheckInvariants {
+			return true
+		}
+		if err := n.cfg.CheckInvariants(); err != nil {
+			res.Violation = &Violation{Err: err, Trace: n.trace}
+			return false
+		}
+		return true
+	}
+	if !check(queue[0]) {
+		return res
+	}
+	res.States = 1
+
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		before := n.cfg.TerminationMeasure()
+		for _, t := range n.cfg.Enabled() {
+			succ := t.Apply(n.cfg)
+			res.Transitions++
+			res.RuleCounts[t.Name]++
+			recordEdges(res, n.cfg, succ, t)
+			if opts.CheckMeasure && !t.Mutator {
+				after := succ.TerminationMeasure()
+				if after >= before {
+					res.Violation = &Violation{
+						Err:   fmt.Errorf("termination measure %d → %d across %v", before, after, t),
+						Trace: append(append([]string(nil), n.trace...), t.String()),
+					}
+					return res
+				}
+			}
+			key := succ.Key()
+			if visited[key] {
+				continue
+			}
+			visited[key] = true
+			res.States++
+			child := node{cfg: succ, trace: append(append([]string(nil), n.trace...), t.String())}
+			if !check(child) {
+				return res
+			}
+			if res.States >= opts.MaxStates {
+				res.Truncated = true
+				return res
+			}
+			queue = append(queue, child)
+		}
+	}
+	return res
+}
+
+// recordEdges projects a transition onto per-(process, reference) state
+// changes, accumulating the life-cycle diagram.
+func recordEdges(res *ExploreResult, from, to *Config, t Transition) {
+	for r := RefID(0); int(r) < from.NRefs; r++ {
+		for p := Proc(0); int(p) < from.NProcs; p++ {
+			a, b := from.RecOf(p, r), to.RecOf(p, r)
+			if a == b {
+				continue
+			}
+			edge := fmt.Sprintf("%v→%v", a, b)
+			if res.StateEdges[t.Name] == nil {
+				res.StateEdges[t.Name] = make(map[string]bool)
+			}
+			res.StateEdges[t.Name][edge] = true
+		}
+	}
+}
+
+// CubeDOT renders the observed life-cycle edges as a Graphviz digraph —
+// the machine-checked counterpart of the cube diagram (Figure 4 of the
+// formalisation).
+func (res *ExploreResult) CubeDOT() string {
+	var b strings.Builder
+	b.WriteString("digraph cube {\n  rankdir=LR;\n  node [shape=circle];\n")
+	type edge struct{ from, to, rule string }
+	var edges []edge
+	for rule, set := range res.StateEdges {
+		for e := range set {
+			parts := strings.Split(e, "→")
+			edges = append(edges, edge{parts[0], parts[1], rule})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		if edges[i].to != edges[j].to {
+			return edges[i].to < edges[j].to
+		}
+		return edges[i].rule < edges[j].rule
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", e.from, e.to, e.rule)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// RunToQuiescence fires non-mutator transitions (in a deterministic or
+// randomized order) until none is enabled, returning the final
+// configuration and the number of steps. Termination is guaranteed by the
+// measure (Lemma 17); the step bound is a belt-and-braces guard.
+func RunToQuiescence(c *Config, rng *rand.Rand) (*Config, int, error) {
+	cur := c
+	steps := 0
+	limit := 100 * (cur.TerminationMeasure() + 10)
+	for {
+		var nonMut []Transition
+		for _, t := range cur.Enabled() {
+			if !t.Mutator {
+				nonMut = append(nonMut, t)
+			}
+		}
+		if len(nonMut) == 0 {
+			return cur, steps, nil
+		}
+		pick := 0
+		if rng != nil {
+			pick = rng.Intn(len(nonMut))
+		}
+		cur = nonMut[pick].Apply(cur)
+		steps++
+		if steps > limit {
+			return cur, steps, fmt.Errorf("refmodel: no quiescence after %d steps", steps)
+		}
+	}
+}
+
+// DropAll makes every reference unreachable at every process — the
+// mutator deleting its last pointers — and schedules the finalizations,
+// returning the new configuration. It is the premise of the liveness
+// theorem.
+func DropAll(c *Config) *Config {
+	cur := c.Clone()
+	for k := range cur.Reachable {
+		delete(cur.Reachable, k)
+	}
+	// Fire every enabled finalize (they are mutator transitions and would
+	// otherwise be skipped by RunToQuiescence). New finalize transitions
+	// can become enabled as cleans complete and copies arrive, so the
+	// caller alternates DropAll passes with RunToQuiescence; one pass is
+	// enough when no copies are in transit.
+	for {
+		fired := false
+		for _, t := range cur.Enabled() {
+			if t.Name == "finalize" || t.Name == "drop" {
+				cur = t.Apply(cur)
+				fired = true
+				break
+			}
+		}
+		if !fired {
+			return cur
+		}
+	}
+}
+
+// RandomWalk fires n uniformly random enabled transitions from c,
+// checking invariants after every step when check is set. It returns the
+// final configuration and the first violation encountered.
+func RandomWalk(c *Config, n int, rng *rand.Rand, check bool) (*Config, *Violation) {
+	cur := c
+	var trace []string
+	for i := 0; i < n; i++ {
+		ts := cur.Enabled()
+		if len(ts) == 0 {
+			break
+		}
+		t := ts[rng.Intn(len(ts))]
+		cur = t.Apply(cur)
+		trace = append(trace, t.String())
+		if check {
+			if err := cur.CheckInvariants(); err != nil {
+				return cur, &Violation{Err: err, Trace: trace}
+			}
+		}
+	}
+	return cur, nil
+}

@@ -1,0 +1,443 @@
+package refmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the FIFO-channel variant of the algorithm
+// (paper §5.1). With order-preserving channels a clean call can never
+// overtake a dirty call, so a received reference is usable immediately
+// (no blocking of deserialisation), the ccit/ccitnil states disappear,
+// and clean acknowledgements become unnecessary. Dirty acknowledgements
+// remain: a copy acknowledgement may only be sent once the receiver knows
+// its dirty call has been processed, or the naive race reappears.
+
+// FConfig is a state of the FIFO-variant machine.
+type FConfig struct {
+	NProcs  int
+	NRefs   int
+	OwnerOf []Proc
+
+	// Usable marks (process, reference) pairs holding a usable reference;
+	// the variant needs only ⊥/OK.
+	Usable map[prKey]bool
+	// Reachable is mutator state, as in the Birrell machine.
+	Reachable map[prKey]bool
+	// DirtyAcked marks references whose latest dirty call has been
+	// acknowledged; copy acks for received copies wait on it.
+	DirtyAcked map[prKey]bool
+	// WaitingAcks holds copy acknowledgements deferred until the dirty
+	// ack arrives.
+	WaitingAcks map[blKey]bool
+	// EverHad records clients that have held a reference at some point;
+	// the repaired owner-sender optimisation keys off it (a first-time
+	// recipient cannot have a stale clean of its own in flight).
+	EverHad map[prKey]bool
+
+	TDirty map[tdKey]bool
+	PDirty map[pdKey]bool
+
+	// Channels are FIFO queues: only the head of each queue can be
+	// received.
+	Channels map[chanKey][]Msg
+
+	NextID     int
+	CopyBudget int
+
+	// BlockedEvents counts deserialisations that had to block; the
+	// variant's selling point is that this stays zero.
+	BlockedEvents int
+	// MsgCount tallies messages sent, for the variant-cost comparison.
+	MsgCount map[MsgKind]int
+}
+
+// NewFConfig returns the initial FIFO-variant configuration.
+func NewFConfig(nprocs int, owners []Proc, copyBudget int) *FConfig {
+	c := &FConfig{
+		NProcs:      nprocs,
+		NRefs:       len(owners),
+		OwnerOf:     append([]Proc(nil), owners...),
+		Usable:      make(map[prKey]bool),
+		Reachable:   make(map[prKey]bool),
+		DirtyAcked:  make(map[prKey]bool),
+		WaitingAcks: make(map[blKey]bool),
+		EverHad:     make(map[prKey]bool),
+		TDirty:      make(map[tdKey]bool),
+		PDirty:      make(map[pdKey]bool),
+		Channels:    make(map[chanKey][]Msg),
+		NextID:      1,
+		CopyBudget:  copyBudget,
+		MsgCount:    make(map[MsgKind]int),
+	}
+	for r, o := range owners {
+		c.Reachable[prKey{o, RefID(r)}] = true
+	}
+	return c
+}
+
+// Owner returns the owner of r.
+func (c *FConfig) Owner(r RefID) Proc { return c.OwnerOf[r] }
+
+// Clone deep-copies the configuration.
+func (c *FConfig) Clone() *FConfig {
+	n := &FConfig{
+		NProcs:        c.NProcs,
+		NRefs:         c.NRefs,
+		OwnerOf:       c.OwnerOf,
+		Usable:        cloneMap(c.Usable),
+		Reachable:     cloneMap(c.Reachable),
+		DirtyAcked:    cloneMap(c.DirtyAcked),
+		WaitingAcks:   cloneMap(c.WaitingAcks),
+		EverHad:       cloneMap(c.EverHad),
+		TDirty:        cloneMap(c.TDirty),
+		PDirty:        cloneMap(c.PDirty),
+		Channels:      make(map[chanKey][]Msg, len(c.Channels)),
+		NextID:        c.NextID,
+		CopyBudget:    c.CopyBudget,
+		BlockedEvents: c.BlockedEvents,
+		MsgCount:      cloneMap(c.MsgCount),
+	}
+	for k, v := range c.Channels {
+		if len(v) > 0 {
+			n.Channels[k] = append([]Msg(nil), v...)
+		}
+	}
+	return n
+}
+
+// Key renders a canonical encoding for the visited set. Channel contents
+// are order-significant here.
+func (c *FConfig) Key() string {
+	var b strings.Builder
+	var xs []string
+	for k, v := range c.Usable {
+		if v {
+			xs = append(xs, fmt.Sprintf("%d,%d", k.Proc, k.Ref))
+		}
+	}
+	sort.Strings(xs)
+	fmt.Fprintf(&b, "U:%v", xs)
+	xs = xs[:0]
+	for k, v := range c.Reachable {
+		if v {
+			xs = append(xs, fmt.Sprintf("%d,%d", k.Proc, k.Ref))
+		}
+	}
+	sort.Strings(xs)
+	fmt.Fprintf(&b, "|L:%v", xs)
+	xs = xs[:0]
+	for k, v := range c.DirtyAcked {
+		if v {
+			xs = append(xs, fmt.Sprintf("%d,%d", k.Proc, k.Ref))
+		}
+	}
+	sort.Strings(xs)
+	fmt.Fprintf(&b, "|A:%v", xs)
+	xs = xs[:0]
+	for k := range c.WaitingAcks {
+		xs = append(xs, fmt.Sprintf("%d,%d,%d,%d", k.Proc, k.Ref, k.ID, k.From))
+	}
+	sort.Strings(xs)
+	fmt.Fprintf(&b, "|W:%v", xs)
+	xs = xs[:0]
+	for k, v := range c.EverHad {
+		if v {
+			xs = append(xs, fmt.Sprintf("%d,%d", k.Proc, k.Ref))
+		}
+	}
+	sort.Strings(xs)
+	fmt.Fprintf(&b, "|E:%v", xs)
+	xs = xs[:0]
+	for k := range c.TDirty {
+		xs = append(xs, fmt.Sprintf("%d,%d,%d,%d", k.Holder, k.Ref, k.Receiver, k.ID))
+	}
+	sort.Strings(xs)
+	fmt.Fprintf(&b, "|T:%v", xs)
+	xs = xs[:0]
+	for k := range c.PDirty {
+		xs = append(xs, fmt.Sprintf("%d,%d", k.Ref, k.Client))
+	}
+	sort.Strings(xs)
+	fmt.Fprintf(&b, "|P:%v", xs)
+	xs = xs[:0]
+	for k, msgs := range c.Channels {
+		if len(msgs) == 0 {
+			continue
+		}
+		var q []string
+		for _, m := range msgs {
+			q = append(q, fmt.Sprintf("%d,%d,%d", m.Kind, m.Ref, m.ID))
+		}
+		xs = append(xs, fmt.Sprintf("%d>%d:%s", k.From, k.To, strings.Join(q, "-")))
+	}
+	sort.Strings(xs)
+	fmt.Fprintf(&b, "|K:%v|N:%d|G:%d", xs, c.NextID, c.CopyBudget)
+	return b.String()
+}
+
+func (c *FConfig) post(from, to Proc, m Msg) {
+	k := chanKey{from, to}
+	c.Channels[k] = append(c.Channels[k], m)
+	c.MsgCount[m.Kind]++
+}
+
+// FTransition is one enabled FIFO-variant rule.
+type FTransition struct {
+	Name    string
+	Detail  string
+	Mutator bool
+	apply   func(*FConfig)
+}
+
+// String renders the transition.
+func (t FTransition) String() string { return t.Name + "(" + t.Detail + ")" }
+
+// Apply returns the successor configuration.
+func (t FTransition) Apply(c *FConfig) *FConfig {
+	n := c.Clone()
+	t.apply(n)
+	return n
+}
+
+// Enabled enumerates every fireable transition. Only channel heads are
+// receivable: the FIFO discipline is what makes the variant sound.
+func (c *FConfig) Enabled() []FTransition {
+	var ts []FTransition
+	add := func(name, detail string, mut bool, f func(*FConfig)) {
+		ts = append(ts, FTransition{Name: name, Detail: detail, Mutator: mut, apply: f})
+	}
+	for r := RefID(0); int(r) < c.NRefs; r++ {
+		owner := c.Owner(r)
+		for p := Proc(0); int(p) < c.NProcs; p++ {
+			p := p
+			if c.Reachable[prKey{p, r}] {
+				add("drop", fmt.Sprintf("p%d,r%d", p, r), true, func(c *FConfig) {
+					delete(c.Reachable, prKey{p, r})
+				})
+			}
+			// finalize+do_clean fused: with FIFO channels the clean can
+			// go out as soon as the reference is locally dead; the
+			// reference becomes ⊥ immediately (no ccit). As in the base
+			// algorithm, the transient dirty table is a local GC root, so
+			// a reference with an in-transit copy cannot be finalized.
+			if !c.Reachable[prKey{p, r}] && c.Usable[prKey{p, r}] && p != owner &&
+				c.DirtyAcked[prKey{p, r}] && !c.hasWaiting(p, r) &&
+				!c.hasFTDirty(p, r) {
+				add("clean", fmt.Sprintf("p%d,r%d", p, r), false, func(c *FConfig) {
+					delete(c.Usable, prKey{p, r})
+					delete(c.DirtyAcked, prKey{p, r})
+					c.post(p, owner, Msg{Kind: MsgClean, Ref: r})
+				})
+			}
+			if c.CopyBudget > 0 && c.Reachable[prKey{p, r}] &&
+				(c.Usable[prKey{p, r}] || p == owner) {
+				for q := Proc(0); int(q) < c.NProcs; q++ {
+					if q == p {
+						continue
+					}
+					q := q
+					add("make_copy", fmt.Sprintf("p%d,p%d,r%d", p, q, r), true, func(c *FConfig) {
+						id := c.NextID
+						c.NextID++
+						c.CopyBudget--
+						c.TDirty[tdKey{p, r, q, id}] = true
+						c.post(p, q, Msg{Kind: MsgCopy, Ref: r, ID: id})
+					})
+				}
+			}
+		}
+	}
+	// Heads of FIFO channels.
+	for ck, msgs := range c.Channels {
+		if len(msgs) == 0 {
+			continue
+		}
+		ck := ck
+		m := msgs[0]
+		detail := fmt.Sprintf("p%d,p%d,r%d,id%d", ck.From, ck.To, m.Ref, m.ID)
+		switch m.Kind {
+		case MsgCopy:
+			add("receive_copy", detail, false, func(c *FConfig) { c.receiveCopy(ck.From, ck.To, m) })
+		case MsgCopyAck:
+			add("receive_copy_ack", detail, false, func(c *FConfig) {
+				c.pop(ck)
+				delete(c.TDirty, tdKey{ck.To, m.Ref, ck.From, m.ID})
+			})
+		case MsgDirty:
+			add("receive_dirty", detail, false, func(c *FConfig) {
+				c.pop(ck)
+				c.PDirty[pdKey{m.Ref, ck.From}] = true
+				c.post(ck.To, ck.From, Msg{Kind: MsgDirtyAck, Ref: m.Ref})
+			})
+		case MsgDirtyAck:
+			add("receive_dirty_ack", detail, false, func(c *FConfig) {
+				c.pop(ck)
+				p := ck.To
+				c.DirtyAcked[prKey{p, m.Ref}] = true
+				for wk := range c.WaitingAcks {
+					if wk.Proc == p && wk.Ref == m.Ref {
+						c.post(p, wk.From, Msg{Kind: MsgCopyAck, Ref: m.Ref, ID: wk.ID})
+						delete(c.WaitingAcks, wk)
+					}
+				}
+			})
+		case MsgClean:
+			add("receive_clean", detail, false, func(c *FConfig) {
+				c.pop(ck)
+				delete(c.PDirty, pdKey{m.Ref, ck.From})
+			})
+		}
+	}
+	return ts
+}
+
+func (c *FConfig) hasFTDirty(p Proc, r RefID) bool {
+	for k := range c.TDirty {
+		if k.Holder == p && k.Ref == r {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *FConfig) hasWaiting(p Proc, r RefID) bool {
+	for wk := range c.WaitingAcks {
+		if wk.Proc == p && wk.Ref == r {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *FConfig) pop(k chanKey) Msg {
+	msgs := c.Channels[k]
+	m := msgs[0]
+	if len(msgs) == 1 {
+		delete(c.Channels, k)
+	} else {
+		c.Channels[k] = msgs[1:]
+	}
+	return m
+}
+
+// receiveCopy makes the reference usable immediately — deserialisation
+// never blocks — and sends the dirty call on the (ordered) channel to the
+// owner. The copy acknowledgement is deferred until the dirty ack.
+func (c *FConfig) receiveCopy(p1, p2 Proc, m Msg) {
+	ck := chanKey{p1, p2}
+	c.pop(ck)
+	r := m.Ref
+	c.Reachable[prKey{p2, r}] = true
+	if p2 == c.Owner(r) {
+		c.post(p2, p1, Msg{Kind: MsgCopyAck, Ref: r, ID: m.ID})
+		return
+	}
+	if !c.Usable[prKey{p2, r}] {
+		c.Usable[prKey{p2, r}] = true
+		c.EverHad[prKey{p2, r}] = true
+		delete(c.DirtyAcked, prKey{p2, r})
+		c.post(p2, c.Owner(r), Msg{Kind: MsgDirty, Ref: r})
+		c.WaitingAcks[blKey{p2, r, m.ID, p1}] = true
+		return
+	}
+	if c.DirtyAcked[prKey{p2, r}] {
+		c.post(p2, p1, Msg{Kind: MsgCopyAck, Ref: r, ID: m.ID})
+	} else {
+		c.WaitingAcks[blKey{p2, r, m.ID, p1}] = true
+	}
+}
+
+// CheckSafety is the variant's safety requirement: a usable reference or
+// an in-transit copy implies a non-empty dirty table at the owner (a
+// permanent entry for some client, or a transient entry at the owner, or
+// a dirty call already in the owner's ordered channel).
+func (c *FConfig) CheckSafety() error {
+	for r := RefID(0); int(r) < c.NRefs; r++ {
+		owner := c.Owner(r)
+		live := false
+		for p := Proc(0); int(p) < c.NProcs; p++ {
+			if p != owner && c.Usable[prKey{p, r}] {
+				live = true
+			}
+		}
+		if !live {
+			for _, msgs := range c.Channels {
+				for _, m := range msgs {
+					if m.Kind == MsgCopy && m.Ref == r {
+						live = true
+					}
+				}
+			}
+		}
+		if !live {
+			continue
+		}
+		protected := false
+		for k := range c.PDirty {
+			if k.Ref == r {
+				protected = true
+			}
+		}
+		for k := range c.TDirty {
+			if k.Ref == r && k.Holder == owner {
+				protected = true
+			}
+		}
+		// A dirty call in the owner's inbound FIFO channels also protects
+		// the reference: the owner must process it before any later clean
+		// from the same client.
+		for ck, msgs := range c.Channels {
+			if ck.To != owner {
+				continue
+			}
+			for _, m := range msgs {
+				if m.Kind == MsgDirty && m.Ref == r {
+					protected = true
+				}
+			}
+		}
+		if !protected {
+			return fmt.Errorf("fifo variant: r%d live without protection", r)
+		}
+	}
+	return nil
+}
+
+// FExplore exhaustively explores the FIFO machine, checking safety at
+// every state.
+func FExplore(c *FConfig, maxStates int) (states int, violation error, trace []string) {
+	if maxStates <= 0 {
+		maxStates = 2_000_000
+	}
+	type node struct {
+		cfg   *FConfig
+		trace []string
+	}
+	visited := map[string]bool{c.Key(): true}
+	queue := []node{{cfg: c}}
+	states = 1
+	if err := c.CheckSafety(); err != nil {
+		return states, err, nil
+	}
+	for len(queue) > 0 && states < maxStates {
+		n := queue[0]
+		queue = queue[1:]
+		for _, t := range n.cfg.Enabled() {
+			succ := t.Apply(n.cfg)
+			key := succ.Key()
+			if visited[key] {
+				continue
+			}
+			visited[key] = true
+			states++
+			tr := append(append([]string(nil), n.trace...), t.String())
+			if err := succ.CheckSafety(); err != nil {
+				return states, err, tr
+			}
+			queue = append(queue, node{cfg: succ, trace: tr})
+		}
+	}
+	return states, nil, nil
+}

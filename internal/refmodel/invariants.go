@@ -1,0 +1,399 @@
+package refmodel
+
+import "fmt"
+
+// CheckInvariants verifies every proved property of the formalisation in
+// configuration c, returning the first violation. The checks are the
+// lemmas of the safety proof (1–11), the safety requirement itself
+// (Definition 12), restated over the machine state. A nil result means
+// the configuration satisfies them all.
+func (c *Config) CheckInvariants() error {
+	checks := []struct {
+		name string
+		fn   func(*Config) error
+	}{
+		{"lemma1", checkLemma1},
+		{"lemma2", checkLemma2},
+		{"invariant1", checkInvariant1},
+		{"lemma4", checkLemma4},
+		{"lemma5", checkLemma5},
+		{"invariant2", checkInvariant2},
+		{"lemma7", checkLemma7},
+		{"lemma8", checkLemma8},
+		{"safety1-usable", checkSafetyUsable},
+		{"safety2-transit", checkSafetyTransit},
+		{"safety3-unusable", checkSafetyUnusable},
+		{"safety-theorem", checkSafetyTheorem},
+	}
+	for _, chk := range checks {
+		if err := chk.fn(c); err != nil {
+			return fmt.Errorf("%s: %w", chk.name, err)
+		}
+	}
+	return nil
+}
+
+// checkLemma1: rec(p,r) = ccitnil ⇒ r ∈ dirty_call_todo(p).
+func checkLemma1(c *Config) error {
+	for k, s := range c.Rec {
+		if s == CcitNil && !c.DirtyCallTodo[k] {
+			return fmt.Errorf("p%d has r%d in ccitnil without a scheduled dirty call", k.Proc, k.Ref)
+		}
+	}
+	return nil
+}
+
+// checkLemma2: r ∈ clean_call_todo(p) ⇒ rec(p,r) = OK.
+func checkLemma2(c *Config) error {
+	for k := range c.CleanCallTodo {
+		if c.RecOf(k.Proc, k.Ref) != OK {
+			return fmt.Errorf("p%d scheduled a clean for r%d in state %v",
+				k.Proc, k.Ref, c.RecOf(k.Proc, k.Ref))
+		}
+	}
+	return nil
+}
+
+// checkInvariant1 (Lemma 3): ⟨p1,p2,id⟩ ∈ tdirty(p1,r) ⟺ exactly one of:
+// copy(r,id) ∈ k(p1,p2); ⟨id,p1,r⟩ ∈ blocked(p2,r);
+// copy_ack(r,id) ∈ k(p2,p1); ⟨id,p1,r⟩ ∈ copy_ack_todo(p2).
+func checkInvariant1(c *Config) error {
+	type copyID struct {
+		p1, p2 Proc
+		r      RefID
+		id     int
+	}
+	holds := func(x copyID) (int, []string) {
+		var where []string
+		n := 0
+		if c.inChannel(x.p1, x.p2, Msg{Kind: MsgCopy, Ref: x.r, ID: x.id}) {
+			n++
+			where = append(where, "copy in transit")
+		}
+		if c.Blocked[blKey{x.p2, x.r, x.id, x.p1}] {
+			n++
+			where = append(where, "blocked")
+		}
+		if c.inChannel(x.p2, x.p1, Msg{Kind: MsgCopyAck, Ref: x.r, ID: x.id}) {
+			n++
+			where = append(where, "copy_ack in transit")
+		}
+		if c.CopyAckTodo[catKey{x.p2, x.id, x.p1, x.r}] {
+			n++
+			where = append(where, "copy_ack scheduled")
+		}
+		return n, where
+	}
+	// Forward direction + mutual exclusivity for every transient entry.
+	for k := range c.TDirty {
+		n, _ := holds(copyID{k.Holder, k.Receiver, k.Ref, k.ID})
+		if n != 1 {
+			return fmt.Errorf("tdirty ⟨p%d,p%d,%d⟩ for r%d matched by %d terms, want 1",
+				k.Holder, k.Receiver, k.ID, k.Ref, n)
+		}
+	}
+	// Reverse direction: every term implies the transient entry.
+	seen := map[copyID]bool{}
+	note := func(x copyID) { seen[x] = true }
+	for k, msgs := range c.Channels {
+		for _, m := range msgs {
+			switch m.Kind {
+			case MsgCopy:
+				note(copyID{k.From, k.To, m.Ref, m.ID})
+			case MsgCopyAck:
+				note(copyID{k.To, k.From, m.Ref, m.ID})
+			}
+		}
+	}
+	for k := range c.Blocked {
+		note(copyID{k.From, k.Proc, k.Ref, k.ID})
+	}
+	for k := range c.CopyAckTodo {
+		note(copyID{k.Dest, k.Proc, k.Ref, k.ID})
+	}
+	for x := range seen {
+		if !c.TDirty[tdKey{x.p1, x.r, x.p2, x.id}] {
+			return fmt.Errorf("copy id %d of r%d (p%d→p%d) alive without a transient dirty entry",
+				x.id, x.r, x.p1, x.p2)
+		}
+	}
+	return nil
+}
+
+// checkLemma4: clean traffic (message, scheduled ack, ack in transit)
+// from p1 about r implies rec(p1,r) ∈ {ccit, ccitnil}; the three terms are
+// mutually exclusive.
+func checkLemma4(c *Config) error {
+	for r := RefID(0); int(r) < c.NRefs; r++ {
+		owner := c.Owner(r)
+		for p1 := Proc(0); int(p1) < c.NProcs; p1++ {
+			if p1 == owner {
+				continue
+			}
+			n := 0
+			if c.inChannel(p1, owner, Msg{Kind: MsgClean, Ref: r}) {
+				n++
+			}
+			if c.CleanAckTodo[clatKey{owner, p1, r}] {
+				n++
+			}
+			if c.inChannel(owner, p1, Msg{Kind: MsgCleanAck, Ref: r}) {
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			if n > 1 {
+				return fmt.Errorf("p%d has %d concurrent clean phases for r%d", p1, n, r)
+			}
+			if s := c.RecOf(p1, r); s != Ccit && s != CcitNil {
+				return fmt.Errorf("p%d has clean traffic for r%d in state %v", p1, r, s)
+			}
+		}
+	}
+	return nil
+}
+
+// checkLemma5: (a) scheduled dirty ⇒ rec ∈ {nil, ccitnil};
+// (b) dirty in transit, scheduled dirty ack, or dirty ack in transit ⇒
+// rec = nil; (c) the four terms are mutually exclusive.
+func checkLemma5(c *Config) error {
+	for r := RefID(0); int(r) < c.NRefs; r++ {
+		owner := c.Owner(r)
+		for p1 := Proc(0); int(p1) < c.NProcs; p1++ {
+			if p1 == owner {
+				continue
+			}
+			inTodo := c.DirtyCallTodo[prKey{p1, r}]
+			inMsg := c.inChannel(p1, owner, Msg{Kind: MsgDirty, Ref: r})
+			inAckTodo := c.DirtyAckTodo[datKey{owner, p1, r}]
+			inAckMsg := c.inChannel(owner, p1, Msg{Kind: MsgDirtyAck, Ref: r})
+			n := 0
+			for _, b := range []bool{inTodo, inMsg, inAckTodo, inAckMsg} {
+				if b {
+					n++
+				}
+			}
+			if n > 1 {
+				return fmt.Errorf("p%d has %d concurrent dirty phases for r%d", p1, n, r)
+			}
+			s := c.RecOf(p1, r)
+			if inTodo && s != Nil && s != CcitNil {
+				return fmt.Errorf("p%d scheduled dirty for r%d in state %v", p1, r, s)
+			}
+			if (inMsg || inAckTodo || inAckMsg) && s != Nil {
+				return fmt.Errorf("p%d has dirty traffic for r%d in state %v", p1, r, s)
+			}
+		}
+	}
+	return nil
+}
+
+// checkInvariant2 (Lemma 6): for p1 ≠ owner(r),
+//
+//	p1 ∈ pdirty(r) ∨ dirty(r) ∈ k(p1,owner) ∨ r ∈ dirty_call_todo(p1)
+//	⟺ clean(r) ∈ k(p1,owner) ∨ rec(p1,r) ∈ {OK, nil, ccitnil}.
+func checkInvariant2(c *Config) error {
+	for r := RefID(0); int(r) < c.NRefs; r++ {
+		owner := c.Owner(r)
+		for p1 := Proc(0); int(p1) < c.NProcs; p1++ {
+			if p1 == owner {
+				continue
+			}
+			lhs := c.PDirty[pdKey{r, p1}] ||
+				c.inChannel(p1, owner, Msg{Kind: MsgDirty, Ref: r}) ||
+				c.DirtyCallTodo[prKey{p1, r}]
+			s := c.RecOf(p1, r)
+			rhs := c.inChannel(p1, owner, Msg{Kind: MsgClean, Ref: r}) ||
+				s == OK || s == Nil || s == CcitNil
+			if lhs != rhs {
+				return fmt.Errorf("p%d r%d: lhs=%v rhs=%v (state %v)", p1, r, lhs, rhs, s)
+			}
+		}
+	}
+	return nil
+}
+
+// checkLemma7: a transient dirty entry at p1 implies rec(p1,r) = OK —
+// for non-owners; the owner's transient entries stand in for the concrete
+// object (the owner has no surrogate, hence no receive-table state).
+func checkLemma7(c *Config) error {
+	for k := range c.TDirty {
+		if k.Holder == c.Owner(k.Ref) {
+			continue
+		}
+		if c.RecOf(k.Holder, k.Ref) != OK {
+			return fmt.Errorf("p%d holds tdirty for r%d in state %v",
+				k.Holder, k.Ref, c.RecOf(k.Holder, k.Ref))
+		}
+	}
+	return nil
+}
+
+// checkLemma8: rec(p1,r) ∈ {nil, ccitnil} together with a dirty call in
+// flight (scheduled or in transit) implies someone's blocked table holds a
+// copy for (p1, r).
+func checkLemma8(c *Config) error {
+	for r := RefID(0); int(r) < c.NRefs; r++ {
+		owner := c.Owner(r)
+		for p1 := Proc(0); int(p1) < c.NProcs; p1++ {
+			s := c.RecOf(p1, r)
+			if s != Nil && s != CcitNil {
+				continue
+			}
+			if !c.DirtyCallTodo[prKey{p1, r}] && !c.inChannel(p1, owner, Msg{Kind: MsgDirty, Ref: r}) {
+				continue
+			}
+			found := false
+			for bk := range c.Blocked {
+				if bk.Proc == p1 && bk.Ref == r {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("p%d has r%d in %v with a dirty in flight but no blocked entry", p1, r, s)
+			}
+		}
+	}
+	return nil
+}
+
+// checkSafetyUsable (Lemma 9): rec(p1,r) = OK ⇒ p1 ∈ pdirty(owner(r),r).
+func checkSafetyUsable(c *Config) error {
+	for k, s := range c.Rec {
+		if s != OK || k.Proc == c.Owner(k.Ref) {
+			continue
+		}
+		if !c.PDirty[pdKey{k.Ref, k.Proc}] {
+			return fmt.Errorf("p%d has usable r%d but is not in the dirty set", k.Proc, k.Ref)
+		}
+	}
+	return nil
+}
+
+// checkSafetyTransit (Lemma 10): a copy in transit from p1 implies p1 is
+// in the dirty set (p1 ≠ owner) or a transient entry exists at the owner.
+func checkSafetyTransit(c *Config) error {
+	for ck, msgs := range c.Channels {
+		for _, m := range msgs {
+			if m.Kind != MsgCopy {
+				continue
+			}
+			owner := c.Owner(m.Ref)
+			if ck.From == owner {
+				if !c.TDirty[tdKey{owner, m.Ref, ck.To, m.ID}] {
+					return fmt.Errorf("copy of r%d from owner without transient entry", m.Ref)
+				}
+			} else if !c.PDirty[pdKey{m.Ref, ck.From}] {
+				return fmt.Errorf("copy of r%d in transit from p%d which is not dirty", m.Ref, ck.From)
+			}
+		}
+	}
+	return nil
+}
+
+// checkSafetyUnusable (Lemma 11): rec(p1,r) ∈ {nil, ccitnil} implies some
+// process is in the dirty set or some transient entry exists at the owner.
+func checkSafetyUnusable(c *Config) error {
+	for k, s := range c.Rec {
+		if s != Nil && s != CcitNil {
+			continue
+		}
+		if !c.dirtyTablesNonEmpty(k.Ref) {
+			return fmt.Errorf("p%d has r%d in %v with empty owner dirty tables", k.Proc, k.Ref, s)
+		}
+	}
+	return nil
+}
+
+// dirtyTablesNonEmpty reports whether the owner of r holds any permanent
+// or transient dirty entry for it.
+func (c *Config) dirtyTablesNonEmpty(r RefID) bool {
+	for k := range c.PDirty {
+		if k.Ref == r {
+			return true
+		}
+	}
+	owner := c.Owner(r)
+	for k := range c.TDirty {
+		if k.Ref == r && k.Holder == owner {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSafetyTheorem (Definition 12 / Theorem 13): while any process
+// holds the reference in a potentially usable state, or a copy of it is
+// in transit anywhere, the owner's dirty tables are non-empty — so the
+// owner cannot reclaim the object.
+func checkSafetyTheorem(c *Config) error {
+	for r := RefID(0); int(r) < c.NRefs; r++ {
+		liveSomewhere := false
+		for p := Proc(0); int(p) < c.NProcs; p++ {
+			if p == c.Owner(r) {
+				continue
+			}
+			switch c.RecOf(p, r) {
+			case OK, Nil, CcitNil:
+				liveSomewhere = true
+			}
+		}
+		if !liveSomewhere {
+			liveSomewhere = c.countMsgs(func(_ chanKey, m Msg) bool {
+				return m.Kind == MsgCopy && m.Ref == r
+			}) > 0
+		}
+		if liveSomewhere && !c.anyDirty(r) {
+			return fmt.Errorf("r%d is remotely live but its owner's dirty tables are empty", r)
+		}
+	}
+	return nil
+}
+
+// anyDirty reports whether any dirty entry (permanent anywhere, transient
+// at any process) exists for r. The safety requirement cares about the
+// owner's tables; transient entries at senders other than the owner are
+// covered transitively by Lemma 9 (the sender itself is in the dirty set).
+func (c *Config) anyDirty(r RefID) bool {
+	return c.dirtyTablesNonEmpty(r)
+}
+
+// TerminationMeasure implements Definition 15: a natural number that
+// strictly decreases across every non-mutator transition.
+func (c *Config) TerminationMeasure() int {
+	m := 9*len(c.DirtyCallTodo) + 7*len(c.DirtyAckTodo) +
+		2*len(c.CopyAckTodo) + 2*len(c.CleanAckTodo) + 2*len(c.Blocked)
+	for _, msgs := range c.Channels {
+		for _, msg := range msgs {
+			switch msg.Kind {
+			case MsgCopy:
+				m += 14
+			case MsgDirty:
+				m += 8
+			case MsgDirtyAck:
+				m += 6
+			case MsgClean:
+				m += 3
+			case MsgCopyAck, MsgCleanAck:
+				m++
+			}
+		}
+	}
+	for _, s := range c.Rec {
+		switch s {
+		case OK:
+			m += 5
+		case CcitNil:
+			m += 2
+		case Ccit, Nil:
+			m++
+		}
+	}
+	return m
+}
+
+// DirtyTablesEmpty reports whether the owner of r holds no dirty entries
+// for it — the liveness post-condition.
+func (c *Config) DirtyTablesEmpty(r RefID) bool { return !c.dirtyTablesNonEmpty(r) }

@@ -1,0 +1,230 @@
+package refmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements naive distributed reference counting — the broken
+// strawman of the paper's §2.2 — so the evaluation can exhibit the race
+// that motivates Birrell's algorithm: an increment travelling behind a
+// decrement lets the count touch zero while references are still live.
+
+// NaiveMsgKind enumerates naive-RC messages.
+type NaiveMsgKind int
+
+// Naive message kinds: a reference copy, an increment, a decrement.
+const (
+	NaiveRef NaiveMsgKind = iota
+	NaiveInc
+	NaiveDec
+)
+
+// String names the kind.
+func (k NaiveMsgKind) String() string { return [...]string{"ref", "inc", "dec"}[k] }
+
+// NaiveConfig is a state of the naive reference counting machine for one
+// object owned by process 0.
+type NaiveConfig struct {
+	NProcs int
+	// Count is the owner's reference counter.
+	Count int
+	// Holds marks processes currently holding a live reference.
+	Holds []bool
+	// Channels carries in-transit messages (unordered, like the Birrell
+	// machine's).
+	Channels map[chanKey][]NaiveMsgKind
+	// Collected is set once Count reaches zero: the owner reclaims.
+	Collected bool
+	// CopyBudget bounds make_copy firings for finite exploration.
+	CopyBudget int
+}
+
+// NewNaiveConfig returns the textbook starting point: process 1 holds the
+// only remote reference and the owner's count is 1.
+func NewNaiveConfig(nprocs, copyBudget int) *NaiveConfig {
+	holds := make([]bool, nprocs)
+	holds[1] = true
+	return &NaiveConfig{
+		NProcs:     nprocs,
+		Count:      1,
+		Holds:      holds,
+		Channels:   make(map[chanKey][]NaiveMsgKind),
+		CopyBudget: copyBudget,
+	}
+}
+
+func (c *NaiveConfig) clone() *NaiveConfig {
+	n := &NaiveConfig{
+		NProcs:     c.NProcs,
+		Count:      c.Count,
+		Holds:      append([]bool(nil), c.Holds...),
+		Channels:   make(map[chanKey][]NaiveMsgKind, len(c.Channels)),
+		Collected:  c.Collected,
+		CopyBudget: c.CopyBudget,
+	}
+	for k, v := range c.Channels {
+		n.Channels[k] = append([]NaiveMsgKind(nil), v...)
+	}
+	return n
+}
+
+func (c *NaiveConfig) key() string {
+	var parts []string
+	for k, msgs := range c.Channels {
+		for _, m := range msgs {
+			parts = append(parts, fmt.Sprintf("%d>%d:%v", k.From, k.To, m))
+		}
+	}
+	sort.Strings(parts)
+	return fmt.Sprintf("c%d|h%v|x%v|b%d|%s", c.Count, c.Holds, c.Collected, c.CopyBudget, strings.Join(parts, ";"))
+}
+
+func (c *NaiveConfig) post(from, to Proc, m NaiveMsgKind) {
+	k := chanKey{from, to}
+	c.Channels[k] = append(c.Channels[k], m)
+}
+
+func (c *NaiveConfig) take(from, to Proc, m NaiveMsgKind) {
+	k := chanKey{from, to}
+	msgs := c.Channels[k]
+	for i, x := range msgs {
+		if x == m {
+			msgs[i] = msgs[len(msgs)-1]
+			c.Channels[k] = msgs[:len(msgs)-1]
+			return
+		}
+	}
+}
+
+// naiveTransition is one enabled naive-RC rule.
+type naiveTransition struct {
+	name  string
+	apply func(*NaiveConfig)
+}
+
+func (c *NaiveConfig) enabled() []naiveTransition {
+	var ts []naiveTransition
+	const owner = Proc(0)
+	for p := Proc(1); int(p) < c.NProcs; p++ {
+		p := p
+		if c.Holds[p] && c.CopyBudget > 0 {
+			for q := Proc(1); int(q) < c.NProcs; q++ {
+				if q == p {
+					continue
+				}
+				q := q
+				ts = append(ts, naiveTransition{
+					name: fmt.Sprintf("send_ref(p%d,p%d)", p, q),
+					apply: func(c *NaiveConfig) {
+						c.CopyBudget--
+						c.post(p, q, NaiveRef)
+						// The sender increments on the receiver's behalf.
+						c.post(p, owner, NaiveInc)
+					},
+				})
+			}
+		}
+		if c.Holds[p] {
+			ts = append(ts, naiveTransition{
+				name: fmt.Sprintf("drop(p%d)", p),
+				apply: func(c *NaiveConfig) {
+					c.Holds[p] = false
+					c.post(p, owner, NaiveDec)
+				},
+			})
+		}
+	}
+	for k, msgs := range c.Channels {
+		for _, m := range msgs {
+			k, m := k, m
+			switch m {
+			case NaiveRef:
+				ts = append(ts, naiveTransition{
+					name: fmt.Sprintf("recv_ref(p%d,p%d)", k.From, k.To),
+					apply: func(c *NaiveConfig) {
+						c.take(k.From, k.To, m)
+						c.Holds[k.To] = true
+					},
+				})
+			case NaiveInc:
+				ts = append(ts, naiveTransition{
+					name: fmt.Sprintf("recv_inc(p%d)", k.From),
+					apply: func(c *NaiveConfig) {
+						c.take(k.From, k.To, m)
+						c.Count++
+					},
+				})
+			case NaiveDec:
+				ts = append(ts, naiveTransition{
+					name: fmt.Sprintf("recv_dec(p%d)", k.From),
+					apply: func(c *NaiveConfig) {
+						c.take(k.From, k.To, m)
+						c.Count--
+						if c.Count <= 0 {
+							c.Collected = true
+						}
+					},
+				})
+			}
+		}
+	}
+	return ts
+}
+
+// unsafe reports whether the object has been collected while a reference
+// is still live somewhere or in transit — the premature-free bug.
+func (c *NaiveConfig) unsafe() bool {
+	if !c.Collected {
+		return false
+	}
+	for p := 1; p < c.NProcs; p++ {
+		if c.Holds[p] {
+			return true
+		}
+	}
+	for _, msgs := range c.Channels {
+		for _, m := range msgs {
+			if m == NaiveRef {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FindNaiveRace explores the naive machine and returns a counterexample
+// trace demonstrating premature collection, or nil if none is reachable
+// within the budget.
+func FindNaiveRace(nprocs, copyBudget, maxStates int) []string {
+	if maxStates <= 0 {
+		maxStates = 1_000_000
+	}
+	type node struct {
+		cfg   *NaiveConfig
+		trace []string
+	}
+	init := NewNaiveConfig(nprocs, copyBudget)
+	visited := map[string]bool{init.key(): true}
+	queue := []node{{cfg: init}}
+	for len(queue) > 0 && len(visited) < maxStates {
+		n := queue[0]
+		queue = queue[1:]
+		for _, t := range n.cfg.enabled() {
+			succ := n.cfg.clone()
+			t.apply(succ)
+			trace := append(append([]string(nil), n.trace...), t.name)
+			if succ.unsafe() {
+				return trace
+			}
+			k := succ.key()
+			if visited[k] {
+				continue
+			}
+			visited[k] = true
+			queue = append(queue, node{cfg: succ, trace: trace})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,296 @@
+package refmodel
+
+import "fmt"
+
+// This file implements the sender-is-owner optimisation of §5.2.1 on top
+// of the FIFO machine: when the owner itself sends a reference, the
+// receiver makes no dirty call — the registration is implicit in the
+// delivery — so the dirty round trip disappears along with any blocking.
+//
+// The paper warns that the optimisation "potentially introduces race
+// conditions" and gestures at message ordering as the fix. The literal
+// reading — the owner installs the permanent dirty entry at send time and
+// the receiver sends nothing at all — is UNSAFE even over FIFO channels,
+// and the model checker finds the counterexample automatically (see
+// TestOwnerSenderNaiveIsUnsafe): the owner sends the reference twice; the
+// receiver's clean call for the first delivery races the second copy,
+// which crosses the network with no table entry protecting it. Per-channel
+// ordering cannot help, because the clean and the copy travel on opposite
+// channels.
+//
+// The repaired protocol therefore keeps the owner's transient dirty entry
+// for every in-flight copy — exactly the mechanism the base algorithm
+// uses — released by a lightweight copy acknowledgement from the
+// receiver, at which point the owner installs the permanent entry itself.
+// The receiver still never makes a dirty call and never blocks; the cost
+// of an owner-sent reference falls from copy+dirty+dirty_ack+copy_ack+
+// clean (5 messages, FIFO variant) to copy+copy_ack+clean (3), and the
+// registration round trip leaves the critical path entirely.
+type OwnerSenderMode int
+
+// Owner-sender modes.
+const (
+	// OwnerSenderOff disables the optimisation (plain FIFO variant).
+	OwnerSenderOff OwnerSenderMode = iota
+	// OwnerSenderNaive is the literal reading of §5.2.1: permanent entry
+	// at send, nothing from the receiver. Unsafe; kept to demonstrate the
+	// race the model checker finds.
+	OwnerSenderNaive
+	// OwnerSenderRepaired protects in-flight owner copies with transient
+	// entries and installs the permanent entry on the receiver's
+	// (immediate, non-blocking) copy acknowledgement.
+	OwnerSenderRepaired
+)
+
+// String names the mode.
+func (m OwnerSenderMode) String() string {
+	return [...]string{"off", "naive", "repaired"}[m]
+}
+
+// enabledOwnerSender enumerates the transitions of the owner-sender
+// machine; it replaces FConfig.Enabled when a mode is selected.
+func (c *FConfig) enabledOwnerSender(mode OwnerSenderMode) []FTransition {
+	var ts []FTransition
+	add := func(name, detail string, mut bool, f func(*FConfig)) {
+		ts = append(ts, FTransition{Name: name, Detail: detail, Mutator: mut, apply: f})
+	}
+	for r := RefID(0); int(r) < c.NRefs; r++ {
+		owner := c.Owner(r)
+		for p := Proc(0); int(p) < c.NProcs; p++ {
+			p := p
+			if c.Reachable[prKey{p, r}] {
+				add("drop", fmt.Sprintf("p%d,r%d", p, r), true, func(c *FConfig) {
+					delete(c.Reachable, prKey{p, r})
+				})
+			}
+			if !c.Reachable[prKey{p, r}] && c.Usable[prKey{p, r}] && p != owner &&
+				c.DirtyAcked[prKey{p, r}] && !c.hasWaiting(p, r) && !c.hasFTDirty(p, r) {
+				add("clean", fmt.Sprintf("p%d,r%d", p, r), false, func(c *FConfig) {
+					delete(c.Usable, prKey{p, r})
+					delete(c.DirtyAcked, prKey{p, r})
+					c.post(p, owner, Msg{Kind: MsgClean, Ref: r})
+				})
+			}
+			if c.CopyBudget > 0 && c.Reachable[prKey{p, r}] &&
+				(c.Usable[prKey{p, r}] || p == owner) {
+				for q := Proc(0); int(q) < c.NProcs; q++ {
+					if q == p {
+						continue
+					}
+					q := q
+					if q == owner && p != owner {
+						// §5.2.2, receiver-is-owner: returning a reference
+						// to its owner needs no transient entry and no
+						// acknowledgement — the sender's own permanent
+						// dirty entry protects the copy, and FIFO ordering
+						// on the p→owner channel guarantees the sender's
+						// eventual clean cannot overtake it.
+						add("make_copy_to_owner", fmt.Sprintf("p%d,p%d,r%d", p, q, r), true, func(c *FConfig) {
+							id := c.NextID
+							c.NextID++
+							c.CopyBudget--
+							c.post(p, q, Msg{Kind: MsgCopy, Ref: r, ID: id})
+						})
+						continue
+					}
+					if p == owner {
+						add("make_copy_owner", fmt.Sprintf("p%d,p%d,r%d", p, q, r), true, func(c *FConfig) {
+							id := c.NextID
+							c.NextID++
+							c.CopyBudget--
+							switch mode {
+							case OwnerSenderNaive:
+								// Literal §5.2.1: permanent entry at send,
+								// nothing in flight to protect the copy.
+								c.PDirty[pdKey{r, q}] = true
+							default:
+								// Repaired: transient entry until the
+								// receiver acknowledges.
+								c.TDirty[tdKey{p, r, q, id}] = true
+							}
+							c.post(p, q, Msg{Kind: MsgCopy, Ref: r, ID: id})
+						})
+					} else {
+						add("make_copy", fmt.Sprintf("p%d,p%d,r%d", p, q, r), true, func(c *FConfig) {
+							id := c.NextID
+							c.NextID++
+							c.CopyBudget--
+							c.TDirty[tdKey{p, r, q, id}] = true
+							c.post(p, q, Msg{Kind: MsgCopy, Ref: r, ID: id})
+						})
+					}
+				}
+			}
+		}
+	}
+	for ck, msgs := range c.Channels {
+		if len(msgs) == 0 {
+			continue
+		}
+		ck := ck
+		m := msgs[0]
+		detail := fmt.Sprintf("p%d,p%d,r%d,id%d", ck.From, ck.To, m.Ref, m.ID)
+		switch m.Kind {
+		case MsgCopy:
+			switch {
+			case ck.From == c.Owner(m.Ref) && ck.To != c.Owner(m.Ref):
+				add("receive_copy_owner", detail, false, func(c *FConfig) {
+					c.receiveOwnerCopy(ck.From, ck.To, m, mode)
+				})
+			case ck.To == c.Owner(m.Ref):
+				// The owner receiving its own reference: the concrete
+				// object is used directly; nothing to register or ack.
+				add("receive_copy_at_owner", detail, false, func(c *FConfig) {
+					c.pop(ck)
+					c.Reachable[prKey{ck.To, m.Ref}] = true
+				})
+			default:
+				add("receive_copy", detail, false, func(c *FConfig) { c.receiveCopy(ck.From, ck.To, m) })
+			}
+		case MsgCopyAck:
+			add("receive_copy_ack", detail, false, func(c *FConfig) {
+				c.pop(ck)
+				tk := tdKey{ck.To, m.Ref, ck.From, m.ID}
+				ownerAck := ck.To == c.Owner(m.Ref) && c.TDirty[tk]
+				delete(c.TDirty, tk)
+				if ownerAck && mode == OwnerSenderRepaired {
+					// The receiver confirmed delivery of an owner-sent
+					// copy: the owner installs the permanent entry now.
+					// FIFO on the receiver→owner channel guarantees any
+					// later clean from the receiver arrives after this.
+					c.PDirty[pdKey{m.Ref, ck.From}] = true
+				}
+			})
+		case MsgDirty:
+			add("receive_dirty", detail, false, func(c *FConfig) {
+				c.pop(ck)
+				c.PDirty[pdKey{m.Ref, ck.From}] = true
+				c.post(ck.To, ck.From, Msg{Kind: MsgDirtyAck, Ref: m.Ref})
+			})
+		case MsgDirtyAck:
+			add("receive_dirty_ack", detail, false, func(c *FConfig) {
+				c.pop(ck)
+				p := ck.To
+				c.DirtyAcked[prKey{p, m.Ref}] = true
+				for wk := range c.WaitingAcks {
+					if wk.Proc == p && wk.Ref == m.Ref {
+						c.post(p, wk.From, Msg{Kind: MsgCopyAck, Ref: m.Ref, ID: wk.ID})
+						delete(c.WaitingAcks, wk)
+					}
+				}
+			})
+		case MsgClean:
+			add("receive_clean", detail, false, func(c *FConfig) {
+				c.pop(ck)
+				delete(c.PDirty, pdKey{m.Ref, ck.From})
+			})
+		}
+	}
+	return ts
+}
+
+// receiveOwnerCopy handles a copy sent by the owner itself: the reference
+// is usable immediately with no dirty call. In repaired mode the receiver
+// acknowledges at once (non-blocking), which is what lets the owner swap
+// its transient entry for the permanent one.
+func (c *FConfig) receiveOwnerCopy(p1, p2 Proc, m Msg, mode OwnerSenderMode) {
+	c.pop(chanKey{p1, p2})
+	r := m.Ref
+	c.Reachable[prKey{p2, r}] = true
+	c.EverHad[prKey{p2, r}] = true
+	c.Usable[prKey{p2, r}] = true
+	c.DirtyAcked[prKey{p2, r}] = true
+	if mode == OwnerSenderRepaired {
+		c.post(p2, p1, Msg{Kind: MsgCopyAck, Ref: r, ID: m.ID})
+	}
+}
+
+// OSExplore exhaustively explores the owner-sender machine in the given
+// mode, checking the FIFO safety requirement at every state. It returns
+// the state count and the first violation with its trace.
+func OSExplore(c *FConfig, mode OwnerSenderMode, maxStates int) (states int, violation error, trace []string) {
+	if maxStates <= 0 {
+		maxStates = 2_000_000
+	}
+	type node struct {
+		cfg   *FConfig
+		trace []string
+	}
+	visited := map[string]bool{c.Key(): true}
+	queue := []node{{cfg: c}}
+	states = 1
+	if err := c.CheckSafety(); err != nil {
+		return states, err, nil
+	}
+	for len(queue) > 0 && states < maxStates {
+		n := queue[0]
+		queue = queue[1:]
+		for _, t := range n.cfg.enabledOwnerSender(mode) {
+			succ := t.Apply(n.cfg)
+			key := succ.Key()
+			if visited[key] {
+				continue
+			}
+			visited[key] = true
+			states++
+			tr := append(append([]string(nil), n.trace...), t.String())
+			if err := succ.CheckSafety(); err != nil {
+				return states, err, tr
+			}
+			queue = append(queue, node{cfg: succ, trace: tr})
+		}
+	}
+	return states, nil, nil
+}
+
+// RunOwnerSenderScenario drives the repaired owner-sender machine through
+// a scripted scenario (mutator transitions by name, quiescing between)
+// and returns the total number of messages exchanged.
+func RunOwnerSenderScenario(c *FConfig, script []string) (int, error) {
+	cur := c
+	fire := func(name string) error {
+		for _, tr := range cur.enabledOwnerSender(OwnerSenderRepaired) {
+			if tr.String() == name || tr.Name == name {
+				cur = tr.Apply(cur)
+				return nil
+			}
+		}
+		return fmt.Errorf("refmodel: scripted transition %q not enabled", name)
+	}
+	quiesce := func(skipClean bool) {
+		for {
+			fired := false
+			for _, tr := range cur.enabledOwnerSender(OwnerSenderRepaired) {
+				if tr.Mutator || (skipClean && tr.Name == "clean") {
+					continue
+				}
+				cur = tr.Apply(cur)
+				fired = true
+				break
+			}
+			if !fired {
+				return
+			}
+		}
+	}
+	for _, name := range script {
+		if name == "clean" {
+			// fire the first enabled clean
+			for _, tr := range cur.enabledOwnerSender(OwnerSenderRepaired) {
+				if tr.Name == "clean" {
+					cur = tr.Apply(cur)
+					break
+				}
+			}
+		} else if err := fire(name); err != nil {
+			return 0, err
+		}
+		quiesce(true)
+	}
+	quiesce(false)
+	total := 0
+	for _, n := range cur.MsgCount {
+		total += n
+	}
+	return total, nil
+}

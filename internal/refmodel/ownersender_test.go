@@ -1,0 +1,105 @@
+package refmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOwnerSenderNaiveIsUnsafe(t *testing.T) {
+	// The literal reading of §5.2.1 — every owner-sent copy implicitly
+	// registers the receiver — is unsafe even over FIFO channels: the
+	// model checker must find the race where the receiver's clean for an
+	// earlier copy cancels the registration installed for a later copy
+	// still in transit.
+	c := NewFConfig(2, []Proc{0}, 2)
+	states, violation, trace := OSExplore(c, OwnerSenderNaive, 0)
+	if violation == nil {
+		t.Fatalf("naive owner-sender explored %d states without finding the race", states)
+	}
+	t.Logf("race found in %d states:\n  %s", states, strings.Join(trace, "\n  "))
+	// The counterexample involves a clean racing an owner copy.
+	joined := strings.Join(trace, " ")
+	if !strings.Contains(joined, "clean") || !strings.Contains(joined, "make_copy_owner") {
+		t.Fatalf("unexpected counterexample shape: %v", trace)
+	}
+}
+
+func TestOwnerSenderRepairedIsSafe(t *testing.T) {
+	for _, procs := range []int{2, 3} {
+		c := NewFConfig(procs, []Proc{0}, 2)
+		states, violation, trace := OSExplore(c, OwnerSenderRepaired, 0)
+		if violation != nil {
+			t.Fatalf("procs=%d: %v\ntrace:\n  %s", procs, violation, strings.Join(trace, "\n  "))
+		}
+		t.Logf("procs=%d: %d states safe", procs, states)
+		if states < 20 {
+			t.Fatalf("suspiciously small state space: %d", states)
+		}
+	}
+}
+
+func TestOwnerSenderImportReleaseCostsThreeMessages(t *testing.T) {
+	// The repaired protocol's import-release cycle: copy + copy_ack +
+	// clean = 3 messages, with no blocking anywhere — versus 5 for the
+	// plain FIFO variant and 6 for the base algorithm.
+	c := NewFConfig(2, []Proc{0}, 1)
+	total, err := RunOwnerSenderScenario(c, []string{"make_copy_owner", "drop(p1,r0)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 {
+		t.Fatalf("messages=%d, want 3", total)
+	}
+}
+
+func TestOwnerSenderNeverSendsDirty(t *testing.T) {
+	// Across two full deliver/drop rounds the receiver must never issue a
+	// dirty call — the whole point of the optimisation — while staying
+	// registered whenever usable.
+	c := NewFConfig(2, []Proc{0}, 2)
+	cur := c
+	step := func(name string) bool {
+		for _, tr := range cur.enabledOwnerSender(OwnerSenderRepaired) {
+			if tr.String() == name {
+				cur = tr.Apply(cur)
+				return true
+			}
+		}
+		return false
+	}
+	quiesce := func(skipClean bool) {
+		for {
+			fired := false
+			for _, tr := range cur.enabledOwnerSender(OwnerSenderRepaired) {
+				if tr.Mutator || (skipClean && tr.Name == "clean") {
+					continue
+				}
+				cur = tr.Apply(cur)
+				fired = true
+				break
+			}
+			if !fired {
+				return
+			}
+		}
+	}
+	for round := 0; round < 2; round++ {
+		if !step("make_copy_owner(p0,p1,r0)") {
+			t.Fatalf("round %d: no owner copy", round)
+		}
+		quiesce(true)
+		if !cur.Usable[prKey{1, 0}] || !cur.PDirty[pdKey{0, 1}] {
+			t.Fatalf("round %d: client not usable/registered", round)
+		}
+		if !step("drop(p1,r0)") {
+			t.Fatalf("round %d: no drop", round)
+		}
+		quiesce(false)
+	}
+	if cur.MsgCount[MsgDirty] != 0 {
+		t.Fatalf("dirty calls sent: %d, want 0", cur.MsgCount[MsgDirty])
+	}
+	if len(cur.PDirty) != 0 {
+		t.Fatalf("dirty table not drained: %v", cur.PDirty)
+	}
+}

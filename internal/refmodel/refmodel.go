@@ -1,0 +1,374 @@
+// Package refmodel implements the abstract state machine of Birrell's
+// distributed reference listing algorithm as formalised by Moreau, Dickman
+// and Jones — the algorithm Network Objects ships as its distributed
+// garbage collector. Processes communicate through asynchronous,
+// unordered, reliable channels; every rule is an atomic transition.
+//
+// The package serves three purposes. First, it is the executable
+// specification the runtime (internal/dgc, internal/objtable) is written
+// against. Second, its invariants — the lemmas of the correctness proof —
+// are machine-checked over the reachable state space by the tests,
+// including the safety theorem (no object is collectable while a usable
+// remote reference or an in-transit copy exists) and the liveness theorem
+// (once the mutator stops, dirty tables drain). Third, it hosts the
+// baseline and the variants the evaluation compares: naive distributed
+// reference counting (which exhibits the classic increment/decrement
+// race) and the FIFO-channel and owner optimisations of the paper's §5.
+package refmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Proc identifies a process; RefID identifies an object reference.
+type (
+	Proc  int
+	RefID int
+)
+
+// RState is the life-cycle state of a reference at a process.
+type RState int
+
+// Reference states, as in the formalisation (Figure 4).
+const (
+	Bottom  RState = iota // ⊥: pre-existence / post-cleanup
+	Nil                   // received, dirty call not yet acknowledged
+	OK                    // registered and usable
+	Ccit                  // clean call in transit
+	CcitNil               // clean call in transit, reference wanted again
+)
+
+// String names the state with the paper's vocabulary.
+func (s RState) String() string {
+	switch s {
+	case Bottom:
+		return "⊥"
+	case Nil:
+		return "nil"
+	case OK:
+		return "OK"
+	case Ccit:
+		return "ccit"
+	case CcitNil:
+		return "ccitnil"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// MsgKind enumerates the six message types of the algorithm.
+type MsgKind int
+
+// Message kinds.
+const (
+	MsgCopy MsgKind = iota
+	MsgCopyAck
+	MsgDirty
+	MsgDirtyAck
+	MsgClean
+	MsgCleanAck
+)
+
+// String names the message kind.
+func (k MsgKind) String() string {
+	return [...]string{"copy", "copy_ack", "dirty", "dirty_ack", "clean", "clean_ack"}[k]
+}
+
+// Msg is one message in a channel. ID distinguishes parallel copies of the
+// same reference (and pairs each copy with its acknowledgement); it is
+// zero for dirty/clean traffic.
+type Msg struct {
+	Kind MsgKind
+	Ref  RefID
+	ID   int
+}
+
+// chanKey addresses the channel from one process to another.
+type chanKey struct{ From, To Proc }
+
+// Table keys. The holder of a transient dirty entry is its sender, so the
+// paper's ⟨p1, p2, id⟩ triple in tdirty_T(p1, r) becomes {p1, r, p2, id}.
+type (
+	// tdKey: transient dirty entry at Holder for Ref, covering the copy
+	// with ID sent to Receiver.
+	tdKey struct {
+		Holder   Proc
+		Ref      RefID
+		Receiver Proc
+		ID       int
+	}
+	// pdKey: permanent dirty entry at the owner of Ref for Client.
+	pdKey struct {
+		Ref    RefID
+		Client Proc
+	}
+	// blKey: blocked deserialisation at Proc for Ref: copy ID from From.
+	blKey struct {
+		Proc Proc
+		Ref  RefID
+		ID   int
+		From Proc
+	}
+	// catKey: copy acknowledgement scheduled at Proc: ack ID to Dest.
+	catKey struct {
+		Proc Proc
+		ID   int
+		Dest Proc
+		Ref  RefID
+	}
+	// datKey: dirty acknowledgement scheduled at the owner, to Dest.
+	datKey struct {
+		Owner Proc
+		Dest  Proc
+		Ref   RefID
+	}
+	// clatKey: clean acknowledgement scheduled at the owner, to Dest.
+	clatKey struct {
+		Owner Proc
+		Dest  Proc
+		Ref   RefID
+	}
+	// prKey: a (process, reference) pair, for the call-todo tables.
+	prKey struct {
+		Proc Proc
+		Ref  RefID
+	}
+)
+
+// Config is one global state of the abstract machine. All maps are
+// treated as sets; Clone before mutating.
+type Config struct {
+	NProcs int
+	NRefs  int
+	// OwnerOf maps each reference to its owning process.
+	OwnerOf []Proc
+
+	// Rec is the receive table: reference state per (process, reference).
+	// The owner's own entry stays ⊥ forever; owners use the concrete
+	// object, not a surrogate.
+	Rec map[prKey]RState
+	// Reachable is mutator state: does the application at a process still
+	// hold the reference locally? It gates make_copy and finalize, and
+	// receiving a copy makes a reference reachable again.
+	Reachable map[prKey]bool
+
+	TDirty        map[tdKey]bool
+	PDirty        map[pdKey]bool
+	Blocked       map[blKey]bool
+	CopyAckTodo   map[catKey]bool
+	DirtyAckTodo  map[datKey]bool
+	CleanAckTodo  map[clatKey]bool
+	DirtyCallTodo map[prKey]bool
+	CleanCallTodo map[prKey]bool
+
+	// Channels holds in-transit messages as bags (order-free).
+	Channels map[chanKey][]Msg
+
+	// NextID numbers copy messages; CopyBudget bounds how many more
+	// make_copy transitions may fire, keeping exhaustive exploration
+	// finite.
+	NextID     int
+	CopyBudget int
+}
+
+// NewConfig returns the initial configuration: empty tables and channels,
+// every reference reachable only at its owner.
+func NewConfig(nprocs int, owners []Proc, copyBudget int) *Config {
+	c := &Config{
+		NProcs:        nprocs,
+		NRefs:         len(owners),
+		OwnerOf:       append([]Proc(nil), owners...),
+		Rec:           make(map[prKey]RState),
+		Reachable:     make(map[prKey]bool),
+		TDirty:        make(map[tdKey]bool),
+		PDirty:        make(map[pdKey]bool),
+		Blocked:       make(map[blKey]bool),
+		CopyAckTodo:   make(map[catKey]bool),
+		DirtyAckTodo:  make(map[datKey]bool),
+		CleanAckTodo:  make(map[clatKey]bool),
+		DirtyCallTodo: make(map[prKey]bool),
+		CleanCallTodo: make(map[prKey]bool),
+		Channels:      make(map[chanKey][]Msg),
+		NextID:        1,
+		CopyBudget:    copyBudget,
+	}
+	for r, o := range owners {
+		c.Reachable[prKey{o, RefID(r)}] = true
+	}
+	return c
+}
+
+// Owner returns the owner of r.
+func (c *Config) Owner(r RefID) Proc { return c.OwnerOf[r] }
+
+// RecOf returns the receive-table state for (p, r); absent means ⊥.
+func (c *Config) RecOf(p Proc, r RefID) RState { return c.Rec[prKey{p, r}] }
+
+func (c *Config) setRec(p Proc, r RefID, s RState) {
+	if s == Bottom {
+		delete(c.Rec, prKey{p, r})
+	} else {
+		c.Rec[prKey{p, r}] = s
+	}
+}
+
+// Clone deep-copies the configuration.
+func (c *Config) Clone() *Config {
+	n := &Config{
+		NProcs:        c.NProcs,
+		NRefs:         c.NRefs,
+		OwnerOf:       c.OwnerOf, // immutable
+		Rec:           cloneMap(c.Rec),
+		Reachable:     cloneMap(c.Reachable),
+		TDirty:        cloneMap(c.TDirty),
+		PDirty:        cloneMap(c.PDirty),
+		Blocked:       cloneMap(c.Blocked),
+		CopyAckTodo:   cloneMap(c.CopyAckTodo),
+		DirtyAckTodo:  cloneMap(c.DirtyAckTodo),
+		CleanAckTodo:  cloneMap(c.CleanAckTodo),
+		DirtyCallTodo: cloneMap(c.DirtyCallTodo),
+		CleanCallTodo: cloneMap(c.CleanCallTodo),
+		Channels:      make(map[chanKey][]Msg, len(c.Channels)),
+		NextID:        c.NextID,
+		CopyBudget:    c.CopyBudget,
+	}
+	for k, v := range c.Channels {
+		if len(v) > 0 {
+			n.Channels[k] = append([]Msg(nil), v...)
+		}
+	}
+	return n
+}
+
+func cloneMap[K comparable, V any](m map[K]V) map[K]V {
+	n := make(map[K]V, len(m))
+	for k, v := range m {
+		n[k] = v
+	}
+	return n
+}
+
+// post adds a message to the channel from p1 to p2.
+func (c *Config) post(p1, p2 Proc, m Msg) {
+	k := chanKey{p1, p2}
+	c.Channels[k] = append(c.Channels[k], m)
+}
+
+// receive removes one occurrence of m from the channel from p1 to p2.
+func (c *Config) receive(p1, p2 Proc, m Msg) bool {
+	k := chanKey{p1, p2}
+	msgs := c.Channels[k]
+	for i, x := range msgs {
+		if x == m {
+			msgs[i] = msgs[len(msgs)-1]
+			msgs = msgs[:len(msgs)-1]
+			if len(msgs) == 0 {
+				delete(c.Channels, k)
+			} else {
+				c.Channels[k] = msgs
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// inChannel reports whether m is in transit from p1 to p2.
+func (c *Config) inChannel(p1, p2 Proc, m Msg) bool {
+	for _, x := range c.Channels[chanKey{p1, p2}] {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+// countMsgs counts messages matching the predicate across all channels.
+func (c *Config) countMsgs(pred func(chanKey, Msg) bool) int {
+	n := 0
+	for k, msgs := range c.Channels {
+		for _, m := range msgs {
+			if pred(k, m) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Key renders a canonical encoding of the configuration, used as the
+// visited-set key during exploration.
+func (c *Config) Key() string {
+	var b strings.Builder
+	writeSorted := func(prefix string, items []string) {
+		sort.Strings(items)
+		b.WriteString(prefix)
+		for _, s := range items {
+			b.WriteString(s)
+			b.WriteByte(';')
+		}
+	}
+	var xs []string
+	for k, v := range c.Rec {
+		xs = append(xs, fmt.Sprintf("%d,%d=%d", k.Proc, k.Ref, v))
+	}
+	writeSorted("R:", xs)
+	xs = xs[:0]
+	for k, v := range c.Reachable {
+		if v {
+			xs = append(xs, fmt.Sprintf("%d,%d", k.Proc, k.Ref))
+		}
+	}
+	writeSorted("|L:", xs)
+	xs = xs[:0]
+	for k := range c.TDirty {
+		xs = append(xs, fmt.Sprintf("%d,%d,%d,%d", k.Holder, k.Ref, k.Receiver, k.ID))
+	}
+	writeSorted("|T:", xs)
+	xs = xs[:0]
+	for k := range c.PDirty {
+		xs = append(xs, fmt.Sprintf("%d,%d", k.Ref, k.Client))
+	}
+	writeSorted("|P:", xs)
+	xs = xs[:0]
+	for k := range c.Blocked {
+		xs = append(xs, fmt.Sprintf("%d,%d,%d,%d", k.Proc, k.Ref, k.ID, k.From))
+	}
+	writeSorted("|B:", xs)
+	xs = xs[:0]
+	for k := range c.CopyAckTodo {
+		xs = append(xs, fmt.Sprintf("%d,%d,%d,%d", k.Proc, k.ID, k.Dest, k.Ref))
+	}
+	writeSorted("|CA:", xs)
+	xs = xs[:0]
+	for k := range c.DirtyAckTodo {
+		xs = append(xs, fmt.Sprintf("%d,%d,%d", k.Owner, k.Dest, k.Ref))
+	}
+	writeSorted("|DA:", xs)
+	xs = xs[:0]
+	for k := range c.CleanAckTodo {
+		xs = append(xs, fmt.Sprintf("%d,%d,%d", k.Owner, k.Dest, k.Ref))
+	}
+	writeSorted("|CLA:", xs)
+	xs = xs[:0]
+	for k := range c.DirtyCallTodo {
+		xs = append(xs, fmt.Sprintf("%d,%d", k.Proc, k.Ref))
+	}
+	writeSorted("|DC:", xs)
+	xs = xs[:0]
+	for k := range c.CleanCallTodo {
+		xs = append(xs, fmt.Sprintf("%d,%d", k.Proc, k.Ref))
+	}
+	writeSorted("|CC:", xs)
+	xs = xs[:0]
+	for k, msgs := range c.Channels {
+		for _, m := range msgs {
+			xs = append(xs, fmt.Sprintf("%d>%d:%d,%d,%d", k.From, k.To, m.Kind, m.Ref, m.ID))
+		}
+	}
+	writeSorted("|K:", xs)
+	fmt.Fprintf(&b, "|N:%d|G:%d", c.NextID, c.CopyBudget)
+	return b.String()
+}

@@ -1,0 +1,678 @@
+package refmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements two related distributed reference counting
+// protocols as executable machines, to position Birrell's algorithm the
+// way the literature does: Lermen & Maurer's acknowledgement scheme (the
+// earliest correct solution to the increment/decrement race) and Weighted
+// Reference Counting (which avoids increments entirely by splitting a
+// weight between copies). Both are explored exhaustively against their
+// safety requirement, and their message counts feed the protocol
+// comparison table.
+
+// --- Lermen & Maurer -------------------------------------------------
+
+// In Lermen & Maurer's protocol the *sender* of a copy notifies the owner
+// (an increment naming the receiver), the owner acknowledges to the
+// *receiver*, and a receiver delays its decrement until it has received
+// as many acknowledgements as copies — guaranteeing every increment it
+// caused has been counted before its decrement can land.
+//
+// The protocol additionally requires order-preserving channels: a
+// sender's own decrement must not overtake the increment it sent for a
+// copy still in flight. The machine models channels as FIFO queues;
+// relaxing that (receiving from anywhere in the bag) lets the explorer
+// find the premature-collection race in three steps, which is a nice
+// demonstration of why Birrell's scheme — which needs no ordering —
+// carries its extra acknowledgements.
+
+// lmMsg kinds.
+const (
+	lmCopy = iota
+	lmInc
+	lmAck
+	lmDec
+)
+
+type lmMsg struct {
+	Kind int
+	// Target is the receiver an inc/ack concerns.
+	Target Proc
+}
+
+// LMConfig is a state of the Lermen–Maurer machine for one object owned
+// by process 0, initially referenced by process 1.
+type LMConfig struct {
+	NProcs int
+	// Unordered drops the FIFO channel assumption the protocol depends
+	// on; the explorer then finds the premature-collection race.
+	Unordered  bool
+	Count      int
+	Holds      []bool
+	CopiesRecv []int
+	AcksRecv   []int
+	Channels   map[chanKey][]lmMsg
+	Collected  bool
+	CopyBudget int
+	Msgs       int
+}
+
+// NewLMConfig returns the initial configuration: the owner's count is 1
+// and process 1 holds a fully acknowledged reference.
+func NewLMConfig(nprocs, copyBudget int) *LMConfig {
+	c := &LMConfig{
+		NProcs:     nprocs,
+		Count:      1,
+		Holds:      make([]bool, nprocs),
+		CopiesRecv: make([]int, nprocs),
+		AcksRecv:   make([]int, nprocs),
+		Channels:   make(map[chanKey][]lmMsg),
+		CopyBudget: copyBudget,
+	}
+	c.Holds[1] = true
+	c.CopiesRecv[1] = 1
+	c.AcksRecv[1] = 1
+	return c
+}
+
+func (c *LMConfig) clone() *LMConfig {
+	n := &LMConfig{
+		NProcs:     c.NProcs,
+		Unordered:  c.Unordered,
+		Count:      c.Count,
+		Holds:      append([]bool(nil), c.Holds...),
+		CopiesRecv: append([]int(nil), c.CopiesRecv...),
+		AcksRecv:   append([]int(nil), c.AcksRecv...),
+		Channels:   make(map[chanKey][]lmMsg, len(c.Channels)),
+		Collected:  c.Collected,
+		CopyBudget: c.CopyBudget,
+		Msgs:       c.Msgs,
+	}
+	for k, v := range c.Channels {
+		n.Channels[k] = append([]lmMsg(nil), v...)
+	}
+	return n
+}
+
+func (c *LMConfig) key() string {
+	var parts []string
+	for k, msgs := range c.Channels {
+		if len(msgs) == 0 {
+			continue
+		}
+		var q []string
+		for _, m := range msgs {
+			q = append(q, fmt.Sprintf("%d,%d", m.Kind, m.Target))
+		}
+		parts = append(parts, fmt.Sprintf("%d>%d:%s", k.From, k.To, strings.Join(q, "-")))
+	}
+	sort.Strings(parts)
+	return fmt.Sprintf("c%d|h%v|r%v|a%v|x%v|b%d|%s",
+		c.Count, c.Holds, c.CopiesRecv, c.AcksRecv, c.Collected, c.CopyBudget,
+		strings.Join(parts, ";"))
+}
+
+func (c *LMConfig) post(from, to Proc, m lmMsg) {
+	k := chanKey{from, to}
+	c.Channels[k] = append(c.Channels[k], m)
+	c.Msgs++
+}
+
+// take removes a received message: the head under FIFO semantics, any
+// matching occurrence in unordered mode.
+func (c *LMConfig) take(from, to Proc, m lmMsg) {
+	k := chanKey{from, to}
+	msgs := c.Channels[k]
+	if len(msgs) == 0 {
+		return
+	}
+	if !c.Unordered {
+		if msgs[0] == m {
+			c.Channels[k] = msgs[1:]
+		}
+		return
+	}
+	for i, x := range msgs {
+		if x == m {
+			c.Channels[k] = append(append([]lmMsg(nil), msgs[:i]...), msgs[i+1:]...)
+			return
+		}
+	}
+}
+
+type lmTransition struct {
+	name  string
+	apply func(*LMConfig)
+}
+
+func (c *LMConfig) enabled() []lmTransition {
+	var ts []lmTransition
+	const owner = Proc(0)
+	for p := Proc(1); int(p) < c.NProcs; p++ {
+		p := p
+		if c.Holds[p] && c.CopyBudget > 0 {
+			for q := Proc(1); int(q) < c.NProcs; q++ {
+				if q == p {
+					continue
+				}
+				q := q
+				ts = append(ts, lmTransition{
+					name: fmt.Sprintf("send(p%d,p%d)", p, q),
+					apply: func(c *LMConfig) {
+						c.CopyBudget--
+						c.post(p, q, lmMsg{Kind: lmCopy})
+						// The sender notifies the owner on the
+						// receiver's behalf.
+						c.post(p, owner, lmMsg{Kind: lmInc, Target: q})
+					},
+				})
+			}
+		}
+		// The decrement is deferred until every copy this process
+		// received has been acknowledged by the owner.
+		if c.Holds[p] && c.AcksRecv[p] == c.CopiesRecv[p] {
+			ts = append(ts, lmTransition{
+				name: fmt.Sprintf("drop(p%d)", p),
+				apply: func(c *LMConfig) {
+					c.Holds[p] = false
+					c.post(p, owner, lmMsg{Kind: lmDec})
+				},
+			})
+		}
+	}
+	// FIFO: only the head of each channel is receivable (every message,
+	// in unordered mode).
+	for k, msgs := range c.Channels {
+		if len(msgs) == 0 {
+			continue
+		}
+		receivable := msgs[:1]
+		if c.Unordered {
+			receivable = msgs
+		}
+		for _, m := range receivable {
+			k, m := k, m
+			switch m.Kind {
+			case lmCopy:
+				ts = append(ts, lmTransition{
+					name: fmt.Sprintf("recv_copy(p%d,p%d)", k.From, k.To),
+					apply: func(c *LMConfig) {
+						c.take(k.From, k.To, m)
+						c.Holds[k.To] = true
+						c.CopiesRecv[k.To]++
+					},
+				})
+			case lmInc:
+				ts = append(ts, lmTransition{
+					name: fmt.Sprintf("recv_inc(p%d->p%d)", k.From, m.Target),
+					apply: func(c *LMConfig) {
+						c.take(k.From, k.To, m)
+						c.Count++
+						c.post(Proc(0), m.Target, lmMsg{Kind: lmAck, Target: m.Target})
+					},
+				})
+			case lmAck:
+				ts = append(ts, lmTransition{
+					name: fmt.Sprintf("recv_ack(p%d)", k.To),
+					apply: func(c *LMConfig) {
+						c.take(k.From, k.To, m)
+						c.AcksRecv[k.To]++
+					},
+				})
+			case lmDec:
+				ts = append(ts, lmTransition{
+					name: fmt.Sprintf("recv_dec(p%d)", k.From),
+					apply: func(c *LMConfig) {
+						c.take(k.From, k.To, m)
+						c.Count--
+						if c.Count <= 0 {
+							c.Collected = true
+						}
+					},
+				})
+			}
+		}
+	}
+	return ts
+}
+
+// unsafe reports a premature collection: the object is gone while a live
+// reference or an in-flight copy exists.
+func (c *LMConfig) unsafe() bool {
+	if !c.Collected {
+		return false
+	}
+	for p := 1; p < c.NProcs; p++ {
+		if c.Holds[p] {
+			return true
+		}
+	}
+	for _, msgs := range c.Channels {
+		for _, m := range msgs {
+			if m.Kind == lmCopy {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// LMExplore exhaustively explores the Lermen–Maurer machine and returns
+// the state count and any premature-collection counterexample.
+func LMExplore(nprocs, copyBudget, maxStates int) (states int, counterexample []string) {
+	if maxStates <= 0 {
+		maxStates = 2_000_000
+	}
+	return lmExplore(NewLMConfig(nprocs, copyBudget), maxStates)
+}
+
+// LMExploreUnordered explores the Lermen–Maurer machine WITHOUT the FIFO
+// channel assumption it depends on; the returned counterexample shows why
+// the assumption is load-bearing.
+func LMExploreUnordered(nprocs, copyBudget, maxStates int) (states int, counterexample []string) {
+	if maxStates <= 0 {
+		maxStates = 2_000_000
+	}
+	c := NewLMConfig(nprocs, copyBudget)
+	c.Unordered = true
+	return lmExplore(c, maxStates)
+}
+
+func lmExplore(init *LMConfig, maxStates int) (states int, counterexample []string) {
+	type node struct {
+		cfg   *LMConfig
+		trace []string
+	}
+	visited := map[string]bool{init.key(): true}
+	queue := []node{{cfg: init}}
+	states = 1
+	for len(queue) > 0 && states < maxStates {
+		n := queue[0]
+		queue = queue[1:]
+		for _, t := range n.cfg.enabled() {
+			succ := n.cfg.clone()
+			t.apply(succ)
+			tr := append(append([]string(nil), n.trace...), t.name)
+			if succ.unsafe() {
+				return states, tr
+			}
+			k := succ.key()
+			if visited[k] {
+				continue
+			}
+			visited[k] = true
+			states++
+			queue = append(queue, node{cfg: succ, trace: tr})
+		}
+	}
+	return states, nil
+}
+
+// --- Weighted Reference Counting --------------------------------------
+
+// In WRC the object carries a total weight and every reference a partial
+// weight; copying splits the sender's weight in half with no message to
+// the owner, and dropping returns the reference's weight in a decrement.
+// The object is collectable when its weight reaches zero.
+
+type wrcMsg struct {
+	Kind   int // 0 = copy (carrying weight), 1 = dec (carrying weight)
+	Weight int
+}
+
+// WRCConfig is a state of the weighted reference counting machine for one
+// object owned by process 0.
+type WRCConfig struct {
+	NProcs     int
+	Total      int
+	Weights    []int // per process; 0 = no reference
+	Channels   map[chanKey][]wrcMsg
+	Collected  bool
+	CopyBudget int
+	Msgs       int
+}
+
+// NewWRCConfig returns the initial configuration: process 1 holds the
+// only reference with weight 1<<copyBudget, so every copy can split.
+func NewWRCConfig(nprocs, copyBudget int) *WRCConfig {
+	w := 1 << copyBudget
+	c := &WRCConfig{
+		NProcs:     nprocs,
+		Total:      w,
+		Weights:    make([]int, nprocs),
+		Channels:   make(map[chanKey][]wrcMsg),
+		CopyBudget: copyBudget,
+	}
+	c.Weights[1] = w
+	return c
+}
+
+func (c *WRCConfig) clone() *WRCConfig {
+	n := &WRCConfig{
+		NProcs:     c.NProcs,
+		Total:      c.Total,
+		Weights:    append([]int(nil), c.Weights...),
+		Channels:   make(map[chanKey][]wrcMsg, len(c.Channels)),
+		Collected:  c.Collected,
+		CopyBudget: c.CopyBudget,
+		Msgs:       c.Msgs,
+	}
+	for k, v := range c.Channels {
+		n.Channels[k] = append([]wrcMsg(nil), v...)
+	}
+	return n
+}
+
+func (c *WRCConfig) key() string {
+	var parts []string
+	for k, msgs := range c.Channels {
+		for _, m := range msgs {
+			parts = append(parts, fmt.Sprintf("%d>%d:%d,%d", k.From, k.To, m.Kind, m.Weight))
+		}
+	}
+	sort.Strings(parts)
+	return fmt.Sprintf("t%d|w%v|x%v|b%d|%s", c.Total, c.Weights, c.Collected, c.CopyBudget,
+		strings.Join(parts, ";"))
+}
+
+func (c *WRCConfig) post(from, to Proc, m wrcMsg) {
+	k := chanKey{from, to}
+	c.Channels[k] = append(c.Channels[k], m)
+	c.Msgs++
+}
+
+func (c *WRCConfig) take(from, to Proc, m wrcMsg) {
+	k := chanKey{from, to}
+	msgs := c.Channels[k]
+	for i, x := range msgs {
+		if x == m {
+			msgs[i] = msgs[len(msgs)-1]
+			c.Channels[k] = msgs[:len(msgs)-1]
+			return
+		}
+	}
+}
+
+type wrcTransition struct {
+	name  string
+	apply func(*WRCConfig)
+}
+
+func (c *WRCConfig) enabled() []wrcTransition {
+	var ts []wrcTransition
+	const owner = Proc(0)
+	for p := Proc(1); int(p) < c.NProcs; p++ {
+		p := p
+		if c.Weights[p] >= 2 && c.CopyBudget > 0 {
+			for q := Proc(1); int(q) < c.NProcs; q++ {
+				if q == p {
+					continue
+				}
+				q := q
+				ts = append(ts, wrcTransition{
+					name: fmt.Sprintf("send(p%d,p%d)", p, q),
+					apply: func(c *WRCConfig) {
+						c.CopyBudget--
+						half := c.Weights[p] / 2
+						c.Weights[p] -= half
+						// No message to the owner: the split weight
+						// travels with the copy.
+						c.post(p, q, wrcMsg{Kind: 0, Weight: half})
+					},
+				})
+			}
+		}
+		if c.Weights[p] > 0 {
+			ts = append(ts, wrcTransition{
+				name: fmt.Sprintf("drop(p%d)", p),
+				apply: func(c *WRCConfig) {
+					w := c.Weights[p]
+					c.Weights[p] = 0
+					c.post(p, owner, wrcMsg{Kind: 1, Weight: w})
+				},
+			})
+		}
+	}
+	for k, msgs := range c.Channels {
+		for _, m := range msgs {
+			k, m := k, m
+			switch m.Kind {
+			case 0:
+				ts = append(ts, wrcTransition{
+					name: fmt.Sprintf("recv_copy(p%d,p%d)", k.From, k.To),
+					apply: func(c *WRCConfig) {
+						c.take(k.From, k.To, m)
+						c.Weights[k.To] += m.Weight
+					},
+				})
+			case 1:
+				ts = append(ts, wrcTransition{
+					name: fmt.Sprintf("recv_dec(p%d)", k.From),
+					apply: func(c *WRCConfig) {
+						c.take(k.From, k.To, m)
+						c.Total -= m.Weight
+						if c.Total <= 0 {
+							c.Collected = true
+						}
+					},
+				})
+			}
+		}
+	}
+	return ts
+}
+
+// invariant checks the weight conservation law: the object's total weight
+// always equals the held weights plus the weights in transit, and
+// collection happens only at zero with nothing outstanding.
+func (c *WRCConfig) invariant() error {
+	sum := 0
+	for p := 1; p < c.NProcs; p++ {
+		sum += c.Weights[p]
+	}
+	inTransit := 0
+	for _, msgs := range c.Channels {
+		for _, m := range msgs {
+			inTransit += m.Weight
+		}
+	}
+	if c.Total != sum+inTransit {
+		return fmt.Errorf("weight law broken: total %d != held %d + transit %d", c.Total, sum, inTransit)
+	}
+	if c.Collected && (sum > 0 || c.hasCopyInTransit()) {
+		return fmt.Errorf("premature collection with %d weight held", sum)
+	}
+	return nil
+}
+
+func (c *WRCConfig) hasCopyInTransit() bool {
+	for _, msgs := range c.Channels {
+		for _, m := range msgs {
+			if m.Kind == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// WRCExplore exhaustively explores the weighted reference counting
+// machine, checking the weight invariant at every state.
+func WRCExplore(nprocs, copyBudget, maxStates int) (states int, violation error, trace []string) {
+	if maxStates <= 0 {
+		maxStates = 2_000_000
+	}
+	type node struct {
+		cfg   *WRCConfig
+		trace []string
+	}
+	init := NewWRCConfig(nprocs, copyBudget)
+	visited := map[string]bool{init.key(): true}
+	queue := []node{{cfg: init}}
+	states = 1
+	for len(queue) > 0 && states < maxStates {
+		n := queue[0]
+		queue = queue[1:]
+		for _, t := range n.cfg.enabled() {
+			succ := n.cfg.clone()
+			t.apply(succ)
+			tr := append(append([]string(nil), n.trace...), t.name)
+			if err := succ.invariant(); err != nil {
+				return states, err, tr
+			}
+			k := succ.key()
+			if visited[k] {
+				continue
+			}
+			visited[k] = true
+			states++
+			queue = append(queue, node{cfg: succ, trace: tr})
+		}
+	}
+	return states, nil, nil
+}
+
+// ProtocolCost is one row of the related-protocols comparison: messages
+// for the canonical forward-and-drop scenario (owner's reference already
+// at p1; p1 forwards to p2; both drop).
+type ProtocolCost struct {
+	Protocol string
+	Messages int
+	// OwnerRoundTrips counts synchronous waits on the owner in the
+	// critical path of a copy (what blocks the mutator).
+	OwnerRoundTrips int
+}
+
+// CompareProtocols measures the forward-and-drop scenario on each
+// machine.
+func CompareProtocols() ([]ProtocolCost, error) {
+	runLM := func() (int, error) {
+		c := NewLMConfig(3, 1)
+		cur := c
+		step := func(name string) error {
+			for _, t := range cur.enabled() {
+				if t.name == name {
+					nc := cur.clone()
+					t.apply(nc)
+					cur = nc
+					return nil
+				}
+			}
+			return fmt.Errorf("refmodel: %q not enabled", name)
+		}
+		quiesce := func() {
+			for {
+				fired := false
+				for _, t := range cur.enabled() {
+					if strings.HasPrefix(t.name, "recv_") {
+						nc := cur.clone()
+						t.apply(nc)
+						cur = nc
+						fired = true
+						break
+					}
+				}
+				if !fired {
+					return
+				}
+			}
+		}
+		if err := step("send(p1,p2)"); err != nil {
+			return 0, err
+		}
+		quiesce()
+		if err := step("drop(p1)"); err != nil {
+			return 0, err
+		}
+		quiesce()
+		if err := step("drop(p2)"); err != nil {
+			return 0, err
+		}
+		quiesce()
+		if !cur.Collected {
+			return 0, fmt.Errorf("refmodel: LM scenario did not collect")
+		}
+		return cur.Msgs, nil
+	}
+	runWRC := func() (int, error) {
+		c := NewWRCConfig(3, 1)
+		cur := c
+		step := func(name string) error {
+			for _, t := range cur.enabled() {
+				if t.name == name {
+					nc := cur.clone()
+					t.apply(nc)
+					cur = nc
+					return nil
+				}
+			}
+			return fmt.Errorf("refmodel: %q not enabled", name)
+		}
+		quiesce := func() {
+			for {
+				fired := false
+				for _, t := range cur.enabled() {
+					if strings.HasPrefix(t.name, "recv_") {
+						nc := cur.clone()
+						t.apply(nc)
+						cur = nc
+						fired = true
+						break
+					}
+				}
+				if !fired {
+					return
+				}
+			}
+		}
+		for _, s := range []string{"send(p1,p2)", "drop(p1)", "drop(p2)"} {
+			if err := step(s); err != nil {
+				return 0, err
+			}
+			quiesce()
+		}
+		if !cur.Collected {
+			return 0, fmt.Errorf("refmodel: WRC scenario did not collect")
+		}
+		return cur.Msgs, nil
+	}
+
+	lm, err := runLM()
+	if err != nil {
+		return nil, err
+	}
+	wrc, err := runWRC()
+	if err != nil {
+		return nil, err
+	}
+	// Birrell: measured on the main machine (copy, dirty, dirty_ack,
+	// copy_ack for the forward; clean+clean_ack per drop).
+	bc := NewConfig(3, []Proc{0}, 1)
+	// Seed p1 with a usable reference the way the LM/WRC machines start:
+	// run the owner's initial hand-off outside the count.
+	bmsgs, _, err := runBirrellScenario(bc, []string{"make_copy(p0,p1,r0)"})
+	if err != nil {
+		return nil, err
+	}
+	full := NewConfig(3, []Proc{0}, 2)
+	fmsgs, _, err := runBirrellScenario(full, []string{
+		"make_copy(p0,p1,r0)",
+		"make_copy(p1,p2,r0)",
+		"drop(p1,r0)", "finalize(p1,r0)",
+		"drop(p2,r0)", "finalize(p2,r0)",
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []ProtocolCost{
+		{Protocol: "birrell", Messages: fmsgs - bmsgs, OwnerRoundTrips: 1},
+		{Protocol: "lermen-maurer", Messages: lm, OwnerRoundTrips: 1},
+		{Protocol: "wrc", Messages: wrc, OwnerRoundTrips: 0},
+		{Protocol: "naive (unsafe)", Messages: 4, OwnerRoundTrips: 0},
+	}, nil
+}

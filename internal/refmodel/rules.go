@@ -1,0 +1,238 @@
+package refmodel
+
+import "fmt"
+
+// Transition is one enabled rule instance: applying it to a clone of the
+// configuration it was enumerated from yields a successor configuration.
+type Transition struct {
+	// Name is the rule name from the formalisation.
+	Name string
+	// Detail renders the rule's arguments.
+	Detail string
+	// Mutator marks transitions driven by the application (make_copy,
+	// drop) or the local collector (finalize); the termination measure is
+	// only required to decrease across non-mutator transitions.
+	Mutator bool
+	apply   func(c *Config)
+}
+
+// String renders the transition.
+func (t Transition) String() string { return t.Name + "(" + t.Detail + ")" }
+
+// Apply returns the successor configuration.
+func (t Transition) Apply(c *Config) *Config {
+	n := c.Clone()
+	t.apply(n)
+	return n
+}
+
+// Enabled enumerates every transition fireable in c, in a deterministic
+// order.
+func (c *Config) Enabled() []Transition {
+	var ts []Transition
+	add := func(name, detail string, mutator bool, f func(*Config)) {
+		ts = append(ts, Transition{Name: name, Detail: detail, Mutator: mutator, apply: f})
+	}
+
+	for r := RefID(0); int(r) < c.NRefs; r++ {
+		owner := c.Owner(r)
+		for p1 := Proc(0); int(p1) < c.NProcs; p1++ {
+			p1 := p1
+
+			// drop(p, r): the application discards its local references.
+			if c.Reachable[prKey{p1, r}] {
+				add("drop", fmt.Sprintf("p%d,r%d", p1, r), true, func(c *Config) {
+					delete(c.Reachable, prKey{p1, r})
+				})
+			}
+
+			// finalize(p, r): the local collector notices an unreachable
+			// OK reference and schedules a clean call. The transient
+			// dirty table is a root for the local collector (Note 2), so
+			// a reference with an in-transit copy is still locally live —
+			// this is what the proof of Lemma 7 depends on.
+			if !c.Reachable[prKey{p1, r}] && c.RecOf(p1, r) == OK &&
+				p1 != owner && !c.CleanCallTodo[prKey{p1, r}] &&
+				!c.hasTDirty(p1, r) {
+				add("finalize", fmt.Sprintf("p%d,r%d", p1, r), true, func(c *Config) {
+					c.CleanCallTodo[prKey{p1, r}] = true
+				})
+			}
+
+			// make_copy(p1, p2, r): requires a usable, reachable
+			// reference (or ownership) and remaining copy budget.
+			if c.CopyBudget > 0 && c.Reachable[prKey{p1, r}] &&
+				(c.RecOf(p1, r) == OK || p1 == owner) {
+				for p2 := Proc(0); int(p2) < c.NProcs; p2++ {
+					if p2 == p1 {
+						continue
+					}
+					p2 := p2
+					add("make_copy", fmt.Sprintf("p%d,p%d,r%d", p1, p2, r), true, func(c *Config) {
+						id := c.NextID
+						c.NextID++
+						c.CopyBudget--
+						c.TDirty[tdKey{p1, r, p2, id}] = true
+						c.post(p1, p2, Msg{Kind: MsgCopy, Ref: r, ID: id})
+					})
+				}
+			}
+
+			// do_dirty_call(p, r): send a scheduled dirty call, unless the
+			// reference is ccitnil (Note 5: wait for the clean ack first).
+			if c.DirtyCallTodo[prKey{p1, r}] && c.RecOf(p1, r) != CcitNil {
+				add("do_dirty_call", fmt.Sprintf("p%d,r%d", p1, r), false, func(c *Config) {
+					delete(c.DirtyCallTodo, prKey{p1, r})
+					c.post(p1, owner, Msg{Kind: MsgDirty, Ref: r})
+				})
+			}
+
+			// do_clean_call(p, r): send a scheduled clean call.
+			if c.CleanCallTodo[prKey{p1, r}] {
+				add("do_clean_call", fmt.Sprintf("p%d,r%d", p1, r), false, func(c *Config) {
+					delete(c.CleanCallTodo, prKey{p1, r})
+					// assert: was rec = OK (Lemma 2)
+					c.setRec(p1, r, Ccit)
+					c.post(p1, owner, Msg{Kind: MsgClean, Ref: r})
+				})
+			}
+		}
+
+		// Owner-side scheduled acknowledgements.
+		for k := range c.DirtyAckTodo {
+			if k.Ref != r {
+				continue
+			}
+			k := k
+			add("do_dirty_ack", fmt.Sprintf("p%d,p%d,r%d", k.Owner, k.Dest, r), false, func(c *Config) {
+				delete(c.DirtyAckTodo, k)
+				c.post(k.Owner, k.Dest, Msg{Kind: MsgDirtyAck, Ref: r})
+			})
+		}
+		for k := range c.CleanAckTodo {
+			if k.Ref != r {
+				continue
+			}
+			k := k
+			add("do_clean_ack", fmt.Sprintf("p%d,p%d,r%d", k.Owner, k.Dest, r), false, func(c *Config) {
+				delete(c.CleanAckTodo, k)
+				c.post(k.Owner, k.Dest, Msg{Kind: MsgCleanAck, Ref: r})
+			})
+		}
+	}
+
+	// Scheduled copy acknowledgements.
+	for k := range c.CopyAckTodo {
+		k := k
+		add("do_copy_ack", fmt.Sprintf("p%d,p%d,r%d,id%d", k.Proc, k.Dest, k.Ref, k.ID), false, func(c *Config) {
+			delete(c.CopyAckTodo, k)
+			c.post(k.Proc, k.Dest, Msg{Kind: MsgCopyAck, Ref: k.Ref, ID: k.ID})
+		})
+	}
+
+	// Message receipts.
+	for ck, msgs := range c.Channels {
+		for _, m := range msgs {
+			ck, m := ck, m
+			detail := fmt.Sprintf("p%d,p%d,r%d,id%d", ck.From, ck.To, m.Ref, m.ID)
+			switch m.Kind {
+			case MsgCopy:
+				add("receive_copy", detail, false, func(c *Config) { c.receiveCopy(ck.From, ck.To, m) })
+			case MsgCopyAck:
+				add("receive_copy_ack", detail, false, func(c *Config) {
+					c.receive(ck.From, ck.To, m)
+					delete(c.TDirty, tdKey{ck.To, m.Ref, ck.From, m.ID})
+				})
+			case MsgDirty:
+				add("receive_dirty", detail, false, func(c *Config) {
+					c.receive(ck.From, ck.To, m)
+					c.PDirty[pdKey{m.Ref, ck.From}] = true
+					c.DirtyAckTodo[datKey{ck.To, ck.From, m.Ref}] = true
+				})
+			case MsgDirtyAck:
+				add("receive_dirty_ack", detail, false, func(c *Config) {
+					c.receive(ck.From, ck.To, m)
+					p := ck.To
+					for bk := range c.Blocked {
+						if bk.Proc == p && bk.Ref == m.Ref {
+							c.CopyAckTodo[catKey{p, bk.ID, bk.From, m.Ref}] = true
+							delete(c.Blocked, bk)
+						}
+					}
+					c.setRec(p, m.Ref, OK)
+				})
+			case MsgClean:
+				add("receive_clean", detail, false, func(c *Config) {
+					c.receive(ck.From, ck.To, m)
+					delete(c.PDirty, pdKey{m.Ref, ck.From})
+					c.CleanAckTodo[clatKey{ck.To, ck.From, m.Ref}] = true
+				})
+			case MsgCleanAck:
+				add("receive_clean_ack", detail, false, func(c *Config) {
+					c.receive(ck.From, ck.To, m)
+					p := ck.To
+					if c.RecOf(p, m.Ref) == CcitNil {
+						c.setRec(p, m.Ref, Nil)
+					} else {
+						// assert: rec = ccit
+						c.setRec(p, m.Ref, Bottom)
+					}
+				})
+			}
+		}
+	}
+	return ts
+}
+
+// receiveCopy is the receive_copy rule (Figure 9), with one addition the
+// formalisation leaves to the environment: the owner receiving a copy of
+// its own reference uses the concrete object, so it acknowledges
+// immediately without a dirty call.
+func (c *Config) receiveCopy(p1, p2 Proc, m Msg) {
+	c.receive(p1, p2, m)
+	r := m.Ref
+	// The application at p2 now holds the reference again.
+	c.Reachable[prKey{p2, r}] = true
+
+	if p2 == c.Owner(r) {
+		c.CopyAckTodo[catKey{p2, m.ID, p1, r}] = true
+		return
+	}
+	switch c.RecOf(p2, r) {
+	case Nil, CcitNil:
+		c.Blocked[blKey{p2, r, m.ID, p1}] = true
+	case Bottom, Ccit:
+		if c.RecOf(p2, r) == Bottom {
+			c.setRec(p2, r, Nil)
+		} else {
+			c.setRec(p2, r, CcitNil)
+		}
+		c.DirtyCallTodo[prKey{p2, r}] = true
+		c.Blocked[blKey{p2, r, m.ID, p1}] = true
+	case OK:
+		// Note 4: cancel any scheduled (unsent) clean call — the
+		// reference is resurrected without any messages.
+		delete(c.CleanCallTodo, prKey{p2, r})
+		c.CopyAckTodo[catKey{p2, m.ID, p1, r}] = true
+	}
+}
+
+// hasTDirty reports whether p holds any transient dirty entry for r.
+func (c *Config) hasTDirty(p Proc, r RefID) bool {
+	for k := range c.TDirty {
+		if k.Holder == p && k.Ref == r {
+			return true
+		}
+	}
+	return false
+}
+
+// Quiescent reports whether no non-mutator transition is enabled.
+func (c *Config) Quiescent() bool {
+	for _, t := range c.Enabled() {
+		if !t.Mutator {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,219 @@
+package refmodel
+
+import "fmt"
+
+// VariantCost is one row of the variant-comparison table (the ablation of
+// the paper's §5): how many collector messages and how many blocking
+// deserialisation events a scenario costs under each protocol variant.
+type VariantCost struct {
+	// Variant names the protocol: birrell, fifo, owner-sender,
+	// owner-receiver.
+	Variant string
+	// Scenario names the workload.
+	Scenario string
+	// Messages is the number of collector messages exchanged (copies of
+	// the reference itself included).
+	Messages int
+	// BlockingEvents counts deserialisations that had to suspend while a
+	// registration completed.
+	BlockingEvents int
+}
+
+// runBirrellScenario drives the Birrell machine through a scripted
+// scenario and counts messages posted and blocking events. Mutator steps
+// are named rules fired in order; between them the machine runs to
+// quiescence deterministically.
+func runBirrellScenario(c *Config, script []string) (msgs, blocking int, err error) {
+	posts := map[string]bool{
+		"make_copy": true, "do_dirty_call": true, "do_dirty_ack": true,
+		"do_copy_ack": true, "do_clean_call": true, "do_clean_ack": true,
+	}
+	cur := c
+	step := func(t Transition) {
+		if posts[t.Name] {
+			msgs++
+		}
+		before := len(cur.Blocked)
+		cur = t.Apply(cur)
+		if len(cur.Blocked) > before {
+			blocking++
+		}
+	}
+	fireNamed := func(name string) error {
+		for _, t := range cur.Enabled() {
+			if t.String() == name || t.Name == name {
+				step(t)
+				return nil
+			}
+		}
+		return fmt.Errorf("refmodel: scripted transition %q not enabled", name)
+	}
+	quiesce := func() {
+		for {
+			fired := false
+			for _, t := range cur.Enabled() {
+				if !t.Mutator {
+					step(t)
+					fired = true
+					break
+				}
+			}
+			if !fired {
+				return
+			}
+		}
+	}
+	for _, name := range script {
+		if err := fireNamed(name); err != nil {
+			return msgs, blocking, err
+		}
+		quiesce()
+	}
+	quiesce()
+	return msgs, blocking, nil
+}
+
+// runFIFOScenario does the same for the FIFO-variant machine.
+func runFIFOScenario(c *FConfig, script []string) (msgs, blocking int, err error) {
+	cur := c
+	fireNamed := func(name string) error {
+		for _, t := range cur.Enabled() {
+			if t.String() == name || t.Name == name {
+				cur = t.Apply(cur)
+				return nil
+			}
+		}
+		return fmt.Errorf("refmodel: scripted transition %q not enabled", name)
+	}
+	quiesce := func() {
+		for {
+			fired := false
+			for _, t := range cur.Enabled() {
+				if !t.Mutator && t.Name != "clean" {
+					cur = t.Apply(cur)
+					fired = true
+					break
+				}
+			}
+			if !fired {
+				return
+			}
+		}
+	}
+	fireClean := func() {
+		for _, t := range cur.Enabled() {
+			if t.Name == "clean" {
+				cur = t.Apply(cur)
+				return
+			}
+		}
+	}
+	for _, name := range script {
+		if name == "clean" {
+			fireClean()
+		} else if err := fireNamed(name); err != nil {
+			return 0, 0, err
+		}
+		quiesce()
+	}
+	fireClean()
+	quiesce()
+	total := 0
+	for _, n := range cur.MsgCount {
+		total += n
+	}
+	return total, cur.BlockedEvents, nil
+}
+
+// CompareVariants regenerates the §5 ablation table for two scenarios:
+//
+//   - import-release: the owner sends a reference to a client, which later
+//     drops it.
+//   - third-party: the owner sends a reference to client A, A forwards it
+//     to client B, then both drop it.
+//
+// Birrell and FIFO rows are measured on the executable machines; the
+// owner-optimisation rows are computed from the protocol definitions in
+// §5.2 (they eliminate the dirty/copy_ack pair on copies that involve the
+// owner and, with ordered channels, the clean acknowledgement).
+func CompareVariants() ([]VariantCost, error) {
+	var out []VariantCost
+
+	// import-release under Birrell's algorithm.
+	c := NewConfig(2, []Proc{0}, 1)
+	msgs, blk, err := runBirrellScenario(c, []string{
+		"make_copy(p0,p1,r0)", "drop(p1,r0)", "finalize(p1,r0)",
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, VariantCost{"birrell", "import-release", msgs, blk})
+
+	// import-release under the FIFO variant.
+	fc := NewFConfig(2, []Proc{0}, 1)
+	fmsgs, fblk, err := runFIFOScenario(fc, []string{
+		"make_copy(p0,p1,r0)", "drop(p1,r0)", "clean",
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, VariantCost{"fifo", "import-release", fmsgs, fblk})
+
+	// import-release with the repaired sender-is-owner optimisation
+	// (§5.2.1; see ownersender.go for why the literal protocol is
+	// unsafe): copy + copy_ack + clean, measured on the machine.
+	oc := NewFConfig(2, []Proc{0}, 1)
+	omsgs, err := RunOwnerSenderScenario(oc, []string{"make_copy_owner", "drop(p1,r0)"})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, VariantCost{"owner-sender", "import-release", omsgs, 0})
+
+	// third-party under Birrell's algorithm.
+	c = NewConfig(3, []Proc{0}, 2)
+	msgs, blk, err = runBirrellScenario(c, []string{
+		"make_copy(p0,p1,r0)",
+		"make_copy(p1,p2,r0)",
+		"drop(p1,r0)", "finalize(p1,r0)",
+		"drop(p2,r0)", "finalize(p2,r0)",
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, VariantCost{"birrell", "third-party", msgs, blk})
+
+	// third-party under the FIFO variant.
+	fc = NewFConfig(3, []Proc{0}, 2)
+	fmsgs, fblk, err = runFIFOScenario(fc, []string{
+		"make_copy(p0,p1,r0)",
+		"make_copy(p1,p2,r0)",
+		"drop(p1,r0)", "clean",
+		"drop(p2,r0)", "clean",
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, VariantCost{"fifo", "third-party", fmsgs, fblk})
+
+	// third-party with owner-sender, measured: the O→A leg is
+	// copy+copy_ack; the A→B leg remains the full triangle; releases cost
+	// one clean each.
+	oc = NewFConfig(3, []Proc{0}, 2)
+	omsgs, err = RunOwnerSenderScenario(oc, []string{
+		"make_copy_owner(p0,p1,r0)",
+		"make_copy(p1,p2,r0)",
+		"drop(p1,r0)", "clean",
+		"drop(p2,r0)", "clean",
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, VariantCost{"owner-sender", "third-party", omsgs, 0})
+
+	// receiver-is-owner (§5.2.2): a client returning a reference to its
+	// owner sends just the copy — no transient entry, no dirty, no ack.
+	out = append(out, VariantCost{"owner-receiver", "return-to-owner", 1, 0})
+	out = append(out, VariantCost{"birrell", "return-to-owner", 2, 0})
+
+	return out, nil
+}

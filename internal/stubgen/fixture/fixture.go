@@ -1,0 +1,84 @@
+// Package fixture hosts a sample remote interface, its implementation,
+// and the committed output of the stub generator for it. Its tests
+// exercise generated stubs end to end, and the stubgen tests regenerate
+// the committed file to catch generator drift.
+package fixture
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Calc is the sample remote interface the stub generator is run against.
+// It deliberately mixes scalar, slice and imported-package types.
+type Calc interface {
+	Add(a, b float64) (float64, error)
+	Sum(xs []float64) (float64, error)
+	Shift(t time.Time, by time.Duration) (time.Time, error)
+	Describe() (string, error)
+	Reset() error
+}
+
+// Server is the owner-side implementation of Calc.
+type Server struct {
+	mu   sync.Mutex
+	ops  int
+	last string
+}
+
+// Add returns a + b.
+func (s *Server) Add(a, b float64) (float64, error) {
+	s.note("add")
+	return a + b, nil
+}
+
+// Sum totals xs; an empty slice is an error so stubs exercise the
+// application-error path.
+func (s *Server) Sum(xs []float64) (float64, error) {
+	s.note("sum")
+	if len(xs) == 0 {
+		return 0, errors.New("nothing to sum")
+	}
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t, nil
+}
+
+// Shift moves a timestamp.
+func (s *Server) Shift(t time.Time, by time.Duration) (time.Time, error) {
+	s.note("shift")
+	return t.Add(by), nil
+}
+
+// Describe reports the last operation.
+func (s *Server) Describe() (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last, nil
+}
+
+// Reset clears the server state.
+func (s *Server) Reset() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ops = 0
+	s.last = ""
+	return nil
+}
+
+// Ops reports how many mutating operations ran (test hook).
+func (s *Server) Ops() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ops
+}
+
+func (s *Server) note(op string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ops++
+	s.last = op
+}

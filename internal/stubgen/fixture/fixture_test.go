@@ -1,0 +1,156 @@
+package fixture
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"netobjects"
+)
+
+func pair(t *testing.T) (owner, client *netobjects.Space) {
+	t.Helper()
+	mem := netobjects.NewMem()
+	mk := func(name string) *netobjects.Space {
+		sp, err := netobjects.New(netobjects.Options{
+			Name:         name,
+			Transports:   []netobjects.Transport{mem},
+			PingInterval: time.Hour,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = sp.Close() })
+		if err := RegisterCalc(sp); err != nil {
+			t.Fatal(err)
+		}
+		return sp
+	}
+	return mk("owner"), mk("client")
+}
+
+func stubFor(t *testing.T, owner, client *netobjects.Space, impl *Server) Calc {
+	t.Helper()
+	ref, err := owner.Export(impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ref.WireRep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cref, err := client.Import(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCalcStub(cref)
+}
+
+func TestGeneratedStubEndToEnd(t *testing.T) {
+	owner, client := pair(t)
+	impl := &Server{}
+	calc := stubFor(t, owner, client, impl)
+
+	got, err := calc.Add(1.5, 2.25)
+	if err != nil || got != 3.75 {
+		t.Fatalf("Add: %v %v", got, err)
+	}
+	sum, err := calc.Sum([]float64{1, 2, 3})
+	if err != nil || sum != 6 {
+		t.Fatalf("Sum: %v %v", sum, err)
+	}
+	base := time.Date(2026, 7, 4, 0, 0, 0, 0, time.UTC)
+	shifted, err := calc.Shift(base, 90*time.Minute)
+	if err != nil || !shifted.Equal(base.Add(90*time.Minute)) {
+		t.Fatalf("Shift: %v %v", shifted, err)
+	}
+	desc, err := calc.Describe()
+	if err != nil || desc != "shift" {
+		t.Fatalf("Describe: %q %v", desc, err)
+	}
+	if err := calc.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if impl.Ops() != 0 {
+		t.Fatalf("ops=%d after reset", impl.Ops())
+	}
+}
+
+func TestGeneratedStubErrorPath(t *testing.T) {
+	owner, client := pair(t)
+	calc := stubFor(t, owner, client, &Server{})
+	_, err := calc.Sum(nil)
+	var re *netobjects.RemoteError
+	if !errors.As(err, &re) || re.Msg != "nothing to sum" {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestStubPassedAsTypedArgument(t *testing.T) {
+	// A stub travels as a Calc argument: the receiver's runtime unwraps
+	// the reference and re-wraps it in its own stub.
+	mem := netobjects.NewMem()
+	mk := func(name string) *netobjects.Space {
+		sp, err := netobjects.New(netobjects.Options{
+			Name:         name,
+			Transports:   []netobjects.Transport{mem},
+			PingInterval: time.Hour,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = sp.Close() })
+		if err := RegisterCalc(sp); err != nil {
+			t.Fatal(err)
+		}
+		return sp
+	}
+	owner, relaySp, user := mk("owner"), mk("relay"), mk("user")
+
+	impl := &Server{}
+	ownerRef, _ := owner.Export(impl)
+	holder := &calcHolder{}
+	holderRef, _ := relaySp.Export(holder)
+
+	// The owner hands its Calc to the relay, typed.
+	w, _ := holderRef.WireRep()
+	hAtOwner, err := owner.Import(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerW, _ := ownerRef.WireRep()
+	ownCalcRef, err := owner.Import(ownerW) // owner handle
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hAtOwner.Call("Keep", ownCalcRef); err != nil {
+		t.Fatal(err)
+	}
+
+	// A third space asks the relay to compute through the held Calc.
+	hAtUser, err := user.Import(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := hAtUser.Call("AddThrough", 2.0, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].(float64) != 5 {
+		t.Fatalf("got %v", out)
+	}
+	if _, ok := holder.c.(*CalcStub); !ok {
+		t.Fatalf("relay holds %T, want *CalcStub", holder.c)
+	}
+}
+
+type calcHolder struct{ c Calc }
+
+func (h *calcHolder) Keep(c Calc) error { h.c = c; return nil }
+
+func (h *calcHolder) AddThrough(a, b float64) (float64, error) {
+	if h.c == nil {
+		return 0, errors.New("nothing kept")
+	}
+	return h.c.Add(a, b)
+}

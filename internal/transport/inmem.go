@@ -1,0 +1,261 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Mem is an in-process transport: connections are paired channels and
+// addresses live in a namespace private to the Mem instance. It plays the
+// role of the original system's same-machine shared-memory transport and
+// makes single-process tests, examples and benchmarks deterministic.
+type Mem struct {
+	// Latency, when non-zero, is added to every message delivery,
+	// simulating a network round trip in benchmarks.
+	Latency time.Duration
+
+	mu          sync.Mutex
+	listeners   map[string]*memListener
+	unreachable map[string]bool
+	conns       map[string][]*memConn
+	nextAuto    int
+}
+
+// NewMem returns an empty in-memory transport namespace.
+func NewMem() *Mem {
+	return &Mem{
+		listeners:   make(map[string]*memListener),
+		unreachable: make(map[string]bool),
+		conns:       make(map[string][]*memConn),
+	}
+}
+
+// Proto returns "inmem".
+func (m *Mem) Proto() string { return "inmem" }
+
+// Listen claims an address in the namespace; an empty address picks a
+// fresh one.
+func (m *Mem) Listen(addr string) (Listener, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if addr == "" {
+		m.nextAuto++
+		addr = fmt.Sprintf("auto-%d", m.nextAuto)
+	}
+	if _, ok := m.listeners[addr]; ok {
+		return nil, fmt.Errorf("transport: inmem address %q already in use", addr)
+	}
+	l := &memListener{
+		m:      m,
+		addr:   addr,
+		accept: make(chan *memConn),
+		done:   make(chan struct{}),
+	}
+	m.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to a listening address in the namespace.
+func (m *Mem) Dial(addr string) (Conn, error) {
+	m.mu.Lock()
+	if m.unreachable[addr] {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: inmem address %q unreachable", ErrNoEndpoint, addr)
+	}
+	l, ok := m.listeners[addr]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: inmem address %q not listening", ErrNoEndpoint, addr)
+	}
+	a2b := make(chan []byte, 16)
+	b2a := make(chan []byte, 16)
+	dialSide := &memConn{m: m, out: a2b, in: b2a, done: make(chan struct{}), label: "inmem:" + addr}
+	acceptSide := &memConn{m: m, out: b2a, in: a2b, done: make(chan struct{}), label: "inmem:dialer"}
+	dialSide.peer, acceptSide.peer = acceptSide, dialSide
+	select {
+	case l.accept <- acceptSide:
+		m.mu.Lock()
+		m.conns[addr] = append(m.conns[addr], dialSide, acceptSide)
+		if len(m.conns[addr])%64 == 0 {
+			m.pruneLocked(addr)
+		}
+		m.mu.Unlock()
+		return dialSide, nil
+	case <-l.done:
+		return nil, fmt.Errorf("%w: inmem address %q not listening", ErrNoEndpoint, addr)
+	}
+}
+
+// SetUnreachable simulates a network partition around an address: while
+// down, new dials are refused and every existing connection to the address
+// is severed — exactly what a client sees when the machine drops off the
+// network.
+func (m *Mem) SetUnreachable(addr string, down bool) {
+	m.mu.Lock()
+	m.unreachable[addr] = down
+	var sever []*memConn
+	if down {
+		sever = m.conns[addr]
+		delete(m.conns, addr)
+	}
+	m.mu.Unlock()
+	for _, c := range sever {
+		_ = c.Close()
+	}
+}
+
+// pruneLocked drops already-closed connections from the severance list so
+// long-lived namespaces do not accumulate garbage.
+func (m *Mem) pruneLocked(addr string) {
+	live := m.conns[addr][:0]
+	for _, c := range m.conns[addr] {
+		if !c.isClosed() {
+			live = append(live, c)
+		}
+	}
+	m.conns[addr] = live
+}
+
+type memListener struct {
+	m      *Mem
+	addr   string
+	accept chan *memConn
+	done   chan struct{}
+	once   sync.Once
+}
+
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.m.mu.Lock()
+		delete(l.m.listeners, l.addr)
+		l.m.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *memListener) Endpoint() string { return "inmem:" + l.addr }
+
+type memConn struct {
+	m     *Mem
+	out   chan []byte
+	in    chan []byte
+	done  chan struct{}
+	peer  *memConn
+	label string
+
+	mu       sync.Mutex
+	deadline time.Time
+	closed   bool
+}
+
+func (c *memConn) isClosed() bool {
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *memConn) Send(payload []byte) error {
+	if c.isClosed() {
+		return ErrClosed
+	}
+	if lat := c.m.Latency; lat > 0 {
+		time.Sleep(lat)
+	}
+	// Copy: the caller may reuse its buffer as soon as Send returns.
+	msg := append([]byte(nil), payload...)
+	timeout := c.deadlineTimer()
+	defer stopTimer(timeout)
+	select {
+	case c.out <- msg:
+		return nil
+	case <-c.done:
+		return ErrClosed
+	case <-c.peer.done:
+		return ErrClosed
+	case <-timerC(timeout):
+		return ErrTimeout
+	}
+}
+
+func (c *memConn) Recv(scratch []byte) ([]byte, error) {
+	if c.isClosed() {
+		return nil, ErrClosed
+	}
+	timeout := c.deadlineTimer()
+	defer stopTimer(timeout)
+	select {
+	case msg := <-c.in:
+		return msg, nil
+	case <-c.done:
+		return nil, ErrClosed
+	case <-c.peer.done:
+		// Drain any message already delivered before the peer closed.
+		select {
+		case msg := <-c.in:
+			return msg, nil
+		default:
+		}
+		return nil, errors.Join(ErrClosed, errPeerClosed)
+	case <-timerC(timeout):
+		return nil, ErrTimeout
+	}
+}
+
+var errPeerClosed = errors.New("transport: peer closed connection")
+
+func (c *memConn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.deadline = t
+	return nil
+}
+
+func (c *memConn) deadlineTimer() *time.Timer {
+	c.mu.Lock()
+	d := c.deadline
+	c.mu.Unlock()
+	if d.IsZero() {
+		return nil
+	}
+	return time.NewTimer(time.Until(d))
+}
+
+func timerC(t *time.Timer) <-chan time.Time {
+	if t == nil {
+		return nil
+	}
+	return t.C
+}
+
+func stopTimer(t *time.Timer) {
+	if t != nil {
+		t.Stop()
+	}
+}
+
+func (c *memConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.done)
+	}
+	return nil
+}
+
+func (c *memConn) RemoteLabel() string { return c.label }

@@ -1,0 +1,95 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultMaxIdle is the per-endpoint idle connection cap used when a Pool
+// is constructed with a non-positive limit.
+const DefaultMaxIdle = 4
+
+// Pool caches idle connections per endpoint. Callers check a connection
+// out with Get, exchange one request/response pair on it, and either
+// return it with Put or drop it with Discard if the exchange failed.
+// This is the connection discipline of the original runtime: a call owns
+// its connection, and connections are recycled rather than re-dialed.
+type Pool struct {
+	reg     *Registry
+	maxIdle int
+
+	mu     sync.Mutex
+	idle   map[string][]Conn
+	closed bool
+}
+
+// NewPool returns a pool dialing through reg, keeping at most maxIdle idle
+// connections per endpoint (DefaultMaxIdle if maxIdle <= 0).
+func NewPool(reg *Registry, maxIdle int) *Pool {
+	if maxIdle <= 0 {
+		maxIdle = DefaultMaxIdle
+	}
+	return &Pool{reg: reg, maxIdle: maxIdle, idle: make(map[string][]Conn)}
+}
+
+// Get returns a connection to one of the given endpoints, preferring a
+// cached idle connection, and the endpoint it is connected to.
+func (p *Pool) Get(endpoints []string) (Conn, string, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, "", ErrClosed
+	}
+	for _, ep := range endpoints {
+		if conns := p.idle[ep]; len(conns) > 0 {
+			c := conns[len(conns)-1]
+			p.idle[ep] = conns[:len(conns)-1]
+			p.mu.Unlock()
+			return c, ep, nil
+		}
+	}
+	p.mu.Unlock()
+	return p.reg.DialAny(endpoints)
+}
+
+// Put returns a healthy connection to the cache for endpoint ep. If the
+// cache is full or the pool is closed the connection is closed instead.
+func (p *Pool) Put(ep string, c Conn) {
+	// Clear any call deadline before the connection is reused.
+	_ = c.SetDeadline(time.Time{})
+	p.mu.Lock()
+	if !p.closed && len(p.idle[ep]) < p.maxIdle {
+		p.idle[ep] = append(p.idle[ep], c)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	_ = c.Close()
+}
+
+// Discard closes a connection that failed mid-exchange; it must not be
+// reused because request/response framing may be out of sync.
+func (p *Pool) Discard(c Conn) { _ = c.Close() }
+
+// Close closes the pool and every idle connection. Connections currently
+// checked out are unaffected; they are closed when discarded or returned.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = make(map[string][]Conn)
+	p.closed = true
+	p.mu.Unlock()
+	for _, conns := range idle {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}
+}
+
+// IdleCount reports the number of idle connections cached for ep,
+// exposed for tests and the benchmark harness.
+func (p *Pool) IdleCount(ep string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle[ep])
+}

@@ -1,0 +1,125 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"time"
+
+	"netobjects/internal/wire"
+)
+
+// TCP is the TCP transport. Its endpoints look like "tcp:host:port".
+type TCP struct {
+	// DialTimeout bounds connection establishment; zero means 10 seconds.
+	DialTimeout time.Duration
+}
+
+// NewTCP returns a TCP transport with default settings.
+func NewTCP() *TCP { return &TCP{} }
+
+// Proto returns "tcp".
+func (t *TCP) Proto() string { return "tcp" }
+
+// Listen opens a TCP listener. An empty address listens on an ephemeral
+// port on the loopback interface, which is what tests and single-machine
+// deployments want; production addresses are passed explicitly.
+func (t *TCP) Listen(addr string) (Listener, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial connects to a TCP address.
+func (t *TCP) Dial(addr string) (Conn, error) {
+	timeout := t.DialTimeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(c), nil
+}
+
+type tcpListener struct {
+	l net.Listener
+}
+
+func (tl *tcpListener) Accept() (Conn, error) {
+	c, err := tl.l.Accept()
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return nil, ErrClosed
+		}
+		return nil, err
+	}
+	return newTCPConn(c), nil
+}
+
+func (tl *tcpListener) Close() error { return tl.l.Close() }
+
+func (tl *tcpListener) Endpoint() string {
+	return wire.JoinEndpoint("tcp", tl.l.Addr().String())
+}
+
+// tcpConn adapts a net.Conn to the framed Conn interface. Writes go
+// through a buffered writer flushed per frame; small frames therefore cost
+// one syscall.
+type tcpConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+func newTCPConn(c net.Conn) *tcpConn {
+	if tc, ok := c.(*net.TCPConn); ok {
+		// Calls are latency-sensitive request/response pairs.
+		_ = tc.SetNoDelay(true)
+	}
+	return &tcpConn{
+		c:  c,
+		br: bufio.NewReaderSize(c, 32<<10),
+		bw: bufio.NewWriterSize(c, 32<<10),
+	}
+}
+
+func (tc *tcpConn) Send(payload []byte) error {
+	if err := wire.WriteFrame(tc.bw, payload); err != nil {
+		return mapNetErr(err)
+	}
+	return mapNetErr(tc.bw.Flush())
+}
+
+func (tc *tcpConn) Recv(scratch []byte) ([]byte, error) {
+	b, err := wire.ReadFrame(tc.br, scratch)
+	return b, mapNetErr(err)
+}
+
+func (tc *tcpConn) SetDeadline(t time.Time) error { return tc.c.SetDeadline(t) }
+
+func (tc *tcpConn) Close() error { return tc.c.Close() }
+
+func (tc *tcpConn) RemoteLabel() string { return "tcp:" + tc.c.RemoteAddr().String() }
+
+// mapNetErr normalizes net package errors onto the transport error
+// vocabulary so callers can test with errors.Is.
+func mapNetErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return errors.Join(ErrTimeout, err)
+	}
+	if errors.Is(err, net.ErrClosed) {
+		return errors.Join(ErrClosed, err)
+	}
+	return err
+}

@@ -1,0 +1,165 @@
+// Package transport provides the communication layer of the network
+// objects runtime: an abstraction over byte-stream transports, concrete
+// TCP and in-memory implementations, and a connection cache.
+//
+// The original system ran over multiple transports (DECnet, TCP, shared
+// memory) selected by the address prefix of an endpoint; this package keeps
+// that design. An endpoint is a string "proto:address"; a Registry maps
+// protocol names to Transport implementations and dials whichever endpoint
+// of a wireRep it recognizes first. Connections carry whole frames (see
+// package wire) and are used synchronously — one outstanding request per
+// connection — with a Pool caching idle connections per endpoint, the
+// checkout discipline of SRC RPC that Network Objects inherited.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"netobjects/internal/wire"
+)
+
+// Transport errors.
+var (
+	// ErrUnknownProto reports an endpoint whose protocol has no registered
+	// transport.
+	ErrUnknownProto = errors.New("transport: unknown protocol")
+	// ErrClosed reports use of a closed connection, listener or pool.
+	ErrClosed = errors.New("transport: closed")
+	// ErrTimeout reports an I/O deadline expiring.
+	ErrTimeout = errors.New("transport: timeout")
+	// ErrNoEndpoint reports that none of a wireRep's endpoints could be
+	// dialed.
+	ErrNoEndpoint = errors.New("transport: no dialable endpoint")
+)
+
+// Conn is a framed, synchronous message connection. A Conn is not safe for
+// concurrent use; the runtime checks connections out of a Pool for the
+// duration of one call.
+type Conn interface {
+	// Send transmits one frame.
+	Send(payload []byte) error
+	// Recv receives one frame, reusing scratch when it has capacity. The
+	// returned slice may alias scratch and is valid until the next Recv.
+	Recv(scratch []byte) ([]byte, error)
+	// SetDeadline bounds subsequent Send and Recv operations; the zero
+	// time removes the bound.
+	SetDeadline(t time.Time) error
+	// Close releases the connection. Close is safe to call multiple times
+	// and concurrently with Send/Recv, which it causes to fail.
+	Close() error
+	// RemoteLabel describes the peer for logs.
+	RemoteLabel() string
+}
+
+// Listener accepts inbound connections for one endpoint.
+type Listener interface {
+	// Accept waits for the next inbound connection.
+	Accept() (Conn, error)
+	// Close stops the listener; blocked Accepts return ErrClosed.
+	Close() error
+	// Endpoint returns the full endpoint string peers should dial,
+	// e.g. "tcp:127.0.0.1:40213".
+	Endpoint() string
+}
+
+// Transport creates listeners and connections for one protocol.
+type Transport interface {
+	// Proto returns the protocol name used as the endpoint prefix.
+	Proto() string
+	// Listen opens a listener on a transport-specific address; an empty
+	// address asks the transport to pick one.
+	Listen(addr string) (Listener, error)
+	// Dial connects to a transport-specific address.
+	Dial(addr string) (Conn, error)
+}
+
+// Registry maps protocol names to transports. A zero Registry is empty and
+// ready to use; registries are safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	byProto map[string]Transport
+}
+
+// NewRegistry returns a registry containing the given transports.
+func NewRegistry(ts ...Transport) *Registry {
+	r := &Registry{}
+	for _, t := range ts {
+		r.Register(t)
+	}
+	return r
+}
+
+// Register adds t, replacing any transport previously registered for the
+// same protocol.
+func (r *Registry) Register(t Transport) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byProto == nil {
+		r.byProto = make(map[string]Transport)
+	}
+	r.byProto[t.Proto()] = t
+}
+
+// Lookup returns the transport for proto, if any.
+func (r *Registry) Lookup(proto string) (Transport, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.byProto[proto]
+	return t, ok
+}
+
+// Listen opens a listener for a full endpoint string.
+func (r *Registry) Listen(endpoint string) (Listener, error) {
+	proto, addr, err := wire.SplitEndpoint(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	t, ok := r.Lookup(proto)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownProto, proto)
+	}
+	return t.Listen(addr)
+}
+
+// Dial connects to a full endpoint string.
+func (r *Registry) Dial(endpoint string) (Conn, error) {
+	proto, addr, err := wire.SplitEndpoint(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	t, ok := r.Lookup(proto)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownProto, proto)
+	}
+	return t.Dial(addr)
+}
+
+// DialAny dials the first reachable endpoint from the list, returning the
+// connection and the endpoint that worked. Endpoints whose protocol is not
+// registered are skipped; the last dial error is reported if all fail.
+func (r *Registry) DialAny(endpoints []string) (Conn, string, error) {
+	var lastErr error
+	for _, ep := range endpoints {
+		proto, _, err := wire.SplitEndpoint(ep)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if _, ok := r.Lookup(proto); !ok {
+			continue
+		}
+		c, err := r.Dial(ep)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return c, ep, nil
+	}
+	if lastErr == nil {
+		lastErr = ErrNoEndpoint
+	}
+	return nil, "", fmt.Errorf("%w (tried %d endpoints): %v", ErrNoEndpoint, len(endpoints), lastErr)
+}

@@ -1,0 +1,430 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServe accepts connections on l and echoes frames until l closes.
+func echoServe(t *testing.T, l Listener) {
+	t.Helper()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				var buf []byte
+				for {
+					b, err := c.Recv(buf)
+					if err != nil {
+						return
+					}
+					if err := c.Send(b); err != nil {
+						return
+					}
+					buf = b
+				}
+			}()
+		}
+	}()
+}
+
+// transports under test; each case builds a fresh namespace/listener.
+func eachTransport(t *testing.T, f func(t *testing.T, tr Transport)) {
+	t.Run("inmem", func(t *testing.T) { f(t, NewMem()) })
+	t.Run("tcp", func(t *testing.T) { f(t, NewTCP()) })
+}
+
+func TestEchoRoundTrip(t *testing.T) {
+	eachTransport(t, func(t *testing.T, tr Transport) {
+		l, err := tr.Listen("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		echoServe(t, l)
+
+		reg := NewRegistry(tr)
+		c, err := reg.Dial(l.Endpoint())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		for _, payload := range [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte("x"), 100_000)} {
+			if err := c.Send(payload); err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Recv(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("echo mismatch: %d vs %d bytes", len(got), len(payload))
+			}
+		}
+	})
+}
+
+func TestDialUnknownAddress(t *testing.T) {
+	eachTransport(t, func(t *testing.T, tr Transport) {
+		addr := "nowhere"
+		if tr.Proto() == "tcp" {
+			addr = "127.0.0.1:1" // almost certainly closed
+		}
+		if _, err := tr.Dial(addr); err == nil {
+			t.Fatal("want dial error")
+		}
+	})
+}
+
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	eachTransport(t, func(t *testing.T, tr Transport) {
+		l, err := tr.Listen("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() {
+			_, err := l.Accept()
+			done <- err
+		}()
+		time.Sleep(10 * time.Millisecond)
+		l.Close()
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("got %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("Accept did not unblock")
+		}
+	})
+}
+
+func TestRecvDeadline(t *testing.T) {
+	eachTransport(t, func(t *testing.T, tr Transport) {
+		l, err := tr.Listen("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		go func() { _, _ = l.Accept() }() // accept but never answer
+
+		c, err := tr.Dial(mustAddr(t, l.Endpoint()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.SetDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		_, err = c.Recv(nil)
+		if !errors.Is(err, ErrTimeout) {
+			t.Fatalf("want timeout, got %v", err)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("deadline ignored: %v", elapsed)
+		}
+	})
+}
+
+func TestCloseUnblocksPeerRecv(t *testing.T) {
+	eachTransport(t, func(t *testing.T, tr Transport) {
+		l, err := tr.Listen("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		accepted := make(chan Conn, 1)
+		go func() {
+			c, err := l.Accept()
+			if err == nil {
+				accepted <- c
+			}
+		}()
+		c, err := tr.Dial(mustAddr(t, l.Endpoint()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		server := <-accepted
+		done := make(chan error, 1)
+		go func() {
+			_, err := server.Recv(nil)
+			done <- err
+		}()
+		time.Sleep(10 * time.Millisecond)
+		c.Close()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("want error after peer close")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("Recv did not unblock after peer close")
+		}
+	})
+}
+
+// mustAddr strips the proto prefix from a full endpoint.
+func mustAddr(t *testing.T, endpoint string) string {
+	t.Helper()
+	for i := 0; i < len(endpoint); i++ {
+		if endpoint[i] == ':' {
+			return endpoint[i+1:]
+		}
+	}
+	t.Fatalf("bad endpoint %q", endpoint)
+	return ""
+}
+
+func TestMemMessageBeforeCloseIsDelivered(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		accepted <- c
+	}()
+	c, err := m.Dial("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+	if err := c.Send([]byte("last words")); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	got, err := server.Recv(nil)
+	if err != nil {
+		t.Fatalf("message sent before close lost: %v", err)
+	}
+	if string(got) != "last words" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMemUnreachable(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	m.SetUnreachable("srv", true)
+	if _, err := m.Dial("srv"); err == nil {
+		t.Fatal("want dial failure while unreachable")
+	}
+	m.SetUnreachable("srv", false)
+	go func() { _, _ = l.Accept() }()
+	if _, err := m.Dial("srv"); err != nil {
+		t.Fatalf("dial after recovery: %v", err)
+	}
+}
+
+func TestMemPartitionSeversConnections(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	echoServe(t, l)
+	c, err := m.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recv(nil); err != nil {
+		t.Fatal(err)
+	}
+	m.SetUnreachable("srv", true)
+	if err := c.Send([]byte("y")); err == nil {
+		t.Fatal("send over severed connection succeeded")
+	}
+}
+
+func TestMemDuplicateListen(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Listen("dup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Listen("dup"); err == nil {
+		t.Fatal("want duplicate-address error")
+	}
+}
+
+func TestRegistryDialAny(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("here")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	echoServe(t, l)
+	reg := NewRegistry(m)
+	// Unknown proto is skipped, dead inmem address is tried and fails,
+	// live one succeeds.
+	c, ep, err := reg.DialAny([]string{"carrier-pigeon:x", "inmem:dead", "inmem:here"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if ep != "inmem:here" {
+		t.Fatalf("dialed %q", ep)
+	}
+	if _, _, err := reg.DialAny([]string{"carrier-pigeon:x"}); !errors.Is(err, ErrNoEndpoint) {
+		t.Fatalf("got %v", err)
+	}
+	if _, _, err := reg.DialAny(nil); !errors.Is(err, ErrNoEndpoint) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("pooled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	echoServe(t, l)
+	pool := NewPool(NewRegistry(m), 2)
+	defer pool.Close()
+	ep := l.Endpoint()
+
+	c1, gotEP, err := pool.Get([]string{ep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(gotEP, c1)
+	if pool.IdleCount(ep) != 1 {
+		t.Fatalf("idle=%d", pool.IdleCount(ep))
+	}
+	c2, _, err := pool.Get([]string{ep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c1 {
+		t.Fatal("pool did not reuse idle connection")
+	}
+	pool.Put(ep, c2)
+}
+
+func TestPoolCapAndClose(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("capped")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	echoServe(t, l)
+	pool := NewPool(NewRegistry(m), 1)
+	ep := l.Endpoint()
+
+	c1, _, _ := pool.Get([]string{ep})
+	c2, _, err := pool.Get([]string{ep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(ep, c1)
+	pool.Put(ep, c2) // over cap: closed
+	if pool.IdleCount(ep) != 1 {
+		t.Fatalf("idle=%d, want 1", pool.IdleCount(ep))
+	}
+	if err := c2.Send([]byte("x")); err == nil {
+		t.Fatal("over-cap connection should be closed")
+	}
+	pool.Close()
+	if _, _, err := pool.Get([]string{ep}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v", err)
+	}
+	if err := c1.Send([]byte("x")); err == nil {
+		t.Fatal("idle connection should be closed by pool.Close")
+	}
+}
+
+func TestConcurrentPoolTraffic(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("busy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	echoServe(t, l)
+	pool := NewPool(NewRegistry(m), 4)
+	defer pool.Close()
+	ep := l.Endpoint()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c, gotEP, err := pool.Get([]string{ep})
+				if err != nil {
+					errs <- err
+					return
+				}
+				msg := []byte(fmt.Sprintf("g%d-i%d", g, i))
+				if err := c.Send(msg); err != nil {
+					pool.Discard(c)
+					errs <- err
+					return
+				}
+				got, err := c.Recv(nil)
+				if err != nil || !bytes.Equal(got, msg) {
+					pool.Discard(c)
+					errs <- fmt.Errorf("echo mismatch: %v", err)
+					return
+				}
+				pool.Put(gotEP, c)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMemLatencyApplied(t *testing.T) {
+	m := NewMem()
+	m.Latency = 20 * time.Millisecond
+	l, err := m.Listen("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	echoServe(t, l)
+	c, err := m.Dial("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if err := c.Send([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recv(nil); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("latency not applied on both legs: %v", elapsed)
+	}
+}

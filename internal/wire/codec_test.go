@@ -1,0 +1,231 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeScalars(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uint(0)
+	e.Uint(1)
+	e.Uint(math.MaxUint64)
+	e.Int(-1)
+	e.Int(math.MinInt64)
+	e.Int(math.MaxInt64)
+	e.Bool(true)
+	e.Bool(false)
+	e.Float(3.25)
+	e.Float(math.Inf(-1))
+	e.Complex(complex(1.5, -2.5))
+	e.String("héllo")
+	e.String("")
+	e.BytesField([]byte{0, 1, 2})
+	e.BytesField(nil)
+	e.StringSlice([]string{"a", "", "ccc"})
+	e.StringSlice(nil)
+
+	d := NewDecoder(e.Bytes())
+	checks := []struct {
+		name string
+		got  any
+		want any
+	}{
+		{"uint0", d.Uint(), uint64(0)},
+		{"uint1", d.Uint(), uint64(1)},
+		{"uintMax", d.Uint(), uint64(math.MaxUint64)},
+		{"int-1", d.Int(), int64(-1)},
+		{"intMin", d.Int(), int64(math.MinInt64)},
+		{"intMax", d.Int(), int64(math.MaxInt64)},
+		{"boolT", d.Bool(), true},
+		{"boolF", d.Bool(), false},
+		{"float", d.Float(), 3.25},
+		{"floatInf", d.Float(), math.Inf(-1)},
+		{"complex", d.Complex(), complex(1.5, -2.5)},
+		{"string", d.String(), "héllo"},
+		{"stringEmpty", d.String(), ""},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s: got %v want %v", c.name, c.got, c.want)
+		}
+	}
+	if b := d.BytesField(); !bytes.Equal(b, []byte{0, 1, 2}) {
+		t.Errorf("bytes: got %v", b)
+	}
+	if b := d.BytesField(); len(b) != 0 {
+		t.Errorf("nil bytes: got %v", b)
+	}
+	ss := d.StringSlice()
+	if len(ss) != 3 || ss[0] != "a" || ss[1] != "" || ss[2] != "ccc" {
+		t.Errorf("string slice: got %v", ss)
+	}
+	if ss := d.StringSlice(); len(ss) != 0 {
+		t.Errorf("nil string slice: got %v", ss)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode error: %v", err)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("trailing bytes: %d", d.Len())
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder([]byte{0xff}) // truncated uvarint
+	_ = d.Uint()
+	if d.Err() == nil {
+		t.Fatal("want error after truncated uvarint")
+	}
+	first := d.Err()
+	_ = d.String()
+	_ = d.Uint()
+	if d.Err() != first {
+		t.Fatalf("error not sticky: %v then %v", first, d.Err())
+	}
+}
+
+func TestDecoderShortString(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uint(100) // claims 100 bytes follow
+	d := NewDecoder(e.Bytes())
+	if s := d.String(); s != "" || d.Err() == nil {
+		t.Fatalf("want short-bytes error, got %q err=%v", s, d.Err())
+	}
+}
+
+func TestDecoderHugeLengthRejected(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uint(uint64(MaxStringLen) + 1)
+	d := NewDecoder(e.Bytes())
+	d.BytesField()
+	if d.Err() == nil {
+		t.Fatal("want too-large error")
+	}
+}
+
+func TestDecoderBadBool(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uint(7)
+	d := NewDecoder(e.Bytes())
+	d.Bool()
+	if d.Err() == nil {
+		t.Fatal("want bad-bool error")
+	}
+}
+
+func TestWireRepRoundTrip(t *testing.T) {
+	f := func(owner uint64, eps []string, index uint64) bool {
+		w := WireRep{Owner: SpaceID(owner), Endpoints: eps, Index: index}
+		e := NewEncoder(nil)
+		e.WireRep(w)
+		d := NewDecoder(e.Bytes())
+		got := d.WireRep()
+		if d.Err() != nil || d.Len() != 0 {
+			return false
+		}
+		if got.Owner != w.Owner || got.Index != w.Index || len(got.Endpoints) != len(w.Endpoints) {
+			return false
+		}
+		for i := range eps {
+			if got.Endpoints[i] != eps[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUintRoundTripQuick(t *testing.T) {
+	f := func(v uint64) bool {
+		e := NewEncoder(nil)
+		e.Uint(v)
+		d := NewDecoder(e.Bytes())
+		return d.Uint() == v && d.Err() == nil && d.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntRoundTripQuick(t *testing.T) {
+	f := func(v int64) bool {
+		e := NewEncoder(nil)
+		e.Int(v)
+		d := NewDecoder(e.Bytes())
+		return d.Int() == v && d.Err() == nil && d.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatRoundTripQuick(t *testing.T) {
+	f := func(v float64) bool {
+		e := NewEncoder(nil)
+		e.Float(v)
+		d := NewDecoder(e.Bytes())
+		got := d.Float()
+		// NaN compares unequal to itself; compare bit patterns instead.
+		return math.Float64bits(got) == math.Float64bits(v) && d.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceIDUniqueNonZero(t *testing.T) {
+	seen := make(map[SpaceID]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewSpaceID()
+		if id == 0 {
+			t.Fatal("zero space id")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate space id %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSplitJoinEndpoint(t *testing.T) {
+	proto, addr, err := SplitEndpoint("tcp:127.0.0.1:9000")
+	if err != nil || proto != "tcp" || addr != "127.0.0.1:9000" {
+		t.Fatalf("got %q %q %v", proto, addr, err)
+	}
+	if JoinEndpoint("inmem", "alpha") != "inmem:alpha" {
+		t.Fatal("join mismatch")
+	}
+	for _, bad := range []string{"", "tcp", ":addr"} {
+		if _, _, err := SplitEndpoint(bad); err == nil {
+			t.Errorf("SplitEndpoint(%q): want error", bad)
+		}
+	}
+	// An empty address is allowed: it means "transport picks".
+	if proto, addr, err := SplitEndpoint("tcp:"); err != nil || proto != "tcp" || addr != "" {
+		t.Errorf("SplitEndpoint(\"tcp:\"): %q %q %v", proto, addr, err)
+	}
+}
+
+func TestWireRepKeyAndZero(t *testing.T) {
+	var zero WireRep
+	if !zero.IsZero() {
+		t.Fatal("zero wireRep not IsZero")
+	}
+	w := WireRep{Owner: 7, Endpoints: []string{"inmem:a"}, Index: 3}
+	if w.IsZero() {
+		t.Fatal("non-zero wireRep reported zero")
+	}
+	w2 := WireRep{Owner: 7, Endpoints: []string{"tcp:other"}, Index: 3}
+	if w.Key() != w2.Key() {
+		t.Fatal("keys should ignore endpoints")
+	}
+	if w.Key() == (WireRep{Owner: 7, Index: 4}).Key() {
+		t.Fatal("distinct indices should yield distinct keys")
+	}
+}

@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a single protocol frame. Frames are length-prefixed, so
+// the limit protects a receiver from a corrupt or hostile length word.
+const MaxFrame = 256 << 20
+
+// ErrFrameTooLarge reports a frame whose length prefix exceeds MaxFrame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// WriteFrame writes one length-prefixed frame containing payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	// Issue a single Write so concurrent writers interleave at frame
+	// granularity when the caller serializes at a higher level anyway, and
+	// so TCP sees one buffer per small frame.
+	buf := make([]byte, 0, 4+len(payload))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, reusing buf when it has
+// sufficient capacity. It returns the payload, which may alias buf.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}

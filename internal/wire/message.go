@@ -1,0 +1,476 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Op identifies a protocol message kind.
+type Op uint8
+
+// The protocol message set. A remote method invocation is a Call/Result
+// pair. The distributed collector uses Dirty/DirtyAck to register a client
+// in an object's dirty set and Clean/CleanAck to remove it; Ping/PingAck
+// let an owner probe clients that hold surrogates for its objects.
+const (
+	OpInvalid Op = iota
+	OpCall
+	OpResult
+	OpDirty
+	OpDirtyAck
+	OpClean
+	OpCleanAck
+	OpPing
+	OpPingAck
+	// OpResultAck acknowledges receipt of a Result that carried network
+	// references: the sender keeps those references transiently dirty until
+	// the ack arrives, closing the window Birrell's presentation left open
+	// for references returned as results.
+	OpResultAck
+	// OpCleanBatch carries several clean calls from one client in a single
+	// message — the batching cost reduction of the paper. Answered with a
+	// CleanAck.
+	OpCleanBatch
+	// OpLease renews a client's liveness lease at an owner — the
+	// RMI-style alternative to owner-driven pinging.
+	OpLease
+	// OpLeaseAck acknowledges a lease renewal with the granted duration.
+	OpLeaseAck
+)
+
+// String names the op for logs.
+func (o Op) String() string {
+	switch o {
+	case OpCall:
+		return "call"
+	case OpResult:
+		return "result"
+	case OpDirty:
+		return "dirty"
+	case OpDirtyAck:
+		return "dirty-ack"
+	case OpClean:
+		return "clean"
+	case OpCleanAck:
+		return "clean-ack"
+	case OpPing:
+		return "ping"
+	case OpPingAck:
+		return "ping-ack"
+	case OpResultAck:
+		return "result-ack"
+	case OpCleanBatch:
+		return "clean-batch"
+	case OpLease:
+		return "lease"
+	case OpLeaseAck:
+		return "lease-ack"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Status classifies the outcome reported in a Result, DirtyAck or CleanAck.
+type Status uint8
+
+// Result statuses. StatusAppError carries an error returned by the remote
+// method itself (the call executed); every other non-OK status reports a
+// runtime-level failure (the call may not have executed).
+const (
+	StatusOK Status = iota
+	StatusAppError
+	StatusNoSuchObject
+	StatusNoSuchMethod
+	StatusBadFingerprint
+	StatusMarshal
+	StatusInternal
+)
+
+// String names the status for logs and errors.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusAppError:
+		return "application error"
+	case StatusNoSuchObject:
+		return "no such object"
+	case StatusNoSuchMethod:
+		return "no such method"
+	case StatusBadFingerprint:
+		return "stub fingerprint mismatch"
+	case StatusMarshal:
+		return "marshaling error"
+	case StatusInternal:
+		return "internal error"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Message is implemented by every protocol message.
+type Message interface {
+	// Op returns the message kind.
+	Op() Op
+	encode(*Encoder)
+	decode(*Decoder)
+}
+
+// Call requests invocation of a method on an exported object.
+type Call struct {
+	// Obj is the target's index in the receiving space's export table.
+	Obj uint64
+	// Method is the method name on the exported object.
+	Method string
+	// Fingerprint is the caller's stub fingerprint for the object's type;
+	// zero means "unchecked" (reflection stubs).
+	Fingerprint uint64
+	// Typed reports how Args is encoded: true means the caller pickled the
+	// arguments at the method's declared parameter types (generated stubs,
+	// the fast path); false means each argument is pickled as an interface
+	// value (dynamic calls). The dispatcher answers in the same encoding.
+	Typed bool
+	// Args is the pickled argument tuple.
+	Args []byte
+}
+
+// Op returns OpCall.
+func (*Call) Op() Op { return OpCall }
+
+func (m *Call) encode(e *Encoder) {
+	e.Uint(m.Obj)
+	e.String(m.Method)
+	e.Uint(m.Fingerprint)
+	e.Bool(m.Typed)
+	e.BytesField(m.Args)
+}
+
+func (m *Call) decode(d *Decoder) {
+	m.Obj = d.Uint()
+	m.Method = d.String()
+	m.Fingerprint = d.Uint()
+	m.Typed = d.Bool()
+	m.Args = d.BytesField()
+}
+
+// Result carries the outcome of a Call.
+type Result struct {
+	// Status classifies the outcome.
+	Status Status
+	// Err is the error text when Status != StatusOK.
+	Err string
+	// Results is the pickled result tuple when Status == StatusOK or
+	// StatusAppError (a method may return values alongside an error).
+	Results []byte
+	// NeedAck is set when Results carries network references; the caller
+	// must send a ResultAck on the same connection after unmarshaling so
+	// the sender can drop its transient dirty entries for them.
+	NeedAck bool
+}
+
+// Op returns OpResult.
+func (*Result) Op() Op { return OpResult }
+
+func (m *Result) encode(e *Encoder) {
+	e.Uint(uint64(m.Status))
+	e.String(m.Err)
+	e.BytesField(m.Results)
+	e.Bool(m.NeedAck)
+}
+
+func (m *Result) decode(d *Decoder) {
+	m.Status = Status(d.Uint())
+	m.Err = d.String()
+	m.Results = d.BytesField()
+	m.NeedAck = d.Bool()
+}
+
+// Dirty registers the calling client in the dirty set of an exported
+// object. It is sent by a space that has just received a wireRep for an
+// object it holds no surrogate for, before the surrogate becomes usable.
+type Dirty struct {
+	// Obj is the object's index at the owner.
+	Obj uint64
+	// Client identifies the space acquiring the reference.
+	Client SpaceID
+	// ClientEndpoints are endpoints at which the owner can ping the client.
+	ClientEndpoints []string
+	// Seq orders this client's dirty and clean calls for the object;
+	// the owner ignores operations whose Seq is not larger than the largest
+	// already seen from this client.
+	Seq uint64
+}
+
+// Op returns OpDirty.
+func (*Dirty) Op() Op { return OpDirty }
+
+func (m *Dirty) encode(e *Encoder) {
+	e.Uint(m.Obj)
+	e.Uint(uint64(m.Client))
+	e.StringSlice(m.ClientEndpoints)
+	e.Uint(m.Seq)
+}
+
+func (m *Dirty) decode(d *Decoder) {
+	m.Obj = d.Uint()
+	m.Client = SpaceID(d.Uint())
+	m.ClientEndpoints = d.StringSlice()
+	m.Seq = d.Uint()
+}
+
+// DirtyAck acknowledges a Dirty call.
+type DirtyAck struct {
+	// Status is StatusOK on success; StatusNoSuchObject if the object has
+	// already been withdrawn from the owner's export table.
+	Status Status
+	// Err is the error text when Status != StatusOK.
+	Err string
+}
+
+// Op returns OpDirtyAck.
+func (*DirtyAck) Op() Op { return OpDirtyAck }
+
+func (m *DirtyAck) encode(e *Encoder) {
+	e.Uint(uint64(m.Status))
+	e.String(m.Err)
+}
+
+func (m *DirtyAck) decode(d *Decoder) {
+	m.Status = Status(d.Uint())
+	m.Err = d.String()
+}
+
+// Clean removes the calling client from the dirty set of an exported
+// object. A strong clean additionally invalidates any dirty call from this
+// client still in flight (sent after a dirty call whose fate is unknown).
+type Clean struct {
+	// Obj is the object's index at the owner.
+	Obj uint64
+	// Client identifies the space dropping the reference.
+	Client SpaceID
+	// Seq orders this client's dirty and clean calls for the object.
+	Seq uint64
+	// Strong marks a clean issued after a dirty call failed with unknown
+	// outcome; it must take effect even if the dirty call never arrived.
+	Strong bool
+}
+
+// Op returns OpClean.
+func (*Clean) Op() Op { return OpClean }
+
+func (m *Clean) encode(e *Encoder) {
+	e.Uint(m.Obj)
+	e.Uint(uint64(m.Client))
+	e.Uint(m.Seq)
+	e.Bool(m.Strong)
+}
+
+func (m *Clean) decode(d *Decoder) {
+	m.Obj = d.Uint()
+	m.Client = SpaceID(d.Uint())
+	m.Seq = d.Uint()
+	m.Strong = d.Bool()
+}
+
+// CleanAck acknowledges a Clean call.
+type CleanAck struct {
+	// Status is StatusOK on success. A clean for an absent entry is a
+	// no-op and still reports StatusOK, as the paper specifies.
+	Status Status
+	// Err is the error text when Status != StatusOK.
+	Err string
+}
+
+// Op returns OpCleanAck.
+func (*CleanAck) Op() Op { return OpCleanAck }
+
+func (m *CleanAck) encode(e *Encoder) {
+	e.Uint(uint64(m.Status))
+	e.String(m.Err)
+}
+
+func (m *CleanAck) decode(d *Decoder) {
+	m.Status = Status(d.Uint())
+	m.Err = d.String()
+}
+
+// Ping probes a client space believed to hold surrogates for the sender's
+// objects. A client that cannot be reached for long enough is presumed dead
+// and removed from all dirty sets at the owner.
+type Ping struct {
+	// From identifies the pinging owner.
+	From SpaceID
+}
+
+// Op returns OpPing.
+func (*Ping) Op() Op { return OpPing }
+
+func (m *Ping) encode(e *Encoder) { e.Uint(uint64(m.From)) }
+func (m *Ping) decode(d *Decoder) { m.From = SpaceID(d.Uint()) }
+
+// PingAck answers a Ping; it carries the responder's space id so the owner
+// can detect that a client endpoint has been reused by a new incarnation.
+type PingAck struct {
+	// From identifies the responding client.
+	From SpaceID
+}
+
+// Op returns OpPingAck.
+func (*PingAck) Op() Op { return OpPingAck }
+
+func (m *PingAck) encode(e *Encoder) { e.Uint(uint64(m.From)) }
+func (m *PingAck) decode(d *Decoder) { m.From = SpaceID(d.Uint()) }
+
+// CleanBatch removes the calling client from the dirty sets of several
+// objects at once. Semantically identical to the corresponding sequence of
+// Clean messages, at a fraction of the exchanges.
+type CleanBatch struct {
+	// Client identifies the space dropping the references.
+	Client SpaceID
+	// Objs, Seqs and Strongs are parallel: entry i cleans object Objs[i]
+	// with sequence number Seqs[i], strongly if Strongs[i].
+	Objs    []uint64
+	Seqs    []uint64
+	Strongs []bool
+}
+
+// Op returns OpCleanBatch.
+func (*CleanBatch) Op() Op { return OpCleanBatch }
+
+func (m *CleanBatch) encode(e *Encoder) {
+	e.Uint(uint64(m.Client))
+	e.Uint(uint64(len(m.Objs)))
+	for i := range m.Objs {
+		e.Uint(m.Objs[i])
+		e.Uint(m.Seqs[i])
+		e.Bool(m.Strongs[i])
+	}
+}
+
+func (m *CleanBatch) decode(d *Decoder) {
+	m.Client = SpaceID(d.Uint())
+	n := d.Uint()
+	if n > MaxStringLen/3 {
+		d.fail("clean batch too large")
+		return
+	}
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		m.Objs = append(m.Objs, d.Uint())
+		m.Seqs = append(m.Seqs, d.Uint())
+		m.Strongs = append(m.Strongs, d.Bool())
+	}
+}
+
+// Lease renews the calling client's liveness lease at the receiving
+// owner, covering every dirty entry the owner holds for the client. In
+// lease mode an owner drops the entries of clients whose lease lapses —
+// the client-paced dual of the pinging design.
+type Lease struct {
+	// Client identifies the renewing space.
+	Client SpaceID
+	// ClientEndpoints refresh where the client can be reached.
+	ClientEndpoints []string
+}
+
+// Op returns OpLease.
+func (*Lease) Op() Op { return OpLease }
+
+func (m *Lease) encode(e *Encoder) {
+	e.Uint(uint64(m.Client))
+	e.StringSlice(m.ClientEndpoints)
+}
+
+func (m *Lease) decode(d *Decoder) {
+	m.Client = SpaceID(d.Uint())
+	m.ClientEndpoints = d.StringSlice()
+}
+
+// LeaseAck acknowledges a Lease with the granted duration.
+type LeaseAck struct {
+	// Status is StatusOK when the lease was renewed.
+	Status Status
+	// GrantedMillis is the renewed lease's time-to-live.
+	GrantedMillis uint64
+}
+
+// Op returns OpLeaseAck.
+func (*LeaseAck) Op() Op { return OpLeaseAck }
+
+func (m *LeaseAck) encode(e *Encoder) {
+	e.Uint(uint64(m.Status))
+	e.Uint(m.GrantedMillis)
+}
+
+func (m *LeaseAck) decode(d *Decoder) {
+	m.Status = Status(d.Uint())
+	m.GrantedMillis = d.Uint()
+}
+
+// ResultAck acknowledges a Result whose NeedAck flag was set, confirming
+// that the caller has unmarshaled the returned network references and
+// registered itself with their owners.
+type ResultAck struct{}
+
+// Op returns OpResultAck.
+func (*ResultAck) Op() Op { return OpResultAck }
+
+func (m *ResultAck) encode(*Encoder) {}
+func (m *ResultAck) decode(*Decoder) {}
+
+// Marshal encodes msg, including its op byte, appending to buf (which may
+// be nil). The result is a complete frame payload.
+func Marshal(buf []byte, msg Message) []byte {
+	e := NewEncoder(buf)
+	e.Uint(uint64(msg.Op()))
+	msg.encode(e)
+	return e.Bytes()
+}
+
+// ErrUnknownOp reports a message with an unrecognized op byte.
+var ErrUnknownOp = errors.New("wire: unknown message op")
+
+// Unmarshal decodes a frame payload produced by Marshal.
+func Unmarshal(b []byte) (Message, error) {
+	d := NewDecoder(b)
+	op := Op(d.Uint())
+	var m Message
+	switch op {
+	case OpCall:
+		m = new(Call)
+	case OpResult:
+		m = new(Result)
+	case OpDirty:
+		m = new(Dirty)
+	case OpDirtyAck:
+		m = new(DirtyAck)
+	case OpClean:
+		m = new(Clean)
+	case OpCleanAck:
+		m = new(CleanAck)
+	case OpPing:
+		m = new(Ping)
+	case OpPingAck:
+		m = new(PingAck)
+	case OpResultAck:
+		m = new(ResultAck)
+	case OpCleanBatch:
+		m = new(CleanBatch)
+	case OpLease:
+		m = new(Lease)
+	case OpLeaseAck:
+		m = new(LeaseAck)
+	default:
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %d", ErrUnknownOp, uint8(op))
+	}
+	m.decode(d)
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("wire: decoding %v: %w", op, err)
+	}
+	if d.Len() != 0 {
+		return nil, fmt.Errorf("wire: decoding %v: %w: %d trailing bytes", op, ErrCorrupt, d.Len())
+	}
+	return m, nil
+}

@@ -1,0 +1,113 @@
+// Package wire defines the on-the-wire vocabulary of the network objects
+// runtime: space identifiers, wire representations of network objects
+// (wireReps), the protocol message set, and the framing used to carry
+// messages over byte-stream transports.
+//
+// A network object is marshaled by transmitting its wireRep, which consists
+// of a unique identifier for the owner space, the endpoints at which the
+// owner can be reached, and the index of the object in the owner's object
+// table. Carrying the owner's endpoints inside the wireRep is what makes
+// third-party transfers work: any process that receives a wireRep can
+// connect directly to the owner, regardless of who sent the reference.
+package wire
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// SpaceID uniquely identifies a process instance (an address space)
+// participating in the network objects system. IDs are drawn at random at
+// space creation so that restarted processes are distinguishable from their
+// previous incarnations, which is what lets owners discard dirty-set entries
+// for dead clients without confusing them with reborn ones.
+type SpaceID uint64
+
+// NewSpaceID returns a fresh, cryptographically random space identifier.
+// The zero value is reserved to mean "no space".
+func NewSpaceID() SpaceID {
+	var b [8]byte
+	for {
+		if _, err := rand.Read(b[:]); err != nil {
+			panic(fmt.Sprintf("wire: reading random space id: %v", err))
+		}
+		id := SpaceID(binary.BigEndian.Uint64(b[:]))
+		if id != 0 {
+			return id
+		}
+	}
+}
+
+// String renders the id in the short hexadecimal form used in logs.
+func (id SpaceID) String() string { return fmt.Sprintf("space-%016x", uint64(id)) }
+
+// Well-known object table indices. Index zero is never a valid object so
+// that a zero-valued wireRep is detectably invalid; index one is the
+// bootstrap agent through which named objects are published and imported.
+const (
+	// InvalidIndex is never assigned to an exported object.
+	InvalidIndex uint64 = 0
+	// AgentIndex is the well-known index of the per-space agent object.
+	AgentIndex uint64 = 1
+	// FirstUserIndex is the first index handed to ordinary exports.
+	FirstUserIndex uint64 = 2
+)
+
+// WireRep is the marshaled form of a network object reference: enough
+// information for any receiver to locate the owner and name the concrete
+// object within it.
+type WireRep struct {
+	// Owner is the space that allocated the concrete object.
+	Owner SpaceID
+	// Endpoints lists transport endpoints ("tcp:host:port", "inmem:name")
+	// at which the owner accepts connections, in preference order.
+	Endpoints []string
+	// Index is the object's slot in the owner's export table.
+	Index uint64
+}
+
+// IsZero reports whether w is the zero wireRep, the marshaled form of a nil
+// network object reference.
+func (w WireRep) IsZero() bool { return w.Owner == 0 && w.Index == 0 && len(w.Endpoints) == 0 }
+
+// Key returns the identity of the concrete object named by w. Two wireReps
+// denote the same object exactly when their keys are equal; endpoints are
+// deliberately excluded because an owner may be reachable many ways.
+func (w WireRep) Key() Key { return Key{Owner: w.Owner, Index: w.Index} }
+
+// String renders w for logs and error messages.
+func (w WireRep) String() string {
+	return fmt.Sprintf("%v/%d@[%s]", w.Owner, w.Index, strings.Join(w.Endpoints, ","))
+}
+
+// Key identifies a concrete network object globally: the owner space plus
+// the object's index at the owner. It is the comparable form of a WireRep
+// and is used as the object-table lookup key in every space.
+type Key struct {
+	Owner SpaceID
+	Index uint64
+}
+
+// String renders k for logs and error messages.
+func (k Key) String() string { return fmt.Sprintf("%v/%d", k.Owner, k.Index) }
+
+// ErrBadEndpoint reports a malformed endpoint string.
+var ErrBadEndpoint = errors.New("wire: malformed endpoint")
+
+// SplitEndpoint splits an endpoint string "proto:address" into its
+// transport protocol name and transport-specific address. An empty
+// address is permitted — when listening it asks the transport to choose
+// one — but the protocol part is mandatory.
+func SplitEndpoint(ep string) (proto, addr string, err error) {
+	i := strings.IndexByte(ep, ':')
+	if i <= 0 {
+		return "", "", fmt.Errorf("%w: %q", ErrBadEndpoint, ep)
+	}
+	return ep[:i], ep[i+1:], nil
+}
+
+// JoinEndpoint forms an endpoint string from a protocol and address.
+func JoinEndpoint(proto, addr string) string { return proto + ":" + addr }

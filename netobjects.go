@@ -1,0 +1,150 @@
+// Package netobjects is a Go implementation of Network Objects (Birrell,
+// Nelson, Owicki, Wobber — SOSP 1993): distributed objects with
+// surrogates, transparent marshaling by pickles, transport independence,
+// third-party reference transfers, and a distributed reference-listing
+// garbage collector with dirty and clean calls.
+//
+// # Quickstart
+//
+//	owner, _ := netobjects.New(netobjects.Options{})
+//	defer owner.Close()
+//	ref, _ := owner.Export(&Counter{})
+//	w, _ := ref.WireRep()               // ship this to another process
+//
+//	client, _ := netobjects.New(netobjects.Options{})
+//	defer client.Close()
+//	c, _ := client.Import(w)            // registers with the owner
+//	out, _ := c.Call("Incr", int64(1))  // remote invocation
+//
+// Objects are passed by reference whenever they are network objects (a
+// *Ref, a generated stub, or a value implementing a registered remote
+// interface) and by value otherwise, with sharing and cycles preserved by
+// the pickler. A per-space agent (see the naming package and the netobjd
+// daemon) publishes objects by name for bootstrapping.
+//
+// The life cycle of every remote reference follows Birrell's distributed
+// reference listing algorithm as formalised by Moreau, Dickman and Jones,
+// including the ccitnil state, transient dirty entries for references in
+// transit (covering results as well as arguments), sequence numbers
+// against message reordering, strong cleans after failed dirty calls, and
+// ping-based reclamation of crashed clients. The abstract machine itself
+// is implemented in internal/refmodel and model-checked in its tests.
+package netobjects
+
+import (
+	"reflect"
+
+	"netobjects/internal/core"
+	"netobjects/internal/pickle"
+	"netobjects/internal/transport"
+	"netobjects/internal/wire"
+)
+
+// Core types re-exported as the public API surface.
+type (
+	// Space is one participant in the network objects system: it owns
+	// exported objects, holds surrogates, and runs the collector daemons.
+	Space = core.Space
+	// Options configures a Space; the zero value listens on loopback TCP.
+	Options = core.Options
+	// Ref is a handle on a network object: the owner's handle or a
+	// surrogate.
+	Ref = core.Ref
+	// Referencer is implemented by values carrying a network reference
+	// (stubs and *Ref itself).
+	Referencer = core.Referencer
+	// RemoteError is an application error returned by a remote method.
+	RemoteError = core.RemoteError
+	// CallError is a runtime-level invocation failure.
+	CallError = core.CallError
+	// Stats counts a space's call and collector events.
+	Stats = core.Stats
+	// WireRep is the marshaled form of a network object reference.
+	WireRep = wire.WireRep
+	// SpaceID identifies a space instance.
+	SpaceID = wire.SpaceID
+	// Transport is a pluggable communication protocol.
+	Transport = transport.Transport
+	// MemTransport is the in-process transport, for tests, examples and
+	// same-machine composition.
+	MemTransport = transport.Mem
+	// CollectorVariant selects the distributed collector protocol variant
+	// (see Options.Variant).
+	CollectorVariant = core.CollectorVariant
+	// LivenessMode selects how owners detect dead clients (see
+	// Options.Liveness).
+	LivenessMode = core.LivenessMode
+)
+
+// Collector protocol variants.
+const (
+	// VariantBirrell is the base algorithm: registration of a received
+	// reference blocks until its dirty call is acknowledged. Correct over
+	// channels with no ordering guarantees.
+	VariantBirrell = core.VariantBirrell
+	// VariantFIFO is the paper's §5.1 optimisation: collector traffic to
+	// each owner is delivered in order, received references are usable
+	// immediately, and the dirty round trip overlaps method execution.
+	VariantFIFO = core.VariantFIFO
+	// LivenessPing is the paper's design: owners ping clients.
+	LivenessPing = core.LivenessPing
+	// LivenessLease is the RMI-style design: clients renew leases.
+	LivenessLease = core.LivenessLease
+)
+
+// Sentinel errors re-exported for errors.Is.
+var (
+	ErrSpaceClosed    = core.ErrSpaceClosed
+	ErrNoSuchObject   = core.ErrNoSuchObject
+	ErrNoSuchMethod   = core.ErrNoSuchMethod
+	ErrBadFingerprint = core.ErrBadFingerprint
+	ErrNoStub         = core.ErrNoStub
+)
+
+// New creates and starts a space.
+func New(opts Options) (*Space, error) { return core.NewSpace(opts) }
+
+// NewTCP returns the TCP transport ("tcp:host:port" endpoints).
+func NewTCP() Transport { return transport.NewTCP() }
+
+// NewMem returns a fresh in-process transport namespace ("inmem:name"
+// endpoints). Spaces sharing the instance can reach each other.
+func NewMem() *MemTransport { return transport.NewMem() }
+
+// Register records a type in the default pickle registry so it can travel
+// inside interface-typed values — the analogue of gob.Register. Both
+// sides of a connection must register the same types.
+func Register(v any) { pickle.Register(v) }
+
+// RegisterName records a type under an explicit wire name.
+func RegisterName(name string, v any) { pickle.RegisterName(name, v) }
+
+// RegisterRemoteInterface declares the interface type T remote on sp:
+// values implementing it pass by reference (concrete implementations are
+// auto-exported by their owner) and surrogates received at T are wrapped
+// with factory. Generated stubs call this from their Register functions;
+// factory may be nil when only dynamic calls are needed.
+func RegisterRemoteInterface[T any](sp *Space, factory func(*Ref) T) error {
+	t := reflect.TypeOf((*T)(nil)).Elem()
+	var f func(*Ref) any
+	if factory != nil {
+		f = func(r *Ref) any { return factory(r) }
+	}
+	return sp.RegisterRemoteInterface(t, f)
+}
+
+// FingerprintOf computes the stub fingerprint of interface type T, the
+// version stamp generated stubs embed in every typed call.
+func FingerprintOf[T any]() uint64 {
+	return pickle.Fingerprint(reflect.TypeOf((*T)(nil)).Elem())
+}
+
+// ArgValue wraps v in a reflect.Value that keeps T as its static type —
+// unlike reflect.ValueOf, which would substitute the dynamic type and
+// break the typed encoding of interface-typed parameters. Generated stubs
+// build their argument lists with it.
+func ArgValue[T any](v T) reflect.Value { return reflect.ValueOf(&v).Elem() }
+
+// TypeFor returns the reflection type of T; generated stubs use it to
+// declare their result-type tables.
+func TypeFor[T any]() reflect.Type { return reflect.TypeOf((*T)(nil)).Elem() }

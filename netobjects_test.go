@@ -1,0 +1,200 @@
+package netobjects_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"netobjects"
+	"netobjects/internal/naming"
+)
+
+// KV is a remote key-value service used by the public API tests.
+type KV interface {
+	Put(key string, val string) error
+	Get(key string) (string, error)
+}
+
+type kvImpl struct {
+	mu sync.Mutex
+	m  map[string]string
+}
+
+func newKV() *kvImpl { return &kvImpl{m: make(map[string]string)} }
+
+func (k *kvImpl) Put(key, val string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.m[key] = val
+	return nil
+}
+
+func (k *kvImpl) Get(key string) (string, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	v, ok := k.m[key]
+	if !ok {
+		return "", errors.New("no such key: " + key)
+	}
+	return v, nil
+}
+
+// kvStub is the hand-written equivalent of a generated stub.
+type kvStub struct{ ref *netobjects.Ref }
+
+func (s *kvStub) NetObjRef() *netobjects.Ref { return s.ref }
+
+func (s *kvStub) Put(key, val string) error {
+	_, err := s.ref.Call("Put", key, val)
+	return err
+}
+
+func (s *kvStub) Get(key string) (string, error) {
+	out, err := s.ref.Call("Get", key)
+	if err != nil {
+		return "", err
+	}
+	return out[0].(string), nil
+}
+
+func newTCPSpace(t *testing.T, name string) *netobjects.Space {
+	t.Helper()
+	sp, err := netobjects.New(netobjects.Options{
+		Name:         name,
+		CallTimeout:  10 * time.Second,
+		PingInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sp.Close() })
+	return sp
+}
+
+func TestPublicAPIOverTCP(t *testing.T) {
+	server := newTCPSpace(t, "server")
+	client := newTCPSpace(t, "client")
+
+	impl := newKV()
+	ref, err := server.Export(impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ref.WireRep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cref, err := client.Import(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cref.Call("Put", "lang", "modula-3"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := cref.Call("Get", "lang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].(string) != "modula-3" {
+		t.Fatalf("got %v", out)
+	}
+	var re *netobjects.RemoteError
+	if _, err := cref.Call("Get", "missing"); !errors.As(err, &re) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestPublicAPIWithNamingOverTCP(t *testing.T) {
+	server := newTCPSpace(t, "server")
+	client := newTCPSpace(t, "client")
+	if _, err := naming.Serve(server); err != nil {
+		t.Fatal(err)
+	}
+	ep := server.Endpoints()[0]
+
+	ref, _ := server.Export(newKV())
+	if err := naming.Bind(server, ep, "kv", ref); err != nil {
+		t.Fatal(err)
+	}
+	got, err := naming.Lookup(client, ep, "kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := got.Call("Put", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := got.Call("Get", "a")
+	if err != nil || v[0].(string) != "b" {
+		t.Fatalf("got %v %v", v, err)
+	}
+}
+
+func TestRegisterRemoteInterfaceGenerics(t *testing.T) {
+	mem := netobjects.NewMem()
+	mk := func(name string) *netobjects.Space {
+		sp, err := netobjects.New(netobjects.Options{
+			Name:         name,
+			Transports:   []netobjects.Transport{mem},
+			PingInterval: time.Hour,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = sp.Close() })
+		return sp
+	}
+	a := mk("a")
+	b := mk("b")
+	for _, sp := range []*netobjects.Space{a, b} {
+		if err := netobjects.RegisterRemoteInterface[KV](sp,
+			func(r *netobjects.Ref) KV { return &kvStub{ref: r} }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	holder := &kvHolder{}
+	href, _ := b.Export(holder)
+	w, _ := href.WireRep()
+	hAtA, err := a.Import(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	impl := newKV()
+	// Concrete implementation auto-exports at the KV position.
+	if _, err := hAtA.Call("Keep", KV(impl)); err != nil {
+		t.Fatal(err)
+	}
+	// The holder received a typed stub and can use it.
+	if _, err := hAtA.Call("Stash", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if impl.m["k"] != "v" {
+		t.Fatalf("impl state: %v", impl.m)
+	}
+	if netobjects.FingerprintOf[KV]() == 0 {
+		t.Fatal("zero fingerprint")
+	}
+}
+
+type kvHolder struct {
+	mu sync.Mutex
+	kv KV
+}
+
+func (h *kvHolder) Keep(kv KV) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.kv = kv
+	return nil
+}
+
+func (h *kvHolder) Stash(k, v string) error {
+	h.mu.Lock()
+	kv := h.kv
+	h.mu.Unlock()
+	if kv == nil {
+		return errors.New("nothing kept")
+	}
+	return kv.Put(k, v)
+}
