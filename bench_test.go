@@ -139,6 +139,47 @@ func BenchmarkT1_NullCall_NetObj(b *testing.B) {
 	})
 }
 
+// BenchmarkT1_NullCall_Traced measures the fully observed call path: the
+// always-on metrics plus a ring tracer receiving every lifecycle event.
+// Compare against BenchmarkT1_NullCall_NetObj (metrics only, no tracer)
+// to see the tracer's marginal cost; it should stay within a few percent.
+func BenchmarkT1_NullCall_Traced(b *testing.B) {
+	mem := netobjects.NewMem()
+	mk := func(name string) *netobjects.Space {
+		sp, err := netobjects.New(netobjects.Options{
+			Name:         name,
+			Transports:   []netobjects.Transport{mem},
+			PingInterval: time.Hour,
+			Tracer:       netobjects.NewRingTracer(1024),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = sp.Close() })
+		return sp
+	}
+	owner, client := mk("owner"), mk("client")
+	ref, err := owner.Export(&benchService{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := ref.WireRep()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sur, err := client.Import(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sur.Call("Null"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkT1_NullCall_SRCRPC(b *testing.B) {
 	eachProto(b, func(b *testing.B, env *benchEnv) {
 		b.ReportAllocs()

@@ -5,19 +5,25 @@
 //
 // Usage:
 //
-//	netobjd [-listen tcp:127.0.0.1:7707] [-v]
+//	netobjd [-listen tcp:127.0.0.1:7707] [-http 127.0.0.1:7708] [-v]
 //
-// The daemon prints its endpoint on startup; pass that endpoint to
-// naming.Lookup / naming.Bind from other processes.
+// The daemon prints its endpoints on startup; pass one to naming.Lookup /
+// naming.Bind from other processes. With -http it also serves the
+// observability endpoint: /metrics (Prometheus text) and /debug/netobj
+// (live export/import tables, dirty sets, pool occupancy, recent trace
+// events).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"netobjects"
 	"netobjects/internal/naming"
@@ -25,6 +31,7 @@ import (
 
 func main() {
 	listen := flag.String("listen", "tcp:127.0.0.1:7707", "endpoint to listen on")
+	httpAddr := flag.String("http", "", "address for the /metrics and /debug/netobj endpoint (disabled when empty)")
 	verbose := flag.Bool("v", false, "log runtime events")
 	flag.Parse()
 
@@ -32,11 +39,17 @@ func main() {
 	if *verbose {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
 	}
-	sp, err := netobjects.New(netobjects.Options{
+	opts := netobjects.Options{
 		Name:            "netobjd",
 		ListenEndpoints: []string{*listen},
 		Logger:          logger,
-	})
+	}
+	if *httpAddr != "" {
+		// The debug page shows recent events only when a ring tracer is
+		// installed; without -http the call paths stay untraced.
+		opts.Tracer = netobjects.NewRingTracer(256)
+	}
+	sp, err := netobjects.New(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netobjd:", err)
 		os.Exit(1)
@@ -46,8 +59,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "netobjd:", err)
 		os.Exit(1)
 	}
-	_ = agent
-	fmt.Printf("netobjd: serving agent at %s (space %v)\n", sp.Endpoints()[0], sp.ID())
+	eps := sp.Endpoints()
+	if len(eps) == 0 {
+		fmt.Fprintln(os.Stderr, "netobjd: no listening endpoints")
+		os.Exit(1)
+	}
+	fmt.Printf("netobjd: serving agent at %s (space %v)\n", strings.Join(eps, ", "), sp.ID())
+
+	if *httpAddr != "" {
+		o := sp.Observability()
+		o.SetDebugSection("agent", func() string {
+			names, err := agent.List()
+			if err != nil {
+				return fmt.Sprintf("%d names bound", agent.Len())
+			}
+			return fmt.Sprintf("%d names bound: %s", len(names), strings.Join(names, ", "))
+		})
+		srv := &http.Server{Addr: *httpAddr, Handler: o.Handler(), ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			fmt.Printf("netobjd: telemetry at http://%s/debug/netobj\n", *httpAddr)
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "netobjd: http:", err)
+			}
+		}()
+		defer srv.Close()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -6,13 +6,19 @@
 //
 // Usage:
 //
-//	nobench [-t t1,t2,f1,t3,t4,t5,t6|all] [-quick]
+//	nobench [-t t1,t2,f1,t3,t4,t5,t6|all] [-quick] [-obs] [-http addr]
+//
+// With -obs every space the experiments create shares one metrics set and
+// the aggregate digest is printed after the run; -http additionally serves
+// the live /metrics and /debug/netobj endpoint for the duration (and
+// implies -obs).
 package main
 
 import (
 	"bytes"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -25,11 +31,41 @@ import (
 	"netobjects/internal/transport"
 )
 
-var quick = flag.Bool("quick", false, "fewer iterations, for smoke runs")
+var (
+	quick = flag.Bool("quick", false, "fewer iterations, for smoke runs")
+
+	// obsMetrics, when non-nil, is shared by every space the experiments
+	// create, so the digest aggregates the whole run.
+	obsMetrics *netobjects.Metrics
+)
+
+// withObs installs the shared metrics set on a space's options.
+func withObs(o *netobjects.Options) {
+	if obsMetrics != nil {
+		o.Metrics = obsMetrics
+	}
+}
 
 func main() {
 	which := flag.String("t", "all", "comma-separated experiments: t1,t2,f1,t3,t4,t5,t6")
+	obsFlag := flag.Bool("obs", false, "aggregate runtime metrics across experiments and print the digest")
+	httpAddr := flag.String("http", "", "serve live /metrics and /debug/netobj on this address during the run (implies -obs)")
 	flag.Parse()
+
+	if *obsFlag || *httpAddr != "" {
+		obsMetrics = netobjects.NewMetrics()
+	}
+	if *httpAddr != "" {
+		o := &netobjects.Observability{Metrics: obsMetrics}
+		srv := &http.Server{Addr: *httpAddr, Handler: o.Handler(), ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			fmt.Printf("nobench: telemetry at http://%s/metrics\n", *httpAddr)
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "nobench: http:", err)
+			}
+		}()
+		defer srv.Close()
+	}
 
 	want := map[string]bool{}
 	for _, t := range strings.Split(*which, ",") {
@@ -53,6 +89,10 @@ func main() {
 	run("t4", runT4)
 	run("t5", runT5)
 	run("t6", runT6)
+
+	if obsMetrics != nil {
+		fmt.Printf("\n========== METRICS DIGEST ==========\n%s", obsMetrics.Registry().Summary())
+	}
 }
 
 func iters(n int) int {
@@ -126,11 +166,13 @@ func newEnv(proto string) (*env, error) {
 	}
 	e := &env{}
 	mk := func(name string) (*netobjects.Space, error) {
-		sp, err := netobjects.New(netobjects.Options{
+		opts := netobjects.Options{
 			Name:         name,
 			Transports:   []netobjects.Transport{tr},
 			PingInterval: time.Hour,
-		})
+		}
+		withObs(&opts)
+		sp, err := netobjects.New(opts)
 		if err != nil {
 			return nil, err
 		}
@@ -392,12 +434,14 @@ func runT3() error {
 	mem := netobjects.NewMem()
 	mem.Latency = 2 * time.Millisecond
 	mkB := func(name string, batch bool) (*netobjects.Space, error) {
-		return netobjects.New(netobjects.Options{
+		opts := netobjects.Options{
 			Name:         name,
 			Transports:   []netobjects.Transport{mem},
 			PingInterval: time.Hour,
 			BatchCleans:  batch,
-		})
+		}
+		withObs(&opts)
+		return netobjects.New(opts)
 	}
 	owner, err := mkB("owner", false)
 	if err != nil {
@@ -511,12 +555,14 @@ func runT5Live() error {
 		mem.Latency = 3 * time.Millisecond
 		var spaces []*netobjects.Space
 		mk := func(name string) (*netobjects.Space, error) {
-			sp, err := netobjects.New(netobjects.Options{
+			opts := netobjects.Options{
 				Name:         name,
 				Transports:   []netobjects.Transport{mem},
 				PingInterval: time.Hour,
 				Variant:      variant,
-			})
+			}
+			withObs(&opts)
+			sp, err := netobjects.New(opts)
 			if err == nil {
 				spaces = append(spaces, sp)
 			}
@@ -587,6 +633,7 @@ func runT6() error {
 		if opt != nil {
 			opt(&opts)
 		}
+		withObs(&opts)
 		return netobjects.New(opts)
 	}
 

@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"time"
 	"weak"
 
+	"netobjects/internal/obs"
 	"netobjects/internal/wire"
 )
 
@@ -46,7 +48,11 @@ func (sp *Space) armCleanup(key wire.Key, ref *Ref, gen uint64) {
 			return
 		}
 		if sp.imports.ReleaseGen(key, g) {
-			sp.count(func(s *Stats) { s.AutoReleases++ })
+			sp.metrics.AutoReleases.Inc()
+			sp.metrics.SurrogatesReleased.Inc()
+			if sp.tracer != nil {
+				sp.tracer.Emit(obs.Event{Kind: obs.EvAutoRelease, Time: time.Now(), Key: key.String()})
+			}
 			sp.cleaner.Schedule(key, nil)
 		}
 	}, gen)

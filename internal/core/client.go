@@ -6,8 +6,17 @@ import (
 	"time"
 
 	"netobjects/internal/dgc"
+	"netobjects/internal/obs"
 	"netobjects/internal/wire"
 )
+
+// errString renders an error for trace events (empty for nil).
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
 
 // rpc performs one simple request/response exchange (dirty, clean, ping)
 // on a pooled connection.
@@ -21,15 +30,18 @@ func (sp *Space) rpc(endpoints []string, req wire.Message, timeout time.Duration
 		return nil, err
 	}
 	_ = c.SetDeadline(time.Now().Add(timeout))
-	if err := c.Send(wire.Marshal(nil, req)); err != nil {
+	out := wire.Marshal(nil, req)
+	if err := c.Send(out); err != nil {
 		sp.pool.Discard(c)
 		return nil, err
 	}
+	sp.metrics.BytesSent.Add(uint64(len(out)))
 	b, err := c.Recv(nil)
 	if err != nil {
 		sp.pool.Discard(c)
 		return nil, err
 	}
+	sp.metrics.BytesRecv.Add(uint64(len(b)))
 	msg, err := wire.Unmarshal(b)
 	if err != nil {
 		sp.pool.Discard(c)
@@ -41,7 +53,18 @@ func (sp *Space) rpc(endpoints []string, req wire.Message, timeout time.Duration
 
 // sendDirty registers this space in the dirty set of key at its owner.
 func (sp *Space) sendDirty(key wire.Key, endpoints []string, seq uint64) error {
-	sp.count(func(s *Stats) { s.DirtySent++ })
+	sp.metrics.DirtySent.Inc()
+	start := time.Now()
+	err := sp.doSendDirty(key, endpoints, seq)
+	sp.metrics.DirtyLatency.Observe(time.Since(start))
+	if sp.tracer != nil {
+		sp.tracer.Emit(obs.Event{Kind: obs.EvDirtySend, Time: time.Now(),
+			Key: key.String(), Dur: time.Since(start), Err: errString(err)})
+	}
+	return err
+}
+
+func (sp *Space) doSendDirty(key wire.Key, endpoints []string, seq uint64) error {
 	req := &wire.Dirty{
 		Obj:             key.Index,
 		Client:          sp.id,
@@ -71,7 +94,18 @@ func (sp *Space) sendDirty(key wire.Key, endpoints []string, seq uint64) error {
 // Any acknowledgement counts as success: a clean for an absent entry is a
 // no-op by specification.
 func (sp *Space) sendClean(key wire.Key, endpoints []string, seq uint64, strong bool) error {
-	sp.count(func(s *Stats) { s.CleanSent++ })
+	sp.metrics.CleanSent.Inc()
+	start := time.Now()
+	err := sp.doSendClean(key, endpoints, seq, strong)
+	sp.metrics.CleanLatency.Observe(time.Since(start))
+	if sp.tracer != nil {
+		sp.tracer.Emit(obs.Event{Kind: obs.EvCleanSend, Time: time.Now(),
+			Key: key.String(), Dur: time.Since(start), Err: errString(err)})
+	}
+	return err
+}
+
+func (sp *Space) doSendClean(key wire.Key, endpoints []string, seq uint64, strong bool) error {
 	req := &wire.Clean{Obj: key.Index, Client: sp.id, Seq: seq, Strong: strong}
 	if sp.opts.Variant == VariantFIFO {
 		return sp.gcQueueFor(key.Owner, endpoints).enqueue(req, endpoints).wait()
@@ -90,7 +124,12 @@ func (sp *Space) sendClean(key wire.Key, endpoints []string, seq uint64, strong 
 // exchange. The FIFO variant routes it through the owner's ordered queue
 // like any other collector message.
 func (sp *Space) sendCleanBatch(owner wire.SpaceID, endpoints []string, items []dgc.CleanItem) error {
-	sp.count(func(s *Stats) { s.CleanSent += uint64(len(items)); s.CleanBatches++ })
+	sp.metrics.CleanSent.Add(uint64(len(items)))
+	sp.metrics.CleanBatches.Inc()
+	if sp.tracer != nil {
+		sp.tracer.Emit(obs.Event{Kind: obs.EvCleanSend, Time: time.Now(),
+			Peer: owner.String(), N: len(items)})
+	}
 	req := &wire.CleanBatch{Client: sp.id}
 	for _, it := range items {
 		req.Objs = append(req.Objs, it.Key.Index)
@@ -120,7 +159,10 @@ func (sp *Space) sendCleanQuiet(key wire.Key, endpoints []string, seq uint64) er
 
 // sendLease renews this space's lease at an owner.
 func (sp *Space) sendLease(owner wire.SpaceID, endpoints []string) error {
-	sp.count(func(s *Stats) { s.LeasesSent++ })
+	sp.metrics.LeasesSent.Inc()
+	if sp.tracer != nil {
+		sp.tracer.Emit(obs.Event{Kind: obs.EvLeaseSend, Time: time.Now(), Peer: owner.String()})
+	}
 	resp, err := sp.rpc(endpoints, &wire.Lease{Client: sp.id, ClientEndpoints: sp.endpoints},
 		sp.opts.PingTimeout)
 	if err != nil {
@@ -140,7 +182,10 @@ func (sp *Space) sendLease(owner wire.SpaceID, endpoints []string) error {
 // space id so a reborn process at the same endpoint is not mistaken for
 // the client it replaced.
 func (sp *Space) sendPing(id wire.SpaceID, endpoints []string) error {
-	sp.count(func(s *Stats) { s.PingsSent++ })
+	sp.metrics.PingsSent.Inc()
+	if sp.tracer != nil {
+		sp.tracer.Emit(obs.Event{Kind: obs.EvPingSend, Time: time.Now(), Peer: id.String()})
+	}
 	resp, err := sp.rpc(endpoints, &wire.Ping{From: sp.id}, sp.opts.PingTimeout)
 	if err != nil {
 		return err
@@ -160,25 +205,48 @@ func (sp *Space) sendPing(id wire.SpaceID, endpoints []string) error {
 // references when the owner asks (Result.NeedAck). The connection is
 // pooled again only after the full exchange, so the request/response
 // framing can never skew.
-func (sp *Space) callRemote(endpoints []string, call *wire.Call, session *callSession, decode func(*wire.Result) error) error {
+func (sp *Space) callRemote(endpoints []string, call *wire.Call, session *callSession, decode func(*wire.Result) error) (err error) {
 	if sp.isClosed() {
 		return ErrSpaceClosed
 	}
-	sp.count(func(s *Stats) { s.CallsSent++ })
+	sp.metrics.CallsSent.Inc()
+	start := time.Now()
+	// Per-call correlation id: allocated only when tracing, so the traced
+	// events of one invocation (send, reply) can be tied together without
+	// any wire protocol change.
+	var callID uint64
+	if sp.tracer != nil {
+		callID = obs.NextCallID()
+		sp.tracer.Emit(obs.Event{Kind: obs.EvCallSend, Time: start,
+			CallID: callID, Method: call.Method})
+	}
+	defer func() {
+		if err != nil {
+			sp.metrics.CallErrors.Inc()
+		}
+		sp.metrics.CallLatency.Observe(time.Since(start))
+		if sp.tracer != nil {
+			sp.tracer.Emit(obs.Event{Kind: obs.EvCallReply, Time: time.Now(),
+				CallID: callID, Method: call.Method, Dur: time.Since(start), Err: errString(err)})
+		}
+	}()
 	c, ep, err := sp.pool.Get(endpoints)
 	if err != nil {
 		return err
 	}
 	_ = c.SetDeadline(time.Now().Add(sp.opts.CallTimeout))
-	if err := c.Send(wire.Marshal(nil, call)); err != nil {
+	out := wire.Marshal(nil, call)
+	if err := c.Send(out); err != nil {
 		sp.pool.Discard(c)
 		return err
 	}
+	sp.metrics.BytesSent.Add(uint64(len(out)))
 	b, err := c.Recv(nil)
 	if err != nil {
 		sp.pool.Discard(c)
 		return err
 	}
+	sp.metrics.BytesRecv.Add(uint64(len(b)))
 	msg, err := wire.Unmarshal(b)
 	if err != nil {
 		sp.pool.Discard(c)
@@ -200,11 +268,13 @@ func (sp *Space) callRemote(endpoints []string, call *wire.Call, session *callSe
 		// this ack; send it even when decoding failed, because our dirty
 		// calls for any references we did unmarshal have already
 		// completed, and the rest were never materialized here.
-		sp.count(func(s *Stats) { s.ResultAcksSent++ })
-		if err := c.Send(wire.Marshal(nil, &wire.ResultAck{})); err != nil {
+		sp.metrics.ResultAcksSent.Inc()
+		ack := wire.Marshal(nil, &wire.ResultAck{})
+		if err := c.Send(ack); err != nil {
 			sp.pool.Discard(c)
 			return decodeErr
 		}
+		sp.metrics.BytesSent.Add(uint64(len(ack)))
 	}
 	sp.pool.Put(ep, c)
 	return decodeErr

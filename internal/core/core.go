@@ -21,6 +21,7 @@ import (
 
 	"netobjects/internal/dgc"
 	"netobjects/internal/objtable"
+	"netobjects/internal/obs"
 	"netobjects/internal/pickle"
 	"netobjects/internal/transport"
 	"netobjects/internal/wire"
@@ -121,6 +122,19 @@ type Options struct {
 	// design. Without it, surrogates live until Release is called
 	// explicitly or the space closes.
 	AutoRelease bool
+	// IdleConnTTL bounds how long idle pooled connections are cached before
+	// being reaped (default transport.DefaultIdleTTL); negative disables
+	// reaping.
+	IdleConnTTL time.Duration
+	// Metrics, when non-nil, is the metrics set the space records into; a
+	// shared set aggregates across spaces. By default each space gets its
+	// own.
+	Metrics *obs.Metrics
+	// Tracer, when non-nil, receives structured lifecycle events for every
+	// remote call, collector message, surrogate transition and pool action.
+	// Tracing is strictly opt-in: with a nil Tracer the event sites cost
+	// one branch.
+	Tracer obs.Tracer
 	// Logger receives runtime events; nil discards them.
 	Logger *slog.Logger
 }
@@ -144,6 +158,10 @@ type Space struct {
 	listeners []transport.Listener
 	endpoints []string
 
+	metrics *obs.Metrics
+	tracer  obs.Tracer
+	obsv    *obs.Observability
+
 	mu        sync.Mutex
 	ownedRefs map[any]*Ref
 	remote    map[string]*remoteIface // by interface type name
@@ -152,12 +170,11 @@ type Space struct {
 	closedCh  chan struct{}
 
 	wg sync.WaitGroup
-
-	stats Stats
 }
 
 // Stats counts collector and call events; all fields are monotonically
-// increasing. Snapshot with Space.Stats.
+// increasing. Snapshot with Space.Stats. It is assembled from the space's
+// obs metrics, which carry the live counters.
 type Stats struct {
 	CallsSent        uint64
 	CallsServed      uint64
@@ -206,12 +223,22 @@ func NewSpace(opts Options) (*Space, error) {
 	}
 	sp.log = sp.log.With("space", sp.opts.Name)
 
+	sp.metrics = opts.Metrics
+	if sp.metrics == nil {
+		sp.metrics = obs.NewMetrics()
+	}
+	sp.tracer = opts.Tracer
+
 	ts := opts.Transports
 	if len(ts) == 0 {
 		ts = []transport.Transport{transport.NewTCP()}
 	}
 	sp.treg = transport.NewRegistry(ts...)
 	sp.pool = transport.NewPool(sp.treg, opts.MaxIdleConns)
+	sp.pool.SetObserver(sp.metrics, sp.tracer)
+	if opts.IdleConnTTL != 0 {
+		sp.pool.SetIdleTTL(opts.IdleConnTTL)
+	}
 
 	listenEPs := opts.ListenEndpoints
 	if len(listenEPs) == 0 {
@@ -234,6 +261,20 @@ func NewSpace(opts Options) (*Space, error) {
 	sp.imports = objtable.NewImports()
 	sp.pickler = pickle.New(opts.Registry, (*netRefs)(sp))
 
+	// Scrape-time gauges over the live tables; duplicate names sum, so a
+	// shared metrics set reports fleet-wide table sizes.
+	reg := sp.metrics.Registry()
+	reg.GaugeFunc("netobj_export_entries", "Live export table entries.",
+		func() int64 { return int64(sp.exports.Len()) })
+	reg.GaugeFunc("netobj_import_entries", "Live import table entries (surrogates).",
+		func() int64 { return int64(sp.imports.Len()) })
+
+	sp.obsv = &obs.Observability{
+		Metrics: sp.metrics,
+		Tracer:  sp.tracer,
+		Debug:   sp.debugSnapshot,
+	}
+
 	cleanerCfg := dgc.CleanerConfig{
 		Begin:       sp.imports.BeginClean,
 		Send:        sp.sendClean,
@@ -242,6 +283,7 @@ func NewSpace(opts Options) (*Space, error) {
 		MaxAttempts: opts.CleanMaxAttempts,
 		Backoff:     opts.CleanBackoff,
 		Logger:      sp.log,
+		Obs:         sp.metrics,
 	}
 	if opts.BatchCleans {
 		cleanerCfg.SendBatch = sp.sendCleanBatch
@@ -266,6 +308,7 @@ func NewSpace(opts Options) (*Space, error) {
 			Owners:   sp.imports.OwnersSnapshot,
 			Renew:    sp.sendLease,
 			Logger:   sp.log,
+			Obs:      sp.metrics,
 		})
 	default:
 		sp.pinger = dgc.NewPinger(dgc.PingerConfig{
@@ -275,6 +318,7 @@ func NewSpace(opts Options) (*Space, error) {
 			Ping:        sp.sendPing,
 			Drop:        sp.dropClient,
 			Logger:      sp.log,
+			Obs:         sp.metrics,
 		})
 	}
 
@@ -308,17 +352,49 @@ func (sp *Space) Exports() *objtable.Exports { return sp.exports }
 // tests and the benchmark harness.
 func (sp *Space) Renewer() *dgc.Renewer { return sp.renewer }
 
-// Stats snapshots the space's event counters.
+// Stats snapshots the space's event counters. The live counters are the
+// space's obs metrics; Stats assembles the legacy view from them.
 func (sp *Space) Stats() Stats {
-	sp.mu.Lock()
-	defer sp.mu.Unlock()
-	return sp.stats
+	m := sp.metrics
+	return Stats{
+		CallsSent:        m.CallsSent.Load(),
+		CallsServed:      m.CallsServed.Load(),
+		DirtySent:        m.DirtySent.Load(),
+		DirtyServed:      m.DirtyServed.Load(),
+		CleanSent:        m.CleanSent.Load(),
+		CleanBatches:     m.CleanBatches.Load(),
+		CleanServed:      m.CleanServed.Load(),
+		PingsSent:        m.PingsSent.Load(),
+		LeasesSent:       m.LeasesSent.Load(),
+		LeasesServed:     m.LeasesServed.Load(),
+		ResultAcksSent:   m.ResultAcksSent.Load(),
+		ResultAcksWaited: m.ResultAcksWaited.Load(),
+		SurrogatesMade:   m.SurrogatesMade.Load(),
+		AutoReleases:     m.AutoReleases.Load(),
+		Withdrawn:        m.Withdrawn.Load(),
+		ClientsDropped:   m.ClientsDropped.Load(),
+	}
 }
 
-func (sp *Space) count(f func(*Stats)) {
-	sp.mu.Lock()
-	f(&sp.stats)
-	sp.mu.Unlock()
+// Metrics returns the space's live metrics set.
+func (sp *Space) Metrics() *obs.Metrics { return sp.metrics }
+
+// Observability bundles the space's metrics, tracer and live debug dump
+// for the HTTP telemetry endpoint.
+func (sp *Space) Observability() *obs.Observability { return sp.obsv }
+
+// debugSnapshot assembles the live table dump for /debug/netobj.
+func (sp *Space) debugSnapshot() obs.DebugData {
+	return obs.DebugData{
+		Name:      sp.opts.Name,
+		ID:        sp.id.String(),
+		Liveness:  sp.opts.Liveness.String(),
+		Variant:   sp.opts.Variant.String(),
+		Endpoints: sp.Endpoints(),
+		Exports:   sp.exports.Snapshot(),
+		Imports:   sp.imports.Snapshot(),
+		Pool:      sp.pool.Snapshot(),
+	}
 }
 
 // Close shuts the space down: it releases every surrogate, lets the
@@ -389,14 +465,21 @@ func (sp *Space) isClosed() bool {
 func (sp *Space) onWithdraw(index uint64, obj any) {
 	sp.mu.Lock()
 	delete(sp.ownedRefs, obj)
-	sp.stats.Withdrawn++
 	sp.mu.Unlock()
+	sp.metrics.Withdrawn.Inc()
+	if sp.tracer != nil {
+		sp.tracer.Emit(obs.Event{Kind: obs.EvWithdraw, Time: time.Now(),
+			Key: fmt.Sprintf("%v/%d", sp.id, index)})
+	}
 	sp.log.Debug("export withdrawn", "index", index)
 }
 
 // dropClient is the liveness daemon's verdict on a dead client.
 func (sp *Space) dropClient(id wire.SpaceID) {
-	sp.count(func(s *Stats) { s.ClientsDropped++ })
+	sp.metrics.ClientsDropped.Inc()
+	if sp.tracer != nil {
+		sp.tracer.Emit(obs.Event{Kind: obs.EvClientDropped, Time: time.Now(), Peer: id.String()})
+	}
 	withdrawn := sp.exports.DropClient(id)
 	if sp.leases != nil {
 		sp.leases.Forget(id)

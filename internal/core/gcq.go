@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"netobjects/internal/obs"
 	"netobjects/internal/wire"
 )
 
@@ -204,8 +206,11 @@ func (sp *Space) closeGCQueues() {
 func (sp *Space) registerAsync(key wire.Key, endpoints []string, seq uint64, session any) (*Ref, error) {
 	ref := &Ref{sp: sp, key: key, endpoints: endpoints}
 	sp.bindSurrogate(key, ref)
-	sp.count(func(s *Stats) { s.SurrogatesMade++ })
-	sp.count(func(s *Stats) { s.DirtySent++ })
+	sp.metrics.SurrogatesMade.Inc()
+	sp.metrics.DirtySent.Inc()
+	if sp.tracer != nil {
+		sp.tracer.Emit(obs.Event{Kind: obs.EvSurrogateMade, Time: time.Now(), Key: key.String()})
+	}
 
 	q := sp.gcQueueFor(key.Owner, endpoints)
 	f := q.enqueue(&wire.Dirty{
@@ -216,8 +221,14 @@ func (sp *Space) registerAsync(key wire.Key, endpoints []string, seq uint64, ses
 	}, endpoints)
 
 	pending := newGCFuture()
+	dirtyStart := time.Now()
 	go func() {
 		err := f.wait()
+		sp.metrics.DirtyLatency.Observe(time.Since(dirtyStart))
+		if sp.tracer != nil {
+			sp.tracer.Emit(obs.Event{Kind: obs.EvDirtySend, Time: time.Now(),
+				Key: key.String(), Dur: time.Since(dirtyStart), Err: errString(err)})
+		}
 		if err != nil {
 			sp.log.Warn("async registration failed", "key", key.String(), "err", err)
 			sp.imports.Kill(key, err)

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"time"
 
 	"netobjects/internal/objtable"
+	"netobjects/internal/obs"
 	"netobjects/internal/pickle"
 	"netobjects/internal/wire"
 )
@@ -88,8 +90,13 @@ func (s *callSession) pinned() bool {
 // unpinAll drops every transient dirty entry taken during marshaling,
 // scheduling clean calls for surrogates whose release was deferred.
 func (s *callSession) unpinAll() {
+	tr := s.sp.tracer
 	for _, ix := range s.pinnedExports {
 		s.sp.exports.Unpin(ix)
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.EvTransientClean, Time: time.Now(),
+				Key: fmt.Sprintf("%v/%d", s.sp.id, ix)})
+		}
 	}
 	for _, key := range s.pinnedImports {
 		if s.sp.imports.Unpin(key) {
@@ -97,6 +104,9 @@ func (s *callSession) unpinAll() {
 			// deferred clean call is due now. The cleaner recovers the
 			// owner endpoints from the import entry when it dequeues.
 			s.sp.cleaner.Schedule(key, nil)
+		}
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.EvTransientClean, Time: time.Now(), Key: key.String()})
 		}
 	}
 	s.pinnedExports = s.pinnedExports[:0]
@@ -166,6 +176,10 @@ func (nr *netRefs) ToWire(session any, v reflect.Value) (wire.WireRep, error) {
 			}
 			cs.pinnedImports = append(cs.pinnedImports, ref.key)
 		}
+		if sp.tracer != nil {
+			sp.tracer.Emit(obs.Event{Kind: obs.EvTransientDirty, Time: time.Now(),
+				Key: fmt.Sprintf("%v/%d", w.Owner, w.Index)})
+		}
 	}
 	return w, nil
 }
@@ -231,7 +245,10 @@ func (sp *Space) register(key wire.Key, endpoints []string, seq uint64) (*Ref, e
 	}
 	ref := &Ref{sp: sp, key: key, endpoints: endpoints}
 	sp.bindSurrogate(key, ref)
-	sp.count(func(s *Stats) { s.SurrogatesMade++ })
+	sp.metrics.SurrogatesMade.Inc()
+	if sp.tracer != nil {
+		sp.tracer.Emit(obs.Event{Kind: obs.EvSurrogateMade, Time: time.Now(), Key: key.String()})
+	}
 	return ref, nil
 }
 

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"reflect"
+	"time"
 
+	"netobjects/internal/obs"
 	"netobjects/internal/pickle"
 	"netobjects/internal/wire"
 )
@@ -79,6 +81,11 @@ func (r *Ref) Release() {
 		return
 	}
 	if r.sp.imports.Release(r.key) {
+		r.sp.metrics.SurrogatesReleased.Inc()
+		if r.sp.tracer != nil {
+			r.sp.tracer.Emit(obs.Event{Kind: obs.EvSurrogateReleased, Time: time.Now(),
+				Key: r.key.String()})
+		}
 		r.sp.cleaner.Schedule(r.key, r.endpoints)
 	}
 }

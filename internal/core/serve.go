@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"reflect"
 	"time"
 
+	"netobjects/internal/obs"
 	"netobjects/internal/pickle"
 	"netobjects/internal/transport"
 	"netobjects/internal/wire"
@@ -47,6 +49,7 @@ func (sp *Space) serveConn(c transport.Conn) {
 			return
 		}
 		buf = frame
+		sp.metrics.BytesRecv.Add(uint64(len(frame)))
 		msg, err := wire.Unmarshal(frame)
 		if err != nil {
 			sp.log.Debug("protocol error on inbound connection", "peer", c.RemoteLabel(), "err", err)
@@ -66,6 +69,10 @@ func (sp *Space) serveConn(c transport.Conn) {
 		case *wire.CleanBatch:
 			reply = sp.handleCleanBatch(m)
 		case *wire.Ping:
+			sp.metrics.PingsServed.Inc()
+			if sp.tracer != nil {
+				sp.tracer.Emit(obs.Event{Kind: obs.EvPingRecv, Time: time.Now(), Peer: m.From.String()})
+			}
 			reply = &wire.PingAck{From: sp.id}
 		case *wire.Lease:
 			reply = sp.handleLease(m)
@@ -73,14 +80,20 @@ func (sp *Space) serveConn(c transport.Conn) {
 			sp.log.Debug("unexpected message", "op", msg.Op().String(), "peer", c.RemoteLabel())
 			return
 		}
-		if err := c.Send(wire.Marshal(nil, reply)); err != nil {
+		out := wire.Marshal(nil, reply)
+		if err := c.Send(out); err != nil {
 			return
 		}
+		sp.metrics.BytesSent.Add(uint64(len(out)))
 	}
 }
 
 func (sp *Space) handleDirty(m *wire.Dirty) *wire.DirtyAck {
-	sp.count(func(s *Stats) { s.DirtyServed++ })
+	sp.metrics.DirtyServed.Inc()
+	if sp.tracer != nil {
+		sp.tracer.Emit(obs.Event{Kind: obs.EvDirtyRecv, Time: time.Now(),
+			Key: fmt.Sprintf("%v/%d", sp.id, m.Obj), Peer: m.Client.String()})
+	}
 	if sp.isClosed() {
 		return &wire.DirtyAck{Status: wire.StatusNoSuchObject, Err: "space closing"}
 	}
@@ -95,7 +108,10 @@ func (sp *Space) handleDirty(m *wire.Dirty) *wire.DirtyAck {
 }
 
 func (sp *Space) handleLease(m *wire.Lease) *wire.LeaseAck {
-	sp.count(func(s *Stats) { s.LeasesServed++ })
+	sp.metrics.LeasesServed.Inc()
+	if sp.tracer != nil {
+		sp.tracer.Emit(obs.Event{Kind: obs.EvLeaseRecv, Time: time.Now(), Peer: m.Client.String()})
+	}
 	if sp.leases == nil {
 		// Not in lease mode: renewals are harmless no-ops so mixed
 		// deployments interoperate.
@@ -109,13 +125,21 @@ func (sp *Space) handleLease(m *wire.Lease) *wire.LeaseAck {
 }
 
 func (sp *Space) handleClean(m *wire.Clean) *wire.CleanAck {
-	sp.count(func(s *Stats) { s.CleanServed++ })
+	sp.metrics.CleanServed.Inc()
+	if sp.tracer != nil {
+		sp.tracer.Emit(obs.Event{Kind: obs.EvCleanRecv, Time: time.Now(),
+			Key: fmt.Sprintf("%v/%d", sp.id, m.Obj), Peer: m.Client.String()})
+	}
 	sp.exports.Clean(m.Obj, m.Client, m.Seq, m.Strong)
 	return &wire.CleanAck{Status: wire.StatusOK}
 }
 
 func (sp *Space) handleCleanBatch(m *wire.CleanBatch) *wire.CleanAck {
-	sp.count(func(s *Stats) { s.CleanServed += uint64(len(m.Objs)) })
+	sp.metrics.CleanServed.Add(uint64(len(m.Objs)))
+	if sp.tracer != nil {
+		sp.tracer.Emit(obs.Event{Kind: obs.EvCleanRecv, Time: time.Now(),
+			Peer: m.Client.String(), N: len(m.Objs)})
+	}
 	for i := range m.Objs {
 		strong := false
 		if i < len(m.Strongs) {
@@ -135,20 +159,32 @@ func (sp *Space) handleCleanBatch(m *wire.CleanBatch) *wire.CleanAck {
 // ResultAck before releasing the transient dirty entries. It reports
 // whether the connection is still usable.
 func (sp *Space) handleCall(c transport.Conn, call *wire.Call) bool {
-	sp.count(func(s *Stats) { s.CallsServed++ })
+	sp.metrics.CallsServed.Inc()
+	start := time.Now()
+	if sp.tracer != nil {
+		sp.tracer.Emit(obs.Event{Kind: obs.EvCallServe, Time: start,
+			Method: call.Method, Peer: c.RemoteLabel()})
+	}
 	session := &callSession{sp: sp}
 	res := sp.executeCall(call, session)
 	res.NeedAck = session.pinned()
+	sp.metrics.ServeLatency.Observe(time.Since(start))
+	if sp.tracer != nil {
+		sp.tracer.Emit(obs.Event{Kind: obs.EvCallDone, Time: time.Now(),
+			Method: call.Method, Dur: time.Since(start), Err: res.Err})
+	}
 
 	// Under the FIFO variant, argument decoding may have queued
 	// registrations that ran concurrently with the method; the reply
 	// asserts this space is registered for every reference it received,
 	// so settle them before answering.
 	session.waitPending()
-	if err := c.Send(wire.Marshal(nil, res)); err != nil {
+	out := wire.Marshal(nil, res)
+	if err := c.Send(out); err != nil {
 		session.unpinAll()
 		return false
 	}
+	sp.metrics.BytesSent.Add(uint64(len(out)))
 	if !res.NeedAck {
 		return true
 	}
@@ -156,10 +192,11 @@ func (sp *Space) handleCall(c transport.Conn, call *wire.Call) bool {
 	// references; bound the wait so a dead caller cannot pin the entries
 	// forever (its references are then protected by its own dirty calls,
 	// made during unmarshaling, or were never created).
-	sp.count(func(s *Stats) { s.ResultAcksWaited++ })
+	sp.metrics.ResultAcksWaited.Inc()
 	_ = c.SetDeadline(time.Now().Add(sp.opts.CallTimeout))
 	ok := false
 	if frame, err := c.Recv(nil); err == nil {
+		sp.metrics.BytesRecv.Add(uint64(len(frame)))
 		if msg, err := wire.Unmarshal(frame); err == nil {
 			_, ok = msg.(*wire.ResultAck)
 		}

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"netobjects/internal/obs"
 	"netobjects/internal/wire"
 )
 
@@ -54,6 +55,8 @@ type CleanerConfig struct {
 	Backoff time.Duration
 	// Logger receives retry and abandonment events; nil discards them.
 	Logger *slog.Logger
+	// Obs, when non-nil, counts retries and abandonments.
+	Obs *obs.Metrics
 }
 
 type cleanItem struct {
@@ -263,10 +266,16 @@ func (c *Cleaner) deliverBatch(owner wire.SpaceID, eps []string, items []CleanIt
 		if attempt == c.cfg.MaxAttempts {
 			break
 		}
+		if c.cfg.Obs != nil {
+			c.cfg.Obs.CleanRetries.Inc()
+		}
 		time.Sleep(backoff)
 		if backoff < 32*c.cfg.Backoff {
 			backoff *= 2
 		}
+	}
+	if c.cfg.Obs != nil {
+		c.cfg.Obs.CleansAbandoned.Add(uint64(len(items)))
 	}
 	return errors.Join(ErrAbandoned, lastErr)
 }
@@ -318,10 +327,16 @@ func (c *Cleaner) deliver(key wire.Key, eps []string, seq uint64, strong bool) e
 		if attempt == c.cfg.MaxAttempts {
 			break
 		}
+		if c.cfg.Obs != nil {
+			c.cfg.Obs.CleanRetries.Inc()
+		}
 		time.Sleep(backoff)
 		if backoff < 32*c.cfg.Backoff {
 			backoff *= 2
 		}
+	}
+	if c.cfg.Obs != nil {
+		c.cfg.Obs.CleansAbandoned.Inc()
 	}
 	return errors.Join(ErrAbandoned, lastErr)
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"netobjects/internal/obs"
 	"netobjects/internal/wire"
 )
 
@@ -86,6 +87,8 @@ type RenewerConfig struct {
 	Renew func(owner wire.SpaceID, endpoints []string) error
 	// Logger receives renewal failures; nil discards them.
 	Logger *slog.Logger
+	// Obs, when non-nil, counts renewal failures.
+	Obs *obs.Metrics
 }
 
 // Renewer is the client-side lease daemon: it periodically renews this
@@ -142,6 +145,9 @@ func (r *Renewer) round() {
 		default:
 		}
 		if err := r.cfg.Renew(owner, eps); err != nil {
+			if r.cfg.Obs != nil {
+				r.cfg.Obs.LeaseFailures.Inc()
+			}
 			r.cfg.Logger.Debug("dgc: lease renewal failed", "owner", owner.String(), "err", err)
 		}
 	}

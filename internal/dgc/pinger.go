@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"netobjects/internal/obs"
 	"netobjects/internal/wire"
 )
 
@@ -26,6 +27,8 @@ type PingerConfig struct {
 	Drop func(id wire.SpaceID)
 	// Logger receives liveness events; nil discards them.
 	Logger *slog.Logger
+	// Obs, when non-nil, counts ping failures.
+	Obs *obs.Metrics
 }
 
 // Pinger is the owner-side liveness daemon: it periodically pings every
@@ -118,6 +121,9 @@ func (p *Pinger) round() {
 		p.failures[id]++
 		n := p.failures[id]
 		p.mu.Unlock()
+		if p.cfg.Obs != nil {
+			p.cfg.Obs.PingFailures.Inc()
+		}
 		p.cfg.Logger.Debug("dgc: ping failed", "client", id.String(), "failures", n, "err", err)
 		if n >= p.cfg.MaxFailures {
 			p.cfg.Logger.Info("dgc: client presumed dead", "client", id.String())

@@ -20,9 +20,11 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sort"
 	"strings"
 	"sync"
 
+	"netobjects/internal/obs"
 	"netobjects/internal/wire"
 )
 
@@ -405,4 +407,34 @@ func (e *Exports) Len() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return len(e.byIndex)
+}
+
+// Snapshot dumps the table for the live debug page, sorted by index, with
+// each entry's dirty-set members sorted by client id.
+func (e *Exports) Snapshot() []obs.ExportInfo {
+	e.mu.Lock()
+	out := make([]obs.ExportInfo, 0, len(e.byIndex))
+	for _, ent := range e.byIndex {
+		info := obs.ExportInfo{
+			Index:  ent.Index,
+			Type:   fmt.Sprintf("%T", ent.Obj),
+			Pinned: ent.Pinned,
+			Pins:   ent.pins,
+		}
+		for id, ci := range ent.clients {
+			if !ci.inSet {
+				continue
+			}
+			info.Dirty = append(info.Dirty, obs.DirtyInfo{
+				Client:    id.String(),
+				Seq:       ci.lastSeq,
+				Endpoints: append([]string(nil), ci.endpoints...),
+			})
+		}
+		sort.Slice(info.Dirty, func(i, j int) bool { return info.Dirty[i].Client < info.Dirty[j].Client })
+		out = append(out, info)
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
 }

@@ -3,8 +3,10 @@ package objtable
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
+	"netobjects/internal/obs"
 	"netobjects/internal/wire"
 )
 
@@ -432,6 +434,30 @@ func (im *Imports) OwnersSnapshot() map[wire.SpaceID][]string {
 			out[k.Owner] = append([]string(nil), e.Endpoints...)
 		}
 	}
+	return out
+}
+
+// Snapshot dumps the table for the live debug page, sorted by owner then
+// index.
+func (im *Imports) Snapshot() []obs.ImportInfo {
+	im.mu.Lock()
+	out := make([]obs.ImportInfo, 0, len(im.entries))
+	for k, e := range im.entries {
+		out = append(out, obs.ImportInfo{
+			Owner:     k.Owner.String(),
+			Index:     k.Index,
+			State:     e.state.String(),
+			Pins:      e.pins,
+			Endpoints: append([]string(nil), e.Endpoints...),
+		})
+	}
+	im.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Owner != out[j].Owner {
+			return out[i].Owner < out[j].Owner
+		}
+		return out[i].Index < out[j].Index
+	})
 	return out
 }
 

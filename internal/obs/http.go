@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Handler returns the HTTP mux of the observability endpoint:
+//
+//	/metrics      Prometheus text exposition of every registered metric
+//	/debug/netobj live dump of the space's export/import tables, dirty
+//	              sets, pool occupancy, recent trace events and a metrics
+//	              digest
+//
+// The netobjd daemon mounts it behind its -http flag; embedders can mount
+// it on any server of their own.
+func (o *Observability) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", o.serveMetrics)
+	mux.HandleFunc("/debug/netobj", o.serveDebug)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		http.Redirect(w, r, "/debug/netobj", http.StatusFound)
+	})
+	return mux
+}
+
+// Serve listens on addr and serves the observability endpoint until the
+// listener fails; it runs the server in the calling goroutine. Callers
+// wanting lifecycle control should mount Handler on their own server.
+func (o *Observability) Serve(addr string) error {
+	srv := &http.Server{Addr: addr, Handler: o.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	return srv.ListenAndServe()
+}
+
+func (o *Observability) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if o.Metrics != nil {
+		o.Metrics.Registry().WritePrometheus(w)
+	}
+}
+
+func (o *Observability) serveDebug(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, "<!DOCTYPE html><html><head><title>netobj debug</title>"+
+		"<style>body{font-family:monospace;margin:1.5em}table{border-collapse:collapse;margin:.5em 0}"+
+		"td,th{border:1px solid #999;padding:2px 8px;text-align:left}h2{margin:1em 0 .2em}"+
+		"pre{background:#f4f4f4;padding:.5em}</style></head><body>\n")
+
+	var d DebugData
+	if o.Debug != nil {
+		d = o.Debug()
+	}
+	fmt.Fprintf(w, "<h1>space %s</h1>\n", esc(d.Name))
+	fmt.Fprintf(w, "<p>id %s · liveness %s · variant %s · endpoints %s · <a href=\"/metrics\">/metrics</a></p>\n",
+		esc(d.ID), esc(d.Liveness), esc(d.Variant), esc(strings.Join(d.Endpoints, ", ")))
+
+	fmt.Fprintf(w, "<h2>export table (%d entries)</h2>\n", len(d.Exports))
+	fmt.Fprint(w, "<table><tr><th>index</th><th>type</th><th>pins</th><th>pinned</th><th>dirty set</th></tr>\n")
+	for _, e := range d.Exports {
+		var members []string
+		for _, m := range e.Dirty {
+			members = append(members, fmt.Sprintf("%s (seq %d, %s)",
+				esc(m.Client), m.Seq, esc(strings.Join(m.Endpoints, " "))))
+		}
+		fmt.Fprintf(w, "<tr><td>%d</td><td>%s</td><td>%d</td><td>%v</td><td>%s</td></tr>\n",
+			e.Index, esc(e.Type), e.Pins, e.Pinned, strings.Join(members, "<br>"))
+	}
+	fmt.Fprint(w, "</table>\n")
+
+	fmt.Fprintf(w, "<h2>import table (%d surrogates)</h2>\n", len(d.Imports))
+	fmt.Fprint(w, "<table><tr><th>owner</th><th>index</th><th>state</th><th>pins</th><th>endpoints</th></tr>\n")
+	for _, e := range d.Imports {
+		fmt.Fprintf(w, "<tr><td>%s</td><td>%d</td><td>%s</td><td>%d</td><td>%s</td></tr>\n",
+			esc(e.Owner), e.Index, esc(e.State), e.Pins, esc(strings.Join(e.Endpoints, " ")))
+	}
+	fmt.Fprint(w, "</table>\n")
+
+	fmt.Fprintf(w, "<h2>connection pool (%d endpoints)</h2>\n", len(d.Pool))
+	fmt.Fprint(w, "<table><tr><th>endpoint</th><th>idle</th></tr>\n")
+	for _, p := range d.Pool {
+		fmt.Fprintf(w, "<tr><td>%s</td><td>%d</td></tr>\n", esc(p.Endpoint), p.Idle)
+	}
+	fmt.Fprint(w, "</table>\n")
+
+	for _, s := range o.debugSections() {
+		fmt.Fprintf(w, "<h2>%s</h2>\n<pre>%s</pre>\n", esc(s.Name), esc(s.Body))
+	}
+
+	if r := o.ring(); r != nil {
+		events := r.Events()
+		fmt.Fprintf(w, "<h2>recent events (%d buffered, %d total)</h2>\n<pre>", len(events), r.Total())
+		for _, e := range events {
+			fmt.Fprintf(w, "%s %s\n", e.Time.Format("15:04:05.000000"), esc(e.String()))
+		}
+		fmt.Fprint(w, "</pre>\n")
+	}
+
+	if o.Metrics != nil {
+		fmt.Fprintf(w, "<h2>metrics digest</h2>\n<pre>%s</pre>\n", esc(o.Metrics.Registry().Summary()))
+	}
+	fmt.Fprint(w, "</body></html>\n")
+}
+
+func esc(s string) string { return html.EscapeString(s) }

@@ -1,0 +1,120 @@
+package obs
+
+import "sync/atomic"
+
+// Metrics is the fixed set of runtime metrics every space maintains. The
+// hot path touches these directly as struct fields — no map lookups, no
+// label hashing — while the embedded Registry carries the names the HTTP
+// exporter renders. A Metrics handle may be shared by several spaces
+// (counters then aggregate), or left per-space, the default.
+type Metrics struct {
+	reg *Registry
+
+	// Remote invocation, client side.
+	CallsSent   *Counter
+	CallErrors  *Counter
+	CallLatency *Histogram
+
+	// Remote invocation, server side.
+	CallsServed  *Counter
+	ServeLatency *Histogram
+
+	// Collector protocol traffic.
+	DirtySent        *Counter
+	DirtyServed      *Counter
+	DirtyLatency     *Histogram
+	CleanSent        *Counter
+	CleanServed      *Counter
+	CleanBatches     *Counter
+	CleanRetries     *Counter
+	CleansAbandoned  *Counter
+	CleanLatency     *Histogram
+	PingsSent        *Counter
+	PingsServed      *Counter
+	PingFailures     *Counter
+	LeasesSent       *Counter
+	LeasesServed     *Counter
+	LeaseFailures    *Counter
+	ResultAcksSent   *Counter
+	ResultAcksWaited *Counter
+
+	// Reference life cycle.
+	SurrogatesMade     *Counter
+	SurrogatesReleased *Counter
+	AutoReleases       *Counter
+	Withdrawn          *Counter
+	ClientsDropped     *Counter
+
+	// Transport: connection pool and wire volume.
+	PoolHits     *Counter
+	PoolMisses   *Counter
+	PoolReaps    *Counter
+	PoolDiscards *Counter
+	DialLatency  *Histogram
+	BytesSent    *Counter
+	BytesRecv    *Counter
+}
+
+// NewMetrics returns a fresh metrics set with every metric registered
+// under its canonical netobj_* name.
+func NewMetrics() *Metrics {
+	r := NewRegistry()
+	return &Metrics{
+		reg: r,
+
+		CallsSent:   r.Counter("netobj_calls_sent_total", "Remote invocations issued by this space."),
+		CallErrors:  r.Counter("netobj_call_errors_total", "Remote invocations that failed at the runtime level."),
+		CallLatency: r.Histogram("netobj_call_latency_seconds", "Client-side remote invocation round-trip latency."),
+
+		CallsServed:  r.Counter("netobj_calls_served_total", "Remote invocations dispatched by this space."),
+		ServeLatency: r.Histogram("netobj_serve_latency_seconds", "Server-side dispatch latency (decode, invoke, encode)."),
+
+		DirtySent:        r.Counter("netobj_dirty_sent_total", "Dirty calls sent (surrogate registrations)."),
+		DirtyServed:      r.Counter("netobj_dirty_served_total", "Dirty calls served (clients joining dirty sets)."),
+		DirtyLatency:     r.Histogram("netobj_dirty_latency_seconds", "Dirty call round-trip latency."),
+		CleanSent:        r.Counter("netobj_clean_sent_total", "Clean calls sent (surrogate releases)."),
+		CleanServed:      r.Counter("netobj_clean_served_total", "Clean calls served (clients leaving dirty sets)."),
+		CleanBatches:     r.Counter("netobj_clean_batches_total", "Batched clean exchanges sent."),
+		CleanRetries:     r.Counter("netobj_clean_retries_total", "Clean delivery attempts beyond the first."),
+		CleansAbandoned:  r.Counter("netobj_cleans_abandoned_total", "Clean calls abandoned after exhausting retries."),
+		CleanLatency:     r.Histogram("netobj_clean_latency_seconds", "Clean call round-trip latency."),
+		PingsSent:        r.Counter("netobj_pings_sent_total", "Client-liveness pings sent by this owner."),
+		PingsServed:      r.Counter("netobj_pings_served_total", "Liveness pings answered by this space."),
+		PingFailures:     r.Counter("netobj_ping_failures_total", "Ping probes that failed (one per client per round)."),
+		LeasesSent:       r.Counter("netobj_leases_sent_total", "Lease renewals sent to owners."),
+		LeasesServed:     r.Counter("netobj_leases_served_total", "Lease renewals served by this owner."),
+		LeaseFailures:    r.Counter("netobj_lease_failures_total", "Lease renewals that failed to reach an owner."),
+		ResultAcksSent:   r.Counter("netobj_result_acks_sent_total", "Result acknowledgements sent for reference-bearing replies."),
+		ResultAcksWaited: r.Counter("netobj_result_acks_waited_total", "Reference-bearing replies this space held pinned awaiting an ack."),
+
+		SurrogatesMade:     r.Counter("netobj_surrogates_made_total", "Surrogates created (first import of a reference)."),
+		SurrogatesReleased: r.Counter("netobj_surrogates_released_total", "Surrogates explicitly released."),
+		AutoReleases:       r.Counter("netobj_auto_releases_total", "Surrogates released by the weak-reference cleanup."),
+		Withdrawn:          r.Counter("netobj_withdrawn_total", "Exported objects withdrawn after their dirty set emptied."),
+		ClientsDropped:     r.Counter("netobj_clients_dropped_total", "Clients dropped by the liveness daemon."),
+
+		PoolHits:     r.Counter("netobj_pool_hits_total", "Calls served from a cached idle connection."),
+		PoolMisses:   r.Counter("netobj_pool_misses_total", "Calls that had to dial a new connection."),
+		PoolReaps:    r.Counter("netobj_pool_reaps_total", "Idle connections reaped after exceeding the idle TTL."),
+		PoolDiscards: r.Counter("netobj_pool_discards_total", "Connections discarded after a failed exchange."),
+		DialLatency:  r.Histogram("netobj_dial_latency_seconds", "Connection establishment latency."),
+		BytesSent:    r.Counter("netobj_bytes_sent_total", "Wire payload bytes sent."),
+		BytesRecv:    r.Counter("netobj_bytes_recv_total", "Wire payload bytes received."),
+	}
+}
+
+// Registry exposes the registry carrying this metrics set, for rendering
+// and for registering additional scrape-time gauges (table sizes).
+func (m *Metrics) Registry() *Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// callIDs allocates process-wide call correlation ids.
+var callIDs atomic.Uint64
+
+// NextCallID returns a fresh nonzero id correlating the trace events of
+// one remote invocation.
+func NextCallID() uint64 { return callIDs.Add(1) }

@@ -3,53 +3,161 @@ package transport
 import (
 	"sync"
 	"time"
+
+	"netobjects/internal/obs"
 )
 
 // DefaultMaxIdle is the per-endpoint idle connection cap used when a Pool
 // is constructed with a non-positive limit.
 const DefaultMaxIdle = 4
 
+// DefaultIdleTTL bounds how long an idle connection may sit in the cache
+// before it is reaped. A restarted peer leaves behind dead connections;
+// without a TTL the next call to it would fail on a stale socket before
+// re-dialing.
+const DefaultIdleTTL = 90 * time.Second
+
+// idleConn is one cached connection with the time it went idle.
+type idleConn struct {
+	c     Conn
+	since time.Time
+}
+
 // Pool caches idle connections per endpoint. Callers check a connection
 // out with Get, exchange one request/response pair on it, and either
 // return it with Put or drop it with Discard if the exchange failed.
 // This is the connection discipline of the original runtime: a call owns
 // its connection, and connections are recycled rather than re-dialed.
+//
+// Idle connections older than the TTL are reaped lazily whenever the pool
+// is touched, so connections to peers that restarted do not linger and
+// fail the first call after the restart.
 type Pool struct {
 	reg     *Registry
 	maxIdle int
+	ttl     time.Duration
+
+	metrics *obs.Metrics
+	tracer  obs.Tracer
 
 	mu     sync.Mutex
-	idle   map[string][]Conn
+	idle   map[string][]idleConn
 	closed bool
 }
 
 // NewPool returns a pool dialing through reg, keeping at most maxIdle idle
-// connections per endpoint (DefaultMaxIdle if maxIdle <= 0).
+// connections per endpoint (DefaultMaxIdle if maxIdle <= 0) with the
+// default idle TTL.
 func NewPool(reg *Registry, maxIdle int) *Pool {
 	if maxIdle <= 0 {
 		maxIdle = DefaultMaxIdle
 	}
-	return &Pool{reg: reg, maxIdle: maxIdle, idle: make(map[string][]Conn)}
+	return &Pool{reg: reg, maxIdle: maxIdle, ttl: DefaultIdleTTL, idle: make(map[string][]idleConn)}
+}
+
+// SetIdleTTL overrides the idle TTL. Zero or negative disables reaping.
+func (p *Pool) SetIdleTTL(d time.Duration) {
+	p.mu.Lock()
+	p.ttl = d
+	p.mu.Unlock()
+}
+
+// SetObserver installs the metrics set and tracer the pool reports to.
+// Both may be nil; obs metric methods are nil-safe.
+func (p *Pool) SetObserver(m *obs.Metrics, t obs.Tracer) {
+	p.mu.Lock()
+	p.metrics = m
+	p.tracer = t
+	p.mu.Unlock()
+}
+
+// reapLocked closes connections for ep that have been idle past the TTL
+// and returns them for closing outside the lock, with the count reaped.
+func (p *Pool) reapLocked(ep string, now time.Time) []idleConn {
+	if p.ttl <= 0 {
+		return nil
+	}
+	conns := p.idle[ep]
+	cut := 0
+	for cut < len(conns) && now.Sub(conns[cut].since) > p.ttl {
+		cut++
+	}
+	if cut == 0 {
+		return nil
+	}
+	reaped := append([]idleConn(nil), conns[:cut]...)
+	rest := conns[cut:]
+	if len(rest) == 0 {
+		delete(p.idle, ep)
+	} else {
+		p.idle[ep] = append([]idleConn(nil), rest...)
+	}
+	return reaped
+}
+
+// closeReaped closes reaped connections and reports them; call without the
+// pool lock held.
+func (p *Pool) closeReaped(ep string, reaped []idleConn, m *obs.Metrics, t obs.Tracer) {
+	if len(reaped) == 0 {
+		return
+	}
+	for _, ic := range reaped {
+		_ = ic.c.Close()
+	}
+	if m != nil {
+		m.PoolReaps.Add(uint64(len(reaped)))
+	}
+	if t != nil {
+		t.Emit(obs.Event{Kind: obs.EvPoolReap, Time: time.Now(), Key: ep, N: len(reaped)})
+	}
 }
 
 // Get returns a connection to one of the given endpoints, preferring a
-// cached idle connection, and the endpoint it is connected to.
+// fresh cached idle connection, and the endpoint it is connected to.
 func (p *Pool) Get(endpoints []string) (Conn, string, error) {
+	now := time.Now()
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return nil, "", ErrClosed
 	}
+	m, t := p.metrics, p.tracer
+	var reapedEp string
+	var reaped []idleConn
 	for _, ep := range endpoints {
+		if r := p.reapLocked(ep, now); len(r) > 0 {
+			reapedEp, reaped = ep, r
+		}
 		if conns := p.idle[ep]; len(conns) > 0 {
-			c := conns[len(conns)-1]
+			c := conns[len(conns)-1].c
 			p.idle[ep] = conns[:len(conns)-1]
 			p.mu.Unlock()
+			p.closeReaped(reapedEp, reaped, m, t)
+			if m != nil {
+				m.PoolHits.Inc()
+			}
+			if t != nil {
+				t.Emit(obs.Event{Kind: obs.EvPoolHit, Time: now, Key: ep})
+			}
 			return c, ep, nil
 		}
 	}
 	p.mu.Unlock()
-	return p.reg.DialAny(endpoints)
+	p.closeReaped(reapedEp, reaped, m, t)
+	start := time.Now()
+	c, ep, err := p.reg.DialAny(endpoints)
+	if err != nil {
+		return nil, "", err
+	}
+	dial := time.Since(start)
+	if m != nil {
+		m.PoolMisses.Inc()
+		m.DialLatency.Observe(dial)
+	}
+	if t != nil {
+		t.Emit(obs.Event{Kind: obs.EvPoolMiss, Time: time.Now(), Key: ep, Dur: dial})
+	}
+	return c, ep, nil
 }
 
 // Put returns a healthy connection to the cache for endpoint ep. If the
@@ -57,31 +165,44 @@ func (p *Pool) Get(endpoints []string) (Conn, string, error) {
 func (p *Pool) Put(ep string, c Conn) {
 	// Clear any call deadline before the connection is reused.
 	_ = c.SetDeadline(time.Time{})
+	now := time.Now()
 	p.mu.Lock()
+	m, t := p.metrics, p.tracer
+	reaped := p.reapLocked(ep, now)
 	if !p.closed && len(p.idle[ep]) < p.maxIdle {
-		p.idle[ep] = append(p.idle[ep], c)
+		p.idle[ep] = append(p.idle[ep], idleConn{c: c, since: now})
 		p.mu.Unlock()
+		p.closeReaped(ep, reaped, m, t)
 		return
 	}
 	p.mu.Unlock()
+	p.closeReaped(ep, reaped, m, t)
 	_ = c.Close()
 }
 
 // Discard closes a connection that failed mid-exchange; it must not be
 // reused because request/response framing may be out of sync.
-func (p *Pool) Discard(c Conn) { _ = c.Close() }
+func (p *Pool) Discard(c Conn) {
+	p.mu.Lock()
+	m := p.metrics
+	p.mu.Unlock()
+	if m != nil {
+		m.PoolDiscards.Inc()
+	}
+	_ = c.Close()
+}
 
 // Close closes the pool and every idle connection. Connections currently
 // checked out are unaffected; they are closed when discarded or returned.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	idle := p.idle
-	p.idle = make(map[string][]Conn)
+	p.idle = make(map[string][]idleConn)
 	p.closed = true
 	p.mu.Unlock()
 	for _, conns := range idle {
-		for _, c := range conns {
-			_ = c.Close()
+		for _, ic := range conns {
+			_ = ic.c.Close()
 		}
 	}
 }
@@ -92,4 +213,16 @@ func (p *Pool) IdleCount(ep string) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.idle[ep])
+}
+
+// Snapshot reports the idle cache occupancy per endpoint, for the debug
+// page.
+func (p *Pool) Snapshot() []obs.PoolInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]obs.PoolInfo, 0, len(p.idle))
+	for ep, conns := range p.idle {
+		out = append(out, obs.PoolInfo{Endpoint: ep, Idle: len(conns)})
+	}
+	return out
 }

@@ -1,0 +1,110 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"netobjects/internal/obs"
+)
+
+func TestPoolIdleTTLReap(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("ttl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	echoServe(t, l)
+
+	pool := NewPool(NewRegistry(m), 4)
+	defer pool.Close()
+	met := obs.NewMetrics()
+	ring := obs.NewRing(32)
+	pool.SetObserver(met, ring)
+	pool.SetIdleTTL(20 * time.Millisecond)
+	ep := l.Endpoint()
+
+	c1, gotEP, err := pool.Get([]string{ep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(gotEP, c1)
+	if n := met.PoolMisses.Load(); n != 1 {
+		t.Fatalf("misses=%d, want 1", n)
+	}
+	snap := pool.Snapshot()
+	if len(snap) != 1 || snap[0].Endpoint != ep || snap[0].Idle != 1 {
+		t.Fatalf("snapshot=%v, want [{%s 1}]", snap, ep)
+	}
+
+	// Let the cached connection outlive the TTL; the next Get must reap it
+	// and dial afresh rather than hand back the stale socket.
+	time.Sleep(40 * time.Millisecond)
+	c2, gotEP, err := pool.Get([]string{ep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 == c1 {
+		t.Fatal("pool reused a connection past its idle TTL")
+	}
+	if n := met.PoolReaps.Load(); n != 1 {
+		t.Fatalf("reaps=%d, want 1", n)
+	}
+	if n := met.PoolMisses.Load(); n != 2 {
+		t.Fatalf("misses=%d, want 2", n)
+	}
+	if n := ring.CountKind(obs.EvPoolReap); n != 1 {
+		t.Fatalf("reap events=%d, want 1", n)
+	}
+	if err := c1.Send([]byte("x")); err == nil {
+		t.Fatal("reaped connection should be closed")
+	}
+
+	// Inside the TTL the connection is reused and counted as a hit.
+	pool.Put(gotEP, c2)
+	c3, _, err := pool.Get([]string{ep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 != c2 {
+		t.Fatal("pool did not reuse a fresh idle connection")
+	}
+	if n := met.PoolHits.Load(); n != 1 {
+		t.Fatalf("hits=%d, want 1", n)
+	}
+
+	pool.Discard(c3)
+	if n := met.PoolDiscards.Load(); n != 1 {
+		t.Fatalf("discards=%d, want 1", n)
+	}
+}
+
+func TestPoolIdleTTLDisabled(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("nottl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	echoServe(t, l)
+
+	pool := NewPool(NewRegistry(m), 4)
+	defer pool.Close()
+	pool.SetIdleTTL(0) // disable reaping
+	ep := l.Endpoint()
+
+	c1, gotEP, err := pool.Get([]string{ep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(gotEP, c1)
+	time.Sleep(20 * time.Millisecond)
+	c2, _, err := pool.Get([]string{ep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c1 {
+		t.Fatal("disabled TTL must keep idle connections indefinitely")
+	}
+	pool.Put(ep, c2)
+}

@@ -35,6 +35,7 @@ import (
 	"reflect"
 
 	"netobjects/internal/core"
+	"netobjects/internal/obs"
 	"netobjects/internal/pickle"
 	"netobjects/internal/transport"
 	"netobjects/internal/wire"
@@ -74,6 +75,20 @@ type (
 	// LivenessMode selects how owners detect dead clients (see
 	// Options.Liveness).
 	LivenessMode = core.LivenessMode
+	// Metrics is a space's live metrics set: atomic counters, gauges and
+	// latency histograms (see Options.Metrics and Space.Metrics).
+	Metrics = obs.Metrics
+	// Tracer receives structured lifecycle events for remote calls,
+	// collector traffic and pool activity (see Options.Tracer).
+	Tracer = obs.Tracer
+	// TraceEvent is one structured lifecycle event delivered to a Tracer.
+	TraceEvent = obs.Event
+	// RingTracer keeps the most recent trace events in a fixed buffer; the
+	// debug page renders it.
+	RingTracer = obs.Ring
+	// Observability bundles a space's metrics, tracer and live debug dump;
+	// its Handler serves /metrics and /debug/netobj.
+	Observability = obs.Observability
 )
 
 // Collector protocol variants.
@@ -110,6 +125,18 @@ func NewTCP() Transport { return transport.NewTCP() }
 // NewMem returns a fresh in-process transport namespace ("inmem:name"
 // endpoints). Spaces sharing the instance can reach each other.
 func NewMem() *MemTransport { return transport.NewMem() }
+
+// NewMetrics returns a fresh metrics set. Pass it as Options.Metrics to
+// several spaces to aggregate their counters, or leave Options.Metrics
+// nil for a per-space set.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// NewRingTracer returns a tracer buffering the last n events; install it
+// via Options.Tracer (alone, or fanned out with MultiTracer).
+func NewRingTracer(n int) *RingTracer { return obs.NewRing(n) }
+
+// MultiTracer fans trace events out to several tracers.
+func MultiTracer(ts ...Tracer) Tracer { return obs.MultiTracer(ts...) }
 
 // Register records a type in the default pickle registry so it can travel
 // inside interface-typed values — the analogue of gob.Register. Both
