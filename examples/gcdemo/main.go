@@ -1,13 +1,22 @@
 // Gcdemo traces a remote reference through the life cycle of Birrell's
 // distributed reference listing algorithm — the ⊥ → nil → OK → ccit → ⊥
-// cycle of the formalisation — and then demonstrates crash recovery: a
-// client that dies without clean calls is detected by the owner's ping
-// daemon and swept from every dirty set.
+// cycle of the formalisation — and then demonstrates two failure paths:
+// a call cancelled mid-flight (the caller's alert forwarded to the
+// owner) and crash recovery, where a client that dies without clean
+// calls is detected by the owner's ping daemon and swept from every
+// dirty set.
+//
+// The narration comes from the runtime's own trace stream: every space
+// shares one ring tracer, and after each phase the demo prints the
+// events the runtime emitted, so what you read is what the collector
+// actually did.
 //
 //	go run ./examples/gcdemo
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -21,10 +30,38 @@ type Resource struct{ label string }
 // Label returns the resource's label.
 func (r *Resource) Label() (string, error) { return r.label, nil }
 
+// Nap sleeps for ms milliseconds unless the caller's alert arrives
+// first; it reports whether it slept the full stretch.
+func (r *Resource) Nap(ctx context.Context, ms int64) (bool, error) {
+	select {
+	case <-time.After(time.Duration(ms) * time.Millisecond):
+		return true, nil
+	case <-ctx.Done():
+		return false, ctx.Err()
+	}
+}
+
 func main() {
+	// One ring shared by every space: the demo's narration is the
+	// runtime's own event stream.
+	trace := netobjects.NewRingTracer(512)
+	printed := 0
+	dump := func(phase string) {
+		fmt.Printf("\n== %s\n", phase)
+		events := trace.Events()
+		for _, e := range events[printed:] {
+			fmt.Printf("   %v\n", e)
+		}
+		printed = len(events)
+	}
+
 	mem := netobjects.NewMem()
 	newSpace := func(name string, opt func(*netobjects.Options)) *netobjects.Space {
-		opts := netobjects.Options{Name: name, Transports: []netobjects.Transport{mem}}
+		opts := netobjects.Options{
+			Name:       name,
+			Transports: []netobjects.Transport{mem},
+			Tracer:     trace,
+		}
 		if opt != nil {
 			opt(&opts)
 		}
@@ -69,6 +106,7 @@ func main() {
 		log.Fatal(err)
 	}
 	show("after a call")
+	dump("trace: import + call (dirty, then the invocation)")
 
 	cref.Release()
 	show("just after Release")
@@ -77,6 +115,7 @@ func main() {
 		time.Sleep(time.Millisecond)
 	}
 	show("after clean call settles")
+	dump("trace: release (clean call, entry withdrawn)")
 
 	// Resurrection: re-import and observe a fresh life cycle with a
 	// fresh export epoch at the owner.
@@ -89,7 +128,26 @@ func main() {
 		log.Fatal(err)
 	}
 	showAt("after re-import (new epoch)", w2)
-	_ = cref2
+
+	// Cancellation: a call is cut short mid-flight — the paper's
+	// Thread.Alert crossing the wire. The client cancels its context, the
+	// alert is forwarded to the owner as a CancelCall (watch for
+	// call.cancel in the trace), the owner's dispatch observes
+	// ctx.Done(), and the failure reports as context.Canceled.
+	ctx, cancel := context.WithCancel(context.Background())
+	callDone := make(chan error, 1)
+	go func() {
+		_, err := cref2.CallCtx(ctx, "Nap", int64(5000))
+		callDone <- err
+	}()
+	time.Sleep(150 * time.Millisecond) // let the nap start at the owner
+	cancel()
+	err = <-callDone
+	fmt.Printf("%-34s err=%v (is Canceled: %v)\n",
+		"after cancelled call", err, errors.Is(err, context.Canceled))
+	fmt.Printf("%-34s cancels sent=%d served=%d\n", "",
+		client.Stats().CancelsSent, owner.Stats().CancelsServed)
+	dump("trace: cancelled call (send, alert forwarded, reply)")
 
 	// Crash: a second client imports the object and then dies without
 	// clean calls. The owner's ping daemon notices and sweeps it.
@@ -106,4 +164,5 @@ func main() {
 	}
 	fmt.Printf("after crash + pings:  dirty(doomed)=%v (dropped clients: %d)\n",
 		owner.Exports().HoldsDirty(w2.Index, doomed.ID()), owner.Stats().ClientsDropped)
+	dump("trace: crash recovery (pings fail, client swept)")
 }

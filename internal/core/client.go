@@ -1,12 +1,17 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"reflect"
+	"sync"
 	"time"
 
 	"netobjects/internal/dgc"
 	"netobjects/internal/obs"
+	"netobjects/internal/transport"
 	"netobjects/internal/wire"
 )
 
@@ -21,7 +26,7 @@ func errString(err error) string {
 // rpc performs one simple request/response exchange (dirty, clean, ping)
 // on a pooled connection.
 func (sp *Space) rpc(endpoints []string, req wire.Message, timeout time.Duration) (wire.Message, error) {
-	if sp.isClosed() && req.Op() != wire.OpClean {
+	if sp.isClosed() && req.Op() != wire.OpClean && req.Op() != wire.OpCleanBatch {
 		// Parting clean calls are allowed through during Close.
 		return nil, ErrSpaceClosed
 	}
@@ -51,6 +56,42 @@ func (sp *Space) rpc(endpoints []string, req wire.Message, timeout time.Duration
 	return msg, nil
 }
 
+// rpcRetry is rpc with bounded, jittered retry for idempotent collector
+// traffic. Dirty, clean, ping and lease exchanges are all idempotent — the
+// sequence-number discipline makes replayed dirties and cleans no-ops —
+// so a transport hiccup need not fail the operation. Protocol-level
+// refusals (non-OK acks) come back as (resp, nil) and are never retried;
+// only transport failures are. Method calls never go through here: the
+// runtime cannot assume application methods are idempotent.
+func (sp *Space) rpcRetry(endpoints []string, req wire.Message, timeout time.Duration) (wire.Message, error) {
+	attempts := sp.opts.RetryAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := sp.opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		resp, err := sp.rpc(endpoints, req, timeout)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if attempt >= attempts ||
+			errors.Is(err, ErrSpaceClosed) || errors.Is(err, transport.ErrClosed) {
+			return nil, lastErr
+		}
+		sp.metrics.RPCRetries.Inc()
+		// Full jitter around the exponential base: backoff/2 .. 3*backoff/2.
+		time.Sleep(backoff/2 + rand.N(backoff))
+		if backoff < 32*sp.opts.RetryBackoff {
+			backoff *= 2
+		}
+	}
+}
+
 // sendDirty registers this space in the dirty set of key at its owner.
 func (sp *Space) sendDirty(key wire.Key, endpoints []string, seq uint64) error {
 	sp.metrics.DirtySent.Inc()
@@ -76,7 +117,7 @@ func (sp *Space) doSendDirty(key wire.Key, endpoints []string, seq uint64) error
 		// queue so cleans can never overtake dirties.
 		return sp.gcQueueFor(key.Owner, endpoints).enqueue(req, endpoints).wait()
 	}
-	resp, err := sp.rpc(endpoints, req, sp.opts.CallTimeout)
+	resp, err := sp.rpcRetry(endpoints, req, sp.opts.CallTimeout)
 	if err != nil {
 		return err
 	}
@@ -110,7 +151,7 @@ func (sp *Space) doSendClean(key wire.Key, endpoints []string, seq uint64, stron
 	if sp.opts.Variant == VariantFIFO {
 		return sp.gcQueueFor(key.Owner, endpoints).enqueue(req, endpoints).wait()
 	}
-	resp, err := sp.rpc(endpoints, req, sp.opts.CallTimeout)
+	resp, err := sp.rpcRetry(endpoints, req, sp.opts.CallTimeout)
 	if err != nil {
 		return err
 	}
@@ -141,7 +182,7 @@ func (sp *Space) sendCleanBatch(owner wire.SpaceID, endpoints []string, items []
 	if sp.opts.Variant == VariantFIFO {
 		return sp.gcQueueFor(owner, endpoints).enqueue(req, endpoints).wait()
 	}
-	resp, err = sp.rpc(endpoints, req, sp.opts.CallTimeout)
+	resp, err = sp.rpcRetry(endpoints, req, sp.opts.CallTimeout)
 	if err != nil {
 		return err
 	}
@@ -163,7 +204,7 @@ func (sp *Space) sendLease(owner wire.SpaceID, endpoints []string) error {
 	if sp.tracer != nil {
 		sp.tracer.Emit(obs.Event{Kind: obs.EvLeaseSend, Time: time.Now(), Peer: owner.String()})
 	}
-	resp, err := sp.rpc(endpoints, &wire.Lease{Client: sp.id, ClientEndpoints: sp.endpoints},
+	resp, err := sp.rpcRetry(endpoints, &wire.Lease{Client: sp.id, ClientEndpoints: sp.endpoints},
 		sp.opts.PingTimeout)
 	if err != nil {
 		return err
@@ -186,7 +227,7 @@ func (sp *Space) sendPing(id wire.SpaceID, endpoints []string) error {
 	if sp.tracer != nil {
 		sp.tracer.Emit(obs.Event{Kind: obs.EvPingSend, Time: time.Now(), Peer: id.String()})
 	}
-	resp, err := sp.rpc(endpoints, &wire.Ping{From: sp.id}, sp.opts.PingTimeout)
+	resp, err := sp.rpcRetry(endpoints, &wire.Ping{From: sp.id}, sp.opts.PingTimeout)
 	if err != nil {
 		return err
 	}
@@ -200,62 +241,79 @@ func (sp *Space) sendPing(id wire.SpaceID, endpoints []string) error {
 	return nil
 }
 
-// callRemote performs one remote invocation exchange: send the call,
-// receive the result, let decode consume it, and acknowledge returned
-// references when the owner asks (Result.NeedAck). The connection is
-// pooled again only after the full exchange, so the request/response
-// framing can never skew.
-func (sp *Space) callRemote(endpoints []string, call *wire.Call, session *callSession, decode func(*wire.Result) error) (err error) {
-	if sp.isClosed() {
-		return ErrSpaceClosed
+// cancelWatch arbitrates the race between a call completing and its
+// context firing. The watcher goroutine calls fire before acting; the
+// call path calls finish exactly once after the exchange. Whichever runs
+// first wins: fire reports false once the call has finished (nothing to
+// cancel), and finish reports true when cancellation fired first, in
+// which case the call is reported cancelled even if a result squeaked in.
+type cancelWatch struct {
+	mu    sync.Mutex
+	done  bool
+	fired bool
+	stop  chan struct{}
+}
+
+func newCancelWatch() *cancelWatch { return &cancelWatch{stop: make(chan struct{})} }
+
+// fire marks the call cancelled, reporting whether it was still running.
+func (w *cancelWatch) fire() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done {
+		return false
 	}
-	sp.metrics.CallsSent.Inc()
-	start := time.Now()
-	// Per-call correlation id: allocated only when tracing, so the traced
-	// events of one invocation (send, reply) can be tied together without
-	// any wire protocol change.
-	var callID uint64
+	w.fired = true
+	return true
+}
+
+// finish retires the watch and reports whether cancellation fired first.
+func (w *cancelWatch) finish() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.done = true
+	close(w.stop)
+	return w.fired
+}
+
+// forwardCancel relays a caller's alert to the owner of an in-flight
+// call — the Thread.Alert of the original runtime crossing the wire. It
+// travels on its own pooled connection because call connections are
+// lock-step (one request awaiting one response). Best effort: losing the
+// race with call completion is fine, and a lost cancel only means the
+// owner runs the method to completion.
+func (sp *Space) forwardCancel(id uint64, method string, endpoints []string) {
+	sp.metrics.CancelsSent.Inc()
 	if sp.tracer != nil {
-		callID = obs.NextCallID()
-		sp.tracer.Emit(obs.Event{Kind: obs.EvCallSend, Time: start,
-			CallID: callID, Method: call.Method})
+		sp.tracer.Emit(obs.Event{Kind: obs.EvCallCancel, Time: time.Now(),
+			CallID: id, Method: method})
 	}
-	defer func() {
-		if err != nil {
-			sp.metrics.CallErrors.Inc()
-		}
-		sp.metrics.CallLatency.Observe(time.Since(start))
-		if sp.tracer != nil {
-			sp.tracer.Emit(obs.Event{Kind: obs.EvCallReply, Time: time.Now(),
-				CallID: callID, Method: call.Method, Dur: time.Since(start), Err: errString(err)})
-		}
-	}()
-	c, ep, err := sp.pool.Get(endpoints)
-	if err != nil {
-		return err
-	}
-	_ = c.SetDeadline(time.Now().Add(sp.opts.CallTimeout))
+	_, _ = sp.rpc(endpoints, &wire.CancelCall{ID: id}, sp.opts.PingTimeout)
+}
+
+// exchange runs the lock-step call exchange on c: send the call, receive
+// the result, let decode consume it, and acknowledge returned references
+// when the owner asks (Result.NeedAck). It reports whether the
+// connection's framing is still intact (safe to pool again); disposition
+// of the connection is the caller's job.
+func (sp *Space) exchange(c transport.Conn, call *wire.Call, session *callSession, decode func(*wire.Result) error) (connOK bool, err error) {
 	out := wire.Marshal(nil, call)
 	if err := c.Send(out); err != nil {
-		sp.pool.Discard(c)
-		return err
+		return false, err
 	}
 	sp.metrics.BytesSent.Add(uint64(len(out)))
 	b, err := c.Recv(nil)
 	if err != nil {
-		sp.pool.Discard(c)
-		return err
+		return false, err
 	}
 	sp.metrics.BytesRecv.Add(uint64(len(b)))
 	msg, err := wire.Unmarshal(b)
 	if err != nil {
-		sp.pool.Discard(c)
-		return err
+		return false, err
 	}
 	res, ok := msg.(*wire.Result)
 	if !ok {
-		sp.pool.Discard(c)
-		return fmt.Errorf("netobjects: call answered with %v", msg.Op())
+		return false, fmt.Errorf("netobjects: call answered with %v", msg.Op())
 	}
 	decodeErr := decode(res)
 	// Under the FIFO variant decoding may have queued registrations whose
@@ -271,19 +329,114 @@ func (sp *Space) callRemote(endpoints []string, call *wire.Call, session *callSe
 		sp.metrics.ResultAcksSent.Inc()
 		ack := wire.Marshal(nil, &wire.ResultAck{})
 		if err := c.Send(ack); err != nil {
-			sp.pool.Discard(c)
-			return decodeErr
+			return false, decodeErr
 		}
 		sp.metrics.BytesSent.Add(uint64(len(ack)))
 	}
-	sp.pool.Put(ep, c)
-	return decodeErr
+	return true, decodeErr
+}
+
+// callRemote performs one remote invocation exchange under ctx. The
+// call carries its remaining deadline budget so the owner can bound the
+// dispatch with its own clock, and a context fired mid-call is forwarded
+// to the owner as a CancelCall (alert propagation) while the blocked
+// receive is unblocked by closing the connection. The connection is
+// pooled again only after the full exchange, so the request/response
+// framing can never skew.
+func (sp *Space) callRemote(ctx context.Context, endpoints []string, call *wire.Call, session *callSession, decode func(*wire.Result) error) (err error) {
+	if sp.isClosed() {
+		return ErrSpaceClosed
+	}
+	if ctx.Err() != nil {
+		return ctxCallError(ctx, call.Method+" not sent")
+	}
+	sp.metrics.CallsSent.Inc()
+	start := time.Now()
+	// Per-call correlation id: ties the traced events of one invocation
+	// together and names the call in a CancelCall. Zero never appears, so
+	// an owner that sees ID 0 knows the call predates cancellation support.
+	call.ID = obs.NextCallID()
+	// The effective deadline is the tighter of the space-wide call timeout
+	// and the caller's context; what crosses the wire is the remaining
+	// budget in milliseconds, not an absolute time, so the two spaces'
+	// clocks need never agree.
+	deadline := start.Add(sp.opts.CallTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	ms := time.Until(deadline).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	call.DeadlineMillis = uint64(ms)
+	if sp.tracer != nil {
+		sp.tracer.Emit(obs.Event{Kind: obs.EvCallSend, Time: start,
+			CallID: call.ID, Method: call.Method})
+	}
+	defer func() {
+		if err != nil {
+			sp.metrics.CallErrors.Inc()
+			if errors.Is(err, context.Canceled) {
+				sp.metrics.CallsCancelled.Inc()
+			} else if errors.Is(err, context.DeadlineExceeded) {
+				sp.metrics.CallsDeadlineExceeded.Inc()
+			}
+		}
+		sp.metrics.CallLatency.Observe(time.Since(start))
+		if sp.tracer != nil {
+			sp.tracer.Emit(obs.Event{Kind: obs.EvCallReply, Time: time.Now(),
+				CallID: call.ID, Method: call.Method, Dur: time.Since(start), Err: errString(err)})
+		}
+	}()
+	c, ep, err := sp.pool.GetCtx(ctx, endpoints)
+	if err != nil {
+		return err
+	}
+	connDeadline := deadline
+	if ctx.Done() != nil {
+		// With a watcher on duty the context is the authority on expiry;
+		// give the raw connection deadline a grace period so the watcher
+		// wins the race and the error classifies as the context error
+		// rather than a bare transport timeout. The connection deadline
+		// remains the backstop if the watcher is wedged.
+		connDeadline = connDeadline.Add(250 * time.Millisecond)
+	}
+	_ = c.SetDeadline(connDeadline)
+	w := newCancelWatch()
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				if w.fire() {
+					sp.forwardCancel(call.ID, call.Method, endpoints)
+					// Closing the connection unblocks the receive below on
+					// every transport; the connection is discarded anyway.
+					_ = c.Close()
+				}
+			case <-w.stop:
+			}
+		}()
+	}
+	connOK, err := sp.exchange(c, call, session, decode)
+	if w.finish() {
+		// Cancellation fired first: report it deterministically even if a
+		// result raced in, and never reuse the connection the watcher
+		// closed.
+		sp.pool.Discard(c)
+		return ctxCallError(ctx, call.Method+" cancelled in flight")
+	}
+	if connOK {
+		sp.pool.Put(ep, c)
+	} else {
+		sp.pool.Discard(c)
+	}
+	return err
 }
 
 // dynamicCall invokes a method with interface-encoded arguments and
 // results: the caller needs no stub and no type information beyond what
 // the argument values themselves carry.
-func (sp *Space) dynamicCall(endpoints []string, index uint64, method string, args []any) ([]any, error) {
+func (sp *Space) dynamicCall(ctx context.Context, endpoints []string, index uint64, method string, args []any) ([]any, error) {
 	session := &callSession{sp: sp}
 	defer session.unpinAll()
 	argBytes, err := sp.pickler.MarshalAnySession(nil, args, session)
@@ -293,7 +446,7 @@ func (sp *Space) dynamicCall(endpoints []string, index uint64, method string, ar
 	call := &wire.Call{Obj: index, Method: method, Args: argBytes}
 	var results []any
 	var appErr error
-	err = sp.callRemote(endpoints, call, session, func(res *wire.Result) error {
+	err = sp.callRemote(ctx, endpoints, call, session, func(res *wire.Result) error {
 		switch res.Status {
 		case wire.StatusOK, wire.StatusAppError:
 			rs, derr := sp.pickler.UnmarshalAnySession(res.Results, session)
@@ -319,15 +472,26 @@ func (sp *Space) dynamicCall(endpoints []string, index uint64, method string, ar
 // self-describing values, so no generated stub is needed. It returns the
 // method's non-error results; a non-nil error is either the remote
 // method's own error (a *RemoteError) or a runtime failure (*CallError or
-// transport error).
+// transport error). The call runs under the space-wide call timeout; use
+// CallCtx to bound or cancel an individual call.
 func (r *Ref) Call(method string, args ...any) ([]any, error) {
+	return r.CallCtx(context.Background(), method, args...)
+}
+
+// CallCtx is Call under a caller-supplied context. The context's
+// deadline tightens the space-wide call timeout and travels to the owner
+// as a remaining-time budget; cancelling the context mid-call forwards
+// the alert to the owner, whose dispatch observes it as ctx.Done(). The
+// returned error then satisfies errors.Is(err, context.Canceled) or
+// context.DeadlineExceeded.
+func (r *Ref) CallCtx(ctx context.Context, method string, args ...any) ([]any, error) {
 	if r.IsOwner() {
-		return r.sp.localDynamicCall(r.concrete, method, args)
+		return r.sp.localDynamicCall(ctx, r.concrete, method, args)
 	}
 	if _, err := r.sp.imports.Use(r.key); err != nil {
 		return nil, err
 	}
-	return r.sp.dynamicCall(r.endpoints, r.key.Index, method, args)
+	return r.sp.dynamicCall(ctx, r.endpoints, r.key.Index, method, args)
 }
 
 // CallEndpoint invokes a method on an object at a known endpoint and
@@ -336,7 +500,13 @@ func (r *Ref) Call(method string, args ...any) ([]any, error) {
 // its results carry proper references that follow the normal registration
 // path. No dirty entry is taken for the target itself.
 func (sp *Space) CallEndpoint(endpoint string, index uint64, method string, args ...any) ([]any, error) {
-	return sp.dynamicCall([]string{endpoint}, index, method, args)
+	return sp.CallEndpointCtx(context.Background(), endpoint, index, method, args...)
+}
+
+// CallEndpointCtx is CallEndpoint under a caller-supplied context, with
+// the CallCtx deadline and cancellation semantics.
+func (sp *Space) CallEndpointCtx(ctx context.Context, endpoint string, index uint64, method string, args ...any) ([]any, error) {
+	return sp.dynamicCall(ctx, []string{endpoint}, index, method, args)
 }
 
 // InvokeTyped invokes a method with statically typed arguments and
@@ -344,9 +514,16 @@ func (sp *Space) CallEndpoint(endpoint string, index uint64, method string, args
 // and implementation drifting apart; resultTypes lists the method's
 // non-error results. The returned error follows the Call conventions.
 func (r *Ref) InvokeTyped(method string, fingerprint uint64, args []reflect.Value, resultTypes []reflect.Type) ([]reflect.Value, error) {
+	return r.InvokeTypedCtx(context.Background(), method, fingerprint, args, resultTypes)
+}
+
+// InvokeTypedCtx is InvokeTyped under a caller-supplied context, with
+// the CallCtx deadline and cancellation semantics. Generated stubs whose
+// interface methods take a leading context.Context route through here.
+func (r *Ref) InvokeTypedCtx(ctx context.Context, method string, fingerprint uint64, args []reflect.Value, resultTypes []reflect.Type) ([]reflect.Value, error) {
 	sp := r.sp
 	if r.IsOwner() {
-		return sp.localTypedCall(r.concrete, method, fingerprint, args)
+		return sp.localTypedCall(ctx, r.concrete, method, fingerprint, args)
 	}
 	if _, err := sp.imports.Use(r.key); err != nil {
 		return nil, err
@@ -366,7 +543,7 @@ func (r *Ref) InvokeTyped(method string, fingerprint uint64, args []reflect.Valu
 	}
 	var results []reflect.Value
 	var appErr error
-	err = sp.callRemote(r.endpoints, call, session, func(res *wire.Result) error {
+	err = sp.callRemote(ctx, r.endpoints, call, session, func(res *wire.Result) error {
 		switch res.Status {
 		case wire.StatusOK, wire.StatusAppError:
 			rs, derr := sp.pickler.UnmarshalSession(res.Results, resultTypes, session)

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -84,8 +85,24 @@ type Options struct {
 	// Registry resolves pickled type names; defaults to the package-level
 	// pickle.DefaultRegistry.
 	Registry *pickle.Registry
-	// CallTimeout bounds one remote exchange (default 30s).
+	// CallTimeout bounds one remote exchange (default 30s). For method
+	// calls it is the default budget when the caller's context carries no
+	// deadline; a tighter context deadline wins.
 	CallTimeout time.Duration
+	// MaxServeTime caps how long this space lets one inbound dispatch run,
+	// regardless of the deadline the caller proposed — the "no trust in
+	// remote deadlines" bound. Defaults to CallTimeout.
+	MaxServeTime time.Duration
+	// DrainTimeout bounds the graceful phase of Close: how long in-flight
+	// dispatches may keep running before they are cancelled (default 5s).
+	DrainTimeout time.Duration
+	// RetryAttempts bounds delivery attempts for one idempotent collector
+	// RPC (dirty, clean, ping, lease; default 3). Method calls are never
+	// retried — the runtime cannot know they are idempotent.
+	RetryAttempts int
+	// RetryBackoff is the initial delay between collector RPC attempts
+	// (default 10ms); it doubles per attempt with ±50% jitter.
+	RetryBackoff time.Duration
 	// Liveness selects how owners detect dead clients: LivenessPing
 	// (default, the paper's owner-driven pinging) or LivenessLease (the
 	// RMI-style design: clients renew leases, owners expire them).
@@ -162,12 +179,24 @@ type Space struct {
 	tracer  obs.Tracer
 	obsv    *obs.Observability
 
+	// serveCtx parents every inbound dispatch; serveCancel alerts them
+	// all when drain times out or the space aborts.
+	serveCtx    context.Context
+	serveCancel context.CancelFunc
+	inflight    *inflightTable
+
 	mu        sync.Mutex
 	ownedRefs map[any]*Ref
 	remote    map[string]*remoteIface // by interface type name
 	gcQueues  map[wire.SpaceID]*gcQueue
 	closed    bool
-	closedCh  chan struct{}
+	// closingCh closes when shutdown begins: the space stops accepting
+	// work (exports, imports, new calls) but in-flight dispatches keep
+	// running and parting cleans still flow.
+	closingCh chan struct{}
+	// closedCh closes when shutdown finishes draining: every remaining
+	// connection is torn down.
+	closedCh chan struct{}
 
 	wg sync.WaitGroup
 }
@@ -176,22 +205,27 @@ type Space struct {
 // increasing. Snapshot with Space.Stats. It is assembled from the space's
 // obs metrics, which carry the live counters.
 type Stats struct {
-	CallsSent        uint64
-	CallsServed      uint64
-	DirtySent        uint64
-	DirtyServed      uint64
-	CleanSent        uint64
-	CleanBatches     uint64
-	CleanServed      uint64
-	PingsSent        uint64
-	LeasesSent       uint64
-	LeasesServed     uint64
-	ResultAcksSent   uint64
-	ResultAcksWaited uint64
-	SurrogatesMade   uint64
-	AutoReleases     uint64
-	Withdrawn        uint64
-	ClientsDropped   uint64
+	CallsSent             uint64
+	CallsServed           uint64
+	CallsCancelled        uint64
+	CallsDeadlineExceeded uint64
+	CancelsSent           uint64
+	CancelsServed         uint64
+	RPCRetries            uint64
+	DirtySent             uint64
+	DirtyServed           uint64
+	CleanSent             uint64
+	CleanBatches          uint64
+	CleanServed           uint64
+	PingsSent             uint64
+	LeasesSent            uint64
+	LeasesServed          uint64
+	ResultAcksSent        uint64
+	ResultAcksWaited      uint64
+	SurrogatesMade        uint64
+	AutoReleases          uint64
+	Withdrawn             uint64
+	ClientsDropped        uint64
 }
 
 // NewSpace creates and starts a space: listeners accept immediately and
@@ -203,10 +237,25 @@ func NewSpace(opts Options) (*Space, error) {
 		ownedRefs: make(map[any]*Ref),
 		remote:    make(map[string]*remoteIface),
 		gcQueues:  make(map[wire.SpaceID]*gcQueue),
+		closingCh: make(chan struct{}),
 		closedCh:  make(chan struct{}),
+		inflight:  newInflightTable(),
 	}
+	sp.serveCtx, sp.serveCancel = context.WithCancel(context.Background())
 	if sp.opts.CallTimeout <= 0 {
 		sp.opts.CallTimeout = 30 * time.Second
+	}
+	if sp.opts.MaxServeTime <= 0 {
+		sp.opts.MaxServeTime = sp.opts.CallTimeout
+	}
+	if sp.opts.DrainTimeout <= 0 {
+		sp.opts.DrainTimeout = 5 * time.Second
+	}
+	if sp.opts.RetryAttempts <= 0 {
+		sp.opts.RetryAttempts = 3
+	}
+	if sp.opts.RetryBackoff <= 0 {
+		sp.opts.RetryBackoff = 10 * time.Millisecond
 	}
 	if sp.opts.PingInterval <= 0 {
 		sp.opts.PingInterval = 15 * time.Second
@@ -268,6 +317,8 @@ func NewSpace(opts Options) (*Space, error) {
 		func() int64 { return int64(sp.exports.Len()) })
 	reg.GaugeFunc("netobj_import_entries", "Live import table entries (surrogates).",
 		func() int64 { return int64(sp.imports.Len()) })
+	reg.GaugeFunc("netobj_inflight_calls", "Inbound dispatches currently running.",
+		func() int64 { return int64(sp.inflight.len()) })
 
 	sp.obsv = &obs.Observability{
 		Metrics: sp.metrics,
@@ -357,22 +408,27 @@ func (sp *Space) Renewer() *dgc.Renewer { return sp.renewer }
 func (sp *Space) Stats() Stats {
 	m := sp.metrics
 	return Stats{
-		CallsSent:        m.CallsSent.Load(),
-		CallsServed:      m.CallsServed.Load(),
-		DirtySent:        m.DirtySent.Load(),
-		DirtyServed:      m.DirtyServed.Load(),
-		CleanSent:        m.CleanSent.Load(),
-		CleanBatches:     m.CleanBatches.Load(),
-		CleanServed:      m.CleanServed.Load(),
-		PingsSent:        m.PingsSent.Load(),
-		LeasesSent:       m.LeasesSent.Load(),
-		LeasesServed:     m.LeasesServed.Load(),
-		ResultAcksSent:   m.ResultAcksSent.Load(),
-		ResultAcksWaited: m.ResultAcksWaited.Load(),
-		SurrogatesMade:   m.SurrogatesMade.Load(),
-		AutoReleases:     m.AutoReleases.Load(),
-		Withdrawn:        m.Withdrawn.Load(),
-		ClientsDropped:   m.ClientsDropped.Load(),
+		CallsSent:             m.CallsSent.Load(),
+		CallsServed:           m.CallsServed.Load(),
+		CallsCancelled:        m.CallsCancelled.Load(),
+		CallsDeadlineExceeded: m.CallsDeadlineExceeded.Load(),
+		CancelsSent:           m.CancelsSent.Load(),
+		CancelsServed:         m.CancelsServed.Load(),
+		RPCRetries:            m.RPCRetries.Load(),
+		DirtySent:             m.DirtySent.Load(),
+		DirtyServed:           m.DirtyServed.Load(),
+		CleanSent:             m.CleanSent.Load(),
+		CleanBatches:          m.CleanBatches.Load(),
+		CleanServed:           m.CleanServed.Load(),
+		PingsSent:             m.PingsSent.Load(),
+		LeasesSent:            m.LeasesSent.Load(),
+		LeasesServed:          m.LeasesServed.Load(),
+		ResultAcksSent:        m.ResultAcksSent.Load(),
+		ResultAcksWaited:      m.ResultAcksWaited.Load(),
+		SurrogatesMade:        m.SurrogatesMade.Load(),
+		AutoReleases:          m.AutoReleases.Load(),
+		Withdrawn:             m.Withdrawn.Load(),
+		ClientsDropped:        m.ClientsDropped.Load(),
 	}
 }
 
@@ -397,13 +453,16 @@ func (sp *Space) debugSnapshot() obs.DebugData {
 	}
 }
 
-// Close shuts the space down: it releases every surrogate, lets the
-// cleaner deliver the resulting clean calls (bounded by CallTimeout),
-// stops the daemons, and closes listeners and connections.
+// Close shuts the space down gracefully: it stops accepting new calls,
+// drains in-flight dispatches (bounded by DrainTimeout, after which they
+// are cancelled through their contexts), releases every surrogate and
+// delivers the resulting clean calls, stops the daemons, and closes
+// listeners and connections.
 func (sp *Space) Close() error { return sp.shutdown(true) }
 
-// Abort shuts the space down without the parting clean calls, simulating
-// a crash: owners discover the loss only through their ping daemons.
+// Abort shuts the space down without draining or parting clean calls,
+// simulating a crash: in-flight dispatches are cancelled immediately and
+// owners discover the loss only through their ping daemons.
 // Fault-tolerance tests and the benchmark harness use it.
 func (sp *Space) Abort() { _ = sp.shutdown(false) }
 
@@ -414,10 +473,24 @@ func (sp *Space) shutdown(graceful bool) error {
 		return nil
 	}
 	sp.closed = true
-	close(sp.closedCh)
+	close(sp.closingCh)
 	sp.mu.Unlock()
 
+	// Stop accepting new connections; existing connections stay up so
+	// in-flight dispatches can answer and parting cleans can flow.
+	sp.shutdownListeners()
+
 	if graceful {
+		// Drain: let running dispatches finish. New calls arriving on live
+		// connections are already being refused (StatusSpaceClosed).
+		if !sp.inflight.waitIdle(sp.opts.DrainTimeout) {
+			n := sp.inflight.len()
+			sp.log.Warn("drain timeout; cancelling in-flight calls", "inflight", n)
+			sp.serveCancel()
+			// Give the cancelled handlers a moment to observe the alert
+			// and return; stragglers are abandoned to the hard close.
+			sp.inflight.waitIdle(time.Second)
+		}
 		// Parting courtesy: tell every owner we are gone, so they need
 		// not discover it by ping timeout.
 		for _, key := range sp.imports.Keys() {
@@ -431,13 +504,14 @@ func (sp *Space) shutdown(graceful bool) error {
 		}
 		sp.cleaner.Drain(2 * time.Second)
 	}
+	sp.serveCancel()
+	close(sp.closedCh)
 	sp.cleaner.Close()
 	sp.pinger.Close()
 	if sp.renewer != nil {
 		sp.renewer.Close()
 	}
 	sp.closeGCQueues()
-	sp.shutdownListeners()
 	sp.pool.Close()
 	sp.wg.Wait()
 	sp.log.Debug("space closed", "graceful", graceful)
@@ -450,9 +524,11 @@ func (sp *Space) shutdownListeners() {
 	}
 }
 
+// isClosed reports whether shutdown has begun (the draining phase counts:
+// no new work is accepted once Close is called).
 func (sp *Space) isClosed() bool {
 	select {
-	case <-sp.closedCh:
+	case <-sp.closingCh:
 		return true
 	default:
 		return false

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"netobjects/internal/pickle"
+	"netobjects/internal/transport"
+)
+
+// blocker parks in its context until the caller's alert (or deadline)
+// arrives — the remote analogue of a thread waiting on a condition.
+type blocker struct {
+	entered  chan struct{} // signalled when Wait starts running
+	observed chan struct{} // signalled when Wait sees ctx.Done()
+}
+
+func newBlocker() *blocker {
+	return &blocker{entered: make(chan struct{}, 8), observed: make(chan struct{}, 8)}
+}
+
+func (b *blocker) Wait(ctx context.Context) error {
+	b.entered <- struct{}{}
+	<-ctx.Done()
+	b.observed <- struct{}{}
+	return ctx.Err()
+}
+
+// sleeper naps without consulting any context: during graceful drain its
+// calls must be allowed to run to completion.
+type sleeper struct {
+	started chan struct{}
+}
+
+func (s *sleeper) NapMillis(ms int64) (string, error) {
+	s.started <- struct{}{}
+	time.Sleep(time.Duration(ms) * time.Millisecond)
+	return "rested", nil
+}
+
+func (s *sleeper) Poke() error { return nil }
+
+// TestCancelPropagates is the tentpole scenario: the client cancels
+// mid-call, the alert crosses the wire, the server handler observes
+// ctx.Done(), the client gets a CallError satisfying errors.Is(err,
+// context.Canceled), and the dirty/clean bookkeeping still converges.
+func TestCancelPropagates(t *testing.T) {
+	tn := newTestNet(t)
+	owner := tn.space("owner", nil)
+	client := tn.space("client", nil)
+
+	b := newBlocker()
+	ref, err := owner.Export(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cref := handoff(t, ref, client)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := cref.CallCtx(ctx, "Wait")
+		done <- err
+	}()
+
+	select {
+	case <-b.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait never started serving")
+	}
+	cancel()
+
+	err = <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled call returned %v, want context.Canceled through the chain", err)
+	}
+	var ce *CallError
+	if !errors.As(err, &ce) {
+		t.Fatalf("cancelled call returned %T, want *CallError", err)
+	}
+
+	select {
+	case <-b.observed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server handler never observed the forwarded cancellation")
+	}
+
+	cst := client.Stats()
+	if cst.CancelsSent == 0 {
+		t.Error("client never forwarded a CancelCall")
+	}
+	if cst.CallsCancelled == 0 {
+		t.Error("client never counted the cancellation")
+	}
+	if !waitFor(5*time.Second, func() bool { return owner.Stats().CancelsServed > 0 }) {
+		t.Error("owner never served the CancelCall")
+	}
+
+	// The cancelled call must not leak bookkeeping: releasing the
+	// surrogate still converges to an empty export table.
+	cref.Release()
+	if !waitFor(5*time.Second, func() bool { return owner.Exports().Len() == 0 }) {
+		t.Fatalf("owner kept %d export entries after release", owner.Exports().Len())
+	}
+}
+
+// TestDeadlinePropagates checks the deadline side of the same machinery:
+// the context deadline travels as a remaining-time budget and expires the
+// dispatch at the owner, and the client classifies the failure as
+// context.DeadlineExceeded.
+func TestDeadlinePropagates(t *testing.T) {
+	tn := newTestNet(t)
+	owner := tn.space("owner", nil)
+	client := tn.space("client", nil)
+
+	b := newBlocker()
+	ref, err := owner.Export(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cref := handoff(t, ref, client)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = cref.CallCtx(ctx, "Wait")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired call returned %v, want context.DeadlineExceeded through the chain", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("expired call took %v, deadline was 150ms", elapsed)
+	}
+
+	// The owner's serving context expires on its own clock, so the
+	// handler unblocks even if the forwarded cancel were lost.
+	select {
+	case <-b.observed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server handler never observed the deadline")
+	}
+	if client.Stats().CallsDeadlineExceeded == 0 {
+		t.Error("client never counted the deadline expiry")
+	}
+}
+
+// TestGracefulDrain closes a space with a call in flight: the call must
+// run to completion and deliver its result, while fresh calls arriving
+// during the drain are refused with ErrSpaceClosed.
+func TestGracefulDrain(t *testing.T) {
+	tn := newTestNet(t)
+	owner := tn.space("owner", nil)
+	client := tn.space("client", nil)
+
+	svc := &sleeper{started: make(chan struct{}, 8)}
+	ref, err := owner.Export(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cref := handoff(t, ref, client)
+
+	// Pre-warm a second pooled connection: once drain begins the owner's
+	// listener is gone, so the refused-call probe below must ride a
+	// connection established beforehand.
+	c1, ep1, err := client.pool.Get(cref.endpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, ep2, err := client.pool.Get(cref.endpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.pool.Put(ep1, c1)
+	client.pool.Put(ep2, c2)
+
+	type outcome struct {
+		res []any
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := cref.Call("NapMillis", int64(800))
+		done <- outcome{res, err}
+	}()
+	select {
+	case <-svc.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("NapMillis never started serving")
+	}
+
+	closeDone := make(chan struct{})
+	go func() {
+		_ = owner.Close()
+		close(closeDone)
+	}()
+	if !waitFor(2*time.Second, owner.isClosed) {
+		t.Fatal("owner never entered the draining phase")
+	}
+
+	// A fresh call during the drain is refused, not hung.
+	if _, err := cref.Call("Poke"); !errors.Is(err, ErrSpaceClosed) {
+		t.Fatalf("call during drain returned %v, want ErrSpaceClosed", err)
+	}
+
+	// The in-flight call finishes and its result is delivered.
+	o := <-done
+	if o.err != nil {
+		t.Fatalf("in-flight call failed during drain: %v", o.err)
+	}
+	if len(o.res) != 1 || o.res[0].(string) != "rested" {
+		t.Fatalf("in-flight call returned %v", o.res)
+	}
+	select {
+	case <-closeDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close never returned")
+	}
+}
+
+// TestCloseDeliversPartingCleans checks the client side of graceful
+// shutdown: Close releases every surrogate and delivers the resulting
+// clean calls before the space goes dark, so the owner's export table
+// empties without waiting for a liveness timeout.
+func TestCloseDeliversPartingCleans(t *testing.T) {
+	tn := newTestNet(t)
+	owner := tn.space("owner", nil)
+	client := tn.space("client", nil)
+
+	ref, err := owner.Export(&counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cref := handoff(t, ref, client)
+	if _, err := cref.Call("Incr", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(5*time.Second, func() bool { return owner.Exports().Len() == 0 }) {
+		t.Fatalf("owner kept %d export entries after client Close", owner.Exports().Len())
+	}
+}
+
+// flakyDialer injects dial failures in front of an in-memory transport to
+// exercise the collector retry path.
+type flakyDialer struct {
+	*transport.Mem
+	mu   sync.Mutex
+	fail int
+}
+
+func newFlakyDialer(mem *transport.Mem, fail int) *flakyDialer {
+	return &flakyDialer{Mem: mem, fail: fail}
+}
+
+func (f *flakyDialer) Dial(addr string) (transport.Conn, error) {
+	f.mu.Lock()
+	inject := f.fail > 0
+	if inject {
+		f.fail--
+	}
+	f.mu.Unlock()
+	if inject {
+		return nil, errors.New("flaky: injected dial failure")
+	}
+	return f.Mem.Dial(addr)
+}
+
+// TestCollectorRPCRetry checks that idempotent collector traffic (here
+// the dirty call behind Import) survives transient transport failures via
+// bounded, jittered retry, and that the retries are visible as a counter.
+func TestCollectorRPCRetry(t *testing.T) {
+	tn := newTestNet(t)
+	owner := tn.space("owner", nil)
+
+	flaky := newFlakyDialer(tn.mem, 2)
+	client, err := NewSpace(Options{
+		Name:          "client",
+		Transports:    []transport.Transport{flaky},
+		Registry:      pickle.NewRegistry(),
+		CallTimeout:   5 * time.Second,
+		PingInterval:  time.Hour,
+		RetryAttempts: 4,
+		RetryBackoff:  2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+
+	ref, err := owner.Export(&counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ref.WireRep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cref, err := client.Import(w)
+	if err != nil {
+		t.Fatalf("import did not survive two dial failures: %v", err)
+	}
+	if got := client.Stats().RPCRetries; got != 2 {
+		t.Fatalf("RPCRetries = %d, want 2", got)
+	}
+	if _, err := cref.Call("Incr", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetryNeverMasksRefusal checks the retry budget stops at protocol
+// refusals: a dirty for a withdrawn object fails without burning retries,
+// because the owner's refusal is an answer, not a transport failure.
+func TestRetryNeverMasksRefusal(t *testing.T) {
+	tn := newTestNet(t)
+	owner := tn.space("owner", nil)
+	client := tn.space("client", nil)
+
+	ref, err := owner.Export(&counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ref.WireRep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Withdraw the export before the client registers.
+	ref.Release()
+	owner.Exports().Sweep()
+	if owner.Exports().Len() != 0 {
+		t.Fatalf("export not withdrawn, %d entries", owner.Exports().Len())
+	}
+
+	if _, err := client.Import(w); !errors.Is(err, ErrNoSuchObject) {
+		t.Fatalf("import of withdrawn object returned %v, want ErrNoSuchObject", err)
+	}
+	if got := client.Stats().RPCRetries; got != 0 {
+		t.Fatalf("refusal burned %d retries, want 0", got)
+	}
+}

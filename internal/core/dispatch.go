@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"runtime/debug"
@@ -8,18 +9,25 @@ import (
 	"netobjects/internal/wire"
 )
 
+// ctxType is the reflect type of context.Context, recognized as an
+// optional leading method parameter.
+var ctxType = reflect.TypeOf((*context.Context)(nil)).Elem()
+
 // methodInfo is the dispatch record for one exported method, computed on
 // demand from the concrete object's reflected method set.
 type methodInfo struct {
 	fn      reflect.Value
-	params  []reflect.Type
+	params  []reflect.Type // excluding a leading context.Context
 	results []reflect.Type // excluding a trailing error
+	hasCtx  bool
 	hasErr  bool
 }
 
 // lookupMethod resolves a method by name on obj and validates that it is
 // remotely callable: exported, non-variadic, and with any error return in
-// the final position only.
+// the final position only. A leading context.Context parameter never
+// crosses the wire; the dispatcher supplies the serving context there, so
+// the method observes the caller's cancellation and deadline.
 func lookupMethod(obj any, name string) (*methodInfo, error) {
 	ov := reflect.ValueOf(obj)
 	m := ov.MethodByName(name)
@@ -32,7 +40,15 @@ func lookupMethod(obj any, name string) (*methodInfo, error) {
 	}
 	mi := &methodInfo{fn: m}
 	for i := 0; i < mt.NumIn(); i++ {
-		mi.params = append(mi.params, mt.In(i))
+		in := mt.In(i)
+		if i == 0 && in == ctxType {
+			mi.hasCtx = true
+			continue
+		}
+		if in == ctxType {
+			return nil, fmt.Errorf("%w: %s takes context.Context outside the first position", ErrNoSuchMethod, name)
+		}
+		mi.params = append(mi.params, in)
 	}
 	for i := 0; i < mt.NumOut(); i++ {
 		out := mt.Out(i)
@@ -48,17 +64,20 @@ func lookupMethod(obj any, name string) (*methodInfo, error) {
 	return mi, nil
 }
 
-// invoke calls the method with the given arguments, separating the
-// trailing error (if declared) from the data results and converting a
+// invoke calls the method with the given arguments under ctx, separating
+// the trailing error (if declared) from the data results and converting a
 // panic in the method into an error rather than tearing down the serving
 // goroutine.
-func (mi *methodInfo) invoke(args []reflect.Value) (outs []reflect.Value, appErr error, runtimeErr error) {
+func (mi *methodInfo) invoke(ctx context.Context, args []reflect.Value) (outs []reflect.Value, appErr error, runtimeErr error) {
 	defer func() {
 		if p := recover(); p != nil {
 			outs, appErr = nil, nil
 			runtimeErr = fmt.Errorf("netobjects: method panicked: %v\n%s", p, debug.Stack())
 		}
 	}()
+	if mi.hasCtx {
+		args = append([]reflect.Value{reflect.ValueOf(ctx)}, args...)
+	}
 	rets := mi.fn.Call(args)
 	if mi.hasErr {
 		if e := rets[len(rets)-1]; !e.IsNil() {
@@ -73,7 +92,7 @@ func (mi *methodInfo) invoke(args []reflect.Value) (outs []reflect.Value, appErr
 // the owner calling through its own reference. No pickling happens, but
 // arguments still pass through the same conversion rules as remote calls
 // so local and remote behaviour agree.
-func (sp *Space) localDynamicCall(obj any, method string, args []any) ([]any, error) {
+func (sp *Space) localDynamicCall(ctx context.Context, obj any, method string, args []any) ([]any, error) {
 	mi, err := lookupMethod(obj, method)
 	if err != nil {
 		return nil, err
@@ -89,7 +108,7 @@ func (sp *Space) localDynamicCall(obj any, method string, args []any) ([]any, er
 		}
 		argVals[i] = v
 	}
-	outs, appErr, rerr := mi.invoke(argVals)
+	outs, appErr, rerr := mi.invoke(ctx, argVals)
 	if rerr != nil {
 		return nil, rerr
 	}
@@ -102,7 +121,7 @@ func (sp *Space) localDynamicCall(obj any, method string, args []any) ([]any, er
 
 // localTypedCall dispatches a typed (stub) call on a local concrete
 // object.
-func (sp *Space) localTypedCall(obj any, method string, fingerprint uint64, args []reflect.Value) ([]reflect.Value, error) {
+func (sp *Space) localTypedCall(ctx context.Context, obj any, method string, fingerprint uint64, args []reflect.Value) ([]reflect.Value, error) {
 	if fingerprint != 0 && !acceptsFingerprint(sp, obj, fingerprint) {
 		return nil, &CallError{Status: wire.StatusBadFingerprint,
 			Msg: fmt.Sprintf("stub fingerprint %x not accepted by %T", fingerprint, obj)}
@@ -114,7 +133,7 @@ func (sp *Space) localTypedCall(obj any, method string, fingerprint uint64, args
 	if len(args) != len(mi.params) {
 		return nil, fmt.Errorf("%w: %s takes %d arguments, got %d", ErrNoSuchMethod, method, len(mi.params), len(args))
 	}
-	outs, appErr, rerr := mi.invoke(args)
+	outs, appErr, rerr := mi.invoke(ctx, args)
 	if rerr != nil {
 		return nil, rerr
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"netobjects/internal/wire"
@@ -19,10 +20,15 @@ func (e *RemoteError) Error() string { return e.Msg }
 // CallError reports a runtime-level call failure: the remote method did
 // not run to completion (or may not have run at all).
 type CallError struct {
-	// Status is the protocol status reported by the peer.
+	// Status is the protocol status reported by the peer (or synthesized
+	// locally for cancellations observed on the caller's side).
 	Status wire.Status
 	// Msg is the peer's error text.
 	Msg string
+	// Cause, when non-nil, is the local error behind the failure — the
+	// caller's context error for cancellations and deadline expiries — so
+	// errors.Is(err, context.Canceled) works through Unwrap.
+	Cause error
 }
 
 // Error renders the failure.
@@ -33,8 +39,13 @@ func (e *CallError) Error() string {
 	return fmt.Sprintf("netobjects: call failed: %v: %s", e.Status, e.Msg)
 }
 
+// Unwrap exposes the local cause for errors.Is/As chains.
+func (e *CallError) Unwrap() error { return e.Cause }
+
 // Is maps protocol statuses onto the package's sentinel errors so callers
-// can write errors.Is(err, core.ErrNoSuchObject).
+// can write errors.Is(err, core.ErrNoSuchObject). Cancellation statuses
+// map onto the context sentinels even when the status was reported by the
+// owner (no local Cause to unwrap).
 func (e *CallError) Is(target error) bool {
 	switch target {
 	case ErrNoSuchObject:
@@ -43,9 +54,25 @@ func (e *CallError) Is(target error) bool {
 		return e.Status == wire.StatusNoSuchMethod
 	case ErrBadFingerprint:
 		return e.Status == wire.StatusBadFingerprint
+	case context.Canceled:
+		return e.Status == wire.StatusCancelled
+	case context.DeadlineExceeded:
+		return e.Status == wire.StatusDeadlineExceeded
+	case ErrSpaceClosed:
+		return e.Status == wire.StatusSpaceClosed
 	default:
 		return false
 	}
+}
+
+// ctxCallError wraps a caller-side context failure as a CallError so the
+// caller sees one error shape for local and owner-reported cancellation.
+func ctxCallError(ctx context.Context, msg string) *CallError {
+	st := wire.StatusCancelled
+	if ctx.Err() == context.DeadlineExceeded {
+		st = wire.StatusDeadlineExceeded
+	}
+	return &CallError{Status: st, Msg: msg, Cause: context.Cause(ctx)}
 }
 
 // statusError converts a non-OK protocol status into an error.

@@ -152,11 +152,14 @@ func (q *gcQueue) run() {
 	}
 }
 
-// deliver performs one ordered exchange. Any transport or protocol error
-// fails the future; the enqueuer decides whether to retry (cleans re-enter
-// through the cleaning daemon, dirty failures kill the registration).
+// deliver performs one ordered exchange, retrying transport hiccups with
+// backoff (collector traffic is idempotent, and the retries happen inside
+// the queue so ordering per owner is preserved). Any remaining transport
+// or protocol error fails the future; the enqueuer decides whether to
+// retry further (cleans re-enter through the cleaning daemon, dirty
+// failures kill the registration).
 func (q *gcQueue) deliver(msg wire.Message, eps []string) error {
-	resp, err := q.sp.rpc(eps, msg, q.sp.opts.CallTimeout)
+	resp, err := q.sp.rpcRetry(eps, msg, q.sp.opts.CallTimeout)
 	if err != nil {
 		return err
 	}

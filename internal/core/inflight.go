@@ -1,0 +1,96 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// inflightTable tracks the calls a space is currently dispatching, keyed
+// by the caller-chosen Call.ID. It serves two masters: CancelCall looks a
+// call up to forward the caller's alert into the serving context, and
+// graceful drain waits for the table to empty before the space finishes
+// closing.
+type inflightTable struct {
+	mu    sync.Mutex
+	calls map[uint64]*inflightEntry
+}
+
+// inflightEntry is one dispatch in progress.
+type inflightEntry struct {
+	method string
+	start  time.Time
+	cancel context.CancelFunc
+}
+
+func newInflightTable() *inflightTable {
+	return &inflightTable{calls: make(map[uint64]*inflightEntry)}
+}
+
+// add registers a dispatch under its call id. Duplicate ids (two clients
+// colliding) keep the first entry; the second call is still served, it is
+// just not remotely cancellable — correctness never depends on cancel
+// delivery.
+func (t *inflightTable) add(id uint64, method string, cancel context.CancelFunc) {
+	t.mu.Lock()
+	if _, exists := t.calls[id]; !exists {
+		t.calls[id] = &inflightEntry{method: method, start: time.Now(), cancel: cancel}
+	}
+	t.mu.Unlock()
+}
+
+// remove drops a finished dispatch.
+func (t *inflightTable) remove(id uint64) {
+	t.mu.Lock()
+	delete(t.calls, id)
+	t.mu.Unlock()
+}
+
+// cancel alerts the dispatch with the given id, reporting whether it was
+// found in flight.
+func (t *inflightTable) cancel(id uint64) bool {
+	t.mu.Lock()
+	e, ok := t.calls[id]
+	t.mu.Unlock()
+	if ok {
+		e.cancel()
+	}
+	return ok
+}
+
+// cancelAll alerts every dispatch still in flight (drain timeout).
+func (t *inflightTable) cancelAll() {
+	t.mu.Lock()
+	es := make([]*inflightEntry, 0, len(t.calls))
+	for _, e := range t.calls {
+		es = append(es, e)
+	}
+	t.mu.Unlock()
+	for _, e := range es {
+		e.cancel()
+	}
+}
+
+// len reports how many dispatches are in flight.
+func (t *inflightTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.calls)
+}
+
+// waitIdle polls until the table empties or the timeout lapses, reporting
+// whether it emptied. Polling keeps the add/remove hot path to one mutex
+// acquisition with no condition broadcasting; drains are rare and a
+// millisecond of drain latency is noise next to the calls being waited on.
+func (t *inflightTable) waitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if t.len() == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

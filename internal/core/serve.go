@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"time"
@@ -76,6 +77,8 @@ func (sp *Space) serveConn(c transport.Conn) {
 			reply = &wire.PingAck{From: sp.id}
 		case *wire.Lease:
 			reply = sp.handleLease(m)
+		case *wire.CancelCall:
+			reply = sp.handleCancel(m)
 		default:
 			sp.log.Debug("unexpected message", "op", msg.Op().String(), "peer", c.RemoteLabel())
 			return
@@ -154,6 +157,37 @@ func (sp *Space) handleCleanBatch(m *wire.CleanBatch) *wire.CleanAck {
 	return &wire.CleanAck{Status: wire.StatusOK}
 }
 
+// handleCancel forwards a caller's alert into the matching in-flight
+// dispatch. StatusOK means the dispatch was found and alerted;
+// StatusNoSuchObject means it already finished (or its result is in
+// flight) — indistinguishable from the call winning the race, and equally
+// fine: cancellation is best-effort by design.
+func (sp *Space) handleCancel(m *wire.CancelCall) *wire.CancelAck {
+	sp.metrics.CancelsServed.Inc()
+	if sp.tracer != nil {
+		sp.tracer.Emit(obs.Event{Kind: obs.EvCallCancel, Time: time.Now(), CallID: m.ID})
+	}
+	if m.ID != 0 && sp.inflight.cancel(m.ID) {
+		return &wire.CancelAck{Status: wire.StatusOK}
+	}
+	return &wire.CancelAck{Status: wire.StatusNoSuchObject}
+}
+
+// callContext derives the serving context for one dispatch: a child of
+// the space's serve context (so Close alerts every dispatch) bounded by
+// the tighter of the caller's remaining budget and this space's
+// MaxServeTime cap. The budget from the wire is advisory — a space never
+// trusts a remote deadline beyond its own cap.
+func (sp *Space) callContext(call *wire.Call) (context.Context, context.CancelFunc) {
+	d := sp.opts.MaxServeTime
+	if call.DeadlineMillis != 0 {
+		if r := time.Duration(call.DeadlineMillis) * time.Millisecond; r < d {
+			d = r
+		}
+	}
+	return context.WithTimeout(sp.serveCtx, d)
+}
+
 // handleCall dispatches one remote invocation and sends its Result. When
 // the result carries network references it waits for the caller's
 // ResultAck before releasing the transient dirty entries. It reports
@@ -163,15 +197,44 @@ func (sp *Space) handleCall(c transport.Conn, call *wire.Call) bool {
 	start := time.Now()
 	if sp.tracer != nil {
 		sp.tracer.Emit(obs.Event{Kind: obs.EvCallServe, Time: start,
-			Method: call.Method, Peer: c.RemoteLabel()})
+			CallID: call.ID, Method: call.Method, Peer: c.RemoteLabel()})
 	}
+	stat := sp.metrics.Methods.Get(call.Method)
+	stat.Calls.Inc()
 	session := &callSession{sp: sp}
-	res := sp.executeCall(call, session)
+	var res *wire.Result
+	if sp.isClosed() {
+		// Draining: refuse new work, but keep the connection usable so the
+		// peer's parting clean calls still flow.
+		res = &wire.Result{Status: wire.StatusSpaceClosed, Err: "space closing"}
+	} else {
+		ctx, cancel := sp.callContext(call)
+		if call.ID != 0 {
+			sp.inflight.add(call.ID, call.Method, cancel)
+			// The entry outlives the method: it is removed only once the
+			// result (and any ResultAck exchange) is off this function's
+			// hands, so graceful drain waits for the whole exchange and
+			// never hard-closes a connection with an unsent result.
+			defer sp.inflight.remove(call.ID)
+		}
+		defer cancel()
+		res = sp.executeCall(ctx, call, session)
+	}
 	res.NeedAck = session.pinned()
 	sp.metrics.ServeLatency.Observe(time.Since(start))
+	stat.ObserveLatency(time.Since(start))
+	switch res.Status {
+	case wire.StatusOK:
+	case wire.StatusCancelled:
+		stat.Cancelled.Inc()
+	case wire.StatusDeadlineExceeded:
+		stat.DeadlineExceeded.Inc()
+	default:
+		stat.Errors.Inc()
+	}
 	if sp.tracer != nil {
 		sp.tracer.Emit(obs.Event{Kind: obs.EvCallDone, Time: time.Now(),
-			Method: call.Method, Dur: time.Since(start), Err: res.Err})
+			CallID: call.ID, Method: call.Method, Dur: time.Since(start), Err: res.Err})
 	}
 
 	// Under the FIFO variant, argument decoding may have queued
@@ -206,9 +269,22 @@ func (sp *Space) handleCall(c transport.Conn, call *wire.Call) bool {
 	return ok
 }
 
-// executeCall runs one invocation end to end: object lookup, fingerprint
-// check, argument decoding, method invocation and result encoding.
-func (sp *Space) executeCall(call *wire.Call, session *callSession) *wire.Result {
+// cancelResult renders an alerted or expired serving context as a
+// protocol result.
+func cancelResult(ctx context.Context) *wire.Result {
+	st := wire.StatusCancelled
+	if ctx.Err() == context.DeadlineExceeded {
+		st = wire.StatusDeadlineExceeded
+	}
+	return &wire.Result{Status: st, Err: ctx.Err().Error()}
+}
+
+// executeCall runs one invocation end to end under ctx: object lookup,
+// fingerprint check, argument decoding, method invocation and result
+// encoding. A context fired before or during the method turns into a
+// cancellation result with the session's transient pins released — the
+// alerted caller will not acknowledge them.
+func (sp *Space) executeCall(ctx context.Context, call *wire.Call, session *callSession) *wire.Result {
 	ent, ok := sp.exports.Lookup(call.Obj)
 	if !ok {
 		return &wire.Result{Status: wire.StatusNoSuchObject, Err: "object not in export table"}
@@ -248,10 +324,20 @@ func (sp *Space) executeCall(call *wire.Call, session *callSession) *wire.Result
 		}
 	}
 
-	outs, appErr, rerr := mi.invoke(args)
+	if ctx.Err() != nil {
+		session.unpinAll()
+		return cancelResult(ctx)
+	}
+	outs, appErr, rerr := mi.invoke(ctx, args)
 	if rerr != nil {
 		sp.log.Error("method panicked", "method", call.Method, "err", rerr)
 		return &wire.Result{Status: wire.StatusInternal, Err: rerr.Error()}
+	}
+	if ctx.Err() != nil {
+		// The caller is gone (alerted or timed out); its results are
+		// undeliverable, so drop them and any pins they would have taken.
+		session.unpinAll()
+		return cancelResult(ctx)
 	}
 
 	var resultBytes []byte

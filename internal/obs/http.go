@@ -43,6 +43,7 @@ func (o *Observability) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if o.Metrics != nil {
 		o.Metrics.Registry().WritePrometheus(w)
+		o.Metrics.Methods.WritePrometheus(w)
 	}
 }
 
@@ -88,6 +89,23 @@ func (o *Observability) serveDebug(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "<tr><td>%s</td><td>%d</td></tr>\n", esc(p.Endpoint), p.Idle)
 	}
 	fmt.Fprint(w, "</table>\n")
+
+	if o.Metrics != nil {
+		if snaps := o.Metrics.Methods.Snapshot(); len(snaps) != 0 {
+			fmt.Fprintf(w, "<h2>per-method calls (%d methods)</h2>\n", len(snaps))
+			fmt.Fprint(w, "<table><tr><th>method</th><th>calls</th><th>errors</th>"+
+				"<th>cancelled</th><th>deadline</th><th>p50</th><th>p95</th><th>p99</th></tr>\n")
+			for _, s := range snaps {
+				fmt.Fprintf(w, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td>"+
+					"<td>%v</td><td>%v</td><td>%v</td></tr>\n",
+					esc(s.Method), s.Calls, s.Errors, s.Cancelled, s.DeadlineExceeded,
+					s.Latency.Quantile(0.5).Round(time.Microsecond),
+					s.Latency.Quantile(0.95).Round(time.Microsecond),
+					s.Latency.Quantile(0.99).Round(time.Microsecond))
+			}
+			fmt.Fprint(w, "</table>\n")
+		}
+	}
 
 	for _, s := range o.debugSections() {
 		fmt.Fprintf(w, "<h2>%s</h2>\n<pre>%s</pre>\n", esc(s.Name), esc(s.Body))

@@ -1,6 +1,9 @@
 package obs
 
-import "sync/atomic"
+import (
+	"math/rand/v2"
+	"sync/atomic"
+)
 
 // Metrics is the fixed set of runtime metrics every space maintains. The
 // hot path touches these directly as struct fields — no map lookups, no
@@ -11,13 +14,23 @@ type Metrics struct {
 	reg *Registry
 
 	// Remote invocation, client side.
-	CallsSent   *Counter
-	CallErrors  *Counter
-	CallLatency *Histogram
+	CallsSent             *Counter
+	CallErrors            *Counter
+	CallsCancelled        *Counter
+	CallsDeadlineExceeded *Counter
+	CancelsSent           *Counter
+	CallLatency           *Histogram
 
 	// Remote invocation, server side.
-	CallsServed  *Counter
-	ServeLatency *Histogram
+	CallsServed   *Counter
+	CancelsServed *Counter
+	ServeLatency  *Histogram
+
+	// Per-method serve-side metrics (latency and outcome by method name).
+	Methods *MethodMetrics
+
+	// Collector RPC retry layer.
+	RPCRetries *Counter
 
 	// Collector protocol traffic.
 	DirtySent        *Counter
@@ -62,12 +75,20 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		reg: r,
 
-		CallsSent:   r.Counter("netobj_calls_sent_total", "Remote invocations issued by this space."),
-		CallErrors:  r.Counter("netobj_call_errors_total", "Remote invocations that failed at the runtime level."),
-		CallLatency: r.Histogram("netobj_call_latency_seconds", "Client-side remote invocation round-trip latency."),
+		CallsSent:             r.Counter("netobj_calls_sent_total", "Remote invocations issued by this space."),
+		CallErrors:            r.Counter("netobj_call_errors_total", "Remote invocations that failed at the runtime level."),
+		CallsCancelled:        r.Counter("netobj_calls_cancelled_total", "Remote invocations abandoned because the caller's context was cancelled."),
+		CallsDeadlineExceeded: r.Counter("netobj_calls_deadline_exceeded_total", "Remote invocations abandoned because the caller's deadline expired."),
+		CancelsSent:           r.Counter("netobj_cancels_sent_total", "CancelCall alerts forwarded to owners."),
+		CallLatency:           r.Histogram("netobj_call_latency_seconds", "Client-side remote invocation round-trip latency."),
 
-		CallsServed:  r.Counter("netobj_calls_served_total", "Remote invocations dispatched by this space."),
-		ServeLatency: r.Histogram("netobj_serve_latency_seconds", "Server-side dispatch latency (decode, invoke, encode)."),
+		CallsServed:   r.Counter("netobj_calls_served_total", "Remote invocations dispatched by this space."),
+		CancelsServed: r.Counter("netobj_cancels_served_total", "CancelCall alerts received for calls being served."),
+		ServeLatency:  r.Histogram("netobj_serve_latency_seconds", "Server-side dispatch latency (decode, invoke, encode)."),
+
+		Methods: NewMethodMetrics(),
+
+		RPCRetries: r.Counter("netobj_rpc_retries_total", "Idempotent collector RPC attempts beyond the first."),
 
 		DirtySent:        r.Counter("netobj_dirty_sent_total", "Dirty calls sent (surrogate registrations)."),
 		DirtyServed:      r.Counter("netobj_dirty_served_total", "Dirty calls served (clients joining dirty sets)."),
@@ -112,9 +133,20 @@ func (m *Metrics) Registry() *Registry {
 	return m.reg
 }
 
-// callIDs allocates process-wide call correlation ids.
+// callIDs allocates process-wide call correlation ids. The counter starts
+// at a random point so ids from different processes are unlikely to
+// collide — they key cancellation at the owner, which may be serving many
+// client spaces at once.
 var callIDs atomic.Uint64
 
-// NextCallID returns a fresh nonzero id correlating the trace events of
-// one remote invocation.
-func NextCallID() uint64 { return callIDs.Add(1) }
+func init() { callIDs.Store(rand.Uint64()) }
+
+// NextCallID returns a fresh nonzero id correlating the trace events (and
+// a possible CancelCall) of one remote invocation.
+func NextCallID() uint64 {
+	for {
+		if id := callIDs.Add(1); id != 0 {
+			return id
+		}
+	}
+}

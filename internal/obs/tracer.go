@@ -22,6 +22,9 @@ const (
 	// EvCallDone: dispatch finished and the reply was encoded (Dur is the
 	// dispatch time: decode, invoke, encode).
 	EvCallDone
+	// EvCallCancel: a cancellation alert was forwarded for an in-flight
+	// call (client side) or received for one being served (server side).
+	EvCallCancel
 	// EvDirtySend: a dirty call completed (Dur is the round trip).
 	EvDirtySend
 	// EvDirtyRecv: a dirty call was served.
@@ -68,6 +71,7 @@ var eventNames = [...]string{
 	EvCallReply:         "call.reply",
 	EvCallServe:         "call.serve",
 	EvCallDone:          "call.done",
+	EvCallCancel:        "call.cancel",
 	EvDirtySend:         "dirty.send",
 	EvDirtyRecv:         "dirty.recv",
 	EvCleanSend:         "clean.send",

@@ -5,17 +5,22 @@
 package fixture
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
 )
 
 // Calc is the sample remote interface the stub generator is run against.
-// It deliberately mixes scalar, slice and imported-package types.
+// It deliberately mixes scalar, slice and imported-package types, and
+// mixes context-first methods (the generated stubs route the context
+// into InvokeTypedCtx, so its deadline and cancellation cross the wire)
+// with plain methods (which run under the space-wide call timeout).
 type Calc interface {
-	Add(a, b float64) (float64, error)
-	Sum(xs []float64) (float64, error)
+	Add(ctx context.Context, a, b float64) (float64, error)
+	Sum(ctx context.Context, xs []float64) (float64, error)
 	Shift(t time.Time, by time.Duration) (time.Time, error)
+	Nap(ctx context.Context, ms int64) (bool, error)
 	Describe() (string, error)
 	Reset() error
 }
@@ -28,14 +33,14 @@ type Server struct {
 }
 
 // Add returns a + b.
-func (s *Server) Add(a, b float64) (float64, error) {
+func (s *Server) Add(ctx context.Context, a, b float64) (float64, error) {
 	s.note("add")
 	return a + b, nil
 }
 
 // Sum totals xs; an empty slice is an error so stubs exercise the
 // application-error path.
-func (s *Server) Sum(xs []float64) (float64, error) {
+func (s *Server) Sum(ctx context.Context, xs []float64) (float64, error) {
 	s.note("sum")
 	if len(xs) == 0 {
 		return 0, errors.New("nothing to sum")
@@ -51,6 +56,19 @@ func (s *Server) Sum(xs []float64) (float64, error) {
 func (s *Server) Shift(t time.Time, by time.Duration) (time.Time, error) {
 	s.note("shift")
 	return t.Add(by), nil
+}
+
+// Nap sleeps for ms milliseconds unless the caller's alert arrives
+// first; it reports whether it slept the full stretch. Tests cancel it
+// mid-sleep to prove the stub's context crosses the wire.
+func (s *Server) Nap(ctx context.Context, ms int64) (bool, error) {
+	s.note("nap")
+	select {
+	case <-time.After(time.Duration(ms) * time.Millisecond):
+		return true, nil
+	case <-ctx.Done():
+		return false, ctx.Err()
+	}
 }
 
 // Describe reports the last operation.

@@ -1,6 +1,7 @@
 package fixture
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -51,11 +52,11 @@ func TestGeneratedStubEndToEnd(t *testing.T) {
 	impl := &Server{}
 	calc := stubFor(t, owner, client, impl)
 
-	got, err := calc.Add(1.5, 2.25)
+	got, err := calc.Add(context.Background(), 1.5, 2.25)
 	if err != nil || got != 3.75 {
 		t.Fatalf("Add: %v %v", got, err)
 	}
-	sum, err := calc.Sum([]float64{1, 2, 3})
+	sum, err := calc.Sum(context.Background(), []float64{1, 2, 3})
 	if err != nil || sum != 6 {
 		t.Fatalf("Sum: %v %v", sum, err)
 	}
@@ -76,10 +77,42 @@ func TestGeneratedStubEndToEnd(t *testing.T) {
 	}
 }
 
+func TestGeneratedStubCancellation(t *testing.T) {
+	owner, client := pair(t)
+	calc := stubFor(t, owner, client, &Server{})
+
+	// Deadline: the stub's context expires mid-nap at the owner.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	slept, err := calc.Nap(ctx, 5000)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Nap under 100ms deadline returned (%v, %v), want DeadlineExceeded", slept, err)
+	}
+
+	// Explicit cancel: the alert is forwarded while the nap is running.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := calc.Nap(ctx2, 5000)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel2()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Nap returned %v, want context.Canceled", err)
+	}
+
+	// An untimed nap still completes.
+	slept, err = calc.Nap(context.Background(), 10)
+	if err != nil || !slept {
+		t.Fatalf("plain Nap: (%v, %v)", slept, err)
+	}
+}
+
 func TestGeneratedStubErrorPath(t *testing.T) {
 	owner, client := pair(t)
 	calc := stubFor(t, owner, client, &Server{})
-	_, err := calc.Sum(nil)
+	_, err := calc.Sum(context.Background(), nil)
 	var re *netobjects.RemoteError
 	if !errors.As(err, &re) || re.Msg != "nothing to sum" {
 		t.Fatalf("got %v", err)
@@ -148,9 +181,11 @@ type calcHolder struct{ c Calc }
 
 func (h *calcHolder) Keep(c Calc) error { h.c = c; return nil }
 
-func (h *calcHolder) AddThrough(a, b float64) (float64, error) {
+func (h *calcHolder) AddThrough(ctx context.Context, a, b float64) (float64, error) {
 	if h.c == nil {
 		return 0, errors.New("nothing kept")
 	}
-	return h.c.Add(a, b)
+	// The relay threads its own serving context into the nested call, so
+	// the user's deadline flows through the whole chain.
+	return h.c.Add(ctx, a, b)
 }

@@ -107,8 +107,9 @@ type ifaceDecl struct {
 // methodDecl is one analyzed interface method.
 type methodDecl struct {
 	name    string
-	params  []param // declared parameters
+	params  []param // declared parameters, excluding a leading context.Context
 	results []param // non-error results
+	hasCtx  bool    // first parameter is context.Context
 	hasErr  bool
 }
 
@@ -144,6 +145,16 @@ func analyzeInterface(fset *token.FileSet, name string, it *ast.InterfaceType) (
 					n = 1
 				}
 				for i := 0; i < n; i++ {
+					if typ == "context.Context" {
+						// A leading context never crosses the wire: the stub
+						// routes it into InvokeTypedCtx and the dispatcher
+						// supplies the serving context on the other side.
+						if argIx != 0 || m.hasCtx {
+							return nil, fmt.Errorf("stubgen: %s.%s takes context.Context outside the first position", name, m.name)
+						}
+						m.hasCtx = true
+						continue
+					}
 					m.params = append(m.params, param{
 						name: fmt.Sprintf("a%d", argIx),
 						typ:  typ,
@@ -249,14 +260,26 @@ func usedQualifiers(ifaces []*ifaceDecl) map[string]bool {
 }
 
 func (g *generator) emit(ifaces []*ifaceDecl) ([]byte, error) {
+	needCtx := false
+	for _, d := range ifaces {
+		for _, m := range d.methods {
+			if m.hasCtx {
+				needCtx = true
+			}
+		}
+	}
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "// Code generated by stubgen; DO NOT EDIT.\n\npackage %s\n\n", g.pkg)
-	b.WriteString("import (\n\t\"reflect\"\n\n")
+	b.WriteString("import (\n")
+	if needCtx {
+		b.WriteString("\t\"context\"\n")
+	}
+	b.WriteString("\t\"reflect\"\n\n")
 	fmt.Fprintf(&b, "\t%q\n", g.opts.RuntimeImport)
 	quals := usedQualifiers(ifaces)
 	var extra []string
 	for q := range quals {
-		if path, ok := g.fileImports[q]; ok {
+		if path, ok := g.fileImports[q]; ok && path != "context" {
 			extra = append(extra, path)
 		}
 	}
@@ -321,10 +344,18 @@ func (g *generator) emitMethod(b *bytes.Buffer, d *ifaceDecl, m *methodDecl) {
 	}
 
 	// Signature.
-	fmt.Fprintf(b, "// %s invokes %s.%s remotely.\n", m.name, d.name, m.name)
+	if m.hasCtx {
+		fmt.Fprintf(b, "// %s invokes %s.%s remotely under ctx: its deadline travels\n", m.name, d.name, m.name)
+		fmt.Fprintf(b, "// to the owner and cancelling it alerts the remote dispatch.\n")
+	} else {
+		fmt.Fprintf(b, "// %s invokes %s.%s remotely.\n", m.name, d.name, m.name)
+	}
 	fmt.Fprintf(b, "func (s *%s) %s(", stub, m.name)
+	if m.hasCtx {
+		b.WriteString("ctx context.Context")
+	}
 	for i, p := range m.params {
-		if i > 0 {
+		if i > 0 || m.hasCtx {
 			b.WriteString(", ")
 		}
 		fmt.Fprintf(b, "%s %s", p.name, p.typ)
@@ -355,7 +386,11 @@ func (g *generator) emitMethod(b *bytes.Buffer, d *ifaceDecl, m *methodDecl) {
 	if len(m.results) > 0 {
 		outsVar = "outs"
 	}
-	fmt.Fprintf(b, "\t%s, err := s.ref.InvokeTyped(%q, %s, args, %s)\n", outsVar, m.name, fpVar, results)
+	if m.hasCtx {
+		fmt.Fprintf(b, "\t%s, err := s.ref.InvokeTypedCtx(ctx, %q, %s, args, %s)\n", outsVar, m.name, fpVar, results)
+	} else {
+		fmt.Fprintf(b, "\t%s, err := s.ref.InvokeTyped(%q, %s, args, %s)\n", outsVar, m.name, fpVar, results)
+	}
 	b.WriteString("\tif err != nil {\n\t\treturn ")
 	for i := range m.results {
 		fmt.Fprintf(b, "z%d, ", i)

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -115,6 +116,12 @@ func (p *Pool) closeReaped(ep string, reaped []idleConn, m *obs.Metrics, t obs.T
 // Get returns a connection to one of the given endpoints, preferring a
 // fresh cached idle connection, and the endpoint it is connected to.
 func (p *Pool) Get(endpoints []string) (Conn, string, error) {
+	return p.GetCtx(context.Background(), endpoints)
+}
+
+// GetCtx is Get with the dial (a pool miss) bounded by ctx, so a call's
+// deadline covers connection establishment too. Cache hits ignore ctx.
+func (p *Pool) GetCtx(ctx context.Context, endpoints []string) (Conn, string, error) {
 	now := time.Now()
 	p.mu.Lock()
 	if p.closed {
@@ -145,7 +152,7 @@ func (p *Pool) Get(endpoints []string) (Conn, string, error) {
 	p.mu.Unlock()
 	p.closeReaped(reapedEp, reaped, m, t)
 	start := time.Now()
-	c, ep, err := p.reg.DialAny(endpoints)
+	c, ep, err := p.reg.DialAnyContext(ctx, endpoints)
 	if err != nil {
 		return nil, "", err
 	}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"net"
 	"time"
@@ -37,11 +38,19 @@ func (t *TCP) Listen(addr string) (Listener, error) {
 
 // Dial connects to a TCP address.
 func (t *TCP) Dial(addr string) (Conn, error) {
+	return t.DialContext(context.Background(), addr)
+}
+
+// DialContext connects to a TCP address, bounded by both the transport's
+// DialTimeout and the context's deadline or cancellation, whichever is
+// tighter.
+func (t *TCP) DialContext(ctx context.Context, addr string) (Conn, error) {
 	timeout := t.DialTimeout
 	if timeout == 0 {
 		timeout = 10 * time.Second
 	}
-	c, err := net.DialTimeout("tcp", addr, timeout)
+	d := net.Dialer{Timeout: timeout}
+	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}

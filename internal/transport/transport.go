@@ -13,6 +13,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -74,6 +75,15 @@ type Transport interface {
 	Listen(addr string) (Listener, error)
 	// Dial connects to a transport-specific address.
 	Dial(addr string) (Conn, error)
+}
+
+// ContextDialer is optionally implemented by transports whose dialing can
+// be bounded by a context; Registry.DialAnyContext prefers it over Dial.
+// Transports with instantaneous dialing (in-memory) need not implement it.
+type ContextDialer interface {
+	// DialContext connects to a transport-specific address, abandoning
+	// the attempt when ctx is cancelled or its deadline expires.
+	DialContext(ctx context.Context, addr string) (Conn, error)
 }
 
 // Registry maps protocol names to transports. A zero Registry is empty and
@@ -141,17 +151,34 @@ func (r *Registry) Dial(endpoint string) (Conn, error) {
 // connection and the endpoint that worked. Endpoints whose protocol is not
 // registered are skipped; the last dial error is reported if all fail.
 func (r *Registry) DialAny(endpoints []string) (Conn, string, error) {
+	return r.DialAnyContext(context.Background(), endpoints)
+}
+
+// DialAnyContext is DialAny bounded by a context: transports implementing
+// ContextDialer abandon connection establishment when ctx is done, so a
+// call's deadline covers dialing, not just the exchange. Transports
+// without context support fall back to their own dial timeout.
+func (r *Registry) DialAnyContext(ctx context.Context, endpoints []string) (Conn, string, error) {
 	var lastErr error
 	for _, ep := range endpoints {
-		proto, _, err := wire.SplitEndpoint(ep)
+		if err := ctx.Err(); err != nil {
+			return nil, "", err
+		}
+		proto, addr, err := wire.SplitEndpoint(ep)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		if _, ok := r.Lookup(proto); !ok {
+		t, ok := r.Lookup(proto)
+		if !ok {
 			continue
 		}
-		c, err := r.Dial(ep)
+		var c Conn
+		if cd, ok := t.(ContextDialer); ok {
+			c, err = cd.DialContext(ctx, addr)
+		} else {
+			c, err = t.Dial(addr)
+		}
 		if err != nil {
 			lastErr = err
 			continue

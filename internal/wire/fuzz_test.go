@@ -12,6 +12,10 @@ import (
 func FuzzUnmarshal(f *testing.F) {
 	seeds := []Message{
 		&Call{Obj: 5, Method: "M", Fingerprint: 1, Typed: true, Args: []byte("abc")},
+		&Call{Obj: 5, Method: "M", Args: []byte("abc"), ID: 42, DeadlineMillis: 250},
+		&CancelCall{ID: 42},
+		&CancelAck{Status: StatusOK},
+		&Result{Status: StatusCancelled, Err: "cancelled"},
 		&Result{Status: StatusAppError, Err: "e", Results: []byte{1}, NeedAck: true},
 		&Dirty{Obj: 2, Client: 3, ClientEndpoints: []string{"tcp:a:1"}, Seq: 4},
 		&DirtyAck{Status: StatusOK},

@@ -36,6 +36,15 @@ const (
 	OpLease
 	// OpLeaseAck acknowledges a lease renewal with the granted duration.
 	OpLeaseAck
+	// OpCancelCall forwards a caller's alert to the owner: the call
+	// identified by its id should stop as soon as it can (the paper's
+	// Thread.Alert propagated across the wire). Connections are lock-step,
+	// so the cancel travels on its own connection, not the call's.
+	OpCancelCall
+	// OpCancelAck answers a CancelCall; StatusOK means the call was found
+	// in flight and its context cancelled, StatusNoSuchObject that it had
+	// already finished (or never arrived) — both are fine outcomes.
+	OpCancelAck
 )
 
 // String names the op for logs.
@@ -65,6 +74,10 @@ func (o Op) String() string {
 		return "lease"
 	case OpLeaseAck:
 		return "lease-ack"
+	case OpCancelCall:
+		return "cancel-call"
+	case OpCancelAck:
+		return "cancel-ack"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -84,6 +97,15 @@ const (
 	StatusBadFingerprint
 	StatusMarshal
 	StatusInternal
+	// StatusCancelled reports that the call's context was cancelled — the
+	// caller's alert reached the owner before the method finished.
+	StatusCancelled
+	// StatusDeadlineExceeded reports that the call's deadline expired at
+	// the owner before the method finished.
+	StatusDeadlineExceeded
+	// StatusSpaceClosed reports that the receiving space is draining or
+	// closed and accepts no new calls.
+	StatusSpaceClosed
 )
 
 // String names the status for logs and errors.
@@ -103,6 +125,12 @@ func (s Status) String() string {
 		return "marshaling error"
 	case StatusInternal:
 		return "internal error"
+	case StatusCancelled:
+		return "call cancelled"
+	case StatusDeadlineExceeded:
+		return "deadline exceeded"
+	case StatusSpaceClosed:
+		return "space closed"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -132,6 +160,15 @@ type Call struct {
 	Typed bool
 	// Args is the pickled argument tuple.
 	Args []byte
+	// ID correlates this call with a later CancelCall and with trace
+	// events; zero means the caller will never cancel.
+	ID uint64
+	// DeadlineMillis is the caller's remaining time budget when the call
+	// was sent, in milliseconds; zero means no deadline was propagated.
+	// The owner treats it as advisory and caps it with its own bound — a
+	// relative budget rather than an absolute time, so the two spaces'
+	// clocks need not agree.
+	DeadlineMillis uint64
 }
 
 // Op returns OpCall.
@@ -143,6 +180,8 @@ func (m *Call) encode(e *Encoder) {
 	e.Uint(m.Fingerprint)
 	e.Bool(m.Typed)
 	e.BytesField(m.Args)
+	e.Uint(m.ID)
+	e.Uint(m.DeadlineMillis)
 }
 
 func (m *Call) decode(d *Decoder) {
@@ -151,6 +190,8 @@ func (m *Call) decode(d *Decoder) {
 	m.Fingerprint = d.Uint()
 	m.Typed = d.Bool()
 	m.Args = d.BytesField()
+	m.ID = d.Uint()
+	m.DeadlineMillis = d.Uint()
 }
 
 // Result carries the outcome of a Call.
@@ -406,6 +447,35 @@ func (m *LeaseAck) decode(d *Decoder) {
 	m.GrantedMillis = d.Uint()
 }
 
+// CancelCall asks the receiving space to cancel an in-flight call it is
+// serving. It arrives on a separate connection from the call itself (the
+// call's connection is busy awaiting the Result) and is answered with a
+// CancelAck. Cancellation is cooperative: the served method observes it
+// through its context.
+type CancelCall struct {
+	// ID is the Call.ID of the invocation to cancel.
+	ID uint64
+}
+
+// Op returns OpCancelCall.
+func (*CancelCall) Op() Op { return OpCancelCall }
+
+func (m *CancelCall) encode(e *Encoder) { e.Uint(m.ID) }
+func (m *CancelCall) decode(d *Decoder) { m.ID = d.Uint() }
+
+// CancelAck answers a CancelCall.
+type CancelAck struct {
+	// Status is StatusOK when the call was found in flight and alerted;
+	// StatusNoSuchObject when it had already finished or never arrived.
+	Status Status
+}
+
+// Op returns OpCancelAck.
+func (*CancelAck) Op() Op { return OpCancelAck }
+
+func (m *CancelAck) encode(e *Encoder) { e.Uint(uint64(m.Status)) }
+func (m *CancelAck) decode(d *Decoder) { m.Status = Status(d.Uint()) }
+
 // ResultAck acknowledges a Result whose NeedAck flag was set, confirming
 // that the caller has unmarshaled the returned network references and
 // registered itself with their owners.
@@ -459,6 +529,10 @@ func Unmarshal(b []byte) (Message, error) {
 		m = new(Lease)
 	case OpLeaseAck:
 		m = new(LeaseAck)
+	case OpCancelCall:
+		m = new(CancelCall)
+	case OpCancelAck:
+		m = new(CancelAck)
 	default:
 		if err := d.Err(); err != nil {
 			return nil, err

@@ -24,7 +24,15 @@ func TestMessageRoundTrips(t *testing.T) {
 	msgs := []Message{
 		&Call{Obj: 5, Method: "Deposit", Fingerprint: 0xdeadbeef, Args: []byte("args")},
 		&Call{Obj: 5, Method: "Deposit", Typed: true, Args: []byte("t")},
+		&Call{Obj: 5, Method: "Deposit", Args: []byte("a"), ID: 77, DeadlineMillis: 1500},
 		&Call{},
+		&CancelCall{ID: 77},
+		&CancelCall{},
+		&CancelAck{Status: StatusOK},
+		&CancelAck{Status: StatusNoSuchObject},
+		&Result{Status: StatusCancelled, Err: "call cancelled"},
+		&Result{Status: StatusDeadlineExceeded, Err: "deadline exceeded at owner"},
+		&Result{Status: StatusSpaceClosed, Err: "space draining"},
 		&Result{Status: StatusOK, Results: []byte{1, 2, 3}},
 		&Result{Status: StatusOK, Results: []byte{1}, NeedAck: true},
 		&ResultAck{},
@@ -105,7 +113,8 @@ func TestMarshalReusesBuffer(t *testing.T) {
 }
 
 func TestOpAndStatusStrings(t *testing.T) {
-	ops := []Op{OpCall, OpResult, OpDirty, OpDirtyAck, OpClean, OpCleanAck, OpPing, OpPingAck, Op(99)}
+	ops := []Op{OpCall, OpResult, OpDirty, OpDirtyAck, OpClean, OpCleanAck, OpPing, OpPingAck,
+		OpCancelCall, OpCancelAck, Op(99)}
 	seen := map[string]bool{}
 	for _, o := range ops {
 		s := o.String()
@@ -115,7 +124,8 @@ func TestOpAndStatusStrings(t *testing.T) {
 		seen[s] = true
 	}
 	sts := []Status{StatusOK, StatusAppError, StatusNoSuchObject, StatusNoSuchMethod,
-		StatusBadFingerprint, StatusMarshal, StatusInternal, Status(99)}
+		StatusBadFingerprint, StatusMarshal, StatusInternal,
+		StatusCancelled, StatusDeadlineExceeded, StatusSpaceClosed, Status(99)}
 	seen = map[string]bool{}
 	for _, s := range sts {
 		str := s.String()

@@ -16,6 +16,15 @@
 //	c, _ := client.Import(w)            // registers with the owner
 //	out, _ := c.Call("Incr", int64(1))  // remote invocation
 //
+// Invocations are context-first underneath: Ref.CallCtx (and stub
+// methods declared with a leading context.Context) propagate the
+// caller's deadline to the owner as a remaining-time budget and forward
+// cancellation across the wire — the paper's Thread.Alert semantics —
+// so a cancelled call's serving handler observes ctx.Done() and the
+// caller gets an error satisfying errors.Is(err, context.Canceled).
+// Plain Call is CallCtx under context.Background() bounded by
+// Options.CallTimeout.
+//
 // Objects are passed by reference whenever they are network objects (a
 // *Ref, a generated stub, or a value implementing a registered remote
 // interface) and by value otherwise, with sharing and cycles preserved by
