@@ -5,13 +5,16 @@
 //
 // Usage:
 //
-//	netobjd [-listen tcp:127.0.0.1:7707] [-http 127.0.0.1:7708] [-v]
+//	netobjd [-listen tcp:127.0.0.1:7707] [-http 127.0.0.1:7708]
+//	        [-trace-out trace.jsonl] [-v]
 //
 // The daemon prints its endpoints on startup; pass one to naming.Lookup /
 // naming.Bind from other processes. With -http it also serves the
 // observability endpoint: /metrics (Prometheus text) and /debug/netobj
 // (live export/import tables, dirty sets, pool occupancy, recent trace
-// events).
+// events). With -trace-out the buffered trace events are written to the
+// given file as JSON lines on shutdown (the live equivalent is
+// /debug/netobj/trace.jsonl).
 package main
 
 import (
@@ -32,6 +35,7 @@ import (
 func main() {
 	listen := flag.String("listen", "tcp:127.0.0.1:7707", "endpoint to listen on")
 	httpAddr := flag.String("http", "", "address for the /metrics and /debug/netobj endpoint (disabled when empty)")
+	traceOut := flag.String("trace-out", "", "write buffered trace events to this file as JSON lines on shutdown")
 	verbose := flag.Bool("v", false, "log runtime events")
 	flag.Parse()
 
@@ -44,10 +48,12 @@ func main() {
 		ListenEndpoints: []string{*listen},
 		Logger:          logger,
 	}
-	if *httpAddr != "" {
-		// The debug page shows recent events only when a ring tracer is
-		// installed; without -http the call paths stay untraced.
-		opts.Tracer = netobjects.NewRingTracer(256)
+	var ring *netobjects.RingTracer
+	if *httpAddr != "" || *traceOut != "" {
+		// The debug page and the trace dump show recent events only when
+		// a ring tracer is installed; otherwise call paths stay untraced.
+		ring = netobjects.NewRingTracer(256)
+		opts.Tracer = ring
 	}
 	sp, err := netobjects.New(opts)
 	if err != nil {
@@ -90,4 +96,21 @@ func main() {
 	<-sig
 	fmt.Println("netobjd: shutting down")
 	_ = sp.Close()
+
+	if *traceOut != "" && ring != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netobjd: trace-out:", err)
+			os.Exit(1)
+		}
+		err = ring.WriteJSONL(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netobjd: trace-out:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("netobjd: trace written to %s\n", *traceOut)
+	}
 }

@@ -7,11 +7,19 @@
 // Usage:
 //
 //	nobench [-t t1,t2,f1,t3,t4,t5,t6|all] [-quick] [-obs] [-http addr]
+//	nobench -chaos [-chaos-profile loss|partition|crash|mixed|none]
+//	        [-chaos-seed N] [-chaos-spaces N] [-chaos-ops N] [-obs] [-http addr]
 //
 // With -obs every space the experiments create shares one metrics set and
 // the aggregate digest is printed after the run; -http additionally serves
 // the live /metrics and /debug/netobj endpoint for the duration (and
 // implies -obs).
+//
+// With -chaos, instead of the benchmark tables, nobench runs the
+// fault-injection soak (internal/chaos): N spaces of the real stack under
+// a seeded fault schedule, with the collector invariants checked after
+// heal. The same seed reproduces the same run. Exit status is non-zero on
+// any invariant violation.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 
 	"netobjects"
 	"netobjects/internal/baseline/srcrpc"
+	"netobjects/internal/chaos"
 	"netobjects/internal/pickle"
 	"netobjects/internal/refmodel"
 	"netobjects/internal/transport"
@@ -37,6 +46,9 @@ var (
 	// obsMetrics, when non-nil, is shared by every space the experiments
 	// create, so the digest aggregates the whole run.
 	obsMetrics *netobjects.Metrics
+	// obsRing backs the -http trace views (and the chaos soak's event
+	// stream when -chaos -http are combined).
+	obsRing *netobjects.RingTracer
 )
 
 // withObs installs the shared metrics set on a space's options.
@@ -50,13 +62,19 @@ func main() {
 	which := flag.String("t", "all", "comma-separated experiments: t1,t2,f1,t3,t4,t5,t6")
 	obsFlag := flag.Bool("obs", false, "aggregate runtime metrics across experiments and print the digest")
 	httpAddr := flag.String("http", "", "serve live /metrics and /debug/netobj on this address during the run (implies -obs)")
+	chaosFlag := flag.Bool("chaos", false, "run the fault-injection soak instead of the benchmark tables")
+	chaosProfile := flag.String("chaos-profile", "mixed", "fault profile: loss, partition, crash, mixed, none")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the workload and fault schedule (same seed, same run)")
+	chaosSpaces := flag.Int("chaos-spaces", 4, "number of spaces in the soak")
+	chaosOps := flag.Int("chaos-ops", 400, "workload operations to run")
 	flag.Parse()
 
 	if *obsFlag || *httpAddr != "" {
 		obsMetrics = netobjects.NewMetrics()
 	}
 	if *httpAddr != "" {
-		o := &netobjects.Observability{Metrics: obsMetrics}
+		obsRing = netobjects.NewRingTracer(1024)
+		o := &netobjects.Observability{Metrics: obsMetrics, Tracer: obsRing}
 		srv := &http.Server{Addr: *httpAddr, Handler: o.Handler(), ReadHeaderTimeout: 5 * time.Second}
 		go func() {
 			fmt.Printf("nobench: telemetry at http://%s/metrics\n", *httpAddr)
@@ -65,6 +83,17 @@ func main() {
 			}
 		}()
 		defer srv.Close()
+	}
+
+	if *chaosFlag {
+		if err := runChaos(*chaosProfile, *chaosSeed, *chaosSpaces, *chaosOps); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		if obsMetrics != nil {
+			fmt.Printf("\n========== METRICS DIGEST ==========\n%s", obsMetrics.Registry().Summary())
+		}
+		return
 	}
 
 	want := map[string]bool{}
@@ -757,5 +786,42 @@ func runT6() error {
 	}
 	fmt.Printf("  lease mode: crashed client expired in %v (ttl 60ms, zero owner->client messages)\n",
 		time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// --- chaos ---------------------------------------------------------------
+
+// runChaos runs the fault-injection soak (internal/chaos) and prints the
+// report; invariant violations are an error.
+func runChaos(profile string, seed uint64, spaces, ops int) error {
+	fmt.Printf("chaos soak: profile=%s seed=%d spaces=%d ops=%d\n", profile, seed, spaces, ops)
+	cfg := chaos.SoakConfig{
+		Spaces:  spaces,
+		Ops:     ops,
+		Seed:    seed,
+		Profile: profile,
+		Metrics: obsMetrics,
+	}
+	if obsRing != nil {
+		cfg.Tracer = obsRing
+	}
+	rep, err := chaos.RunSoak(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if rep.Failed() {
+		for _, v := range rep.Violations {
+			fmt.Printf("  SAFETY: %s\n", v)
+		}
+		for _, l := range rep.Leaks {
+			fmt.Printf("  LEAK: %s\n", l)
+		}
+		for _, l := range rep.TableLeaks {
+			fmt.Printf("  TABLE: %s\n", l)
+		}
+		return fmt.Errorf("invariants violated (profile=%s seed=%d: rerun with the same flags to reproduce)", profile, seed)
+	}
+	fmt.Println("invariants hold: no premature collection, no leaks, tables empty after heal.")
 	return nil
 }

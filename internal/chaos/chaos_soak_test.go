@@ -1,0 +1,136 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"netobjects/internal/obs"
+)
+
+func soakOps(t *testing.T) int {
+	t.Helper()
+	if testing.Short() {
+		return 120
+	}
+	return 300
+}
+
+// TestSoakBaseline runs the harness with no faults at all: a sanity
+// check that the workload itself converges and the invariants hold on a
+// perfect network.
+func TestSoakBaseline(t *testing.T) {
+	rep, err := RunSoak(SoakConfig{
+		Spaces:      3,
+		Ops:         soakOps(t),
+		Seed:        1,
+		Profile:     "none",
+		HealTimeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if rep.Failed() {
+		t.Fatalf("baseline soak failed:\nviolations: %v\nleaks: %v\ntable leaks: %v",
+			rep.Violations, rep.Leaks, rep.TableLeaks)
+	}
+	if rep.Faults.Faults() != 0 {
+		t.Fatalf("baseline injected faults: %+v", rep.Faults)
+	}
+}
+
+// TestSoak is the fault matrix: each profile at several seeds, running
+// the real core+dgc stack under injected faults and checking the
+// collector invariants after heal. This is the CI chaos-short lane.
+func TestSoak(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	for _, profile := range []string{"loss", "partition", "crash"} {
+		for _, seed := range seeds {
+			profile, seed := profile, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", profile, seed), func(t *testing.T) {
+				rep, err := RunSoak(SoakConfig{
+					Spaces:      3,
+					Ops:         soakOps(t),
+					Seed:        seed,
+					Profile:     profile,
+					HealTimeout: 30 * time.Second,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Log(rep)
+				if rep.Failed() {
+					t.Fatalf("soak failed:\nviolations: %v\nleaks: %v\ntable leaks: %v",
+						rep.Violations, rep.Leaks, rep.TableLeaks)
+				}
+				if rep.Faults.Faults() == 0 {
+					t.Errorf("profile %s injected no faults", profile)
+				}
+				if profile == "crash" && rep.Crashes == 0 {
+					t.Errorf("crash profile ran no crashes")
+				}
+			})
+		}
+	}
+}
+
+// TestSoakMixed exercises the everything-at-once profile.
+func TestSoakMixed(t *testing.T) {
+	rep, err := RunSoak(SoakConfig{
+		Spaces:      4,
+		Ops:         soakOps(t),
+		Seed:        7,
+		Profile:     "mixed",
+		HealTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if rep.Failed() {
+		t.Fatalf("mixed soak failed:\nviolations: %v\nleaks: %v\ntable leaks: %v",
+			rep.Violations, rep.Leaks, rep.TableLeaks)
+	}
+	if rep.Faults.Faults() == 0 {
+		t.Error("mixed profile injected no faults")
+	}
+}
+
+// TestSoakObservability wires the soak into a metrics registry and a
+// ring tracer and checks the fault counters and chaos events surface the
+// way an operator would see them on /metrics and /debug/netobj.
+func TestSoakObservability(t *testing.T) {
+	m := obs.NewMetrics()
+	ring := obs.NewRing(4096)
+	rep, err := RunSoak(SoakConfig{
+		Spaces:      3,
+		Ops:         80,
+		Seed:        5,
+		Profile:     "crash",
+		HealTimeout: 20 * time.Second,
+		Metrics:     m,
+		Tracer:      ring,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("soak failed: %v %v %v", rep.Violations, rep.Leaks, rep.TableLeaks)
+	}
+	var sb strings.Builder
+	m.Registry().WritePrometheus(&sb)
+	text := sb.String()
+	for _, metric := range []string{"netobj_chaos_messages_total", "netobj_chaos_drops_total"} {
+		if !strings.Contains(text, metric) {
+			t.Errorf("missing %s in metrics output", metric)
+		}
+	}
+	if rep.Faults.Drops > 0 && ring.CountKind(obs.EvChaosFault) == 0 {
+		t.Error("no EvChaosFault events in ring despite drops")
+	}
+	if rep.Crashes > 0 && ring.CountKind(obs.EvChaosCrash) == 0 {
+		t.Error("no EvChaosCrash events in ring despite crashes")
+	}
+}

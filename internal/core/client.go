@@ -111,6 +111,7 @@ func (sp *Space) doSendDirty(key wire.Key, endpoints []string, seq uint64) error
 		Client:          sp.id,
 		ClientEndpoints: sp.endpoints,
 		Seq:             seq,
+		Owner:           key.Owner,
 	}
 	if sp.opts.Variant == VariantFIFO {
 		// All collector traffic to one owner flows through its ordered
@@ -147,7 +148,7 @@ func (sp *Space) sendClean(key wire.Key, endpoints []string, seq uint64, strong 
 }
 
 func (sp *Space) doSendClean(key wire.Key, endpoints []string, seq uint64, strong bool) error {
-	req := &wire.Clean{Obj: key.Index, Client: sp.id, Seq: seq, Strong: strong}
+	req := &wire.Clean{Obj: key.Index, Client: sp.id, Seq: seq, Strong: strong, Owner: key.Owner}
 	if sp.opts.Variant == VariantFIFO {
 		return sp.gcQueueFor(key.Owner, endpoints).enqueue(req, endpoints).wait()
 	}
@@ -171,7 +172,7 @@ func (sp *Space) sendCleanBatch(owner wire.SpaceID, endpoints []string, items []
 		sp.tracer.Emit(obs.Event{Kind: obs.EvCleanSend, Time: time.Now(),
 			Peer: owner.String(), N: len(items)})
 	}
-	req := &wire.CleanBatch{Client: sp.id}
+	req := &wire.CleanBatch{Client: sp.id, Owner: owner}
 	for _, it := range items {
 		req.Objs = append(req.Objs, it.Key.Index)
 		req.Seqs = append(req.Seqs, it.Seq)
@@ -204,7 +205,7 @@ func (sp *Space) sendLease(owner wire.SpaceID, endpoints []string) error {
 	if sp.tracer != nil {
 		sp.tracer.Emit(obs.Event{Kind: obs.EvLeaseSend, Time: time.Now(), Peer: owner.String()})
 	}
-	resp, err := sp.rpcRetry(endpoints, &wire.Lease{Client: sp.id, ClientEndpoints: sp.endpoints},
+	resp, err := sp.rpcRetry(endpoints, &wire.Lease{Client: sp.id, ClientEndpoints: sp.endpoints, Owner: owner},
 		sp.opts.PingTimeout)
 	if err != nil {
 		return err

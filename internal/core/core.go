@@ -152,6 +152,15 @@ type Options struct {
 	// Tracing is strictly opt-in: with a nil Tracer the event sites cost
 	// one branch.
 	Tracer obs.Tracer
+	// OnCleanAbandon, when non-nil, observes every clean call the cleaning
+	// daemon gave up on after exhausting retries (the owner is presumed
+	// dead). Fault-injection harnesses subscribe to correlate abandoned
+	// cleans with injected faults.
+	OnCleanAbandon func(key wire.Key, strong bool, err error)
+	// OnPingProbe, when non-nil, observes the outcome of every
+	// client-liveness probe (err == nil for a live client), before the
+	// failure policy decides whether to drop the client.
+	OnPingProbe func(id wire.SpaceID, err error)
 	// Logger receives runtime events; nil discards them.
 	Logger *slog.Logger
 }
@@ -331,6 +340,7 @@ func NewSpace(opts Options) (*Space, error) {
 		Send:        sp.sendClean,
 		Finish:      sp.imports.FinishClean,
 		Redo:        sp.redoDirty,
+		OnAbandon:   opts.OnCleanAbandon,
 		MaxAttempts: opts.CleanMaxAttempts,
 		Backoff:     opts.CleanBackoff,
 		Logger:      sp.log,
@@ -352,6 +362,7 @@ func NewSpace(opts Options) (*Space, error) {
 			Clients:     sp.exports.Clients,
 			Ping:        sp.checkLease,
 			Drop:        sp.dropClient,
+			OnProbe:     opts.OnPingProbe,
 			Logger:      sp.log,
 		})
 		sp.renewer = dgc.NewRenewer(dgc.RenewerConfig{
@@ -368,6 +379,7 @@ func NewSpace(opts Options) (*Space, error) {
 			Clients:     sp.exports.Clients,
 			Ping:        sp.sendPing,
 			Drop:        sp.dropClient,
+			OnProbe:     opts.OnPingProbe,
 			Logger:      sp.log,
 			Obs:         sp.metrics,
 		})

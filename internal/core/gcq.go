@@ -221,6 +221,7 @@ func (sp *Space) registerAsync(key wire.Key, endpoints []string, seq uint64, ses
 		Client:          sp.id,
 		ClientEndpoints: sp.endpoints,
 		Seq:             seq,
+		Owner:           key.Owner,
 	}, endpoints)
 
 	pending := newGCFuture()

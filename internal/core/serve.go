@@ -100,6 +100,15 @@ func (sp *Space) handleDirty(m *wire.Dirty) *wire.DirtyAck {
 	if sp.isClosed() {
 		return &wire.DirtyAck{Status: wire.StatusNoSuchObject, Err: "space closing"}
 	}
+	// Space ids are unique over time: a dirty call addressed to another id
+	// was meant for an earlier incarnation at this endpoint. Refusing it
+	// here is what keeps a delayed or retried registration from attaching
+	// a client to whatever unrelated object now occupies the same index.
+	if m.Owner != 0 && m.Owner != sp.id {
+		sp.metrics.StaleRejected.Inc()
+		return &wire.DirtyAck{Status: wire.StatusNoSuchObject,
+			Err: fmt.Sprintf("dirty call addressed to space %v; this endpoint now serves %v", m.Owner, sp.id)}
+	}
 	if err := sp.exports.Dirty(m.Obj, m.Client, m.Seq, m.ClientEndpoints); err != nil {
 		return &wire.DirtyAck{Status: wire.StatusNoSuchObject, Err: err.Error()}
 	}
@@ -114,6 +123,13 @@ func (sp *Space) handleLease(m *wire.Lease) *wire.LeaseAck {
 	sp.metrics.LeasesServed.Inc()
 	if sp.tracer != nil {
 		sp.tracer.Emit(obs.Event{Kind: obs.EvLeaseRecv, Time: time.Now(), Peer: m.Client.String()})
+	}
+	// A renewal addressed to a dead incarnation must fail: this space
+	// holds none of the client's dirty entries, and an OK here would let
+	// the client believe its (vanished) registrations stay covered.
+	if m.Owner != 0 && m.Owner != sp.id {
+		sp.metrics.StaleRejected.Inc()
+		return &wire.LeaseAck{Status: wire.StatusNoSuchObject}
 	}
 	if sp.leases == nil {
 		// Not in lease mode: renewals are harmless no-ops so mixed
@@ -133,6 +149,16 @@ func (sp *Space) handleClean(m *wire.Clean) *wire.CleanAck {
 		sp.tracer.Emit(obs.Event{Kind: obs.EvCleanRecv, Time: time.Now(),
 			Key: fmt.Sprintf("%v/%d", sp.id, m.Obj), Peer: m.Client.String()})
 	}
+	// A clean addressed to a dead incarnation must not touch this one's
+	// dirty sets: the client's sequence counter for the old owner is
+	// unrelated to its counter here, so a stale clean could carry a
+	// larger Seq and cancel a live registration at the same index. The
+	// addressee's dirty sets died with it, so the clean is acknowledged
+	// as done — exactly like a clean for an absent entry.
+	if m.Owner != 0 && m.Owner != sp.id {
+		sp.metrics.StaleRejected.Inc()
+		return &wire.CleanAck{Status: wire.StatusOK}
+	}
 	sp.exports.Clean(m.Obj, m.Client, m.Seq, m.Strong)
 	return &wire.CleanAck{Status: wire.StatusOK}
 }
@@ -142,6 +168,11 @@ func (sp *Space) handleCleanBatch(m *wire.CleanBatch) *wire.CleanAck {
 	if sp.tracer != nil {
 		sp.tracer.Emit(obs.Event{Kind: obs.EvCleanRecv, Time: time.Now(),
 			Peer: m.Client.String(), N: len(m.Objs)})
+	}
+	// Same incarnation check as handleClean, applied to the whole batch.
+	if m.Owner != 0 && m.Owner != sp.id {
+		sp.metrics.StaleRejected.Inc()
+		return &wire.CleanAck{Status: wire.StatusOK}
 	}
 	for i := range m.Objs {
 		strong := false

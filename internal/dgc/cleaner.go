@@ -48,6 +48,11 @@ type CleanerConfig struct {
 	// by owner opportunistically; batches of one still go through Send.
 	SendBatch func(owner wire.SpaceID, endpoints []string, items []CleanItem) error
 
+	// OnAbandon, when non-nil, observes every clean call given up after
+	// exhausting its retries. Fault-injection harnesses subscribe here to
+	// correlate abandoned cleans with the faults that caused them.
+	OnAbandon func(key wire.Key, strong bool, err error)
+
 	// MaxAttempts bounds delivery attempts per clean call (default 8).
 	MaxAttempts int
 	// Backoff is the delay before the first retry, doubling per attempt
@@ -277,6 +282,11 @@ func (c *Cleaner) deliverBatch(owner wire.SpaceID, eps []string, items []CleanIt
 	if c.cfg.Obs != nil {
 		c.cfg.Obs.CleansAbandoned.Add(uint64(len(items)))
 	}
+	if c.cfg.OnAbandon != nil {
+		for _, it := range items {
+			c.cfg.OnAbandon(it.Key, it.Strong, lastErr)
+		}
+	}
 	return errors.Join(ErrAbandoned, lastErr)
 }
 
@@ -337,6 +347,9 @@ func (c *Cleaner) deliver(key wire.Key, eps []string, seq uint64, strong bool) e
 	}
 	if c.cfg.Obs != nil {
 		c.cfg.Obs.CleansAbandoned.Inc()
+	}
+	if c.cfg.OnAbandon != nil {
+		c.cfg.OnAbandon(key, strong, lastErr)
 	}
 	return errors.Join(ErrAbandoned, lastErr)
 }

@@ -25,6 +25,10 @@ type PingerConfig struct {
 	Ping func(id wire.SpaceID, endpoints []string) error
 	// Drop removes a presumed-dead client from every dirty set.
 	Drop func(id wire.SpaceID)
+	// OnProbe, when non-nil, observes every ping outcome (err == nil for a
+	// live client) before the failure policy is applied. Fault-injection
+	// harnesses subscribe here to watch liveness detection under faults.
+	OnProbe func(id wire.SpaceID, err error)
 	// Logger receives liveness events; nil discards them.
 	Logger *slog.Logger
 	// Obs, when non-nil, counts ping failures.
@@ -112,6 +116,9 @@ func (p *Pinger) round() {
 		default:
 		}
 		err := p.cfg.Ping(id, eps)
+		if p.cfg.OnProbe != nil {
+			p.cfg.OnProbe(id, err)
+		}
 		p.mu.Lock()
 		if err == nil {
 			delete(p.failures, id)

@@ -4,16 +4,20 @@ import (
 	"fmt"
 	"html"
 	"net/http"
+	"runtime"
 	"strings"
 	"time"
 )
 
 // Handler returns the HTTP mux of the observability endpoint:
 //
-//	/metrics      Prometheus text exposition of every registered metric
-//	/debug/netobj live dump of the space's export/import tables, dirty
-//	              sets, pool occupancy, recent trace events and a metrics
-//	              digest
+//	/metrics                  Prometheus text exposition of every
+//	                          registered metric plus process metrics
+//	/debug/netobj             live dump of the space's export/import
+//	                          tables, dirty sets, pool occupancy, recent
+//	                          trace events and a metrics digest
+//	/debug/netobj/trace.jsonl the ring tracer's buffered events as JSON
+//	                          lines (machine-readable timeline)
 //
 // The netobjd daemon mounts it behind its -http flag; embedders can mount
 // it on any server of their own.
@@ -21,6 +25,7 @@ func (o *Observability) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", o.serveMetrics)
 	mux.HandleFunc("/debug/netobj", o.serveDebug)
+	mux.HandleFunc("/debug/netobj/trace.jsonl", o.serveTraceJSONL)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -45,6 +50,38 @@ func (o *Observability) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		o.Metrics.Registry().WritePrometheus(w)
 		o.Metrics.Methods.WritePrometheus(w)
 	}
+	writeProcessMetrics(w)
+}
+
+// writeProcessMetrics renders scrape-friendly process health gauges
+// (goroutines, heap) alongside the runtime's own series, so a dashboard
+// needs no separate exporter for the basics.
+func writeProcessMetrics(w http.ResponseWriter) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# HELP go_goroutines Number of goroutines that currently exist.\n"+
+		"# TYPE go_goroutines gauge\ngo_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "# HELP go_memstats_heap_alloc_bytes Number of heap bytes allocated and in use.\n"+
+		"# TYPE go_memstats_heap_alloc_bytes gauge\ngo_memstats_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(w, "# HELP go_memstats_heap_sys_bytes Number of heap bytes obtained from the system.\n"+
+		"# TYPE go_memstats_heap_sys_bytes gauge\ngo_memstats_heap_sys_bytes %d\n", ms.HeapSys)
+	fmt.Fprintf(w, "# HELP go_memstats_heap_objects Number of currently allocated heap objects.\n"+
+		"# TYPE go_memstats_heap_objects gauge\ngo_memstats_heap_objects %d\n", ms.HeapObjects)
+	fmt.Fprintf(w, "# HELP go_gc_cycles_total Number of completed GC cycles.\n"+
+		"# TYPE go_gc_cycles_total counter\ngo_gc_cycles_total %d\n", ms.NumGC)
+}
+
+// serveTraceJSONL dumps the ring tracer's buffered events as JSON lines.
+// Without a ring tracer installed there is no buffered timeline; the
+// endpoint answers 404 so scrapers can tell "no tracer" from "no events".
+func (o *Observability) serveTraceJSONL(w http.ResponseWriter, _ *http.Request) {
+	r := o.ring()
+	if r == nil {
+		http.Error(w, "no ring tracer installed", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+	_ = r.WriteJSONL(w)
 }
 
 func (o *Observability) serveDebug(w http.ResponseWriter, _ *http.Request) {

@@ -117,14 +117,9 @@ func (mm *MethodMetrics) WritePrometheus(w io.Writer) {
 	writeFamily("netobj_method_deadline_exceeded_total", "Dispatches whose deadline expired at the owner, by method name.",
 		func(s MethodSnapshot) uint64 { return s.DeadlineExceeded })
 	name := "netobj_method_latency_seconds"
-	fmt.Fprintf(w, "# HELP %s Server-side dispatch latency, by method name.\n# TYPE %s summary\n", name, name)
+	fmt.Fprintf(w, "# HELP %s Server-side dispatch latency, by method name.\n# TYPE %s histogram\n", name, name)
 	for _, s := range snaps {
-		for _, q := range exportQuantiles {
-			fmt.Fprintf(w, "%s{method=%q,quantile=\"%g\"} %g\n",
-				name, s.Method, q, s.Latency.Quantile(q).Seconds())
-		}
-		fmt.Fprintf(w, "%s_sum{method=%q} %g\n", name, s.Method, s.Latency.Sum.Seconds())
-		fmt.Fprintf(w, "%s_count{method=%q} %d\n", name, s.Method, s.Latency.Count)
+		writeHistogram(w, name, fmt.Sprintf("method=%q", s.Method), s.Latency)
 	}
 }
 

@@ -281,13 +281,54 @@ func (r *Registry) snapshot() []*metricEntry {
 	return append([]*metricEntry(nil), r.entries...)
 }
 
-// exportQuantiles are the quantiles rendered for every histogram.
-var exportQuantiles = []float64{0.5, 0.95, 0.99}
+// exportBucketBits lists the upper bounds rendered as explicit
+// Prometheus buckets, as nanosecond bit positions: bound k is 2^k ns.
+// Powers of four from ~1µs to ~17s keep the series compact (13 buckets
+// plus +Inf) while aligning exactly with the internal log2 buckets, so
+// the cumulative counts are exact (up to the usual open/closed boundary
+// hair: an observation of exactly 2^k ns lands above the 2^k bound).
+var exportBucketBits = []int{10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32, 34}
+
+// writeHistogram renders one histogram series in the native Prometheus
+// histogram exposition: cumulative _bucket lines with explicit le bounds
+// in seconds, then _sum and _count. labels, when non-empty, is a
+// rendered label pair list ("method=\"Incr\"") spliced before le.
+func writeHistogram(w io.Writer, name, labels string, s HistogramSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := uint64(0)
+	idx := 0
+	for _, k := range exportBucketBits {
+		// Internal bucket i holds durations in [2^(i-1), 2^i) ns, so
+		// everything below the 2^k bound sits in buckets 0..k.
+		for idx <= k && idx < histBuckets {
+			cum += s.Buckets[idx]
+			idx++
+		}
+		le := float64(uint64(1)<<uint(k)) / 1e9
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, trimFloat(le), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Count)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, s.Sum.Seconds(), name, s.Count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, s.Sum.Seconds(), name, labels, s.Count)
+	}
+}
+
+// trimFloat renders a bucket bound without trailing zero noise.
+func trimFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", v), "0"), ".")
+}
 
 // WritePrometheus renders every registered metric in the Prometheus text
 // exposition format. Counters and gauges render as their families;
-// histograms render as summaries (p50/p95/p99 quantiles in seconds, plus
-// _sum and _count), which is what latency dashboards consume directly.
+// histograms render as native Prometheus histograms with explicit
+// buckets (_bucket lines with le bounds in seconds, plus _sum and
+// _count), which Prometheus can aggregate across instances and feed to
+// histogram_quantile.
 func (r *Registry) WritePrometheus(w io.Writer) {
 	entries := r.snapshot()
 	// Gauge functions registered under one name sum (shared handles).
@@ -314,14 +355,8 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
 				e.name, e.help, e.name, e.name, funcTotals[e.name])
 		case kindHistogram:
-			s := e.hist.Snapshot()
-			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", e.name, e.help, e.name)
-			for _, q := range exportQuantiles {
-				fmt.Fprintf(w, "%s{quantile=%q} %g\n",
-					e.name, strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", q), "0"), "."),
-					s.Quantile(q).Seconds())
-			}
-			fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", e.name, s.Sum.Seconds(), e.name, s.Count)
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", e.name, e.help, e.name)
+			writeHistogram(w, e.name, "", e.hist.Snapshot())
 		}
 	}
 }

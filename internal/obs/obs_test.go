@@ -117,9 +117,12 @@ func TestRegistryPrometheusFormat(t *testing.T) {
 		"test_depth -3",
 		"# TYPE test_live gauge",
 		"test_live 12",
-		"# TYPE test_latency_seconds summary",
-		`test_latency_seconds{quantile="0.5"}`,
-		`test_latency_seconds{quantile="0.99"}`,
+		"# TYPE test_latency_seconds histogram",
+		// 1ms sits below the 2^20 ns (~1.05ms) bound and above 2^18
+		// (~262µs): the cumulative counts must flip between them.
+		`test_latency_seconds_bucket{le="0.000262144"} 0`,
+		`test_latency_seconds_bucket{le="0.001048576"} 1`,
+		`test_latency_seconds_bucket{le="+Inf"} 1`,
 		"test_latency_seconds_count 1",
 	} {
 		if !strings.Contains(out, want) {
@@ -128,6 +131,42 @@ func TestRegistryPrometheusFormat(t *testing.T) {
 	}
 	if strings.Count(out, "# TYPE test_live gauge") != 1 {
 		t.Error("summed gauge func rendered more than once")
+	}
+	if strings.Contains(out, "quantile=") {
+		t.Error("histograms must render native buckets, not summary quantiles")
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	var b strings.Builder
+	writeHistogram(&b, "lat", "", h.Snapshot())
+	out := b.String()
+	// Cumulative: every bucket count must be >= the previous one, and the
+	// +Inf bucket must equal the total count.
+	prev := -1
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for _, ln := range lines {
+		if !strings.Contains(ln, "_bucket") {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(ln[strings.LastIndex(ln, " ")+1:], "%d", &n); err != nil {
+			t.Fatalf("unparseable bucket line %q", ln)
+		}
+		if n < prev {
+			t.Fatalf("buckets not cumulative at %q", ln)
+		}
+		prev = n
+	}
+	if !strings.Contains(out, `lat_bucket{le="+Inf"} 1000`) {
+		t.Fatalf("+Inf bucket should hold the total:\n%s", out)
+	}
+	if !strings.Contains(out, "lat_count 1000") {
+		t.Fatalf("missing count:\n%s", out)
 	}
 }
 
@@ -254,6 +293,16 @@ func TestHandlerEndpoints(t *testing.T) {
 	metrics := get("/metrics")
 	if !strings.Contains(metrics, "netobj_calls_served_total 3") {
 		t.Fatalf("/metrics missing counter:\n%s", metrics)
+	}
+	for _, want := range []string{"go_goroutines", "go_memstats_heap_alloc_bytes"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing process metric %q", want)
+		}
+	}
+
+	jsonl := get("/debug/netobj/trace.jsonl")
+	if !strings.Contains(jsonl, `"kind":"dirty.recv"`) || !strings.Contains(jsonl, `"key":"abcd/7"`) {
+		t.Fatalf("trace.jsonl missing event fields:\n%s", jsonl)
 	}
 
 	debug := get("/debug/netobj")

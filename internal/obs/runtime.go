@@ -50,6 +50,7 @@ type Metrics struct {
 	LeaseFailures    *Counter
 	ResultAcksSent   *Counter
 	ResultAcksWaited *Counter
+	StaleRejected    *Counter
 
 	// Reference life cycle.
 	SurrogatesMade     *Counter
@@ -107,6 +108,7 @@ func NewMetrics() *Metrics {
 		LeaseFailures:    r.Counter("netobj_lease_failures_total", "Lease renewals that failed to reach an owner."),
 		ResultAcksSent:   r.Counter("netobj_result_acks_sent_total", "Result acknowledgements sent for reference-bearing replies."),
 		ResultAcksWaited: r.Counter("netobj_result_acks_waited_total", "Reference-bearing replies this space held pinned awaiting an ack."),
+		StaleRejected:    r.Counter("netobj_stale_rejected_total", "Collector messages addressed to a previous space incarnation at a reused endpoint, refused."),
 
 		SurrogatesMade:     r.Counter("netobj_surrogates_made_total", "Surrogates created (first import of a reference)."),
 		SurrogatesReleased: r.Counter("netobj_surrogates_released_total", "Surrogates explicitly released."),
@@ -116,7 +118,7 @@ func NewMetrics() *Metrics {
 
 		PoolHits:     r.Counter("netobj_pool_hits_total", "Calls served from a cached idle connection."),
 		PoolMisses:   r.Counter("netobj_pool_misses_total", "Calls that had to dial a new connection."),
-		PoolReaps:    r.Counter("netobj_pool_reaps_total", "Idle connections reaped after exceeding the idle TTL."),
+		PoolReaps:    r.Counter("netobj_pool_reaps_total", "Idle connections reaped: idle TTL exceeded or peer found reset."),
 		PoolDiscards: r.Counter("netobj_pool_discards_total", "Connections discarded after a failed exchange."),
 		DialLatency:  r.Histogram("netobj_dial_latency_seconds", "Connection establishment latency."),
 		BytesSent:    r.Counter("netobj_bytes_sent_total", "Wire payload bytes sent."),

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// jsonEvent is the machine-readable rendering of one trace event: one
+// JSON object per line, with zero-valued fields omitted so a dump of
+// mostly-sparse events stays compact. Durations are emitted in
+// nanoseconds (integral) alongside the kind's stable string name, so a
+// consumer needs neither this package's enum values nor Go duration
+// parsing.
+type jsonEvent struct {
+	Kind   string `json:"kind"`
+	Time   string `json:"time"`
+	CallID uint64 `json:"call_id,omitempty"`
+	Method string `json:"method,omitempty"`
+	Key    string `json:"key,omitempty"`
+	Peer   string `json:"peer,omitempty"`
+	DurNS  int64  `json:"dur_ns,omitempty"`
+	Bytes  int    `json:"bytes,omitempty"`
+	N      int    `json:"n,omitempty"`
+	Err    string `json:"err,omitempty"`
+}
+
+// MarshalJSON renders the event as its structured JSONL form, so
+// callers can json.Marshal events (or slices of them) directly.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonEvent{
+		Kind:   e.Kind.String(),
+		Time:   e.Time.Format(time.RFC3339Nano),
+		CallID: e.CallID,
+		Method: e.Method,
+		Key:    e.Key,
+		Peer:   e.Peer,
+		DurNS:  int64(e.Dur),
+		Bytes:  e.Bytes,
+		N:      e.N,
+		Err:    e.Err,
+	})
+}
+
+// WriteJSONL writes events as JSON lines (one event object per line) —
+// the machine-readable timeline format served at /debug/netobj/trace.jsonl
+// and written by netobjd -trace-out. It returns the first write error.
+func WriteJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w) // Encode appends the newline per event
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONL dumps the ring's buffered events, oldest first, as JSON
+// lines.
+func (r *Ring) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, r.Events())
+}

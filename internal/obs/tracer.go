@@ -64,6 +64,17 @@ const (
 	// EvPoolReap: idle connections exceeded the TTL and were closed
 	// (N is how many).
 	EvPoolReap
+	// EvChaosFault: the fault-injection transport perturbed a message
+	// (Key is the fault kind, Method the message op, Peer the link).
+	EvChaosFault
+	// EvChaosPartition: a chaos partition was installed around an address.
+	EvChaosPartition
+	// EvChaosHeal: a chaos partition was lifted (or all faults cleared).
+	EvChaosHeal
+	// EvChaosCrash: the chaos harness crashed a space (Peer names it).
+	EvChaosCrash
+	// EvChaosRestart: the chaos harness restarted a crashed endpoint.
+	EvChaosRestart
 )
 
 var eventNames = [...]string{
@@ -90,6 +101,11 @@ var eventNames = [...]string{
 	EvPoolHit:           "pool.hit",
 	EvPoolMiss:          "pool.miss",
 	EvPoolReap:          "pool.reap",
+	EvChaosFault:        "chaos.fault",
+	EvChaosPartition:    "chaos.partition",
+	EvChaosHeal:         "chaos.heal",
+	EvChaosCrash:        "chaos.crash",
+	EvChaosRestart:      "chaos.restart",
 }
 
 // String names the kind.

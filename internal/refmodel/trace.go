@@ -1,0 +1,167 @@
+package refmodel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"netobjects/internal/obs"
+)
+
+// TraceChecker checks collector safety over a live event trace rather
+// than over the abstract state space: the chaos soak harness mirrors
+// every space's tracer into one checker and lets the real runtime — not
+// the model — generate the interleavings.
+//
+// The checked property is the trace-level shadow of the safety theorem:
+// when an owner withdraws an exported object, no live client may still
+// hold an unreleased surrogate for it. A client is excused if it crashed
+// (the harness reports crashes) or if that owner's liveness daemon
+// already declared it dead — those are exactly the cases in which the
+// paper's collector is allowed to reclaim out from under a holder.
+//
+// Holder state is derived from the client-side surrogate lifecycle
+// events (made/released), which the runtime emits in causal order with
+// the protocol messages: a release event precedes its clean call, and an
+// owner's client-dropped event precedes the withdrawals it causes. The
+// checker serializes observations under one lock, so the causal order of
+// the runtime is the observation order of the checker.
+type TraceChecker struct {
+	mu sync.Mutex
+	// holders maps a reference key ("owner/index") to the set of client
+	// spaces (by id string) holding an unreleased surrogate for it.
+	holders map[string]map[string]bool
+	// droppedAt[owner][client] records that owner's liveness daemon
+	// declared client dead.
+	droppedAt map[string]map[string]bool
+	// crashed records spaces the harness crashed.
+	crashed map[string]bool
+	// counts tallies observed events per kind, for reports.
+	counts map[obs.EventKind]int
+
+	violations []string
+}
+
+// NewTraceChecker returns an empty checker.
+func NewTraceChecker() *TraceChecker {
+	return &TraceChecker{
+		holders:   make(map[string]map[string]bool),
+		droppedAt: make(map[string]map[string]bool),
+		crashed:   make(map[string]bool),
+		counts:    make(map[obs.EventKind]int),
+	}
+}
+
+// ObserveEvent ingests one runtime event emitted by the space identified
+// by space (its id string). Call it from a Tracer mirror; it is safe for
+// concurrent use.
+func (c *TraceChecker) ObserveEvent(space string, e obs.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts[e.Kind]++
+	switch e.Kind {
+	case obs.EvSurrogateMade:
+		m := c.holders[e.Key]
+		if m == nil {
+			m = make(map[string]bool)
+			c.holders[e.Key] = m
+		}
+		m[space] = true
+	case obs.EvSurrogateReleased, obs.EvAutoRelease:
+		if m := c.holders[e.Key]; m != nil {
+			delete(m, space)
+			if len(m) == 0 {
+				delete(c.holders, e.Key)
+			}
+		}
+	case obs.EvClientDropped:
+		m := c.droppedAt[space]
+		if m == nil {
+			m = make(map[string]bool)
+			c.droppedAt[space] = m
+		}
+		m[e.Peer] = true
+	case obs.EvWithdraw:
+		// Safety: every surviving holder must have been dropped by this
+		// owner's liveness daemon before the withdrawal.
+		for client := range c.holders[e.Key] {
+			if c.crashed[client] || c.droppedAt[space][client] {
+				continue
+			}
+			c.violations = append(c.violations, fmt.Sprintf(
+				"withdraw of %s at %s while live client %s holds an unreleased surrogate",
+				e.Key, space, client))
+		}
+	}
+}
+
+// ObserveCrash records that the harness crashed a space: its surrogates
+// are excused from the safety check, exactly as the paper excuses
+// terminated clients.
+func (c *TraceChecker) ObserveCrash(space string) {
+	c.mu.Lock()
+	c.crashed[space] = true
+	c.mu.Unlock()
+}
+
+// Violations returns the safety violations observed so far. A correct
+// collector produces none, under any fault schedule.
+func (c *TraceChecker) Violations() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.violations...)
+}
+
+// Leaks reports the holders still outstanding: after the harness has
+// released every reference and the network healed, any unreleased
+// surrogate at a non-crashed space is a leak (a liveness failure).
+func (c *TraceChecker) Leaks() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var leaks []string
+	for key, m := range c.holders {
+		for client := range m {
+			if !c.crashed[client] {
+				leaks = append(leaks, fmt.Sprintf("%s still held by %s", key, client))
+			}
+		}
+	}
+	sort.Strings(leaks)
+	return leaks
+}
+
+// EventCount reports how many events of kind k were observed.
+func (c *TraceChecker) EventCount(k obs.EventKind) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[k]
+}
+
+// Mirror returns a Tracer forwarding events into the checker attributed
+// to the given space id. The id may be set after construction (spaces
+// learn their id only once created); events observed before SetID are
+// attributed to the empty string.
+func (c *TraceChecker) Mirror() *Mirror { return &Mirror{checker: c} }
+
+// Mirror adapts one space's tracer stream into checker observations.
+type Mirror struct {
+	checker *TraceChecker
+
+	mu sync.Mutex
+	id string
+}
+
+// SetID sets the emitting space's identity for subsequent events.
+func (m *Mirror) SetID(id string) {
+	m.mu.Lock()
+	m.id = id
+	m.mu.Unlock()
+}
+
+// Emit implements obs.Tracer.
+func (m *Mirror) Emit(e obs.Event) {
+	m.mu.Lock()
+	id := m.id
+	m.mu.Unlock()
+	m.checker.ObserveEvent(id, e)
+}

@@ -1,0 +1,92 @@
+package refmodel
+
+import (
+	"strings"
+	"testing"
+
+	"netobjects/internal/obs"
+)
+
+func TestTraceCheckerSafety(t *testing.T) {
+	c := NewTraceChecker()
+	key := "owner1/7"
+
+	// Withdraw with no holders: fine (transient-only lifecycle).
+	c.ObserveEvent("owner1", obs.Event{Kind: obs.EvWithdraw, Key: key})
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations=%v", v)
+	}
+
+	// Made then released then withdrawn: the legal lifecycle.
+	c.ObserveEvent("clientA", obs.Event{Kind: obs.EvSurrogateMade, Key: key})
+	c.ObserveEvent("clientA", obs.Event{Kind: obs.EvSurrogateReleased, Key: key})
+	c.ObserveEvent("owner1", obs.Event{Kind: obs.EvWithdraw, Key: key})
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations=%v", v)
+	}
+
+	// Withdraw while a live client still holds: the safety violation.
+	c.ObserveEvent("clientA", obs.Event{Kind: obs.EvSurrogateMade, Key: key})
+	c.ObserveEvent("owner1", obs.Event{Kind: obs.EvWithdraw, Key: key})
+	v := c.Violations()
+	if len(v) != 1 || !strings.Contains(v[0], "clientA") {
+		t.Fatalf("violations=%v", v)
+	}
+}
+
+func TestTraceCheckerExcuses(t *testing.T) {
+	// A crashed client is excused.
+	c := NewTraceChecker()
+	c.ObserveEvent("clientA", obs.Event{Kind: obs.EvSurrogateMade, Key: "o/1"})
+	c.ObserveCrash("clientA")
+	c.ObserveEvent("owner", obs.Event{Kind: obs.EvWithdraw, Key: "o/1"})
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("crashed client not excused: %v", v)
+	}
+	if l := c.Leaks(); len(l) != 0 {
+		t.Fatalf("crashed client counted as leak: %v", l)
+	}
+
+	// A client dropped by this owner's liveness daemon is excused; the
+	// same client is NOT excused at a different owner.
+	c = NewTraceChecker()
+	c.ObserveEvent("clientA", obs.Event{Kind: obs.EvSurrogateMade, Key: "o1/1"})
+	c.ObserveEvent("clientA", obs.Event{Kind: obs.EvSurrogateMade, Key: "o2/1"})
+	c.ObserveEvent("o1", obs.Event{Kind: obs.EvClientDropped, Peer: "clientA"})
+	c.ObserveEvent("o1", obs.Event{Kind: obs.EvWithdraw, Key: "o1/1"})
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("dropped client not excused: %v", v)
+	}
+	c.ObserveEvent("o2", obs.Event{Kind: obs.EvWithdraw, Key: "o2/1"})
+	if v := c.Violations(); len(v) != 1 {
+		t.Fatalf("drop at o1 must not excuse withdraw at o2: %v", v)
+	}
+}
+
+func TestTraceCheckerLeaks(t *testing.T) {
+	c := NewTraceChecker()
+	c.ObserveEvent("clientA", obs.Event{Kind: obs.EvSurrogateMade, Key: "o/1"})
+	c.ObserveEvent("clientB", obs.Event{Kind: obs.EvSurrogateMade, Key: "o/2"})
+	c.ObserveEvent("clientB", obs.Event{Kind: obs.EvAutoRelease, Key: "o/2"})
+	l := c.Leaks()
+	if len(l) != 1 || !strings.Contains(l[0], "clientA") {
+		t.Fatalf("leaks=%v", l)
+	}
+	c.ObserveEvent("clientA", obs.Event{Kind: obs.EvSurrogateReleased, Key: "o/1"})
+	if l := c.Leaks(); len(l) != 0 {
+		t.Fatalf("leaks after release=%v", l)
+	}
+}
+
+func TestTraceCheckerMirror(t *testing.T) {
+	c := NewTraceChecker()
+	m := c.Mirror()
+	m.SetID("sp1")
+	m.Emit(obs.Event{Kind: obs.EvSurrogateMade, Key: "o/1"})
+	if l := c.Leaks(); len(l) != 1 || !strings.Contains(l[0], "sp1") {
+		t.Fatalf("mirror attribution wrong: %v", l)
+	}
+	if c.EventCount(obs.EvSurrogateMade) != 1 {
+		t.Fatal("event count wrong")
+	}
+}

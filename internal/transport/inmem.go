@@ -259,3 +259,7 @@ func (c *memConn) Close() error {
 }
 
 func (c *memConn) RemoteLabel() string { return c.label }
+
+// Healthy reports whether both ends of the pair are still open, so the
+// pool can skip connections whose peer reset while they sat idle.
+func (c *memConn) Healthy() bool { return !c.isClosed() && !c.peer.isClosed() }

@@ -135,9 +135,28 @@ func (p *Pool) GetCtx(ctx context.Context, endpoints []string) (Conn, string, er
 		if r := p.reapLocked(ep, now); len(r) > 0 {
 			reapedEp, reaped = ep, r
 		}
-		if conns := p.idle[ep]; len(conns) > 0 {
-			c := conns[len(conns)-1].c
-			p.idle[ep] = conns[:len(conns)-1]
+		// Pop from the newest end, skipping connections whose peer reset
+		// while they sat idle (HealthChecker transports report it); dead
+		// ones are closed and counted as reaps rather than handed to a
+		// caller to fail on first write.
+		conns := p.idle[ep]
+		var c Conn
+		for len(conns) > 0 && c == nil {
+			cand := conns[len(conns)-1].c
+			conns = conns[:len(conns)-1]
+			if Healthy(cand) {
+				c = cand
+			} else {
+				reapedEp = ep
+				reaped = append(reaped, idleConn{c: cand, since: now})
+			}
+		}
+		if len(conns) == 0 {
+			delete(p.idle, ep)
+		} else {
+			p.idle[ep] = conns
+		}
+		if c != nil {
 			p.mu.Unlock()
 			p.closeReaped(reapedEp, reaped, m, t)
 			if m != nil {
@@ -168,8 +187,13 @@ func (p *Pool) GetCtx(ctx context.Context, endpoints []string) (Conn, string, er
 }
 
 // Put returns a healthy connection to the cache for endpoint ep. If the
-// cache is full or the pool is closed the connection is closed instead.
+// connection's peer already reset, the cache is full, or the pool is
+// closed, the connection is closed instead.
 func (p *Pool) Put(ep string, c Conn) {
+	if !Healthy(c) {
+		_ = c.Close()
+		return
+	}
 	// Clear any call deadline before the connection is reused.
 	_ = c.SetDeadline(time.Time{})
 	now := time.Now()

@@ -1,0 +1,102 @@
+package transport
+
+import (
+	"testing"
+
+	"netobjects/internal/obs"
+)
+
+// stubConn is a minimal Conn without HealthChecker, for the fallback test.
+type stubConn struct{ Conn }
+
+func TestHealthyFallback(t *testing.T) {
+	// Connections that cannot introspect their peer report healthy: the
+	// pool must keep its old behaviour for opaque transports.
+	if !Healthy(stubConn{}) {
+		t.Fatal("non-HealthChecker conn must be treated as healthy")
+	}
+}
+
+func TestPoolReapsDeadIdleConn(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	accepted := make(chan Conn, 4)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+
+	pool := NewPool(NewRegistry(m), 4)
+	defer pool.Close()
+	met := obs.NewMetrics()
+	ring := obs.NewRing(32)
+	pool.SetObserver(met, ring)
+	ep := l.Endpoint()
+
+	c1, gotEP, err := pool.Get([]string{ep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(gotEP, c1)
+	if n := pool.IdleCount(ep); n != 1 {
+		t.Fatalf("idle=%d, want 1", n)
+	}
+
+	// The peer resets while the connection sits idle (a crashed or
+	// restarted server). The next Get must notice, close the dead
+	// connection, and dial afresh rather than hand it back to fail on the
+	// first exchange.
+	srv1 := <-accepted
+	_ = srv1.Close()
+
+	c2, gotEP, err := pool.Get([]string{ep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 == c1 {
+		t.Fatal("pool handed back an idle connection whose peer reset")
+	}
+	if n := met.PoolReaps.Load(); n != 1 {
+		t.Fatalf("reaps=%d, want 1", n)
+	}
+	if n := met.PoolMisses.Load(); n != 2 {
+		t.Fatalf("misses=%d, want 2", n)
+	}
+	if n := ring.CountKind(obs.EvPoolReap); n != 1 {
+		t.Fatalf("reap events=%d, want 1", n)
+	}
+
+	// A healthy idle connection is still a cache hit.
+	pool.Put(gotEP, c2)
+	c3, _, err := pool.Get([]string{ep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 != c2 {
+		t.Fatal("pool did not reuse a healthy idle connection")
+	}
+	if n := met.PoolHits.Load(); n != 1 {
+		t.Fatalf("hits=%d, want 1", n)
+	}
+
+	// Returning a connection whose peer already reset must not cache it.
+	srv2 := <-accepted
+	_ = srv2.Close()
+	pool.Put(ep, c3)
+	if n := pool.IdleCount(ep); n != 0 {
+		t.Fatalf("idle=%d after Put of dead conn, want 0", n)
+	}
+	if err := c3.Send([]byte("x")); err == nil {
+		t.Fatal("dead conn returned to pool should have been closed")
+	}
+}

@@ -77,6 +77,29 @@ type Transport interface {
 	Dial(addr string) (Conn, error)
 }
 
+// HealthChecker is optionally implemented by connections that can
+// cheaply tell whether their peer is still attached. The Pool probes it
+// before handing out a cached idle connection, so a peer that reset
+// mid-idle (a crash, a chaos-injected reset) does not surface as a
+// spurious failure on the first exchange of the next call. The check
+// must be cheap and non-blocking — a state inspection, never an I/O
+// round trip. Connections that cannot know (plain TCP without reading)
+// simply do not implement it.
+type HealthChecker interface {
+	// Healthy reports whether the connection is still usable.
+	Healthy() bool
+}
+
+// Healthy reports whether c is known-good: true for connections that do
+// not implement HealthChecker (no information is treated as healthy,
+// preserving the old pool behaviour for opaque transports).
+func Healthy(c Conn) bool {
+	if h, ok := c.(HealthChecker); ok {
+		return h.Healthy()
+	}
+	return true
+}
+
 // ContextDialer is optionally implemented by transports whose dialing can
 // be bounded by a context; Registry.DialAnyContext prefers it over Dial.
 // Transports with instantaneous dialing (in-memory) need not implement it.

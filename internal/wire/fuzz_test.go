@@ -17,16 +17,27 @@ func FuzzUnmarshal(f *testing.F) {
 		&CancelAck{Status: StatusOK},
 		&Result{Status: StatusCancelled, Err: "cancelled"},
 		&Result{Status: StatusAppError, Err: "e", Results: []byte{1}, NeedAck: true},
-		&Dirty{Obj: 2, Client: 3, ClientEndpoints: []string{"tcp:a:1"}, Seq: 4},
+		&Dirty{Obj: 2, Client: 3, ClientEndpoints: []string{"tcp:a:1"}, Seq: 4, Owner: 11},
 		&DirtyAck{Status: StatusOK},
-		&Clean{Obj: 1, Client: 2, Seq: 3, Strong: true},
+		&Clean{Obj: 1, Client: 2, Seq: 3, Strong: true, Owner: 11},
 		&CleanAck{},
 		&Ping{From: 9},
 		&PingAck{From: 9},
 		&ResultAck{},
+		&CleanBatch{Client: 3, Objs: []uint64{1, 2, 9}, Seqs: []uint64{4, 5, 6}, Strongs: []bool{false, true, false}, Owner: 11},
+		&Lease{Client: 7, ClientEndpoints: []string{"tcp:a:1", "inmem:b"}, Owner: 11},
+		&LeaseAck{Status: StatusOK, GrantedMillis: 30000},
 	}
 	for _, m := range seeds {
-		f.Add(Marshal(nil, m))
+		frame := Marshal(nil, m)
+		f.Add(frame)
+		// Truncated-mid-message corpora: every decoder must fail cleanly,
+		// never panic or over-read, when a frame is cut short.
+		for _, cut := range []int{1, len(frame) / 2, len(frame) - 1} {
+			if cut > 0 && cut < len(frame) {
+				f.Add(frame[:cut])
+			}
+		}
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff})
@@ -48,6 +59,38 @@ func FuzzUnmarshal(f *testing.F) {
 	})
 }
 
+// TestUnmarshalTruncationDeterministic exhaustively cuts every valid
+// message at every byte boundary: each prefix must either decode to some
+// message or return an error — deterministically, with no panic. This is
+// the property the chaos transport's connection resets rely on: a frame
+// severed mid-wire can never wedge or crash the decoder.
+func TestUnmarshalTruncationDeterministic(t *testing.T) {
+	msgs := []Message{
+		&Call{Obj: 5, Method: "Method", Fingerprint: 0xfeed, Typed: true, Args: []byte("payload"), ID: 77, DeadlineMillis: 100},
+		&Result{Status: StatusOK, Results: []byte{1, 2, 3}, NeedAck: true},
+		&Dirty{Obj: 2, Client: 3, ClientEndpoints: []string{"tcp:host:1234"}, Seq: 4, Owner: 11},
+		&CleanBatch{Client: 3, Objs: []uint64{1, 2}, Seqs: []uint64{4, 5}, Strongs: []bool{true, false}, Owner: 11},
+		&Lease{Client: 7, ClientEndpoints: []string{"tcp:a:1"}, Owner: 11},
+		&LeaseAck{Status: StatusOK, GrantedMillis: 30000},
+		&CancelCall{ID: 42},
+		&CancelAck{Status: StatusNoSuchObject},
+	}
+	for _, m := range msgs {
+		frame := Marshal(nil, m)
+		for cut := 0; cut < len(frame); cut++ {
+			prefix := frame[:cut]
+			m1, err1 := Unmarshal(prefix)
+			m2, err2 := Unmarshal(prefix)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("%v cut at %d: nondeterministic outcome (%v vs %v)", m.Op(), cut, err1, err2)
+			}
+			if err1 == nil && !bytes.Equal(Marshal(nil, m1), Marshal(nil, m2)) {
+				t.Fatalf("%v cut at %d: nondeterministic decode", m.Op(), cut)
+			}
+		}
+	}
+}
+
 // FuzzReadFrame asserts the framing layer never panics on arbitrary
 // streams.
 func FuzzReadFrame(f *testing.F) {
@@ -56,6 +99,12 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(buf.Bytes())
 	f.Add([]byte{0, 0, 0, 1})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	// A frame header promising more bytes than the stream holds: the
+	// reader must report truncation, not block or panic.
+	full := buf.Bytes()
+	if len(full) > 2 {
+		f.Add(full[:len(full)-2])
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
 		for i := 0; i < 4; i++ {

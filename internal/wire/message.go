@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -240,6 +241,12 @@ type Dirty struct {
 	// the owner ignores operations whose Seq is not larger than the largest
 	// already seen from this client.
 	Seq uint64
+	// Owner names the space this dirty call is addressed to. Space ids
+	// are unique over time, so a receiver with a different id is a new
+	// incarnation reusing the endpoint and must refuse the call rather
+	// than register the client against an unrelated object that happens
+	// to share the index. Zero means unaddressed (accepted anywhere).
+	Owner SpaceID
 }
 
 // Op returns OpDirty.
@@ -250,6 +257,7 @@ func (m *Dirty) encode(e *Encoder) {
 	e.Uint(uint64(m.Client))
 	e.StringSlice(m.ClientEndpoints)
 	e.Uint(m.Seq)
+	e.Uint(uint64(m.Owner))
 }
 
 func (m *Dirty) decode(d *Decoder) {
@@ -257,6 +265,7 @@ func (m *Dirty) decode(d *Decoder) {
 	m.Client = SpaceID(d.Uint())
 	m.ClientEndpoints = d.StringSlice()
 	m.Seq = d.Uint()
+	m.Owner = SpaceID(d.Uint())
 }
 
 // DirtyAck acknowledges a Dirty call.
@@ -294,6 +303,12 @@ type Clean struct {
 	// Strong marks a clean issued after a dirty call failed with unknown
 	// outcome; it must take effect even if the dirty call never arrived.
 	Strong bool
+	// Owner names the space this clean is addressed to. A receiver with
+	// a different id is a later incarnation at a reused endpoint; it must
+	// not apply the clean (the client's sequence counter for the dead
+	// owner is unrelated to any counter at the new one, so a stale clean
+	// could otherwise cancel a live registration). Zero means unaddressed.
+	Owner SpaceID
 }
 
 // Op returns OpClean.
@@ -304,6 +319,7 @@ func (m *Clean) encode(e *Encoder) {
 	e.Uint(uint64(m.Client))
 	e.Uint(m.Seq)
 	e.Bool(m.Strong)
+	e.Uint(uint64(m.Owner))
 }
 
 func (m *Clean) decode(d *Decoder) {
@@ -311,6 +327,7 @@ func (m *Clean) decode(d *Decoder) {
 	m.Client = SpaceID(d.Uint())
 	m.Seq = d.Uint()
 	m.Strong = d.Bool()
+	m.Owner = SpaceID(d.Uint())
 }
 
 // CleanAck acknowledges a Clean call.
@@ -373,6 +390,8 @@ type CleanBatch struct {
 	Objs    []uint64
 	Seqs    []uint64
 	Strongs []bool
+	// Owner names the space the batch is addressed to; see Clean.Owner.
+	Owner SpaceID
 }
 
 // Op returns OpCleanBatch.
@@ -386,6 +405,7 @@ func (m *CleanBatch) encode(e *Encoder) {
 		e.Uint(m.Seqs[i])
 		e.Bool(m.Strongs[i])
 	}
+	e.Uint(uint64(m.Owner))
 }
 
 func (m *CleanBatch) decode(d *Decoder) {
@@ -400,6 +420,7 @@ func (m *CleanBatch) decode(d *Decoder) {
 		m.Seqs = append(m.Seqs, d.Uint())
 		m.Strongs = append(m.Strongs, d.Bool())
 	}
+	m.Owner = SpaceID(d.Uint())
 }
 
 // Lease renews the calling client's liveness lease at the receiving
@@ -411,6 +432,11 @@ type Lease struct {
 	Client SpaceID
 	// ClientEndpoints refresh where the client can be reached.
 	ClientEndpoints []string
+	// Owner names the space the renewal is addressed to; a different
+	// receiver is a new incarnation that holds none of this client's
+	// dirty entries, and the renewal must fail rather than silently
+	// succeed against it. Zero means unaddressed.
+	Owner SpaceID
 }
 
 // Op returns OpLease.
@@ -419,11 +445,13 @@ func (*Lease) Op() Op { return OpLease }
 func (m *Lease) encode(e *Encoder) {
 	e.Uint(uint64(m.Client))
 	e.StringSlice(m.ClientEndpoints)
+	e.Uint(uint64(m.Owner))
 }
 
 func (m *Lease) decode(d *Decoder) {
 	m.Client = SpaceID(d.Uint())
 	m.ClientEndpoints = d.StringSlice()
+	m.Owner = SpaceID(d.Uint())
 }
 
 // LeaseAck acknowledges a Lease with the granted duration.
@@ -498,6 +526,18 @@ func Marshal(buf []byte, msg Message) []byte {
 
 // ErrUnknownOp reports a message with an unrecognized op byte.
 var ErrUnknownOp = errors.New("wire: unknown message op")
+
+// PeekOp returns the op of a marshaled frame without decoding the rest,
+// so middleware (fault injection, tracing) can classify traffic cheaply.
+// It returns OpInvalid when the frame is empty or does not start with a
+// valid uvarint.
+func PeekOp(frame []byte) Op {
+	op, n := binary.Uvarint(frame)
+	if n <= 0 || op > uint64(OpCancelAck) {
+		return OpInvalid
+	}
+	return Op(op)
+}
 
 // Unmarshal decodes a frame payload produced by Marshal.
 func Unmarshal(b []byte) (Message, error) {

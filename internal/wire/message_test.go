@@ -38,10 +38,10 @@ func TestMessageRoundTrips(t *testing.T) {
 		&ResultAck{},
 		&Result{Status: StatusAppError, Err: "insufficient funds", Results: []byte{9}},
 		&Result{Status: StatusNoSuchObject, Err: "gone"},
-		&Dirty{Obj: 9, Client: 77, ClientEndpoints: []string{"tcp:1.2.3.4:9", "inmem:x"}, Seq: 12},
+		&Dirty{Obj: 9, Client: 77, ClientEndpoints: []string{"tcp:1.2.3.4:9", "inmem:x"}, Seq: 12, Owner: 501},
 		&DirtyAck{Status: StatusOK},
 		&DirtyAck{Status: StatusNoSuchObject, Err: "object withdrawn"},
-		&Clean{Obj: 3, Client: 42, Seq: 13, Strong: true},
+		&Clean{Obj: 3, Client: 42, Seq: 13, Strong: true, Owner: 501},
 		&Clean{Obj: 3, Client: 42, Seq: 14},
 		&CleanAck{Status: StatusOK},
 		&Ping{From: 1234},
@@ -181,6 +181,7 @@ func TestCleanBatchRoundTrip(t *testing.T) {
 		Objs:    []uint64{1, 2, 3},
 		Seqs:    []uint64{10, 20, 30},
 		Strongs: []bool{false, true, false},
+		Owner:   501,
 	}
 	got := roundTrip(t, m).(*CleanBatch)
 	if !reflect.DeepEqual(got, m) {

@@ -127,13 +127,13 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	}
 
 	// The client's /metrics exposition carries the nonzero counters and
-	// latency quantiles.
+	// native histogram buckets.
 	text := fetch(t, client, "/metrics")
 	for _, want := range []string{
 		fmt.Sprintf("netobj_calls_sent_total %d", nCalls),
 		"netobj_dirty_sent_total 1",
-		`netobj_call_latency_seconds{quantile="0.5"}`,
-		`netobj_call_latency_seconds{quantile="0.99"}`,
+		"# TYPE netobj_call_latency_seconds histogram",
+		`netobj_call_latency_seconds_bucket{le="+Inf"} 5`,
 		"netobj_call_latency_seconds_count 5",
 		"netobj_import_entries 1",
 	} {
