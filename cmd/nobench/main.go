@@ -6,9 +6,10 @@
 //
 // Usage:
 //
-//	nobench [-t t1,t2,f1,t3,t4,t5,t6|all] [-quick] [-obs] [-http addr]
+//	nobench [-t t1,t2,f1,t3,t4,t5,t6,e1|all] [-quick] [-obs] [-http addr]
 //	nobench -chaos [-chaos-profile loss|partition|crash|mixed|none]
-//	        [-chaos-seed N] [-chaos-spaces N] [-chaos-ops N] [-obs] [-http addr]
+//	        [-chaos-transport inmem|tcp] [-chaos-seed N] [-chaos-spaces N]
+//	        [-chaos-ops N] [-obs] [-http addr]
 //
 // With -obs every space the experiments create shares one metrics set and
 // the aggregate digest is printed after the run; -http additionally serves
@@ -30,6 +31,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"netobjects"
@@ -59,11 +61,12 @@ func withObs(o *netobjects.Options) {
 }
 
 func main() {
-	which := flag.String("t", "all", "comma-separated experiments: t1,t2,f1,t3,t4,t5,t6")
+	which := flag.String("t", "all", "comma-separated experiments: t1,t2,f1,t3,t4,t5,t6,e1")
 	obsFlag := flag.Bool("obs", false, "aggregate runtime metrics across experiments and print the digest")
 	httpAddr := flag.String("http", "", "serve live /metrics and /debug/netobj on this address during the run (implies -obs)")
 	chaosFlag := flag.Bool("chaos", false, "run the fault-injection soak instead of the benchmark tables")
 	chaosProfile := flag.String("chaos-profile", "mixed", "fault profile: loss, partition, crash, mixed, none")
+	chaosTransport := flag.String("chaos-transport", "inmem", "transport under the soak: inmem or tcp")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the workload and fault schedule (same seed, same run)")
 	chaosSpaces := flag.Int("chaos-spaces", 4, "number of spaces in the soak")
 	chaosOps := flag.Int("chaos-ops", 400, "workload operations to run")
@@ -86,7 +89,7 @@ func main() {
 	}
 
 	if *chaosFlag {
-		if err := runChaos(*chaosProfile, *chaosSeed, *chaosSpaces, *chaosOps); err != nil {
+		if err := runChaos(*chaosProfile, *chaosTransport, *chaosSeed, *chaosSpaces, *chaosOps); err != nil {
 			fmt.Fprintln(os.Stderr, "chaos:", err)
 			os.Exit(1)
 		}
@@ -118,6 +121,7 @@ func main() {
 	run("t4", runT4)
 	run("t5", runT5)
 	run("t6", runT6)
+	run("e1", runE1)
 
 	if obsMetrics != nil {
 		fmt.Printf("\n========== METRICS DIGEST ==========\n%s", obsMetrics.Registry().Summary())
@@ -789,18 +793,160 @@ func runT6() error {
 	return nil
 }
 
+// --- E1 ------------------------------------------------------------------
+
+// runE1 measures concurrent-caller fan-out over loopback TCP: a client
+// that just reached a peer sprays N goroutines × K calls at it (a burst),
+// comparing the pre-session checkout discipline (Options.DisableMux) with
+// the default multiplexed peer session. Each burst starts from a fresh
+// client so connection establishment is part of the work, as it is when a
+// space first fans out against a peer: checkout pays one dial per
+// concurrent caller, the session pays one per peer. "dials" counts the
+// connections the client opened per burst (pool misses, including the one
+// the import's dirty call makes).
+func runE1() error {
+	fmt.Println("E1: concurrent-caller fan-out over loopback TCP (burst of 2 calls/caller)")
+	const burst = 2 // calls per caller per burst
+	rounds := iters(30)
+	payload1k := bytes.Repeat([]byte{'x'}, 1024)
+	type shape struct {
+		name string
+		call func(r *netobjects.Ref) error
+	}
+	shapes := []shape{
+		{"null", func(r *netobjects.Ref) error { _, err := r.Call("Null"); return err }},
+		{"1KB bytes", func(r *netobjects.Ref) error { _, err := r.Call("Bytes", payload1k); return err }},
+	}
+	fanouts := []int{1, 8, 64}
+
+	runCell := func(disableMux bool, s shape, n int) (rate float64, mean time.Duration, dials float64, err error) {
+		tr := netobjects.NewTCP()
+		mk := func(name string, m *netobjects.Metrics) (*netobjects.Space, error) {
+			return netobjects.New(netobjects.Options{
+				Name:         name,
+				Transports:   []netobjects.Transport{tr},
+				PingInterval: time.Hour,
+				DisableMux:   disableMux,
+				Metrics:      m,
+			})
+		}
+		owner, err := mk("e1-owner", nil)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		defer owner.Close()
+		// Each round is one burst from a fresh client against a freshly
+		// exported object (the owner reclaims an export once its last
+		// client cleans it); round 0 warms process-level caches and is
+		// discarded.
+		samples := make([]time.Duration, 0, rounds)
+		var dialSum uint64
+		for r := 0; r <= rounds; r++ {
+			oref, err := owner.Export(&benchService{})
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			w, err := oref.WireRep()
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			cm := netobjects.NewMetrics()
+			client, err := mk("e1-client", cm)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			ref, err := client.Import(w)
+			if err != nil {
+				client.Close()
+				return 0, 0, 0, err
+			}
+			errc := make(chan error, n)
+			var wg sync.WaitGroup
+			start := time.Now()
+			for g := 0; g < n; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < burst; i++ {
+						if err := s.call(ref); err != nil {
+							errc <- err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			client.Close()
+			select {
+			case err := <-errc:
+				return 0, 0, 0, err
+			default:
+			}
+			if r == 0 {
+				continue
+			}
+			samples = append(samples, elapsed)
+			dialSum += cm.PoolMisses.Load()
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		med := samples[len(samples)/2]
+		total := n * burst
+		rate = float64(total) / med.Seconds()
+		mean = med * time.Duration(n) / time.Duration(total)
+		return rate, mean, float64(dialSum) / float64(len(samples)), nil
+	}
+
+	fmt.Printf("%-10s %-10s %8s %14s %12s %8s\n",
+		"discipline", "payload", "callers", "calls/sec", "mean lat", "dials")
+	at64 := map[string][2]float64{} // shape name -> [checkout, mux] rate at 64 callers
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"checkout", true}, {"mux", false}} {
+		for _, s := range shapes {
+			for _, n := range fanouts {
+				rate, mean, dials, err := runCell(mode.disable, s, n)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%-10s %-10s %8d %14.0f %12s %8.0f\n",
+					mode.name, s.name, n, rate, mean.Round(time.Microsecond), dials)
+				if n == 64 {
+					v := at64[s.name]
+					if mode.disable {
+						v[0] = rate
+					} else {
+						v[1] = rate
+					}
+					at64[s.name] = v
+				}
+			}
+		}
+	}
+	for _, s := range shapes {
+		if v := at64[s.name]; v[0] > 0 {
+			fmt.Printf("64-caller speedup (%s): mux is %.1fx checkout\n", s.name, v[1]/v[0])
+		}
+	}
+	fmt.Println("shape check: mux dials stay at 1 per peer; checkout dials grow with fan-out;")
+	fmt.Println("mux burst throughput at 64 callers should beat checkout by >= 2x.")
+	return nil
+}
+
 // --- chaos ---------------------------------------------------------------
 
 // runChaos runs the fault-injection soak (internal/chaos) and prints the
 // report; invariant violations are an error.
-func runChaos(profile string, seed uint64, spaces, ops int) error {
-	fmt.Printf("chaos soak: profile=%s seed=%d spaces=%d ops=%d\n", profile, seed, spaces, ops)
+func runChaos(profile, trans string, seed uint64, spaces, ops int) error {
+	fmt.Printf("chaos soak: profile=%s transport=%s seed=%d spaces=%d ops=%d\n", profile, trans, seed, spaces, ops)
 	cfg := chaos.SoakConfig{
-		Spaces:  spaces,
-		Ops:     ops,
-		Seed:    seed,
-		Profile: profile,
-		Metrics: obsMetrics,
+		Spaces:    spaces,
+		Ops:       ops,
+		Seed:      seed,
+		Profile:   profile,
+		Transport: trans,
+		Metrics:   obsMetrics,
 	}
 	if obsRing != nil {
 		cfg.Tracer = obsRing

@@ -134,3 +134,37 @@ func TestSoakObservability(t *testing.T) {
 		t.Error("no EvChaosCrash events in ring despite crashes")
 	}
 }
+
+// TestSoakTCP runs the soak over real loopback TCP links with the
+// multiplexed session layer underneath — the framed socket path, demux
+// readers and shared per-peer connections all under injected faults. Part
+// of the chaos-short lane alongside the in-memory matrix.
+func TestSoakTCP(t *testing.T) {
+	for _, profile := range []string{"loss", "crash"} {
+		profile := profile
+		t.Run(profile, func(t *testing.T) {
+			rep, err := RunSoak(SoakConfig{
+				Spaces:      3,
+				Ops:         soakOps(t),
+				Seed:        11,
+				Profile:     profile,
+				Transport:   "tcp",
+				HealTimeout: 30 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log(rep)
+			if rep.Failed() {
+				t.Fatalf("tcp soak failed:\nviolations: %v\nleaks: %v\ntable leaks: %v",
+					rep.Violations, rep.Leaks, rep.TableLeaks)
+			}
+			// The crash profile's injected fault is the crash itself; its
+			// transport-fault count can legitimately be zero in a short run
+			// when no message happens to land in a down window.
+			if rep.Faults.Faults() == 0 && rep.Crashes == 0 {
+				t.Errorf("profile %s injected no faults over tcp", profile)
+			}
+		})
+	}
+}

@@ -406,3 +406,63 @@ func TestFaultEventsAndDebugSection(t *testing.T) {
 		}
 	}
 }
+
+// TestMuxEnvelopeClassification checks per-op fault rules see through the
+// session mux envelope: a multiplexed frame is classified by its inner
+// message type, so schedules written against collector ops keep working
+// when the traffic rides shared peer sessions.
+func TestMuxEnvelopeClassification(t *testing.T) {
+	mem := transport.NewMem()
+	l, err := mem.Listen("owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	srv := serveCollect(t, l)
+
+	ct := New(mem, "client", 7)
+	ct.SetRules(Rules{Drop: 1.0, Ops: []wire.Op{wire.OpClean}})
+	c, err := ct.Dial("owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	wrap := func(id uint64, m wire.Message) []byte {
+		return append(wire.AppendMuxHeader(nil, id), wire.Marshal(nil, m)...)
+	}
+	// A mux-wrapped clean must be recognized as a clean and dropped: no
+	// frame reaches the server, no ack comes back.
+	if err := c.Send(wrap(1, &wire.Clean{Obj: 1, Client: 1, Seq: 1})); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.SetDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := c.Recv(nil); err == nil {
+		t.Fatal("mux-wrapped clean was delivered despite drop rule")
+	}
+	_ = c.SetDeadline(time.Time{})
+	if n := srv.count(); n != 0 {
+		t.Fatalf("server received %d frames, want 0", n)
+	}
+
+	// A mux-wrapped dirty does not match the clean-only rule and passes
+	// through with its envelope intact.
+	if err := c.Send(wrap(2, &wire.Dirty{Obj: 1, Client: 1, Seq: 1})); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Recv(nil); err != nil {
+		t.Fatalf("mux-wrapped dirty not delivered: %v", err)
+	}
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if len(srv.frames) != 1 {
+		t.Fatalf("server received %d frames, want 1", len(srv.frames))
+	}
+	if !wire.IsMux(srv.frames[0]) {
+		t.Fatal("envelope stripped in transit")
+	}
+	if op := wire.PeekOp(srv.frames[0]); op != wire.OpDirty {
+		t.Fatalf("delivered frame classifies as %v, want dirty", op)
+	}
+}

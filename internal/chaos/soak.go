@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log/slog"
 	"math/rand"
+	"net"
 	"runtime"
 	"strings"
 	"sync"
@@ -33,6 +34,12 @@ type SoakConfig struct {
 	// loss), "crash" (scripted crash/restart over light loss), "mixed"
 	// (all of the above), or "none" (no faults: the baseline).
 	Profile string
+	// Transport selects the links the spaces talk over: "inmem" (default,
+	// the in-process transport) or "tcp" (real loopback TCP, exercising
+	// the framed socket path and the multiplexed sessions over it). TCP
+	// nodes reserve a fixed loopback port up front so a crashed node
+	// restarts at the same endpoint, as the collector protocol assumes.
+	Transport string
 	// HealTimeout bounds the post-heal quiescence wait (default 30s).
 	HealTimeout time.Duration
 	// Metrics, when non-nil, receives the chaos fault counters
@@ -48,11 +55,12 @@ type SoakConfig struct {
 
 // SoakReport is the outcome of one soak run.
 type SoakReport struct {
-	Spaces  int
-	Ops     int
-	Seed    uint64
-	Profile string
-	Elapsed time.Duration
+	Spaces    int
+	Ops       int
+	Seed      uint64
+	Profile   string
+	Transport string
+	Elapsed   time.Duration
 	// Faults aggregates the fault counters across every wrapper.
 	Faults Stats
 	// Crashes is how many scripted crash/restarts ran.
@@ -83,8 +91,8 @@ func (r *SoakReport) String() string {
 			len(r.Violations), len(r.Leaks), len(r.TableLeaks))
 	}
 	return fmt.Sprintf(
-		"chaos soak %s seed=%d: %d spaces, %d ops, %d crashes, %d faults (%d drops, %d resets, %d dups, %d reorders, %d refusals), %d abandoned cleans, %v — %s",
-		r.Profile, r.Seed, r.Spaces, r.Ops, r.Crashes,
+		"chaos soak %s/%s seed=%d: %d spaces, %d ops, %d crashes, %d faults (%d drops, %d resets, %d dups, %d reorders, %d refusals), %d abandoned cleans, %v — %s",
+		r.Profile, r.Transport, r.Seed, r.Spaces, r.Ops, r.Crashes,
 		r.Faults.Faults(), r.Faults.Drops, r.Faults.Resets, r.Faults.Duplicates,
 		r.Faults.Reorders, r.Faults.Refusals, r.AbandonedCleans,
 		r.Elapsed.Round(time.Millisecond), verdict)
@@ -154,11 +162,26 @@ type soakNode struct {
 type harness struct {
 	cfg       SoakConfig
 	log       *slog.Logger
-	mem       *transport.Mem
+	inner     transport.Transport
 	checker   *refmodel.TraceChecker
 	nodes     []*soakNode
 	abandoned atomic.Uint64
 	crashes   int
+}
+
+// reserveLoopbackAddr has the kernel pick a free loopback port, then
+// releases it, returning the concrete address. Soak nodes need a FIXED
+// address known before the space exists: a crashed node must restart at
+// the same endpoint so surviving peers' retried cleans reach the reborn
+// space (whose incarnation check then acknowledges them as stale).
+func reserveLoopbackAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	_ = l.Close()
+	return addr, nil
 }
 
 // RunSoak runs N spaces of the real runtime — core, dgc, objtable,
@@ -185,11 +208,21 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
+	var inner transport.Transport
+	switch cfg.Transport {
+	case "", "inmem":
+		cfg.Transport = "inmem"
+		inner = transport.NewMem()
+	case "tcp":
+		inner = transport.NewTCP()
+	default:
+		return nil, fmt.Errorf("chaos: unknown soak transport %q (want inmem or tcp)", cfg.Transport)
+	}
 
 	h := &harness{
 		cfg:     cfg,
 		log:     cfg.Logger,
-		mem:     transport.NewMem(),
+		inner:   inner,
 		checker: refmodel.NewTraceChecker(),
 	}
 	for i := 0; i < cfg.Spaces; i++ {
@@ -198,7 +231,14 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 			name: fmt.Sprintf("sp%d", i),
 			addr: fmt.Sprintf("sp%d", i),
 		}
-		n.ct = New(h.mem, n.name, cfg.Seed)
+		if cfg.Transport == "tcp" {
+			addr, err := reserveLoopbackAddr()
+			if err != nil {
+				return nil, fmt.Errorf("chaos: reserving soak port: %w", err)
+			}
+			n.addr = addr
+		}
+		n.ct = New(h.inner, n.name, cfg.Seed)
 		n.ct.SetObserver(cfg.Tracer)
 		if cfg.Metrics != nil {
 			n.ct.RegisterMetrics(cfg.Metrics.Registry())
@@ -236,11 +276,12 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 	}
 
 	report := &SoakReport{
-		Spaces:  cfg.Spaces,
-		Ops:     cfg.Ops,
-		Seed:    cfg.Seed,
-		Profile: cfg.Profile,
-		Crashes: h.crashes,
+		Spaces:    cfg.Spaces,
+		Ops:       cfg.Ops,
+		Seed:      cfg.Seed,
+		Profile:   cfg.Profile,
+		Transport: cfg.Transport,
+		Crashes:   h.crashes,
 	}
 	h.quiesce(report)
 	report.Elapsed = time.Since(start)
@@ -274,7 +315,7 @@ func (h *harness) startSpace(n *soakNode) error {
 	sp, err := core.NewSpace(core.Options{
 		Name:            n.name,
 		Transports:      []transport.Transport{n.ct},
-		ListenEndpoints: []string{"inmem:" + n.addr},
+		ListenEndpoints: []string{wire.JoinEndpoint(n.ct.Proto(), n.addr)},
 		Registry:        pickle.NewRegistry(),
 		// Tight timeouts keep faulted operations from stalling the run;
 		// liveness detection is fast enough to notice scripted crashes

@@ -24,11 +24,15 @@ func errString(err error) string {
 }
 
 // rpc performs one simple request/response exchange (dirty, clean, ping)
-// on a pooled connection.
+// — on a stream of the peer's multiplexed session by default, or on a
+// checked-out pooled connection when multiplexing is off for this link.
 func (sp *Space) rpc(endpoints []string, req wire.Message, timeout time.Duration) (wire.Message, error) {
 	if sp.isClosed() && req.Op() != wire.OpClean && req.Op() != wire.OpCleanBatch {
 		// Parting clean calls are allowed through during Close.
 		return nil, ErrSpaceClosed
+	}
+	if sp.useMux(endpoints) {
+		return sp.rpcMux(endpoints, req, timeout)
 	}
 	c, ep, err := sp.pool.Get(endpoints)
 	if err != nil {
@@ -54,6 +58,34 @@ func (sp *Space) rpc(endpoints []string, req wire.Message, timeout time.Duration
 	}
 	sp.pool.Put(ep, c)
 	return msg, nil
+}
+
+// rpcMux runs one collector exchange on its own stream of the peer's
+// shared session. A failed exchange needs no discard bookkeeping: closing
+// the stream abandons only this exchange, and a link-level failure tears
+// the session down for everyone, after which the next call redials.
+func (sp *Space) rpcMux(endpoints []string, req wire.Message, timeout time.Duration) (wire.Message, error) {
+	s, _, err := sp.pool.Session(context.Background(), endpoints)
+	if err != nil {
+		return nil, err
+	}
+	st, err := s.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	_ = st.SetDeadline(time.Now().Add(timeout))
+	out := wire.Marshal(nil, req)
+	if err := st.Send(out); err != nil {
+		return nil, err
+	}
+	sp.metrics.BytesSent.Add(uint64(len(out)))
+	b, err := st.Recv(nil)
+	if err != nil {
+		return nil, err
+	}
+	sp.metrics.BytesRecv.Add(uint64(len(b)))
+	return wire.Unmarshal(b)
 }
 
 // rpcRetry is rpc with bounded, jittered retry for idempotent collector
@@ -279,9 +311,11 @@ func (w *cancelWatch) finish() bool {
 
 // forwardCancel relays a caller's alert to the owner of an in-flight
 // call — the Thread.Alert of the original runtime crossing the wire. It
-// travels on its own pooled connection because call connections are
-// lock-step (one request awaiting one response). Best effort: losing the
-// race with call completion is fine, and a lost cancel only means the
+// travels as its own exchange: a fresh stream of the shared session in
+// mux mode (the blocked call and its cancel interleave on one
+// connection), or its own pooled connection under the checkout
+// discipline, whose call connections are lock-step. Best effort: losing
+// the race with call completion is fine, and a lost cancel only means the
 // owner runs the method to completion.
 func (sp *Space) forwardCancel(id uint64, method string, endpoints []string) {
 	sp.metrics.CancelsSent.Inc()
@@ -389,10 +423,6 @@ func (sp *Space) callRemote(ctx context.Context, endpoints []string, call *wire.
 				CallID: call.ID, Method: call.Method, Dur: time.Since(start), Err: errString(err)})
 		}
 	}()
-	c, ep, err := sp.pool.GetCtx(ctx, endpoints)
-	if err != nil {
-		return err
-	}
 	connDeadline := deadline
 	if ctx.Done() != nil {
 		// With a watcher on duty the context is the authority on expiry;
@@ -401,6 +431,13 @@ func (sp *Space) callRemote(ctx context.Context, endpoints []string, call *wire.
 		// rather than a bare transport timeout. The connection deadline
 		// remains the backstop if the watcher is wedged.
 		connDeadline = connDeadline.Add(250 * time.Millisecond)
+	}
+	if sp.useMux(endpoints) {
+		return sp.callRemoteMux(ctx, endpoints, call, session, decode, connDeadline)
+	}
+	c, ep, err := sp.pool.GetCtx(ctx, endpoints)
+	if err != nil {
+		return err
 	}
 	_ = c.SetDeadline(connDeadline)
 	w := newCancelWatch()
@@ -430,6 +467,48 @@ func (sp *Space) callRemote(ctx context.Context, endpoints []string, call *wire.
 		sp.pool.Put(ep, c)
 	} else {
 		sp.pool.Discard(c)
+	}
+	return err
+}
+
+// callRemoteMux runs the invocation exchange on a stream of the peer's
+// shared session. The stream id is the call's correlation id, so the mux
+// tag and the cancellation handle are the same number. A context fired
+// mid-call forwards the CancelCall on its own stream of the same link and
+// closes only this call's stream — the other exchanges on the session,
+// including the cancel itself, are untouched. There is no connection
+// disposition: a stream is closed, never pooled, and the session outlives
+// the exchange.
+func (sp *Space) callRemoteMux(ctx context.Context, endpoints []string, call *wire.Call, session *callSession, decode func(*wire.Result) error, connDeadline time.Time) error {
+	s, _, err := sp.pool.Session(ctx, endpoints)
+	if err != nil {
+		return err
+	}
+	st, err := s.OpenID(call.ID)
+	if err != nil {
+		return err
+	}
+	_ = st.SetDeadline(connDeadline)
+	w := newCancelWatch()
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				if w.fire() {
+					sp.forwardCancel(call.ID, call.Method, endpoints)
+					// Closing the stream unblocks the receive below; the
+					// shared connection stays up for everyone else.
+					_ = st.Close()
+				}
+			case <-w.stop:
+			}
+		}()
+	}
+	_, err = sp.exchange(st, call, session, decode)
+	cancelled := w.finish()
+	_ = st.Close()
+	if cancelled {
+		return ctxCallError(ctx, call.Method+" cancelled in flight")
 	}
 	return err
 }

@@ -124,7 +124,15 @@ type Options struct {
 	// CleanBackoff is the initial clean-call retry delay (default 10ms).
 	CleanBackoff time.Duration
 	// MaxIdleConns caps cached idle connections per endpoint (default 4).
+	// It only matters for checkout-discipline traffic (see DisableMux);
+	// multiplexed links use one connection per peer regardless.
 	MaxIdleConns int
+	// DisableMux turns off multiplexed peer sessions and restores the
+	// original SRC RPC checkout discipline: every exchange checks a
+	// connection out of the pool for its duration, so N concurrent calls
+	// to a peer cost N connections. Transports may also force checkout
+	// per-link by implementing transport.CheckoutOnly.
+	DisableMux bool
 	// Variant selects the collector protocol variant: VariantBirrell
 	// (default, correct over unordered channels) or VariantFIFO (the
 	// paper's §5.1 optimisation: per-owner ordered collector traffic and
@@ -198,7 +206,10 @@ type Space struct {
 	ownedRefs map[any]*Ref
 	remote    map[string]*remoteIface // by interface type name
 	gcQueues  map[wire.SpaceID]*gcQueue
-	closed    bool
+	// muxServers tracks the inbound multiplexed sessions being served,
+	// for the per-link gauges and the debug page.
+	muxServers map[*transport.Session]struct{}
+	closed     bool
 	// closingCh closes when shutdown begins: the space stops accepting
 	// work (exports, imports, new calls) but in-flight dispatches keep
 	// running and parting cleans still flow.
@@ -241,14 +252,15 @@ type Stats struct {
 // the collector daemons run until Close.
 func NewSpace(opts Options) (*Space, error) {
 	sp := &Space{
-		id:        wire.NewSpaceID(),
-		opts:      opts,
-		ownedRefs: make(map[any]*Ref),
-		remote:    make(map[string]*remoteIface),
-		gcQueues:  make(map[wire.SpaceID]*gcQueue),
-		closingCh: make(chan struct{}),
-		closedCh:  make(chan struct{}),
-		inflight:  newInflightTable(),
+		id:         wire.NewSpaceID(),
+		opts:       opts,
+		ownedRefs:  make(map[any]*Ref),
+		remote:     make(map[string]*remoteIface),
+		gcQueues:   make(map[wire.SpaceID]*gcQueue),
+		muxServers: make(map[*transport.Session]struct{}),
+		closingCh:  make(chan struct{}),
+		closedCh:   make(chan struct{}),
+		inflight:   newInflightTable(),
 	}
 	sp.serveCtx, sp.serveCancel = context.WithCancel(context.Background())
 	if sp.opts.CallTimeout <= 0 {
@@ -328,6 +340,22 @@ func NewSpace(opts Options) (*Space, error) {
 		func() int64 { return int64(sp.imports.Len()) })
 	reg.GaugeFunc("netobj_inflight_calls", "Inbound dispatches currently running.",
 		func() int64 { return int64(sp.inflight.len()) })
+	reg.GaugeFunc("netobj_mux_sessions_out", "Live outbound multiplexed peer sessions (one per peer link).",
+		func() int64 { return int64(sp.pool.SessionCount()) })
+	reg.GaugeFunc("netobj_mux_sessions_in", "Live inbound multiplexed peer sessions being served.",
+		func() int64 {
+			sp.mu.Lock()
+			defer sp.mu.Unlock()
+			return int64(len(sp.muxServers))
+		})
+	reg.GaugeFunc("netobj_mux_streams", "Open streams (in-flight exchanges) across all multiplexed peer sessions.",
+		func() int64 {
+			var n int64
+			for _, s := range sp.muxSessionsSnapshot() {
+				n += int64(s.InFlight)
+			}
+			return n
+		})
 
 	sp.obsv = &obs.Observability{
 		Metrics: sp.metrics,
@@ -462,7 +490,39 @@ func (sp *Space) debugSnapshot() obs.DebugData {
 		Exports:   sp.exports.Snapshot(),
 		Imports:   sp.imports.Snapshot(),
 		Pool:      sp.pool.Snapshot(),
+		Sessions:  sp.muxSessionsSnapshot(),
 	}
+}
+
+// muxSessionsSnapshot reports every live multiplexed peer link: the
+// outbound sessions cached in the pool plus the inbound sessions being
+// served.
+func (sp *Space) muxSessionsSnapshot() []obs.SessionInfo {
+	out := sp.pool.SessionsSnapshot()
+	sp.mu.Lock()
+	servers := make([]*transport.Session, 0, len(sp.muxServers))
+	for s := range sp.muxServers {
+		servers = append(servers, s)
+	}
+	sp.mu.Unlock()
+	for _, s := range servers {
+		st := s.Stats()
+		out = append(out, obs.SessionInfo{
+			Endpoint:   s.Label(),
+			Dir:        "in",
+			InFlight:   st.InFlight,
+			QueueDepth: st.QueueDepth,
+			BytesSent:  st.BytesSent,
+			BytesRecv:  st.BytesRecv,
+		})
+	}
+	return out
+}
+
+// useMux reports whether exchanges with the peer at endpoints should ride
+// a multiplexed session rather than a checked-out connection.
+func (sp *Space) useMux(endpoints []string) bool {
+	return !sp.opts.DisableMux && sp.pool.MuxCapable(endpoints)
 }
 
 // Close shuts the space down gracefully: it stops accepting new calls,

@@ -25,9 +25,13 @@ func (sp *Space) acceptLoop(l transport.Listener) {
 	}
 }
 
-// serveConn handles one inbound connection: a lock-step sequence of
-// request/response exchanges. Inbound connections are registered so Close
-// can unblock their reads.
+// serveConn handles one inbound connection. It starts in the legacy
+// lock-step mode — one request/response exchange at a time — and switches
+// the connection permanently into multiplexed session mode on the first
+// frame carrying a mux envelope. The envelope is self-identifying, so no
+// handshake or version negotiation is needed and pre-mux peers keep
+// working. Inbound connections are watched so Close can unblock their
+// reads.
 func (sp *Space) serveConn(c transport.Conn) {
 	defer sp.wg.Done()
 	defer c.Close()
@@ -50,6 +54,13 @@ func (sp *Space) serveConn(c transport.Conn) {
 			return
 		}
 		buf = frame
+		if wire.IsMux(frame) {
+			// The peer runs sessions on this connection; hand it over.
+			// serveMux blocks until the session dies, keeping the
+			// close-watcher above on duty for the whole session life.
+			sp.serveMux(c, frame)
+			return
+		}
 		sp.metrics.BytesRecv.Add(uint64(len(frame)))
 		msg, err := wire.Unmarshal(frame)
 		if err != nil {
@@ -89,6 +100,78 @@ func (sp *Space) serveConn(c transport.Conn) {
 		}
 		sp.metrics.BytesSent.Add(uint64(len(out)))
 	}
+}
+
+// serveMux runs one inbound connection as a multiplexed session: every
+// stream the peer opens is dispatched concurrently by serveStream, and
+// responses leave in completion order — a slow method no longer blocks
+// the collector traffic or faster calls sharing the link. It returns once
+// the session dies and every dispatch has finished.
+func (sp *Space) serveMux(c transport.Conn, first []byte) {
+	// The first frame aliases serveConn's receive buffer; copy it so the
+	// session owns its preread input outright.
+	preread := append([]byte(nil), first...)
+	s := transport.NewSession(c, transport.SessionOptions{
+		Preread: preread,
+		Accept:  sp.serveStream,
+	})
+	sp.mu.Lock()
+	sp.muxServers[s] = struct{}{}
+	sp.mu.Unlock()
+	<-s.Done()
+	s.Wait()
+	sp.mu.Lock()
+	delete(sp.muxServers, s)
+	sp.mu.Unlock()
+}
+
+// serveStream handles one inbound exchange on its own stream of a
+// multiplexed session. A stream carries exactly one logical exchange
+// (request and response, plus the ResultAck leg for reference-bearing
+// results), so the per-message handlers run on it exactly as they do on a
+// whole checked-out connection.
+func (sp *Space) serveStream(st *transport.Stream) {
+	defer st.Close()
+	frame, err := st.Recv(nil)
+	if err != nil {
+		return
+	}
+	sp.metrics.BytesRecv.Add(uint64(len(frame)))
+	msg, err := wire.Unmarshal(frame)
+	if err != nil {
+		sp.log.Debug("protocol error on inbound stream", "peer", st.RemoteLabel(), "err", err)
+		return
+	}
+	var reply wire.Message
+	switch m := msg.(type) {
+	case *wire.Call:
+		sp.handleCall(st, m)
+		return
+	case *wire.Dirty:
+		reply = sp.handleDirty(m)
+	case *wire.Clean:
+		reply = sp.handleClean(m)
+	case *wire.CleanBatch:
+		reply = sp.handleCleanBatch(m)
+	case *wire.Ping:
+		sp.metrics.PingsServed.Inc()
+		if sp.tracer != nil {
+			sp.tracer.Emit(obs.Event{Kind: obs.EvPingRecv, Time: time.Now(), Peer: m.From.String()})
+		}
+		reply = &wire.PingAck{From: sp.id}
+	case *wire.Lease:
+		reply = sp.handleLease(m)
+	case *wire.CancelCall:
+		reply = sp.handleCancel(m)
+	default:
+		sp.log.Debug("unexpected message on stream", "op", msg.Op().String(), "peer", st.RemoteLabel())
+		return
+	}
+	out := wire.Marshal(nil, reply)
+	if err := st.Send(out); err != nil {
+		return
+	}
+	sp.metrics.BytesSent.Add(uint64(len(out)))
 }
 
 func (sp *Space) handleDirty(m *wire.Dirty) *wire.DirtyAck {

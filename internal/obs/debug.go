@@ -27,6 +27,9 @@ type DebugData struct {
 	Imports []ImportInfo
 	// Pool reports cached idle connections per endpoint.
 	Pool []PoolInfo
+	// Sessions reports the live multiplexed peer sessions: the cached
+	// outbound links plus the inbound links being served.
+	Sessions []SessionInfo
 }
 
 // ExportInfo describes one export table entry.
@@ -74,6 +77,23 @@ type PoolInfo struct {
 	Endpoint string
 	// Idle is the number of cached idle connections.
 	Idle int
+}
+
+// SessionInfo describes one live multiplexed peer session.
+type SessionInfo struct {
+	// Endpoint labels the peer (the dial target for outbound sessions,
+	// the remote label for inbound ones).
+	Endpoint string
+	// Dir is "out" for sessions this space dialed, "in" for sessions it
+	// accepted.
+	Dir string
+	// InFlight is the number of exchanges awaiting their response.
+	InFlight int
+	// QueueDepth is the number of frames waiting in the writer queue.
+	QueueDepth int
+	// BytesSent and BytesRecv count wire bytes through the session.
+	BytesSent uint64
+	BytesRecv uint64
 }
 
 // Observability bundles everything one space exposes to operators: its

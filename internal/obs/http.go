@@ -127,6 +127,15 @@ func (o *Observability) serveDebug(w http.ResponseWriter, _ *http.Request) {
 	}
 	fmt.Fprint(w, "</table>\n")
 
+	fmt.Fprintf(w, "<h2>peer sessions (%d links)</h2>\n", len(d.Sessions))
+	fmt.Fprint(w, "<table><tr><th>peer</th><th>dir</th><th>in-flight</th>"+
+		"<th>queue</th><th>bytes sent</th><th>bytes recv</th></tr>\n")
+	for _, s := range d.Sessions {
+		fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td></tr>\n",
+			esc(s.Endpoint), esc(s.Dir), s.InFlight, s.QueueDepth, s.BytesSent, s.BytesRecv)
+	}
+	fmt.Fprint(w, "</table>\n")
+
 	if o.Metrics != nil {
 		if snaps := o.Metrics.Methods.Snapshot(); len(snaps) != 0 {
 			fmt.Fprintf(w, "<h2>per-method calls (%d methods)</h2>\n", len(snaps))

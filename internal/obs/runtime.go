@@ -59,11 +59,12 @@ type Metrics struct {
 	Withdrawn          *Counter
 	ClientsDropped     *Counter
 
-	// Transport: connection pool and wire volume.
+	// Transport: connection pool, session cache and wire volume.
 	PoolHits     *Counter
 	PoolMisses   *Counter
 	PoolReaps    *Counter
 	PoolDiscards *Counter
+	PoolDialLate *Counter
 	DialLatency  *Histogram
 	BytesSent    *Counter
 	BytesRecv    *Counter
@@ -116,10 +117,11 @@ func NewMetrics() *Metrics {
 		Withdrawn:          r.Counter("netobj_withdrawn_total", "Exported objects withdrawn after their dirty set emptied."),
 		ClientsDropped:     r.Counter("netobj_clients_dropped_total", "Clients dropped by the liveness daemon."),
 
-		PoolHits:     r.Counter("netobj_pool_hits_total", "Calls served from a cached idle connection."),
+		PoolHits:     r.Counter("netobj_pool_hits_total", "Calls served from a cached idle connection or live session."),
 		PoolMisses:   r.Counter("netobj_pool_misses_total", "Calls that had to dial a new connection."),
 		PoolReaps:    r.Counter("netobj_pool_reaps_total", "Idle connections reaped: idle TTL exceeded or peer found reset."),
 		PoolDiscards: r.Counter("netobj_pool_discards_total", "Connections discarded after a failed exchange."),
+		PoolDialLate: r.Counter("netobj_pool_dial_late_total", "Dials that succeeded only after the caller's context expired; the connection is discarded, not counted as a miss."),
 		DialLatency:  r.Histogram("netobj_dial_latency_seconds", "Connection establishment latency."),
 		BytesSent:    r.Counter("netobj_bytes_sent_total", "Wire payload bytes sent."),
 		BytesRecv:    r.Counter("netobj_bytes_recv_total", "Wire payload bytes received."),

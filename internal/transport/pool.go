@@ -2,10 +2,13 @@ package transport
 
 import (
 	"context"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"netobjects/internal/obs"
+	"netobjects/internal/wire"
 )
 
 // DefaultMaxIdle is the per-endpoint idle connection cap used when a Pool
@@ -24,15 +27,18 @@ type idleConn struct {
 	since time.Time
 }
 
-// Pool caches idle connections per endpoint. Callers check a connection
-// out with Get, exchange one request/response pair on it, and either
-// return it with Put or drop it with Discard if the exchange failed.
-// This is the connection discipline of the original runtime: a call owns
-// its connection, and connections are recycled rather than re-dialed.
+// Pool is the per-peer connection layer. Its primary role today is a
+// session cache: Session returns the live multiplexed session for a peer,
+// dialing one connection on first use and sharing it among any number of
+// concurrent exchanges (see Session). The original checkout discipline —
+// Get a connection for the duration of one call, Put it back or Discard
+// it — is retained for transports that opt out of multiplexing
+// (CheckoutOnly) and for runtimes that disable it.
 //
-// Idle connections older than the TTL are reaped lazily whenever the pool
-// is touched, so connections to peers that restarted do not linger and
-// fail the first call after the restart.
+// Idle checkout connections older than the TTL are reaped lazily whenever
+// the pool is touched, so connections to peers that restarted do not
+// linger and fail the first call after the restart. Sessions need no TTL:
+// a dead session reports unhealthy and is redialed on the next call.
 type Pool struct {
 	reg     *Registry
 	maxIdle int
@@ -41,9 +47,19 @@ type Pool struct {
 	metrics *obs.Metrics
 	tracer  obs.Tracer
 
-	mu     sync.Mutex
-	idle   map[string][]idleConn
-	closed bool
+	mu       sync.Mutex
+	idle     map[string][]idleConn
+	sessions map[string]*sessionSlot
+	closed   bool
+}
+
+// sessionSlot serializes (re)dialing the session for one peer: the first
+// caller dials while later callers wait on the slot mutex and then share
+// the fresh session — a singleflight per peer.
+type sessionSlot struct {
+	mu sync.Mutex
+	s  *Session
+	ep string
 }
 
 // NewPool returns a pool dialing through reg, keeping at most maxIdle idle
@@ -53,7 +69,13 @@ func NewPool(reg *Registry, maxIdle int) *Pool {
 	if maxIdle <= 0 {
 		maxIdle = DefaultMaxIdle
 	}
-	return &Pool{reg: reg, maxIdle: maxIdle, ttl: DefaultIdleTTL, idle: make(map[string][]idleConn)}
+	return &Pool{
+		reg:      reg,
+		maxIdle:  maxIdle,
+		ttl:      DefaultIdleTTL,
+		idle:     make(map[string][]idleConn),
+		sessions: make(map[string]*sessionSlot),
+	}
 }
 
 // SetIdleTTL overrides the idle TTL. Zero or negative disables reaping.
@@ -176,6 +198,18 @@ func (p *Pool) GetCtx(ctx context.Context, endpoints []string) (Conn, string, er
 		return nil, "", err
 	}
 	dial := time.Since(start)
+	// A dial can succeed after the caller's deadline already passed (the
+	// registry races the dial against ctx and the dial may win by a hair).
+	// Handing such a connection back would charge a doomed call a pool
+	// miss and leave the caller to fail on its first deadline check;
+	// discard it and report the caller's own error instead.
+	if ctx.Err() != nil {
+		_ = c.Close()
+		if m != nil {
+			m.PoolDialLate.Inc()
+		}
+		return nil, "", ctx.Err()
+	}
 	if m != nil {
 		m.PoolMisses.Inc()
 		m.DialLatency.Observe(dial)
@@ -184,6 +218,176 @@ func (p *Pool) GetCtx(ctx context.Context, endpoints []string) (Conn, string, er
 		t.Emit(obs.Event{Kind: obs.EvPoolMiss, Time: time.Now(), Key: ep, Dur: dial})
 	}
 	return c, ep, nil
+}
+
+// sessionKey identifies one peer by its full endpoint list, so retries
+// against any of a peer's endpoints share the same session.
+func sessionKey(endpoints []string) string { return strings.Join(endpoints, " ") }
+
+// MuxCapable reports whether every named endpoint's transport supports
+// multiplexed sessions. Transports whose connections cannot carry
+// interleaved frames (or that want per-call connections for fault
+// isolation) opt out by implementing CheckoutOnly; for them the caller
+// must fall back to Get/Put checkout.
+func (p *Pool) MuxCapable(endpoints []string) bool {
+	for _, ep := range endpoints {
+		proto, _, err := wire.SplitEndpoint(ep)
+		if err != nil {
+			continue
+		}
+		tr, ok := p.reg.Lookup(proto)
+		if !ok {
+			continue
+		}
+		if co, ok := tr.(CheckoutOnly); ok && co.CheckoutOnly() {
+			return false
+		}
+	}
+	return true
+}
+
+// Session returns the live multiplexed session for the peer reachable at
+// endpoints, dialing one if none exists or the cached one has died. The
+// session is shared: callers Open streams on it and never return it. A
+// cache hit counts as a pool hit; a (re)dial counts as a miss with its
+// latency observed, and a dead cached session counts as a reap.
+func (p *Pool) Session(ctx context.Context, endpoints []string) (*Session, string, error) {
+	key := sessionKey(endpoints)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, "", ErrClosed
+	}
+	m, t := p.metrics, p.tracer
+	slot := p.sessions[key]
+	if slot == nil {
+		slot = &sessionSlot{}
+		p.sessions[key] = slot
+	}
+	p.mu.Unlock()
+
+	// The slot mutex is the per-peer singleflight: one caller redials
+	// while the rest wait here and then share the fresh session.
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if s := slot.s; s != nil {
+		if s.Healthy() {
+			if m != nil {
+				m.PoolHits.Inc()
+			}
+			if t != nil {
+				t.Emit(obs.Event{Kind: obs.EvPoolHit, Time: time.Now(), Key: slot.ep})
+			}
+			return s, slot.ep, nil
+		}
+		s.Close()
+		slot.s = nil
+		if m != nil {
+			m.PoolReaps.Inc()
+		}
+		if t != nil {
+			t.Emit(obs.Event{Kind: obs.EvPoolReap, Time: time.Now(), Key: slot.ep, N: 1})
+		}
+	}
+	start := time.Now()
+	c, ep, err := p.reg.DialAnyContext(ctx, endpoints)
+	if err != nil {
+		return nil, "", err
+	}
+	dial := time.Since(start)
+	if ctx.Err() != nil {
+		_ = c.Close()
+		if m != nil {
+			m.PoolDialLate.Inc()
+		}
+		return nil, "", ctx.Err()
+	}
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		_ = c.Close()
+		return nil, "", ErrClosed
+	}
+	if m != nil {
+		m.PoolMisses.Inc()
+		m.DialLatency.Observe(dial)
+	}
+	if t != nil {
+		t.Emit(obs.Event{Kind: obs.EvPoolMiss, Time: time.Now(), Key: ep, Dur: dial})
+	}
+	slot.s = NewSession(c, SessionOptions{})
+	slot.ep = ep
+	return slot.s, ep, nil
+}
+
+// DropSession closes and forgets the cached session for endpoints, if
+// any. Callers use it when an exchange fails in a way that indicts the
+// whole link; the next call redials.
+func (p *Pool) DropSession(endpoints []string) {
+	key := sessionKey(endpoints)
+	p.mu.Lock()
+	slot := p.sessions[key]
+	p.mu.Unlock()
+	if slot == nil {
+		return
+	}
+	slot.mu.Lock()
+	if slot.s != nil {
+		slot.s.Close()
+		slot.s = nil
+	}
+	slot.mu.Unlock()
+}
+
+// SessionCount reports the number of live cached sessions.
+func (p *Pool) SessionCount() int {
+	p.mu.Lock()
+	slots := make([]*sessionSlot, 0, len(p.sessions))
+	for _, slot := range p.sessions {
+		slots = append(slots, slot)
+	}
+	p.mu.Unlock()
+	n := 0
+	for _, slot := range slots {
+		slot.mu.Lock()
+		if slot.s != nil && slot.s.Healthy() {
+			n++
+		}
+		slot.mu.Unlock()
+	}
+	return n
+}
+
+// SessionsSnapshot reports the live outbound sessions for the debug page,
+// sorted by peer endpoint.
+func (p *Pool) SessionsSnapshot() []obs.SessionInfo {
+	p.mu.Lock()
+	slots := make([]*sessionSlot, 0, len(p.sessions))
+	for _, slot := range p.sessions {
+		slots = append(slots, slot)
+	}
+	p.mu.Unlock()
+	out := make([]obs.SessionInfo, 0, len(slots))
+	for _, slot := range slots {
+		slot.mu.Lock()
+		s, ep := slot.s, slot.ep
+		slot.mu.Unlock()
+		if s == nil {
+			continue
+		}
+		st := s.Stats()
+		out = append(out, obs.SessionInfo{
+			Endpoint:   ep,
+			Dir:        "out",
+			InFlight:   st.InFlight,
+			QueueDepth: st.QueueDepth,
+			BytesSent:  st.BytesSent,
+			BytesRecv:  st.BytesRecv,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Endpoint < out[j].Endpoint })
+	return out
 }
 
 // Put returns a healthy connection to the cache for endpoint ep. If the
@@ -223,18 +427,30 @@ func (p *Pool) Discard(c Conn) {
 	_ = c.Close()
 }
 
-// Close closes the pool and every idle connection. Connections currently
-// checked out are unaffected; they are closed when discarded or returned.
+// Close closes the pool, every idle connection, and every cached session
+// (failing that session's in-flight exchanges with ErrClosed). Connections
+// currently checked out are unaffected; they are closed when discarded or
+// returned.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	idle := p.idle
 	p.idle = make(map[string][]idleConn)
+	sessions := p.sessions
+	p.sessions = make(map[string]*sessionSlot)
 	p.closed = true
 	p.mu.Unlock()
 	for _, conns := range idle {
 		for _, ic := range conns {
 			_ = ic.c.Close()
 		}
+	}
+	for _, slot := range sessions {
+		slot.mu.Lock()
+		if slot.s != nil {
+			slot.s.Close()
+			slot.s = nil
+		}
+		slot.mu.Unlock()
 	}
 }
 

@@ -1,0 +1,495 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netobjects/internal/obs"
+	"netobjects/internal/wire"
+)
+
+// This file implements multiplexed peer sessions — the departure from the
+// SRC RPC discipline Network Objects inherited. The original runtime
+// checked a connection out of the pool for the duration of one call, so N
+// concurrent calls to a peer cost N connections. A Session instead owns a
+// single Conn and interleaves any number of logical exchanges on it: a
+// writer goroutine serializes outbound frames, a demux-reader goroutine
+// routes inbound frames to waiting streams by the id in their mux
+// envelope (see wire.AppendMuxHeader), and responses complete in whatever
+// order the peer finishes them — no head-of-line blocking on call
+// completion. Head-of-line blocking on frame *transmission* remains, as
+// it must on a byte stream.
+//
+// A Stream is one logical exchange on a session and implements Conn, so
+// the runtime's call code (send request, await response, acknowledge) runs
+// unchanged whether it holds a real checked-out connection or a stream on
+// a shared link. Closing a stream abandons only that exchange: late
+// responses to it are recognized by their id and dropped, and every other
+// stream on the session is untouched — this is what lets a cancelled call
+// stop waiting without poisoning the link for its neighbours.
+
+// DefaultWriteQueue is the session writer's queue capacity in frames.
+const DefaultWriteQueue = 64
+
+// streamInbox is a stream's inbound frame buffer. Exchanges are short
+// (request, response, maybe an ack), so a small buffer suffices; a peer
+// flooding one id beyond it has its excess dropped like a lossy network.
+const streamInbox = 16
+
+// SessionOptions configures a Session.
+type SessionOptions struct {
+	// Accept, when non-nil, is invoked in a fresh goroutine for every
+	// stream the peer opens (a frame with an unknown id). Server sessions
+	// set it to their dispatch entry; client sessions leave it nil, which
+	// makes unknown ids late responses to abandoned exchanges, dropped.
+	Accept func(*Stream)
+	// Preread is a frame already read off the connection before the
+	// session took over — the frame whose mux envelope made the receiver
+	// switch the connection into session mode. It is demultiplexed before
+	// any other inbound frame.
+	Preread []byte
+	// WriteQueue overrides the writer queue capacity (DefaultWriteQueue
+	// when zero).
+	WriteQueue int
+}
+
+// Session multiplexes logical streams over one Conn. It assumes exclusive
+// ownership of the connection: exactly one goroutine (the writer) sends
+// and exactly one (the demux reader) receives, which is the concurrency
+// contract every Conn implementation supports.
+type Session struct {
+	c      Conn
+	accept func(*Stream)
+
+	writeCh chan writeReq
+	done    chan struct{}
+
+	mu      sync.Mutex
+	streams map[uint64]*Stream
+	closed  bool
+	cause   error
+
+	loops    sync.WaitGroup
+	handlers sync.WaitGroup
+
+	bytesSent atomic.Uint64
+	bytesRecv atomic.Uint64
+}
+
+// SessionStats is a point-in-time snapshot of one session's load, for the
+// per-link gauges and the debug page.
+type SessionStats struct {
+	// InFlight is the number of open streams (exchanges awaiting their
+	// response).
+	InFlight int
+	// QueueDepth is the number of frames waiting in the writer queue.
+	QueueDepth int
+	// BytesSent and BytesRecv count wire bytes through the session,
+	// envelopes included.
+	BytesSent uint64
+	BytesRecv uint64
+}
+
+// NewSession wraps c in a session and starts its writer and demux-reader
+// goroutines. The session owns c from here on: closing the session closes
+// the connection, and a connection error tears the session down.
+func NewSession(c Conn, opts SessionOptions) *Session {
+	q := opts.WriteQueue
+	if q <= 0 {
+		q = DefaultWriteQueue
+	}
+	s := &Session{
+		c:       c,
+		accept:  opts.Accept,
+		writeCh: make(chan writeReq, q),
+		done:    make(chan struct{}),
+		streams: make(map[uint64]*Stream),
+	}
+	s.loops.Add(2)
+	go s.writeLoop()
+	go s.readLoop(opts.Preread)
+	return s
+}
+
+// Open starts a new stream with a fresh process-wide unique id.
+func (s *Session) Open() (*Stream, error) { return s.OpenID(obs.NextCallID()) }
+
+// OpenID starts a new stream with the caller's id — the runtime uses the
+// call's correlation id, so the frame tag and the cancellation handle are
+// one and the same. The id must be nonzero and not currently open on this
+// session.
+func (s *Session) OpenID(id uint64) (*Stream, error) {
+	if id == 0 {
+		return nil, errors.New("transport: zero stream id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, s.closeErrLocked()
+	}
+	if _, dup := s.streams[id]; dup {
+		return nil, fmt.Errorf("transport: stream id %d already open", id)
+	}
+	return s.newStreamLocked(id), nil
+}
+
+func (s *Session) newStreamLocked(id uint64) *Stream {
+	st := &Stream{s: s, id: id, in: make(chan *[]byte, streamInbox), done: make(chan struct{})}
+	s.streams[id] = st
+	return st
+}
+
+func (s *Session) removeStream(id uint64) {
+	s.mu.Lock()
+	delete(s.streams, id)
+	s.mu.Unlock()
+}
+
+// fail tears the session down once: every stream's pending Send and Recv
+// fails with ErrClosed (wrapping cause), and the connection is closed.
+func (s *Session) fail(cause error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.cause = cause
+	s.mu.Unlock()
+	close(s.done)
+	_ = s.c.Close()
+}
+
+// Close tears the session down. All streams fail with ErrClosed. Safe to
+// call multiple times and concurrently with stream use.
+func (s *Session) Close() error {
+	s.fail(ErrClosed)
+	return nil
+}
+
+// Done is closed when the session is torn down.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Wait blocks until the session's goroutines — writer, demux reader, and
+// any accept handlers — have finished. Serving loops use it so a space's
+// shutdown can wait for inbound dispatches.
+func (s *Session) Wait() {
+	s.loops.Wait()
+	s.handlers.Wait()
+}
+
+// closeErrLocked renders the teardown cause as an error satisfying
+// errors.Is(err, ErrClosed).
+func (s *Session) closeErrLocked() error {
+	if s.cause == nil || errors.Is(s.cause, ErrClosed) {
+		return ErrClosed
+	}
+	return fmt.Errorf("%w: session failed: %v", ErrClosed, s.cause)
+}
+
+func (s *Session) closeErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeErrLocked()
+}
+
+// Healthy reports whether the session can still carry traffic, so a
+// session cache can decide between reuse and redial.
+func (s *Session) Healthy() bool {
+	select {
+	case <-s.done:
+		return false
+	default:
+	}
+	return Healthy(s.c)
+}
+
+// Label describes the session's peer for logs and the debug page.
+func (s *Session) Label() string { return s.c.RemoteLabel() }
+
+// Stats snapshots the session's load.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	inflight := len(s.streams)
+	s.mu.Unlock()
+	return SessionStats{
+		InFlight:   inflight,
+		QueueDepth: len(s.writeCh),
+		BytesSent:  s.bytesSent.Load(),
+		BytesRecv:  s.bytesRecv.Load(),
+	}
+}
+
+// writeReq is one queued frame plus the channel that reports its
+// physical write back to the Stream.Send that queued it.
+type writeReq struct {
+	bp  *[]byte
+	ack chan error // buffered(1); receives exactly one result
+}
+
+// writeLoop drains the writer queue onto the connection. Frames from all
+// streams are serialized here — queue depth, not connection count, is
+// what concurrency costs.
+func (s *Session) writeLoop() {
+	defer s.loops.Done()
+	for {
+		select {
+		case req := <-s.writeCh:
+			err := s.c.Send(*req.bp)
+			if err == nil {
+				s.bytesSent.Add(uint64(len(*req.bp)))
+			}
+			wire.PutBuf(req.bp)
+			req.ack <- err
+			if err != nil {
+				s.fail(err)
+				return
+			}
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// readLoop demultiplexes inbound frames to their streams by envelope id.
+// A frame for an unknown id either opens a server-side stream (Accept
+// installed) or is a late response to an abandoned exchange, dropped.
+func (s *Session) readLoop(preread []byte) {
+	defer s.loops.Done()
+	var scratch []byte
+	frame := preread
+	for {
+		if frame == nil {
+			var err error
+			frame, err = s.c.Recv(scratch)
+			if err != nil {
+				s.fail(err)
+				return
+			}
+			scratch = frame
+		}
+		s.bytesRecv.Add(uint64(len(frame)))
+		id, payload, err := wire.SplitMux(frame)
+		if err != nil {
+			// A bare frame on a multiplexed connection means the peer lost
+			// track of the protocol; nothing on this link can be trusted.
+			s.fail(fmt.Errorf("transport: non-mux frame on session: %w", err))
+			return
+		}
+		s.dispatch(id, payload)
+		frame = nil
+	}
+}
+
+// dispatch routes one inbound payload to its stream, creating the stream
+// (and spawning its accept handler) when the peer opened it.
+func (s *Session) dispatch(id uint64, payload []byte) {
+	s.mu.Lock()
+	st, known := s.streams[id]
+	fresh := false
+	if !known && s.accept != nil && !s.closed {
+		st = s.newStreamLocked(id)
+		fresh = true
+	}
+	s.mu.Unlock()
+	if st == nil {
+		return
+	}
+	bp := wire.GetBuf()
+	*bp = append((*bp)[:0], payload...)
+	select {
+	case st.in <- bp:
+	default:
+		// Inbox overflow: treat like a lossy link rather than letting one
+		// stream wedge the whole session's reader.
+		wire.PutBuf(bp)
+	}
+	if fresh {
+		s.handlers.Add(1)
+		go func() {
+			defer s.handlers.Done()
+			s.accept(st)
+		}()
+	}
+}
+
+// Stream is one logical exchange on a session. It implements Conn: Send
+// wraps the payload in the stream's mux envelope and queues it for the
+// session writer; Recv awaits the next inbound frame routed to this id.
+// Per the Conn contract a stream is used by one exchange at a time, with
+// Close safe concurrently (a cancellation watcher closes the stream to
+// abandon the exchange without touching the shared link).
+type Stream struct {
+	s    *Session
+	id   uint64
+	in   chan *[]byte
+	done chan struct{}
+	once sync.Once
+
+	// deadline is the exchange deadline in Unix nanoseconds (0 = none).
+	// It bounds the local waits — queue admission and response arrival —
+	// the way a connection deadline bounds socket I/O.
+	deadline atomic.Int64
+
+	// last is the pooled buffer returned by the previous Recv, recycled
+	// on the next one (the Conn contract makes a Recv result valid only
+	// until the next Recv). Touched only by the Recv caller.
+	last *[]byte
+}
+
+// ID returns the stream's envelope id.
+func (st *Stream) ID() uint64 { return st.id }
+
+// Session returns the session carrying this stream.
+func (st *Stream) Session() *Session { return st.s }
+
+func (st *Stream) isClosed() bool {
+	select {
+	case <-st.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// timer materializes the stream deadline, returning a nil channel when no
+// deadline is set and ErrTimeout when it already passed.
+func (st *Stream) timer() (*time.Timer, <-chan time.Time, error) {
+	d := st.deadline.Load()
+	if d == 0 {
+		return nil, nil, nil
+	}
+	wait := time.Until(time.Unix(0, d))
+	if wait <= 0 {
+		return nil, nil, ErrTimeout
+	}
+	t := time.NewTimer(wait)
+	return t, t.C, nil
+}
+
+// Send wraps payload in the stream's mux envelope, queues it for the
+// session writer, and waits until the frame has actually been written to
+// the connection (or the write failed). Returning only after the
+// physical write matters for graceful drain: the runtime decrements its
+// in-flight accounting when a dispatch's response Send returns, and
+// shutdown hard-closes connections once that count reaches zero — an
+// enqueue-and-return Send would let a response die unsent in the queue.
+func (st *Stream) Send(payload []byte) error {
+	if st.isClosed() {
+		return ErrClosed
+	}
+	bp := wire.GetBuf()
+	buf := wire.AppendMuxHeader((*bp)[:0], st.id)
+	*bp = append(buf, payload...)
+	t, tc, err := st.timer()
+	if err != nil {
+		wire.PutBuf(bp)
+		return err
+	}
+	if t != nil {
+		defer t.Stop()
+	}
+	ack := make(chan error, 1)
+	select {
+	case st.s.writeCh <- writeReq{bp: bp, ack: ack}:
+	case <-st.done:
+		wire.PutBuf(bp)
+		return ErrClosed
+	case <-st.s.done:
+		wire.PutBuf(bp)
+		return st.s.closeErr()
+	case <-tc:
+		wire.PutBuf(bp)
+		return ErrTimeout
+	}
+	// Queued: the writer owns the buffer now and will signal ack exactly
+	// once. The early returns below abandon the exchange, not the frame —
+	// it may still reach the wire, which is harmless (a response the
+	// caller stopped waiting for behaves like a late response).
+	select {
+	case err := <-ack:
+		return err
+	case <-st.done:
+		return ErrClosed
+	case <-st.s.done:
+		return st.s.closeErr()
+	case <-tc:
+		return ErrTimeout
+	}
+}
+
+// Recv returns the next inbound frame routed to this stream. The scratch
+// argument is ignored; the session's demux already copied the payload
+// into a pooled buffer, which Recv recycles on the following call.
+func (st *Stream) Recv(scratch []byte) ([]byte, error) {
+	if st.last != nil {
+		wire.PutBuf(st.last)
+		st.last = nil
+	}
+	// Deliver a frame that arrived before teardown even if the stream or
+	// session has since closed, matching the drain behaviour of real
+	// connections.
+	select {
+	case bp := <-st.in:
+		st.last = bp
+		return *bp, nil
+	default:
+	}
+	if st.isClosed() {
+		return nil, ErrClosed
+	}
+	t, tc, err := st.timer()
+	if err != nil {
+		return nil, err
+	}
+	if t != nil {
+		defer t.Stop()
+	}
+	select {
+	case bp := <-st.in:
+		st.last = bp
+		return *bp, nil
+	case <-st.done:
+		return nil, ErrClosed
+	case <-st.s.done:
+		return nil, st.s.closeErr()
+	case <-tc:
+		return nil, ErrTimeout
+	}
+}
+
+// SetDeadline bounds subsequent Send and Recv waits; the zero time
+// removes the bound. The deadline is local to this stream — it never
+// touches the shared connection.
+func (st *Stream) SetDeadline(t time.Time) error {
+	if t.IsZero() {
+		st.deadline.Store(0)
+	} else {
+		st.deadline.Store(t.UnixNano())
+	}
+	return nil
+}
+
+// Close abandons the exchange: the id is forgotten (late responses to it
+// are dropped by the demux) and blocked Send/Recv calls fail. The shared
+// connection and every other stream are untouched. Safe to call multiple
+// times and concurrently with Send/Recv.
+func (st *Stream) Close() error {
+	st.once.Do(func() {
+		close(st.done)
+		st.s.removeStream(st.id)
+	})
+	return nil
+}
+
+// RemoteLabel describes the peer and the stream for logs.
+func (st *Stream) RemoteLabel() string {
+	return fmt.Sprintf("%s#%d", st.s.c.RemoteLabel(), st.id)
+}
+
+// Healthy reports whether the exchange can still complete: the stream is
+// open and its session alive.
+func (st *Stream) Healthy() bool { return !st.isClosed() && st.s.Healthy() }

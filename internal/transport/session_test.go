@@ -1,0 +1,563 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"netobjects/internal/obs"
+)
+
+// sessionPair dials an in-memory link and wraps both ends in sessions.
+// The server session echoes every frame back on the same stream unless a
+// custom accept function is given.
+func sessionPair(t *testing.T, accept func(*Stream)) (client *Session, server *Session) {
+	t.Helper()
+	mem := NewMem()
+	l, err := mem.Listen("peer")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	cc, err := mem.Dial("peer")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	sc := <-accepted
+	if accept == nil {
+		accept = func(st *Stream) {
+			defer st.Close()
+			frame, err := st.Recv(nil)
+			if err != nil {
+				return
+			}
+			_ = st.Send(frame)
+		}
+	}
+	client = NewSession(cc, SessionOptions{})
+	server = NewSession(sc, SessionOptions{Accept: accept})
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+// TestSessionInterleaved drives many concurrent exchanges over one
+// connection; the echo server answers each stream with its own payload, so
+// any demux mix-up shows up as a response on the wrong stream.
+func TestSessionInterleaved(t *testing.T) {
+	client, _ := sessionPair(t, nil)
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := client.Open()
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer st.Close()
+			_ = st.SetDeadline(time.Now().Add(5 * time.Second))
+			want := fmt.Sprintf("payload-%d", i)
+			if err := st.Send([]byte(want)); err != nil {
+				errs <- err
+				return
+			}
+			got, err := st.Recv(nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(got) != want {
+				errs <- fmt.Errorf("stream %d: got %q want %q", st.ID(), got, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSessionResponsesOutOfOrder verifies a slow exchange does not block a
+// fast one: the server holds stream A's response until stream B completes.
+func TestSessionResponsesOutOfOrder(t *testing.T) {
+	release := make(chan struct{})
+	client, _ := sessionPair(t, func(st *Stream) {
+		defer st.Close()
+		frame, err := st.Recv(nil)
+		if err != nil {
+			return
+		}
+		if string(frame) == "slow" {
+			<-release
+		}
+		_ = st.Send(frame)
+	})
+
+	slow, err := client.Open()
+	if err != nil {
+		t.Fatalf("open slow: %v", err)
+	}
+	defer slow.Close()
+	_ = slow.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := slow.Send([]byte("slow")); err != nil {
+		t.Fatalf("send slow: %v", err)
+	}
+
+	fast, err := client.Open()
+	if err != nil {
+		t.Fatalf("open fast: %v", err)
+	}
+	defer fast.Close()
+	_ = fast.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := fast.Send([]byte("fast")); err != nil {
+		t.Fatalf("send fast: %v", err)
+	}
+	got, err := fast.Recv(nil)
+	if err != nil {
+		t.Fatalf("recv fast: %v", err)
+	}
+	if string(got) != "fast" {
+		t.Fatalf("fast exchange got %q", got)
+	}
+
+	close(release)
+	got, err = slow.Recv(nil)
+	if err != nil {
+		t.Fatalf("recv slow: %v", err)
+	}
+	if string(got) != "slow" {
+		t.Fatalf("slow exchange got %q", got)
+	}
+}
+
+// TestSessionStreamCloseLeavesNeighbours cancels one in-flight exchange
+// and checks its neighbour on the same link still completes, and that the
+// late response to the closed stream is dropped without killing the
+// session.
+func TestSessionStreamCloseLeavesNeighbours(t *testing.T) {
+	release := make(chan struct{})
+	client, server := sessionPair(t, func(st *Stream) {
+		defer st.Close()
+		frame, err := st.Recv(nil)
+		if err != nil {
+			return
+		}
+		if string(frame) == "held" {
+			<-release
+		}
+		_ = st.Send(frame)
+	})
+
+	held, err := client.Open()
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	_ = held.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := held.Send([]byte("held")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	// Abandon the exchange mid-flight, as the cancellation watcher does.
+	held.Close()
+	if _, err := held.Recv(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv on closed stream: %v, want ErrClosed", err)
+	}
+
+	// Let the server answer the abandoned exchange; the demux must drop it.
+	close(release)
+
+	other, err := client.Open()
+	if err != nil {
+		t.Fatalf("open neighbour: %v", err)
+	}
+	defer other.Close()
+	_ = other.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := other.Send([]byte("ok")); err != nil {
+		t.Fatalf("send neighbour: %v", err)
+	}
+	got, err := other.Recv(nil)
+	if err != nil {
+		t.Fatalf("recv neighbour: %v", err)
+	}
+	if string(got) != "ok" {
+		t.Fatalf("neighbour got %q", got)
+	}
+	if !client.Healthy() || !server.Healthy() {
+		t.Fatal("session died after a stream close")
+	}
+}
+
+// TestSessionTeardownFailsWaiters closes a session out from under blocked
+// receivers; each must fail with ErrClosed.
+func TestSessionTeardownFailsWaiters(t *testing.T) {
+	client, _ := sessionPair(t, func(st *Stream) {
+		// Swallow requests and never answer.
+		defer st.Close()
+		_, _ = st.Recv(nil)
+		<-st.done
+	})
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		st, err := client.Open()
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if err := st.Send([]byte("hello")); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := st.Recv(nil)
+			errs <- err
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	client.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("waiter got %v, want ErrClosed", err)
+		}
+	}
+	if _, err := client.Open(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Open after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestSessionPeerDeathFailsWaiters kills the connection underneath the
+// session (the peer side, as chaos resets do) and checks blocked waiters
+// get an error satisfying ErrClosed.
+func TestSessionPeerDeathFailsWaiters(t *testing.T) {
+	client, server := sessionPair(t, func(st *Stream) {
+		defer st.Close()
+		_, _ = st.Recv(nil)
+		<-st.done
+	})
+	st, err := client.Open()
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := st.Send([]byte("hello")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	server.Close()
+	_ = st.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := st.Recv(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv after peer death: %v, want ErrClosed", err)
+	}
+	if client.Healthy() {
+		t.Fatal("session still healthy after peer death")
+	}
+}
+
+// TestSessionDeadline checks an unanswered exchange times out without
+// harming the session.
+func TestSessionDeadline(t *testing.T) {
+	client, _ := sessionPair(t, func(st *Stream) {
+		defer st.Close()
+		_, _ = st.Recv(nil)
+		<-st.done
+	})
+	st, err := client.Open()
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer st.Close()
+	_ = st.SetDeadline(time.Now().Add(20 * time.Millisecond))
+	if err := st.Send([]byte("ping")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if _, err := st.Recv(nil); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("recv: %v, want ErrTimeout", err)
+	}
+	if !client.Healthy() {
+		t.Fatal("session died on stream timeout")
+	}
+}
+
+// TestPoolSessionReconnect drops the cached session's connection and
+// checks the next Session call redials instead of handing back the corpse,
+// with hit/miss/reap accounting to match.
+func TestPoolSessionReconnect(t *testing.T) {
+	mem := NewMem()
+	l, err := mem.Listen("peer")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			NewSession(c, SessionOptions{Accept: func(st *Stream) {
+				defer st.Close()
+				frame, err := st.Recv(nil)
+				if err == nil {
+					_ = st.Send(frame)
+				}
+			}})
+		}
+	}()
+
+	reg := NewRegistry(mem)
+	p := NewPool(reg, 0)
+	defer p.Close()
+	eps := []string{"inmem:peer"}
+
+	s1, ep, err := p.Session(context.Background(), eps)
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	if ep != "inmem:peer" {
+		t.Fatalf("endpoint %q", ep)
+	}
+	s2, _, err := p.Session(context.Background(), eps)
+	if err != nil {
+		t.Fatalf("session again: %v", err)
+	}
+	if s1 != s2 {
+		t.Fatal("second call did not share the cached session")
+	}
+	if n := p.SessionCount(); n != 1 {
+		t.Fatalf("SessionCount = %d, want 1", n)
+	}
+
+	// Exercise an exchange through the cached session.
+	st, err := s1.Open()
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	_ = st.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := st.Send([]byte("echo")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if got, err := st.Recv(nil); err != nil || string(got) != "echo" {
+		t.Fatalf("recv: %q, %v", got, err)
+	}
+	st.Close()
+
+	// Kill the link; the next Session must notice and redial.
+	s1.Close()
+	s3, _, err := p.Session(context.Background(), eps)
+	if err != nil {
+		t.Fatalf("session after death: %v", err)
+	}
+	if s3 == s1 {
+		t.Fatal("pool handed back the dead session")
+	}
+	if !s3.Healthy() {
+		t.Fatal("redialed session not healthy")
+	}
+	st, err = s3.Open()
+	if err != nil {
+		t.Fatalf("open on redial: %v", err)
+	}
+	defer st.Close()
+	_ = st.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := st.Send([]byte("again")); err != nil {
+		t.Fatalf("send on redial: %v", err)
+	}
+	if got, err := st.Recv(nil); err != nil || string(got) != "again" {
+		t.Fatalf("recv on redial: %q, %v", got, err)
+	}
+}
+
+// TestPoolSessionClosed checks Pool.Close fails cached sessions and
+// further Session calls.
+func TestPoolSessionClosed(t *testing.T) {
+	mem := NewMem()
+	l, err := mem.Listen("peer")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	reg := NewRegistry(mem)
+	p := NewPool(reg, 0)
+	s, _, err := p.Session(context.Background(), []string{"inmem:peer"})
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	p.Close()
+	select {
+	case <-s.Done():
+	case <-time.After(time.Second):
+		t.Fatal("cached session not torn down by Pool.Close")
+	}
+	if _, _, err := p.Session(context.Background(), []string{"inmem:peer"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Session after Close: %v, want ErrClosed", err)
+	}
+}
+
+// cancelOnDialMem expires the caller's context while the dial is in
+// flight, then lets the dial succeed anyway — the exact race the late-dial
+// check covers: a connection won by a hair after the caller gave up.
+type cancelOnDialMem struct {
+	*Mem
+	cancel context.CancelFunc
+}
+
+func (c cancelOnDialMem) Dial(addr string) (Conn, error) {
+	c.cancel()
+	return c.Mem.Dial(addr)
+}
+
+// TestGetCtxLateDial covers the deadline race: the dial succeeds but the
+// caller's context expired mid-dial. The caller must get its own ctx
+// error, the connection must be discarded, and the event must count as a
+// late dial — not a pool miss.
+func TestGetCtxLateDial(t *testing.T) {
+	for _, path := range []string{"checkout", "session"} {
+		t.Run(path, func(t *testing.T) {
+			mem := NewMem()
+			l, err := mem.Listen("peer")
+			if err != nil {
+				t.Fatalf("listen: %v", err)
+			}
+			defer l.Close()
+			go func() {
+				for {
+					if _, err := l.Accept(); err != nil {
+						return
+					}
+				}
+			}()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			reg := NewRegistry(cancelOnDialMem{Mem: mem, cancel: cancel})
+			p := NewPool(reg, 0)
+			defer p.Close()
+			m := obs.NewMetrics()
+			p.SetObserver(m, nil)
+
+			if path == "checkout" {
+				_, _, err = p.GetCtx(ctx, []string{"inmem:peer"})
+			} else {
+				_, _, err = p.Session(ctx, []string{"inmem:peer"})
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s with dying ctx: %v, want context.Canceled", path, err)
+			}
+			if n := m.PoolDialLate.Load(); n != 1 {
+				t.Fatalf("PoolDialLate = %d, want 1", n)
+			}
+			if n := m.PoolMisses.Load(); n != 0 {
+				t.Fatalf("late dial counted as pool miss (misses = %d)", n)
+			}
+		})
+	}
+}
+
+// checkoutOnlyMem wraps Mem and opts out of multiplexing.
+type checkoutOnlyMem struct{ *Mem }
+
+func (checkoutOnlyMem) CheckoutOnly() bool { return true }
+
+func TestMuxCapable(t *testing.T) {
+	mem := NewMem()
+	reg := NewRegistry(mem)
+	p := NewPool(reg, 0)
+	defer p.Close()
+	if !p.MuxCapable([]string{"inmem:a", "inmem:b"}) {
+		t.Fatal("plain Mem should be mux-capable")
+	}
+	reg2 := NewRegistry(checkoutOnlyMem{NewMem()})
+	p2 := NewPool(reg2, 0)
+	defer p2.Close()
+	if p2.MuxCapable([]string{"inmem:a"}) {
+		t.Fatal("CheckoutOnly transport reported mux-capable")
+	}
+}
+
+// gatedConn delays every Send until the test releases it, exposing the
+// window between queueing a frame and its physical write.
+type gatedConn struct {
+	Conn
+	gate chan struct{}
+}
+
+func (g *gatedConn) Send(p []byte) error {
+	<-g.gate
+	return g.Conn.Send(p)
+}
+
+// TestSessionSendWaitsForWrite pins the drain-critical Send contract:
+// Send returns only once the frame has been written to the connection,
+// never while it is still sitting in the writer queue. The runtime's
+// graceful shutdown counts a dispatch as finished when its response Send
+// returns, then hard-closes connections — an enqueue-and-return Send
+// would lose queued responses at that point.
+func TestSessionSendWaitsForWrite(t *testing.T) {
+	mem := NewMem()
+	l, err := mem.Listen("peer")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	cc, err := mem.Dial("peer")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	gate := make(chan struct{})
+	s := NewSession(&gatedConn{Conn: cc, gate: gate}, SessionOptions{})
+	defer s.Close()
+	server := NewSession(<-accepted, SessionOptions{Accept: func(st *Stream) {
+		defer st.Close()
+		_, _ = st.Recv(nil)
+	}})
+	defer server.Close()
+
+	st, err := s.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sent := make(chan error, 1)
+	go func() { sent <- st.Send([]byte("frame")) }()
+	select {
+	case err := <-sent:
+		t.Fatalf("Send returned (%v) before the frame was written", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(gate)
+	select {
+	case err := <-sent:
+		if err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send never returned after the write completed")
+	}
+}

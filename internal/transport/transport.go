@@ -7,9 +7,15 @@
 // that design. An endpoint is a string "proto:address"; a Registry maps
 // protocol names to Transport implementations and dials whichever endpoint
 // of a wireRep it recognizes first. Connections carry whole frames (see
-// package wire) and are used synchronously — one outstanding request per
-// connection — with a Pool caching idle connections per endpoint, the
-// checkout discipline of SRC RPC that Network Objects inherited.
+// package wire).
+//
+// Two connection disciplines coexist. The original SRC RPC checkout
+// discipline — one outstanding request per connection, with a Pool
+// caching idle connections per endpoint — is kept for transports that
+// opt out of multiplexing (CheckoutOnly). The default discipline is the
+// multiplexed Session: one connection per peer link carries any number of
+// interleaved exchanges, each on its own Stream tagged by a wire-level
+// mux envelope.
 package transport
 
 import (
@@ -98,6 +104,18 @@ func Healthy(c Conn) bool {
 		return h.Healthy()
 	}
 	return true
+}
+
+// CheckoutOnly is optionally implemented by transports whose connections
+// must not carry multiplexed sessions — because frames from concurrent
+// streams cannot be interleaved safely, or because the deployment wants
+// per-call connections for fault isolation. The Pool refuses to build a
+// Session over such a transport (see Pool.MuxCapable) and callers fall
+// back to Get/Put checkout.
+type CheckoutOnly interface {
+	// CheckoutOnly reports whether connections from this transport are
+	// restricted to the one-call-per-connection checkout discipline.
+	CheckoutOnly() bool
 }
 
 // ContextDialer is optionally implemented by transports whose dialing can

@@ -1,0 +1,37 @@
+package wire
+
+import "sync"
+
+// maxPooledBuf bounds the capacity of buffers returned to the pool. A
+// single huge frame (a large pickled argument) must not pin a megabyte of
+// scratch behind every pool slot forever.
+const maxPooledBuf = 1 << 20
+
+// bufPool recycles scratch buffers for frame assembly and message
+// encoding. GetBuf/PutBuf expose it so the transport session layer and
+// the runtime share one pool for their per-frame buffers instead of
+// allocating per call.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// GetBuf returns a pooled scratch buffer with zero length and nonzero
+// capacity. Return it with PutBuf when the bytes are no longer referenced.
+func GetBuf() *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	*bp = (*bp)[:0]
+	return bp
+}
+
+// PutBuf returns a buffer obtained from GetBuf (or grown from one) to the
+// pool. Oversized buffers are dropped rather than pooled. The caller must
+// not touch *bp afterwards.
+func PutBuf(bp *[]byte) {
+	if bp == nil || cap(*bp) > maxPooledBuf {
+		return
+	}
+	bufPool.Put(bp)
+}

@@ -14,20 +14,34 @@ const MaxFrame = 256 << 20
 // ErrFrameTooLarge reports a frame whose length prefix exceeds MaxFrame.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
 
-// WriteFrame writes one length-prefixed frame containing payload.
-func WriteFrame(w io.Writer, payload []byte) error {
+// AppendFrame appends one length-prefixed frame containing payload to dst
+// and returns the extended slice, so callers assembling frames into
+// reusable buffers avoid the per-frame allocation of WriteFrame's
+// internal path.
+func AppendFrame(dst, payload []byte) ([]byte, error) {
 	if len(payload) > MaxFrame {
-		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+		return dst, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	// Issue a single Write so concurrent writers interleave at frame
-	// granularity when the caller serializes at a higher level anyway, and
-	// so TCP sees one buffer per small frame.
-	buf := make([]byte, 0, 4+len(payload))
-	buf = append(buf, hdr[:]...)
-	buf = append(buf, payload...)
-	_, err := w.Write(buf)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...), nil
+}
+
+// WriteFrame writes one length-prefixed frame containing payload. The
+// header and payload are assembled in a pooled scratch buffer and issued
+// as a single Write, so concurrent writers interleave at frame
+// granularity when the caller serializes at a higher level anyway, TCP
+// sees one buffer per small frame, and the steady state allocates
+// nothing.
+func WriteFrame(w io.Writer, payload []byte) error {
+	bp := GetBuf()
+	buf, err := AppendFrame((*bp)[:0], payload)
+	if err != nil {
+		PutBuf(bp)
+		return err
+	}
+	*bp = buf
+	_, err = w.Write(buf)
+	PutBuf(bp)
 	return err
 }
 

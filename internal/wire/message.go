@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Op identifies a protocol message kind.
@@ -46,6 +47,12 @@ const (
 	// in flight and its context cancelled, StatusNoSuchObject that it had
 	// already finished (or never arrived) — both are fine outcomes.
 	OpCancelAck
+	// OpMux wraps any other message in a multiplexing envelope: the op is
+	// followed by a stream-id uvarint and then the ordinary marshaled
+	// message. Sessions tag every frame on a shared connection with the id
+	// so interleaved responses find their waiting callers. Envelopes do
+	// not nest.
+	OpMux
 )
 
 // String names the op for logs.
@@ -79,6 +86,8 @@ func (o Op) String() string {
 		return "cancel-call"
 	case OpCancelAck:
 		return "cancel-ack"
+	case OpMux:
+		return "mux"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -515,13 +524,29 @@ func (*ResultAck) Op() Op { return OpResultAck }
 func (m *ResultAck) encode(*Encoder) {}
 func (m *ResultAck) decode(*Decoder) {}
 
+// encPool recycles Encoder headers. Marshal is on the per-call hot path
+// and msg.encode is an interface call, so a stack-allocated encoder would
+// escape; pooling keeps the steady state allocation-free when the caller
+// also supplies a reusable buf.
+var encPool = sync.Pool{New: func() any { return new(Encoder) }}
+
 // Marshal encodes msg, including its op byte, appending to buf (which may
 // be nil). The result is a complete frame payload.
 func Marshal(buf []byte, msg Message) []byte {
-	e := NewEncoder(buf)
+	e := encPool.Get().(*Encoder)
+	if buf != nil {
+		e.buf = buf[:0]
+	} else {
+		e.buf = e.buf[:0]
+	}
 	e.Uint(uint64(msg.Op()))
 	msg.encode(e)
-	return e.Bytes()
+	out := e.buf
+	// Detach before pooling so a future Marshal cannot scribble over the
+	// bytes this caller still holds.
+	e.buf = nil
+	encPool.Put(e)
+	return out
 }
 
 // ErrUnknownOp reports a message with an unrecognized op byte.
@@ -529,14 +554,29 @@ var ErrUnknownOp = errors.New("wire: unknown message op")
 
 // PeekOp returns the op of a marshaled frame without decoding the rest,
 // so middleware (fault injection, tracing) can classify traffic cheaply.
-// It returns OpInvalid when the frame is empty or does not start with a
-// valid uvarint.
+// A mux envelope is transparent: PeekOp skips the header and reports the
+// inner message's op, so per-message-type policies (chaos fault rules)
+// behave identically whether or not a frame rides a session. It returns
+// OpInvalid when the frame is empty, does not start with a valid uvarint,
+// or carries a nested envelope.
 func PeekOp(frame []byte) Op {
 	op, n := binary.Uvarint(frame)
-	if n <= 0 || op > uint64(OpCancelAck) {
+	if n <= 0 || op > uint64(OpMux) {
 		return OpInvalid
 	}
-	return Op(op)
+	if Op(op) != OpMux {
+		return Op(op)
+	}
+	rest := frame[n:]
+	_, idn := binary.Uvarint(rest)
+	if idn <= 0 {
+		return OpInvalid
+	}
+	inner, m := binary.Uvarint(rest[idn:])
+	if m <= 0 || inner >= uint64(OpMux) {
+		return OpInvalid
+	}
+	return Op(inner)
 }
 
 // Unmarshal decodes a frame payload produced by Marshal.
