@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	nobench [-t t1,t2,f1,t3,t4,t5,t6,e1|all] [-quick] [-obs] [-http addr]
+//	nobench [-t t1,t2,f1,t3,t4,t5,t6,e1,e2|all] [-quick] [-obs] [-http addr]
 //	nobench -chaos [-chaos-profile loss|partition|crash|mixed|none]
 //	        [-chaos-transport inmem|tcp] [-chaos-seed N] [-chaos-spaces N]
 //	        [-chaos-ops N] [-obs] [-http addr]
@@ -61,7 +61,7 @@ func withObs(o *netobjects.Options) {
 }
 
 func main() {
-	which := flag.String("t", "all", "comma-separated experiments: t1,t2,f1,t3,t4,t5,t6,e1")
+	which := flag.String("t", "all", "comma-separated experiments: t1,t2,f1,t3,t4,t5,t6,e1,e2")
 	obsFlag := flag.Bool("obs", false, "aggregate runtime metrics across experiments and print the digest")
 	httpAddr := flag.String("http", "", "serve live /metrics and /debug/netobj on this address during the run (implies -obs)")
 	chaosFlag := flag.Bool("chaos", false, "run the fault-injection soak instead of the benchmark tables")
@@ -122,6 +122,7 @@ func main() {
 	run("t5", runT5)
 	run("t6", runT6)
 	run("e1", runE1)
+	run("e2", runE2)
 
 	if obsMetrics != nil {
 		fmt.Printf("\n========== METRICS DIGEST ==========\n%s", obsMetrics.Registry().Summary())
@@ -969,5 +970,190 @@ func runChaos(profile, trans string, seed uint64, spaces, ops int) error {
 		return fmt.Errorf("invariants violated (profile=%s seed=%d: rerun with the same flags to reproduce)", profile, seed)
 	}
 	fmt.Println("invariants hold: no premature collection, no leaks, tables empty after heal.")
+	return nil
+}
+
+// --- E2 ------------------------------------------------------------------
+
+// runE2 measures head-of-line blocking on a multiplexed session: 64
+// concurrent null callers share one loopback-TCP link with a single 8MB
+// argument in flight. With flow control (the default) the bulk argument
+// travels as credit-gated chunks and the writer's priority lane lets the
+// small calls overtake between chunks; with DisableFlow the 8MB argument
+// is one frame and every null call queued behind it waits the whole
+// write out. Each cell runs the null storm for the lifetime of one bulk
+// call (the baseline for a matching fixed window with no bulk at all);
+// the acceptance bound is flow-on p99 within 3x of the no-bulk baseline.
+// "stalls" is the client's writer-stall count (data queued, credit
+// exhausted) from netobj_flow_writer_stalls_total.
+func runE2() error {
+	fmt.Println("E2: null-call tail latency beside one 8MB-argument call (64 callers, loopback TCP)")
+	const callers = 64
+	bulk := bytes.Repeat([]byte{'B'}, 8<<20)
+
+	type cell struct {
+		p50, p99 time.Duration
+		nulls    int
+		bulkTime time.Duration
+		stalls   uint64
+	}
+	// window is how long the baseline cell's storm runs; the bulk cells
+	// run for exactly one 8MB call instead.
+	window := 2 * time.Second
+	if *quick {
+		window = 500 * time.Millisecond
+	}
+	runCell := func(disableFlow, withBulk, ownLink bool) (cell, error) {
+		tr := netobjects.NewTCP()
+		cm := netobjects.NewMetrics()
+		mk := func(name string, m *netobjects.Metrics) (*netobjects.Space, error) {
+			return netobjects.New(netobjects.Options{
+				Name:         name,
+				Transports:   []netobjects.Transport{tr},
+				PingInterval: time.Hour,
+				DisableFlow:  disableFlow,
+				Metrics:      m,
+			})
+		}
+		owner, err := mk("e2-owner", nil)
+		if err != nil {
+			return cell{}, err
+		}
+		defer owner.Close()
+		client, err := mk("e2-client", cm)
+		if err != nil {
+			return cell{}, err
+		}
+		defer client.Close()
+		oref, err := owner.Export(&benchService{})
+		if err != nil {
+			return cell{}, err
+		}
+		w, err := oref.WireRep()
+		if err != nil {
+			return cell{}, err
+		}
+		ref, err := client.Import(w)
+		if err != nil {
+			return cell{}, err
+		}
+		if _, err := ref.Call("Null"); err != nil { // warm the session + flow hello
+			return cell{}, err
+		}
+		// With ownLink the bulk call leaves from a second client space:
+		// same CPU churn, its own session — a control that isolates the
+		// shared-writer effect from plain compute contention.
+		bulkRef := ref
+		if ownLink {
+			client2, err := mk("e2-client2", nil)
+			if err != nil {
+				return cell{}, err
+			}
+			defer client2.Close()
+			if bulkRef, err = client2.Import(w); err != nil {
+				return cell{}, err
+			}
+			if _, err := bulkRef.Call("Null"); err != nil {
+				return cell{}, err
+			}
+		}
+
+		stop := make(chan struct{})
+		lats := make([][]time.Duration, callers)
+		errc := make(chan error, callers+1)
+		var wg sync.WaitGroup
+		for g := 0; g < callers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				var ls []time.Duration
+				for {
+					select {
+					case <-stop:
+						lats[g] = ls
+						return
+					default:
+					}
+					t0 := time.Now()
+					if _, err := ref.Call("Null"); err != nil {
+						errc <- err
+						return
+					}
+					ls = append(ls, time.Since(t0))
+				}
+			}(g)
+		}
+		// Give the storm a beat to reach steady state, then start the
+		// clock: the bulk call's lifetime is the measurement window.
+		time.Sleep(100 * time.Millisecond)
+		var c cell
+		t0 := time.Now()
+		if withBulk {
+			if _, err := bulkRef.Call("Bytes", bulk); err != nil {
+				errc <- err
+			}
+		} else {
+			time.Sleep(window)
+		}
+		c.bulkTime = time.Since(t0)
+		close(stop)
+		wg.Wait()
+		select {
+		case err := <-errc:
+			return cell{}, err
+		default:
+		}
+		var all []time.Duration
+		for _, ls := range lats {
+			all = append(all, ls...)
+		}
+		if len(all) == 0 {
+			return cell{}, fmt.Errorf("no null calls completed")
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		q := func(p float64) time.Duration { return all[min(int(float64(len(all))*p), len(all)-1)] }
+		c.p50, c.p99, c.nulls = q(0.50), q(0.99), len(all)
+		c.stalls = cm.FlowWriterStalls.Load()
+		return c, nil
+	}
+
+	fmt.Printf("%-18s %12s %12s %8s %12s %8s\n", "mode", "null p50", "null p99", "nulls", "8MB time", "stalls")
+	var base, ctl, on cell
+	for _, m := range []struct {
+		name        string
+		disableFlow bool
+		withBulk    bool
+		ownLink     bool
+	}{
+		{"no-bulk baseline", false, false, false},
+		{"bulk on own link", false, true, true},
+		{"flow on + bulk", false, true, false},
+		{"flow off + bulk", true, true, false},
+	} {
+		c, err := runCell(m.disableFlow, m.withBulk, m.ownLink)
+		if err != nil {
+			return err
+		}
+		bt := "-"
+		if m.withBulk {
+			bt = c.bulkTime.Round(time.Millisecond).String()
+		}
+		fmt.Printf("%-18s %12s %12s %8d %12s %8d\n", m.name,
+			c.p50.Round(time.Microsecond), c.p99.Round(time.Microsecond), c.nulls, bt, c.stalls)
+		switch m.name {
+		case "no-bulk baseline":
+			base = c
+		case "bulk on own link":
+			ctl = c
+		case "flow on + bulk":
+			on = c
+		}
+	}
+	fmt.Printf("flow-on p99 is %.1fx the no-bulk baseline (acceptance bound: <= 3x)\n",
+		float64(on.p99)/float64(base.p99))
+	fmt.Printf("flow-on p99 is %.1fx the own-link control (the shared-session penalty flow control is answerable for;\n"+
+		"the rest of the tail is the 8MB call's compute churn, which hits every goroutine on a small CPU count)\n",
+		float64(on.p99)/float64(ctl.p99))
+	fmt.Println("shape check: flow-off p99 absorbs the whole 8MB wire time; flow-on p99 tracks the own-link control.")
 	return nil
 }

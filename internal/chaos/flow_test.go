@@ -1,0 +1,136 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"netobjects/internal/flow"
+	"netobjects/internal/transport"
+	"netobjects/internal/wire"
+)
+
+// TestFlowOpsClassified pins that the session layer's flow frames
+// self-identify to the fault injector, so per-op rules can target a
+// dropped grant or a lost chunk specifically — and that none of them is
+// ever considered replayable: a duplicated chunk would corrupt an
+// assembly and a duplicated grant would mint credit.
+func TestFlowOpsClassified(t *testing.T) {
+	frames := map[wire.Op][]byte{
+		wire.OpData:         wire.AppendDataHeader(nil, 9, wire.DataFlagLast),
+		wire.OpWindowUpdate: wire.AppendWindowUpdate(nil, 9, 4096),
+		wire.OpFlowPing:     wire.AppendFlowPing(nil, 3, false),
+		wire.OpFlowPong:     wire.AppendFlowPing(nil, 3, true),
+	}
+	for op, frame := range frames {
+		if got := wire.PeekOp(frame); got != op {
+			t.Fatalf("frame for %v classifies as %v", op, got)
+		}
+		r := Rules{Drop: 1, Ops: []wire.Op{op}}
+		if !r.matches(op) {
+			t.Fatalf("rules restricted to %v do not match it", op)
+		}
+		if r.matches(wire.OpCall) {
+			t.Fatalf("rules restricted to %v match OpCall", op)
+		}
+		if duplicable(op) {
+			t.Fatalf("%v is duplicable; flow frames must never be replayed", op)
+		}
+	}
+}
+
+// TestDroppedWindowUpdatesFailBounded is the issue's no-silent-deadlock
+// property: with every window update swallowed, a credit-gated bulk
+// transfer stalls — and the stalled sender must fail at its deadline,
+// tear the receiver's half down with a reset, and leave the session
+// usable for small traffic. What it must never do is hang past the
+// deadline.
+func TestDroppedWindowUpdatesFailBounded(t *testing.T) {
+	mem := transport.NewMem()
+	ct := New(mem, "client", 7)
+	// Grants travel from the data's receiver; the client dials, so its
+	// outbound grants are the ones the injector can swallow.
+	ct.SetRules(Rules{Drop: 1.0, Ops: []wire.Op{wire.OpWindowUpdate}})
+
+	l, err := mem.Listen("owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	p := flow.Params{ChunkSize: 2 << 10, StreamWindow: 8 << 10, SessionWindow: 64 << 10, KeepaliveInterval: -1}
+	const sendDeadline = 1 * time.Second
+	srvErr := make(chan error, 16)
+	accepted := make(chan transport.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	cc, err := ct.Dial("owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := transport.NewSession(cc, transport.SessionOptions{Flow: &p})
+	defer client.Close()
+	big := make([]byte, 256<<10)
+	server := transport.NewSession(<-accepted, transport.SessionOptions{Flow: &p, Accept: func(st *transport.Stream) {
+		defer st.Close()
+		req, err := st.Recv(nil)
+		if err != nil {
+			return
+		}
+		if string(req) == "bulk" {
+			_ = st.SetDeadline(time.Now().Add(sendDeadline))
+			srvErr <- st.Send(big)
+			return
+		}
+		_ = st.Send(req)
+	}})
+	defer server.Close()
+
+	st, err := client.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_ = st.SetDeadline(time.Now().Add(30 * time.Second))
+	if err := st.Send([]byte("bulk")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The server exhausts its 8KB stream window (the grants that would
+	// refill it are all dropped) and must fail at its send deadline.
+	select {
+	case err := <-srvErr:
+		if err == nil {
+			t.Fatal("256KB send completed with every window update dropped")
+		}
+		if err != transport.ErrTimeout {
+			t.Fatalf("stalled send failed with %v, want ErrTimeout at its deadline", err)
+		}
+	case <-time.After(sendDeadline + 5*time.Second):
+		t.Fatal("stalled send still blocked well past its deadline: silent deadlock")
+	}
+
+	// The abort's reset must tear down the client's half — Recv errors
+	// rather than waiting forever for the missing final chunk.
+	if _, err := st.Recv(nil); err == nil {
+		t.Fatal("client received a complete message from an aborted transfer")
+	}
+
+	// The link itself must survive: small frames use no data credit and
+	// round-trip fine after the failure.
+	est, err := client.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer est.Close()
+	_ = est.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := est.Send([]byte("echo")); err != nil {
+		t.Fatalf("small send after stalled bulk: %v", err)
+	}
+	if _, err := est.Recv(nil); err != nil {
+		t.Fatalf("small recv after stalled bulk: %v", err)
+	}
+}

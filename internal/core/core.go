@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"netobjects/internal/dgc"
+	"netobjects/internal/flow"
 	"netobjects/internal/objtable"
 	"netobjects/internal/obs"
 	"netobjects/internal/pickle"
@@ -133,6 +134,22 @@ type Options struct {
 	// to a peer cost N connections. Transports may also force checkout
 	// per-link by implementing transport.CheckoutOnly.
 	DisableMux bool
+	// DisableFlow turns off credit-based flow control, chunked
+	// large-payload streaming and session keepalives on mux links (see
+	// internal/flow). With flow on — the default — payloads larger than
+	// the chunk size stream as bounded chunks interleaved fairly across
+	// streams, cancels and collector RPCs jump queued data in a priority
+	// lane, and keepalives detect dead peers between calls. Flow sessions
+	// interoperate with DisableFlow (and pre-flow) peers automatically:
+	// capability is advertised per session and large frames fall back to
+	// single unchunked writes against a legacy peer.
+	DisableFlow bool
+	// KeepaliveInterval paces session keepalive probes on flow-enabled
+	// mux links; a peer silent for two intervals fails the session.
+	// Zero selects the default (10s); negative disables keepalives,
+	// restoring the per-call connection health probe. Ignored when
+	// DisableFlow is set.
+	KeepaliveInterval time.Duration
 	// Variant selects the collector protocol variant: VariantBirrell
 	// (default, correct over unordered channels) or VariantFIFO (the
 	// paper's §5.1 optimisation: per-owner ordered collector traffic and
@@ -306,6 +323,7 @@ func NewSpace(opts Options) (*Space, error) {
 	sp.treg = transport.NewRegistry(ts...)
 	sp.pool = transport.NewPool(sp.treg, opts.MaxIdleConns)
 	sp.pool.SetObserver(sp.metrics, sp.tracer)
+	sp.pool.SetFlow(sp.flowParams())
 	if opts.IdleConnTTL != 0 {
 		sp.pool.SetIdleTTL(opts.IdleConnTTL)
 	}
@@ -508,15 +526,28 @@ func (sp *Space) muxSessionsSnapshot() []obs.SessionInfo {
 	for _, s := range servers {
 		st := s.Stats()
 		out = append(out, obs.SessionInfo{
-			Endpoint:   s.Label(),
-			Dir:        "in",
-			InFlight:   st.InFlight,
-			QueueDepth: st.QueueDepth,
-			BytesSent:  st.BytesSent,
-			BytesRecv:  st.BytesRecv,
+			Endpoint:    s.Label(),
+			Dir:         "in",
+			InFlight:    st.InFlight,
+			QueueDepth:  st.QueueDepth,
+			BytesSent:   st.BytesSent,
+			BytesRecv:   st.BytesRecv,
+			Flow:        obs.FlowLabel(st.FlowEnabled, st.PeerFlow),
+			SendWindow:  st.SendWindow,
+			QueuedBytes: st.FlowQueued,
+			Stalls:      st.FlowStalls,
 		})
 	}
 	return out
+}
+
+// flowParams resolves the flow-control parameters mux sessions (outbound
+// and inbound) are created with, nil when DisableFlow is set.
+func (sp *Space) flowParams() *flow.Params {
+	if sp.opts.DisableFlow {
+		return nil
+	}
+	return &flow.Params{KeepaliveInterval: sp.opts.KeepaliveInterval}
 }
 
 // useMux reports whether exchanges with the peer at endpoints should ride

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"netobjects/internal/pickle"
+	"netobjects/internal/transport"
+)
+
+// slowTransport wraps a transport and delays every Send of a bulk-sized
+// frame, so a chunked large argument occupies the link long enough for
+// priority effects to be observable. Small frames (calls, cancels,
+// window updates) pass at full speed — the delay models a thin pipe, not
+// a frozen one.
+type slowTransport struct {
+	transport.Transport
+	delay time.Duration
+	big   int
+}
+
+func (t *slowTransport) Dial(addr string) (transport.Conn, error) {
+	c, err := t.Transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &slowTpConn{Conn: c, delay: t.delay, big: t.big}, nil
+}
+
+type slowTpConn struct {
+	transport.Conn
+	delay time.Duration
+	big   int
+}
+
+func (c *slowTpConn) Send(p []byte) error {
+	if len(p) >= c.big {
+		time.Sleep(c.delay)
+	}
+	return c.Conn.Send(p)
+}
+
+type blobService struct{}
+
+func (b *blobService) Sink(p []byte) (int64, error) { return int64(len(p)), nil }
+
+// TestCancelDuringBulkArgument is the priority-lane regression test from
+// the issue: a context cancel fired while an 8MB argument is mid-stream
+// must land promptly — through the writer's priority lane ahead of the
+// queued chunks — instead of waiting for the whole argument to drain.
+// Before flow control, the 8MB frame was a single write and the cancel
+// could do no better; with chunking the cancel overtakes between chunks.
+func TestCancelDuringBulkArgument(t *testing.T) {
+	mem := transport.NewMem()
+	// 4ms per ≥32KB frame: the 8MB argument is 128 default-sized chunks,
+	// ≥512ms of wire time. The cancel fires at 50ms, a fraction in.
+	slow := &slowTransport{Transport: mem, delay: 4 * time.Millisecond, big: 32 << 10}
+	mk := func(name string, tp transport.Transport) *Space {
+		sp, err := NewSpace(Options{
+			Name:         name,
+			Transports:   []transport.Transport{tp},
+			Registry:     pickle.NewRegistry(),
+			CallTimeout:  30 * time.Second,
+			PingInterval: time.Hour,
+		})
+		if err != nil {
+			t.Fatalf("space %s: %v", name, err)
+		}
+		t.Cleanup(func() { _ = sp.Close() })
+		return sp
+	}
+	owner := mk("owner", mem)
+	client := mk("client", slow)
+
+	ref, err := owner.Export(&blobService{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cref := handoff(t, ref, client)
+
+	// Warm the session (and confirm the flow hello) with a small call.
+	if _, err := cref.Call("Sink", []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+
+	blob := bytes.Repeat([]byte{'b'}, 8<<20)
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(50*time.Millisecond, cancel)
+	start := time.Now()
+	_, err = cref.CallCtx(ctx, "Sink", blob)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled bulk call returned success")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled bulk call returned %v, want context.Canceled through the chain", err)
+	}
+	// Full streaming time is ≥512ms by construction; a cancel that had
+	// to wait for the argument to drain would be pinned behind it.
+	if elapsed > 400*time.Millisecond {
+		t.Fatalf("cancel took %v to land mid-stream, want well under the ≥512ms full-stream time", elapsed)
+	}
+
+	// The link must remain healthy for subsequent calls: the abort
+	// reset cleaned up the server's partial assembly.
+	if _, err := cref.Call("Sink", []byte("after")); err != nil {
+		t.Fatalf("call after cancelled bulk: %v", err)
+	}
+}

@@ -114,6 +114,8 @@ func (sp *Space) serveMux(c transport.Conn, first []byte) {
 	s := transport.NewSession(c, transport.SessionOptions{
 		Preread: preread,
 		Accept:  sp.serveStream,
+		Flow:    sp.flowParams(),
+		Metrics: sp.metrics,
 	})
 	sp.mu.Lock()
 	sp.muxServers[s] = struct{}{}

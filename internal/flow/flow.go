@@ -1,0 +1,79 @@
+// Package flow implements credit-based flow control, chunking and
+// keepalives for multiplexed peer sessions, in the HTTP/2 style.
+//
+// The mux layer gave every exchange on a link one shared writer; this
+// package makes that writer safe at production payload sizes. Network
+// Objects marshals buffered streams by handing the underlying connection
+// to the data precisely because bulk payloads and small control messages
+// must not contend for one pipe — here the contention is resolved by
+// scheduling instead: payloads larger than the chunk size are split into
+// bounded OpData chunks interleaved round-robin across streams, control
+// frames (cancels, collector RPCs, window updates) travel in a strict
+// priority lane ahead of queued data, and per-stream plus session-level
+// byte windows let a receiver backpressure exactly one slow stream
+// without stalling the link. Session keepalives (OpFlowPing/Pong) detect
+// dead peers between calls and retire the per-call connection probe.
+//
+// The package is deliberately transport-free: Scheduler, RecvLedger and
+// Keepalive are pure state machines driven by the session's writer,
+// reader and timer goroutines in internal/transport.
+package flow
+
+import "time"
+
+// Defaults. The chunk size bounds how long a control frame can wait
+// behind an in-progress data write; the windows bound per-stream and
+// per-link buffering. The stream window must comfortably exceed the
+// chunk size or a single chunk could never be granted.
+const (
+	// DefaultChunkSize is the largest data chunk a session sends: 64KB,
+	// small enough that a cancel jumps the line within one write.
+	DefaultChunkSize = 64 << 10
+	// DefaultStreamWindow bounds un-consumed bytes in flight on one
+	// stream.
+	DefaultStreamWindow = 256 << 10
+	// DefaultSessionWindow bounds un-consumed data bytes in flight across
+	// the whole link.
+	DefaultSessionWindow = 1 << 20
+	// DefaultKeepaliveInterval paces session keepalive pings; a peer
+	// silent for two intervals is declared dead.
+	DefaultKeepaliveInterval = 10 * time.Second
+	// KeepaliveMisses is how many silent intervals declare a peer dead.
+	KeepaliveMisses = 2
+)
+
+// Params configures one session's flow control. The zero value of any
+// field selects its default; use Withdefaults to resolve them.
+type Params struct {
+	// ChunkSize is the largest data chunk this session is willing to
+	// receive (advertised in its hello) and the default for sends until
+	// the peer's hello arrives.
+	ChunkSize int
+	// StreamWindow is the per-stream receive window advertised to the
+	// peer.
+	StreamWindow int64
+	// SessionWindow is the session-level receive window advertised to
+	// the peer.
+	SessionWindow int64
+	// KeepaliveInterval paces keepalive pings; 0 selects the default and
+	// a negative value disables keepalives for the session.
+	KeepaliveInterval time.Duration
+}
+
+// WithDefaults returns p with zero fields resolved to the package
+// defaults.
+func (p Params) WithDefaults() Params {
+	if p.ChunkSize <= 0 {
+		p.ChunkSize = DefaultChunkSize
+	}
+	if p.StreamWindow <= 0 {
+		p.StreamWindow = DefaultStreamWindow
+	}
+	if p.SessionWindow <= 0 {
+		p.SessionWindow = DefaultSessionWindow
+	}
+	if p.KeepaliveInterval == 0 {
+		p.KeepaliveInterval = DefaultKeepaliveInterval
+	}
+	return p
+}

@@ -1,0 +1,52 @@
+package flow
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Keepalive is the dead-peer detector for one session. The session's
+// reader calls Touch on every inbound frame (any traffic proves the peer
+// alive — pongs are not special); a timer goroutine calls Tick once per
+// interval and pings whenever the link has been quiet. A peer silent for
+// KeepaliveMisses consecutive intervals is declared dead, so detection is
+// bounded by 2 intervals from the moment the peer stops responding.
+//
+// Time is passed in explicitly so the state machine is testable without
+// real clocks.
+type Keepalive struct {
+	interval  time.Duration
+	lastAlive atomic.Int64 // UnixNano of the most recent inbound frame
+	token     atomic.Uint64
+}
+
+// NewKeepalive returns a detector pinging at interval, primed at now.
+func NewKeepalive(interval time.Duration, now time.Time) *Keepalive {
+	k := &Keepalive{interval: interval}
+	k.lastAlive.Store(now.UnixNano())
+	return k
+}
+
+// Interval returns the configured ping interval.
+func (k *Keepalive) Interval() time.Duration { return k.interval }
+
+// Touch records inbound traffic at now.
+func (k *Keepalive) Touch(now time.Time) {
+	k.lastAlive.Store(now.UnixNano())
+}
+
+// Tick advances the detector at now. dead reports that the peer has been
+// silent for KeepaliveMisses intervals and the session must be failed;
+// otherwise ping reports whether a probe should be sent (the link is
+// quiet) and token is the probe's payload.
+func (k *Keepalive) Tick(now time.Time) (dead bool, ping bool, token uint64) {
+	quiet := now.UnixNano() - k.lastAlive.Load()
+	if quiet >= int64(KeepaliveMisses*k.interval) {
+		return true, false, 0
+	}
+	if quiet < int64(k.interval)/2 {
+		// Recent traffic already proves liveness; skip the probe.
+		return false, false, 0
+	}
+	return false, true, k.token.Add(1)
+}

@@ -1,0 +1,80 @@
+package flow
+
+import "sync"
+
+// RecvLedger is the receiver side of one flow-control window: it decides
+// when to grant credit back to the sender. The sender's spendable credit
+// is W minus whatever the ledger has not re-granted, so the ledger's one
+// job is to track a signed debt — bytes consumed locally that the sender
+// has not yet been credited for — and release it in coalesced grants.
+//
+// Consumption has deliberately eager semantics: a chunk counts as
+// consumed the moment it lands in the partial assembly (Chunk), is
+// un-consumed when the assembly completes into a message that now sits
+// undelivered in the stream's inbox (Complete), and is re-consumed when
+// the application finally receives it (Delivered). Granting during
+// assembly is what keeps a message larger than the window streamable at
+// all; freezing the window while completed messages sit undelivered is
+// what backpressures a slow consumer. For the session-level ledger, which
+// has no inbox, only Chunk is used: credit regenerates as fast as chunks
+// are assimilated, so the session window bounds the wire burst, not
+// consumer speed.
+//
+// Deadlock-freedom: grants are withheld only while debt < threshold. With
+// threshold ≤ W/4, a sender starved to zero credit implies at least
+// 3W/4 bytes are either in flight, in an undelivered message, or in
+// unflushed debt; once the wire drains and the consumer catches up the
+// debt alone must reach W > threshold and flush.
+type RecvLedger struct {
+	mu        sync.Mutex
+	debt      int64 // consumed-but-ungranted bytes; may go negative after Complete
+	threshold int64 // grants are withheld below this, to coalesce updates
+}
+
+// NewRecvLedger returns a ledger for a window of w bytes, coalescing
+// grants to roughly quarter-window updates.
+func NewRecvLedger(w int64) *RecvLedger {
+	t := w / 4
+	if t < 1 {
+		t = 1
+	}
+	return &RecvLedger{threshold: t}
+}
+
+// flush returns the grant to issue now, zero if still coalescing.
+// Callers hold mu.
+func (l *RecvLedger) flush() int64 {
+	if l.debt < l.threshold {
+		return 0
+	}
+	g := l.debt
+	l.debt = 0
+	return g
+}
+
+// Chunk records n received bytes entering the partial assembly and
+// returns the credit to grant the sender now (0 to keep coalescing).
+func (l *RecvLedger) Chunk(n int) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.debt += int64(n)
+	return l.flush()
+}
+
+// Complete records that an assembled message of size n moved to the inbox
+// undelivered: its bytes stop counting as consumed until Delivered, which
+// freezes further grants while the consumer lags.
+func (l *RecvLedger) Complete(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.debt -= int64(n)
+}
+
+// Delivered records that the application consumed a message of size n and
+// returns the credit to grant the sender now (0 to keep coalescing).
+func (l *RecvLedger) Delivered(n int) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.debt += int64(n)
+	return l.flush()
+}

@@ -68,6 +68,16 @@ type Metrics struct {
 	DialLatency  *Histogram
 	BytesSent    *Counter
 	BytesRecv    *Counter
+
+	// Session flow control and keepalives (internal/flow).
+	FlowChunksSent        *Counter
+	FlowWindowUpdatesSent *Counter
+	FlowWindowUpdatesRecv *Counter
+	FlowWriterStalls      *Counter
+	FlowFallbacks         *Counter
+	KeepalivePingsSent    *Counter
+	KeepalivePongsRecv    *Counter
+	KeepaliveFailures     *Counter
 }
 
 // NewMetrics returns a fresh metrics set with every metric registered
@@ -125,6 +135,15 @@ func NewMetrics() *Metrics {
 		DialLatency:  r.Histogram("netobj_dial_latency_seconds", "Connection establishment latency."),
 		BytesSent:    r.Counter("netobj_bytes_sent_total", "Wire payload bytes sent."),
 		BytesRecv:    r.Counter("netobj_bytes_recv_total", "Wire payload bytes received."),
+
+		FlowChunksSent:        r.Counter("netobj_flow_chunks_sent_total", "Data chunks sent by flow-enabled session writers."),
+		FlowWindowUpdatesSent: r.Counter("netobj_flow_window_updates_sent_total", "Flow-control credit grants sent to peers."),
+		FlowWindowUpdatesRecv: r.Counter("netobj_flow_window_updates_recv_total", "Flow-control credit grants received from peers."),
+		FlowWriterStalls:      r.Counter("netobj_flow_writer_stalls_total", "Times a session writer had data queued but no credit to send it."),
+		FlowFallbacks:         r.Counter("netobj_flow_fallbacks_total", "Large sends that fell back to a single unchunked frame because the peer never advertised flow support."),
+		KeepalivePingsSent:    r.Counter("netobj_keepalive_pings_sent_total", "Session keepalive probes sent."),
+		KeepalivePongsRecv:    r.Counter("netobj_keepalive_pongs_recv_total", "Session keepalive probe answers received."),
+		KeepaliveFailures:     r.Counter("netobj_keepalive_failures_total", "Sessions failed because the peer went silent past the keepalive allowance."),
 	}
 }
 

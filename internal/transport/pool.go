@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"netobjects/internal/flow"
 	"netobjects/internal/obs"
 	"netobjects/internal/wire"
 )
@@ -46,6 +47,7 @@ type Pool struct {
 
 	metrics *obs.Metrics
 	tracer  obs.Tracer
+	flow    *flow.Params
 
 	mu       sync.Mutex
 	idle     map[string][]idleConn
@@ -91,6 +93,15 @@ func (p *Pool) SetObserver(m *obs.Metrics, t obs.Tracer) {
 	p.mu.Lock()
 	p.metrics = m
 	p.tracer = t
+	p.mu.Unlock()
+}
+
+// SetFlow installs the flow-control parameters new outbound sessions are
+// created with. Nil (the default) disables flow control: sessions behave
+// exactly as before the subsystem existed.
+func (p *Pool) SetFlow(fp *flow.Params) {
+	p.mu.Lock()
+	p.flow = fp
 	p.mu.Unlock()
 }
 
@@ -316,7 +327,10 @@ func (p *Pool) Session(ctx context.Context, endpoints []string) (*Session, strin
 	if t != nil {
 		t.Emit(obs.Event{Kind: obs.EvPoolMiss, Time: time.Now(), Key: ep, Dur: dial})
 	}
-	slot.s = NewSession(c, SessionOptions{})
+	p.mu.Lock()
+	fp := p.flow
+	p.mu.Unlock()
+	slot.s = NewSession(c, SessionOptions{Flow: fp, Metrics: m})
 	slot.ep = ep
 	return slot.s, ep, nil
 }
@@ -378,12 +392,16 @@ func (p *Pool) SessionsSnapshot() []obs.SessionInfo {
 		}
 		st := s.Stats()
 		out = append(out, obs.SessionInfo{
-			Endpoint:   ep,
-			Dir:        "out",
-			InFlight:   st.InFlight,
-			QueueDepth: st.QueueDepth,
-			BytesSent:  st.BytesSent,
-			BytesRecv:  st.BytesRecv,
+			Endpoint:    ep,
+			Dir:         "out",
+			InFlight:    st.InFlight,
+			QueueDepth:  st.QueueDepth,
+			BytesSent:   st.BytesSent,
+			BytesRecv:   st.BytesRecv,
+			Flow:        obs.FlowLabel(st.FlowEnabled, st.PeerFlow),
+			SendWindow:  st.SendWindow,
+			QueuedBytes: st.FlowQueued,
+			Stalls:      st.FlowStalls,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Endpoint < out[j].Endpoint })

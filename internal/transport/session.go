@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"netobjects/internal/flow"
 	"netobjects/internal/obs"
 	"netobjects/internal/wire"
 )
@@ -54,6 +55,15 @@ type SessionOptions struct {
 	// WriteQueue overrides the writer queue capacity (DefaultWriteQueue
 	// when zero).
 	WriteQueue int
+	// Flow, when non-nil, enables credit-based flow control, chunked
+	// large-payload streaming and keepalives for the session (see
+	// internal/flow). Zero fields take the package defaults. A nil Flow
+	// keeps the legacy mux-only behaviour; the two interoperate — flow
+	// frames are only sent to peers that advertised the capability.
+	Flow *flow.Params
+	// Metrics, when non-nil, receives the session's flow-control and
+	// keepalive counters.
+	Metrics *obs.Metrics
 }
 
 // Session multiplexes logical streams over one Conn. It assumes exclusive
@@ -63,6 +73,10 @@ type SessionOptions struct {
 type Session struct {
 	c      Conn
 	accept func(*Stream)
+
+	// flow is the session's flow-control state, nil when disabled. See
+	// session_flow.go.
+	flow *flowState
 
 	writeCh chan writeReq
 	done    chan struct{}
@@ -91,6 +105,18 @@ type SessionStats struct {
 	// envelopes included.
 	BytesSent uint64
 	BytesRecv uint64
+	// FlowEnabled reports that the session was created with flow control;
+	// PeerFlow that the peer advertised the capability too (until then —
+	// or forever, against a legacy peer — large frames travel unchunked).
+	FlowEnabled bool
+	PeerFlow    bool
+	// SendWindow is the remaining session-level send credit in bytes and
+	// FlowQueued the data bytes queued awaiting credit or the writer;
+	// FlowStalls counts times the writer found data queued but nothing
+	// sendable for lack of credit. All zero on non-flow sessions.
+	SendWindow int64
+	FlowQueued int64
+	FlowStalls uint64
 }
 
 // NewSession wraps c in a session and starts its writer and demux-reader
@@ -108,9 +134,24 @@ func NewSession(c Conn, opts SessionOptions) *Session {
 		done:    make(chan struct{}),
 		streams: make(map[uint64]*Stream),
 	}
-	s.loops.Add(2)
+	if opts.Flow != nil {
+		s.flow = newFlowState(opts.Flow.WithDefaults(), opts.Metrics)
+		// Advertise our receive windows before anything else can be
+		// queued: the hello must be the session's first frame, so a
+		// receiving server switches into session mode on it and a
+		// flow-enabled peer learns our capability as early as possible.
+		s.writeCh <- writeReq{bp: s.flow.helloFrame(), ack: make(chan error, 1)}
+	}
+	loops := 2
+	if s.flow != nil && s.flow.ka != nil {
+		loops++
+	}
+	s.loops.Add(loops)
 	go s.writeLoop()
 	go s.readLoop(opts.Preread)
+	if s.flow != nil && s.flow.ka != nil {
+		go s.keepaliveLoop()
+	}
 	return s
 }
 
@@ -137,7 +178,10 @@ func (s *Session) OpenID(id uint64) (*Stream, error) {
 }
 
 func (s *Session) newStreamLocked(id uint64) *Stream {
-	st := &Stream{s: s, id: id, in: make(chan *[]byte, streamInbox), done: make(chan struct{})}
+	st := &Stream{s: s, id: id, in: make(chan inMsg, streamInbox), done: make(chan struct{})}
+	if s.flow != nil {
+		st.ledger = flow.NewRecvLedger(s.flow.params.StreamWindow)
+	}
 	s.streams[id] = st
 	return st
 }
@@ -160,6 +204,9 @@ func (s *Session) fail(cause error) {
 	s.cause = cause
 	s.mu.Unlock()
 	close(s.done)
+	if s.flow != nil {
+		s.flow.sched.Fail(s.closeErr())
+	}
 	_ = s.c.Close()
 }
 
@@ -197,12 +244,18 @@ func (s *Session) closeErr() error {
 }
 
 // Healthy reports whether the session can still carry traffic, so a
-// session cache can decide between reuse and redial.
+// session cache can decide between reuse and redial. On a flow-enabled
+// link with a confirmed flow peer, the session keepalive owns liveness —
+// a dead peer fails the session within two intervals — so the per-call
+// connection probe is retired; against a legacy peer it still runs.
 func (s *Session) Healthy() bool {
 	select {
 	case <-s.done:
 		return false
 	default:
+	}
+	if f := s.flow; f != nil && f.ka != nil && f.peerOK.Load() {
+		return true
 	}
 	return Healthy(s.c)
 }
@@ -215,12 +268,20 @@ func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
 	inflight := len(s.streams)
 	s.mu.Unlock()
-	return SessionStats{
+	st := SessionStats{
 		InFlight:   inflight,
 		QueueDepth: len(s.writeCh),
 		BytesSent:  s.bytesSent.Load(),
 		BytesRecv:  s.bytesRecv.Load(),
 	}
+	if f := s.flow; f != nil {
+		st.FlowEnabled = true
+		st.PeerFlow = f.peerOK.Load()
+		st.SendWindow = f.sched.SessAvail()
+		st.FlowQueued = f.sched.QueuedBytes()
+		st.FlowStalls = f.sched.Stalls()
+	}
+	return st
 }
 
 // writeReq is one queued frame plus the channel that reports its
@@ -233,25 +294,75 @@ type writeReq struct {
 // writeLoop drains the writer queue onto the connection. Frames from all
 // streams are serialized here — queue depth, not connection count, is
 // what concurrency costs.
+//
+// With flow control enabled the loop becomes a strict priority
+// scheduler: pending protocol frames (pongs, window grants, resets,
+// pings) first, then every queued writeCh frame — small calls,
+// responses, cancels, collector RPCs — and only with both lanes empty
+// one credit-gated data chunk. A cancel therefore overtakes any queued
+// bulk payload and waits at most one chunk write.
 func (s *Session) writeLoop() {
 	defer s.loops.Done()
+	var ctrlKick, dataKick <-chan struct{}
+	if s.flow != nil {
+		ctrlKick = s.flow.kick
+		dataKick = s.flow.sched.Kick()
+	}
 	for {
-		select {
-		case req := <-s.writeCh:
-			err := s.c.Send(*req.bp)
-			if err == nil {
-				s.bytesSent.Add(uint64(len(*req.bp)))
+		if s.flow != nil {
+			if err := s.flow.writeControl(s); err != nil {
+				s.fail(err)
+				return
 			}
-			wire.PutBuf(req.bp)
-			req.ack <- err
+		}
+		select {
+		case <-s.done:
+			return
+		case req := <-s.writeCh:
+			if !s.writeOne(req) {
+				return
+			}
+			continue
+		default:
+		}
+		if s.flow != nil {
+			wrote, err := s.flow.writeData(s)
 			if err != nil {
 				s.fail(err)
 				return
 			}
+			if wrote {
+				continue
+			}
+		}
+		// Both lanes empty: block until there is work.
+		select {
+		case req := <-s.writeCh:
+			if !s.writeOne(req) {
+				return
+			}
+		case <-ctrlKick:
+		case <-dataKick:
 		case <-s.done:
 			return
 		}
 	}
+}
+
+// writeOne sends one queued frame, acking the Stream.Send that queued it.
+// It reports false when the write failed and the session is down.
+func (s *Session) writeOne(req writeReq) bool {
+	err := s.c.Send(*req.bp)
+	if err == nil {
+		s.bytesSent.Add(uint64(len(*req.bp)))
+	}
+	wire.PutBuf(req.bp)
+	req.ack <- err
+	if err != nil {
+		s.fail(err)
+		return false
+	}
+	return true
 }
 
 // readLoop demultiplexes inbound frames to their streams by envelope id.
@@ -272,16 +383,77 @@ func (s *Session) readLoop(preread []byte) {
 			scratch = frame
 		}
 		s.bytesRecv.Add(uint64(len(frame)))
-		id, payload, err := wire.SplitMux(frame)
-		if err != nil {
-			// A bare frame on a multiplexed connection means the peer lost
-			// track of the protocol; nothing on this link can be trusted.
-			s.fail(fmt.Errorf("transport: non-mux frame on session: %w", err))
-			return
+		if f := s.flow; f != nil && f.ka != nil {
+			// Any inbound frame proves the peer alive.
+			f.ka.Touch(time.Now())
 		}
-		s.dispatch(id, payload)
-		frame = nil
+		if wire.IsMux(frame) {
+			id, payload, err := wire.SplitMux(frame)
+			if err != nil {
+				s.fail(fmt.Errorf("transport: bad mux frame on session: %w", err))
+				return
+			}
+			if id == 0 {
+				// Reserved session-control stream: the peer's capability
+				// hello (or a future control message, ignored). Dropped
+				// when flow is disabled locally — the peer's grace
+				// fallback then treats us as a legacy link.
+				if s.flow != nil {
+					s.flow.onHello(payload)
+				}
+			} else {
+				s.dispatch(id, payload)
+			}
+			frame = nil
+			continue
+		}
+		if s.flow != nil && s.readFlowFrame(frame) {
+			frame = nil
+			continue
+		}
+		// A bare frame on a multiplexed connection means the peer lost
+		// track of the protocol; nothing on this link can be trusted.
+		s.fail(fmt.Errorf("transport: unexpected frame on session (op %v)", wire.PeekOp(frame)))
+		return
 	}
+}
+
+// readFlowFrame handles one naked flow frame, reporting whether the frame
+// was one. The peer only sends these after receiving our hello, so their
+// presence on a flow-enabled session is always legitimate.
+func (s *Session) readFlowFrame(frame []byte) bool {
+	f := s.flow
+	switch wire.PeekOp(frame) {
+	case wire.OpData:
+		id, flags, chunk, err := wire.SplitData(frame)
+		if err != nil {
+			return false
+		}
+		s.onData(id, flags, chunk)
+	case wire.OpWindowUpdate:
+		id, inc, err := wire.SplitWindowUpdate(frame)
+		if err != nil {
+			return false
+		}
+		f.mGrantsRecv.Inc()
+		if id == 0 {
+			f.sched.GrantSession(int64(inc))
+		} else {
+			f.sched.Grant(id, int64(inc))
+		}
+	case wire.OpFlowPing:
+		token, _, err := wire.SplitFlowPing(frame)
+		if err != nil {
+			return false
+		}
+		f.queuePong(token)
+	case wire.OpFlowPong:
+		// Touch already recorded the liveness; just count it.
+		f.mPongs.Inc()
+	default:
+		return false
+	}
+	return true
 }
 
 // dispatch routes one inbound payload to its stream, creating the stream
@@ -301,7 +473,7 @@ func (s *Session) dispatch(id uint64, payload []byte) {
 	bp := wire.GetBuf()
 	*bp = append((*bp)[:0], payload...)
 	select {
-	case st.in <- bp:
+	case st.in <- inMsg{bp: bp}:
 	default:
 		// Inbox overflow: treat like a lossy link rather than letting one
 		// stream wedge the whole session's reader.
@@ -325,7 +497,7 @@ func (s *Session) dispatch(id uint64, payload []byte) {
 type Stream struct {
 	s    *Session
 	id   uint64
-	in   chan *[]byte
+	in   chan inMsg
 	done chan struct{}
 	once sync.Once
 
@@ -338,6 +510,21 @@ type Stream struct {
 	// on the next one (the Conn contract makes a Recv result valid only
 	// until the next Recv). Touched only by the Recv caller.
 	last *[]byte
+
+	// asm accumulates an in-progress chunked message; touched only by the
+	// session's read loop. ledger is the receive side of this stream's
+	// flow-control window (nil on non-flow sessions); the read loop
+	// charges it as chunks arrive and Recv as messages are consumed.
+	asm    *[]byte
+	ledger *flow.RecvLedger
+}
+
+// inMsg is one delivered inbound message. charged is the byte count the
+// stream's flow-control ledger holds frozen until the consumer takes the
+// message (zero for unchunked frames, which are never charged).
+type inMsg struct {
+	bp      *[]byte
+	charged int
 }
 
 // ID returns the stream's envelope id.
@@ -380,6 +567,11 @@ func (st *Stream) timer() (*time.Timer, <-chan time.Time, error) {
 func (st *Stream) Send(payload []byte) error {
 	if st.isClosed() {
 		return ErrClosed
+	}
+	if f := st.s.flow; f != nil && len(payload) > f.chunkThreshold() && f.waitPeer(st) {
+		// Large payload to a flow-capable peer: stream it as bounded,
+		// credit-gated chunks instead of one writer-monopolizing frame.
+		return st.sendChunked(payload)
 	}
 	bp := wire.GetBuf()
 	buf := wire.AppendMuxHeader((*bp)[:0], st.id)
@@ -433,9 +625,8 @@ func (st *Stream) Recv(scratch []byte) ([]byte, error) {
 	// session has since closed, matching the drain behaviour of real
 	// connections.
 	select {
-	case bp := <-st.in:
-		st.last = bp
-		return *bp, nil
+	case m := <-st.in:
+		return st.take(m), nil
 	default:
 	}
 	if st.isClosed() {
@@ -449,9 +640,8 @@ func (st *Stream) Recv(scratch []byte) ([]byte, error) {
 		defer t.Stop()
 	}
 	select {
-	case bp := <-st.in:
-		st.last = bp
-		return *bp, nil
+	case m := <-st.in:
+		return st.take(m), nil
 	case <-st.done:
 		return nil, ErrClosed
 	case <-st.s.done:
@@ -459,6 +649,18 @@ func (st *Stream) Recv(scratch []byte) ([]byte, error) {
 	case <-tc:
 		return nil, ErrTimeout
 	}
+}
+
+// take consumes one delivered message, granting back the flow-control
+// credit its bytes held frozen while it sat in the inbox.
+func (st *Stream) take(m inMsg) []byte {
+	st.last = m.bp
+	if m.charged > 0 && st.ledger != nil {
+		if g := st.ledger.Delivered(m.charged); g > 0 {
+			st.s.flow.queueGrant(st.id, g)
+		}
+	}
+	return *m.bp
 }
 
 // SetDeadline bounds subsequent Send and Recv waits; the zero time
@@ -481,6 +683,13 @@ func (st *Stream) Close() error {
 	st.once.Do(func() {
 		close(st.done)
 		st.s.removeStream(st.id)
+		if f := st.s.flow; f != nil {
+			// Withdraw any queued chunked sends; a partially-sent message
+			// poisons the peer's assembly, so a reset follows it.
+			if f.sched.CloseStream(st.id, ErrClosed) {
+				f.queueReset(st.id)
+			}
+		}
 	})
 	return nil
 }

@@ -1,0 +1,441 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netobjects/internal/flow"
+	"netobjects/internal/obs"
+	"netobjects/internal/wire"
+)
+
+// This file is the session half of the flow-control subsystem
+// (internal/flow): chunked sends, credit accounting, the writer's
+// priority lanes, and keepalives. A flow-enabled session advertises its
+// receive windows in a SessHello wrapped in the mux envelope on reserved
+// stream id 0 — a frame legacy peers discard harmlessly — and sends
+// naked flow frames (OpData, OpWindowUpdate, OpFlowPing/Pong) only after
+// the peer's own hello proves it understands them. Payloads no larger
+// than the chunk size travel unchunked exactly as before, so two
+// flow-enabled peers, two legacy peers, or one of each all interoperate.
+//
+// The writer's priority order is strict: pending protocol frames (pongs,
+// window grants, resets, pings) first, then queued writeCh frames (small
+// calls, responses, cancels, collector RPCs), and only when both lanes
+// are empty one data chunk. A cancel therefore waits at most one chunk
+// write — the fairness property PR 4 lost when it folded every exchange
+// onto one connection.
+
+// flowHelloGrace bounds how long a large send waits for the peer's hello
+// before concluding the peer predates flow control and falling back to a
+// single unchunked frame — sticky, so the wait is paid at most once.
+const flowHelloGrace = 500 * time.Millisecond
+
+// flowState carries one session's flow-control machinery.
+type flowState struct {
+	params flow.Params     // local (receive-side) parameters, resolved
+	sched  *flow.Scheduler // sender side: queued items, credit, round-robin
+	ka     *flow.Keepalive // nil when keepalives are disabled
+
+	helloCh   chan struct{} // closed when the peer's hello arrives
+	helloOnce sync.Once
+	peerOK    atomic.Bool  // peer confirmed flow-capable
+	noFlow    atomic.Bool  // sticky: hello grace expired, peer is legacy
+	sendChunk atomic.Int64 // chunk size for sends: min(local, peer), set on hello
+
+	sessLedger *flow.RecvLedger // receive side of the session-level window
+
+	// Pending protocol frames, materialized by the writer at send time so
+	// the reader never blocks queueing them (a reader blocked on its own
+	// writer is one half of a classic distributed deadlock).
+	gmu    sync.Mutex
+	grants map[uint64]int64 // stream id -> coalesced credit; id 0 = session
+	pongs  []uint64
+	pings  []uint64
+	resets []uint64
+	kick   chan struct{} // wakes the writer for control work
+
+	seenStalls uint64 // scheduler stalls already mirrored to the metric (writer-only)
+
+	mChunks     *obs.Counter
+	mGrantsSent *obs.Counter
+	mGrantsRecv *obs.Counter
+	mStalls     *obs.Counter
+	mFallbacks  *obs.Counter
+	mPings      *obs.Counter
+	mPongs      *obs.Counter
+	mKaFail     *obs.Counter
+}
+
+func newFlowState(p flow.Params, m *obs.Metrics) *flowState {
+	f := &flowState{
+		params:     p,
+		sched:      flow.NewScheduler(p.ChunkSize, p.StreamWindow, p.SessionWindow),
+		helloCh:    make(chan struct{}),
+		sessLedger: flow.NewRecvLedger(p.SessionWindow),
+		grants:     make(map[uint64]int64),
+		kick:       make(chan struct{}, 1),
+	}
+	if p.KeepaliveInterval > 0 {
+		f.ka = flow.NewKeepalive(p.KeepaliveInterval, time.Now())
+	}
+	if m != nil {
+		f.mChunks = m.FlowChunksSent
+		f.mGrantsSent = m.FlowWindowUpdatesSent
+		f.mGrantsRecv = m.FlowWindowUpdatesRecv
+		f.mStalls = m.FlowWriterStalls
+		f.mFallbacks = m.FlowFallbacks
+		f.mPings = m.KeepalivePingsSent
+		f.mPongs = m.KeepalivePongsRecv
+		f.mKaFail = m.KeepaliveFailures
+	}
+	return f
+}
+
+func (f *flowState) wake() {
+	select {
+	case f.kick <- struct{}{}:
+	default:
+	}
+}
+
+// helloFrame builds the capability advertisement: the local receive
+// windows, mux-wrapped on stream 0.
+func (f *flowState) helloFrame() *[]byte {
+	inner := wire.Marshal(nil, &wire.SessHello{
+		StreamWindow:  uint64(f.params.StreamWindow),
+		SessionWindow: uint64(f.params.SessionWindow),
+		ChunkSize:     uint64(f.params.ChunkSize),
+	})
+	bp := wire.GetBuf()
+	*bp = append(wire.AppendMuxHeader((*bp)[:0], 0), inner...)
+	return bp
+}
+
+// onHello handles a stream-0 control message from the peer.
+func (f *flowState) onHello(payload []byte) {
+	msg, err := wire.Unmarshal(payload)
+	if err != nil {
+		return // unknown future control message: ignore, don't fail the link
+	}
+	h, ok := msg.(*wire.SessHello)
+	if !ok {
+		return
+	}
+	f.helloOnce.Do(func() {
+		chunk := f.params.ChunkSize
+		if h.ChunkSize > 0 && int(h.ChunkSize) < chunk {
+			chunk = int(h.ChunkSize)
+		}
+		sw, xw := int64(h.StreamWindow), int64(h.SessionWindow)
+		if sw <= 0 {
+			sw = flow.DefaultStreamWindow
+		}
+		if xw <= 0 {
+			xw = flow.DefaultSessionWindow
+		}
+		f.sched.Configure(chunk, sw, xw)
+		f.sendChunk.Store(int64(chunk))
+		f.peerOK.Store(true)
+		close(f.helloCh)
+	})
+}
+
+// chunkThreshold is the size above which a payload is chunked.
+func (f *flowState) chunkThreshold() int {
+	if c := f.sendChunk.Load(); c > 0 {
+		return int(c)
+	}
+	return f.params.ChunkSize
+}
+
+// waitPeer blocks a large send until the peer's flow capability is
+// known: true means chunk, false means fall back to one unchunked frame.
+// The grace wait is paid at most once — its expiry marks the peer legacy
+// for the session's lifetime.
+func (f *flowState) waitPeer(st *Stream) bool {
+	if f.peerOK.Load() {
+		return true
+	}
+	if f.noFlow.Load() {
+		return false
+	}
+	grace := time.NewTimer(flowHelloGrace)
+	defer grace.Stop()
+	t, tc, err := st.timer()
+	if err != nil {
+		return false // deadline already passed; the fallback path reports it
+	}
+	if t != nil {
+		defer t.Stop()
+	}
+	select {
+	case <-f.helloCh:
+		return true
+	case <-grace.C:
+		f.noFlow.Store(true)
+		f.mFallbacks.Inc()
+		return false
+	case <-tc:
+		return false
+	case <-st.done:
+		return false
+	case <-st.s.done:
+		return false
+	}
+}
+
+// queueGrant coalesces a window update for stream id (0 = session) to be
+// sent by the writer's priority lane.
+func (f *flowState) queueGrant(id uint64, n int64) {
+	f.gmu.Lock()
+	f.grants[id] += n
+	f.gmu.Unlock()
+	f.wake()
+}
+
+func (f *flowState) queuePong(token uint64) {
+	f.gmu.Lock()
+	f.pongs = append(f.pongs, token)
+	f.gmu.Unlock()
+	f.wake()
+}
+
+func (f *flowState) queuePing(token uint64) {
+	f.gmu.Lock()
+	f.pings = append(f.pings, token)
+	f.gmu.Unlock()
+	f.wake()
+}
+
+func (f *flowState) queueReset(id uint64) {
+	f.gmu.Lock()
+	f.resets = append(f.resets, id)
+	f.gmu.Unlock()
+	f.wake()
+}
+
+// popControl builds the next pending protocol frame into bp, highest
+// priority first: pongs (the peer's detector is waiting), grants (the
+// peer's writer may be stalled), resets, then our own pings.
+func (f *flowState) popControl(bp *[]byte) bool {
+	f.gmu.Lock()
+	defer f.gmu.Unlock()
+	buf := (*bp)[:0]
+	switch {
+	case len(f.pongs) > 0:
+		buf = wire.AppendFlowPing(buf, f.pongs[0], true)
+		f.pongs = f.pongs[1:]
+	case len(f.grants) > 0:
+		for id, n := range f.grants {
+			buf = wire.AppendWindowUpdate(buf, id, uint64(n))
+			delete(f.grants, id)
+			break
+		}
+		f.mGrantsSent.Inc()
+	case len(f.resets) > 0:
+		buf = wire.AppendDataHeader(buf, f.resets[0], wire.DataFlagReset)
+		f.resets = f.resets[1:]
+	case len(f.pings) > 0:
+		buf = wire.AppendFlowPing(buf, f.pings[0], false)
+		f.pings = f.pings[1:]
+		f.mPings.Inc()
+	default:
+		return false
+	}
+	*bp = buf
+	return true
+}
+
+// writeControl drains every pending protocol frame onto the connection.
+func (f *flowState) writeControl(s *Session) error {
+	for {
+		bp := wire.GetBuf()
+		if !f.popControl(bp) {
+			wire.PutBuf(bp)
+			return nil
+		}
+		err := s.c.Send(*bp)
+		if err == nil {
+			s.bytesSent.Add(uint64(len(*bp)))
+		}
+		wire.PutBuf(bp)
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// writeData sends at most one credit-gated data chunk, reporting whether
+// it wrote anything.
+func (f *flowState) writeData(s *Session) (bool, error) {
+	it, chunk, last, ok := f.sched.Next()
+	if !ok {
+		// Mirror scheduler stalls (data queued, no credit) to the metric.
+		if st := f.sched.Stalls(); st > f.seenStalls {
+			f.mStalls.Add(st - f.seenStalls)
+			f.seenStalls = st
+		}
+		return false, nil
+	}
+	var flags uint64
+	if last {
+		flags = wire.DataFlagLast
+	}
+	bp := wire.GetBuf()
+	*bp = append(wire.AppendDataHeader((*bp)[:0], it.ID(), flags), chunk...)
+	err := s.c.Send(*bp)
+	n := len(*bp)
+	wire.PutBuf(bp)
+	if err != nil {
+		return false, err
+	}
+	s.bytesSent.Add(uint64(n))
+	f.mChunks.Inc()
+	if last {
+		f.sched.Finish(it, nil)
+	}
+	return true, nil
+}
+
+// onData handles one inbound data chunk: session- and stream-level credit
+// accounting, assembly, and delivery of completed messages.
+func (s *Session) onData(id, flags uint64, chunk []byte) {
+	f := s.flow
+	if g := f.sessLedger.Chunk(len(chunk)); g > 0 {
+		f.queueGrant(0, g)
+	}
+	if id == 0 {
+		return
+	}
+	s.mu.Lock()
+	st, known := s.streams[id]
+	fresh := false
+	if !known && s.accept != nil && !s.closed && flags&wire.DataFlagReset == 0 {
+		st = s.newStreamLocked(id)
+		fresh = true
+	}
+	s.mu.Unlock()
+	if st == nil {
+		return // late chunks for an abandoned exchange: dropped
+	}
+	if flags&wire.DataFlagReset != 0 {
+		// The sender abandoned the message mid-stream: drop the partial
+		// assembly and tear the stream down so a blocked handler unwedges.
+		if st.asm != nil {
+			wire.PutBuf(st.asm)
+			st.asm = nil
+		}
+		_ = st.Close()
+		return
+	}
+	if st.asm == nil {
+		bp := wire.GetBuf()
+		*bp = (*bp)[:0]
+		st.asm = bp
+	}
+	*st.asm = append(*st.asm, chunk...)
+	if st.ledger != nil {
+		if g := st.ledger.Chunk(len(chunk)); g > 0 {
+			f.queueGrant(id, g)
+		}
+	}
+	if flags&wire.DataFlagLast != 0 {
+		bp := st.asm
+		st.asm = nil
+		n := len(*bp)
+		if st.ledger != nil {
+			st.ledger.Complete(n)
+		}
+		select {
+		case st.in <- inMsg{bp: bp, charged: n}:
+		default:
+			// Inbox overflow: drop like a lossy link, but count the bytes
+			// consumed so the sender's window is not wedged forever.
+			wire.PutBuf(bp)
+			if st.ledger != nil {
+				if g := st.ledger.Delivered(n); g > 0 {
+					f.queueGrant(id, g)
+				}
+			}
+		}
+	}
+	if fresh {
+		s.handlers.Add(1)
+		go func() {
+			defer s.handlers.Done()
+			s.accept(st)
+		}()
+	}
+}
+
+// sendChunked queues payload with the scheduler and waits for the final
+// chunk's physical write, preserving Send's drain contract. The payload
+// is not copied: it stays aliased until the item completes or is
+// withdrawn, both of which happen-before return.
+func (st *Stream) sendChunked(payload []byte) error {
+	f := st.s.flow
+	it := f.sched.Enqueue(st.id, payload)
+	t, tc, derr := st.timer()
+	if t != nil {
+		defer t.Stop()
+	}
+	if derr != nil {
+		st.abortChunked(it, derr)
+		return derr
+	}
+	select {
+	case err := <-it.Done():
+		return err
+	case <-st.done:
+		st.abortChunked(it, ErrClosed)
+		return ErrClosed
+	case <-st.s.done:
+		st.abortChunked(it, ErrClosed)
+		return st.s.closeErr()
+	case <-tc:
+		st.abortChunked(it, ErrTimeout)
+		return ErrTimeout
+	}
+}
+
+// abortChunked withdraws a queued item; if chunks already reached the
+// wire the receiver's assembly is poisoned, so a reset follows in the
+// priority lane.
+func (st *Stream) abortChunked(it *flow.Item, cause error) {
+	f := st.s.flow
+	if f.sched.Abort(it, cause) {
+		f.queueReset(st.id)
+	}
+}
+
+// keepaliveLoop probes the peer and fails the session when it goes
+// silent. Only confirmed flow peers are probed — a legacy peer cannot
+// pong, so its liveness stays with the per-call connection probe.
+func (s *Session) keepaliveLoop() {
+	defer s.loops.Done()
+	f := s.flow
+	t := time.NewTicker(f.ka.Interval())
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			if !f.peerOK.Load() {
+				continue
+			}
+			dead, ping, token := f.ka.Tick(now)
+			if dead {
+				f.mKaFail.Inc()
+				s.fail(fmt.Errorf("transport: peer failed keepalive (quiet past %v)", flow.KeepaliveMisses*f.ka.Interval()))
+				return
+			}
+			if ping {
+				f.queuePing(token)
+			}
+		case <-s.done:
+			return
+		}
+	}
+}

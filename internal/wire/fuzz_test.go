@@ -27,6 +27,7 @@ func FuzzUnmarshal(f *testing.F) {
 		&CleanBatch{Client: 3, Objs: []uint64{1, 2, 9}, Seqs: []uint64{4, 5, 6}, Strongs: []bool{false, true, false}, Owner: 11},
 		&Lease{Client: 7, ClientEndpoints: []string{"tcp:a:1", "inmem:b"}, Owner: 11},
 		&LeaseAck{Status: StatusOK, GrantedMillis: 30000},
+		&SessHello{StreamWindow: 256 << 10, SessionWindow: 1 << 20, ChunkSize: 64 << 10},
 	}
 	for _, m := range seeds {
 		frame := Marshal(nil, m)
@@ -74,6 +75,7 @@ func TestUnmarshalTruncationDeterministic(t *testing.T) {
 		&LeaseAck{Status: StatusOK, GrantedMillis: 30000},
 		&CancelCall{ID: 42},
 		&CancelAck{Status: StatusNoSuchObject},
+		&SessHello{StreamWindow: 256 << 10, SessionWindow: 1 << 20, ChunkSize: 64 << 10},
 	}
 	for _, m := range msgs {
 		frame := Marshal(nil, m)

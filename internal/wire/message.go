@@ -53,7 +53,40 @@ const (
 	// so interleaved responses find their waiting callers. Envelopes do
 	// not nest.
 	OpMux
+	// OpData carries one bounded chunk of a large muxed message:
+	// [OpData][stream id][flags][chunk bytes]. Flow-enabled sessions split
+	// any payload larger than the negotiated chunk size into OpData frames
+	// so a bulk argument cannot monopolize the shared writer. Flags bit 0
+	// (DataFlagLast) marks the final chunk of a message; bit 1
+	// (DataFlagReset) aborts the stream's partial assembly (the sender
+	// abandoned the message mid-stream).
+	OpData
+	// OpWindowUpdate grants flow-control credit:
+	// [OpWindowUpdate][stream id][increment bytes]. Stream id 0 replenishes
+	// the session-level window; any other id replenishes that stream's
+	// window. Receivers issue grants as the dispatcher consumes, so a slow
+	// callee backpressures exactly one stream rather than the link.
+	OpWindowUpdate
+	// OpFlowPing is the session keepalive probe: [OpFlowPing][token]. The
+	// HTTP/2 PING analog — named FlowPing because OpPing is already the
+	// collector's liveness probe. Answered with an OpFlowPong echoing the
+	// token. Session keepalives retire the per-call connection health
+	// probe on mux links and detect dead peers between calls.
+	OpFlowPing
+	// OpFlowPong answers an OpFlowPing: [OpFlowPong][token].
+	OpFlowPong
+	// OpSessHello advertises a session's flow-control capability and
+	// receive windows. It travels wrapped in the mux envelope on reserved
+	// stream id 0 — [OpMux][0][marshaled SessHello] — so legacy peers that
+	// predate flow control discard it harmlessly (clients drop frames for
+	// unknown stream ids; servers fail a single accept handler's decode).
+	// Naked flow frames (OpData, OpWindowUpdate, OpFlowPing/Pong) are only
+	// ever sent after the peer's hello has been received.
+	OpSessHello
 )
+
+// maxOp is the largest valid op, for PeekOp range checks.
+const maxOp = OpSessHello
 
 // String names the op for logs.
 func (o Op) String() string {
@@ -88,6 +121,16 @@ func (o Op) String() string {
 		return "cancel-ack"
 	case OpMux:
 		return "mux"
+	case OpData:
+		return "data"
+	case OpWindowUpdate:
+		return "window-update"
+	case OpFlowPing:
+		return "flow-ping"
+	case OpFlowPong:
+		return "flow-pong"
+	case OpSessHello:
+		return "sess-hello"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -561,10 +604,12 @@ var ErrUnknownOp = errors.New("wire: unknown message op")
 // or carries a nested envelope.
 func PeekOp(frame []byte) Op {
 	op, n := binary.Uvarint(frame)
-	if n <= 0 || op > uint64(OpMux) {
+	if n <= 0 || op > uint64(maxOp) {
 		return OpInvalid
 	}
 	if Op(op) != OpMux {
+		// Session-control frames (OpData, OpWindowUpdate, OpFlowPing/Pong)
+		// travel naked at the top level and classify as themselves.
 		return Op(op)
 	}
 	rest := frame[n:]
@@ -573,7 +618,13 @@ func PeekOp(frame []byte) Op {
 		return OpInvalid
 	}
 	inner, m := binary.Uvarint(rest[idn:])
-	if m <= 0 || inner >= uint64(OpMux) {
+	if m <= 0 {
+		return OpInvalid
+	}
+	// Inside the envelope only ordinary messages appear — plus SessHello,
+	// which rides stream 0 for backward compatibility. Envelopes do not
+	// nest and naked session-control ops never appear wrapped.
+	if inner >= uint64(OpMux) && inner != uint64(OpSessHello) {
 		return OpInvalid
 	}
 	return Op(inner)
@@ -613,6 +664,8 @@ func Unmarshal(b []byte) (Message, error) {
 		m = new(CancelCall)
 	case OpCancelAck:
 		m = new(CancelAck)
+	case OpSessHello:
+		m = new(SessHello)
 	default:
 		if err := d.Err(); err != nil {
 			return nil, err
