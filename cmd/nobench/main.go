@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	nobench [-t t1,t2,f1,t3,t4,t5,t6,e1,e2|all] [-quick] [-obs] [-http addr]
+//	nobench [-t t1,t2,f1,t3,t4,t5,t6,e1,e2,e3|all] [-quick] [-obs] [-http addr]
 //	nobench -chaos [-chaos-profile loss|partition|crash|mixed|none]
 //	        [-chaos-transport inmem|tcp] [-chaos-seed N] [-chaos-spaces N]
 //	        [-chaos-ops N] [-obs] [-http addr]
@@ -25,6 +25,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -61,7 +62,7 @@ func withObs(o *netobjects.Options) {
 }
 
 func main() {
-	which := flag.String("t", "all", "comma-separated experiments: t1,t2,f1,t3,t4,t5,t6,e1,e2")
+	which := flag.String("t", "all", "comma-separated experiments: t1,t2,f1,t3,t4,t5,t6,e1,e2,e3")
 	obsFlag := flag.Bool("obs", false, "aggregate runtime metrics across experiments and print the digest")
 	httpAddr := flag.String("http", "", "serve live /metrics and /debug/netobj on this address during the run (implies -obs)")
 	chaosFlag := flag.Bool("chaos", false, "run the fault-injection soak instead of the benchmark tables")
@@ -123,6 +124,7 @@ func main() {
 	run("t6", runT6)
 	run("e1", runE1)
 	run("e2", runE2)
+	run("e3", runE3)
 
 	if obsMetrics != nil {
 		fmt.Printf("\n========== METRICS DIGEST ==========\n%s", obsMetrics.Registry().Summary())
@@ -1155,5 +1157,213 @@ func runE2() error {
 		"the rest of the tail is the 8MB call's compute churn, which hits every goroutine on a small CPU count)\n",
 		float64(on.p99)/float64(ctl.p99))
 	fmt.Println("shape check: flow-off p99 absorbs the whole 8MB wire time; flow-on p99 tracks the own-link control.")
+	return nil
+}
+
+// --- E3 ------------------------------------------------------------------
+
+// e3Node is one link of a server-side chain: Next hops toward the tail,
+// Name reads the current node.
+type e3Node struct {
+	next *netobjects.Ref
+	name string
+}
+
+func (n *e3Node) Next() (*netobjects.Ref, error) {
+	if n.next == nil {
+		return nil, fmt.Errorf("end of chain")
+	}
+	return n.next, nil
+}
+
+func (n *e3Node) Name() (string, error) { return n.name, nil }
+
+// e3Sink absorbs one-way notifications.
+type e3Sink struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (s *e3Sink) Note(d int64) error {
+	s.mu.Lock()
+	s.n += d
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *e3Sink) Total() (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n, nil
+}
+
+// runE3 measures promise pipelining against sequential invocation on a
+// K-deep dependent chain with a simulated 25ms round trip (in-memory
+// transport, 12.5ms per message leg). Sequentially, each hop awaits its
+// result ref before issuing the next call, so a K-hop walk plus the
+// final read costs (K+1) round trips — plus the dirty registration of
+// every intermediate surrogate. Pipelined, every hop targets the
+// previous call's promise and the owner chains locally, so the whole
+// walk streams out back-to-back and costs about one round trip
+// regardless of K. The acceptance bound is >= 3x at K=8. The second
+// table measures one-way notification: N fire-and-forget calls followed
+// by one ordered read, against N sequential two-way calls.
+func runE3() error {
+	fmt.Println("E3: dependent-chain latency, pipelined vs sequential (inmem, 25ms simulated RTT, median)")
+	rtt := 25 * time.Millisecond
+	mem := netobjects.NewMem()
+	mem.Latency = rtt / 2
+	mk := func(name string) (*netobjects.Space, error) {
+		opts := netobjects.Options{
+			Name:         name,
+			Transports:   []netobjects.Transport{mem},
+			PingInterval: time.Hour,
+			CallTimeout:  30 * time.Second,
+		}
+		withObs(&opts)
+		return netobjects.New(opts)
+	}
+	owner, err := mk("e3-owner")
+	if err != nil {
+		return err
+	}
+	defer owner.Close()
+	client, err := mk("e3-client")
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	// Export a 16-deep chain ending in "tail"; each K walks its suffix.
+	const maxK = 16
+	tail := &e3Node{name: "tail"}
+	tailRef, err := owner.Export(tail)
+	if err != nil {
+		return err
+	}
+	heads := map[int]*netobjects.Ref{0: tailRef}
+	prev := tailRef
+	for i := 1; i <= maxK; i++ {
+		ref, err := owner.Export(&e3Node{next: prev, name: fmt.Sprintf("node-%d", i)})
+		if err != nil {
+			return err
+		}
+		heads[i] = ref
+		prev = ref
+	}
+	importHead := func(k int) (*netobjects.Ref, error) {
+		w, err := heads[k].WireRep()
+		if err != nil {
+			return nil, err
+		}
+		return client.Import(w)
+	}
+
+	ctx := context.Background()
+	n := iters(20)
+	fmt.Printf("%6s %14s %14s %10s %12s\n", "K", "sequential", "pipelined", "speedup", "ideal (RTTs)")
+	var speedup8 float64
+	for _, k := range []int{2, 4, 8} {
+		head, err := importHead(k)
+		if err != nil {
+			return err
+		}
+		seq, err := measure(n, func() error {
+			cur := head
+			for i := 0; i < k; i++ {
+				res, err := cur.Call("Next")
+				if err != nil {
+					return err
+				}
+				cur = res[0].(*netobjects.Ref)
+			}
+			res, err := cur.Call("Name")
+			if err != nil {
+				return err
+			}
+			if res[0] != "tail" {
+				return fmt.Errorf("sequential walk ended at %v", res[0])
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		piped, err := measure(n, func() error {
+			p := head.PipeCall(ctx, "Next")
+			for i := 1; i < k; i++ {
+				p = p.PipeCall(ctx, "Next")
+			}
+			res, err := p.PipeCall(ctx, "Name").Await(ctx)
+			if err != nil {
+				return err
+			}
+			if res[0] != "tail" {
+				return fmt.Errorf("pipelined walk ended at %v", res[0])
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		sp := float64(seq) / float64(piped)
+		if k == 8 {
+			speedup8 = sp
+		}
+		fmt.Printf("%6d %14s %14s %9.1fx %6.1f vs %.1f\n", k,
+			seq.Round(time.Millisecond), piped.Round(time.Millisecond), sp,
+			float64(seq)/float64(rtt), float64(piped)/float64(rtt))
+	}
+	fmt.Printf("K=8 speedup %.1fx (acceptance bound: >= 3x)\n", speedup8)
+
+	// One-way notification: N notes then one ordered read, vs N two-way
+	// calls. The one-way batch rides out back-to-back; the closing Total
+	// is fenced behind them, so the whole burst costs about one round
+	// trip.
+	const notes = 16
+	sinkRef, err := owner.Export(&e3Sink{})
+	if err != nil {
+		return err
+	}
+	w, err := sinkRef.WireRep()
+	if err != nil {
+		return err
+	}
+	sink, err := client.Import(w)
+	if err != nil {
+		return err
+	}
+	twoWay, err := measure(n, func() error {
+		for i := 0; i < notes; i++ {
+			if _, err := sink.Call("Note", int64(1)); err != nil {
+				return err
+			}
+		}
+		_, err := sink.Call("Total")
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	oneWay, err := measure(n, func() error {
+		for i := 0; i < notes; i++ {
+			if err := sink.OneWay("Note", int64(1)); err != nil {
+				return err
+			}
+		}
+		// The ordered read must ride the pipeline barrier: a plain Call
+		// does not fence behind one-ways, only PipeCall carries Barrier.
+		_, err := sink.PipeCall(ctx, "Total").Await(ctx)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d notifications + 1 read: two-way %v, one-way %v (%.1fx)\n",
+		notes, twoWay.Round(time.Millisecond), oneWay.Round(time.Millisecond),
+		float64(twoWay)/float64(oneWay))
+	if speedup8 < 3 {
+		return fmt.Errorf("E3 acceptance failed: K=8 speedup %.1fx < 3x", speedup8)
+	}
 	return nil
 }

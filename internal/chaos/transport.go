@@ -29,13 +29,14 @@ type Transport struct {
 	name  string
 	seed  uint64
 
-	mu        sync.Mutex
-	rules     Rules
-	linkRules map[string]Rules
-	blocked   map[string]bool
-	conns     map[string][]*conn
-	seqs      map[seqKey]uint64
-	tracer    obs.Tracer
+	mu          sync.Mutex
+	rules       Rules
+	linkRules   map[string]Rules
+	blocked     map[string]bool
+	conns       map[string][]*conn
+	seqs        map[seqKey]uint64
+	tracer      obs.Tracer
+	wrapAccepts bool
 
 	messages   atomic.Uint64
 	drops      atomic.Uint64
@@ -71,11 +72,58 @@ func New(inner transport.Transport, name string, seed uint64) *Transport {
 // ordinary form and the wrapper is invisible to endpoint routing.
 func (t *Transport) Proto() string { return t.inner.Proto() }
 
-// Listen delegates to the inner transport; inbound traffic is not
-// perturbed by this wrapper.
+// Listen delegates to the inner transport. By default inbound
+// connections are untouched; with WrapAccepts the reply side of each
+// accepted connection also passes through the fault schedule.
 func (t *Transport) Listen(addr string) (transport.Listener, error) {
-	return t.inner.Listen(addr)
+	l, err := t.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &listener{t: t, inner: l}, nil
 }
+
+// WrapAccepts makes the wrapper perturb outbound frames of accepted
+// connections too. Faults normally ride the dialer's side of each link,
+// which cannot touch response traffic — a Result or PromiseResolve
+// travels from the accepting space back over the dialer's connection.
+// Experiments that drop responses (e.g. swallowing OpPromiseResolve to
+// break pipelined chains) enable this on the responder's wrapper. The
+// link identifier entering the fault hash is the accepted connection's
+// remote label, so the schedule stays a pure function of seed and
+// traffic. Must be set before Listen.
+func (t *Transport) WrapAccepts(on bool) {
+	t.mu.Lock()
+	t.wrapAccepts = on
+	t.mu.Unlock()
+}
+
+// wrapsAccepts reports whether accepted connections are fault-injected.
+func (t *Transport) wrapsAccepts() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.wrapAccepts
+}
+
+// listener wraps accepted connections when WrapAccepts is on.
+type listener struct {
+	t     *Transport
+	inner transport.Listener
+}
+
+func (l *listener) Accept() (transport.Conn, error) {
+	ic, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if !l.t.wrapsAccepts() {
+		return ic, nil
+	}
+	return &conn{t: l.t, addr: ic.RemoteLabel(), inner: ic}, nil
+}
+
+func (l *listener) Close() error     { return l.inner.Close() }
+func (l *listener) Endpoint() string { return l.inner.Endpoint() }
 
 // Dial connects through the inner transport unless the link is
 // partitioned, wrapping the connection so its outbound frames pass
@@ -307,7 +355,11 @@ func (t *Transport) emitFault(kind string, op wire.Op, addr string) {
 // sequence-numbered, idempotent collector ops. Calls are never
 // duplicated — the runtime does not promise application methods are
 // idempotent, and the collector's defences are what the duplication
-// fault exists to test.
+// fault exists to test. The pipelined invocation ops are likewise
+// excluded: a replayed PipeCall or OneWay would re-run an application
+// method, a replayed PromiseResolve could resolve a reused promise id
+// with stale results, and a replayed PipeHello or Batch belongs to a
+// session handshake or framing layer that is never retried.
 func duplicable(op wire.Op) bool {
 	switch op {
 	case wire.OpDirty, wire.OpClean, wire.OpCleanBatch, wire.OpPing, wire.OpLease:

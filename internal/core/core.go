@@ -25,6 +25,7 @@ import (
 	"netobjects/internal/objtable"
 	"netobjects/internal/obs"
 	"netobjects/internal/pickle"
+	"netobjects/internal/promise"
 	"netobjects/internal/transport"
 	"netobjects/internal/wire"
 )
@@ -133,6 +134,12 @@ type Options struct {
 	// connection out of the pool for its duration, so N concurrent calls
 	// to a peer cost N connections. Transports may also force checkout
 	// per-link by implementing transport.CheckoutOnly.
+	//
+	// Deprecated: the checkout discipline exists only for A/B comparison
+	// (nobench E1) and transports that cannot interleave frames; it costs
+	// a connection per concurrent call and supports neither flow control
+	// nor pipelining. It will be removed once the remaining CheckoutOnly
+	// users fold away; new code should leave multiplexing on.
 	DisableMux bool
 	// DisableFlow turns off credit-based flow control, chunked
 	// large-payload streaming and session keepalives on mux links (see
@@ -150,6 +157,18 @@ type Options struct {
 	// restoring the per-call connection health probe. Ignored when
 	// DisableFlow is set.
 	KeepaliveInterval time.Duration
+	// DisablePipeline turns off promise pipelining, one-way delivery and
+	// call batching for this space: it stops advertising the capability on
+	// its sessions (so peers fall back too) and routes its own PipeCall /
+	// OneWay traffic through sequential round trips. Pipelining also
+	// requires mux flow sessions, so DisableMux or DisableFlow imply it.
+	DisablePipeline bool
+	// BatchWindow, when positive, lets session writers coalesce bursts of
+	// small call frames into one batch frame, holding the first frame of a
+	// burst up to this long for companions (see transport.SessionOptions).
+	// Zero disables batching; capability is negotiated per session either
+	// way.
+	BatchWindow time.Duration
 	// Variant selects the collector protocol variant: VariantBirrell
 	// (default, correct over unordered channels) or VariantFIFO (the
 	// paper's §5.1 optimisation: per-owner ordered collector traffic and
@@ -226,7 +245,15 @@ type Space struct {
 	// muxServers tracks the inbound multiplexed sessions being served,
 	// for the per-link gauges and the debug page.
 	muxServers map[*transport.Session]struct{}
-	closed     bool
+
+	// pipeMu guards the per-session promise-pipelining state: pipeOut
+	// holds each outbound session's outstanding-promise table (for the
+	// break-promise path when the session dies), pipeIn each inbound
+	// session's completion table and one-way lane.
+	pipeMu  sync.Mutex
+	pipeOut map[*transport.Session]*promise.Table
+	pipeIn  map[*transport.Session]*pipeInbound
+	closed  bool
 	// closingCh closes when shutdown begins: the space stops accepting
 	// work (exports, imports, new calls) but in-flight dispatches keep
 	// running and parting cleans still flow.
@@ -275,6 +302,8 @@ func NewSpace(opts Options) (*Space, error) {
 		remote:     make(map[string]*remoteIface),
 		gcQueues:   make(map[wire.SpaceID]*gcQueue),
 		muxServers: make(map[*transport.Session]struct{}),
+		pipeOut:    make(map[*transport.Session]*promise.Table),
+		pipeIn:     make(map[*transport.Session]*pipeInbound),
 		closingCh:  make(chan struct{}),
 		closedCh:   make(chan struct{}),
 		inflight:   newInflightTable(),
@@ -324,6 +353,7 @@ func NewSpace(opts Options) (*Space, error) {
 	sp.pool = transport.NewPool(sp.treg, opts.MaxIdleConns)
 	sp.pool.SetObserver(sp.metrics, sp.tracer)
 	sp.pool.SetFlow(sp.flowParams())
+	sp.pool.SetPipeline(opts.DisablePipeline, opts.BatchWindow)
 	if opts.IdleConnTTL != 0 {
 		sp.pool.SetIdleTTL(opts.IdleConnTTL)
 	}
@@ -374,6 +404,8 @@ func NewSpace(opts Options) (*Space, error) {
 			}
 			return n
 		})
+	reg.GaugeFunc("netobj_promises_pending", "Unresolved pipelined promises: outstanding client promises plus unresolved serve-side completions.",
+		func() int64 { return int64(sp.pipePending()) })
 
 	sp.obsv = &obs.Observability{
 		Metrics: sp.metrics,
@@ -516,7 +548,15 @@ func (sp *Space) debugSnapshot() obs.DebugData {
 // outbound sessions cached in the pool plus the inbound sessions being
 // served.
 func (sp *Space) muxSessionsSnapshot() []obs.SessionInfo {
-	out := sp.pool.SessionsSnapshot()
+	out := sp.pool.SessionsSnapshot(func(s *transport.Session) int {
+		sp.pipeMu.Lock()
+		t := sp.pipeOut[s]
+		sp.pipeMu.Unlock()
+		if t == nil {
+			return 0
+		}
+		return t.Pending()
+	})
 	sp.mu.Lock()
 	servers := make([]*transport.Session, 0, len(sp.muxServers))
 	for s := range sp.muxServers {
@@ -525,6 +565,13 @@ func (sp *Space) muxSessionsSnapshot() []obs.SessionInfo {
 	sp.mu.Unlock()
 	for _, s := range servers {
 		st := s.Stats()
+		sp.pipeMu.Lock()
+		pst := sp.pipeIn[s]
+		sp.pipeMu.Unlock()
+		promises := 0
+		if pst != nil {
+			promises = pst.comp.Pending()
+		}
 		out = append(out, obs.SessionInfo{
 			Endpoint:    s.Label(),
 			Dir:         "in",
@@ -536,6 +583,7 @@ func (sp *Space) muxSessionsSnapshot() []obs.SessionInfo {
 			SendWindow:  st.SendWindow,
 			QueuedBytes: st.FlowQueued,
 			Stalls:      st.FlowStalls,
+			Promises:    promises,
 		})
 	}
 	return out

@@ -112,10 +112,12 @@ func (sp *Space) serveMux(c transport.Conn, first []byte) {
 	// session owns its preread input outright.
 	preread := append([]byte(nil), first...)
 	s := transport.NewSession(c, transport.SessionOptions{
-		Preread: preread,
-		Accept:  sp.serveStream,
-		Flow:    sp.flowParams(),
-		Metrics: sp.metrics,
+		Preread:     preread,
+		Accept:      sp.serveStream,
+		Flow:        sp.flowParams(),
+		Metrics:     sp.metrics,
+		NoPipeline:  sp.opts.DisablePipeline,
+		BatchWindow: sp.opts.BatchWindow,
 	})
 	sp.mu.Lock()
 	sp.muxServers[s] = struct{}{}
@@ -125,6 +127,9 @@ func (sp *Space) serveMux(c transport.Conn, first []byte) {
 	sp.mu.Lock()
 	delete(sp.muxServers, s)
 	sp.mu.Unlock()
+	// Break the session's pipelining state last: every dispatch has
+	// returned, so unresolved completions are now permanently unresolvable.
+	sp.pipeInboundDrop(s)
 }
 
 // serveStream handles one inbound exchange on its own stream of a
@@ -148,6 +153,12 @@ func (sp *Space) serveStream(st *transport.Stream) {
 	switch m := msg.(type) {
 	case *wire.Call:
 		sp.handleCall(st, m)
+		return
+	case *wire.PipeCall:
+		sp.handlePipeCall(st, m)
+		return
+	case *wire.OneWay:
+		sp.handleOneWay(st, m)
 		return
 	case *wire.Dirty:
 		reply = sp.handleDirty(m)
@@ -295,13 +306,7 @@ func (sp *Space) handleCancel(m *wire.CancelCall) *wire.CancelAck {
 // MaxServeTime cap. The budget from the wire is advisory — a space never
 // trusts a remote deadline beyond its own cap.
 func (sp *Space) callContext(call *wire.Call) (context.Context, context.CancelFunc) {
-	d := sp.opts.MaxServeTime
-	if call.DeadlineMillis != 0 {
-		if r := time.Duration(call.DeadlineMillis) * time.Millisecond; r < d {
-			d = r
-		}
-	}
-	return context.WithTimeout(sp.serveCtx, d)
+	return sp.serveBudget(call.DeadlineMillis)
 }
 
 // handleCall dispatches one remote invocation and sends its Result. When

@@ -102,9 +102,13 @@ type SessionInfo struct {
 	// QueuedBytes the data queued awaiting credit or the writer;
 	// Stalls counts writer stalls for lack of credit. Zero when Flow is
 	// "off".
-	SendWindow int64
+	SendWindow  int64
 	QueuedBytes int64
-	Stalls uint64
+	Stalls      uint64
+	// Promises is the number of unresolved pipelined promises on the
+	// session: outstanding client-side promises for outbound sessions,
+	// unresolved completion-table entries for inbound ones.
+	Promises int
 }
 
 // FlowLabel renders a session's flow-control state for the debug page.

@@ -69,6 +69,17 @@ type Metrics struct {
 	BytesSent    *Counter
 	BytesRecv    *Counter
 
+	// Promise pipelining, one-way calls and batching (internal/promise).
+	PipelineCalls     *Counter
+	PipelineResolved  *Counter
+	PipelineBroken    *Counter
+	PipelineChained   *Counter
+	PipelineFallbacks *Counter
+	OneWaysSent       *Counter
+	OneWaysServed     *Counter
+	BatchesSent       *Counter
+	BatchFramesSent   *Counter
+
 	// Session flow control and keepalives (internal/flow).
 	FlowChunksSent        *Counter
 	FlowWindowUpdatesSent *Counter
@@ -135,6 +146,16 @@ func NewMetrics() *Metrics {
 		DialLatency:  r.Histogram("netobj_dial_latency_seconds", "Connection establishment latency."),
 		BytesSent:    r.Counter("netobj_bytes_sent_total", "Wire payload bytes sent."),
 		BytesRecv:    r.Counter("netobj_bytes_recv_total", "Wire payload bytes received."),
+
+		PipelineCalls:     r.Counter("netobj_pipeline_calls_total", "Pipelined calls issued by this space."),
+		PipelineResolved:  r.Counter("netobj_pipeline_resolved_total", "Promises resolved successfully."),
+		PipelineBroken:    r.Counter("netobj_pipeline_broken_total", "Promises broken: a dependency failed or the session died."),
+		PipelineChained:   r.Counter("netobj_pipeline_chained_total", "Pipelined calls served whose receiver or arguments were unresolved promises."),
+		PipelineFallbacks: r.Counter("netobj_pipeline_fallbacks_total", "Pipelined calls degraded to sequential round trips (legacy peer or non-mux link)."),
+		OneWaysSent:       r.Counter("netobj_oneway_sent_total", "One-way calls issued by this space."),
+		OneWaysServed:     r.Counter("netobj_oneway_served_total", "One-way calls executed by this space."),
+		BatchesSent:       r.Counter("netobj_batches_sent_total", "Coalesced batch frames written by session writers."),
+		BatchFramesSent:   r.Counter("netobj_batch_frames_total", "Frames that rode inside a coalesced batch."),
 
 		FlowChunksSent:        r.Counter("netobj_flow_chunks_sent_total", "Data chunks sent by flow-enabled session writers."),
 		FlowWindowUpdatesSent: r.Counter("netobj_flow_window_updates_sent_total", "Flow-control credit grants sent to peers."),

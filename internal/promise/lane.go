@@ -1,0 +1,78 @@
+package promise
+
+import (
+	"context"
+	"sync"
+)
+
+// Lane orders a session's one-way calls and gives pipelined calls their
+// barrier semantics. One-way calls carry 1-based sequence numbers fixed
+// at the sender; the receiver executes them in that order by waiting for
+// seq-1 to finish before running seq, and a pipelined call with Barrier=n
+// waits until n one-ways have finished.
+//
+// Progress is monotone and gap-tolerant: a one-way that never arrives
+// (dropped by a faulty link) or times out still advances the lane when
+// its successor gives up waiting, so one lost frame cannot wedge the
+// session forever — one-way delivery is best-effort by definition.
+type Lane struct {
+	mu     sync.Mutex
+	done   uint64
+	ch     chan struct{} // closed and replaced on every advance
+	closed bool
+}
+
+// NewLane returns a lane with no completed one-ways.
+func NewLane() *Lane {
+	return &Lane{ch: make(chan struct{})}
+}
+
+// Advance marks one-way seq finished (or abandoned), waking waiters.
+// Progress is monotone: an Advance below the current mark is a no-op.
+func (l *Lane) Advance(seq uint64) {
+	l.mu.Lock()
+	if seq > l.done {
+		l.done = seq
+		close(l.ch)
+		l.ch = make(chan struct{})
+	}
+	l.mu.Unlock()
+}
+
+// Done reports the highest finished sequence number.
+func (l *Lane) Done() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.done
+}
+
+// Wait blocks until at least n one-ways have finished, the lane closes,
+// or ctx ends. A closed lane satisfies any barrier (the session is dead;
+// the caller's own failure path reports it).
+func (l *Lane) Wait(ctx context.Context, n uint64) error {
+	for {
+		l.mu.Lock()
+		if l.done >= n || l.closed {
+			l.mu.Unlock()
+			return nil
+		}
+		ch := l.ch
+		l.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Close releases every waiter; used when the session dies.
+func (l *Lane) Close() {
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		close(l.ch)
+		l.ch = make(chan struct{})
+	}
+	l.mu.Unlock()
+}

@@ -1,0 +1,159 @@
+// Package promise holds the session-scoped bookkeeping behind promise
+// pipelining: the owner-side completion table that lets dependent calls
+// chain locally (Completions), the client-side table of unresolved
+// promises (Table), and the ordered one-way execution lane (Lane).
+//
+// A pipelined call names the promise id its result resolves and may name
+// earlier promise ids as its receiver or arguments. The client ships the
+// whole dependent chain without waiting; the owner resolves each id
+// against its completion table as the calls finish, so a K-deep chain
+// costs one round trip. Errors poison the chain — a dependent call whose
+// dependency failed never runs, reporting StatusPromiseBroken — and a
+// dying session breaks every promise it carried.
+//
+// All three structures are pure bookkeeping with no transport or wire
+// dependencies, so their concurrency properties are unit-testable in
+// isolation.
+package promise
+
+import (
+	"context"
+	"sync"
+)
+
+// Outcome is the recorded result of one pipelined call at the owner.
+type Outcome struct {
+	// Val is the call's first result value in the owner's representation
+	// (the runtime stores a reflect-level value), meaningful when Err is
+	// nil. Dependent calls chain on it.
+	Val any
+	// Err is the call's failure, nil on success. Any failure poisons
+	// dependents.
+	Err error
+	// Broken marks an Outcome that was never produced by running the call:
+	// a dependency failed first, or the session died.
+	Broken bool
+}
+
+// Completions is an owner's per-session completion table. Entries are
+// created by whichever side gets there first — the call that resolves the
+// id, or a dependent call waiting on it (accept handlers race even though
+// frames arrive in order) — and are retained until the session closes,
+// since a later call may still name an old promise.
+type Completions struct {
+	mu      sync.Mutex
+	entries map[uint64]*centry
+	closed  bool
+	cause   error
+}
+
+type centry struct {
+	done chan struct{}
+	out  Outcome
+}
+
+// NewCompletions returns an empty completion table.
+func NewCompletions() *Completions {
+	return &Completions{entries: make(map[uint64]*centry)}
+}
+
+// entry returns id's entry, creating a placeholder if absent.
+func (c *Completions) entry(id uint64) *centry {
+	e, ok := c.entries[id]
+	if !ok {
+		e = &centry{done: make(chan struct{})}
+		c.entries[id] = e
+	}
+	return e
+}
+
+// Resolve records the outcome of the call that owns promise id and wakes
+// every dependent waiting on it. Resolving an id twice or after Close is
+// a no-op.
+func (c *Completions) Resolve(id uint64, out Outcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	e := c.entry(id)
+	select {
+	case <-e.done:
+		return // already resolved
+	default:
+	}
+	e.out = out
+	close(e.done)
+}
+
+// Wait blocks until promise id resolves, the table closes, or ctx ends.
+// The returned Outcome is Broken (with the closing cause) when the table
+// closed first; the error is non-nil only for ctx expiry.
+func (c *Completions) Wait(ctx context.Context, id uint64) (Outcome, error) {
+	c.mu.Lock()
+	if c.closed {
+		cause := c.cause
+		c.mu.Unlock()
+		return Outcome{Err: cause, Broken: true}, nil
+	}
+	e := c.entry(id)
+	c.mu.Unlock()
+	select {
+	case <-e.done:
+		return e.out, nil
+	case <-ctx.Done():
+		// Distinguish table closure (every entry's done closes) from a
+		// plain deadline.
+		select {
+		case <-e.done:
+			return e.out, nil
+		default:
+		}
+		return Outcome{}, ctx.Err()
+	}
+}
+
+// Close marks the session dead: every unresolved entry resolves Broken
+// with cause, and future Waits report Broken immediately.
+func (c *Completions) Close(cause error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.cause = cause
+	for _, e := range c.entries {
+		select {
+		case <-e.done:
+		default:
+			e.out = Outcome{Err: cause, Broken: true}
+			close(e.done)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Pending counts entries not yet resolved — the leak-check quantity: it
+// must be zero after every chain on a healthy session has completed, and
+// irrelevant (the table dropped whole) once the session closes.
+func (c *Completions) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.entries {
+		select {
+		case <-e.done:
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// Len counts all entries, resolved included.
+func (c *Completions) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

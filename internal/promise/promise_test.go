@@ -1,0 +1,190 @@
+package promise
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCompletionsResolveThenWait(t *testing.T) {
+	c := NewCompletions()
+	c.Resolve(1, Outcome{Val: "v"})
+	out, err := c.Wait(context.Background(), 1)
+	if err != nil || out.Err != nil || out.Val != "v" {
+		t.Fatalf("got %+v, %v", out, err)
+	}
+	if c.Pending() != 0 || c.Len() != 1 {
+		t.Fatalf("pending=%d len=%d", c.Pending(), c.Len())
+	}
+}
+
+func TestCompletionsWaitThenResolve(t *testing.T) {
+	c := NewCompletions()
+	done := make(chan Outcome, 1)
+	go func() {
+		out, _ := c.Wait(context.Background(), 7)
+		done <- out
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if c.Pending() != 1 {
+		t.Fatalf("pending=%d, want placeholder entry", c.Pending())
+	}
+	c.Resolve(7, Outcome{Val: 42})
+	out := <-done
+	if out.Val != 42 {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestCompletionsPoison(t *testing.T) {
+	c := NewCompletions()
+	boom := errors.New("boom")
+	c.Resolve(1, Outcome{Err: boom})
+	out, err := c.Wait(context.Background(), 1)
+	if err != nil || out.Err == nil {
+		t.Fatalf("got %+v, %v", out, err)
+	}
+}
+
+func TestCompletionsClose(t *testing.T) {
+	c := NewCompletions()
+	dead := errors.New("session died")
+	got := make(chan Outcome, 1)
+	go func() {
+		out, _ := c.Wait(context.Background(), 3)
+		got <- out
+	}()
+	time.Sleep(5 * time.Millisecond)
+	c.Close(dead)
+	out := <-got
+	if !out.Broken || !errors.Is(out.Err, dead) {
+		t.Fatalf("got %+v, want broken with cause", out)
+	}
+	// Waits after close fail immediately, never hang.
+	out, err := c.Wait(context.Background(), 99)
+	if err != nil || !out.Broken {
+		t.Fatalf("post-close wait: %+v, %v", out, err)
+	}
+	// Resolve after close is a no-op, not a panic.
+	c.Close(dead)
+	c.Resolve(3, Outcome{Val: 1})
+}
+
+func TestCompletionsWaitDeadline(t *testing.T) {
+	c := NewCompletions()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := c.Wait(ctx, 5)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestCompletionsConcurrentResolve(t *testing.T) {
+	c := NewCompletions()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.Resolve(9, Outcome{Val: i})
+		}(i)
+	}
+	wg.Wait()
+	out, err := c.Wait(context.Background(), 9)
+	if err != nil || out.Err != nil {
+		t.Fatalf("got %+v, %v", out, err)
+	}
+}
+
+func TestTableBreak(t *testing.T) {
+	tb := NewTable()
+	dead := errors.New("dead")
+	var mu sync.Mutex
+	broken := map[uint64]error{}
+	for id := uint64(1); id <= 3; id++ {
+		id := id
+		if !tb.Add(id, func(err error) {
+			mu.Lock()
+			broken[id] = err
+			mu.Unlock()
+		}) {
+			t.Fatalf("add %d refused on open table", id)
+		}
+	}
+	tb.Remove(2)
+	tb.Break(dead)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(broken) != 2 || !errors.Is(broken[1], dead) || !errors.Is(broken[3], dead) {
+		t.Fatalf("broken=%v", broken)
+	}
+	if tb.Pending() != 0 {
+		t.Fatalf("pending=%d after break", tb.Pending())
+	}
+	if tb.Add(9, func(error) {}) {
+		t.Fatal("add accepted on closed table")
+	}
+	if !errors.Is(tb.Cause(), dead) {
+		t.Fatalf("cause=%v", tb.Cause())
+	}
+}
+
+func TestLaneOrdering(t *testing.T) {
+	l := NewLane()
+	var mu sync.Mutex
+	var order []uint64
+	var wg sync.WaitGroup
+	// Start seq 3, 2, 1 out of order; execution must be 1, 2, 3.
+	for _, seq := range []uint64{3, 2, 1} {
+		seq := seq
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := l.Wait(context.Background(), seq-1); err != nil {
+				t.Errorf("wait(%d): %v", seq-1, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, seq)
+			mu.Unlock()
+			l.Advance(seq)
+		}()
+	}
+	wg.Wait()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order=%v", order)
+	}
+}
+
+func TestLaneBarrierAndGaps(t *testing.T) {
+	l := NewLane()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := l.Wait(ctx, 2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("barrier before advance: %v", err)
+	}
+	// A gap (seq 1 lost) is tolerated: seq 2 advancing past it satisfies
+	// barriers at both 1 and 2.
+	l.Advance(2)
+	if err := l.Wait(context.Background(), 2); err != nil {
+		t.Fatalf("barrier after advance: %v", err)
+	}
+	l.Advance(1) // stale advance must not regress
+	if l.Done() != 2 {
+		t.Fatalf("done=%d", l.Done())
+	}
+}
+
+func TestLaneClose(t *testing.T) {
+	l := NewLane()
+	done := make(chan error, 1)
+	go func() { done <- l.Wait(context.Background(), 10) }()
+	time.Sleep(5 * time.Millisecond)
+	l.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("wait on closed lane: %v", err)
+	}
+}

@@ -1,0 +1,74 @@
+package promise
+
+import "sync"
+
+// Table is a client space's ledger of unresolved promises on one session.
+// It exists for the break-promise path: when the session dies, every
+// outstanding promise must fail promptly rather than wait out its
+// deadline, and nothing may leak. Each entry carries the callback that
+// breaks its promise.
+type Table struct {
+	mu      sync.Mutex
+	pending map[uint64]func(error)
+	closed  bool
+	cause   error
+}
+
+// NewTable returns an empty promise table.
+func NewTable() *Table {
+	return &Table{pending: make(map[uint64]func(error))}
+}
+
+// Add registers promise id with the callback that breaks it. It reports
+// false — without registering — when the table already closed; the
+// caller must then break the promise itself with Cause.
+func (t *Table) Add(id uint64, brk func(error)) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return false
+	}
+	t.pending[id] = brk
+	return true
+}
+
+// Remove drops promise id after it resolved (or broke) through its own
+// receive path.
+func (t *Table) Remove(id uint64) {
+	t.mu.Lock()
+	delete(t.pending, id)
+	t.mu.Unlock()
+}
+
+// Break closes the table: every registered promise's break callback runs
+// with cause, and later Adds are refused. Idempotent.
+func (t *Table) Break(cause error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	t.cause = cause
+	pending := t.pending
+	t.pending = make(map[uint64]func(error))
+	t.mu.Unlock()
+	for _, brk := range pending {
+		brk(cause)
+	}
+}
+
+// Cause returns the closing cause, nil while open.
+func (t *Table) Cause() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cause
+}
+
+// Pending counts unresolved promises — zero after every issued promise
+// has been awaited, the leak-check quantity.
+func (t *Table) Pending() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pending)
+}

@@ -21,6 +21,9 @@ type Calc interface {
 	Sum(ctx context.Context, xs []float64) (float64, error)
 	Shift(t time.Time, by time.Duration) (time.Time, error)
 	Nap(ctx context.Context, ms int64) (bool, error)
+	// Clone returns a fresh Calc, so the generated pipe surface can chain
+	// a typed pipelined call onto a promised receiver.
+	Clone(ctx context.Context) (Calc, error)
 	Describe() (string, error)
 	Reset() error
 }
@@ -69,6 +72,12 @@ func (s *Server) Nap(ctx context.Context, ms int64) (bool, error) {
 	case <-ctx.Done():
 		return false, ctx.Err()
 	}
+}
+
+// Clone returns a fresh Calc served by the same space.
+func (s *Server) Clone(ctx context.Context) (Calc, error) {
+	s.note("clone")
+	return &Server{}, nil
 }
 
 // Describe reports the last operation.

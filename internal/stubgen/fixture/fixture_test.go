@@ -109,6 +109,40 @@ func TestGeneratedStubCancellation(t *testing.T) {
 	}
 }
 
+func TestGeneratedPipeChain(t *testing.T) {
+	owner, client := pair(t)
+	impl := &Server{}
+	ref, err := owner.Export(impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := ref.WireRep()
+	cref, err := client.Import(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calc := NewCalcStub(cref)
+
+	ctx := context.Background()
+	// Root pipelined call resolves like a plain call.
+	got, err := calc.AddPipe(ctx, 1, 2).Await(ctx)
+	if err != nil || got != 3 {
+		t.Fatalf("AddPipe: %v %v", got, err)
+	}
+	// Typed chain onto a promised receiver: Clone's result is targeted
+	// before it resolves, one await at the end.
+	sum, err := calc.ClonePipe(ctx).Pipe().SumPipe(ctx, []float64{2, 3, 4}).Await(ctx)
+	if err != nil || sum != 9 {
+		t.Fatalf("chained SumPipe: %v %v", sum, err)
+	}
+	// An application error resolves the typed promise as a RemoteError.
+	_, err = calc.SumPipe(ctx, nil).Await(ctx)
+	var re *netobjects.RemoteError
+	if !errors.As(err, &re) || re.Msg != "nothing to sum" {
+		t.Fatalf("SumPipe error path: %v", err)
+	}
+}
+
 func TestGeneratedStubErrorPath(t *testing.T) {
 	owner, client := pair(t)
 	calc := stubFor(t, owner, client, &Server{})

@@ -94,7 +94,11 @@ func Generate(filename string, src []byte, typeNames []string, opts Options) ([]
 		return nil, fmt.Errorf("stubgen: no interfaces to generate in %s", filename)
 	}
 
-	g := &generator{opts: opts, pkg: pkg, fileImports: importMap(file)}
+	batch := map[string]bool{}
+	for _, d := range ifaces {
+		batch[d.name] = true
+	}
+	g := &generator{opts: opts, pkg: pkg, fileImports: importMap(file), batch: batch}
 	return g.emit(ifaces)
 }
 
@@ -227,6 +231,10 @@ type generator struct {
 	opts        Options
 	pkg         string
 	fileImports map[string]string
+	// batch names every interface generated in this run; a pipelined
+	// method whose first result is one of them gets a typed chaining hook
+	// onto that interface's pipe surface.
+	batch map[string]bool
 }
 
 // usedQualifiers walks the type expressions and reports which package
@@ -325,6 +333,128 @@ func (g *generator) emitInterface(b *bytes.Buffer, d *ifaceDecl) {
 	for _, m := range d.methods {
 		g.emitMethod(b, d, m)
 	}
+	g.emitPipeSurface(b, d)
+}
+
+// emitPipeSurface generates the pipelined call surface of an interface:
+// a <Name>Pipe facade targeting the eventual result of an earlier
+// pipelined call, a typed promise per context-first method, and
+// <Method>Pipe variants on both the stub (root of a chain) and the
+// facade (links of a chain). Methods without a leading context are
+// skipped: a pipelined issue site always has a context to bound the
+// chain.
+func (g *generator) emitPipeSurface(b *bytes.Buffer, d *ifaceDecl) {
+	name := d.name
+	stub := name + "Stub"
+	facade := name + "Pipe"
+	fpVar := "stub" + name + "Fingerprint"
+
+	hasPipe := false
+	for _, m := range d.methods {
+		if m.hasCtx {
+			hasPipe = true
+		}
+	}
+	if !hasPipe {
+		return
+	}
+
+	fmt.Fprintf(b, "// %s is the pipelined surface of %s: it targets the eventual\n", facade, name)
+	fmt.Fprintf(b, "// result of an earlier pipelined call, so dependent calls are shipped\n")
+	fmt.Fprintf(b, "// before their receiver resolves and a K-deep chain costs one round\n")
+	fmt.Fprintf(b, "// trip.\n")
+	fmt.Fprintf(b, "type %s struct{ p *netobjects.Promise }\n\n", facade)
+	fmt.Fprintf(b, "// Promise returns the underlying untyped promise.\n")
+	fmt.Fprintf(b, "func (f *%s) Promise() *netobjects.Promise { return f.p }\n\n", facade)
+
+	for _, m := range d.methods {
+		if !m.hasCtx {
+			continue
+		}
+		g.emitPromiseType(b, d, m)
+		g.emitPipeMethod(b, d, m, stub, fpVar, "s", "s.ref")
+		g.emitPipeMethod(b, d, m, facade, fpVar, "f", "f.p")
+	}
+}
+
+// emitPromiseType generates the typed promise for one pipelined method.
+func (g *generator) emitPromiseType(b *bytes.Buffer, d *ifaceDecl, m *methodDecl) {
+	prom := d.name + m.name + "Promise"
+	fmt.Fprintf(b, "// %s is the typed promise of a pipelined %s.%s.\n", prom, d.name, m.name)
+	fmt.Fprintf(b, "type %s struct{ p *netobjects.Promise }\n\n", prom)
+	fmt.Fprintf(b, "// Promise returns the underlying untyped promise, usable for dynamic\n")
+	fmt.Fprintf(b, "// chaining via PipeCall and for select-based completion via Done.\n")
+	fmt.Fprintf(b, "func (p *%s) Promise() *netobjects.Promise { return p.p }\n\n", prom)
+
+	// Typed chaining hook: the first result is an interface generated in
+	// this same run, so dependent calls can stay on the typed fast path.
+	if len(m.results) > 0 && g.batch[m.results[0].typ] {
+		chained := m.results[0].typ + "Pipe"
+		fmt.Fprintf(b, "// Pipe chains typed pipelined calls onto the eventual %s result.\n", m.results[0].typ)
+		fmt.Fprintf(b, "func (p *%s) Pipe() *%s { return &%s{p: p.p} }\n\n", prom, chained, chained)
+	}
+
+	fmt.Fprintf(b, "// Await blocks until the pipelined call resolves and returns its\n")
+	fmt.Fprintf(b, "// results; a failure anywhere earlier in the chain poisons it.\n")
+	fmt.Fprintf(b, "func (p *%s) Await(ctx context.Context) (", prom)
+	for _, r := range m.results {
+		fmt.Fprintf(b, "%s, ", r.typ)
+	}
+	b.WriteString("error) {\n")
+	for i, r := range m.results {
+		fmt.Fprintf(b, "\tvar z%d %s\n", i, r.typ)
+	}
+	outsVar := "_"
+	if len(m.results) > 0 {
+		outsVar = "outs"
+	}
+	fmt.Fprintf(b, "\t%s, err := p.p.AwaitTyped(ctx)\n", outsVar)
+	b.WriteString("\tif err != nil {\n\t\treturn ")
+	for i := range m.results {
+		fmt.Fprintf(b, "z%d, ", i)
+	}
+	b.WriteString("err\n\t}\n")
+	for i, r := range m.results {
+		fmt.Fprintf(b, "\tz%d, _ = outs[%d].Interface().(%s)\n", i, i, r.typ)
+	}
+	b.WriteString("\treturn ")
+	for i := range m.results {
+		fmt.Fprintf(b, "z%d, ", i)
+	}
+	b.WriteString("nil\n}\n\n")
+}
+
+// emitPipeMethod generates one <Method>Pipe variant on recv (the stub or
+// the pipe facade); target is the expression carrying InvokeTypedPipe.
+func (g *generator) emitPipeMethod(b *bytes.Buffer, d *ifaceDecl, m *methodDecl, recv, fpVar, recvVar, target string) {
+	prom := d.name + m.name + "Promise"
+	rtVar := fmt.Sprintf("stub%s%sResults", d.name, m.name)
+	if recvVar == "s" {
+		fmt.Fprintf(b, "// %sPipe issues %s.%s as a pipelined call: the promise returns\n", m.name, d.name, m.name)
+		fmt.Fprintf(b, "// immediately and dependent pipelined calls may target it before it\n")
+		fmt.Fprintf(b, "// resolves.\n")
+	} else {
+		fmt.Fprintf(b, "// %sPipe chains %s.%s onto the promised receiver.\n", m.name, d.name, m.name)
+	}
+	fmt.Fprintf(b, "func (%s *%s) %sPipe(ctx context.Context", recvVar, recv, m.name)
+	for _, p := range m.params {
+		fmt.Fprintf(b, ", %s %s", p.name, p.typ)
+	}
+	fmt.Fprintf(b, ") *%s {\n", prom)
+	b.WriteString("\targs := []reflect.Value{")
+	for i, p := range m.params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "netobjects.ArgValue[%s](%s)", p.typ, p.name)
+	}
+	b.WriteString("}\n")
+	results := "nil"
+	if len(m.results) > 0 {
+		results = rtVar
+	}
+	fmt.Fprintf(b, "\treturn &%s{p: %s.InvokeTypedPipe(ctx, %q, %s, args, %s)}\n", prom, target, m.name, fpVar, results)
+	b.WriteString("}\n\n")
 }
 
 func (g *generator) emitMethod(b *bytes.Buffer, d *ifaceDecl, m *methodDecl) {

@@ -13,7 +13,11 @@ import (
 // makes single-process tests, examples and benchmarks deterministic.
 type Mem struct {
 	// Latency, when non-zero, is added to every message delivery,
-	// simulating a network round trip in benchmarks.
+	// simulating propagation delay in benchmarks: each message is due
+	// Latency after its send, and delivery is held until then. Messages
+	// sent back to back share the window — the link pipelines like a real
+	// network path rather than serializing, so a burst of K frames costs
+	// one propagation delay, not K.
 	Latency time.Duration
 
 	mu          sync.Mutex
@@ -69,8 +73,8 @@ func (m *Mem) Dial(addr string) (Conn, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: inmem address %q not listening", ErrNoEndpoint, addr)
 	}
-	a2b := make(chan []byte, 16)
-	b2a := make(chan []byte, 16)
+	a2b := make(chan memMsg, 64)
+	b2a := make(chan memMsg, 64)
 	dialSide := &memConn{m: m, out: a2b, in: b2a, done: make(chan struct{}), label: "inmem:" + addr}
 	acceptSide := &memConn{m: m, out: b2a, in: a2b, done: make(chan struct{}), label: "inmem:dialer"}
 	dialSide.peer, acceptSide.peer = acceptSide, dialSide
@@ -147,13 +151,24 @@ func (l *memListener) Close() error {
 
 func (l *memListener) Endpoint() string { return "inmem:" + l.addr }
 
+// memMsg is one in-flight frame: the payload and, when the namespace
+// simulates latency, the instant it becomes deliverable.
+type memMsg struct {
+	payload []byte
+	due     time.Time
+}
+
 type memConn struct {
 	m     *Mem
-	out   chan []byte
-	in    chan []byte
+	out   chan memMsg
+	in    chan memMsg
 	done  chan struct{}
 	peer  *memConn
 	label string
+
+	// held is a frame dequeued but not yet due; only the single reader
+	// touches it (Conn is not safe for concurrent use).
+	held *memMsg
 
 	mu       sync.Mutex
 	deadline time.Time
@@ -173,11 +188,13 @@ func (c *memConn) Send(payload []byte) error {
 	if c.isClosed() {
 		return ErrClosed
 	}
-	if lat := c.m.Latency; lat > 0 {
-		time.Sleep(lat)
-	}
 	// Copy: the caller may reuse its buffer as soon as Send returns.
-	msg := append([]byte(nil), payload...)
+	msg := memMsg{payload: append([]byte(nil), payload...)}
+	if lat := c.m.Latency; lat > 0 {
+		// Stamp rather than sleep: the sender keeps going, and the frame
+		// becomes deliverable one propagation delay from now.
+		msg.due = time.Now().Add(lat)
+	}
 	timeout := c.deadlineTimer()
 	defer stopTimer(timeout)
 	select {
@@ -198,22 +215,41 @@ func (c *memConn) Recv(scratch []byte) ([]byte, error) {
 	}
 	timeout := c.deadlineTimer()
 	defer stopTimer(timeout)
-	select {
-	case msg := <-c.in:
-		return msg, nil
-	case <-c.done:
-		return nil, ErrClosed
-	case <-c.peer.done:
-		// Drain any message already delivered before the peer closed.
+	if c.held == nil {
 		select {
 		case msg := <-c.in:
-			return msg, nil
-		default:
+			c.held = &msg
+		case <-c.done:
+			return nil, ErrClosed
+		case <-c.peer.done:
+			// Drain any message already in flight before the peer closed.
+			select {
+			case msg := <-c.in:
+				c.held = &msg
+			default:
+				return nil, errors.Join(ErrClosed, errPeerClosed)
+			}
+		case <-timerC(timeout):
+			return nil, ErrTimeout
 		}
-		return nil, errors.Join(ErrClosed, errPeerClosed)
-	case <-timerC(timeout):
-		return nil, ErrTimeout
 	}
+	// Hold delivery until the frame's due time. A deadline expiring
+	// mid-hold leaves the frame held for the next Recv — a late frame is
+	// slow, never lost.
+	if wait := time.Until(c.held.due); wait > 0 {
+		hold := time.NewTimer(wait)
+		defer hold.Stop()
+		select {
+		case <-hold.C:
+		case <-c.done:
+			return nil, ErrClosed
+		case <-timerC(timeout):
+			return nil, ErrTimeout
+		}
+	}
+	msg := c.held.payload
+	c.held = nil
+	return msg, nil
 }
 
 var errPeerClosed = errors.New("transport: peer closed connection")

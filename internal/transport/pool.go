@@ -33,8 +33,9 @@ type idleConn struct {
 // dialing one connection on first use and sharing it among any number of
 // concurrent exchanges (see Session). The original checkout discipline —
 // Get a connection for the duration of one call, Put it back or Discard
-// it — is retained for transports that opt out of multiplexing
-// (CheckoutOnly) and for runtimes that disable it.
+// it — is deprecated: it survives solely for transports that opt out of
+// multiplexing (CheckoutOnly), for Options.DisableMux A/B runs, and for
+// the srcrpc baseline, and is removed once those users fold away.
 //
 // Idle checkout connections older than the TTL are reaped lazily whenever
 // the pool is touched, so connections to peers that restarted do not
@@ -48,6 +49,10 @@ type Pool struct {
 	metrics *obs.Metrics
 	tracer  obs.Tracer
 	flow    *flow.Params
+	noPipe  bool
+	// batchWindow is the frame-coalescing window new sessions are created
+	// with (see SessionOptions.BatchWindow).
+	batchWindow time.Duration
 
 	mu       sync.Mutex
 	idle     map[string][]idleConn
@@ -102,6 +107,17 @@ func (p *Pool) SetObserver(m *obs.Metrics, t obs.Tracer) {
 func (p *Pool) SetFlow(fp *flow.Params) {
 	p.mu.Lock()
 	p.flow = fp
+	p.mu.Unlock()
+}
+
+// SetPipeline configures pipelining for new outbound sessions: noPipe
+// suppresses the capability advertisement (peers then treat this side as
+// a legacy, sequential client) and batchWindow sets the writer's
+// frame-coalescing window (zero disables batching).
+func (p *Pool) SetPipeline(noPipe bool, batchWindow time.Duration) {
+	p.mu.Lock()
+	p.noPipe = noPipe
+	p.batchWindow = batchWindow
 	p.mu.Unlock()
 }
 
@@ -328,9 +344,9 @@ func (p *Pool) Session(ctx context.Context, endpoints []string) (*Session, strin
 		t.Emit(obs.Event{Kind: obs.EvPoolMiss, Time: time.Now(), Key: ep, Dur: dial})
 	}
 	p.mu.Lock()
-	fp := p.flow
+	fp, noPipe, bw := p.flow, p.noPipe, p.batchWindow
 	p.mu.Unlock()
-	slot.s = NewSession(c, SessionOptions{Flow: fp, Metrics: m})
+	slot.s = NewSession(c, SessionOptions{Flow: fp, Metrics: m, NoPipeline: noPipe, BatchWindow: bw})
 	slot.ep = ep
 	return slot.s, ep, nil
 }
@@ -374,8 +390,10 @@ func (p *Pool) SessionCount() int {
 }
 
 // SessionsSnapshot reports the live outbound sessions for the debug page,
-// sorted by peer endpoint.
-func (p *Pool) SessionsSnapshot() []obs.SessionInfo {
+// sorted by peer endpoint. promises, when non-nil, supplies each
+// session's unresolved pipelined-promise count (the pool has no view into
+// the runtime's promise tables).
+func (p *Pool) SessionsSnapshot(promises func(*Session) int) []obs.SessionInfo {
 	p.mu.Lock()
 	slots := make([]*sessionSlot, 0, len(p.sessions))
 	for _, slot := range p.sessions {
@@ -391,6 +409,10 @@ func (p *Pool) SessionsSnapshot() []obs.SessionInfo {
 			continue
 		}
 		st := s.Stats()
+		n := 0
+		if promises != nil {
+			n = promises(s)
+		}
 		out = append(out, obs.SessionInfo{
 			Endpoint:    ep,
 			Dir:         "out",
@@ -402,6 +424,7 @@ func (p *Pool) SessionsSnapshot() []obs.SessionInfo {
 			SendWindow:  st.SendWindow,
 			QueuedBytes: st.FlowQueued,
 			Stalls:      st.FlowStalls,
+			Promises:    n,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Endpoint < out[j].Endpoint })

@@ -64,6 +64,16 @@ type SessionOptions struct {
 	// Metrics, when non-nil, receives the session's flow-control and
 	// keepalive counters.
 	Metrics *obs.Metrics
+	// NoPipeline suppresses the PipeHello capability advertisement, making
+	// this endpoint look like a legacy peer: the other side falls back to
+	// sequential round trips and unbatched frames. Used to gate pipelining
+	// off (Options.DisablePipeline) and to exercise the fallback in tests.
+	NoPipeline bool
+	// BatchWindow, when positive, lets the session writer coalesce bursts
+	// of small queued frames into one OpBatch frame, holding the first
+	// frame of a burst up to this long for companions. Only effective once
+	// the peer has advertised CapBatch; zero disables batching.
+	BatchWindow time.Duration
 }
 
 // Session multiplexes logical streams over one Conn. It assumes exclusive
@@ -91,6 +101,16 @@ type Session struct {
 
 	bytesSent atomic.Uint64
 	bytesRecv atomic.Uint64
+
+	// batchWindow is the writer's coalescing window (0 = batching off).
+	batchWindow time.Duration
+
+	// promiseIDs allocates session-scoped promise ids for pipelined calls
+	// and onewaySeq numbers this session's outbound one-way calls; both
+	// belong to the session because their scope is exactly its lifetime —
+	// the peer's completion table and one-way lane die with the session.
+	promiseIDs atomic.Uint64
+	onewaySeq  atomic.Uint64
 }
 
 // SessionStats is a point-in-time snapshot of one session's load, for the
@@ -141,6 +161,14 @@ func NewSession(c Conn, opts SessionOptions) *Session {
 		// receiving server switches into session mode on it and a
 		// flow-enabled peer learns our capability as early as possible.
 		s.writeCh <- writeReq{bp: s.flow.helloFrame(), ack: make(chan error, 1)}
+		if !opts.NoPipeline {
+			// Pipelining rides the same stream-0 hello mechanism; a
+			// separate message rather than new SessHello fields because
+			// the decoder rejects trailing bytes. Legacy peers ignore it.
+			caps := uint64(wire.CapPipeline | wire.CapBatch)
+			s.writeCh <- writeReq{bp: s.flow.pipeHelloFrame(caps), ack: make(chan error, 1)}
+		}
+		s.batchWindow = opts.BatchWindow
 	}
 	loops := 2
 	if s.flow != nil && s.flow.ka != nil {
@@ -263,6 +291,33 @@ func (s *Session) Healthy() bool {
 // Label describes the session's peer for logs and the debug page.
 func (s *Session) Label() string { return s.c.RemoteLabel() }
 
+// NextPromiseID allocates a fresh session-scoped promise id for a
+// pipelined call. Ids are never reused within a session; the peer's
+// completion table is keyed by them.
+func (s *Session) NextPromiseID() uint64 { return s.promiseIDs.Add(1) }
+
+// NextOneWaySeq allocates the next one-way sequence number (1-based),
+// fixing the call's position in the peer's ordered one-way lane.
+func (s *Session) NextOneWaySeq() uint64 { return s.onewaySeq.Add(1) }
+
+// OneWaysSent reports how many one-way calls have been allocated on this
+// session — the Barrier value for a pipelined call that must order after
+// them.
+func (s *Session) OneWaysSent() uint64 { return s.onewaySeq.Load() }
+
+// PeerCaps reports the peer's advertised pipelining capability bits
+// (wire.CapPipeline, wire.CapBatch), blocking up to the hello grace on
+// first use when the verdict is not yet in. Returns 0 — sequential
+// fallback — on legacy peers, non-flow sessions, and dead sessions; the
+// grace expiry is sticky, so later calls decide instantly. cancel, when
+// non-nil, aborts the wait early (also reporting 0).
+func (s *Session) PeerCaps(cancel <-chan struct{}) uint64 {
+	if s.flow == nil {
+		return 0
+	}
+	return s.flow.waitCaps(cancel, s.done)
+}
+
 // Stats snapshots the session's load.
 func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
@@ -319,7 +374,7 @@ func (s *Session) writeLoop() {
 		case <-s.done:
 			return
 		case req := <-s.writeCh:
-			if !s.writeOne(req) {
+			if !s.writeQueued(req) {
 				return
 			}
 			continue
@@ -338,7 +393,7 @@ func (s *Session) writeLoop() {
 		// Both lanes empty: block until there is work.
 		select {
 		case req := <-s.writeCh:
-			if !s.writeOne(req) {
+			if !s.writeQueued(req) {
 				return
 			}
 		case <-ctrlKick:
@@ -347,6 +402,91 @@ func (s *Session) writeLoop() {
 			return
 		}
 	}
+}
+
+// Batching bounds: only frames up to batchMaxFrame ride in a batch (a
+// large frame flushes the batch and goes out alone), and a batch closes
+// once it holds batchMaxBytes regardless of the flush window.
+const (
+	batchMaxFrame = 2 << 10
+	batchMaxBytes = 16 << 10
+)
+
+// writeQueued writes one queued frame, coalescing a burst of small
+// companions into a single OpBatch frame when batching is enabled and the
+// peer advertised CapBatch. The first frame of a burst waits at most the
+// flush window; everything already queued behind it ships immediately.
+func (s *Session) writeQueued(req writeReq) bool {
+	if s.batchWindow <= 0 || s.flow == nil ||
+		s.flow.peerCaps.Load()&wire.CapBatch == 0 || len(*req.bp) > batchMaxFrame {
+		return s.writeOne(req)
+	}
+	batch := []writeReq{req}
+	total := len(*req.bp)
+	flush := time.NewTimer(s.batchWindow)
+	defer flush.Stop()
+collect:
+	for total < batchMaxBytes {
+		select {
+		case r2 := <-s.writeCh:
+			if len(*r2.bp) > batchMaxFrame {
+				// Too big to batch: flush what we have, then send it
+				// alone, preserving queue order.
+				if !s.writeBatch(batch) {
+					err := s.closeErr()
+					wire.PutBuf(r2.bp)
+					r2.ack <- err
+					return false
+				}
+				return s.writeOne(r2)
+			}
+			batch = append(batch, r2)
+			total += len(*r2.bp)
+		case <-flush.C:
+			break collect
+		case <-s.done:
+			err := s.closeErr()
+			for _, r := range batch {
+				wire.PutBuf(r.bp)
+				r.ack <- err
+			}
+			return false
+		}
+	}
+	return s.writeBatch(batch)
+}
+
+// writeBatch sends the collected frames — alone when the burst never
+// materialized, as one OpBatch frame otherwise — and acks every waiting
+// Stream.Send.
+func (s *Session) writeBatch(batch []writeReq) bool {
+	if len(batch) == 1 {
+		return s.writeOne(batch[0])
+	}
+	bp := wire.GetBuf()
+	buf := wire.AppendBatchHeader((*bp)[:0])
+	for _, r := range batch {
+		buf = wire.AppendBatchFrame(buf, *r.bp)
+	}
+	*bp = buf
+	err := s.c.Send(*bp)
+	if err == nil {
+		s.bytesSent.Add(uint64(len(*bp)))
+		if f := s.flow; f != nil {
+			f.mBatches.Inc()
+			f.mBatchFrames.Add(uint64(len(batch)))
+		}
+	}
+	wire.PutBuf(bp)
+	for _, r := range batch {
+		wire.PutBuf(r.bp)
+		r.ack <- err
+	}
+	if err != nil {
+		s.fail(err)
+		return false
+	}
+	return true
 }
 
 // writeOne sends one queued frame, acking the Stream.Send that queued it.
@@ -408,6 +548,36 @@ func (s *Session) readLoop(preread []byte) {
 			continue
 		}
 		if s.flow != nil && s.readFlowFrame(frame) {
+			frame = nil
+			continue
+		}
+		if wire.PeekOp(frame) == wire.OpBatch {
+			// A coalesced burst: process the sub-frames exactly as if
+			// they had arrived separately. Each is an ordinary mux frame
+			// (hellos and flow frames never ride the batched lane).
+			subs, err := wire.SplitBatch(frame)
+			if err != nil {
+				s.fail(fmt.Errorf("transport: bad batch frame on session: %w", err))
+				return
+			}
+			for _, sub := range subs {
+				if !wire.IsMux(sub) {
+					s.fail(fmt.Errorf("transport: non-mux frame in batch (op %v)", wire.PeekOp(sub)))
+					return
+				}
+				id, payload, err := wire.SplitMux(sub)
+				if err != nil {
+					s.fail(fmt.Errorf("transport: bad mux frame in batch: %w", err))
+					return
+				}
+				if id == 0 {
+					if s.flow != nil {
+						s.flow.onHello(payload)
+					}
+				} else {
+					s.dispatch(id, payload)
+				}
+			}
 			frame = nil
 			continue
 		}

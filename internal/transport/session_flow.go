@@ -45,6 +45,17 @@ type flowState struct {
 	noFlow    atomic.Bool  // sticky: hello grace expired, peer is legacy
 	sendChunk atomic.Int64 // chunk size for sends: min(local, peer), set on hello
 
+	// Promise-pipelining capability exchange. PipeHello rides stream 0
+	// right after SessHello; peerCaps holds the peer's advertised bits and
+	// pipeCh closes when they arrive. noPipe is the sticky grace-expired
+	// verdict, mirroring noFlow: a peer that never says PipeHello is
+	// treated as legacy (sequential round trips, no batches) for the
+	// session's lifetime.
+	pipeCh   chan struct{}
+	pipeOnce sync.Once
+	peerCaps atomic.Uint64
+	noPipe   atomic.Bool
+
 	sessLedger *flow.RecvLedger // receive side of the session-level window
 
 	// Pending protocol frames, materialized by the writer at send time so
@@ -59,14 +70,16 @@ type flowState struct {
 
 	seenStalls uint64 // scheduler stalls already mirrored to the metric (writer-only)
 
-	mChunks     *obs.Counter
-	mGrantsSent *obs.Counter
-	mGrantsRecv *obs.Counter
-	mStalls     *obs.Counter
-	mFallbacks  *obs.Counter
-	mPings      *obs.Counter
-	mPongs      *obs.Counter
-	mKaFail     *obs.Counter
+	mChunks      *obs.Counter
+	mGrantsSent  *obs.Counter
+	mGrantsRecv  *obs.Counter
+	mStalls      *obs.Counter
+	mFallbacks   *obs.Counter
+	mPings       *obs.Counter
+	mPongs       *obs.Counter
+	mKaFail      *obs.Counter
+	mBatches     *obs.Counter
+	mBatchFrames *obs.Counter
 }
 
 func newFlowState(p flow.Params, m *obs.Metrics) *flowState {
@@ -74,6 +87,7 @@ func newFlowState(p flow.Params, m *obs.Metrics) *flowState {
 		params:     p,
 		sched:      flow.NewScheduler(p.ChunkSize, p.StreamWindow, p.SessionWindow),
 		helloCh:    make(chan struct{}),
+		pipeCh:     make(chan struct{}),
 		sessLedger: flow.NewRecvLedger(p.SessionWindow),
 		grants:     make(map[uint64]int64),
 		kick:       make(chan struct{}, 1),
@@ -90,6 +104,8 @@ func newFlowState(p flow.Params, m *obs.Metrics) *flowState {
 		f.mPings = m.KeepalivePingsSent
 		f.mPongs = m.KeepalivePongsRecv
 		f.mKaFail = m.KeepaliveFailures
+		f.mBatches = m.BatchesSent
+		f.mBatchFrames = m.BatchFramesSent
 	}
 	return f
 }
@@ -114,11 +130,27 @@ func (f *flowState) helloFrame() *[]byte {
 	return bp
 }
 
+// pipeHelloFrame builds the pipelining capability advertisement,
+// mux-wrapped on stream 0 like the flow hello it follows.
+func (f *flowState) pipeHelloFrame(caps uint64) *[]byte {
+	inner := wire.Marshal(nil, &wire.PipeHello{Caps: caps})
+	bp := wire.GetBuf()
+	*bp = append(wire.AppendMuxHeader((*bp)[:0], 0), inner...)
+	return bp
+}
+
 // onHello handles a stream-0 control message from the peer.
 func (f *flowState) onHello(payload []byte) {
 	msg, err := wire.Unmarshal(payload)
 	if err != nil {
 		return // unknown future control message: ignore, don't fail the link
+	}
+	if ph, ok := msg.(*wire.PipeHello); ok {
+		f.pipeOnce.Do(func() {
+			f.peerCaps.Store(ph.Caps)
+			close(f.pipeCh)
+		})
+		return
 	}
 	h, ok := msg.(*wire.SessHello)
 	if !ok {
@@ -184,6 +216,34 @@ func (f *flowState) waitPeer(st *Stream) bool {
 		return false
 	case <-st.s.done:
 		return false
+	}
+}
+
+// waitCaps blocks until the peer's pipelining capability is known,
+// returning the advertised bits (0 for a legacy peer). Like waitPeer the
+// grace wait is paid at most once — expiry marks the peer legacy for the
+// session's lifetime, so subsequent calls decide instantly.
+func (f *flowState) waitCaps(cancel <-chan struct{}, sessDone <-chan struct{}) uint64 {
+	select {
+	case <-f.pipeCh:
+		return f.peerCaps.Load()
+	default:
+	}
+	if f.noPipe.Load() {
+		return 0
+	}
+	grace := time.NewTimer(flowHelloGrace)
+	defer grace.Stop()
+	select {
+	case <-f.pipeCh:
+		return f.peerCaps.Load()
+	case <-grace.C:
+		f.noPipe.Store(true)
+		return 0
+	case <-cancel:
+		return 0
+	case <-sessDone:
+		return 0
 	}
 }
 

@@ -112,6 +112,12 @@ func Healthy(c Conn) bool {
 // per-call connections for fault isolation. The Pool refuses to build a
 // Session over such a transport (see Pool.MuxCapable) and callers fall
 // back to Get/Put checkout.
+//
+// Deprecated: the checkout discipline is frozen at its pre-session
+// feature level — no flow control, no keepalives, no pipelining — and is
+// headed for removal. None of the built-in transports implement this
+// interface; the remaining users are the srcrpc baseline and the nobench
+// E1 comparison.
 type CheckoutOnly interface {
 	// CheckoutOnly reports whether connections from this transport are
 	// restricted to the one-call-per-connection checkout discipline.

@@ -83,10 +83,38 @@ const (
 	// Naked flow frames (OpData, OpWindowUpdate, OpFlowPing/Pong) are only
 	// ever sent after the peer's hello has been received.
 	OpSessHello
+	// OpPipeHello advertises a session's promise-pipelining and batching
+	// capability. Like SessHello it travels wrapped in the mux envelope on
+	// reserved stream id 0 so legacy peers discard it harmlessly; it is a
+	// separate message (not new SessHello fields) because the decoder
+	// rejects trailing bytes — growing SessHello would make old peers drop
+	// the whole hello and lose flow control against new ones.
+	OpPipeHello
+	// OpPipeCall requests invocation of a method whose receiver or
+	// arguments may be unresolved promises from earlier pipelined calls on
+	// the same session. The owner chains it against its per-session
+	// completion table instead of making the client wait a round trip per
+	// dependency. Answered with an OpPromiseResolve on the same stream.
+	OpPipeCall
+	// OpPromiseResolve carries the outcome of a pipelined call back to the
+	// client, resolving the promise id the client assigned to it. Shaped
+	// like a Result plus the promise id.
+	OpPromiseResolve
+	// OpOneWay requests invocation with no reply at all: no result frame,
+	// no error report, no acknowledgement. One-way calls on a session are
+	// executed in send order relative to each other, and a later pipelined
+	// call can fence on them via PipeCall.Barrier.
+	OpOneWay
+	// OpBatch coalesces several complete frames into one transport frame:
+	// [OpBatch]([uvarint length][frame bytes])*. The receiver processes
+	// the sub-frames exactly as if they had arrived separately. Only sent
+	// to peers that advertised CapBatch in their PipeHello, so it never
+	// reaches a decoder that cannot split it.
+	OpBatch
 )
 
 // maxOp is the largest valid op, for PeekOp range checks.
-const maxOp = OpSessHello
+const maxOp = OpBatch
 
 // String names the op for logs.
 func (o Op) String() string {
@@ -131,6 +159,16 @@ func (o Op) String() string {
 		return "flow-pong"
 	case OpSessHello:
 		return "sess-hello"
+	case OpPipeHello:
+		return "pipe-hello"
+	case OpPipeCall:
+		return "pipe-call"
+	case OpPromiseResolve:
+		return "promise-resolve"
+	case OpOneWay:
+		return "one-way"
+	case OpBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -159,6 +197,10 @@ const (
 	// StatusSpaceClosed reports that the receiving space is draining or
 	// closed and accepts no new calls.
 	StatusSpaceClosed
+	// StatusPromiseBroken reports that a pipelined call was never executed
+	// because a call it depended on failed (the chain was poisoned) or the
+	// session carrying the chain died before the dependency resolved.
+	StatusPromiseBroken
 )
 
 // String names the status for logs and errors.
@@ -184,6 +226,8 @@ func (s Status) String() string {
 		return "deadline exceeded"
 	case StatusSpaceClosed:
 		return "space closed"
+	case StatusPromiseBroken:
+		return "promise broken"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -621,10 +665,16 @@ func PeekOp(frame []byte) Op {
 	if m <= 0 {
 		return OpInvalid
 	}
-	// Inside the envelope only ordinary messages appear — plus SessHello,
-	// which rides stream 0 for backward compatibility. Envelopes do not
-	// nest and naked session-control ops never appear wrapped.
-	if inner >= uint64(OpMux) && inner != uint64(OpSessHello) {
+	// Inside the envelope only ordinary messages appear — plus the
+	// stream-0 control messages (SessHello, PipeHello) and the pipelined
+	// invocation messages, which are muxed like calls. Envelopes do not
+	// nest; naked session-control ops and batch frames never appear
+	// wrapped.
+	if inner > uint64(maxOp) {
+		return OpInvalid
+	}
+	switch Op(inner) {
+	case OpMux, OpData, OpWindowUpdate, OpFlowPing, OpFlowPong, OpBatch:
 		return OpInvalid
 	}
 	return Op(inner)
@@ -666,6 +716,14 @@ func Unmarshal(b []byte) (Message, error) {
 		m = new(CancelAck)
 	case OpSessHello:
 		m = new(SessHello)
+	case OpPipeHello:
+		m = new(PipeHello)
+	case OpPipeCall:
+		m = new(PipeCall)
+	case OpPromiseResolve:
+		m = new(PromiseResolve)
+	case OpOneWay:
+		m = new(OneWay)
 	default:
 		if err := d.Err(); err != nil {
 			return nil, err

@@ -63,6 +63,11 @@ type (
 	// Referencer is implemented by values carrying a network reference
 	// (stubs and *Ref itself).
 	Referencer = core.Referencer
+	// Promise is the pending result of a pipelined invocation: it is
+	// returned immediately by Ref.PipeCall and generated ...Pipe stub
+	// methods, and dependent pipelined calls may target it before it
+	// resolves so a K-deep chain costs one round trip.
+	Promise = core.Promise
 	// RemoteError is an application error returned by a remote method.
 	RemoteError = core.RemoteError
 	// CallError is a runtime-level invocation failure.
