@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	nobench [-t t1,t2,f1,t3,t4,t5,t6,e1,e2,e3|all] [-quick] [-obs] [-http addr]
+//	nobench [-t t1,t2,f1,t3,t4,t5,t6,e1,e2,e3,e4|all] [-quick] [-obs] [-http addr]
 //	nobench -chaos [-chaos-profile loss|partition|crash|mixed|none]
 //	        [-chaos-transport inmem|tcp] [-chaos-seed N] [-chaos-spaces N]
 //	        [-chaos-ops N] [-obs] [-http addr]
@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -38,9 +39,11 @@ import (
 	"netobjects"
 	"netobjects/internal/baseline/srcrpc"
 	"netobjects/internal/chaos"
+	"netobjects/internal/objtable"
 	"netobjects/internal/pickle"
 	"netobjects/internal/refmodel"
 	"netobjects/internal/transport"
+	"netobjects/internal/wire"
 )
 
 var (
@@ -62,7 +65,7 @@ func withObs(o *netobjects.Options) {
 }
 
 func main() {
-	which := flag.String("t", "all", "comma-separated experiments: t1,t2,f1,t3,t4,t5,t6,e1,e2,e3")
+	which := flag.String("t", "all", "comma-separated experiments: t1,t2,f1,t3,t4,t5,t6,e1,e2,e3,e4")
 	obsFlag := flag.Bool("obs", false, "aggregate runtime metrics across experiments and print the digest")
 	httpAddr := flag.String("http", "", "serve live /metrics and /debug/netobj on this address during the run (implies -obs)")
 	chaosFlag := flag.Bool("chaos", false, "run the fault-injection soak instead of the benchmark tables")
@@ -125,6 +128,7 @@ func main() {
 	run("e1", runE1)
 	run("e2", runE2)
 	run("e3", runE3)
+	run("e4", runE4)
 
 	if obsMetrics != nil {
 		fmt.Printf("\n========== METRICS DIGEST ==========\n%s", obsMetrics.Registry().Summary())
@@ -467,24 +471,24 @@ func runT3() error {
 	fmt.Println("the first import pays one dirty round trip (plus one clean at release).")
 
 	// Clean-call batching: N releases coalesce into few exchanges.
+	// (Batching is always on; this cell verifies the coalescing shows up.)
 	mem := netobjects.NewMem()
 	mem.Latency = 2 * time.Millisecond
-	mkB := func(name string, batch bool) (*netobjects.Space, error) {
+	mkB := func(name string) (*netobjects.Space, error) {
 		opts := netobjects.Options{
 			Name:         name,
 			Transports:   []netobjects.Transport{mem},
 			PingInterval: time.Hour,
-			BatchCleans:  batch,
 		}
 		withObs(&opts)
 		return netobjects.New(opts)
 	}
-	owner, err := mkB("owner", false)
+	owner, err := mkB("owner")
 	if err != nil {
 		return err
 	}
 	defer owner.Close()
-	clientB, err := mkB("client", true)
+	clientB, err := mkB("client")
 	if err != nil {
 		return err
 	}
@@ -512,7 +516,7 @@ func runT3() error {
 		time.Sleep(2 * time.Millisecond)
 	}
 	st := clientB.Stats()
-	fmt.Printf("  clean batching: %d cleans delivered via %d batched exchanges (BatchCleans on)\n",
+	fmt.Printf("  clean batching: %d cleans delivered via %d batched exchanges\n",
 		st.CleanSent, st.CleanBatches)
 	return nil
 }
@@ -799,17 +803,21 @@ func runT6() error {
 // --- E1 ------------------------------------------------------------------
 
 // runE1 measures concurrent-caller fan-out over loopback TCP: a client
-// that just reached a peer sprays N goroutines × K calls at it (a burst),
-// comparing the pre-session checkout discipline (Options.DisableMux) with
-// the default multiplexed peer session. Each burst starts from a fresh
-// client so connection establishment is part of the work, as it is when a
-// space first fans out against a peer: checkout pays one dial per
-// concurrent caller, the session pays one per peer. "dials" counts the
-// connections the client opened per burst (pool misses, including the one
-// the import's dirty call makes).
+// that just reached a peer sprays N goroutines × K calls at it (a burst)
+// on the shared multiplexed session, comparing the session writer with
+// batching off against a small BatchWindow (Options.BatchWindow), which
+// lets the writer coalesce bursts of small call frames into one batch
+// frame. Each burst starts from a fresh client so connection
+// establishment is part of the work; "dials" counts the connections the
+// client opened per burst (pool misses, including the one the import's
+// dirty call makes) and should stay at ~1 per peer regardless of fan-out.
+//
+// (The checkout-vs-mux A/B this experiment originally ran is retired with
+// the checkout discipline itself; its final numbers are frozen in
+// EXPERIMENTS.md.)
 func runE1() error {
-	fmt.Println("E1: concurrent-caller fan-out over loopback TCP (burst of 2 calls/caller)")
-	const burst = 2 // calls per caller per burst
+	fmt.Println("E1: concurrent-caller fan-out over loopback TCP (burst of 8 calls/caller)")
+	const burst = 8 // calls per caller per burst; bursty enough to coalesce
 	rounds := iters(30)
 	payload1k := bytes.Repeat([]byte{'x'}, 1024)
 	type shape struct {
@@ -822,14 +830,14 @@ func runE1() error {
 	}
 	fanouts := []int{1, 8, 64}
 
-	runCell := func(disableMux bool, s shape, n int) (rate float64, mean time.Duration, dials float64, err error) {
+	runCell := func(batchWindow time.Duration, s shape, n int) (rate float64, mean time.Duration, dials float64, err error) {
 		tr := netobjects.NewTCP()
 		mk := func(name string, m *netobjects.Metrics) (*netobjects.Space, error) {
 			return netobjects.New(netobjects.Options{
 				Name:         name,
 				Transports:   []netobjects.Transport{tr},
 				PingInterval: time.Hour,
-				DisableMux:   disableMux,
+				BatchWindow:  batchWindow,
 				Metrics:      m,
 			})
 		}
@@ -901,15 +909,15 @@ func runE1() error {
 	}
 
 	fmt.Printf("%-10s %-10s %8s %14s %12s %8s\n",
-		"discipline", "payload", "callers", "calls/sec", "mean lat", "dials")
-	at64 := map[string][2]float64{} // shape name -> [checkout, mux] rate at 64 callers
+		"batching", "payload", "callers", "calls/sec", "mean lat", "dials")
+	at64 := map[string][2]float64{} // shape name -> [off, on] rate at 64 callers
 	for _, mode := range []struct {
-		name    string
-		disable bool
-	}{{"checkout", true}, {"mux", false}} {
+		name   string
+		window time.Duration
+	}{{"off", 0}, {"100µs", 100 * time.Microsecond}} {
 		for _, s := range shapes {
 			for _, n := range fanouts {
-				rate, mean, dials, err := runCell(mode.disable, s, n)
+				rate, mean, dials, err := runCell(mode.window, s, n)
 				if err != nil {
 					return err
 				}
@@ -917,7 +925,7 @@ func runE1() error {
 					mode.name, s.name, n, rate, mean.Round(time.Microsecond), dials)
 				if n == 64 {
 					v := at64[s.name]
-					if mode.disable {
+					if mode.window == 0 {
 						v[0] = rate
 					} else {
 						v[1] = rate
@@ -929,11 +937,11 @@ func runE1() error {
 	}
 	for _, s := range shapes {
 		if v := at64[s.name]; v[0] > 0 {
-			fmt.Printf("64-caller speedup (%s): mux is %.1fx checkout\n", s.name, v[1]/v[0])
+			fmt.Printf("64-caller batching effect (%s): window on is %.2fx window off\n", s.name, v[1]/v[0])
 		}
 	}
-	fmt.Println("shape check: mux dials stay at 1 per peer; checkout dials grow with fan-out;")
-	fmt.Println("mux burst throughput at 64 callers should beat checkout by >= 2x.")
+	fmt.Println("shape check: dials stay at ~1 per peer at every fan-out; batching should help")
+	fmt.Println("(or at worst not hurt) high fan-out small-call bursts, and never help 1 caller.")
 	return nil
 }
 
@@ -1364,6 +1372,237 @@ func runE3() error {
 		float64(twoWay)/float64(oneWay))
 	if speedup8 < 3 {
 		return fmt.Errorf("E3 acceptance failed: K=8 speedup %.1fx < 3x", speedup8)
+	}
+	return nil
+}
+
+// --- E4 ------------------------------------------------------------------
+
+// e4Obj is one of the million exported objects. The field keeps instances
+// distinct: zero-size values share one address and would collide in the
+// export table's identity map.
+type e4Obj struct{ id int64 }
+
+func (o *e4Obj) Null() error { return nil }
+
+// runE4 measures the striped object tables at scale: one million exports
+// (64k with -quick) under 256 concurrent callers, with the stripe count as
+// the A/B knob — TableShards=1 is the retired single-mutex table. The
+// first cell isolates the table itself: the serve path's per-call table
+// sequence (Lookup of the target, transient Pin, Unpin) against the raw
+// export table, 256 goroutines spread across the full index space. With
+// one stripe every acquisition contends and the mutex degrades to queued
+// handoffs; striped, concurrent callers land on distinct stripes and take
+// the uncontended fast path. The second cell runs the whole stack — 8
+// client spaces x 32 goroutines calling Null() on refs spread across the
+// million objects, over the in-memory transport — reporting calls/sec and
+// p99 so the table's share of a real call is visible next to the
+// marshaling, dispatch and transport costs around it.
+//
+// The acceptance bound (>= 2x table ops/sec at 1M objects / 256 callers)
+// is checked on the isolated cell, and only where contention can exist:
+// on a single-CPU host the lock holder is never *running* concurrently
+// with a contender, so TryLock virtually never fails (watch the reported
+// contention counters read ~0) and the A/B degenerates to per-op overhead
+// plus scheduler noise. The bound is enforced when NumCPU > 1 and
+// reported informationally otherwise.
+func runE4() error {
+	nObjs := 1 << 20
+	if *quick {
+		nObjs = 1 << 16
+	}
+	const callers = 256
+	fmt.Printf("E4: object tables at %d exports, %d concurrent callers (TableShards A/B)\n", nObjs, callers)
+	fmt.Printf("host: NumCPU=%d GOMAXPROCS=%d\n", runtime.NumCPU(), runtime.GOMAXPROCS(0))
+
+	defaultShards := objtable.NewExports().ShardCount()
+
+	// --- raw table cell ---
+	tableOps := iters(4000) // per goroutine
+	rawCell := func(shards int) (opsPerSec float64, contention uint64, fill time.Duration, err error) {
+		t := objtable.NewExportsSharded(shards)
+		t0 := time.Now()
+		idxs := make([]uint64, nObjs)
+		for i := range idxs {
+			idx, err := t.Export(&e4Obj{id: int64(i)}, nil)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			// A dirty client keeps Unpin from withdrawing the entry,
+			// exactly as a live importer does on the serve path.
+			if err := t.Dirty(idx, wire.SpaceID(1), 1, nil); err != nil {
+				return 0, 0, 0, err
+			}
+			idxs[i] = idx
+		}
+		fill = time.Since(t0)
+		errc := make(chan error, callers)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for g := 0; g < callers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				pos := g * 7919 // spread the goroutines across the index space
+				for i := 0; i < tableOps; i++ {
+					idx := idxs[(pos+i*613)%nObjs]
+					if _, ok := t.Lookup(idx); !ok {
+						errc <- fmt.Errorf("entry %d vanished", idx)
+						return
+					}
+					if err := t.Pin(idx); err != nil {
+						errc <- err
+						return
+					}
+					t.Unpin(idx)
+				}
+			}(g)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		select {
+		case err := <-errc:
+			return 0, 0, 0, err
+		default:
+		}
+		return float64(callers*tableOps) / elapsed.Seconds(), t.Contention(), fill, nil
+	}
+
+	fmt.Printf("raw table, %d x (Lookup+Pin+Unpin) per goroutine:\n", tableOps)
+	rates := map[int]float64{}
+	for _, shards := range []int{1, defaultShards} {
+		rate, cont, fill, err := rawCell(shards)
+		if err != nil {
+			return err
+		}
+		rates[shards] = rate
+		fmt.Printf("  shards=%-4d %14.0f table ops/sec   contention %-10d (fill %v)\n",
+			shards, rate, cont, fill.Round(time.Millisecond))
+	}
+	tableSpeedup := rates[defaultShards] / rates[1]
+	fmt.Printf("  sharding speedup: %.2fx\n", tableSpeedup)
+
+	// --- full stack cell ---
+	const (
+		clientSpaces = 8
+		perClient    = 32 // callers per client space
+	)
+	importsPer := 128
+	callsPer := iters(500) // per caller
+	stackCell := func(tableShards int) (rate float64, p99 time.Duration, contention uint64, err error) {
+		tr := netobjects.NewMem()
+		mk := func(name string) (*netobjects.Space, error) {
+			opts := netobjects.Options{
+				Name:         name,
+				Transports:   []netobjects.Transport{tr},
+				PingInterval: time.Hour,
+				CallTimeout:  30 * time.Second,
+				TableShards:  tableShards,
+			}
+			withObs(&opts)
+			return netobjects.New(opts)
+		}
+		owner, err := mk("e4-owner")
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		defer owner.Close()
+		refs := make([]*netobjects.Ref, nObjs)
+		for i := range refs {
+			if refs[i], err = owner.Export(&e4Obj{id: int64(i)}); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		// Each client imports its own slice of refs, spread evenly across
+		// the index space so the callers exercise every stripe.
+		stride := nObjs / (clientSpaces * importsPer)
+		var clients []*netobjects.Space
+		defer func() {
+			for _, c := range clients {
+				_ = c.Close()
+			}
+		}()
+		imported := make([][]*netobjects.Ref, clientSpaces)
+		for c := 0; c < clientSpaces; c++ {
+			cl, err := mk(fmt.Sprintf("e4-client-%d", c))
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			clients = append(clients, cl)
+			for k := 0; k < importsPer; k++ {
+				w, err := refs[(c*importsPer+k)*stride].WireRep()
+				if err != nil {
+					return 0, 0, 0, err
+				}
+				r, err := cl.Import(w)
+				if err != nil {
+					return 0, 0, 0, err
+				}
+				imported[c] = append(imported[c], r)
+			}
+		}
+		lats := make([][]time.Duration, clientSpaces*perClient)
+		errc := make(chan error, clientSpaces*perClient)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clientSpaces; c++ {
+			for g := 0; g < perClient; g++ {
+				wg.Add(1)
+				go func(c, g int) {
+					defer wg.Done()
+					mine := imported[c]
+					ls := make([]time.Duration, 0, callsPer)
+					for i := 0; i < callsPer; i++ {
+						t0 := time.Now()
+						if _, err := mine[(g+i)%len(mine)].Call("Null"); err != nil {
+							errc <- err
+							return
+						}
+						ls = append(ls, time.Since(t0))
+					}
+					lats[c*perClient+g] = ls
+				}(c, g)
+			}
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		select {
+		case err := <-errc:
+			return 0, 0, 0, err
+		default:
+		}
+		var all []time.Duration
+		for _, ls := range lats {
+			all = append(all, ls...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		p99 = all[min(int(float64(len(all))*0.99), len(all)-1)]
+		return float64(len(all)) / elapsed.Seconds(), p99, owner.Exports().Contention(), nil
+	}
+
+	fmt.Printf("full stack (inmem, %d client spaces x %d callers, %d calls each):\n",
+		clientSpaces, perClient, callsPer)
+	fmt.Printf("  %-12s %14s %12s %16s\n", "shards", "calls/sec", "p99", "owner contention")
+	stackRates := map[int]float64{}
+	for _, shards := range []int{1, defaultShards} {
+		rate, p99, cont, err := stackCell(shards)
+		if err != nil {
+			return err
+		}
+		stackRates[shards] = rate
+		fmt.Printf("  %-12d %14.0f %12s %16d\n", shards, rate, p99.Round(time.Microsecond), cont)
+	}
+	fmt.Printf("  full-stack speedup: %.2fx\n", stackRates[defaultShards]/stackRates[1])
+	fmt.Println("shape check: striping relieves the single-mutex queue on the table itself;")
+	fmt.Println("end to end the win is bounded by the table's share of a whole call.")
+	if tableSpeedup < 2 {
+		if runtime.NumCPU() > 1 {
+			return fmt.Errorf("E4 acceptance failed: table speedup %.2fx < 2x at %d objects / %d callers",
+				tableSpeedup, nObjs, callers)
+		}
+		fmt.Println("single-CPU host: goroutines never overlap, the shard locks never contend")
+		fmt.Println("(counters above), and the >= 2x bound is unobservable; it is enforced on")
+		fmt.Println("multicore hosts only.")
 	}
 	return nil
 }

@@ -149,11 +149,22 @@ func (s *Server) serveConn(c transport.Conn) {
 	}
 }
 
-// Client issues calls through a connection pool.
+// Client issues calls with the checkout discipline the original SRC RPC
+// used: one outstanding exchange per connection, with a small self-managed
+// idle cache per endpoint. The runtime's transport.Pool no longer offers
+// checkout (everything rides multiplexed sessions), so the baseline keeps
+// its own — the discipline under measurement is part of the baseline.
 type Client struct {
-	pool    *transport.Pool
+	reg     *transport.Registry
 	timeout time.Duration
+
+	mu     sync.Mutex
+	idle   map[string][]transport.Conn
+	closed bool
 }
+
+// maxIdle caps the cached idle connections per endpoint.
+const maxIdle = 4
 
 // NewClient returns a client dialing through reg. A non-positive timeout
 // defaults to 30 seconds per exchange.
@@ -161,15 +172,61 @@ func NewClient(reg *transport.Registry, timeout time.Duration) *Client {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
-	return &Client{pool: transport.NewPool(reg, 0), timeout: timeout}
+	return &Client{reg: reg, timeout: timeout, idle: make(map[string][]transport.Conn)}
 }
 
 // Close releases the client's idle connections.
-func (cl *Client) Close() { cl.pool.Close() }
+func (cl *Client) Close() {
+	cl.mu.Lock()
+	idle := cl.idle
+	cl.idle = make(map[string][]transport.Conn)
+	cl.closed = true
+	cl.mu.Unlock()
+	for _, conns := range idle {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}
+}
+
+// checkout returns a connection to endpoint: a healthy cached idle one if
+// available, else a fresh dial.
+func (cl *Client) checkout(endpoint string) (transport.Conn, error) {
+	cl.mu.Lock()
+	for {
+		conns := cl.idle[endpoint]
+		if len(conns) == 0 {
+			break
+		}
+		c := conns[len(conns)-1]
+		cl.idle[endpoint] = conns[:len(conns)-1]
+		if transport.Healthy(c) {
+			cl.mu.Unlock()
+			return c, nil
+		}
+		_ = c.Close()
+	}
+	cl.mu.Unlock()
+	return cl.reg.Dial(endpoint)
+}
+
+// checkin returns a connection whose exchange completed cleanly to the
+// idle cache, or closes it when the cache is full or the client closed.
+func (cl *Client) checkin(endpoint string, c transport.Conn) {
+	_ = c.SetDeadline(time.Time{})
+	cl.mu.Lock()
+	if !cl.closed && len(cl.idle[endpoint]) < maxIdle {
+		cl.idle[endpoint] = append(cl.idle[endpoint], c)
+		cl.mu.Unlock()
+		return
+	}
+	cl.mu.Unlock()
+	_ = c.Close()
+}
 
 // Call performs one exchange with the server at endpoint.
 func (cl *Client) Call(endpoint, method string, payload []byte) ([]byte, error) {
-	c, ep, err := cl.pool.Get([]string{endpoint})
+	c, err := cl.checkout(endpoint)
 	if err != nil {
 		return nil, err
 	}
@@ -178,12 +235,12 @@ func (cl *Client) Call(endpoint, method string, payload []byte) ([]byte, error) 
 	e.String(method)
 	e.BytesField(payload)
 	if err := c.Send(e.Bytes()); err != nil {
-		cl.pool.Discard(c)
+		_ = c.Close()
 		return nil, err
 	}
 	resp, err := c.Recv(nil)
 	if err != nil {
-		cl.pool.Discard(c)
+		_ = c.Close()
 		return nil, err
 	}
 	d := wire.NewDecoder(resp)
@@ -191,10 +248,10 @@ func (cl *Client) Call(endpoint, method string, payload []byte) ([]byte, error) 
 	msg := d.String()
 	out := d.BytesField()
 	if err := d.Err(); err != nil {
-		cl.pool.Discard(c)
+		_ = c.Close()
 		return nil, err
 	}
-	cl.pool.Put(ep, c)
+	cl.checkin(endpoint, c)
 	if !ok {
 		return nil, errors.New(msg)
 	}

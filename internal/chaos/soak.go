@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"math/rand"
@@ -133,6 +134,15 @@ func (r *soakRelay) Put(ref *core.Ref) error {
 		old.Release()
 	}
 	return nil
+}
+
+// Get hands out the currently held reference (nil when empty) — the
+// receiver leg of a pipelined chain: PipeCall("Get").PipeCall("Incr").
+// Marshaling it out takes the usual transient pin and result ack.
+func (r *soakRelay) Get() (*core.Ref, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.held, nil
 }
 
 func (r *soakRelay) Drop() error {
@@ -321,7 +331,8 @@ func (h *harness) startSpace(n *soakNode) error {
 		// liveness detection is fast enough to notice scripted crashes
 		// within the soak. The trace checker needs VariantBirrell (the
 		// FIFO variant emits surrogate-made before the dirty outcome is
-		// known) and unbatched cleans (batch serve events carry no key).
+		// known); batched cleans are fine since the serve side emits one
+		// keyed event per batch member.
 		// AutoRelease is load-bearing, not a convenience: a call that
 		// times out after its arguments were decoded leaves the decoded
 		// surrogates held by nobody, and only the weak-reference design
@@ -346,7 +357,6 @@ func (h *harness) startSpace(n *soakNode) error {
 		// space acknowledges the stale clean as done.
 		CleanMaxAttempts: 60,
 		CleanBackoff:     25 * time.Millisecond,
-		BatchCleans:      false,
 		Tracer:           tracer,
 		OnCleanAbandon:   func(wire.Key, bool, error) { h.abandoned.Add(1) },
 		Logger:           h.log,
@@ -465,8 +475,9 @@ func (h *harness) schedule() (Rules, []episode) {
 	return rules, eps
 }
 
-// workload runs the randomized export/import/call/hand-off/release mix,
-// firing scripted episodes at their op indices.
+// workload runs the randomized mix of exports, imports, calls, one-way
+// calls, pipelined chains, third-party hand-offs and releases, firing
+// scripted episodes at their op indices.
 func (h *harness) workload(episodes []episode) {
 	rng := rand.New(rand.NewSource(int64(h.cfg.Seed)))
 	type held struct {
@@ -491,7 +502,7 @@ func (h *harness) workload(episodes []episode) {
 				ep.action()
 			}
 		}
-		switch rng.Intn(10) {
+		switch rng.Intn(12) {
 		case 0, 1: // export a fresh counter somewhere
 			n := liveNode()
 			if n == nil {
@@ -552,6 +563,45 @@ func (h *harness) workload(episodes []episode) {
 			refs[k] = refs[len(refs)-1]
 			refs = refs[:len(refs)-1]
 			hd.ref.Release()
+		case 10: // one-way call: no reply leg, ordered per peer
+			if len(refs) == 0 {
+				continue
+			}
+			hd := refs[rng.Intn(len(refs))]
+			if h.nodes[hd.node].down {
+				continue
+			}
+			_ = hd.ref.OneWay("Incr", int64(1)) // relays lack Incr: fine
+		case 11: // two-deep pipelined chain through a relay: Get().Incr(1)
+			n := liveNode()
+			src := liveNode()
+			if n == nil || src == nil || n == src {
+				continue
+			}
+			relayW, err := n.relay.WireRep()
+			if err != nil {
+				continue
+			}
+			relayRef, err := src.sp.Import(relayW)
+			if err != nil {
+				continue
+			}
+			refs = append(refs, held{ref: relayRef, node: src.idx})
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			p := relayRef.PipeCall(ctx, "Get")
+			// An empty relay breaks the chain (nil receiver), a fault may
+			// break it harder: both are legal outcomes under chaos.
+			_, _ = p.PipeCall(ctx, "Incr", int64(1)).Await(ctx)
+			// The intermediate resolve shipped Get's result here anyway
+			// (every pipelined call is answered), so this space now owns a
+			// surrogate for whatever ref the relay handed out and must
+			// release it like any other call result.
+			if vals, err := p.Await(ctx); err == nil && len(vals) > 0 {
+				if rr, ok := vals[0].(*core.Ref); ok && rr != nil {
+					rr.Release()
+				}
+			}
+			cancel()
 		}
 	}
 

@@ -24,47 +24,15 @@ func errString(err error) string {
 }
 
 // rpc performs one simple request/response exchange (dirty, clean, ping)
-// — on a stream of the peer's multiplexed session by default, or on a
-// checked-out pooled connection when multiplexing is off for this link.
+// on its own stream of the peer's multiplexed session. A failed exchange
+// needs no discard bookkeeping: closing the stream abandons only this
+// exchange, and a link-level failure tears the session down for everyone,
+// after which the next call redials.
 func (sp *Space) rpc(endpoints []string, req wire.Message, timeout time.Duration) (wire.Message, error) {
 	if sp.isClosed() && req.Op() != wire.OpClean && req.Op() != wire.OpCleanBatch {
 		// Parting clean calls are allowed through during Close.
 		return nil, ErrSpaceClosed
 	}
-	if sp.useMux(endpoints) {
-		return sp.rpcMux(endpoints, req, timeout)
-	}
-	c, ep, err := sp.pool.Get(endpoints)
-	if err != nil {
-		return nil, err
-	}
-	_ = c.SetDeadline(time.Now().Add(timeout))
-	out := wire.Marshal(nil, req)
-	if err := c.Send(out); err != nil {
-		sp.pool.Discard(c)
-		return nil, err
-	}
-	sp.metrics.BytesSent.Add(uint64(len(out)))
-	b, err := c.Recv(nil)
-	if err != nil {
-		sp.pool.Discard(c)
-		return nil, err
-	}
-	sp.metrics.BytesRecv.Add(uint64(len(b)))
-	msg, err := wire.Unmarshal(b)
-	if err != nil {
-		sp.pool.Discard(c)
-		return nil, err
-	}
-	sp.pool.Put(ep, c)
-	return msg, nil
-}
-
-// rpcMux runs one collector exchange on its own stream of the peer's
-// shared session. A failed exchange needs no discard bookkeeping: closing
-// the stream abandons only this exchange, and a link-level failure tears
-// the session down for everyone, after which the next call redials.
-func (sp *Space) rpcMux(endpoints []string, req wire.Message, timeout time.Duration) (wire.Message, error) {
 	s, _, err := sp.pool.Session(context.Background(), endpoints)
 	if err != nil {
 		return nil, err
@@ -75,11 +43,16 @@ func (sp *Space) rpcMux(endpoints []string, req wire.Message, timeout time.Durat
 	}
 	defer st.Close()
 	_ = st.SetDeadline(time.Now().Add(timeout))
-	out := wire.Marshal(nil, req)
-	if err := st.Send(out); err != nil {
+	bp := wire.GetBuf()
+	out := wire.Marshal((*bp)[:0], req)
+	err = st.Send(out) // Send copies into its own envelope buffer
+	n := len(out)
+	*bp = out
+	wire.PutBuf(bp)
+	if err != nil {
 		return nil, err
 	}
-	sp.metrics.BytesSent.Add(uint64(len(out)))
+	sp.metrics.BytesSent.Add(uint64(n))
 	b, err := st.Recv(nil)
 	if err != nil {
 		return nil, err
@@ -311,12 +284,10 @@ func (w *cancelWatch) finish() bool {
 
 // forwardCancel relays a caller's alert to the owner of an in-flight
 // call — the Thread.Alert of the original runtime crossing the wire. It
-// travels as its own exchange: a fresh stream of the shared session in
-// mux mode (the blocked call and its cancel interleave on one
-// connection), or its own pooled connection under the checkout
-// discipline, whose call connections are lock-step. Best effort: losing
-// the race with call completion is fine, and a lost cancel only means the
-// owner runs the method to completion.
+// travels as its own exchange on a fresh stream of the shared session,
+// so the blocked call and its cancel interleave on one connection. Best
+// effort: losing the race with call completion is fine, and a lost cancel
+// only means the owner runs the method to completion.
 func (sp *Space) forwardCancel(id uint64, method string, endpoints []string) {
 	sp.metrics.CancelsSent.Inc()
 	if sp.tracer != nil {
@@ -326,31 +297,103 @@ func (sp *Space) forwardCancel(id uint64, method string, endpoints []string) {
 	_, _ = sp.rpc(endpoints, &wire.CancelCall{ID: id}, sp.opts.PingTimeout)
 }
 
-// exchange runs the lock-step call exchange on c: send the call, receive
-// the result, let decode consume it, and acknowledge returned references
-// when the owner asks (Result.NeedAck). It reports whether the
-// connection's framing is still intact (safe to pool again); disposition
-// of the connection is the caller's job.
-func (sp *Space) exchange(c transport.Conn, call *wire.Call, session *callSession, decode func(*wire.Result) error) (connOK bool, err error) {
-	out := wire.Marshal(nil, call)
-	if err := c.Send(out); err != nil {
+// resultDecoder consumes the Result of one exchange. It is an interface
+// implemented by small pooled structs rather than a closure so the call
+// path does not allocate a capture per invocation.
+type resultDecoder interface {
+	decode(*wire.Result) error
+}
+
+// anyDecoder decodes dynamic (self-describing) results.
+type anyDecoder struct {
+	sp      *Space
+	method  string
+	session *callSession
+	results []any
+	appErr  error
+}
+
+var anyDecoderPool = sync.Pool{New: func() any { return new(anyDecoder) }}
+
+func (d *anyDecoder) decode(res *wire.Result) error {
+	switch res.Status {
+	case wire.StatusOK, wire.StatusAppError:
+		rs, derr := d.sp.pickler.UnmarshalAnySession(res.Results, d.session)
+		if derr != nil {
+			return fmt.Errorf("netobjects: unmarshaling results of %s: %w", d.method, derr)
+		}
+		d.results = rs
+		if res.Status == wire.StatusAppError {
+			d.appErr = &RemoteError{Msg: res.Err}
+		}
+		return nil
+	default:
+		return statusError(res.Status, res.Err)
+	}
+}
+
+// typedDecoder decodes statically typed (stub) results.
+type typedDecoder struct {
+	sp          *Space
+	method      string
+	session     *callSession
+	resultTypes []reflect.Type
+	results     []reflect.Value
+	appErr      error
+}
+
+var typedDecoderPool = sync.Pool{New: func() any { return new(typedDecoder) }}
+
+func (d *typedDecoder) decode(res *wire.Result) error {
+	switch res.Status {
+	case wire.StatusOK, wire.StatusAppError:
+		rs, derr := d.sp.pickler.UnmarshalSession(res.Results, d.resultTypes, d.session)
+		if derr != nil {
+			return fmt.Errorf("netobjects: unmarshaling results of %s: %w", d.method, derr)
+		}
+		d.results = rs
+		if res.Status == wire.StatusAppError {
+			d.appErr = &RemoteError{Msg: res.Err}
+		}
+		return nil
+	default:
+		return statusError(res.Status, res.Err)
+	}
+}
+
+// exchange runs the lock-step call exchange on the stream: send the call,
+// receive the result, let decode consume it, and acknowledge returned
+// references when the owner asks (Result.NeedAck). The call frame is
+// assembled in a pooled buffer (Stream.Send copies it into its own
+// envelope buffer, so recycling after Send is safe), and the result is
+// decoded into a pooled frame.
+func (sp *Space) exchange(c transport.Conn, call *wire.Call, session *callSession, decode resultDecoder) (connOK bool, err error) {
+	bp := wire.GetBuf()
+	out := wire.Marshal((*bp)[:0], call)
+	err = c.Send(out)
+	n := len(out)
+	*bp = out
+	wire.PutBuf(bp)
+	if err != nil {
 		return false, err
 	}
-	sp.metrics.BytesSent.Add(uint64(len(out)))
+	sp.metrics.BytesSent.Add(uint64(n))
 	b, err := c.Recv(nil)
 	if err != nil {
 		return false, err
 	}
 	sp.metrics.BytesRecv.Add(uint64(len(b)))
-	msg, err := wire.Unmarshal(b)
-	if err != nil {
+	if op := wire.PeekOp(b); op != wire.OpResult {
+		return false, fmt.Errorf("netobjects: call answered with %v", op)
+	}
+	res := resultPool.Get().(*wire.Result)
+	// res.Results aliases the receive buffer; zeroing on the way back to
+	// the pool (putResult) drops the alias before the buffer is recycled.
+	defer putResult(res)
+	if err := wire.UnmarshalInto(b, res); err != nil {
 		return false, err
 	}
-	res, ok := msg.(*wire.Result)
-	if !ok {
-		return false, fmt.Errorf("netobjects: call answered with %v", msg.Op())
-	}
-	decodeErr := decode(res)
+	decodeErr := decode.decode(res)
 	// Under the FIFO variant decoding may have queued registrations whose
 	// dirty calls are still in flight; the result acknowledgement asserts
 	// they are registered, so wait here (overlapped with nothing on the
@@ -362,11 +405,16 @@ func (sp *Space) exchange(c transport.Conn, call *wire.Call, session *callSessio
 		// calls for any references we did unmarshal have already
 		// completed, and the rest were never materialized here.
 		sp.metrics.ResultAcksSent.Inc()
-		ack := wire.Marshal(nil, &wire.ResultAck{})
-		if err := c.Send(ack); err != nil {
+		abp := wire.GetBuf()
+		ack := wire.Marshal((*abp)[:0], &wire.ResultAck{})
+		err := c.Send(ack)
+		an := len(ack)
+		*abp = ack
+		wire.PutBuf(abp)
+		if err != nil {
 			return false, decodeErr
 		}
-		sp.metrics.BytesSent.Add(uint64(len(ack)))
+		sp.metrics.BytesSent.Add(uint64(an))
 	}
 	return true, decodeErr
 }
@@ -378,7 +426,7 @@ func (sp *Space) exchange(c transport.Conn, call *wire.Call, session *callSessio
 // receive is unblocked by closing the connection. The connection is
 // pooled again only after the full exchange, so the request/response
 // framing can never skew.
-func (sp *Space) callRemote(ctx context.Context, endpoints []string, call *wire.Call, session *callSession, decode func(*wire.Result) error) (err error) {
+func (sp *Space) callRemote(ctx context.Context, endpoints []string, call *wire.Call, session *callSession, decode resultDecoder) (err error) {
 	if sp.isClosed() {
 		return ErrSpaceClosed
 	}
@@ -432,43 +480,7 @@ func (sp *Space) callRemote(ctx context.Context, endpoints []string, call *wire.
 		// remains the backstop if the watcher is wedged.
 		connDeadline = connDeadline.Add(250 * time.Millisecond)
 	}
-	if sp.useMux(endpoints) {
-		return sp.callRemoteMux(ctx, endpoints, call, session, decode, connDeadline)
-	}
-	c, ep, err := sp.pool.GetCtx(ctx, endpoints)
-	if err != nil {
-		return err
-	}
-	_ = c.SetDeadline(connDeadline)
-	w := newCancelWatch()
-	if ctx.Done() != nil {
-		go func() {
-			select {
-			case <-ctx.Done():
-				if w.fire() {
-					sp.forwardCancel(call.ID, call.Method, endpoints)
-					// Closing the connection unblocks the receive below on
-					// every transport; the connection is discarded anyway.
-					_ = c.Close()
-				}
-			case <-w.stop:
-			}
-		}()
-	}
-	connOK, err := sp.exchange(c, call, session, decode)
-	if w.finish() {
-		// Cancellation fired first: report it deterministically even if a
-		// result raced in, and never reuse the connection the watcher
-		// closed.
-		sp.pool.Discard(c)
-		return ctxCallError(ctx, call.Method+" cancelled in flight")
-	}
-	if connOK {
-		sp.pool.Put(ep, c)
-	} else {
-		sp.pool.Discard(c)
-	}
-	return err
+	return sp.callRemoteMux(ctx, endpoints, call, session, decode, connDeadline)
 }
 
 // callRemoteMux runs the invocation exchange on a stream of the peer's
@@ -479,7 +491,7 @@ func (sp *Space) callRemote(ctx context.Context, endpoints []string, call *wire.
 // including the cancel itself, are untouched. There is no connection
 // disposition: a stream is closed, never pooled, and the session outlives
 // the exchange.
-func (sp *Space) callRemoteMux(ctx context.Context, endpoints []string, call *wire.Call, session *callSession, decode func(*wire.Result) error, connDeadline time.Time) error {
+func (sp *Space) callRemoteMux(ctx context.Context, endpoints []string, call *wire.Call, session *callSession, decode resultDecoder, connDeadline time.Time) error {
 	s, _, err := sp.pool.Session(ctx, endpoints)
 	if err != nil {
 		return err
@@ -489,8 +501,11 @@ func (sp *Space) callRemoteMux(ctx context.Context, endpoints []string, call *wi
 		return err
 	}
 	_ = st.SetDeadline(connDeadline)
-	w := newCancelWatch()
+	// A context that can never fire needs no watch at all — the common
+	// background-context call skips the watch allocation and goroutine.
+	var w *cancelWatch
 	if ctx.Done() != nil {
+		w = newCancelWatch()
 		go func() {
 			select {
 			case <-ctx.Done():
@@ -505,7 +520,10 @@ func (sp *Space) callRemoteMux(ctx context.Context, endpoints []string, call *wi
 		}()
 	}
 	_, err = sp.exchange(st, call, session, decode)
-	cancelled := w.finish()
+	cancelled := false
+	if w != nil {
+		cancelled = w.finish()
+	}
 	_ = st.Close()
 	if cancelled {
 		return ctxCallError(ctx, call.Method+" cancelled in flight")
@@ -517,35 +535,35 @@ func (sp *Space) callRemoteMux(ctx context.Context, endpoints []string, call *wi
 // results: the caller needs no stub and no type information beyond what
 // the argument values themselves carry.
 func (sp *Space) dynamicCall(ctx context.Context, endpoints []string, index uint64, method string, args []any) ([]any, error) {
-	session := &callSession{sp: sp}
-	defer session.unpinAll()
-	argBytes, err := sp.pickler.MarshalAnySession(nil, args, session)
+	session := sp.getCallSession()
+	defer func() {
+		session.unpinAll()
+		session.recycle()
+	}()
+	abp := wire.GetBuf()
+	argBytes, err := sp.pickler.MarshalAnySession((*abp)[:0], args, session)
+	if argBytes != nil {
+		*abp = argBytes
+	}
+	// The arguments stay referenced until exchange copies them into the
+	// call frame, which happens inside callRemote; recycle after.
+	defer wire.PutBuf(abp)
 	if err != nil {
 		return nil, fmt.Errorf("netobjects: marshaling arguments for %s: %w", method, err)
 	}
-	call := &wire.Call{Obj: index, Method: method, Args: argBytes}
-	var results []any
-	var appErr error
-	err = sp.callRemote(ctx, endpoints, call, session, func(res *wire.Result) error {
-		switch res.Status {
-		case wire.StatusOK, wire.StatusAppError:
-			rs, derr := sp.pickler.UnmarshalAnySession(res.Results, session)
-			if derr != nil {
-				return fmt.Errorf("netobjects: unmarshaling results of %s: %w", method, derr)
-			}
-			results = rs
-			if res.Status == wire.StatusAppError {
-				appErr = &RemoteError{Msg: res.Err}
-			}
-			return nil
-		default:
-			return statusError(res.Status, res.Err)
-		}
-	})
-	if err != nil {
+	call := callPool.Get().(*wire.Call)
+	call.Obj, call.Method, call.Args = index, method, argBytes
+	defer putCall(call)
+	dec := anyDecoderPool.Get().(*anyDecoder)
+	dec.sp, dec.method, dec.session = sp, method, session
+	defer func() {
+		*dec = anyDecoder{}
+		anyDecoderPool.Put(dec)
+	}()
+	if err := sp.callRemote(ctx, endpoints, call, session, dec); err != nil {
 		return nil, err
 	}
-	return results, appErr
+	return dec.results, dec.appErr
 }
 
 // Call invokes a method dynamically: arguments and results travel as
@@ -608,39 +626,32 @@ func (r *Ref) InvokeTypedCtx(ctx context.Context, method string, fingerprint uin
 	if _, err := sp.imports.Use(r.key); err != nil {
 		return nil, err
 	}
-	session := &callSession{sp: sp}
-	defer session.unpinAll()
-	argBytes, err := sp.pickler.MarshalSession(nil, args, session)
+	session := sp.getCallSession()
+	defer func() {
+		session.unpinAll()
+		session.recycle()
+	}()
+	abp := wire.GetBuf()
+	argBytes, err := sp.pickler.MarshalSession((*abp)[:0], args, session)
+	if argBytes != nil {
+		*abp = argBytes
+	}
+	defer wire.PutBuf(abp)
 	if err != nil {
 		return nil, fmt.Errorf("netobjects: marshaling arguments for %s: %w", method, err)
 	}
-	call := &wire.Call{
-		Obj:         r.key.Index,
-		Method:      method,
-		Fingerprint: fingerprint,
-		Typed:       true,
-		Args:        argBytes,
-	}
-	var results []reflect.Value
-	var appErr error
-	err = sp.callRemote(ctx, r.endpoints, call, session, func(res *wire.Result) error {
-		switch res.Status {
-		case wire.StatusOK, wire.StatusAppError:
-			rs, derr := sp.pickler.UnmarshalSession(res.Results, resultTypes, session)
-			if derr != nil {
-				return fmt.Errorf("netobjects: unmarshaling results of %s: %w", method, derr)
-			}
-			results = rs
-			if res.Status == wire.StatusAppError {
-				appErr = &RemoteError{Msg: res.Err}
-			}
-			return nil
-		default:
-			return statusError(res.Status, res.Err)
-		}
-	})
-	if err != nil {
+	call := callPool.Get().(*wire.Call)
+	call.Obj, call.Method, call.Fingerprint = r.key.Index, method, fingerprint
+	call.Typed, call.Args = true, argBytes
+	defer putCall(call)
+	dec := typedDecoderPool.Get().(*typedDecoder)
+	dec.sp, dec.method, dec.session, dec.resultTypes = sp, method, session, resultTypes
+	defer func() {
+		*dec = typedDecoder{}
+		typedDecoderPool.Put(dec)
+	}()
+	if err := sp.callRemote(ctx, r.endpoints, call, session, dec); err != nil {
 		return nil, err
 	}
-	return results, appErr
+	return dec.results, dec.appErr
 }

@@ -125,22 +125,12 @@ type Options struct {
 	CleanMaxAttempts int
 	// CleanBackoff is the initial clean-call retry delay (default 10ms).
 	CleanBackoff time.Duration
-	// MaxIdleConns caps cached idle connections per endpoint (default 4).
-	// It only matters for checkout-discipline traffic (see DisableMux);
-	// multiplexed links use one connection per peer regardless.
-	MaxIdleConns int
-	// DisableMux turns off multiplexed peer sessions and restores the
-	// original SRC RPC checkout discipline: every exchange checks a
-	// connection out of the pool for its duration, so N concurrent calls
-	// to a peer cost N connections. Transports may also force checkout
-	// per-link by implementing transport.CheckoutOnly.
-	//
-	// Deprecated: the checkout discipline exists only for A/B comparison
-	// (nobench E1) and transports that cannot interleave frames; it costs
-	// a connection per concurrent call and supports neither flow control
-	// nor pipelining. It will be removed once the remaining CheckoutOnly
-	// users fold away; new code should leave multiplexing on.
-	DisableMux bool
+	// TableShards sets the stripe count of the export and import tables
+	// (rounded up to a power of two; 0 selects the default, 1 yields
+	// unsharded single-mutex tables for A/B comparison). At millions of
+	// live objects under many concurrent callers, more shards mean less
+	// lock contention on the call fast path.
+	TableShards int
 	// DisableFlow turns off credit-based flow control, chunked
 	// large-payload streaming and session keepalives on mux links (see
 	// internal/flow). With flow on — the default — payloads larger than
@@ -161,7 +151,7 @@ type Options struct {
 	// call batching for this space: it stops advertising the capability on
 	// its sessions (so peers fall back too) and routes its own PipeCall /
 	// OneWay traffic through sequential round trips. Pipelining also
-	// requires mux flow sessions, so DisableMux or DisableFlow imply it.
+	// requires flow-enabled sessions, so DisableFlow implies it.
 	DisablePipeline bool
 	// BatchWindow, when positive, lets session writers coalesce bursts of
 	// small call frames into one batch frame, holding the first frame of a
@@ -174,19 +164,11 @@ type Options struct {
 	// paper's §5.1 optimisation: per-owner ordered collector traffic and
 	// non-blocking registration of received references).
 	Variant CollectorVariant
-	// BatchCleans lets the cleaning daemon coalesce queued clean calls
-	// addressed to the same owner into one message — the batching the
-	// paper lists among its cost reductions.
-	BatchCleans bool
 	// AutoRelease holds surrogates weakly and schedules their clean calls
 	// when the application lets go of them — the paper's weak-reference
 	// design. Without it, surrogates live until Release is called
 	// explicitly or the space closes.
 	AutoRelease bool
-	// IdleConnTTL bounds how long idle pooled connections are cached before
-	// being reaped (default transport.DefaultIdleTTL); negative disables
-	// reaping.
-	IdleConnTTL time.Duration
 	// Metrics, when non-nil, is the metrics set the space records into; a
 	// shared set aggregates across spaces. By default each space gets its
 	// own.
@@ -350,13 +332,10 @@ func NewSpace(opts Options) (*Space, error) {
 		ts = []transport.Transport{transport.NewTCP()}
 	}
 	sp.treg = transport.NewRegistry(ts...)
-	sp.pool = transport.NewPool(sp.treg, opts.MaxIdleConns)
+	sp.pool = transport.NewPool(sp.treg)
 	sp.pool.SetObserver(sp.metrics, sp.tracer)
 	sp.pool.SetFlow(sp.flowParams())
 	sp.pool.SetPipeline(opts.DisablePipeline, opts.BatchWindow)
-	if opts.IdleConnTTL != 0 {
-		sp.pool.SetIdleTTL(opts.IdleConnTTL)
-	}
 
 	listenEPs := opts.ListenEndpoints
 	if len(listenEPs) == 0 {
@@ -374,9 +353,9 @@ func NewSpace(opts Options) (*Space, error) {
 		sp.endpoints = append(sp.endpoints, l.Endpoint())
 	}
 
-	sp.exports = objtable.NewExports()
+	sp.exports = objtable.NewExportsSharded(opts.TableShards)
 	sp.exports.OnWithdraw = sp.onWithdraw
-	sp.imports = objtable.NewImports()
+	sp.imports = objtable.NewImportsSharded(opts.TableShards)
 	sp.pickler = pickle.New(opts.Registry, (*netRefs)(sp))
 
 	// Scrape-time gauges over the live tables; duplicate names sum, so a
@@ -406,6 +385,10 @@ func NewSpace(opts Options) (*Space, error) {
 		})
 	reg.GaugeFunc("netobj_promises_pending", "Unresolved pipelined promises: outstanding client promises plus unresolved serve-side completions.",
 		func() int64 { return int64(sp.pipePending()) })
+	reg.GaugeFunc("netobj_exports_shard_contention", "Cumulative contended lock acquisitions on export table shards.",
+		func() int64 { return int64(sp.exports.Contention()) })
+	reg.GaugeFunc("netobj_imports_shard_contention", "Cumulative contended lock acquisitions on import table shards.",
+		func() int64 { return int64(sp.imports.Contention()) })
 
 	sp.obsv = &obs.Observability{
 		Metrics: sp.metrics,
@@ -413,9 +396,10 @@ func NewSpace(opts Options) (*Space, error) {
 		Debug:   sp.debugSnapshot,
 	}
 
-	cleanerCfg := dgc.CleanerConfig{
+	sp.cleaner = dgc.NewCleaner(dgc.CleanerConfig{
 		Begin:       sp.imports.BeginClean,
 		Send:        sp.sendClean,
+		SendBatch:   sp.sendCleanBatch,
 		Finish:      sp.imports.FinishClean,
 		Redo:        sp.redoDirty,
 		OnAbandon:   opts.OnCleanAbandon,
@@ -423,11 +407,7 @@ func NewSpace(opts Options) (*Space, error) {
 		Backoff:     opts.CleanBackoff,
 		Logger:      sp.log,
 		Obs:         sp.metrics,
-	}
-	if opts.BatchCleans {
-		cleanerCfg.SendBatch = sp.sendCleanBatch
-	}
-	sp.cleaner = dgc.NewCleaner(cleanerCfg)
+	})
 	switch sp.opts.Liveness {
 	case LivenessLease:
 		sp.leases = dgc.NewLeases(sp.opts.LeaseTTL)
@@ -539,7 +519,6 @@ func (sp *Space) debugSnapshot() obs.DebugData {
 		Endpoints: sp.Endpoints(),
 		Exports:   sp.exports.Snapshot(),
 		Imports:   sp.imports.Snapshot(),
-		Pool:      sp.pool.Snapshot(),
 		Sessions:  sp.muxSessionsSnapshot(),
 	}
 }
@@ -596,12 +575,6 @@ func (sp *Space) flowParams() *flow.Params {
 		return nil
 	}
 	return &flow.Params{KeepaliveInterval: sp.opts.KeepaliveInterval}
-}
-
-// useMux reports whether exchanges with the peer at endpoints should ride
-// a multiplexed session rather than a checked-out connection.
-func (sp *Space) useMux(endpoints []string) bool {
-	return !sp.opts.DisableMux && sp.pool.MuxCapable(endpoints)
 }
 
 // Close shuts the space down gracefully: it stops accepting new calls,

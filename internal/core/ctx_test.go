@@ -161,19 +161,12 @@ func TestGracefulDrain(t *testing.T) {
 	}
 	cref := handoff(t, ref, client)
 
-	// Pre-warm a second pooled connection: once drain begins the owner's
-	// listener is gone, so the refused-call probe below must ride a
-	// connection established beforehand.
-	c1, ep1, err := client.pool.Get(cref.endpoints)
-	if err != nil {
+	// Warm the peer session: once drain begins the owner's listener is
+	// gone, so the refused-call probe below must ride the link established
+	// beforehand (the import's dirty call already dialed it; make sure).
+	if _, _, err := client.pool.Session(context.Background(), cref.endpoints); err != nil {
 		t.Fatal(err)
 	}
-	c2, ep2, err := client.pool.Get(cref.endpoints)
-	if err != nil {
-		t.Fatal(err)
-	}
-	client.pool.Put(ep1, c1)
-	client.pool.Put(ep2, c2)
 
 	type outcome struct {
 		res []any

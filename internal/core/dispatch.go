@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"reflect"
 	"runtime/debug"
+	"sync"
+	"sync/atomic"
 
 	"netobjects/internal/wire"
 )
@@ -13,35 +15,98 @@ import (
 // optional leading method parameter.
 var ctxType = reflect.TypeOf((*context.Context)(nil)).Elem()
 
-// methodInfo is the dispatch record for one exported method, computed on
-// demand from the concrete object's reflected method set.
+// methodInfo is the dispatch record for one exported method, computed
+// once per (concrete type, method name) and cached for the life of the
+// process. fn is the method expression — receiver first — rather than a
+// bound method value, because binding a receiver allocates on every
+// call while a cached expression never does.
 type methodInfo struct {
-	fn      reflect.Value
-	params  []reflect.Type // excluding a leading context.Context
+	fn      reflect.Value  // method expression: func(recv, [ctx,] args...)
+	params  []reflect.Type // excluding receiver and a leading context.Context
 	results []reflect.Type // excluding a trailing error
 	hasCtx  bool
 	hasErr  bool
 }
 
+// typeMethods is the resolved method map for one concrete type. Reads
+// are lock-free (atomic snapshot of a copy-on-write map); resolving a
+// new name copies the map under the mutex. Only successful resolutions
+// are cached, so the map is bounded by the type's real method set — a
+// peer spamming garbage names cannot grow it.
+type typeMethods struct {
+	mu      sync.Mutex
+	methods atomic.Pointer[map[string]*methodInfo]
+}
+
+// methodCache maps reflect.Type -> *typeMethods.
+var methodCache sync.Map
+
 // lookupMethod resolves a method by name on obj and validates that it is
 // remotely callable: exported, non-variadic, and with any error return in
 // the final position only. A leading context.Context parameter never
 // crosses the wire; the dispatcher supplies the serving context there, so
-// the method observes the caller's cancellation and deadline.
+// the method observes the caller's cancellation and deadline. The hot
+// path is two lock-free map lookups.
 func lookupMethod(obj any, name string) (*methodInfo, error) {
-	ov := reflect.ValueOf(obj)
-	m := ov.MethodByName(name)
-	if !m.IsValid() {
+	t := reflect.TypeOf(obj)
+	tmAny, ok := methodCache.Load(t)
+	if !ok {
+		tmAny, _ = methodCache.LoadOrStore(t, new(typeMethods))
+	}
+	tm := tmAny.(*typeMethods)
+	if m := tm.methods.Load(); m != nil {
+		if mi, ok := (*m)[name]; ok {
+			return mi, nil
+		}
+	}
+	return tm.resolve(t, obj, name)
+}
+
+// resolve builds and publishes the dispatch record for one method name,
+// copy-on-write so concurrent lookups never lock.
+func (tm *typeMethods) resolve(t reflect.Type, obj any, name string) (*methodInfo, error) {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	if m := tm.methods.Load(); m != nil {
+		if mi, ok := (*m)[name]; ok {
+			return mi, nil
+		}
+	}
+	mi, err := buildMethodInfo(t, obj, name)
+	if err != nil {
+		return nil, err
+	}
+	old := tm.methods.Load()
+	var next map[string]*methodInfo
+	if old != nil {
+		next = make(map[string]*methodInfo, len(*old)+1)
+		for k, v := range *old {
+			next[k] = v
+		}
+	} else {
+		next = make(map[string]*methodInfo, 4)
+	}
+	next[name] = mi
+	tm.methods.Store(&next)
+	return mi, nil
+}
+
+// buildMethodInfo reflects one method and validates its remote-call
+// shape. The receiver is ft.In(0); an optional context.Context sits at
+// ft.In(1).
+func buildMethodInfo(t reflect.Type, obj any, name string) (*methodInfo, error) {
+	m, ok := t.MethodByName(name)
+	if !ok {
 		return nil, fmt.Errorf("%w: %T has no method %s", ErrNoSuchMethod, obj, name)
 	}
-	mt := m.Type()
-	if mt.IsVariadic() {
+	ft := m.Func.Type()
+	if ft.IsVariadic() {
 		return nil, fmt.Errorf("%w: %s is variadic (unsupported remotely)", ErrNoSuchMethod, name)
 	}
-	mi := &methodInfo{fn: m}
-	for i := 0; i < mt.NumIn(); i++ {
-		in := mt.In(i)
-		if i == 0 && in == ctxType {
+	mi := &methodInfo{fn: m.Func}
+	for i := 1; i < ft.NumIn(); i++ {
+		in := ft.In(i)
+		if i == 1 && in == ctxType {
 			mi.hasCtx = true
 			continue
 		}
@@ -50,10 +115,10 @@ func lookupMethod(obj any, name string) (*methodInfo, error) {
 		}
 		mi.params = append(mi.params, in)
 	}
-	for i := 0; i < mt.NumOut(); i++ {
-		out := mt.Out(i)
+	for i := 0; i < ft.NumOut(); i++ {
+		out := ft.Out(i)
 		if out == errorType {
-			if i != mt.NumOut()-1 {
+			if i != ft.NumOut()-1 {
 				return nil, fmt.Errorf("%w: %s returns error before the final position", ErrNoSuchMethod, name)
 			}
 			mi.hasErr = true
@@ -64,21 +129,38 @@ func lookupMethod(obj any, name string) (*methodInfo, error) {
 	return mi, nil
 }
 
-// invoke calls the method with the given arguments under ctx, separating
-// the trailing error (if declared) from the data results and converting a
-// panic in the method into an error rather than tearing down the serving
-// goroutine.
-func (mi *methodInfo) invoke(ctx context.Context, args []reflect.Value) (outs []reflect.Value, appErr error, runtimeErr error) {
+// argvPool recycles the call-frame slices invoke assembles; 12 slots
+// cover receiver + context + a generous argument count without growth.
+var argvPool = sync.Pool{New: func() any {
+	s := make([]reflect.Value, 0, 12)
+	return &s
+}}
+
+// invoke calls the method on recv with the given arguments under ctx,
+// separating the trailing error (if declared) from the data results and
+// converting a panic in the method into an error rather than tearing
+// down the serving goroutine.
+func (mi *methodInfo) invoke(ctx context.Context, recv reflect.Value, args []reflect.Value) (outs []reflect.Value, appErr error, runtimeErr error) {
 	defer func() {
 		if p := recover(); p != nil {
 			outs, appErr = nil, nil
 			runtimeErr = fmt.Errorf("netobjects: method panicked: %v\n%s", p, debug.Stack())
 		}
 	}()
+	pv := argvPool.Get().(*[]reflect.Value)
+	in := append((*pv)[:0], recv)
 	if mi.hasCtx {
-		args = append([]reflect.Value{reflect.ValueOf(ctx)}, args...)
+		in = append(in, reflect.ValueOf(ctx))
 	}
-	rets := mi.fn.Call(args)
+	in = append(in, args...)
+	rets := mi.fn.Call(in)
+	// Zero the frame before pooling so it doesn't pin the receiver or
+	// arguments of the last call.
+	for i := range in {
+		in[i] = reflect.Value{}
+	}
+	*pv = in[:0]
+	argvPool.Put(pv)
 	if mi.hasErr {
 		if e := rets[len(rets)-1]; !e.IsNil() {
 			appErr = e.Interface().(error)
@@ -108,7 +190,7 @@ func (sp *Space) localDynamicCall(ctx context.Context, obj any, method string, a
 		}
 		argVals[i] = v
 	}
-	outs, appErr, rerr := mi.invoke(ctx, argVals)
+	outs, appErr, rerr := mi.invoke(ctx, reflect.ValueOf(obj), argVals)
 	if rerr != nil {
 		return nil, rerr
 	}
@@ -133,7 +215,7 @@ func (sp *Space) localTypedCall(ctx context.Context, obj any, method string, fin
 	if len(args) != len(mi.params) {
 		return nil, fmt.Errorf("%w: %s takes %d arguments, got %d", ErrNoSuchMethod, method, len(mi.params), len(args))
 	}
-	outs, appErr, rerr := mi.invoke(ctx, args)
+	outs, appErr, rerr := mi.invoke(ctx, reflect.ValueOf(obj), args)
 	if rerr != nil {
 		return nil, rerr
 	}

@@ -26,9 +26,8 @@ func TestStaleCleanDoesNotTouchNewIncarnation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cref1 := handoff(t, ref1, client)
+	handoff(t, ref1, client)
 	staleOwner := owner1.ID()
-	staleIdx := cref1.key.Index
 	owner1.Abort() // crash: dirty sets die with the incarnation
 
 	owner2 := tn.space("owner2", func(o *Options) { o.ListenEndpoints = []string{"inmem:reborn"} })
@@ -40,9 +39,10 @@ func TestStaleCleanDoesNotTouchNewIncarnation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if w2.Index != staleIdx {
-		t.Fatalf("successor allocated index %d, want %d to model endpoint+index reuse", w2.Index, staleIdx)
-	}
+	// Model endpoint+index reuse: the forged cleans name an index that is
+	// live in the successor (sharded allocation makes the successor's
+	// first index arbitrary, so aim at wherever it landed).
+	staleIdx := w2.Index
 	cref2 := handoff(t, ref2, client)
 
 	// The stale clean: addressed to the dead owner, delivered to the

@@ -221,13 +221,12 @@ func TestBatchedCleans(t *testing.T) {
 	// reclaims everything.
 	mem := transport.NewMem()
 	mem.Latency = 2 * time.Millisecond // let the queue build up
-	mk := func(name string, batch bool) *Space {
+	mk := func(name string) *Space {
 		sp, err := NewSpace(Options{
 			Name:         name,
 			Transports:   []transport.Transport{mem},
 			CallTimeout:  10 * time.Second,
 			PingInterval: time.Hour,
-			BatchCleans:  batch,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -235,8 +234,8 @@ func TestBatchedCleans(t *testing.T) {
 		t.Cleanup(func() { _ = sp.Close() })
 		return sp
 	}
-	owner := mk("owner", false)
-	client := mk("client", true)
+	owner := mk("owner")
+	client := mk("client")
 
 	const n = 16
 	refs := make([]*Ref, n)

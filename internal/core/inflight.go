@@ -3,20 +3,37 @@ package core
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// inflightShards stripes the table by call id. Call ids are allocated
+// from a process-wide atomic counter, so consecutive calls land on
+// consecutive shards and a burst of concurrent dispatches spreads evenly
+// without hashing.
+const inflightShards = 16 // power of two
 
 // inflightTable tracks the calls a space is currently dispatching, keyed
 // by the caller-chosen Call.ID. It serves two masters: CancelCall looks a
 // call up to forward the caller's alert into the serving context, and
 // graceful drain waits for the table to empty before the space finishes
-// closing.
+// closing. The table is striped so 256 concurrent dispatches don't
+// serialize their add/remove pairs on one mutex, and the size lives in
+// one atomic so drain's idle poll never takes a lock.
 type inflightTable struct {
-	mu    sync.Mutex
-	calls map[uint64]*inflightEntry
+	shards [inflightShards]inflightShard
+	count  atomic.Int64
 }
 
-// inflightEntry is one dispatch in progress.
+type inflightShard struct {
+	mu    sync.Mutex
+	calls map[uint64]inflightEntry
+	_     [24]byte // pad toward a cache line to keep neighbours independent
+}
+
+// inflightEntry is one dispatch in progress. Stored by value: the map
+// slot is reused across insert/delete churn, so the steady-state
+// dispatch path allocates nothing here.
 type inflightEntry struct {
 	method string
 	start  time.Time
@@ -24,7 +41,15 @@ type inflightEntry struct {
 }
 
 func newInflightTable() *inflightTable {
-	return &inflightTable{calls: make(map[uint64]*inflightEntry)}
+	t := &inflightTable{}
+	for i := range t.shards {
+		t.shards[i].calls = make(map[uint64]inflightEntry)
+	}
+	return t
+}
+
+func (t *inflightTable) shard(id uint64) *inflightShard {
+	return &t.shards[id&(inflightShards-1)]
 }
 
 // add registers a dispatch under its call id. Duplicate ids (two clients
@@ -32,26 +57,33 @@ func newInflightTable() *inflightTable {
 // just not remotely cancellable — correctness never depends on cancel
 // delivery.
 func (t *inflightTable) add(id uint64, method string, cancel context.CancelFunc) {
-	t.mu.Lock()
-	if _, exists := t.calls[id]; !exists {
-		t.calls[id] = &inflightEntry{method: method, start: time.Now(), cancel: cancel}
+	s := t.shard(id)
+	s.mu.Lock()
+	if _, exists := s.calls[id]; !exists {
+		s.calls[id] = inflightEntry{method: method, start: time.Now(), cancel: cancel}
+		t.count.Add(1)
 	}
-	t.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // remove drops a finished dispatch.
 func (t *inflightTable) remove(id uint64) {
-	t.mu.Lock()
-	delete(t.calls, id)
-	t.mu.Unlock()
+	s := t.shard(id)
+	s.mu.Lock()
+	if _, exists := s.calls[id]; exists {
+		delete(s.calls, id)
+		t.count.Add(-1)
+	}
+	s.mu.Unlock()
 }
 
 // cancel alerts the dispatch with the given id, reporting whether it was
 // found in flight.
 func (t *inflightTable) cancel(id uint64) bool {
-	t.mu.Lock()
-	e, ok := t.calls[id]
-	t.mu.Unlock()
+	s := t.shard(id)
+	s.mu.Lock()
+	e, ok := s.calls[id]
+	s.mu.Unlock()
 	if ok {
 		e.cancel()
 	}
@@ -60,32 +92,33 @@ func (t *inflightTable) cancel(id uint64) bool {
 
 // cancelAll alerts every dispatch still in flight (drain timeout).
 func (t *inflightTable) cancelAll() {
-	t.mu.Lock()
-	es := make([]*inflightEntry, 0, len(t.calls))
-	for _, e := range t.calls {
-		es = append(es, e)
+	var fns []context.CancelFunc
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for _, e := range s.calls {
+			fns = append(fns, e.cancel)
+		}
+		s.mu.Unlock()
 	}
-	t.mu.Unlock()
-	for _, e := range es {
-		e.cancel()
+	for _, fn := range fns {
+		fn()
 	}
 }
 
 // len reports how many dispatches are in flight.
 func (t *inflightTable) len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.calls)
+	return int(t.count.Load())
 }
 
 // waitIdle polls until the table empties or the timeout lapses, reporting
-// whether it emptied. Polling keeps the add/remove hot path to one mutex
-// acquisition with no condition broadcasting; drains are rare and a
+// whether it emptied. Polling an atomic keeps the add/remove hot path to
+// one shard mutex with no condition broadcasting; drains are rare and a
 // millisecond of drain latency is noise next to the calls being waited on.
 func (t *inflightTable) waitIdle(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for {
-		if t.len() == 0 {
+		if t.count.Load() == 0 {
 			return true
 		}
 		if time.Now().After(deadline) {

@@ -60,6 +60,29 @@ type callSession struct {
 	pending []*gcFuture
 }
 
+// callSessionPool recycles call sessions across dispatches; one session
+// is created and retired per call on both sides, so pooling it keeps the
+// null-call path allocation-free.
+var callSessionPool = sync.Pool{New: func() any { return new(callSession) }}
+
+// getCallSession returns a pooled session bound to sp.
+func (sp *Space) getCallSession() *callSession {
+	s := callSessionPool.Get().(*callSession)
+	s.sp = sp
+	return s
+}
+
+// recycle returns the session to the pool. Callers must be past
+// unpinAll/waitPending: the session must hold no pins and no pending
+// registrations, and no other goroutine may still reference it.
+func (s *callSession) recycle() {
+	s.sp = nil
+	s.pinnedExports = s.pinnedExports[:0]
+	s.pinnedImports = s.pinnedImports[:0]
+	s.pending = nil
+	callSessionPool.Put(s)
+}
+
 // addPending records an in-flight registration (FIFO variant) that must
 // settle before this call's acknowledgement is sent.
 func (s *callSession) addPending(f *gcFuture) {

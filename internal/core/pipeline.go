@@ -202,10 +202,10 @@ func (sp *Space) PromisesPending() int { return sp.pipePending() }
 
 // pipeSession resolves the session and capability verdict for a pipelined
 // call to endpoints. ok is false when the call must take the sequential
-// fallback: pipelining disabled locally, checkout-only link, or a peer
-// that never advertised the capability.
+// fallback: pipelining disabled locally, or a peer that never advertised
+// the capability.
 func (sp *Space) pipeSession(ctx context.Context, endpoints []string) (s *transport.Session, ok bool, err error) {
-	if sp.opts.DisablePipeline || !sp.useMux(endpoints) {
+	if sp.opts.DisablePipeline {
 		return nil, false, nil
 	}
 	s, _, err = sp.pool.Session(ctx, endpoints)
@@ -459,8 +459,11 @@ func (p *Promise) pipeArgs(ctx context.Context, args []any) ([]any, []uint64, []
 func (p *Promise) resolvePipeCall(ctx context.Context, s *transport.Session, target pipeTarget, fingerprint uint64, dynArgs []any, typedArgs []reflect.Value, barrier uint64) {
 	sp := p.sp
 	start := time.Now()
-	session := &callSession{sp: sp}
-	defer session.unpinAll()
+	session := sp.getCallSession()
+	defer func() {
+		session.unpinAll()
+		session.recycle()
+	}()
 
 	call := &wire.PipeCall{
 		Obj:           target.obj,
@@ -512,8 +515,9 @@ func (p *Promise) resolvePipeCall(ctx context.Context, s *transport.Session, tar
 		return
 	}
 	_ = st.SetDeadline(connDeadline)
-	w := newCancelWatch()
+	var w *cancelWatch
 	if ctx.Done() != nil {
+		w = newCancelWatch()
 		go func() {
 			select {
 			case <-ctx.Done():
@@ -526,7 +530,10 @@ func (p *Promise) resolvePipeCall(ctx context.Context, s *transport.Session, tar
 		}()
 	}
 	err = p.exchangePipe(st, call, session)
-	cancelled := w.finish()
+	cancelled := false
+	if w != nil {
+		cancelled = w.finish()
+	}
 	_ = st.Close()
 	sp.metrics.CallLatency.Observe(time.Since(start))
 	if sp.tracer != nil {
@@ -641,9 +648,17 @@ func (r *Ref) OneWayCtx(ctx context.Context, method string, args ...any) error {
 		_, err := sp.dynamicCall(ctx, r.endpoints, r.key.Index, method, args)
 		return err
 	}
-	session := &callSession{sp: sp}
-	defer session.unpinAll()
-	argBytes, err := sp.pickler.MarshalAnySession(nil, args, session)
+	session := sp.getCallSession()
+	defer func() {
+		session.unpinAll()
+		session.recycle()
+	}()
+	abp := wire.GetBuf()
+	argBytes, err := sp.pickler.MarshalAnySession((*abp)[:0], args, session)
+	if argBytes != nil {
+		*abp = argBytes
+	}
+	defer wire.PutBuf(abp)
 	if err != nil {
 		return fmt.Errorf("netobjects: marshaling arguments for %s: %w", method, err)
 	}
@@ -656,11 +671,9 @@ func (r *Ref) OneWayCtx(ctx context.Context, method string, args ...any) error {
 	if d, ok := ctx.Deadline(); ok {
 		_ = st.SetDeadline(d)
 	}
-	out := wire.Marshal(nil, msg)
-	if err := st.Send(out); err != nil {
+	if err := sp.sendReply(st, msg); err != nil {
 		return err
 	}
-	sp.metrics.BytesSent.Add(uint64(len(out)))
 	sp.metrics.OneWaysSent.Inc()
 	// No reply leg: registration futures for any references in the
 	// arguments still settle before the pins release below.

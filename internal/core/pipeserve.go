@@ -80,7 +80,10 @@ func (sp *Space) handlePipeCall(st *transport.Stream, call *wire.PipeCall) {
 	stat := sp.metrics.Methods.Get(call.Method)
 	stat.Calls.Inc()
 	state := sp.pipeInboundFor(st.Session())
-	session := &callSession{sp: sp}
+	session := sp.getCallSession()
+	// Runs last (before any defer registered below): every exit path has
+	// passed unpinAll or never pinned.
+	defer session.recycle()
 	var res *wire.PromiseResolve
 	var out promise.Outcome
 	if sp.isClosed() {
@@ -116,12 +119,10 @@ func (sp *Space) handlePipeCall(st *transport.Stream, call *wire.PipeCall) {
 			CallID: call.ID, Method: call.Method, Dur: time.Since(start), Err: res.Err})
 	}
 	session.waitPending()
-	frame := wire.Marshal(nil, res)
-	if err := st.Send(frame); err != nil {
+	if err := sp.sendReply(st, res); err != nil {
 		session.unpinAll()
 		return
 	}
-	sp.metrics.BytesSent.Add(uint64(len(frame)))
 	if !res.NeedAck {
 		return
 	}
@@ -183,6 +184,12 @@ func (sp *Space) executePipeCall(ctx context.Context, call *wire.PipeCall, sessi
 			return brokenResolve(fmt.Errorf("netobjects: pipelined receiver of %s resolved to nil", call.Method))
 		case Referencer:
 			ref := tv.NetObjRef()
+			if ref == nil {
+				// A typed-nil reference (e.g. a method returning an empty
+				// *Ref) must break the chain like an untyped nil, not crash
+				// the serving space.
+				return brokenResolve(fmt.Errorf("netobjects: pipelined receiver of %s resolved to nil", call.Method))
+			}
 			if ref.IsOwner() {
 				obj = ref.Concrete()
 			} else {
@@ -267,7 +274,7 @@ func (sp *Space) executePipeCall(ctx context.Context, call *wire.PipeCall, sessi
 		session.unpinAll()
 		return pipeCancelOutcome(ctx)
 	}
-	outs, appErr, rerr := mi.invoke(ctx, args)
+	outs, appErr, rerr := mi.invoke(ctx, reflect.ValueOf(obj), args)
 	if rerr != nil {
 		sp.log.Error("method panicked", "method", call.Method, "err", rerr)
 		return &wire.PromiseResolve{Status: wire.StatusInternal, Err: rerr.Error()},
@@ -393,8 +400,12 @@ func (sp *Space) handleOneWay(st *transport.Stream, m *wire.OneWay) {
 			return
 		}
 	}
-	session := &callSession{sp: sp}
-	defer session.unpinAll()
+	session := sp.getCallSession()
+	defer func() {
+		session.waitPending()
+		session.unpinAll()
+		session.recycle()
+	}()
 	ent, ok := sp.exports.Lookup(m.Obj)
 	if !ok {
 		sp.log.Debug("one-way call to absent object", "obj", m.Obj, "method", m.Method)
@@ -438,7 +449,7 @@ func (sp *Space) handleOneWay(st *transport.Stream, m *wire.OneWay) {
 	if ctx.Err() != nil {
 		return
 	}
-	if _, appErr, rerr := mi.invoke(ctx, args); rerr != nil {
+	if _, appErr, rerr := mi.invoke(ctx, reflect.ValueOf(ent.Obj), args); rerr != nil {
 		sp.log.Error("one-way method panicked", "method", m.Method, "err", rerr)
 	} else if appErr != nil {
 		sp.log.Debug("one-way method returned error (discarded)", "method", m.Method, "err", appErr)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"reflect"
+	"sync"
 	"time"
 
 	"netobjects/internal/obs"
@@ -11,6 +12,42 @@ import (
 	"netobjects/internal/transport"
 	"netobjects/internal/wire"
 )
+
+// callPool and resultPool recycle the request/response frames of the
+// dispatch hot path; one of each is consumed per served call, so pooling
+// them (with the pickle scratch and the callSession) makes the
+// steady-state null-call serve path allocation-free.
+var (
+	callPool   = sync.Pool{New: func() any { return new(wire.Call) }}
+	resultPool = sync.Pool{New: func() any { return new(wire.Result) }}
+)
+
+// putCall zeroes and pools a decoded call frame. The zeroing matters:
+// Args aliases the receive buffer, which is recycled independently.
+func putCall(call *wire.Call) {
+	*call = wire.Call{}
+	callPool.Put(call)
+}
+
+func putResult(res *wire.Result) {
+	*res = wire.Result{}
+	resultPool.Put(res)
+}
+
+// sendReply marshals reply through a pooled buffer and sends it on c,
+// counting the bytes on success.
+func (sp *Space) sendReply(c transport.Conn, reply wire.Message) error {
+	bp := wire.GetBuf()
+	out := wire.Marshal((*bp)[:0], reply)
+	err := c.Send(out) // Send copies into its own envelope buffer
+	n := len(out)
+	*bp = out
+	wire.PutBuf(bp)
+	if err == nil {
+		sp.metrics.BytesSent.Add(uint64(n))
+	}
+	return err
+}
 
 // acceptLoop accepts connections on one listener until it closes.
 func (sp *Space) acceptLoop(l transport.Listener) {
@@ -62,6 +99,23 @@ func (sp *Space) serveConn(c transport.Conn) {
 			return
 		}
 		sp.metrics.BytesRecv.Add(uint64(len(frame)))
+		if wire.PeekOp(frame) == wire.OpCall {
+			// The hot path decodes into a pooled frame instead of letting
+			// Unmarshal allocate a fresh one per call.
+			call := callPool.Get().(*wire.Call)
+			err := wire.UnmarshalInto(frame, call)
+			if err != nil {
+				sp.log.Debug("protocol error on inbound connection", "peer", c.RemoteLabel(), "err", err)
+				putCall(call)
+				return
+			}
+			ok := sp.handleCall(c, call)
+			putCall(call)
+			if !ok {
+				return
+			}
+			continue
+		}
 		msg, err := wire.Unmarshal(frame)
 		if err != nil {
 			sp.log.Debug("protocol error on inbound connection", "peer", c.RemoteLabel(), "err", err)
@@ -69,11 +123,6 @@ func (sp *Space) serveConn(c transport.Conn) {
 		}
 		var reply wire.Message
 		switch m := msg.(type) {
-		case *wire.Call:
-			if !sp.handleCall(c, m) {
-				return
-			}
-			continue
 		case *wire.Dirty:
 			reply = sp.handleDirty(m)
 		case *wire.Clean:
@@ -94,11 +143,9 @@ func (sp *Space) serveConn(c transport.Conn) {
 			sp.log.Debug("unexpected message", "op", msg.Op().String(), "peer", c.RemoteLabel())
 			return
 		}
-		out := wire.Marshal(nil, reply)
-		if err := c.Send(out); err != nil {
+		if err := sp.sendReply(c, reply); err != nil {
 			return
 		}
-		sp.metrics.BytesSent.Add(uint64(len(out)))
 	}
 }
 
@@ -144,6 +191,18 @@ func (sp *Space) serveStream(st *transport.Stream) {
 		return
 	}
 	sp.metrics.BytesRecv.Add(uint64(len(frame)))
+	if wire.PeekOp(frame) == wire.OpCall {
+		call := callPool.Get().(*wire.Call)
+		err := wire.UnmarshalInto(frame, call)
+		if err != nil {
+			sp.log.Debug("protocol error on inbound stream", "peer", st.RemoteLabel(), "err", err)
+			putCall(call)
+			return
+		}
+		sp.handleCall(st, call)
+		putCall(call)
+		return
+	}
 	msg, err := wire.Unmarshal(frame)
 	if err != nil {
 		sp.log.Debug("protocol error on inbound stream", "peer", st.RemoteLabel(), "err", err)
@@ -151,9 +210,6 @@ func (sp *Space) serveStream(st *transport.Stream) {
 	}
 	var reply wire.Message
 	switch m := msg.(type) {
-	case *wire.Call:
-		sp.handleCall(st, m)
-		return
 	case *wire.PipeCall:
 		sp.handlePipeCall(st, m)
 		return
@@ -180,11 +236,7 @@ func (sp *Space) serveStream(st *transport.Stream) {
 		sp.log.Debug("unexpected message on stream", "op", msg.Op().String(), "peer", st.RemoteLabel())
 		return
 	}
-	out := wire.Marshal(nil, reply)
-	if err := st.Send(out); err != nil {
-		return
-	}
-	sp.metrics.BytesSent.Add(uint64(len(out)))
+	_ = sp.sendReply(st, reply)
 }
 
 func (sp *Space) handleDirty(m *wire.Dirty) *wire.DirtyAck {
@@ -262,8 +314,14 @@ func (sp *Space) handleClean(m *wire.Clean) *wire.CleanAck {
 func (sp *Space) handleCleanBatch(m *wire.CleanBatch) *wire.CleanAck {
 	sp.metrics.CleanServed.Add(uint64(len(m.Objs)))
 	if sp.tracer != nil {
-		sp.tracer.Emit(obs.Event{Kind: obs.EvCleanRecv, Time: time.Now(),
-			Peer: m.Client.String(), N: len(m.Objs)})
+		// One event per key, exactly as if the cleans had arrived singly:
+		// trace checkers correlate clean receipt per object, so a batch
+		// must not collapse its members into one keyless event.
+		now := time.Now()
+		for _, obj := range m.Objs {
+			sp.tracer.Emit(obs.Event{Kind: obs.EvCleanRecv, Time: now,
+				Key: fmt.Sprintf("%v/%d", sp.id, obj), Peer: m.Client.String(), N: len(m.Objs)})
+		}
 	}
 	// Same incarnation check as handleClean, applied to the whole batch.
 	if m.Owner != 0 && m.Owner != sp.id {
@@ -322,12 +380,24 @@ func (sp *Space) handleCall(c transport.Conn, call *wire.Call) bool {
 	}
 	stat := sp.metrics.Methods.Get(call.Method)
 	stat.Calls.Inc()
-	session := &callSession{sp: sp}
-	var res *wire.Result
+	session := sp.getCallSession()
+	res := resultPool.Get().(*wire.Result)
+	rbp := wire.GetBuf()
+	defer func() {
+		// By here every path has passed unpinAll (or never pinned) and
+		// waitPending, so the session holds nothing. The result's byte
+		// payload goes back to the buffer pool it was encoded into.
+		if cap(res.Results) != 0 {
+			*rbp = res.Results[:0]
+		}
+		wire.PutBuf(rbp)
+		putResult(res)
+		session.recycle()
+	}()
 	if sp.isClosed() {
 		// Draining: refuse new work, but keep the connection usable so the
 		// peer's parting clean calls still flow.
-		res = &wire.Result{Status: wire.StatusSpaceClosed, Err: "space closing"}
+		res.Status, res.Err = wire.StatusSpaceClosed, "space closing"
 	} else {
 		ctx, cancel := sp.callContext(call)
 		if call.ID != 0 {
@@ -339,7 +409,7 @@ func (sp *Space) handleCall(c transport.Conn, call *wire.Call) bool {
 			defer sp.inflight.remove(call.ID)
 		}
 		defer cancel()
-		res = sp.executeCall(ctx, call, session)
+		sp.executeCall(ctx, call, session, res, (*rbp)[:0])
 	}
 	res.NeedAck = session.pinned()
 	sp.metrics.ServeLatency.Observe(time.Since(start))
@@ -363,12 +433,10 @@ func (sp *Space) handleCall(c transport.Conn, call *wire.Call) bool {
 	// asserts this space is registered for every reference it received,
 	// so settle them before answering.
 	session.waitPending()
-	out := wire.Marshal(nil, res)
-	if err := c.Send(out); err != nil {
+	if err := sp.sendReply(c, res); err != nil {
 		session.unpinAll()
 		return false
 	}
-	sp.metrics.BytesSent.Add(uint64(len(out)))
 	if !res.NeedAck {
 		return true
 	}
@@ -390,56 +458,63 @@ func (sp *Space) handleCall(c transport.Conn, call *wire.Call) bool {
 	return ok
 }
 
-// cancelResult renders an alerted or expired serving context as a
-// protocol result.
-func cancelResult(ctx context.Context) *wire.Result {
-	st := wire.StatusCancelled
+// cancelResult renders an alerted or expired serving context into res.
+func cancelResult(ctx context.Context, res *wire.Result) {
+	res.Status = wire.StatusCancelled
 	if ctx.Err() == context.DeadlineExceeded {
-		st = wire.StatusDeadlineExceeded
+		res.Status = wire.StatusDeadlineExceeded
 	}
-	return &wire.Result{Status: st, Err: ctx.Err().Error()}
+	res.Err = ctx.Err().Error()
 }
 
 // executeCall runs one invocation end to end under ctx: object lookup,
 // fingerprint check, argument decoding, method invocation and result
 // encoding. A context fired before or during the method turns into a
 // cancellation result with the session's transient pins released — the
-// alerted caller will not acknowledge them.
-func (sp *Space) executeCall(ctx context.Context, call *wire.Call, session *callSession) *wire.Result {
+// alerted caller will not acknowledge them. The outcome lands in res
+// (caller-owned, zeroed); encoded results go into resBuf, whose grown
+// backing the caller recycles.
+func (sp *Space) executeCall(ctx context.Context, call *wire.Call, session *callSession, res *wire.Result, resBuf []byte) {
 	ent, ok := sp.exports.Lookup(call.Obj)
 	if !ok {
-		return &wire.Result{Status: wire.StatusNoSuchObject, Err: "object not in export table"}
+		res.Status, res.Err = wire.StatusNoSuchObject, "object not in export table"
+		return
 	}
 	if call.Fingerprint != 0 && !ent.AcceptsFingerprint(call.Fingerprint) {
-		return &wire.Result{Status: wire.StatusBadFingerprint,
-			Err: "stub was generated from a different interface version"}
+		res.Status = wire.StatusBadFingerprint
+		res.Err = "stub was generated from a different interface version"
+		return
 	}
 	mi, err := lookupMethod(ent.Obj, call.Method)
 	if err != nil {
-		return &wire.Result{Status: wire.StatusNoSuchMethod, Err: err.Error()}
+		res.Status, res.Err = wire.StatusNoSuchMethod, err.Error()
+		return
 	}
 
 	var args []reflect.Value
 	if call.Typed {
 		vals, err := sp.pickler.UnmarshalSession(call.Args, mi.params, session)
 		if err != nil {
-			return &wire.Result{Status: wire.StatusMarshal, Err: "decoding arguments: " + err.Error()}
+			res.Status, res.Err = wire.StatusMarshal, "decoding arguments: "+err.Error()
+			return
 		}
 		args = vals
 	} else {
 		anys, err := sp.pickler.UnmarshalAnySession(call.Args, session)
 		if err != nil {
-			return &wire.Result{Status: wire.StatusMarshal, Err: "decoding arguments: " + err.Error()}
+			res.Status, res.Err = wire.StatusMarshal, "decoding arguments: "+err.Error()
+			return
 		}
 		if len(anys) != len(mi.params) {
-			return &wire.Result{Status: wire.StatusNoSuchMethod,
-				Err: "wrong argument count for " + call.Method}
+			res.Status, res.Err = wire.StatusNoSuchMethod, "wrong argument count for "+call.Method
+			return
 		}
 		args = make([]reflect.Value, len(anys))
 		for i, a := range anys {
 			v, err := sp.assignArg(mi.params[i], a)
 			if err != nil {
-				return &wire.Result{Status: wire.StatusMarshal, Err: "binding arguments: " + err.Error()}
+				res.Status, res.Err = wire.StatusMarshal, "binding arguments: "+err.Error()
+				return
 			}
 			args[i] = v
 		}
@@ -447,40 +522,43 @@ func (sp *Space) executeCall(ctx context.Context, call *wire.Call, session *call
 
 	if ctx.Err() != nil {
 		session.unpinAll()
-		return cancelResult(ctx)
+		cancelResult(ctx, res)
+		return
 	}
-	outs, appErr, rerr := mi.invoke(ctx, args)
+	outs, appErr, rerr := mi.invoke(ctx, reflect.ValueOf(ent.Obj), args)
 	if rerr != nil {
 		sp.log.Error("method panicked", "method", call.Method, "err", rerr)
-		return &wire.Result{Status: wire.StatusInternal, Err: rerr.Error()}
+		res.Status, res.Err = wire.StatusInternal, rerr.Error()
+		return
 	}
 	if ctx.Err() != nil {
 		// The caller is gone (alerted or timed out); its results are
 		// undeliverable, so drop them and any pins they would have taken.
 		session.unpinAll()
-		return cancelResult(ctx)
+		cancelResult(ctx, res)
+		return
 	}
 
 	var resultBytes []byte
 	if call.Typed {
-		resultBytes, err = sp.pickler.MarshalSession(nil, outs, session)
+		resultBytes, err = sp.pickler.MarshalSession(resBuf, outs, session)
 	} else {
 		anys := make([]any, len(outs))
 		for i, o := range outs {
 			anys[i] = o.Interface()
 		}
-		resultBytes, err = sp.pickler.MarshalAnySession(nil, anys, session)
+		resultBytes, err = sp.pickler.MarshalAnySession(resBuf, anys, session)
 	}
 	if err != nil {
 		session.unpinAll()
-		return &wire.Result{Status: wire.StatusMarshal, Err: "encoding results: " + err.Error()}
+		res.Status, res.Err = wire.StatusMarshal, "encoding results: "+err.Error()
+		return
 	}
-	res := &wire.Result{Status: wire.StatusOK, Results: resultBytes}
+	res.Status, res.Results = wire.StatusOK, resultBytes
 	if appErr != nil {
 		res.Status = wire.StatusAppError
 		res.Err = appErr.Error()
 	}
-	return res
 }
 
 // acceptsFingerprint reports whether a typed call bearing fp may dispatch

@@ -25,7 +25,6 @@ func TestSoakRandomizedWorkload(t *testing.T) {
 			for i := range spaces {
 				spaces[i] = tn.space(variant.String()+"-sp", func(o *Options) {
 					o.Variant = variant
-					o.BatchCleans = i%2 == 0
 				})
 			}
 			// Every space exports a relay so references can travel inside

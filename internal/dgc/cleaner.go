@@ -81,14 +81,27 @@ type CleanItem struct {
 	Strong bool
 }
 
-// Cleaner is the cleaning daemon: a queue of clean calls drained by one
+// maxCleanBatch caps the members of one batched clean exchange. A space
+// dropping a huge object graph can queue hundreds of thousands of cleans
+// for one owner; an uncapped batch would render them as one giant frame
+// (and one giant loss unit on failure), so the worker drains such queues
+// in capped rounds instead.
+const maxCleanBatch = 128
+
+// Cleaner is the cleaning daemon: queued clean calls drained by one
 // background worker, matching the single "cleaning demon" of the paper.
+// Cleans are queued per owner so one exchange batches same-owner cleans
+// without rescanning a global queue, and owners are served round-robin so
+// a space releasing a million references to one owner cannot starve the
+// parting clean of another.
 type Cleaner struct {
 	cfg CleanerConfig
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []cleanItem
+	queues map[wire.SpaceID][]cleanItem // per-owner FIFO; present iff non-empty
+	rr     []wire.SpaceID               // round-robin rotation of owners with queued work
+	queued int                          // total items across queues
 	closed bool
 	idle   bool
 
@@ -106,7 +119,7 @@ func NewCleaner(cfg CleanerConfig) *Cleaner {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
-	c := &Cleaner{cfg: cfg}
+	c := &Cleaner{cfg: cfg, queues: make(map[wire.SpaceID][]cleanItem)}
 	c.cond = sync.NewCond(&c.mu)
 	c.wg.Add(1)
 	go c.run()
@@ -129,7 +142,13 @@ func (c *Cleaner) ScheduleStrong(key wire.Key, endpoints []string, seq uint64) {
 func (c *Cleaner) enqueue(it cleanItem) {
 	c.mu.Lock()
 	if !c.closed {
-		c.queue = append(c.queue, it)
+		owner := it.key.Owner
+		q := c.queues[owner]
+		if len(q) == 0 {
+			c.rr = append(c.rr, owner)
+		}
+		c.queues[owner] = append(q, it)
+		c.queued++
 	}
 	c.mu.Unlock()
 	c.cond.Signal()
@@ -153,7 +172,7 @@ func (c *Cleaner) Drain(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for {
 		c.mu.Lock()
-		drained := len(c.queue) == 0 && c.idle
+		drained := c.queued == 0 && c.idle
 		closed := c.closed
 		c.mu.Unlock()
 		if drained || closed {
@@ -171,35 +190,40 @@ func (c *Cleaner) run() {
 	for {
 		c.mu.Lock()
 		c.idle = true
-		for len(c.queue) == 0 && !c.closed {
+		for c.queued == 0 && !c.closed {
 			c.cond.Wait()
 		}
 		if c.closed {
 			c.mu.Unlock()
 			return
 		}
-		it := c.queue[0]
-		c.queue = c.queue[1:]
-		var batch []cleanItem
-		if c.cfg.SendBatch != nil {
-			// Opportunistically take every other queued clean addressed
-			// to the same owner.
-			rest := c.queue[:0]
-			for _, q := range c.queue {
-				if q.key.Owner == it.key.Owner {
-					batch = append(batch, q)
-				} else {
-					rest = append(rest, q)
-				}
-			}
-			c.queue = rest
+		// Round-robin over owners: take the next owner in rotation and up
+		// to maxCleanBatch of its queued cleans in one exchange. An owner
+		// with work left goes to the back of the rotation, so every owner
+		// gets a turn between its rounds.
+		owner := c.rr[0]
+		c.rr = c.rr[1:]
+		q := c.queues[owner]
+		take := len(q)
+		if c.cfg.SendBatch == nil {
+			take = 1 // no batch exchange available: deliver singly
+		} else if take > maxCleanBatch {
+			take = maxCleanBatch
 		}
+		batch := append([]cleanItem(nil), q[:take]...)
+		if take == len(q) {
+			delete(c.queues, owner)
+		} else {
+			c.queues[owner] = q[take:]
+			c.rr = append(c.rr, owner)
+		}
+		c.queued -= take
 		c.idle = false
 		c.mu.Unlock()
-		if len(batch) == 0 {
-			c.process(it)
+		if len(batch) == 1 {
+			c.process(batch[0])
 		} else {
-			c.processBatch(append([]cleanItem{it}, batch...))
+			c.processBatch(batch)
 		}
 	}
 }

@@ -500,3 +500,122 @@ func TestRenewerRounds(t *testing.T) {
 		t.Fatalf("renewed=%v", renewed)
 	}
 }
+
+func TestCleanerBatchCap(t *testing.T) {
+	// Queue far more same-owner cleans than one batch may carry while the
+	// worker is held on an unrelated clean: they must drain in capped
+	// rounds, every round no larger than maxCleanBatch, with nothing lost.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var mu sync.Mutex
+	var batches [][]CleanItem
+	seq := uint64(0)
+	c := NewCleaner(CleanerConfig{
+		Begin: func(k wire.Key) (uint64, []string, bool) {
+			seq++
+			return seq, []string{"inmem:o"}, true
+		},
+		Send: func(k wire.Key, eps []string, s uint64, strong bool) error {
+			select {
+			case <-started:
+			default:
+				close(started)
+			}
+			<-block
+			return nil
+		},
+		SendBatch: func(owner wire.SpaceID, eps []string, items []CleanItem) error {
+			mu.Lock()
+			batches = append(batches, append([]CleanItem(nil), items...))
+			mu.Unlock()
+			return nil
+		},
+		Finish: func(wire.Key, error) (bool, uint64) { return false, 0 },
+		Redo:   func(wire.Key, []string, uint64) {},
+	})
+	defer c.Close()
+
+	c.Schedule(wire.Key{Owner: 99, Index: 1}, nil) // occupies the worker
+	<-started
+	const total = 3*maxCleanBatch + 5
+	for i := uint64(1); i <= total; i++ {
+		c.Schedule(wire.Key{Owner: 7, Index: i}, nil)
+	}
+	close(block)
+	if !c.Drain(10 * time.Second) {
+		t.Fatal("cleaner did not drain")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	got := 0
+	for _, b := range batches {
+		if len(b) > maxCleanBatch {
+			t.Fatalf("batch of %d exceeds cap %d", len(b), maxCleanBatch)
+		}
+		got += len(b)
+	}
+	if got != total {
+		t.Fatalf("delivered %d cleans across batches, want %d", got, total)
+	}
+}
+
+func TestCleanerRoundRobinAcrossOwners(t *testing.T) {
+	// A huge queue for one owner must not starve another owner's single
+	// clean: with both queued, the busy owner's first capped round is
+	// followed by the other owner's turn before the busy owner's second.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var mu sync.Mutex
+	var turns []wire.SpaceID
+	seq := uint64(0)
+	c := NewCleaner(CleanerConfig{
+		Begin: func(k wire.Key) (uint64, []string, bool) {
+			seq++
+			return seq, []string{"inmem:o"}, true
+		},
+		Send: func(k wire.Key, eps []string, s uint64, strong bool) error {
+			if k.Owner == 99 {
+				select {
+				case <-started:
+				default:
+					close(started)
+				}
+				<-block
+				return nil
+			}
+			mu.Lock()
+			turns = append(turns, k.Owner)
+			mu.Unlock()
+			return nil
+		},
+		SendBatch: func(owner wire.SpaceID, eps []string, items []CleanItem) error {
+			mu.Lock()
+			turns = append(turns, owner)
+			mu.Unlock()
+			return nil
+		},
+		Finish: func(wire.Key, error) (bool, uint64) { return false, 0 },
+		Redo:   func(wire.Key, []string, uint64) {},
+	})
+	defer c.Close()
+
+	c.Schedule(wire.Key{Owner: 99, Index: 1}, nil) // occupies the worker
+	<-started
+	busy, quiet := wire.SpaceID(7), wire.SpaceID(8)
+	for i := uint64(1); i <= 2*maxCleanBatch; i++ {
+		c.Schedule(wire.Key{Owner: busy, Index: i}, nil)
+	}
+	c.Schedule(wire.Key{Owner: quiet, Index: 1}, nil)
+	close(block)
+	if !c.Drain(10 * time.Second) {
+		t.Fatal("cleaner did not drain")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(turns) != 3 {
+		t.Fatalf("turns: %v, want busy, quiet, busy", turns)
+	}
+	if turns[0] != busy || turns[1] != quiet || turns[2] != busy {
+		t.Fatalf("rotation order: %v, want [%v %v %v]", turns, busy, quiet, busy)
+	}
+}

@@ -11,9 +11,17 @@
 // state ("clean call in transit, reference wanted again") that the
 // formalisation showed is required for correctness.
 //
+// Both tables are striped across a power-of-two number of shards so that
+// a space holding millions of live objects under hundreds of concurrent
+// callers never funnels every call through one mutex. Each entry lives
+// wholly inside one shard — the export table allocates indices per shard
+// with a stride equal to the shard count, so an object's identity slot
+// (byObj) and its index slot (byIndex) are always guarded by the same
+// lock — which keeps every state transition the same atomic critical
+// section the formal rules require, just striped.
+//
 // The package is pure bookkeeping: it performs no I/O and holds no locks
-// while the runtime is on the network, which keeps every state transition
-// an atomic critical section exactly as the formal rules require.
+// while the runtime is on the network.
 package objtable
 
 import (
@@ -23,10 +31,16 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"netobjects/internal/obs"
 	"netobjects/internal/wire"
 )
+
+// DefaultShards is the shard count tables are created with. Power of two;
+// sized so that 256 concurrent callers rarely collide on a shard while
+// the per-space footprint stays trivial (two small maps per shard).
+const DefaultShards = 128
 
 // Export table errors.
 var (
@@ -39,6 +53,32 @@ var (
 	// ErrIndexInUse reports an ExportAt collision on a well-known index.
 	ErrIndexInUse = errors.New("objtable: index already in use")
 )
+
+// normShards clamps a shard count to a power of two, defaulting when
+// non-positive. A count of 1 is a valid (unsharded) configuration, used
+// by benchmarks as the contention baseline.
+func normShards(n int) int {
+	if n <= 0 {
+		return DefaultShards
+	}
+	p := 1
+	for p < n && p < 1<<16 {
+		p <<= 1
+	}
+	return p
+}
+
+// objHash distributes an exportable object's identity word across shards.
+// Exportable kinds (pointer, chan, map, unsafe pointer) all carry their
+// identity as a single pointer word; a Fibonacci multiply spreads the
+// allocator's alignment patterns across the shard space.
+func objHash(obj any) uint64 {
+	h := uint64(reflect.ValueOf(obj).Pointer())
+	h ^= h >> 33
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return h
+}
 
 // ExportEntry is the owner-side record for one exported object.
 // All mutation goes through Exports methods; an entry obtained from
@@ -72,26 +112,76 @@ type clientInfo struct {
 	endpoints []string
 }
 
-// Exports is the export table of one space. The zero value is not usable;
-// construct with NewExports. Exports is safe for concurrent use.
-type Exports struct {
+// exportShard is one stripe of the table: a slice of the index space
+// (indices congruent to the shard's position, modulo the shard count)
+// plus the identity map for the objects whose entries live here.
+type exportShard struct {
 	mu      sync.Mutex
 	next    uint64
 	byIndex map[uint64]*ExportEntry
 	byObj   map[any]uint64
+}
 
-	// OnWithdraw, if non-nil, is called (without the table lock) after an
+// Exports is the export table of one space. The zero value is not usable;
+// construct with NewExports. Exports is safe for concurrent use.
+type Exports struct {
+	shards []exportShard
+	mask   uint64
+
+	// contention counts lock acquisitions that found their shard already
+	// held — the signal that the shard count is too low for the load.
+	contention atomic.Uint64
+
+	// OnWithdraw, if non-nil, is called (without any shard lock) after an
 	// entry is removed from the table because its dirty set emptied. The
 	// runtime uses it for tracing; tests use it to observe collection.
 	OnWithdraw func(index uint64, obj any)
 }
 
-// NewExports returns an empty export table.
-func NewExports() *Exports {
-	return &Exports{
-		next:    wire.FirstUserIndex,
-		byIndex: make(map[uint64]*ExportEntry),
-		byObj:   make(map[any]uint64),
+// NewExports returns an empty export table with the default shard count.
+func NewExports() *Exports { return NewExportsSharded(DefaultShards) }
+
+// NewExportsSharded returns an empty export table striped across n shards
+// (rounded up to a power of two; n <= 1 yields a single-shard table, the
+// benchmark baseline).
+func NewExportsSharded(n int) *Exports {
+	n = normShards(n)
+	e := &Exports{shards: make([]exportShard, n), mask: uint64(n - 1)}
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.byIndex = make(map[uint64]*ExportEntry)
+		s.byObj = make(map[any]uint64)
+		// The smallest index >= FirstUserIndex congruent to i (mod n), so
+		// every index this shard allocates hashes back to it.
+		s.next = uint64(i)
+		for s.next < wire.FirstUserIndex {
+			s.next += uint64(n)
+		}
+	}
+	return e
+}
+
+// ShardCount reports the table's shard count.
+func (e *Exports) ShardCount() int { return len(e.shards) }
+
+// Contention reports how many lock acquisitions found their shard busy.
+func (e *Exports) Contention() uint64 { return e.contention.Load() }
+
+// shardForIndex returns the shard guarding index.
+func (e *Exports) shardForIndex(index uint64) *exportShard {
+	return &e.shards[index&e.mask]
+}
+
+// shardForObj returns the shard a fresh export of obj would live in.
+func (e *Exports) shardForObj(obj any) *exportShard {
+	return &e.shards[objHash(obj)&e.mask]
+}
+
+// lock acquires a shard, counting the acquisitions that had to wait.
+func (e *Exports) lock(s *exportShard) {
+	if !s.mu.TryLock() {
+		e.contention.Add(1)
+		s.mu.Lock()
 	}
 }
 
@@ -117,25 +207,36 @@ func (e *Exports) Export(obj any, fingerprints []uint64) (uint64, error) {
 	if !exportable(obj) {
 		return 0, fmt.Errorf("%w: %T", ErrNotExportable, obj)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if ix, ok := e.byObj[obj]; ok {
+	s := e.shardForObj(obj)
+	e.lock(s)
+	defer s.mu.Unlock()
+	if ix, ok := s.byObj[obj]; ok {
 		return ix, nil
 	}
-	ix := e.next
-	e.next++
-	e.byIndex[ix] = &ExportEntry{
+	ix := s.next
+	for {
+		// Skip over indices claimed by ExportAt (well-known slots may land
+		// anywhere in the index space).
+		if _, taken := s.byIndex[ix]; !taken {
+			break
+		}
+		ix += uint64(len(e.shards))
+	}
+	s.next = ix + uint64(len(e.shards))
+	s.byIndex[ix] = &ExportEntry{
 		Index:        ix,
 		Obj:          obj,
 		Fingerprints: fingerprints,
 		clients:      make(map[wire.SpaceID]*clientInfo),
 	}
-	e.byObj[obj] = ix
+	s.byObj[obj] = ix
 	return ix, nil
 }
 
 // ExportAt places obj at a specific well-known index and pins it there.
-// It is how the bootstrap agent claims wire.AgentIndex.
+// It is how the bootstrap agent claims wire.AgentIndex. A pinned entry is
+// never withdrawn, so — uniquely — its identity slot may live in a
+// different shard from its index slot; the two inserts are sequential.
 func (e *Exports) ExportAt(obj any, index uint64, fingerprints []uint64) error {
 	if !exportable(obj) {
 		return fmt.Errorf("%w: %T", ErrNotExportable, obj)
@@ -143,22 +244,34 @@ func (e *Exports) ExportAt(obj any, index uint64, fingerprints []uint64) error {
 	if index == wire.InvalidIndex {
 		return fmt.Errorf("objtable: cannot export at the invalid index")
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, ok := e.byIndex[index]; ok {
-		return fmt.Errorf("%w: %d", ErrIndexInUse, index)
-	}
-	if _, ok := e.byObj[obj]; ok {
+	objShard := e.shardForObj(obj)
+	e.lock(objShard)
+	if _, ok := objShard.byObj[obj]; ok {
+		objShard.mu.Unlock()
 		return fmt.Errorf("objtable: object already exported")
 	}
-	e.byIndex[index] = &ExportEntry{
+	// Reserve the identity slot first so a concurrent Export of the same
+	// object cannot race past; roll it back if the index is taken.
+	objShard.byObj[obj] = index
+	objShard.mu.Unlock()
+
+	ixShard := e.shardForIndex(index)
+	e.lock(ixShard)
+	if _, ok := ixShard.byIndex[index]; ok {
+		ixShard.mu.Unlock()
+		e.lock(objShard)
+		delete(objShard.byObj, obj)
+		objShard.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrIndexInUse, index)
+	}
+	ixShard.byIndex[index] = &ExportEntry{
 		Index:        index,
 		Obj:          obj,
 		Fingerprints: fingerprints,
 		Pinned:       true,
 		clients:      make(map[wire.SpaceID]*clientInfo),
 	}
-	e.byObj[obj] = index
+	ixShard.mu.Unlock()
 	return nil
 }
 
@@ -176,17 +289,22 @@ func (ent *ExportEntry) AcceptsFingerprint(fp uint64) bool {
 // Lookup returns the entry at index. The returned entry must be treated as
 // read-only.
 func (e *Exports) Lookup(index uint64) (*ExportEntry, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	ent, ok := e.byIndex[index]
+	s := e.shardForIndex(index)
+	e.lock(s)
+	ent, ok := s.byIndex[index]
+	s.mu.Unlock()
 	return ent, ok
 }
 
 // IndexOf returns the index obj is currently exported at, if any.
 func (e *Exports) IndexOf(obj any) (uint64, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	ix, ok := e.byObj[obj]
+	if !exportable(obj) {
+		return 0, false
+	}
+	s := e.shardForObj(obj)
+	e.lock(s)
+	ix, ok := s.byObj[obj]
+	s.mu.Unlock()
 	return ix, ok
 }
 
@@ -194,9 +312,10 @@ func (e *Exports) IndexOf(obj any) (uint64, bool) {
 // index, provided seq exceeds the largest sequence number already seen
 // from that client. Stale calls are ignored without error, per the paper.
 func (e *Exports) Dirty(index uint64, client wire.SpaceID, seq uint64, endpoints []string) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	ent, ok := e.byIndex[index]
+	s := e.shardForIndex(index)
+	e.lock(s)
+	defer s.mu.Unlock()
+	ent, ok := s.byIndex[index]
 	if !ok {
 		return fmt.Errorf("%w: index %d", ErrNoSuchObject, index)
 	}
@@ -219,13 +338,13 @@ func (e *Exports) Dirty(index uint64, client wire.SpaceID, seq uint64, endpoints
 // Clean applies a clean call: client leaves the dirty set if seq exceeds
 // the largest sequence number seen. Cleans for unknown objects or clients
 // are no-ops, as the paper specifies ("if it is not in the set, the clean
-// call is a no-op"). It returns the objects withdrawn from the table as a
-// result, already removed; the caller reports them via OnWithdraw.
+// call is a no-op"). Withdrawn objects are reported via OnWithdraw.
 func (e *Exports) Clean(index uint64, client wire.SpaceID, seq uint64, strong bool) {
-	e.mu.Lock()
-	ent, ok := e.byIndex[index]
+	s := e.shardForIndex(index)
+	e.lock(s)
+	ent, ok := s.byIndex[index]
 	if !ok {
-		e.mu.Unlock()
+		s.mu.Unlock()
 		return
 	}
 	ci := ent.clients[client]
@@ -235,7 +354,7 @@ func (e *Exports) Clean(index uint64, client wire.SpaceID, seq uint64, strong bo
 		if strong {
 			ent.clients[client] = &clientInfo{lastSeq: seq}
 		}
-		e.mu.Unlock()
+		s.mu.Unlock()
 		return
 	}
 	// The sequence rule applies to strong cleans too: a strong clean that
@@ -244,13 +363,13 @@ func (e *Exports) Clean(index uint64, client wire.SpaceID, seq uint64, strong bo
 	// clients above, where a tombstone must be left for the dirty call
 	// the strong clean cancels.
 	if seq <= ci.lastSeq {
-		e.mu.Unlock()
+		s.mu.Unlock()
 		return
 	}
 	ci.lastSeq = seq
 	ci.inSet = false
-	withdrawn := e.maybeWithdrawLocked(ent)
-	e.mu.Unlock()
+	withdrawn := e.maybeWithdrawLocked(s, ent)
+	s.mu.Unlock()
 	if withdrawn != nil && e.OnWithdraw != nil {
 		e.OnWithdraw(withdrawn.Index, withdrawn.Obj)
 	}
@@ -259,9 +378,10 @@ func (e *Exports) Clean(index uint64, client wire.SpaceID, seq uint64, strong bo
 // Pin adds a transient dirty entry: the object at index must survive while
 // a reference to it is in transit. Pins nest.
 func (e *Exports) Pin(index uint64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	ent, ok := e.byIndex[index]
+	s := e.shardForIndex(index)
+	e.lock(s)
+	defer s.mu.Unlock()
+	ent, ok := s.byIndex[index]
 	if !ok {
 		return fmt.Errorf("%w: index %d", ErrNoSuchObject, index)
 	}
@@ -272,26 +392,29 @@ func (e *Exports) Pin(index uint64) error {
 // Unpin removes a transient dirty entry, withdrawing the object if that
 // leaves it unreferenced.
 func (e *Exports) Unpin(index uint64) {
-	e.mu.Lock()
-	ent, ok := e.byIndex[index]
+	s := e.shardForIndex(index)
+	e.lock(s)
+	ent, ok := s.byIndex[index]
 	if !ok {
-		e.mu.Unlock()
+		s.mu.Unlock()
 		return
 	}
 	if ent.pins > 0 {
 		ent.pins--
 	}
-	withdrawn := e.maybeWithdrawLocked(ent)
-	e.mu.Unlock()
+	withdrawn := e.maybeWithdrawLocked(s, ent)
+	s.mu.Unlock()
 	if withdrawn != nil && e.OnWithdraw != nil {
 		e.OnWithdraw(withdrawn.Index, withdrawn.Obj)
 	}
 }
 
-// maybeWithdrawLocked removes ent from the table if nothing references it:
+// maybeWithdrawLocked removes ent from its shard if nothing references it:
 // no dirty-set member, no transient pin, not a pinned well-known object.
-// It returns the entry if it was withdrawn.
-func (e *Exports) maybeWithdrawLocked(ent *ExportEntry) *ExportEntry {
+// It returns the entry if it was withdrawn. The caller holds s.mu; every
+// non-pinned entry's byIndex and byObj slots live in the same shard, so
+// the removal is one critical section.
+func (e *Exports) maybeWithdrawLocked(s *exportShard, ent *ExportEntry) *ExportEntry {
 	if ent.Pinned || ent.pins > 0 {
 		return nil
 	}
@@ -300,8 +423,8 @@ func (e *Exports) maybeWithdrawLocked(ent *ExportEntry) *ExportEntry {
 			return nil
 		}
 	}
-	delete(e.byIndex, ent.Index)
-	delete(e.byObj, ent.Obj)
+	delete(s.byIndex, ent.Index)
+	delete(s.byObj, ent.Obj)
 	return ent
 }
 
@@ -310,16 +433,20 @@ func (e *Exports) maybeWithdrawLocked(ent *ExportEntry) *ExportEntry {
 // is normally acted on at clean/unpin transitions; Sweep is the
 // local-collector integration point for entries that never made those
 // transitions (exported but never imported) — the "object table cleanup"
-// of the paper.
+// of the paper. Shards are swept one at a time; the table is never
+// globally locked.
 func (e *Exports) Sweep() []uint64 {
-	e.mu.Lock()
 	var withdrawn []*ExportEntry
-	for _, ent := range e.byIndex {
-		if w := e.maybeWithdrawLocked(ent); w != nil {
-			withdrawn = append(withdrawn, w)
+	for i := range e.shards {
+		s := &e.shards[i]
+		e.lock(s)
+		for _, ent := range s.byIndex {
+			if w := e.maybeWithdrawLocked(s, ent); w != nil {
+				withdrawn = append(withdrawn, w)
+			}
 		}
+		s.mu.Unlock()
 	}
-	e.mu.Unlock()
 	ixs := make([]uint64, 0, len(withdrawn))
 	for _, w := range withdrawn {
 		ixs = append(ixs, w.Index)
@@ -334,18 +461,21 @@ func (e *Exports) Sweep() []uint64 {
 // a client it believes has terminated — and returns the indices withdrawn
 // as a result.
 func (e *Exports) DropClient(client wire.SpaceID) []uint64 {
-	e.mu.Lock()
 	var withdrawn []*ExportEntry
-	for _, ent := range e.byIndex {
-		if _, ok := ent.clients[client]; !ok {
-			continue
+	for i := range e.shards {
+		s := &e.shards[i]
+		e.lock(s)
+		for _, ent := range s.byIndex {
+			if _, ok := ent.clients[client]; !ok {
+				continue
+			}
+			delete(ent.clients, client)
+			if w := e.maybeWithdrawLocked(s, ent); w != nil {
+				withdrawn = append(withdrawn, w)
+			}
 		}
-		delete(ent.clients, client)
-		if w := e.maybeWithdrawLocked(ent); w != nil {
-			withdrawn = append(withdrawn, w)
-		}
+		s.mu.Unlock()
 	}
-	e.mu.Unlock()
 	ixs := make([]uint64, 0, len(withdrawn))
 	for _, w := range withdrawn {
 		ixs = append(ixs, w.Index)
@@ -359,15 +489,18 @@ func (e *Exports) DropClient(client wire.SpaceID) []uint64 {
 // Clients snapshots every client currently in some dirty set, with the
 // endpoints it can be pinged at. The ping daemon drives on this.
 func (e *Exports) Clients() map[wire.SpaceID][]string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	out := make(map[wire.SpaceID][]string)
-	for _, ent := range e.byIndex {
-		for id, ci := range ent.clients {
-			if ci.inSet && out[id] == nil {
-				out[id] = ci.endpoints
+	for i := range e.shards {
+		s := &e.shards[i]
+		e.lock(s)
+		for _, ent := range s.byIndex {
+			for id, ci := range ent.clients {
+				if ci.inSet && out[id] == nil {
+					out[id] = ci.endpoints
+				}
 			}
 		}
+		s.mu.Unlock()
 	}
 	return out
 }
@@ -375,9 +508,10 @@ func (e *Exports) Clients() map[wire.SpaceID][]string {
 // HoldsDirty reports whether client is in the dirty set of the object at
 // index; exposed for tests and the benchmark harness.
 func (e *Exports) HoldsDirty(index uint64, client wire.SpaceID) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	ent, ok := e.byIndex[index]
+	s := e.shardForIndex(index)
+	e.lock(s)
+	defer s.mu.Unlock()
+	ent, ok := s.byIndex[index]
 	if !ok {
 		return false
 	}
@@ -387,54 +521,65 @@ func (e *Exports) HoldsDirty(index uint64, client wire.SpaceID) bool {
 
 // DebugDump renders the table state for tests and troubleshooting.
 func (e *Exports) DebugDump() string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	var b strings.Builder
-	for ix, ent := range e.byIndex {
-		fmt.Fprintf(&b, "ix=%d obj=%T pins=%d pinned=%v members=[", ix, ent.Obj, ent.pins, ent.Pinned)
-		for id, ci := range ent.clients {
-			if ci.inSet {
-				fmt.Fprintf(&b, "%v ", id)
+	for i := range e.shards {
+		s := &e.shards[i]
+		e.lock(s)
+		for ix, ent := range s.byIndex {
+			fmt.Fprintf(&b, "ix=%d obj=%T pins=%d pinned=%v members=[", ix, ent.Obj, ent.pins, ent.Pinned)
+			for id, ci := range ent.clients {
+				if ci.inSet {
+					fmt.Fprintf(&b, "%v ", id)
+				}
 			}
+			b.WriteString("]\n")
 		}
-		b.WriteString("]\n")
+		s.mu.Unlock()
 	}
 	return b.String()
 }
 
 // Len reports the number of live export entries.
 func (e *Exports) Len() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.byIndex)
+	n := 0
+	for i := range e.shards {
+		s := &e.shards[i]
+		e.lock(s)
+		n += len(s.byIndex)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Snapshot dumps the table for the live debug page, sorted by index, with
 // each entry's dirty-set members sorted by client id.
 func (e *Exports) Snapshot() []obs.ExportInfo {
-	e.mu.Lock()
-	out := make([]obs.ExportInfo, 0, len(e.byIndex))
-	for _, ent := range e.byIndex {
-		info := obs.ExportInfo{
-			Index:  ent.Index,
-			Type:   fmt.Sprintf("%T", ent.Obj),
-			Pinned: ent.Pinned,
-			Pins:   ent.pins,
-		}
-		for id, ci := range ent.clients {
-			if !ci.inSet {
-				continue
+	var out []obs.ExportInfo
+	for i := range e.shards {
+		s := &e.shards[i]
+		e.lock(s)
+		for _, ent := range s.byIndex {
+			info := obs.ExportInfo{
+				Index:  ent.Index,
+				Type:   fmt.Sprintf("%T", ent.Obj),
+				Pinned: ent.Pinned,
+				Pins:   ent.pins,
 			}
-			info.Dirty = append(info.Dirty, obs.DirtyInfo{
-				Client:    id.String(),
-				Seq:       ci.lastSeq,
-				Endpoints: append([]string(nil), ci.endpoints...),
-			})
+			for id, ci := range ent.clients {
+				if !ci.inSet {
+					continue
+				}
+				info.Dirty = append(info.Dirty, obs.DirtyInfo{
+					Client:    id.String(),
+					Seq:       ci.lastSeq,
+					Endpoints: append([]string(nil), ci.endpoints...),
+				})
+			}
+			sort.Slice(info.Dirty, func(i, j int) bool { return info.Dirty[i].Client < info.Dirty[j].Client })
+			out = append(out, info)
 		}
-		sort.Slice(info.Dirty, func(i, j int) bool { return info.Dirty[i].Client < info.Dirty[j].Client })
-		out = append(out, info)
+		s.mu.Unlock()
 	}
-	e.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
 	return out
 }

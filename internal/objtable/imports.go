@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"netobjects/internal/obs"
 	"netobjects/internal/wire"
@@ -85,7 +86,7 @@ var (
 )
 
 // ImportEntry is the client-side record for one remote reference.
-// All fields are guarded by the owning Imports table.
+// All fields are guarded by the entry's shard in the owning Imports table.
 type ImportEntry struct {
 	Key       wire.Key
 	Endpoints []string
@@ -99,9 +100,10 @@ type ImportEntry struct {
 	err         error
 }
 
-// Imports is the import (surrogate) table of one space. Construct with
-// NewImports; safe for concurrent use.
-type Imports struct {
+// importShard is one stripe of the import table. Each key lives wholly in
+// one shard; the shard's condition variable carries the state-change
+// broadcasts for the keys it guards.
+type importShard struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	entries map[wire.Key]*ImportEntry
@@ -111,41 +113,89 @@ type Imports struct {
 	lastSeq map[wire.Key]uint64
 }
 
-// NewImports returns an empty import table.
-func NewImports() *Imports {
-	im := &Imports{
-		entries: make(map[wire.Key]*ImportEntry),
-		lastSeq: make(map[wire.Key]uint64),
+// Imports is the import (surrogate) table of one space. Construct with
+// NewImports; safe for concurrent use.
+type Imports struct {
+	shards []importShard
+	mask   uint64
+
+	// contention counts lock acquisitions that found their shard held.
+	contention atomic.Uint64
+}
+
+// NewImports returns an empty import table with the default shard count.
+func NewImports() *Imports { return NewImportsSharded(DefaultShards) }
+
+// NewImportsSharded returns an empty import table striped across n shards
+// (rounded up to a power of two; n <= 1 yields a single-shard table).
+func NewImportsSharded(n int) *Imports {
+	n = normShards(n)
+	im := &Imports{shards: make([]importShard, n), mask: uint64(n - 1)}
+	for i := range im.shards {
+		s := &im.shards[i]
+		s.entries = make(map[wire.Key]*ImportEntry)
+		s.lastSeq = make(map[wire.Key]uint64)
+		s.cond = sync.NewCond(&s.mu)
 	}
-	im.cond = sync.NewCond(&im.mu)
 	return im
 }
 
+// ShardCount reports the table's shard count.
+func (im *Imports) ShardCount() int { return len(im.shards) }
+
+// Contention reports how many lock acquisitions found their shard busy.
+func (im *Imports) Contention() uint64 { return im.contention.Load() }
+
+// keyHash spreads keys across shards: indices are sequential per owner,
+// so both halves feed the mix.
+func keyHash(k wire.Key) uint64 {
+	h := k.Index ^ (uint64(k.Owner) * 0xC2B2AE3D27D4EB4F)
+	h ^= h >> 33
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return h
+}
+
+// shardFor returns the shard guarding key.
+func (im *Imports) shardFor(key wire.Key) *importShard {
+	return &im.shards[keyHash(key)&im.mask]
+}
+
+// lock acquires a shard, counting the acquisitions that had to wait.
+func (im *Imports) lock(s *importShard) {
+	if !s.mu.TryLock() {
+		im.contention.Add(1)
+		s.mu.Lock()
+	}
+}
+
 // nextSeqLocked allocates the next dirty/clean sequence number for key.
-func (im *Imports) nextSeqLocked(key wire.Key) uint64 {
-	im.lastSeq[key]++
-	return im.lastSeq[key]
+func (s *importShard) nextSeqLocked(key wire.Key) uint64 {
+	s.lastSeq[key]++
+	return s.lastSeq[key]
 }
 
 // NextSeq allocates a sequence number outside any entry lifecycle; the
 // runtime uses it for strong cleans after a failed dirty call.
 func (im *Imports) NextSeq(key wire.Key) uint64 {
-	im.mu.Lock()
-	defer im.mu.Unlock()
-	return im.nextSeqLocked(key)
+	s := im.shardFor(key)
+	im.lock(s)
+	defer s.mu.Unlock()
+	return s.nextSeqLocked(key)
 }
 
 // Acquire is the receive_copy transition: a wireRep for key has arrived.
 // It returns the entry and the action the caller must take. For
 // ActionRegister the returned seq is the dirty call's sequence number.
 func (im *Imports) Acquire(key wire.Key, endpoints []string) (ent *ImportEntry, act Action, seq uint64) {
-	im.mu.Lock()
-	defer im.mu.Unlock()
-	e, ok := im.entries[key]
+	s := im.shardFor(key)
+	im.lock(s)
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
 	if !ok {
 		e = &ImportEntry{Key: key, Endpoints: endpoints, state: StateNil}
-		im.entries[key] = e
-		return e, ActionRegister, im.nextSeqLocked(key)
+		s.entries[key] = e
+		return e, ActionRegister, s.nextSeqLocked(key)
 	}
 	if len(endpoints) > 0 {
 		e.Endpoints = endpoints
@@ -175,23 +225,24 @@ func (im *Imports) Acquire(key wire.Key, endpoints []string) (ent *ImportEntry, 
 // waiter gets the error). On failure the caller must schedule a strong
 // clean using NextSeq.
 func (im *Imports) FinishRegister(key wire.Key, surrogate any, err error) (gen uint64) {
-	im.mu.Lock()
-	defer im.mu.Unlock()
-	e, ok := im.entries[key]
+	s := im.shardFor(key)
+	im.lock(s)
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
 	if !ok {
 		return 0
 	}
 	if err != nil {
 		e.dead = true
 		e.err = fmt.Errorf("%w: %v", ErrRegistration, err)
-		delete(im.entries, key)
+		delete(s.entries, key)
 	} else {
 		e.state = StateOK
 		e.surrogate = surrogate
 		e.gen++
 		gen = e.gen
 	}
-	im.cond.Broadcast()
+	s.cond.Broadcast()
 	return gen
 }
 
@@ -203,9 +254,10 @@ func (im *Imports) FinishRegister(key wire.Key, surrogate any, err error) (gen u
 // refs): the generation ties each surrogate incarnation to its cleanup,
 // so a stale cleanup cannot release a successor.
 func (im *Imports) UseOrRebind(key wire.Key, revive func(old any) (replacement any)) (s any, gen uint64, err error) {
-	im.mu.Lock()
-	defer im.mu.Unlock()
-	e, ok := im.entries[key]
+	sh := im.shardFor(key)
+	im.lock(sh)
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[key]
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: %v", ErrReleased, key)
 	}
@@ -234,9 +286,10 @@ func (im *Imports) UseOrRebind(key wire.Key, revive func(old any) (replacement a
 // Finalizer-driven cleanups use it so that a cleanup for a collected
 // surrogate cannot release a rebound successor.
 func (im *Imports) ReleaseGen(key wire.Key, gen uint64) (needClean bool) {
-	im.mu.Lock()
-	defer im.mu.Unlock()
-	e, ok := im.entries[key]
+	s := im.shardFor(key)
+	im.lock(s)
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
 	if !ok || e.gen != gen || e.state != StateOK {
 		return false
 	}
@@ -251,8 +304,9 @@ func (im *Imports) ReleaseGen(key wire.Key, gen uint64) (needClean bool) {
 // Wait blocks until ent becomes usable or dies, returning the surrogate or
 // the terminal error.
 func (im *Imports) Wait(ent *ImportEntry) (any, error) {
-	im.mu.Lock()
-	defer im.mu.Unlock()
+	s := im.shardFor(ent.Key)
+	im.lock(s)
+	defer s.mu.Unlock()
 	for {
 		if ent.dead {
 			return nil, ent.err
@@ -260,16 +314,17 @@ func (im *Imports) Wait(ent *ImportEntry) (any, error) {
 		if ent.state == StateOK || ent.state == StateOKQueued {
 			return ent.surrogate, nil
 		}
-		im.cond.Wait()
+		s.cond.Wait()
 	}
 }
 
 // Use returns the surrogate for key if it is currently usable; calls
 // through released or in-flight references fail.
 func (im *Imports) Use(key wire.Key) (any, error) {
-	im.mu.Lock()
-	defer im.mu.Unlock()
-	e, ok := im.entries[key]
+	s := im.shardFor(key)
+	im.lock(s)
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrReleased, key)
 	}
@@ -286,9 +341,10 @@ func (im *Imports) Use(key wire.Key) (any, error) {
 // Pin marks the reference in transit (a transient dirty entry on the
 // sending side): Release is deferred until every pin is dropped.
 func (im *Imports) Pin(key wire.Key) error {
-	im.mu.Lock()
-	defer im.mu.Unlock()
-	e, ok := im.entries[key]
+	s := im.shardFor(key)
+	im.lock(s)
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
 	if !ok || e.state != StateOK {
 		return fmt.Errorf("%w: cannot pin %v", ErrNotUsable, key)
 	}
@@ -299,9 +355,10 @@ func (im *Imports) Pin(key wire.Key) error {
 // Unpin drops a transient pin. It reports whether a deferred release is
 // now due, in which case the caller must enqueue a clean call.
 func (im *Imports) Unpin(key wire.Key) (needClean bool) {
-	im.mu.Lock()
-	defer im.mu.Unlock()
-	e, ok := im.entries[key]
+	s := im.shardFor(key)
+	im.lock(s)
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
 	if !ok {
 		return false
 	}
@@ -321,9 +378,10 @@ func (im *Imports) Unpin(key wire.Key) (needClean bool) {
 // defers the release to the final Unpin, and releasing a non-usable
 // reference is a no-op.
 func (im *Imports) Release(key wire.Key) (needClean bool) {
-	im.mu.Lock()
-	defer im.mu.Unlock()
-	e, ok := im.entries[key]
+	s := im.shardFor(key)
+	im.lock(s)
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
 	if !ok || e.state != StateOK {
 		return false
 	}
@@ -340,14 +398,15 @@ func (im *Imports) Release(key wire.Key) (needClean bool) {
 // endpoints for the clean message, or ok=false if the entry was
 // resurrected (or died) since it was queued and the clean must be skipped.
 func (im *Imports) BeginClean(key wire.Key) (seq uint64, endpoints []string, ok bool) {
-	im.mu.Lock()
-	defer im.mu.Unlock()
-	e, present := im.entries[key]
+	s := im.shardFor(key)
+	im.lock(s)
+	defer s.mu.Unlock()
+	e, present := s.entries[key]
 	if !present || e.state != StateOKQueued {
 		return 0, nil, false
 	}
 	e.state = StateCcit
-	return im.nextSeqLocked(key), e.Endpoints, true
+	return s.nextSeqLocked(key), e.Endpoints, true
 }
 
 // FinishClean is the receive_clean_ack transition. With err == nil:
@@ -357,28 +416,29 @@ func (im *Imports) BeginClean(key wire.Key) (seq uint64, endpoints []string, ok 
 // A non-nil err (the clean was abandoned) kills the entry and wakes
 // waiters with the error.
 func (im *Imports) FinishClean(key wire.Key, err error) (redo bool, seq uint64) {
-	im.mu.Lock()
-	defer im.mu.Unlock()
-	e, ok := im.entries[key]
+	s := im.shardFor(key)
+	im.lock(s)
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
 	if !ok {
 		return false, 0
 	}
 	if err != nil {
 		e.dead = true
 		e.err = fmt.Errorf("%w: clean call abandoned: %v", ErrRegistration, err)
-		delete(im.entries, key)
-		im.cond.Broadcast()
+		delete(s.entries, key)
+		s.cond.Broadcast()
 		return false, 0
 	}
 	switch e.state {
 	case StateCcit:
-		delete(im.entries, key)
-		im.cond.Broadcast()
+		delete(s.entries, key)
+		s.cond.Broadcast()
 		return false, 0
 	case StateCcitNil:
 		e.state = StateNil
-		im.cond.Broadcast()
-		return true, im.nextSeqLocked(key)
+		s.cond.Broadcast()
+		return true, s.nextSeqLocked(key)
 	default:
 		// BeginClean put the entry in StateCcit; only receive_copy can
 		// move it (to StateCcitNil), so anything else is a logic error.
@@ -391,24 +451,26 @@ func (im *Imports) FinishClean(key wire.Key, err error) (redo bool, seq uint64) 
 // current state, waiters and future users get the error, and the caller
 // issues the strong clean.
 func (im *Imports) Kill(key wire.Key, err error) {
-	im.mu.Lock()
-	defer im.mu.Unlock()
-	e, ok := im.entries[key]
+	s := im.shardFor(key)
+	im.lock(s)
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
 	if !ok {
 		return
 	}
 	e.dead = true
 	e.err = fmt.Errorf("%w: %v", ErrRegistration, err)
-	delete(im.entries, key)
-	im.cond.Broadcast()
+	delete(s.entries, key)
+	s.cond.Broadcast()
 }
 
 // StateOf reports the current life-cycle state of key (StateNone when the
 // entry is absent). Exposed for tests, tracing and the gcdemo example.
 func (im *Imports) StateOf(key wire.Key) State {
-	im.mu.Lock()
-	defer im.mu.Unlock()
-	e, ok := im.entries[key]
+	s := im.shardFor(key)
+	im.lock(s)
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
 	if !ok {
 		return StateNone
 	}
@@ -417,22 +479,30 @@ func (im *Imports) StateOf(key wire.Key) State {
 
 // Len reports the number of live import entries.
 func (im *Imports) Len() int {
-	im.mu.Lock()
-	defer im.mu.Unlock()
-	return len(im.entries)
+	n := 0
+	for i := range im.shards {
+		s := &im.shards[i]
+		im.lock(s)
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // OwnersSnapshot returns, for every owner this space currently holds live
 // entries from, a set of endpoints it can be reached at. The lease
 // renewal daemon drives on it.
 func (im *Imports) OwnersSnapshot() map[wire.SpaceID][]string {
-	im.mu.Lock()
-	defer im.mu.Unlock()
 	out := make(map[wire.SpaceID][]string)
-	for k, e := range im.entries {
-		if _, ok := out[k.Owner]; !ok && len(e.Endpoints) > 0 {
-			out[k.Owner] = append([]string(nil), e.Endpoints...)
+	for i := range im.shards {
+		s := &im.shards[i]
+		im.lock(s)
+		for k, e := range s.entries {
+			if _, ok := out[k.Owner]; !ok && len(e.Endpoints) > 0 {
+				out[k.Owner] = append([]string(nil), e.Endpoints...)
+			}
 		}
+		s.mu.Unlock()
 	}
 	return out
 }
@@ -440,18 +510,21 @@ func (im *Imports) OwnersSnapshot() map[wire.SpaceID][]string {
 // Snapshot dumps the table for the live debug page, sorted by owner then
 // index.
 func (im *Imports) Snapshot() []obs.ImportInfo {
-	im.mu.Lock()
-	out := make([]obs.ImportInfo, 0, len(im.entries))
-	for k, e := range im.entries {
-		out = append(out, obs.ImportInfo{
-			Owner:     k.Owner.String(),
-			Index:     k.Index,
-			State:     e.state.String(),
-			Pins:      e.pins,
-			Endpoints: append([]string(nil), e.Endpoints...),
-		})
+	var out []obs.ImportInfo
+	for i := range im.shards {
+		s := &im.shards[i]
+		im.lock(s)
+		for k, e := range s.entries {
+			out = append(out, obs.ImportInfo{
+				Owner:     k.Owner.String(),
+				Index:     k.Index,
+				State:     e.state.String(),
+				Pins:      e.pins,
+				Endpoints: append([]string(nil), e.Endpoints...),
+			})
+		}
+		s.mu.Unlock()
 	}
-	im.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Owner != out[j].Owner {
 			return out[i].Owner < out[j].Owner
@@ -463,11 +536,14 @@ func (im *Imports) Snapshot() []obs.ImportInfo {
 
 // Keys snapshots the keys of all live entries.
 func (im *Imports) Keys() []wire.Key {
-	im.mu.Lock()
-	defer im.mu.Unlock()
-	keys := make([]wire.Key, 0, len(im.entries))
-	for k := range im.entries {
-		keys = append(keys, k)
+	var keys []wire.Key
+	for i := range im.shards {
+		s := &im.shards[i]
+		im.lock(s)
+		for k := range s.entries {
+			keys = append(keys, k)
+		}
+		s.mu.Unlock()
 	}
 	return keys
 }

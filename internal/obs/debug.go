@@ -25,8 +25,6 @@ type DebugData struct {
 	// Imports is the import table: one entry per surrogate this space
 	// holds.
 	Imports []ImportInfo
-	// Pool reports cached idle connections per endpoint.
-	Pool []PoolInfo
 	// Sessions reports the live multiplexed peer sessions: the cached
 	// outbound links plus the inbound links being served.
 	Sessions []SessionInfo
@@ -69,14 +67,6 @@ type ImportInfo struct {
 	Pins int
 	// Endpoints is where the owner can be reached.
 	Endpoints []string
-}
-
-// PoolInfo describes the idle cache for one endpoint.
-type PoolInfo struct {
-	// Endpoint is the dial target.
-	Endpoint string
-	// Idle is the number of cached idle connections.
-	Idle int
 }
 
 // SessionInfo describes one live multiplexed peer session.

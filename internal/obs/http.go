@@ -120,13 +120,6 @@ func (o *Observability) serveDebug(w http.ResponseWriter, _ *http.Request) {
 	}
 	fmt.Fprint(w, "</table>\n")
 
-	fmt.Fprintf(w, "<h2>connection pool (%d endpoints)</h2>\n", len(d.Pool))
-	fmt.Fprint(w, "<table><tr><th>endpoint</th><th>idle</th></tr>\n")
-	for _, p := range d.Pool {
-		fmt.Fprintf(w, "<tr><td>%s</td><td>%d</td></tr>\n", esc(p.Endpoint), p.Idle)
-	}
-	fmt.Fprint(w, "</table>\n")
-
 	fmt.Fprintf(w, "<h2>peer sessions (%d links)</h2>\n", len(d.Sessions))
 	fmt.Fprint(w, "<table><tr><th>peer</th><th>dir</th><th>in-flight</th>"+
 		"<th>queue</th><th>bytes sent</th><th>bytes recv</th>"+

@@ -268,7 +268,9 @@ func TestHandlerEndpoints(t *testing.T) {
 					Dirty: []DirtyInfo{{Client: "cafe", Seq: 3, Endpoints: []string{"tcp:127.0.0.1:2"}}},
 				}},
 				Imports: []ImportInfo{{Owner: "cafe", Index: 9, State: "OK", Pins: 0}},
-				Pool:    []PoolInfo{{Endpoint: "tcp:127.0.0.1:2", Idle: 2}},
+				Sessions: []SessionInfo{{
+					Endpoint: "tcp:127.0.0.1:2", Dir: "out", InFlight: 1, Flow: "on",
+				}},
 			}
 		},
 	}
@@ -308,7 +310,7 @@ func TestHandlerEndpoints(t *testing.T) {
 	debug := get("/debug/netobj")
 	for _, want := range []string{
 		"testspace", "export table", "import table", "dirty set",
-		"cafe (seq 3", "connection pool", "agent", "3 names bound",
+		"cafe (seq 3", "peer sessions", "agent", "3 names bound",
 		"recent events", "dirty.recv", "metrics digest",
 		"&lt;script&gt;", // HTML-escaped type name
 	} {

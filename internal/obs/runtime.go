@@ -59,11 +59,10 @@ type Metrics struct {
 	Withdrawn          *Counter
 	ClientsDropped     *Counter
 
-	// Transport: connection pool, session cache and wire volume.
+	// Transport: session cache and wire volume.
 	PoolHits     *Counter
 	PoolMisses   *Counter
 	PoolReaps    *Counter
-	PoolDiscards *Counter
 	PoolDialLate *Counter
 	DialLatency  *Histogram
 	BytesSent    *Counter
@@ -138,10 +137,9 @@ func NewMetrics() *Metrics {
 		Withdrawn:          r.Counter("netobj_withdrawn_total", "Exported objects withdrawn after their dirty set emptied."),
 		ClientsDropped:     r.Counter("netobj_clients_dropped_total", "Clients dropped by the liveness daemon."),
 
-		PoolHits:     r.Counter("netobj_pool_hits_total", "Calls served from a cached idle connection or live session."),
-		PoolMisses:   r.Counter("netobj_pool_misses_total", "Calls that had to dial a new connection."),
-		PoolReaps:    r.Counter("netobj_pool_reaps_total", "Idle connections reaped: idle TTL exceeded or peer found reset."),
-		PoolDiscards: r.Counter("netobj_pool_discards_total", "Connections discarded after a failed exchange."),
+		PoolHits:     r.Counter("netobj_pool_hits_total", "Calls served from a cached live session."),
+		PoolMisses:   r.Counter("netobj_pool_misses_total", "Calls that had to dial and establish a new session."),
+		PoolReaps:    r.Counter("netobj_pool_reaps_total", "Cached sessions discarded because the peer was found reset."),
 		PoolDialLate: r.Counter("netobj_pool_dial_late_total", "Dials that succeeded only after the caller's context expired; the connection is discarded, not counted as a miss."),
 		DialLatency:  r.Histogram("netobj_dial_latency_seconds", "Connection establishment latency."),
 		BytesSent:    r.Counter("netobj_bytes_sent_total", "Wire payload bytes sent."),

@@ -57,12 +57,12 @@ const (
 	EvWithdraw
 	// EvClientDropped: the liveness daemon declared a client dead.
 	EvClientDropped
-	// EvPoolHit: a call reused a cached idle connection.
+	// EvPoolHit: a call reused a cached live session.
 	EvPoolHit
-	// EvPoolMiss: a call dialed a new connection (Dur is dial latency).
+	// EvPoolMiss: a call established a new session (Dur is dial latency).
 	EvPoolMiss
-	// EvPoolReap: idle connections exceeded the TTL and were closed
-	// (N is how many).
+	// EvPoolReap: a cached session's peer was found reset and the
+	// session was discarded (N is how many).
 	EvPoolReap
 	// EvChaosFault: the fault-injection transport perturbed a message
 	// (Key is the fault kind, Method the message op, Peer the link).

@@ -112,22 +112,59 @@ func (p *Pickler) MarshalValues(buf []byte, vals []reflect.Value) ([]byte, error
 	return p.MarshalSession(buf, vals, nil)
 }
 
+// emptyTuple is the pickled form of zero values: a single zero-count
+// varint byte. Null calls (no arguments, no results) hit this constant
+// on both sides without touching the codec machinery.
+var emptyTuple = []byte{0}
+
+// encScratch bundles the per-pickle encoding state with its encoder so
+// one pool hit covers both; the sharing table is cleared, not
+// reallocated, between pickles.
+type encScratch struct {
+	st  encState
+	enc wire.Encoder
+}
+
+var encScratchPool = sync.Pool{New: func() any {
+	sc := new(encScratch)
+	sc.st.ptrID = make(map[ptrKey]uint64)
+	return sc
+}}
+
 // MarshalSession is MarshalValues with a session value made visible to the
 // NetRefs hook for every reference pickled.
 func (p *Pickler) MarshalSession(buf []byte, vals []reflect.Value, session any) ([]byte, error) {
-	e := wire.NewEncoder(buf)
-	st := &encState{p: p, e: e, ptrID: make(map[ptrKey]uint64), session: session}
-	e.Uint(uint64(len(vals)))
+	if len(vals) == 0 {
+		// The empty tuple is a constant; no encoder state needed.
+		return append(buf[:0], emptyTuple...), nil
+	}
+	sc := encScratchPool.Get().(*encScratch)
+	sc.enc.Reset(buf)
+	st := &sc.st
+	st.p, st.e, st.session = p, &sc.enc, session
+	st.nextID, st.depth = 0, 0
+	clear(st.ptrID)
+	sc.enc.Uint(uint64(len(vals)))
+	var err error
 	for _, v := range vals {
-		c, err := p.codecFor(v.Type())
-		if err != nil {
-			return nil, err
+		c, cerr := p.codecFor(v.Type())
+		if cerr != nil {
+			err = cerr
+			break
 		}
-		if err := c.enc(st, v); err != nil {
-			return nil, err
+		if err = c.enc(st, v); err != nil {
+			break
 		}
 	}
-	return e.Bytes(), nil
+	out := sc.enc.Bytes()
+	// Detach everything the caller or the next pickle must not share.
+	st.p, st.e, st.session = nil, nil, nil
+	sc.enc.Reset(nil)
+	encScratchPool.Put(sc)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Unmarshal decodes a pickle produced by Marshal into the pointed-to
@@ -189,11 +226,53 @@ func (p *Pickler) UnmarshalValues(data []byte, types []reflect.Type) ([]reflect.
 	return p.UnmarshalSession(data, types, nil)
 }
 
+// decScratch bundles the per-pickle decoding state with its decoder so
+// one pool hit covers both.
+type decScratch struct {
+	st  decState
+	dec wire.Decoder
+}
+
+var decScratchPool = sync.Pool{New: func() any { return new(decScratch) }}
+
+// release zeroes the retained references and returns the scratch to the
+// pool.
+func (sc *decScratch) release() {
+	st := &sc.st
+	for i := range st.shared {
+		st.shared[i] = reflect.Value{}
+	}
+	st.shared = st.shared[:0]
+	st.p, st.d, st.session = nil, nil, nil
+	st.depth = 0
+	sc.dec.Reset(nil)
+	decScratchPool.Put(sc)
+}
+
 // UnmarshalSession is UnmarshalValues with a session value made visible to
 // the NetRefs hook for every reference unpickled.
 func (p *Pickler) UnmarshalSession(data []byte, types []reflect.Type, session any) ([]reflect.Value, error) {
-	d := wire.NewDecoder(data)
-	st := &decState{p: p, d: d, session: session}
+	if len(types) == 0 {
+		// Null-tuple fast path: validate the count without codec state.
+		d := wire.NewDecoder(data)
+		n := d.Uint()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if n != 0 {
+			return nil, fmt.Errorf("%w: pickle holds %d values, want 0", ErrCorrupt, n)
+		}
+		if d.Len() != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, d.Len())
+		}
+		return nil, nil
+	}
+	sc := decScratchPool.Get().(*decScratch)
+	defer sc.release()
+	sc.dec.Reset(data)
+	d := &sc.dec
+	st := &sc.st
+	st.p, st.d, st.session = p, d, session
 	n := d.Uint()
 	if err := d.Err(); err != nil {
 		return nil, err
@@ -238,8 +317,16 @@ func (p *Pickler) MarshalAnySession(buf []byte, vals []any, session any) ([]byte
 // values. Network references decode to whatever the NetRefs hook produces
 // for the empty interface.
 func (p *Pickler) UnmarshalAnySession(data []byte, session any) ([]any, error) {
-	d := wire.NewDecoder(data)
-	st := &decState{p: p, d: d, session: session}
+	if len(data) == 1 && data[0] == 0 {
+		// The empty tuple; nothing to decode.
+		return nil, nil
+	}
+	sc := decScratchPool.Get().(*decScratch)
+	defer sc.release()
+	sc.dec.Reset(data)
+	d := &sc.dec
+	st := &sc.st
+	st.p, st.d, st.session = p, d, session
 	n := d.Uint()
 	if err := d.Err(); err != nil {
 		return nil, err

@@ -9,42 +9,14 @@ import (
 
 	"netobjects/internal/flow"
 	"netobjects/internal/obs"
-	"netobjects/internal/wire"
 )
 
-// DefaultMaxIdle is the per-endpoint idle connection cap used when a Pool
-// is constructed with a non-positive limit.
-const DefaultMaxIdle = 4
-
-// DefaultIdleTTL bounds how long an idle connection may sit in the cache
-// before it is reaped. A restarted peer leaves behind dead connections;
-// without a TTL the next call to it would fail on a stale socket before
-// re-dialing.
-const DefaultIdleTTL = 90 * time.Second
-
-// idleConn is one cached connection with the time it went idle.
-type idleConn struct {
-	c     Conn
-	since time.Time
-}
-
-// Pool is the per-peer connection layer. Its primary role today is a
-// session cache: Session returns the live multiplexed session for a peer,
-// dialing one connection on first use and sharing it among any number of
-// concurrent exchanges (see Session). The original checkout discipline —
-// Get a connection for the duration of one call, Put it back or Discard
-// it — is deprecated: it survives solely for transports that opt out of
-// multiplexing (CheckoutOnly), for Options.DisableMux A/B runs, and for
-// the srcrpc baseline, and is removed once those users fold away.
-//
-// Idle checkout connections older than the TTL are reaped lazily whenever
-// the pool is touched, so connections to peers that restarted do not
-// linger and fail the first call after the restart. Sessions need no TTL:
-// a dead session reports unhealthy and is redialed on the next call.
+// Pool is the per-peer session cache: Session returns the live multiplexed
+// session for a peer, dialing one connection on first use and sharing it
+// among any number of concurrent exchanges. Sessions need no idle TTL: a
+// dead session reports unhealthy and is redialed on the next call.
 type Pool struct {
-	reg     *Registry
-	maxIdle int
-	ttl     time.Duration
+	reg *Registry
 
 	metrics *obs.Metrics
 	tracer  obs.Tracer
@@ -55,7 +27,6 @@ type Pool struct {
 	batchWindow time.Duration
 
 	mu       sync.Mutex
-	idle     map[string][]idleConn
 	sessions map[string]*sessionSlot
 	closed   bool
 }
@@ -69,27 +40,12 @@ type sessionSlot struct {
 	ep string
 }
 
-// NewPool returns a pool dialing through reg, keeping at most maxIdle idle
-// connections per endpoint (DefaultMaxIdle if maxIdle <= 0) with the
-// default idle TTL.
-func NewPool(reg *Registry, maxIdle int) *Pool {
-	if maxIdle <= 0 {
-		maxIdle = DefaultMaxIdle
-	}
+// NewPool returns a session cache dialing through reg.
+func NewPool(reg *Registry) *Pool {
 	return &Pool{
 		reg:      reg,
-		maxIdle:  maxIdle,
-		ttl:      DefaultIdleTTL,
-		idle:     make(map[string][]idleConn),
 		sessions: make(map[string]*sessionSlot),
 	}
-}
-
-// SetIdleTTL overrides the idle TTL. Zero or negative disables reaping.
-func (p *Pool) SetIdleTTL(d time.Duration) {
-	p.mu.Lock()
-	p.ttl = d
-	p.mu.Unlock()
 }
 
 // SetObserver installs the metrics set and tracer the pool reports to.
@@ -121,157 +77,9 @@ func (p *Pool) SetPipeline(noPipe bool, batchWindow time.Duration) {
 	p.mu.Unlock()
 }
 
-// reapLocked closes connections for ep that have been idle past the TTL
-// and returns them for closing outside the lock, with the count reaped.
-func (p *Pool) reapLocked(ep string, now time.Time) []idleConn {
-	if p.ttl <= 0 {
-		return nil
-	}
-	conns := p.idle[ep]
-	cut := 0
-	for cut < len(conns) && now.Sub(conns[cut].since) > p.ttl {
-		cut++
-	}
-	if cut == 0 {
-		return nil
-	}
-	reaped := append([]idleConn(nil), conns[:cut]...)
-	rest := conns[cut:]
-	if len(rest) == 0 {
-		delete(p.idle, ep)
-	} else {
-		p.idle[ep] = append([]idleConn(nil), rest...)
-	}
-	return reaped
-}
-
-// closeReaped closes reaped connections and reports them; call without the
-// pool lock held.
-func (p *Pool) closeReaped(ep string, reaped []idleConn, m *obs.Metrics, t obs.Tracer) {
-	if len(reaped) == 0 {
-		return
-	}
-	for _, ic := range reaped {
-		_ = ic.c.Close()
-	}
-	if m != nil {
-		m.PoolReaps.Add(uint64(len(reaped)))
-	}
-	if t != nil {
-		t.Emit(obs.Event{Kind: obs.EvPoolReap, Time: time.Now(), Key: ep, N: len(reaped)})
-	}
-}
-
-// Get returns a connection to one of the given endpoints, preferring a
-// fresh cached idle connection, and the endpoint it is connected to.
-func (p *Pool) Get(endpoints []string) (Conn, string, error) {
-	return p.GetCtx(context.Background(), endpoints)
-}
-
-// GetCtx is Get with the dial (a pool miss) bounded by ctx, so a call's
-// deadline covers connection establishment too. Cache hits ignore ctx.
-func (p *Pool) GetCtx(ctx context.Context, endpoints []string) (Conn, string, error) {
-	now := time.Now()
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return nil, "", ErrClosed
-	}
-	m, t := p.metrics, p.tracer
-	var reapedEp string
-	var reaped []idleConn
-	for _, ep := range endpoints {
-		if r := p.reapLocked(ep, now); len(r) > 0 {
-			reapedEp, reaped = ep, r
-		}
-		// Pop from the newest end, skipping connections whose peer reset
-		// while they sat idle (HealthChecker transports report it); dead
-		// ones are closed and counted as reaps rather than handed to a
-		// caller to fail on first write.
-		conns := p.idle[ep]
-		var c Conn
-		for len(conns) > 0 && c == nil {
-			cand := conns[len(conns)-1].c
-			conns = conns[:len(conns)-1]
-			if Healthy(cand) {
-				c = cand
-			} else {
-				reapedEp = ep
-				reaped = append(reaped, idleConn{c: cand, since: now})
-			}
-		}
-		if len(conns) == 0 {
-			delete(p.idle, ep)
-		} else {
-			p.idle[ep] = conns
-		}
-		if c != nil {
-			p.mu.Unlock()
-			p.closeReaped(reapedEp, reaped, m, t)
-			if m != nil {
-				m.PoolHits.Inc()
-			}
-			if t != nil {
-				t.Emit(obs.Event{Kind: obs.EvPoolHit, Time: now, Key: ep})
-			}
-			return c, ep, nil
-		}
-	}
-	p.mu.Unlock()
-	p.closeReaped(reapedEp, reaped, m, t)
-	start := time.Now()
-	c, ep, err := p.reg.DialAnyContext(ctx, endpoints)
-	if err != nil {
-		return nil, "", err
-	}
-	dial := time.Since(start)
-	// A dial can succeed after the caller's deadline already passed (the
-	// registry races the dial against ctx and the dial may win by a hair).
-	// Handing such a connection back would charge a doomed call a pool
-	// miss and leave the caller to fail on its first deadline check;
-	// discard it and report the caller's own error instead.
-	if ctx.Err() != nil {
-		_ = c.Close()
-		if m != nil {
-			m.PoolDialLate.Inc()
-		}
-		return nil, "", ctx.Err()
-	}
-	if m != nil {
-		m.PoolMisses.Inc()
-		m.DialLatency.Observe(dial)
-	}
-	if t != nil {
-		t.Emit(obs.Event{Kind: obs.EvPoolMiss, Time: time.Now(), Key: ep, Dur: dial})
-	}
-	return c, ep, nil
-}
-
 // sessionKey identifies one peer by its full endpoint list, so retries
 // against any of a peer's endpoints share the same session.
 func sessionKey(endpoints []string) string { return strings.Join(endpoints, " ") }
-
-// MuxCapable reports whether every named endpoint's transport supports
-// multiplexed sessions. Transports whose connections cannot carry
-// interleaved frames (or that want per-call connections for fault
-// isolation) opt out by implementing CheckoutOnly; for them the caller
-// must fall back to Get/Put checkout.
-func (p *Pool) MuxCapable(endpoints []string) bool {
-	for _, ep := range endpoints {
-		proto, _, err := wire.SplitEndpoint(ep)
-		if err != nil {
-			continue
-		}
-		tr, ok := p.reg.Lookup(proto)
-		if !ok {
-			continue
-		}
-		if co, ok := tr.(CheckoutOnly); ok && co.CheckoutOnly() {
-			return false
-		}
-	}
-	return true
-}
 
 // Session returns the live multiplexed session for the peer reachable at
 // endpoints, dialing one if none exists or the cached one has died. The
@@ -322,6 +130,10 @@ func (p *Pool) Session(ctx context.Context, endpoints []string) (*Session, strin
 		return nil, "", err
 	}
 	dial := time.Since(start)
+	// A dial can succeed after the caller's deadline already passed (the
+	// registry races the dial against ctx and the dial may win by a hair).
+	// Handing such a session back would leave the caller to fail on its
+	// first deadline check; discard it and report the caller's own error.
 	if ctx.Err() != nil {
 		_ = c.Close()
 		if m != nil {
@@ -431,60 +243,14 @@ func (p *Pool) SessionsSnapshot(promises func(*Session) int) []obs.SessionInfo {
 	return out
 }
 
-// Put returns a healthy connection to the cache for endpoint ep. If the
-// connection's peer already reset, the cache is full, or the pool is
-// closed, the connection is closed instead.
-func (p *Pool) Put(ep string, c Conn) {
-	if !Healthy(c) {
-		_ = c.Close()
-		return
-	}
-	// Clear any call deadline before the connection is reused.
-	_ = c.SetDeadline(time.Time{})
-	now := time.Now()
-	p.mu.Lock()
-	m, t := p.metrics, p.tracer
-	reaped := p.reapLocked(ep, now)
-	if !p.closed && len(p.idle[ep]) < p.maxIdle {
-		p.idle[ep] = append(p.idle[ep], idleConn{c: c, since: now})
-		p.mu.Unlock()
-		p.closeReaped(ep, reaped, m, t)
-		return
-	}
-	p.mu.Unlock()
-	p.closeReaped(ep, reaped, m, t)
-	_ = c.Close()
-}
-
-// Discard closes a connection that failed mid-exchange; it must not be
-// reused because request/response framing may be out of sync.
-func (p *Pool) Discard(c Conn) {
-	p.mu.Lock()
-	m := p.metrics
-	p.mu.Unlock()
-	if m != nil {
-		m.PoolDiscards.Inc()
-	}
-	_ = c.Close()
-}
-
-// Close closes the pool, every idle connection, and every cached session
-// (failing that session's in-flight exchanges with ErrClosed). Connections
-// currently checked out are unaffected; they are closed when discarded or
-// returned.
+// Close closes the pool and every cached session (failing each session's
+// in-flight exchanges with ErrClosed).
 func (p *Pool) Close() {
 	p.mu.Lock()
-	idle := p.idle
-	p.idle = make(map[string][]idleConn)
 	sessions := p.sessions
 	p.sessions = make(map[string]*sessionSlot)
 	p.closed = true
 	p.mu.Unlock()
-	for _, conns := range idle {
-		for _, ic := range conns {
-			_ = ic.c.Close()
-		}
-	}
 	for _, slot := range sessions {
 		slot.mu.Lock()
 		if slot.s != nil {
@@ -493,24 +259,4 @@ func (p *Pool) Close() {
 		}
 		slot.mu.Unlock()
 	}
-}
-
-// IdleCount reports the number of idle connections cached for ep,
-// exposed for tests and the benchmark harness.
-func (p *Pool) IdleCount(ep string) int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.idle[ep])
-}
-
-// Snapshot reports the idle cache occupancy per endpoint, for the debug
-// page.
-func (p *Pool) Snapshot() []obs.PoolInfo {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]obs.PoolInfo, 0, len(p.idle))
-	for ep, conns := range p.idle {
-		out = append(out, obs.PoolInfo{Endpoint: ep, Idle: len(conns)})
-	}
-	return out
 }

@@ -1,7 +1,9 @@
 package transport
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"netobjects/internal/obs"
 )
@@ -11,13 +13,17 @@ type stubConn struct{ Conn }
 
 func TestHealthyFallback(t *testing.T) {
 	// Connections that cannot introspect their peer report healthy: the
-	// pool must keep its old behaviour for opaque transports.
+	// session layer must keep its old behaviour for opaque transports.
 	if !Healthy(stubConn{}) {
 		t.Fatal("non-HealthChecker conn must be treated as healthy")
 	}
 }
 
-func TestPoolReapsDeadIdleConn(t *testing.T) {
+// TestPoolReapsDeadSession resets the peer side of a cached session while
+// it sits idle (a crashed or restarted server). The next Session call must
+// notice, close the dead session, and dial afresh rather than hand it back
+// to fail on the first exchange — with reap/miss accounting to match.
+func TestPoolReapsDeadSession(t *testing.T) {
 	m := NewMem()
 	l, err := m.Listen("health")
 	if err != nil {
@@ -36,35 +42,35 @@ func TestPoolReapsDeadIdleConn(t *testing.T) {
 		}
 	}()
 
-	pool := NewPool(NewRegistry(m), 4)
+	pool := NewPool(NewRegistry(m))
 	defer pool.Close()
 	met := obs.NewMetrics()
 	ring := obs.NewRing(32)
 	pool.SetObserver(met, ring)
-	ep := l.Endpoint()
+	eps := []string{l.Endpoint()}
 
-	c1, gotEP, err := pool.Get([]string{ep})
+	s1, _, err := pool.Session(context.Background(), eps)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pool.Put(gotEP, c1)
-	if n := pool.IdleCount(ep); n != 1 {
-		t.Fatalf("idle=%d, want 1", n)
-	}
 
-	// The peer resets while the connection sits idle (a crashed or
-	// restarted server). The next Get must notice, close the dead
-	// connection, and dial afresh rather than hand it back to fail on the
-	// first exchange.
+	// The peer resets while the session sits idle.
 	srv1 := <-accepted
 	_ = srv1.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for s1.Healthy() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s1.Healthy() {
+		t.Fatal("session never noticed the peer reset")
+	}
 
-	c2, gotEP, err := pool.Get([]string{ep})
+	s2, _, err := pool.Session(context.Background(), eps)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c2 == c1 {
-		t.Fatal("pool handed back an idle connection whose peer reset")
+	if s2 == s1 {
+		t.Fatal("pool handed back a session whose peer reset")
 	}
 	if n := met.PoolReaps.Load(); n != 1 {
 		t.Fatalf("reaps=%d, want 1", n)
@@ -76,27 +82,15 @@ func TestPoolReapsDeadIdleConn(t *testing.T) {
 		t.Fatalf("reap events=%d, want 1", n)
 	}
 
-	// A healthy idle connection is still a cache hit.
-	pool.Put(gotEP, c2)
-	c3, _, err := pool.Get([]string{ep})
+	// A healthy cached session is a cache hit.
+	s3, _, err := pool.Session(context.Background(), eps)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c3 != c2 {
-		t.Fatal("pool did not reuse a healthy idle connection")
+	if s3 != s2 {
+		t.Fatal("pool did not reuse the healthy cached session")
 	}
 	if n := met.PoolHits.Load(); n != 1 {
 		t.Fatalf("hits=%d, want 1", n)
-	}
-
-	// Returning a connection whose peer already reset must not cache it.
-	srv2 := <-accepted
-	_ = srv2.Close()
-	pool.Put(ep, c3)
-	if n := pool.IdleCount(ep); n != 0 {
-		t.Fatalf("idle=%d after Put of dead conn, want 0", n)
-	}
-	if err := c3.Send([]byte("x")); err == nil {
-		t.Fatal("dead conn returned to pool should have been closed")
 	}
 }

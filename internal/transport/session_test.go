@@ -319,7 +319,7 @@ func TestPoolSessionReconnect(t *testing.T) {
 	}()
 
 	reg := NewRegistry(mem)
-	p := NewPool(reg, 0)
+	p := NewPool(reg)
 	defer p.Close()
 	eps := []string{"inmem:peer"}
 
@@ -398,7 +398,7 @@ func TestPoolSessionClosed(t *testing.T) {
 		}
 	}()
 	reg := NewRegistry(mem)
-	p := NewPool(reg, 0)
+	p := NewPool(reg)
 	s, _, err := p.Session(context.Background(), []string{"inmem:peer"})
 	if err != nil {
 		t.Fatalf("session: %v", err)
@@ -427,70 +427,86 @@ func (c cancelOnDialMem) Dial(addr string) (Conn, error) {
 	return c.Mem.Dial(addr)
 }
 
-// TestGetCtxLateDial covers the deadline race: the dial succeeds but the
+// TestSessionLateDial covers the deadline race: the dial succeeds but the
 // caller's context expired mid-dial. The caller must get its own ctx
 // error, the connection must be discarded, and the event must count as a
 // late dial — not a pool miss.
-func TestGetCtxLateDial(t *testing.T) {
-	for _, path := range []string{"checkout", "session"} {
-		t.Run(path, func(t *testing.T) {
-			mem := NewMem()
-			l, err := mem.Listen("peer")
-			if err != nil {
-				t.Fatalf("listen: %v", err)
+func TestSessionLateDial(t *testing.T) {
+	mem := NewMem()
+	l, err := mem.Listen("peer")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
 			}
-			defer l.Close()
-			go func() {
-				for {
-					if _, err := l.Accept(); err != nil {
-						return
-					}
-				}
-			}()
-			ctx, cancel := context.WithCancel(context.Background())
-			defer cancel()
-			reg := NewRegistry(cancelOnDialMem{Mem: mem, cancel: cancel})
-			p := NewPool(reg, 0)
-			defer p.Close()
-			m := obs.NewMetrics()
-			p.SetObserver(m, nil)
+		}
+	}()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	reg := NewRegistry(cancelOnDialMem{Mem: mem, cancel: cancel})
+	p := NewPool(reg)
+	defer p.Close()
+	m := obs.NewMetrics()
+	p.SetObserver(m, nil)
 
-			if path == "checkout" {
-				_, _, err = p.GetCtx(ctx, []string{"inmem:peer"})
-			} else {
-				_, _, err = p.Session(ctx, []string{"inmem:peer"})
-			}
-			if !errors.Is(err, context.Canceled) {
-				t.Fatalf("%s with dying ctx: %v, want context.Canceled", path, err)
-			}
-			if n := m.PoolDialLate.Load(); n != 1 {
-				t.Fatalf("PoolDialLate = %d, want 1", n)
-			}
-			if n := m.PoolMisses.Load(); n != 0 {
-				t.Fatalf("late dial counted as pool miss (misses = %d)", n)
-			}
-		})
+	if _, _, err = p.Session(ctx, []string{"inmem:peer"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("session with dying ctx: %v, want context.Canceled", err)
+	}
+	if n := m.PoolDialLate.Load(); n != 1 {
+		t.Fatalf("PoolDialLate = %d, want 1", n)
+	}
+	if n := m.PoolMisses.Load(); n != 0 {
+		t.Fatalf("late dial counted as pool miss (misses = %d)", n)
 	}
 }
 
-// checkoutOnlyMem wraps Mem and opts out of multiplexing.
-type checkoutOnlyMem struct{ *Mem }
-
-func (checkoutOnlyMem) CheckoutOnly() bool { return true }
-
-func TestMuxCapable(t *testing.T) {
+// TestSessionPerPeer pins the session cache key: one shared session per
+// endpoint list, distinct lists get distinct links. (This replaces the old
+// CheckoutOnly/MuxCapable test — with the checkout discipline gone, every
+// transport's traffic rides sessions.)
+func TestSessionPerPeer(t *testing.T) {
 	mem := NewMem()
-	reg := NewRegistry(mem)
-	p := NewPool(reg, 0)
-	defer p.Close()
-	if !p.MuxCapable([]string{"inmem:a", "inmem:b"}) {
-		t.Fatal("plain Mem should be mux-capable")
+	for _, name := range []string{"peer-a", "peer-b"} {
+		l, err := mem.Listen(name)
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		defer l.Close()
+		go func() {
+			for {
+				if _, err := l.Accept(); err != nil {
+					return
+				}
+			}
+		}()
 	}
-	reg2 := NewRegistry(checkoutOnlyMem{NewMem()})
-	p2 := NewPool(reg2, 0)
-	defer p2.Close()
-	if p2.MuxCapable([]string{"inmem:a"}) {
-		t.Fatal("CheckoutOnly transport reported mux-capable")
+	reg := NewRegistry(mem)
+	p := NewPool(reg)
+	defer p.Close()
+	sa1, _, err := p.Session(context.Background(), []string{"inmem:peer-a"})
+	if err != nil {
+		t.Fatalf("session a: %v", err)
+	}
+	sa2, _, err := p.Session(context.Background(), []string{"inmem:peer-a"})
+	if err != nil {
+		t.Fatalf("session a again: %v", err)
+	}
+	if sa1 != sa2 {
+		t.Fatal("same endpoint list did not share one session")
+	}
+	sb, _, err := p.Session(context.Background(), []string{"inmem:peer-b"})
+	if err != nil {
+		t.Fatalf("session b: %v", err)
+	}
+	if sb == sa1 {
+		t.Fatal("distinct peers shared a session")
+	}
+	if n := p.SessionCount(); n != 2 {
+		t.Fatalf("SessionCount = %d, want 2", n)
 	}
 }
 

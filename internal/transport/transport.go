@@ -1,6 +1,6 @@
 // Package transport provides the communication layer of the network
 // objects runtime: an abstraction over byte-stream transports, concrete
-// TCP and in-memory implementations, and a connection cache.
+// TCP and in-memory implementations, and a per-peer session cache.
 //
 // The original system ran over multiple transports (DECnet, TCP, shared
 // memory) selected by the address prefix of an endpoint; this package keeps
@@ -9,13 +9,11 @@
 // of a wireRep it recognizes first. Connections carry whole frames (see
 // package wire).
 //
-// Two connection disciplines coexist. The original SRC RPC checkout
-// discipline — one outstanding request per connection, with a Pool
-// caching idle connections per endpoint — is kept for transports that
-// opt out of multiplexing (CheckoutOnly). The default discipline is the
-// multiplexed Session: one connection per peer link carries any number of
-// interleaved exchanges, each on its own Stream tagged by a wire-level
-// mux envelope.
+// All peer traffic rides the multiplexed Session: one connection per peer
+// link carries any number of interleaved exchanges, each on its own Stream
+// tagged by a wire-level mux envelope. (The original SRC RPC checkout
+// discipline — one outstanding request per connection — has been removed;
+// internal/baseline/srcrpc keeps a self-contained copy for comparison.)
 package transport
 
 import (
@@ -43,8 +41,8 @@ var (
 )
 
 // Conn is a framed, synchronous message connection. A Conn is not safe for
-// concurrent use; the runtime checks connections out of a Pool for the
-// duration of one call.
+// concurrent use; the runtime wraps each peer link's connection in a
+// Session whose writer and reader serialize access.
 type Conn interface {
 	// Send transmits one frame.
 	Send(payload []byte) error
@@ -84,9 +82,9 @@ type Transport interface {
 }
 
 // HealthChecker is optionally implemented by connections that can
-// cheaply tell whether their peer is still attached. The Pool probes it
-// before handing out a cached idle connection, so a peer that reset
-// mid-idle (a crash, a chaos-injected reset) does not surface as a
+// cheaply tell whether their peer is still attached. Sessions consult it
+// (along with their own reader state) before being reused, so a peer that
+// reset mid-idle (a crash, a chaos-injected reset) does not surface as a
 // spurious failure on the first exchange of the next call. The check
 // must be cheap and non-blocking — a state inspection, never an I/O
 // round trip. Connections that cannot know (plain TCP without reading)
@@ -104,24 +102,6 @@ func Healthy(c Conn) bool {
 		return h.Healthy()
 	}
 	return true
-}
-
-// CheckoutOnly is optionally implemented by transports whose connections
-// must not carry multiplexed sessions — because frames from concurrent
-// streams cannot be interleaved safely, or because the deployment wants
-// per-call connections for fault isolation. The Pool refuses to build a
-// Session over such a transport (see Pool.MuxCapable) and callers fall
-// back to Get/Put checkout.
-//
-// Deprecated: the checkout discipline is frozen at its pre-session
-// feature level — no flow control, no keepalives, no pipelining — and is
-// headed for removal. None of the built-in transports implement this
-// interface; the remaining users are the srcrpc baseline and the nobench
-// E1 comparison.
-type CheckoutOnly interface {
-	// CheckoutOnly reports whether connections from this transport are
-	// restricted to the one-call-per-connection checkout discipline.
-	CheckoutOnly() bool
 }
 
 // ContextDialer is optionally implemented by transports whose dialing can

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -293,69 +294,9 @@ func TestRegistryDialAny(t *testing.T) {
 	}
 }
 
-func TestPoolReuse(t *testing.T) {
-	m := NewMem()
-	l, err := m.Listen("pooled")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer l.Close()
-	echoServe(t, l)
-	pool := NewPool(NewRegistry(m), 2)
-	defer pool.Close()
-	ep := l.Endpoint()
-
-	c1, gotEP, err := pool.Get([]string{ep})
-	if err != nil {
-		t.Fatal(err)
-	}
-	pool.Put(gotEP, c1)
-	if pool.IdleCount(ep) != 1 {
-		t.Fatalf("idle=%d", pool.IdleCount(ep))
-	}
-	c2, _, err := pool.Get([]string{ep})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if c2 != c1 {
-		t.Fatal("pool did not reuse idle connection")
-	}
-	pool.Put(ep, c2)
-}
-
-func TestPoolCapAndClose(t *testing.T) {
-	m := NewMem()
-	l, err := m.Listen("capped")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer l.Close()
-	echoServe(t, l)
-	pool := NewPool(NewRegistry(m), 1)
-	ep := l.Endpoint()
-
-	c1, _, _ := pool.Get([]string{ep})
-	c2, _, err := pool.Get([]string{ep})
-	if err != nil {
-		t.Fatal(err)
-	}
-	pool.Put(ep, c1)
-	pool.Put(ep, c2) // over cap: closed
-	if pool.IdleCount(ep) != 1 {
-		t.Fatalf("idle=%d, want 1", pool.IdleCount(ep))
-	}
-	if err := c2.Send([]byte("x")); err == nil {
-		t.Fatal("over-cap connection should be closed")
-	}
-	pool.Close()
-	if _, _, err := pool.Get([]string{ep}); !errors.Is(err, ErrClosed) {
-		t.Fatalf("got %v", err)
-	}
-	if err := c1.Send([]byte("x")); err == nil {
-		t.Fatal("idle connection should be closed by pool.Close")
-	}
-}
-
+// TestConcurrentPoolTraffic drives 16 goroutines × 50 echo exchanges
+// through the pool's one shared session per peer: every exchange opens its
+// own stream, and all of them interleave on a single connection.
 func TestConcurrentPoolTraffic(t *testing.T) {
 	m := NewMem()
 	l, err := m.Listen("busy")
@@ -363,10 +304,24 @@ func TestConcurrentPoolTraffic(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	echoServe(t, l)
-	pool := NewPool(NewRegistry(m), 4)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			NewSession(c, SessionOptions{Accept: func(st *Stream) {
+				defer st.Close()
+				frame, err := st.Recv(nil)
+				if err == nil {
+					_ = st.Send(frame)
+				}
+			}})
+		}
+	}()
+	pool := NewPool(NewRegistry(m))
 	defer pool.Close()
-	ep := l.Endpoint()
+	eps := []string{l.Endpoint()}
 
 	var wg sync.WaitGroup
 	errs := make(chan error, 16)
@@ -375,24 +330,29 @@ func TestConcurrentPoolTraffic(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
-				c, gotEP, err := pool.Get([]string{ep})
+				s, _, err := pool.Session(context.Background(), eps)
+				if err != nil {
+					errs <- err
+					return
+				}
+				st, err := s.Open()
 				if err != nil {
 					errs <- err
 					return
 				}
 				msg := []byte(fmt.Sprintf("g%d-i%d", g, i))
-				if err := c.Send(msg); err != nil {
-					pool.Discard(c)
+				if err := st.Send(msg); err != nil {
+					st.Close()
 					errs <- err
 					return
 				}
-				got, err := c.Recv(nil)
+				got, err := st.Recv(nil)
 				if err != nil || !bytes.Equal(got, msg) {
-					pool.Discard(c)
+					st.Close()
 					errs <- fmt.Errorf("echo mismatch: %v", err)
 					return
 				}
-				pool.Put(gotEP, c)
+				st.Close()
 			}
 		}(g)
 	}
@@ -400,6 +360,9 @@ func TestConcurrentPoolTraffic(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+	if n := pool.SessionCount(); n != 1 {
+		t.Fatalf("SessionCount = %d, want 1 shared link", n)
 	}
 }
 

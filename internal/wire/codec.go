@@ -33,6 +33,10 @@ type Encoder struct {
 // passing a preallocated buffer lets callers reuse storage across messages.
 func NewEncoder(buf []byte) *Encoder { return &Encoder{buf: buf[:0]} }
 
+// Reset points the encoder at buf (which may be nil), discarding any
+// previous contents, so pooled encoders can be reused across messages.
+func (e *Encoder) Reset(buf []byte) { e.buf = buf[:0] }
+
 // Bytes returns the encoded contents. The slice aliases the encoder's
 // internal buffer and is valid until the next call on the encoder.
 func (e *Encoder) Bytes() []byte { return e.buf }
@@ -96,6 +100,10 @@ type Decoder struct {
 
 // NewDecoder returns a decoder reading from buf.
 func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Reset points the decoder at buf and clears any sticky error, so
+// pooled decoders can be reused across messages.
+func (d *Decoder) Reset(buf []byte) { d.buf, d.err = buf, nil }
 
 // Err returns the first error encountered, or nil.
 func (d *Decoder) Err() error { return d.err }

@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Method names recur on every call, but decoding a length-prefixed
+// string allocates a fresh copy each time. The intern table maps the
+// raw bytes of small recurring strings to one canonical Go string, so
+// the steady-state decode path allocates nothing: the read side is a
+// lock-free map lookup (the []byte→string map-index conversion does not
+// allocate), and the write side copies the whole table under a mutex —
+// new method names appear a handful of times per process, then never
+// again.
+const (
+	// maxInternedLen bounds the size of an internable string: method
+	// names are short, and long strings are not worth pinning forever.
+	maxInternedLen = 64
+	// maxInterned bounds the table so a hostile peer streaming distinct
+	// garbage names cannot grow it without bound; once full, new names
+	// fall back to plain allocation.
+	maxInterned = 4096
+)
+
+var (
+	internMu  sync.Mutex
+	internTab atomic.Pointer[map[string]string]
+)
+
+// Intern returns a canonical string equal to b, allocating only the
+// first time a given value is seen (and never once the table is full).
+func Intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if len(b) > maxInternedLen {
+		return string(b)
+	}
+	if m := internTab.Load(); m != nil {
+		if s, ok := (*m)[string(b)]; ok {
+			return s
+		}
+	}
+	internMu.Lock()
+	defer internMu.Unlock()
+	old := internTab.Load()
+	if old != nil {
+		if s, ok := (*old)[string(b)]; ok {
+			return s
+		}
+		if len(*old) >= maxInterned {
+			return string(b)
+		}
+	}
+	next := make(map[string]string, 8)
+	if old != nil {
+		next = make(map[string]string, len(*old)+1)
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	s := string(b)
+	next[s] = s
+	internTab.Store(&next)
+	return s
+}
+
+// InternedString consumes a length-prefixed string, interning the value
+// so hot-path decoders (method names) stop allocating per message.
+func (d *Decoder) InternedString() string { return Intern(d.BytesField()) }

@@ -283,7 +283,11 @@ func (m *Call) encode(e *Encoder) {
 
 func (m *Call) decode(d *Decoder) {
 	m.Obj = d.Uint()
-	m.Method = d.String()
+	// Interned: the same method names arrive on every call, and the
+	// dispatch cache, per-method metrics and trace events all key on the
+	// string — one canonical copy serves them all without a per-call
+	// allocation.
+	m.Method = d.InternedString()
 	m.Fingerprint = d.Uint()
 	m.Typed = d.Bool()
 	m.Args = d.BytesField()
@@ -738,4 +742,63 @@ func Unmarshal(b []byte) (Message, error) {
 		return nil, fmt.Errorf("wire: decoding %v: %w: %d trailing bytes", op, ErrCorrupt, d.Len())
 	}
 	return m, nil
+}
+
+// ErrWrongOp reports a frame whose op does not match the message passed
+// to UnmarshalInto.
+var ErrWrongOp = errors.New("wire: frame op does not match message")
+
+// UnmarshalInto decodes a frame payload into the caller-supplied
+// message, whose type must match the frame's op byte. It is the hot-path
+// twin of Unmarshal: callers that pool their Call and Result structs
+// decode without allocating a message per frame. Decoded byte fields
+// alias b, exactly as with Unmarshal.
+func UnmarshalInto(b []byte, m Message) error {
+	var d Decoder
+	d.buf = b
+	op := Op(d.Uint())
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if op != m.Op() {
+		return fmt.Errorf("%w: frame carries %v, want %v", ErrWrongOp, op, m.Op())
+	}
+	// Dispatch on the concrete hot types so the decoder never escapes
+	// through an interface call and can live on this stack frame; any
+	// other message type pays for its own heap decoder in the slow twin.
+	switch t := m.(type) {
+	case *Call:
+		t.decode(&d)
+	case *Result:
+		t.decode(&d)
+	case *ResultAck:
+		t.decode(&d)
+	default:
+		return unmarshalIntoSlow(b, op, m)
+	}
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("wire: decoding %v: %w", op, err)
+	}
+	if d.Len() != 0 {
+		return fmt.Errorf("wire: decoding %v: %w: %d trailing bytes", op, ErrCorrupt, d.Len())
+	}
+	return nil
+}
+
+// unmarshalIntoSlow finishes an UnmarshalInto for the non-pooled message
+// types through the Message interface, with its own decoder. Kept out of
+// UnmarshalInto so the interface call cannot force the hot path's decoder
+// to escape.
+func unmarshalIntoSlow(b []byte, op Op, m Message) error {
+	var d Decoder
+	d.buf = b
+	d.Uint() // skip the already-verified op
+	m.decode(&d)
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("wire: decoding %v: %w", op, err)
+	}
+	if d.Len() != 0 {
+		return fmt.Errorf("wire: decoding %v: %w: %d trailing bytes", op, ErrCorrupt, d.Len())
+	}
+	return nil
 }

@@ -113,7 +113,7 @@ func (m *PipeCall) encode(e *Encoder) {
 func (m *PipeCall) decode(d *Decoder) {
 	m.Obj = d.Uint()
 	m.TargetPromise = d.Uint()
-	m.Method = d.String()
+	m.Method = d.InternedString()
 	m.Fingerprint = d.Uint()
 	m.Typed = d.Bool()
 	m.Args = d.BytesField()
@@ -201,7 +201,7 @@ func (m *OneWay) encode(e *Encoder) {
 
 func (m *OneWay) decode(d *Decoder) {
 	m.Obj = d.Uint()
-	m.Method = d.String()
+	m.Method = d.InternedString()
 	m.Fingerprint = d.Uint()
 	m.Typed = d.Bool()
 	m.Args = d.BytesField()
