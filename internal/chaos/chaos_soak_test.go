@@ -98,6 +98,43 @@ func TestSoakMixed(t *testing.T) {
 	}
 }
 
+// TestSoakRegistry soaks the replicated agent tier: three replicas under
+// a crash/restart schedule that takes down a follower and then the
+// sequencer while clients rebind and look up through leased resolvers.
+// The run fails on any stale-beyond-lease read, any op failing outside a
+// fault window, or any acknowledged write missing after convergence.
+func TestSoakRegistry(t *testing.T) {
+	for _, seed := range []uint64{1, 2} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rep, err := RunSoak(SoakConfig{
+				Spaces:      3,
+				Ops:         soakOps(t),
+				Seed:        seed,
+				Profile:     "registry",
+				HealTimeout: 30 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log(rep)
+			if rep.Failed() {
+				t.Fatalf("registry soak failed:\nviolations: %v", rep.Violations)
+			}
+			if rep.Crashes != 2 {
+				t.Errorf("schedule ran %d crashes, want 2", rep.Crashes)
+			}
+			if rep.RegistryElections == 0 {
+				t.Error("killing the sequencer caused no election")
+			}
+			if rep.RegistryWrites == 0 || rep.RegistryLookups == 0 {
+				t.Errorf("workload too thin: %d writes, %d lookups",
+					rep.RegistryWrites, rep.RegistryLookups)
+			}
+		})
+	}
+}
+
 // TestSoakObservability wires the soak into a metrics registry and a
 // ring tracer and checks the fault counters and chaos events surface the
 // way an operator would see them on /metrics and /debug/netobj.

@@ -1,0 +1,453 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"netobjects/internal/core"
+	"netobjects/internal/pickle"
+	"netobjects/internal/registry"
+	"netobjects/internal/transport"
+	"netobjects/internal/wire"
+)
+
+// Registry soak tuning. The schedule kills one replica at a time — first
+// a follower, then the sequencer — so some member is always alive; the
+// resolver contract says clients keep working whenever that holds.
+const (
+	regLease      = 250 * time.Millisecond // reader lease: the staleness budget
+	regLeaseSlack = 750 * time.Millisecond // scheduling slack on the budget
+	regSettle     = 2 * time.Second        // grace after a crash/restart before failures count
+	regPace       = 2 * time.Millisecond   // per-op pacing so leases and probes elapse
+	regNames      = 5
+)
+
+// regAck is one acknowledged write: the version the sequencer assigned
+// and when the ack arrived.
+type regAck struct {
+	version uint64
+	at      time.Time
+}
+
+// regNode is one replica slot: a fixed endpoint whose space and replica
+// are torn down on crash and rebuilt on restart.
+type regNode struct {
+	idx  int
+	name string
+	addr string
+	ct   *Transport
+	sp   *core.Space
+	rep  *registry.Replica
+	down bool
+	// elections accumulates the counter across incarnations: a crash
+	// discards the space's metrics, so the running total is folded in
+	// before each teardown.
+	elections uint64
+}
+
+// regHarness drives the registry soak: replicas under a crash/restart
+// schedule, a writing client and a reading client, and the two invariant
+// checks — bounded staleness and no failures outside fault windows.
+type regHarness struct {
+	cfg   SoakConfig
+	nodes []*regNode
+	peers []string
+
+	writer, reader *core.Space
+	wres, rres     *registry.Resolver
+
+	acked          map[string][]regAck
+	turbulentUntil time.Time
+	report         *SoakReport
+}
+
+// runRegistrySoak is RunSoak's "registry" profile: it soaks the
+// replicated agent tier instead of the collector. Spaces is the replica
+// count (default 3); the workload is rebinds and leased lookups while the
+// schedule crashes and restarts replicas, including the sequencer.
+func runRegistrySoak(cfg SoakConfig) (*SoakReport, error) {
+	if cfg.Spaces == 0 {
+		cfg.Spaces = 3
+	}
+	if cfg.Spaces < 2 {
+		return nil, fmt.Errorf("chaos: registry soak needs at least 2 replicas, got %d", cfg.Spaces)
+	}
+	var inner transport.Transport
+	switch cfg.Transport {
+	case "", "inmem":
+		cfg.Transport = "inmem"
+		inner = transport.NewMem()
+	case "tcp":
+		inner = transport.NewTCP()
+	default:
+		return nil, fmt.Errorf("chaos: unknown soak transport %q (want inmem or tcp)", cfg.Transport)
+	}
+
+	h := &regHarness{
+		cfg:   cfg,
+		acked: make(map[string][]regAck),
+		report: &SoakReport{
+			Spaces:    cfg.Spaces,
+			Ops:       cfg.Ops,
+			Seed:      cfg.Seed,
+			Profile:   cfg.Profile,
+			Transport: cfg.Transport,
+		},
+	}
+	for i := 0; i < cfg.Spaces; i++ {
+		n := &regNode{idx: i, name: fmt.Sprintf("reg%d", i), addr: fmt.Sprintf("reg%d", i)}
+		if cfg.Transport == "tcp" {
+			addr, err := reserveLoopbackAddr()
+			if err != nil {
+				return nil, fmt.Errorf("chaos: reserving replica port: %w", err)
+			}
+			n.addr = addr
+		}
+		n.ct = New(inner, n.name, cfg.Seed)
+		n.ct.SetObserver(cfg.Tracer)
+		if cfg.Metrics != nil {
+			n.ct.RegisterMetrics(cfg.Metrics.Registry())
+		}
+		h.nodes = append(h.nodes, n)
+		h.peers = append(h.peers, wire.JoinEndpoint(n.ct.Proto(), n.addr))
+	}
+	defer h.stop()
+	for _, n := range h.nodes {
+		if err := h.startReplica(n); err != nil {
+			return nil, err
+		}
+	}
+	if err := h.startClients(inner); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	if err := h.workload(); err != nil {
+		return nil, err
+	}
+	h.converge()
+	h.report.Elapsed = time.Since(start)
+	for _, n := range h.nodes {
+		s := n.ct.Stats()
+		h.report.Faults.Messages += s.Messages
+		h.report.Faults.Drops += s.Drops
+		h.report.Faults.Resets += s.Resets
+	}
+	return h.report, nil
+}
+
+func (h *regHarness) regOpts(self int) registry.Options {
+	return registry.Options{
+		Peers:         h.peers,
+		Self:          self,
+		LeaseTTL:      regLease,
+		ProbeInterval: 50 * time.Millisecond,
+		ProbeTimeout:  150 * time.Millisecond,
+		ProbeFailures: 2,
+	}
+}
+
+func (h *regHarness) startReplica(n *regNode) error {
+	sp, err := core.NewSpace(core.Options{
+		Name:            n.name,
+		Transports:      []transport.Transport{n.ct},
+		ListenEndpoints: []string{wire.JoinEndpoint(n.ct.Proto(), n.addr)},
+		Registry:        pickle.NewRegistry(),
+		AutoRelease:     true,
+		CallTimeout:     2 * time.Second,
+		PingInterval:    150 * time.Millisecond,
+		PingTimeout:     300 * time.Millisecond,
+		PingMaxFailures: 4,
+		Tracer:          h.cfg.Tracer,
+		Logger:          h.cfg.Logger,
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := registry.Serve(sp, h.regOpts(n.idx))
+	if err != nil {
+		_ = sp.Close()
+		return err
+	}
+	n.sp, n.rep, n.down = sp, rep, false
+	return nil
+}
+
+func (h *regHarness) startClients(inner transport.Transport) error {
+	mk := func(name string) (*core.Space, error) {
+		addr := "client-" + name
+		if h.cfg.Transport == "tcp" {
+			var err error
+			if addr, err = reserveLoopbackAddr(); err != nil {
+				return nil, err
+			}
+		}
+		return core.NewSpace(core.Options{
+			Name:            name,
+			Transports:      []transport.Transport{inner},
+			ListenEndpoints: []string{wire.JoinEndpoint(inner.Proto(), addr)},
+			Registry:        pickle.NewRegistry(),
+			CallTimeout:     2 * time.Second,
+			PingInterval:    time.Hour,
+			Logger:          h.cfg.Logger,
+		})
+	}
+	var err error
+	if h.writer, err = mk("writer"); err != nil {
+		return err
+	}
+	if h.reader, err = mk("reader"); err != nil {
+		return err
+	}
+	if h.wres, err = registry.NewResolver(h.writer, registry.ResolverOptions{
+		Peers:    h.peers,
+		LeaseTTL: regLease,
+	}); err != nil {
+		return err
+	}
+	h.rres, err = registry.NewResolver(h.reader, registry.ResolverOptions{
+		Peers:    h.peers,
+		LeaseTTL: regLease,
+	})
+	return err
+}
+
+// crash kills a replica without draining, as a failed process would.
+func (h *regHarness) crash(n *regNode) {
+	if n.down {
+		return
+	}
+	h.turbulentUntil = time.Now().Add(regSettle)
+	n.elections += n.sp.Metrics().RegistryElections.Load()
+	n.rep.Close()
+	n.sp.Abort()
+	n.down = true
+	h.report.Crashes++
+	h.cfg.Logger.Info("chaos: crashed replica", "replica", n.name)
+}
+
+func (h *regHarness) restart(n *regNode) error {
+	if !n.down {
+		return nil
+	}
+	h.turbulentUntil = time.Now().Add(regSettle)
+	if err := h.startReplica(n); err != nil {
+		return fmt.Errorf("chaos: restarting replica %s: %w", n.name, err)
+	}
+	h.cfg.Logger.Info("chaos: restarted replica", "replica", n.name)
+	return nil
+}
+
+// violation records an op failure that the fault schedule does not
+// excuse: some replica was live and settled, so the tier owed an answer.
+func (h *regHarness) violation(format string, args ...any) {
+	h.report.Violations = append(h.report.Violations, fmt.Sprintf(format, args...))
+}
+
+// staleFloor is the newest version whose ack predates the staleness
+// budget at read time: any successful lookup must return at least it.
+func (h *regHarness) staleFloor(name string, readAt time.Time) uint64 {
+	cutoff := readAt.Add(-(regLease + regLeaseSlack))
+	var floor uint64
+	for _, a := range h.acked[name] {
+		if a.at.Before(cutoff) && a.version > floor {
+			floor = a.version
+		}
+	}
+	return floor
+}
+
+// workload interleaves writes and leased reads over a fixed name set
+// while the schedule crashes a follower and then the sequencer.
+func (h *regHarness) workload() error {
+	ops := h.cfg.Ops
+	rng := rand.New(rand.NewSource(int64(h.cfg.Seed) ^ 0x4e4f))
+	ctx := context.Background()
+
+	// The service objects live on the writer; each name rebinds over the
+	// same set so versions climb and leases go stale.
+	refs := make([]*core.Ref, regNames)
+	for i := range refs {
+		r, err := h.writer.Export(&soakCounter{})
+		if err != nil {
+			return err
+		}
+		refs[i] = r
+	}
+	defer func() {
+		for _, r := range refs {
+			r.Release()
+		}
+	}()
+	name := func(i int) string { return fmt.Sprintf("svc-%d", i) }
+	for i := 0; i < regNames; i++ {
+		v, err := h.wres.Bind(ctx, name(i), refs[i])
+		if err != nil {
+			return fmt.Errorf("chaos: seeding binding %s: %w", name(i), err)
+		}
+		h.acked[name(i)] = append(h.acked[name(i)], regAck{version: v, at: time.Now()})
+	}
+
+	// The schedule: crash a seeded follower, bring it back, then crash
+	// the sequencer (replica 0) and bring it back — the failover and the
+	// rejoin-takeback both happen under load.
+	follower := 1 + rng.Intn(len(h.nodes)-1)
+	episodes := map[int]func() error{
+		ops / 4:     func() error { h.crash(h.nodes[follower]); return nil },
+		ops * 2 / 5: func() error { return h.restart(h.nodes[follower]) },
+		ops * 3 / 5: func() error { h.crash(h.nodes[0]); return nil },
+		ops * 3 / 4: func() error { return h.restart(h.nodes[0]) },
+	}
+
+	for op := 0; op < ops; op++ {
+		if ep := episodes[op]; ep != nil {
+			if err := ep(); err != nil {
+				return err
+			}
+		}
+		settled := time.Now().After(h.turbulentUntil)
+		k := rng.Intn(regNames)
+		switch rng.Intn(5) {
+		case 0: // rebind: the version climbs and leases elsewhere go stale
+			opCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			v, err := h.wres.Rebind(opCtx, name(k), refs[k])
+			cancel()
+			if err != nil {
+				if settled {
+					h.violation("rebind %s failed outside a fault window: %v", name(k), err)
+				}
+				break
+			}
+			h.report.RegistryWrites++
+			h.acked[name(k)] = append(h.acked[name(k)], regAck{version: v, at: time.Now()})
+		default: // leased lookup, checked against the staleness budget
+			readAt := time.Now()
+			opCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			_, v, err := h.rres.Resolve(opCtx, name(k))
+			cancel()
+			if err != nil {
+				if settled {
+					h.violation("lookup %s failed outside a fault window: %v", name(k), err)
+				}
+				break
+			}
+			h.report.RegistryLookups++
+			if floor := h.staleFloor(name(k), readAt); v < floor {
+				h.violation("stale beyond lease: lookup %s saw version %d, but version %d was acked more than %v before the read",
+					name(k), v, floor, regLease+regLeaseSlack)
+			}
+		}
+		time.Sleep(regPace)
+	}
+	return nil
+}
+
+// converge restarts anything still down, waits for every replica to be
+// ready with identical directory state, and then checks the durability
+// invariant: no acknowledged write may be lost, no matter which replica
+// crashed when.
+func (h *regHarness) converge() {
+	for _, n := range h.nodes {
+		if n.down {
+			if err := h.restart(n); err != nil {
+				h.violation("post-run restart failed: %v", err)
+				return
+			}
+		}
+	}
+	timeout := h.cfg.HealTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	same := func() bool {
+		binds0, tombs0, _ := h.nodes[0].rep.Agent().SnapshotV()
+		for _, n := range h.nodes[1:] {
+			binds, tombs, _ := n.rep.Agent().SnapshotV()
+			if len(binds) != len(binds0) || len(tombs) != len(tombs0) {
+				return false
+			}
+			for i := range binds {
+				if binds[i] != binds0[i] {
+					return false
+				}
+			}
+			for i := range tombs {
+				if tombs[i] != tombs0[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	lastLog := time.Now()
+	for {
+		ready := true
+		for _, n := range h.nodes {
+			if !n.rep.Ready() {
+				ready = false
+			}
+		}
+		if ready && same() {
+			break
+		}
+		if time.Since(lastLog) > time.Second {
+			lastLog = time.Now()
+			for _, n := range h.nodes {
+				binds, tombs, seq := n.rep.Agent().SnapshotV()
+				h.cfg.Logger.Info("chaos: awaiting convergence",
+					"replica", n.name, "status", n.rep.StatusString(),
+					"bindings", fmt.Sprint(binds), "tombs", fmt.Sprint(tombs), "seq", seq)
+			}
+		}
+		if time.Now().After(deadline) {
+			h.violation("replicas did not converge within %v", timeout)
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Durability: every acknowledged write is at or below the converged
+	// version of its name — an ack that a crash could lose would show up
+	// here as a converged version below it.
+	for name, acks := range h.acked {
+		_, cv, ok := h.nodes[0].rep.Agent().Binding(name)
+		if !ok {
+			h.violation("acked binding %s missing after convergence", name)
+			continue
+		}
+		for _, a := range acks {
+			if a.version > cv {
+				h.violation("acked write %s@%d lost: replicas converged at %d", name, a.version, cv)
+			}
+		}
+	}
+	for _, n := range h.nodes {
+		h.report.RegistryElections += n.elections + n.sp.Metrics().RegistryElections.Load()
+	}
+	h.report.RegistryFailovers = h.reader.Metrics().RegistryFailovers.Load() +
+		h.writer.Metrics().RegistryFailovers.Load()
+}
+
+func (h *regHarness) stop() {
+	if h.wres != nil {
+		h.wres.Close()
+	}
+	if h.rres != nil {
+		h.rres.Close()
+	}
+	if h.writer != nil {
+		_ = h.writer.Close()
+	}
+	if h.reader != nil {
+		_ = h.reader.Close()
+	}
+	for _, n := range h.nodes {
+		if n.sp != nil && !n.down {
+			n.rep.Close()
+			_ = n.sp.Close()
+		}
+	}
+}

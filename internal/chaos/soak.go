@@ -77,6 +77,15 @@ type SoakReport struct {
 	// TableLeaks are non-empty import/export tables after quiescence.
 	// Must be empty.
 	TableLeaks []string
+
+	// Registry-profile extras (Profile == "registry"): the replicated
+	// agent tier's workload counts. Its invariant breaches — stale reads
+	// beyond the lease, failed ops outside fault windows, lost acked
+	// writes — land in Violations like everything else.
+	RegistryWrites    int
+	RegistryLookups   int
+	RegistryFailovers uint64
+	RegistryElections uint64
 }
 
 // Failed reports whether any invariant was violated.
@@ -90,6 +99,14 @@ func (r *SoakReport) String() string {
 	if r.Failed() {
 		verdict = fmt.Sprintf("FAILED (%d violations, %d leaks, %d table leaks)",
 			len(r.Violations), len(r.Leaks), len(r.TableLeaks))
+	}
+	if r.Profile == "registry" {
+		return fmt.Sprintf(
+			"chaos soak %s/%s seed=%d: %d replicas, %d ops (%d writes, %d lookups), %d crashes, %d elections, %d client failovers, %v — %s",
+			r.Profile, r.Transport, r.Seed, r.Spaces, r.Ops,
+			r.RegistryWrites, r.RegistryLookups, r.Crashes,
+			r.RegistryElections, r.RegistryFailovers,
+			r.Elapsed.Round(time.Millisecond), verdict)
 	}
 	return fmt.Sprintf(
 		"chaos soak %s/%s seed=%d: %d spaces, %d ops, %d crashes, %d faults (%d drops, %d resets, %d dups, %d reorders, %d refusals), %d abandoned cleans, %v — %s",
@@ -200,23 +217,29 @@ func reserveLoopbackAddr() (string, error) {
 // quiescence, and checks the collector invariants: no safety violation
 // was observed, and nothing leaked.
 func RunSoak(cfg SoakConfig) (*SoakReport, error) {
+	if cfg.Ops <= 0 {
+		cfg.Ops = 400
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	if cfg.Profile == "registry" {
+		// The registry profile soaks the replicated agent tier rather
+		// than the collector: replica crash/restart under a rebind and
+		// leased-lookup workload, with its own invariants.
+		return runRegistrySoak(cfg)
+	}
 	if cfg.Spaces < 2 {
 		if cfg.Spaces != 0 {
 			return nil, fmt.Errorf("chaos: soak needs at least 2 spaces, got %d", cfg.Spaces)
 		}
 		cfg.Spaces = 4
 	}
-	if cfg.Ops <= 0 {
-		cfg.Ops = 400
-	}
 	if cfg.HealTimeout <= 0 {
 		cfg.HealTimeout = 30 * time.Second
 	}
 	if cfg.Profile == "" {
 		cfg.Profile = "mixed"
-	}
-	if cfg.Logger == nil {
-		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
 	var inner transport.Transport
 	switch cfg.Transport {

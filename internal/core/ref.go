@@ -90,6 +90,24 @@ func (r *Ref) Release() {
 	}
 }
 
+// Dup adds an independent hold on the reference and returns it. The same
+// *Ref pointer comes back — a space has at most one surrogate per remote
+// object — but the import entry now requires one extra Release before the
+// clean call is scheduled, so a holder that hands copies of a reference to
+// in-process clients (a name directory, a resolver cache) survives those
+// clients releasing theirs. Dup on an owner handle is a no-op (owners hold
+// no dirty entry for themselves); Dup on a released or in-transition
+// surrogate fails.
+func (r *Ref) Dup() (*Ref, error) {
+	if r.IsOwner() || r.sp.isClosed() {
+		return r, nil
+	}
+	if err := r.sp.imports.Retain(r.key); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
 // Export makes obj remotely invocable and returns the owner handle for
 // it. Export is idempotent while the object remains exported: marshaling
 // the same object always yields the same remote identity. Objects must be

@@ -1,6 +1,7 @@
 package naming
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -149,6 +150,176 @@ func TestUnbindReleasesReference(t *testing.T) {
 	}
 	if err := Unbind(client, ep, "remote-owned"); err == nil {
 		t.Fatal("double unbind succeeded")
+	}
+}
+
+func TestLookupDupSurvivesCallerRelease(t *testing.T) {
+	// Regression: Agent.Lookup used to return the binding's own *core.Ref,
+	// so an in-process caller that Released the result dropped the
+	// directory's hold and stranded the binding. Lookup now returns a
+	// Dup'd reference.
+	server, client, ep := twoSpaces(t)
+	agent, err := Serve(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	impl := &svc{}
+	ref, _ := client.Export(impl)
+	if err := Bind(client, ep, "held", ref); err != nil {
+		t.Fatal(err)
+	}
+
+	// In-process lookup at the agent's space: caller owns the result and
+	// releases it, as any well-behaved local client would.
+	got, v, err := agent.LookupV("held")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == 0 {
+		t.Fatal("binding carries no version")
+	}
+	got.Release()
+
+	// The binding must still be live and usable by remote clients.
+	again, err := Lookup(client, ep, "held")
+	if err != nil {
+		t.Fatalf("binding stranded by local caller's Release: %v", err)
+	}
+	if _, err := again.Call("Bump"); err != nil {
+		t.Fatalf("binding unusable after local caller's Release: %v", err)
+	}
+	if impl.n != 1 {
+		t.Fatalf("n=%d", impl.n)
+	}
+}
+
+func TestCtxVariantsHonorDeadline(t *testing.T) {
+	server, client, ep := twoSpaces(t)
+	if _, err := Serve(server); err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := server.Export(&svc{})
+	ctx := context.Background()
+	if err := BindCtx(ctx, server, ep, "c", ref); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LookupCtx(ctx, client, ep, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := got.Call("Bump"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := ListCtx(ctx, client, ep)
+	if err != nil || len(names) != 1 {
+		t.Fatalf("ListCtx: %v %v", names, err)
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := LookupCtx(cancelled, client, ep, "c"); err == nil {
+		t.Fatal("LookupCtx ignored a cancelled context")
+	}
+	if err := UnbindCtx(ctx, client, ep, "c"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionsAndTombstones(t *testing.T) {
+	a := NewAgent()
+	sp, err := core.NewSpace(core.Options{
+		Name:       "solo",
+		Transports: []transport.Transport{transport.NewMem()},
+		Registry:   pickle.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sp.Close() })
+	r1, _ := sp.Export(&svc{})
+	r2, _ := sp.Export(&svc{})
+
+	v1, err := a.Bind("x", r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := a.Rebind("x", r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 <= v1 {
+		t.Fatalf("versions not increasing: %d then %d", v1, v2)
+	}
+	v3, err := a.Unbind("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv, ok := a.Tomb("x"); !ok || tv != v3 {
+		t.Fatalf("tombstone %d %v, want %d", tv, ok, v3)
+	}
+	// Stale replicated applies must lose against the tombstone.
+	if a.ApplyBind("x", r1, v2) {
+		t.Fatal("stale ApplyBind won against a newer tombstone")
+	}
+	if _, _, err := a.LookupV("x"); err == nil {
+		t.Fatal("lookup after unbind succeeded")
+	}
+	// A newer apply wins and clears the tombstone.
+	r3, _ := sp.Export(&svc{})
+	if !a.ApplyBind("x", r3, v3+1) {
+		t.Fatal("fresh ApplyBind lost")
+	}
+	if _, ok := a.Tomb("x"); ok {
+		t.Fatal("tombstone survived a newer bind")
+	}
+	bindings, tombs, seq := a.SnapshotV()
+	if len(bindings) != 1 || bindings[0].Name != "x" || bindings[0].Version != v3+1 {
+		t.Fatalf("snapshot bindings %v", bindings)
+	}
+	if len(tombs) != 0 {
+		t.Fatalf("snapshot tombs %v", tombs)
+	}
+	if seq != v3+1 {
+		t.Fatalf("seq %d, want %d", seq, v3+1)
+	}
+}
+
+func TestApplyHookObservesMutations(t *testing.T) {
+	a := NewAgent()
+	sp, err := core.NewSpace(core.Options{
+		Name:       "solo",
+		Transports: []transport.Transport{transport.NewMem()},
+		Registry:   pickle.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sp.Close() })
+
+	var mu sync.Mutex
+	var got []Update
+	a.SetApplyHook(func(u Update) {
+		mu.Lock()
+		got = append(got, u)
+		mu.Unlock()
+	})
+	r1, _ := sp.Export(&svc{})
+	if _, err := a.Bind("h", r1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Unbind("h"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("hook fired %d times", len(got))
+	}
+	if got[0].Name != "h" || got[0].Deleted || got[0].Ref == nil {
+		t.Fatalf("bind update %+v", got[0])
+	}
+	if !got[1].Deleted || got[1].Version <= got[0].Version {
+		t.Fatalf("unbind update %+v", got[1])
 	}
 }
 

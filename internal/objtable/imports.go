@@ -91,10 +91,14 @@ type ImportEntry struct {
 	Key       wire.Key
 	Endpoints []string
 
-	state       State
-	surrogate   any
-	gen         uint64
-	pins        int
+	state     State
+	surrogate any
+	gen       uint64
+	pins      int
+	// holds counts independent local claims on the reference (Retain adds
+	// one, Release drops one); the life-cycle release transition fires only
+	// when the last hold is dropped. A usable entry normally carries one.
+	holds       int
 	wantRelease bool
 	dead        bool
 	err         error
@@ -204,12 +208,19 @@ func (im *Imports) Acquire(key wire.Key, endpoints []string) (ent *ImportEntry, 
 	case StateNil, StateCcitNil:
 		return e, ActionWait, 0
 	case StateOK:
+		if e.holds == 0 {
+			// A fully released entry that has not yet transitioned (all
+			// holds dropped while pinned): the new copy resurrects it.
+			e.holds = 1
+			e.wantRelease = false
+		}
 		return e, ActionUse, 0
 	case StateOKQueued:
 		// Resurrection: cancel the scheduled clean call by reverting to
 		// StateOK; the cleaner skips queue entries whose state moved on.
 		e.state = StateOK
 		e.wantRelease = false
+		e.holds = 1
 		return e, ActionUse, 0
 	case StateCcit:
 		e.state = StateCcitNil
@@ -240,6 +251,7 @@ func (im *Imports) FinishRegister(key wire.Key, surrogate any, err error) (gen u
 		e.state = StateOK
 		e.surrogate = surrogate
 		e.gen++
+		e.holds = 1
 		gen = e.gen
 	}
 	s.cond.Broadcast()
@@ -277,6 +289,9 @@ func (im *Imports) UseOrRebind(key wire.Key, revive func(old any) (replacement a
 			e.state = StateOK
 		}
 		e.wantRelease = false
+		if e.holds == 0 {
+			e.holds = 1
+		}
 	}
 	return e.surrogate, e.gen, nil
 }
@@ -284,7 +299,9 @@ func (im *Imports) UseOrRebind(key wire.Key, revive func(old any) (replacement a
 // ReleaseGen is Release guarded by generation: it acts only when the
 // entry still carries the surrogate incarnation the caller observed.
 // Finalizer-driven cleanups use it so that a cleanup for a collected
-// surrogate cannot release a rebound successor.
+// surrogate cannot release a rebound successor. The generation match is
+// ground truth — the surrogate object is unreachable, so no holder can
+// still use the reference — and therefore overrides any remaining holds.
 func (im *Imports) ReleaseGen(key wire.Key, gen uint64) (needClean bool) {
 	s := im.shardFor(key)
 	im.lock(s)
@@ -293,6 +310,7 @@ func (im *Imports) ReleaseGen(key wire.Key, gen uint64) (needClean bool) {
 	if !ok || e.gen != gen || e.state != StateOK {
 		return false
 	}
+	e.holds = 0
 	if e.pins > 0 {
 		e.wantRelease = true
 		return false
@@ -376,7 +394,8 @@ func (im *Imports) Unpin(key wire.Key) (needClean bool) {
 // Release is the finalize transition: the reference is locally dead. It
 // reports whether a clean call must be enqueued now; a pinned reference
 // defers the release to the final Unpin, and releasing a non-usable
-// reference is a no-op.
+// reference is a no-op. When Retain has added extra holds, Release drops
+// one hold and the life-cycle transition waits for the last.
 func (im *Imports) Release(key wire.Key) (needClean bool) {
 	s := im.shardFor(key)
 	im.lock(s)
@@ -385,12 +404,41 @@ func (im *Imports) Release(key wire.Key) (needClean bool) {
 	if !ok || e.state != StateOK {
 		return false
 	}
+	if e.holds > 1 {
+		e.holds--
+		return false
+	}
+	e.holds = 0
 	if e.pins > 0 {
 		e.wantRelease = true
 		return false
 	}
 	e.state = StateOKQueued
 	return true
+}
+
+// Retain adds an independent hold on a usable reference: the entry will
+// not release until a matching Release drops it. It is the table half of
+// core's Ref.Dup — directories and caches use it to keep a binding alive
+// across their clients' Releases.
+func (im *Imports) Retain(key wire.Key) error {
+	s := im.shardFor(key)
+	im.lock(s)
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrReleased, key)
+	}
+	if e.state != StateOK {
+		return fmt.Errorf("%w: %v is %v", ErrNotUsable, key, e.state)
+	}
+	if e.holds == 0 {
+		// All prior holds dropped while the entry was pinned: retaining
+		// revives it, cancelling the deferred release.
+		e.wantRelease = false
+	}
+	e.holds++
+	return nil
 }
 
 // BeginClean is the do_clean_call transition, executed by the cleaner when

@@ -1,0 +1,133 @@
+package objtable
+
+import (
+	"errors"
+	"testing"
+
+	"netobjects/internal/wire"
+)
+
+// registerGen walks a fresh key through Acquire/FinishRegister and
+// returns its generation (register in imports_test.go discards it).
+func registerGen(t *testing.T, im *Imports, key wire.Key) uint64 {
+	t.Helper()
+	_, act, _ := im.Acquire(key, []string{"ep"})
+	if act != ActionRegister {
+		t.Fatalf("acquire: action %v", act)
+	}
+	gen := im.FinishRegister(key, &surrogate{label: "r"}, nil)
+	if gen == 0 {
+		t.Fatal("registration did not settle")
+	}
+	return gen
+}
+
+func TestRetainDefersRelease(t *testing.T) {
+	im := NewImports()
+	key := wire.Key{Owner: 1, Index: 7}
+	registerGen(t, im, key)
+
+	if err := im.Retain(key); err != nil {
+		t.Fatal(err)
+	}
+	if im.Release(key) {
+		t.Fatal("release with an outstanding hold scheduled a clean")
+	}
+	if st := im.StateOf(key); st != StateOK {
+		t.Fatalf("state %v after first release", st)
+	}
+	if _, err := im.Use(key); err != nil {
+		t.Fatalf("reference unusable while held: %v", err)
+	}
+	if !im.Release(key) {
+		t.Fatal("final release did not schedule a clean")
+	}
+	if st := im.StateOf(key); st != StateOKQueued {
+		t.Fatalf("state %v after final release", st)
+	}
+}
+
+func TestRetainReleasedEntryFails(t *testing.T) {
+	im := NewImports()
+	key := wire.Key{Owner: 1, Index: 7}
+	registerGen(t, im, key)
+	if !im.Release(key) {
+		t.Fatal("release did not schedule a clean")
+	}
+	if err := im.Retain(key); !errors.Is(err, ErrNotUsable) {
+		t.Fatalf("retain after release: %v", err)
+	}
+	if err := im.Retain(wire.Key{Owner: 2, Index: 1}); !errors.Is(err, ErrReleased) {
+		t.Fatalf("retain of absent key: %v", err)
+	}
+}
+
+func TestAcquireResurrectionResetsHolds(t *testing.T) {
+	im := NewImports()
+	key := wire.Key{Owner: 1, Index: 7}
+	registerGen(t, im, key)
+	if err := im.Retain(key); err != nil {
+		t.Fatal(err)
+	}
+	im.Release(key)
+	if !im.Release(key) {
+		t.Fatal("final release did not schedule a clean")
+	}
+	// A new copy arrives before the clean is sent: the entry resurrects
+	// with exactly one hold, so one Release re-queues the clean.
+	if _, act, _ := im.Acquire(key, nil); act != ActionUse {
+		t.Fatalf("resurrection action %v", act)
+	}
+	if st := im.StateOf(key); st != StateOK {
+		t.Fatalf("state %v after resurrection", st)
+	}
+	if !im.Release(key) {
+		t.Fatal("release after resurrection did not schedule a clean")
+	}
+}
+
+func TestRetainWhilePinnedRevives(t *testing.T) {
+	im := NewImports()
+	key := wire.Key{Owner: 1, Index: 7}
+	registerGen(t, im, key)
+	if err := im.Pin(key); err != nil {
+		t.Fatal(err)
+	}
+	// The lone hold drops while the reference is in transit: release is
+	// deferred to the final Unpin.
+	if im.Release(key) {
+		t.Fatal("pinned release scheduled a clean")
+	}
+	// Retaining now revives the entry: the deferred release must not fire.
+	if err := im.Retain(key); err != nil {
+		t.Fatal(err)
+	}
+	if im.Unpin(key) {
+		t.Fatal("unpin released a retained reference")
+	}
+	if _, err := im.Use(key); err != nil {
+		t.Fatalf("reference unusable after revive: %v", err)
+	}
+	if !im.Release(key) {
+		t.Fatal("final release did not schedule a clean")
+	}
+}
+
+func TestReleaseGenOverridesHolds(t *testing.T) {
+	im := NewImports()
+	key := wire.Key{Owner: 1, Index: 7}
+	gen := registerGen(t, im, key)
+	for i := 0; i < 3; i++ {
+		if err := im.Retain(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The surrogate object became unreachable: GC truth overrides the
+	// outstanding holds (no holder can exist without the object).
+	if !im.ReleaseGen(key, gen) {
+		t.Fatal("ReleaseGen deferred to holds")
+	}
+	if st := im.StateOf(key); st != StateOKQueued {
+		t.Fatalf("state %v after ReleaseGen", st)
+	}
+}

@@ -88,6 +88,19 @@ type Metrics struct {
 	KeepalivePingsSent    *Counter
 	KeepalivePongsRecv    *Counter
 	KeepaliveFailures     *Counter
+
+	// Replicated name service (internal/registry).
+	RegistryWrites       *Counter
+	RegistryReplicated   *Counter
+	RegistryElections    *Counter
+	RegistryCatchups     *Counter
+	RegistryInvalSent    *Counter
+	RegistryInvalRecv    *Counter
+	RegistryLookupHits   *Counter
+	RegistryLookupMisses *Counter
+	RegistryFailovers    *Counter
+	RegistryRebinds      *Counter
+	RegistryReplLag      *Gauge
 }
 
 // NewMetrics returns a fresh metrics set with every metric registered
@@ -163,6 +176,18 @@ func NewMetrics() *Metrics {
 		KeepalivePingsSent:    r.Counter("netobj_keepalive_pings_sent_total", "Session keepalive probes sent."),
 		KeepalivePongsRecv:    r.Counter("netobj_keepalive_pongs_recv_total", "Session keepalive probe answers received."),
 		KeepaliveFailures:     r.Counter("netobj_keepalive_failures_total", "Sessions failed because the peer went silent past the keepalive allowance."),
+
+		RegistryWrites:       r.Counter("netobj_registry_writes_total", "Name-table writes (bind/rebind/unbind) sequenced by this replica."),
+		RegistryReplicated:   r.Counter("netobj_registry_replicated_total", "Replicated name-table updates applied by this replica."),
+		RegistryElections:    r.Counter("netobj_registry_elections_total", "Times this replica took over as sequencer."),
+		RegistryCatchups:     r.Counter("netobj_registry_catchups_total", "Snapshot/log-tail catch-up rounds this replica ran against a peer."),
+		RegistryInvalSent:    r.Counter("netobj_registry_invalidations_sent_total", "Lease invalidations pushed to subscribed resolvers."),
+		RegistryInvalRecv:    r.Counter("netobj_registry_invalidations_recv_total", "Lease invalidations received by this space's resolvers."),
+		RegistryLookupHits:   r.Counter("netobj_registry_lookup_hits_total", "Resolver lookups answered from the leased cache."),
+		RegistryLookupMisses: r.Counter("netobj_registry_lookup_misses_total", "Resolver lookups that went to a replica (cold, expired or invalidated)."),
+		RegistryFailovers:    r.Counter("netobj_registry_failovers_total", "Resolver operations that failed over to another replica."),
+		RegistryRebinds:      r.Counter("netobj_registry_rebinds_total", "Handle calls transparently re-resolved after a stale surrogate failed."),
+		RegistryReplLag:      r.Gauge("netobj_registry_repl_lag", "Versions this replica trails the highest applied version seen in the cluster."),
 	}
 }
 

@@ -1,0 +1,16 @@
+package registry
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+func init() {
+	if os.Getenv("REG_DEBUG") != "" {
+		start := time.Now()
+		testLogf = func(f string, a ...any) {
+			fmt.Fprintf(os.Stderr, "[%7.3fs] "+f+"\n", append([]any{time.Since(start).Seconds()}, a...)...)
+		}
+	}
+}

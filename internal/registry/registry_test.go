@@ -1,0 +1,655 @@
+package registry
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"netobjects/internal/core"
+	"netobjects/internal/naming"
+	"netobjects/internal/pickle"
+	"netobjects/internal/transport"
+	"netobjects/internal/wire"
+)
+
+var testLogf = func(string, ...any) {}
+
+type counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (c *counter) Bump() (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n, nil
+}
+
+// cluster is a test registry: n replica slots at fixed in-memory
+// endpoints (so a crashed replica can restart at the same address), plus
+// helper client spaces.
+type cluster struct {
+	t     *testing.T
+	mem   transport.Transport
+	peers []string
+	addrs []string
+	sps   []*core.Space
+	reps  []*Replica
+}
+
+// fastOpts are replica options tuned for test latency: failover inside a
+// few hundred milliseconds.
+func (c *cluster) fastOpts(self int) Options {
+	return Options{
+		Peers:         c.peers,
+		Self:          self,
+		LeaseTTL:      time.Second,
+		ProbeInterval: 50 * time.Millisecond,
+		ProbeTimeout:  150 * time.Millisecond,
+		ProbeFailures: 2,
+		Logf:          testLogf,
+	}
+}
+
+func (c *cluster) space(name, addr string, autoRelease bool) *core.Space {
+	c.t.Helper()
+	sp, err := core.NewSpace(core.Options{
+		Name:            name,
+		Transports:      []transport.Transport{c.mem},
+		ListenEndpoints: []string{wire.JoinEndpoint("inmem", addr)},
+		Registry:        pickle.NewRegistry(),
+		CallTimeout:     5 * time.Second,
+		PingInterval:    time.Hour,
+		AutoRelease:     autoRelease,
+	})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return sp
+}
+
+// start brings up replica slot i (initially or after a crash).
+func (c *cluster) start(i int) {
+	c.t.Helper()
+	sp := c.space(fmt.Sprintf("replica%d", i), c.addrs[i], true)
+	r, err := Serve(sp, c.fastOpts(i))
+	if err != nil {
+		_ = sp.Close()
+		c.t.Fatal(err)
+	}
+	c.sps[i] = sp
+	c.reps[i] = r
+}
+
+// crash kills replica i without draining.
+func (c *cluster) crash(i int) {
+	c.reps[i].Close()
+	c.sps[i].Abort()
+	c.sps[i], c.reps[i] = nil, nil
+}
+
+// newCluster starts n replicas (skipping indexes in skip, for late-join
+// tests).
+func newCluster(t *testing.T, n int, skip ...int) *cluster {
+	t.Helper()
+	c := &cluster{t: t, mem: transport.NewMem()}
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("reg%d", i)
+		c.addrs = append(c.addrs, addr)
+		c.peers = append(c.peers, wire.JoinEndpoint("inmem", addr))
+	}
+	c.sps = make([]*core.Space, n)
+	c.reps = make([]*Replica, n)
+	skipped := make(map[int]bool)
+	for _, i := range skip {
+		skipped[i] = true
+	}
+	for i := 0; i < n; i++ {
+		if !skipped[i] {
+			c.start(i)
+		}
+	}
+	t.Cleanup(func() {
+		for i := range c.sps {
+			if c.sps[i] != nil {
+				c.reps[i].Close()
+				_ = c.sps[i].Close()
+			}
+		}
+	})
+	return c
+}
+
+// client returns a plain client space on the cluster's transport.
+func (c *cluster) client(name string) *core.Space {
+	c.t.Helper()
+	sp := c.space(name, "client-"+name, false)
+	c.t.Cleanup(func() { _ = sp.Close() })
+	return sp
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// waitAllReady waits until every live replica is ready and agrees on the
+// expected sequencer.
+func (c *cluster) waitAllReady(wantLeader int) {
+	c.t.Helper()
+	waitFor(c.t, 10*time.Second, fmt.Sprintf("leader %d everywhere", wantLeader), func() bool {
+		for i := range c.reps {
+			if c.reps[i] == nil {
+				continue
+			}
+			if !c.reps[i].Ready() || c.reps[i].Leader() != wantLeader {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestSingleReplicaServesNamingProtocol(t *testing.T) {
+	c := newCluster(t, 1)
+	owner := c.client("owner")
+	user := c.client("user")
+	ep := c.peers[0]
+
+	impl := &counter{}
+	ref, err := owner.Export(impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plain naming client helpers speak to a replica unchanged.
+	if err := naming.Bind(owner, ep, "svc", ref); err != nil {
+		t.Fatal(err)
+	}
+	got, err := naming.Lookup(user, ep, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := got.Call("Bump"); err != nil || out[0].(int64) != 1 {
+		t.Fatalf("call: %v %v", out, err)
+	}
+	names, err := naming.List(user, ep)
+	if err != nil || len(names) != 1 || names[0] != "svc" {
+		t.Fatalf("list: %v %v", names, err)
+	}
+	if err := naming.Unbind(user, ep, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := naming.Lookup(user, ep, "svc"); err == nil {
+		t.Fatal("lookup after unbind succeeded")
+	}
+}
+
+func TestChainReplicationReadsAnywhere(t *testing.T) {
+	c := newCluster(t, 3)
+	c.waitAllReady(0)
+	owner := c.client("owner")
+	res, err := NewResolver(owner, ResolverOptions{Peers: c.peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	ctx := context.Background()
+
+	impl := &counter{}
+	ref, _ := owner.Export(impl)
+	v, err := res.Bind(ctx, "svc", ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == 0 {
+		t.Fatal("bind returned version 0")
+	}
+	// An acknowledged write is on every replica, at the same version.
+	for i := range c.reps {
+		_, gotV, ok := c.reps[i].Agent().Binding("svc")
+		if !ok || gotV != v {
+			t.Fatalf("replica %d: version %d ok=%v, want %d", i, gotV, ok, v)
+		}
+	}
+	// Reads work against any replica directly.
+	user := c.client("user")
+	for i := range c.peers {
+		got, err := naming.Lookup(user, c.peers[i], "svc")
+		if err != nil {
+			t.Fatalf("lookup at replica %d: %v", i, err)
+		}
+		if _, err := got.Call("Bump"); err != nil {
+			t.Fatalf("call via replica %d: %v", i, err)
+		}
+	}
+	if impl.n != 3 {
+		t.Fatalf("n=%d", impl.n)
+	}
+}
+
+func TestFollowerRedirectsWrites(t *testing.T) {
+	c := newCluster(t, 3)
+	c.waitAllReady(0)
+	owner := c.client("owner")
+	ref, _ := owner.Export(&counter{})
+
+	// A raw write at a follower is rejected with a redirect carrying the
+	// sequencer's endpoint.
+	_, err := owner.CallEndpoint(c.peers[2], wire.AgentIndex, "Bind", "x", ref)
+	if err == nil {
+		t.Fatal("follower accepted a write")
+	}
+	target := RedirectTarget(err)
+	if target != c.peers[0] {
+		t.Fatalf("redirect %q, want %q (err: %v)", target, c.peers[0], err)
+	}
+	// The resolver follows it.
+	res, err := NewResolver(owner, ResolverOptions{Peers: []string{c.peers[2], c.peers[1], c.peers[0]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if _, err := res.Bind(context.Background(), "x", ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.reps[0].Agent().Binding("x"); !ok {
+		t.Fatal("write did not reach the sequencer")
+	}
+}
+
+func TestSequencerFailover(t *testing.T) {
+	c := newCluster(t, 3)
+	c.waitAllReady(0)
+	owner := c.client("owner")
+	res, err := NewResolver(owner, ResolverOptions{Peers: c.peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	ref, _ := owner.Export(&counter{})
+	v1, err := res.Bind(ctx, "svc", ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c.crash(0)
+	// The next live member takes over and writes keep working.
+	v2, err := res.Rebind(ctx, "svc", ref)
+	if err != nil {
+		t.Fatalf("rebind across failover: %v", err)
+	}
+	if v2 <= v1 {
+		t.Fatalf("post-failover version %d not after %d", v2, v1)
+	}
+	c.waitAllReady(1)
+	if got := c.reps[1].sp.Metrics().RegistryElections.Load(); got == 0 {
+		t.Fatal("no election recorded")
+	}
+	// Both survivors converged.
+	_, va, _ := c.reps[1].Agent().Binding("svc")
+	_, vb, _ := c.reps[2].Agent().Binding("svc")
+	if va != vb || va < v2 {
+		t.Fatalf("survivors diverged: %d vs %d (acked %d)", va, vb, v2)
+	}
+}
+
+func TestKillSequencerMidWriteNoTornBindings(t *testing.T) {
+	c := newCluster(t, 3)
+	c.waitAllReady(0)
+	owner := c.client("owner")
+	res, err := NewResolver(owner, ResolverOptions{Peers: c.peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	ref, _ := owner.Export(&counter{})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var mu sync.Mutex
+	var acked []uint64
+	var postCrash int
+	crashed := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			v, err := res.Rebind(ctx, "hot", ref)
+			if err == nil {
+				mu.Lock()
+				acked = append(acked, v)
+				select {
+				case <-crashed:
+					postCrash++
+				default:
+				}
+				n := postCrash
+				mu.Unlock()
+				if n >= 5 {
+					return
+				}
+			}
+			if ctx.Err() != nil {
+				return
+			}
+		}
+	}()
+
+	time.Sleep(150 * time.Millisecond) // let some pre-crash writes land
+	c.crash(0)
+	close(crashed)
+	<-done
+	if ctx.Err() != nil {
+		t.Fatal("writer timed out before five post-crash acks")
+	}
+
+	c.waitAllReady(1)
+	// Wait for anti-entropy to finish converging the survivors.
+	waitFor(t, 10*time.Second, "survivor convergence", func() bool {
+		_, va, okA := c.reps[1].Agent().Binding("hot")
+		_, vb, okB := c.reps[2].Agent().Binding("hot")
+		return okA && okB && va == vb
+	})
+	// No torn writes: every acknowledged version is at or below what the
+	// survivors hold — an acked write was replicated to the whole live
+	// chain, so a crash can never make one vanish.
+	_, va, _ := c.reps[1].Agent().Binding("hot")
+	mu.Lock()
+	defer mu.Unlock()
+	for _, v := range acked {
+		if v > va {
+			t.Fatalf("acked version %d lost (survivors at %d)", v, va)
+		}
+	}
+	if len(acked) < 5 {
+		t.Fatalf("only %d acked writes", len(acked))
+	}
+}
+
+func TestLeaseExpiryBoundsStaleness(t *testing.T) {
+	c := newCluster(t, 1)
+	owner := c.client("owner")
+	user := c.client("user")
+	ctx := context.Background()
+
+	const ttl = 500 * time.Millisecond
+	res, err := NewResolver(user, ResolverOptions{
+		Peers:                c.peers,
+		LeaseTTL:             ttl,
+		DisableInvalidations: true, // pin the TTL as the only freshness signal
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+
+	ref1, _ := owner.Export(&counter{})
+	ref2, _ := owner.Export(&counter{n: 100})
+	if err := naming.Bind(owner, c.peers[0], "x", ref1); err != nil {
+		t.Fatal(err)
+	}
+	_, v1, err := res.Resolve(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebind behind the resolver's back.
+	if err := naming.Rebind(owner, c.peers[0], "x", ref2); err != nil {
+		t.Fatal(err)
+	}
+	rebound := time.Now()
+	// Inside the lease the resolver still serves the old binding: that IS
+	// the staleness window the lease protocol admits.
+	if _, v, err := res.Resolve(ctx, "x"); err != nil || v != v1 {
+		t.Fatalf("read inside lease: version %d (err %v), want cached %d", v, err, v1)
+	}
+	// And the window is bounded: within TTL (+scheduling slack) the new
+	// binding must be visible.
+	waitFor(t, ttl+2*time.Second, "lease expiry", func() bool {
+		_, v, err := res.Resolve(ctx, "x")
+		return err == nil && v > v1
+	})
+	if stale := time.Since(rebound); stale > ttl+2*time.Second {
+		t.Fatalf("staleness window %v exceeded lease %v", stale, ttl)
+	}
+	got, _, err := res.Resolve(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := got.Call("Bump"); err != nil || out[0].(int64) != 101 {
+		t.Fatalf("post-expiry call: %v %v", out, err)
+	}
+}
+
+func TestInvalidationPushBeatsLease(t *testing.T) {
+	c := newCluster(t, 1)
+	owner := c.client("owner")
+	user := c.client("user")
+	ctx := context.Background()
+
+	// A deliberately long lease: only the pushed invalidation can explain
+	// a fast refresh.
+	res, err := NewResolver(user, ResolverOptions{Peers: c.peers, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+
+	ref1, _ := owner.Export(&counter{})
+	ref2, _ := owner.Export(&counter{n: 100})
+	if err := naming.Bind(owner, c.peers[0], "x", ref1); err != nil {
+		t.Fatal(err)
+	}
+	_, v1, err := res.Resolve(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := naming.Rebind(owner, c.peers[0], "x", ref2); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "pushed invalidation", func() bool {
+		_, v, err := res.Resolve(ctx, "x")
+		return err == nil && v > v1
+	})
+	if user.Metrics().RegistryInvalRecv.Load() == 0 {
+		t.Fatal("no invalidation was received")
+	}
+}
+
+func TestTransparentRebindingAcrossOwnerRestart(t *testing.T) {
+	c := newCluster(t, 1)
+	user := c.client("user")
+	ctx := context.Background()
+
+	owner1 := c.space("owner1", "owner", false)
+	impl1 := &counter{}
+	ref1, _ := owner1.Export(impl1)
+	if err := naming.Bind(owner1, c.peers[0], "svc", ref1); err != nil {
+		t.Fatal(err)
+	}
+
+	// A long lease and no invalidations pin the cache: the handle MUST go
+	// through its stale surrogate and rebind transparently.
+	res, err := NewResolver(user, ResolverOptions{
+		Peers:                c.peers,
+		LeaseTTL:             time.Minute,
+		DisableInvalidations: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	h := res.Handle("svc")
+	if out, err := h.CallCtx(ctx, "Bump"); err != nil || out[0].(int64) != 1 {
+		t.Fatalf("first call: %v %v", out, err)
+	}
+
+	// The owner crashes and a new incarnation republishes the service at
+	// the same address.
+	owner1.Abort()
+	owner2 := c.space("owner2", "owner", false)
+	t.Cleanup(func() { _ = owner2.Close() })
+	impl2 := &counter{n: 100}
+	ref2, _ := owner2.Export(impl2)
+	if err := naming.Rebind(owner2, c.peers[0], "svc", ref2); err != nil {
+		t.Fatal(err)
+	}
+
+	// The handle's cached surrogate is stale; the call re-resolves and
+	// lands on the new incarnation.
+	out, err := h.CallCtx(ctx, "Bump")
+	if err != nil {
+		t.Fatalf("rebound call: %v", err)
+	}
+	if out[0].(int64) != 101 {
+		t.Fatalf("rebound call hit the wrong object: %v", out)
+	}
+	if user.Metrics().RegistryRebinds.Load() == 0 {
+		t.Fatal("no transparent rebind recorded")
+	}
+	// Application errors still pass through without retries.
+	if _, err := h.CallCtx(ctx, "NoSuchMethod"); err == nil {
+		t.Fatal("bad method call succeeded")
+	}
+}
+
+func TestReadFailoverOnReplicaCrash(t *testing.T) {
+	c := newCluster(t, 2)
+	c.waitAllReady(0)
+	owner := c.client("owner")
+	user := c.client("user")
+	ctx := context.Background()
+
+	ref, _ := owner.Export(&counter{})
+	wres, err := NewResolver(owner, ResolverOptions{Peers: c.peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wres.Close()
+	if _, err := wres.Bind(ctx, "svc", ref); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := NewResolver(user, ResolverOptions{
+		Peers:                c.peers,
+		LeaseTTL:             50 * time.Millisecond, // force remote reads
+		DisableInvalidations: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if _, _, err := res.Resolve(ctx, "svc"); err != nil {
+		t.Fatal(err)
+	}
+
+	c.crash(0)
+	time.Sleep(60 * time.Millisecond) // let the lease lapse
+	waitFor(t, 10*time.Second, "read failover", func() bool {
+		_, _, err := res.Resolve(ctx, "svc")
+		return err == nil
+	})
+	if user.Metrics().RegistryFailovers.Load() == 0 {
+		t.Fatal("no failover recorded")
+	}
+}
+
+func TestLateJoinCatchesUp(t *testing.T) {
+	c := newCluster(t, 3, 2) // replica 2 joins late
+	c.waitAllReady(0)
+	owner := c.client("owner")
+	res, err := NewResolver(owner, ResolverOptions{Peers: c.peers[:2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	ctx := context.Background()
+
+	refs := make([]*core.Ref, 12)
+	for i := range refs {
+		refs[i], _ = owner.Export(&counter{})
+		if _, err := res.Bind(ctx, fmt.Sprintf("svc-%d", i), refs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := res.Unbind(ctx, fmt.Sprintf("svc-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c.start(2)
+	waitFor(t, 10*time.Second, "late replica ready", func() bool {
+		return c.reps[2].Ready()
+	})
+	waitFor(t, 10*time.Second, "late replica caught up", func() bool {
+		b0, _, _ := c.reps[0].Agent().SnapshotV()
+		b2, _, _ := c.reps[2].Agent().SnapshotV()
+		if len(b0) != len(b2) {
+			return false
+		}
+		for i := range b0 {
+			if b0[i] != b2[i] {
+				return false
+			}
+		}
+		return true
+	})
+	if got := c.reps[2].Agent().Len(); got != 8 {
+		t.Fatalf("late replica has %d bindings, want 8", got)
+	}
+	// The unbound names arrived as tombstones, not bindings.
+	if _, _, ok := c.reps[2].Agent().Binding("svc-0"); ok {
+		t.Fatal("late replica resurrected an unbound name")
+	}
+	if c.sps[2].Metrics().RegistryCatchups.Load() == 0 {
+		t.Fatal("no catch-up recorded")
+	}
+}
+
+func TestRestartedReplicaConverges(t *testing.T) {
+	c := newCluster(t, 3)
+	c.waitAllReady(0)
+	owner := c.client("owner")
+	res, err := NewResolver(owner, ResolverOptions{Peers: c.peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	ctx := context.Background()
+
+	ref, _ := owner.Export(&counter{})
+	if _, err := res.Bind(ctx, "a", ref); err != nil {
+		t.Fatal(err)
+	}
+	c.crash(2)
+	// Mutations while replica 2 is down.
+	v, err := res.Rebind(ctx, "a", ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Bind(ctx, "b", ref); err != nil {
+		t.Fatal(err)
+	}
+
+	c.start(2)
+	waitFor(t, 10*time.Second, "restarted replica convergence", func() bool {
+		_, va, okA := c.reps[2].Agent().Binding("a")
+		_, _, okB := c.reps[2].Agent().Binding("b")
+		return okA && okB && va >= v
+	})
+}

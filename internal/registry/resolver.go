@@ -1,0 +1,417 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"netobjects/internal/core"
+	"netobjects/internal/obs"
+	"netobjects/internal/wire"
+)
+
+// ResolverOptions configures a client-side resolver.
+type ResolverOptions struct {
+	// Peers lists the replica endpoints, in the cluster's chain order.
+	Peers []string
+	// LeaseTTL bounds how long a cached lookup is served without
+	// revalidation. It should not exceed the replicas' lease TTL.
+	// Default 2s.
+	LeaseTTL time.Duration
+	// PerTryTimeout bounds one attempt against one replica, so failover
+	// does not burn the caller's whole deadline on a dead peer.
+	// Default 1s.
+	PerTryTimeout time.Duration
+	// DisableCache forces every Resolve to a replica (the cache still
+	// anchors returned references, but is never considered fresh).
+	DisableCache bool
+	// DisableInvalidations skips the invalidation subscription; staleness
+	// is then bounded only by LeaseTTL. Tests use it to pin the lease
+	// window.
+	DisableInvalidations bool
+}
+
+func (o *ResolverOptions) defaults() {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 2 * time.Second
+	}
+	if o.PerTryTimeout <= 0 {
+		o.PerTryTimeout = time.Second
+	}
+}
+
+// cacheEnt is one leased name binding.
+type cacheEnt struct {
+	ref     *core.Ref
+	version uint64
+	expires time.Time
+	stale   bool
+}
+
+// Resolver is the client side of the registry tier: it resolves names
+// through the replica set with failover, caches bindings under a lease
+// (TTL plus pushed invalidations), and hands out rebinding Handles whose
+// calls survive owner restarts.
+//
+// References returned by Resolve/Lookup are borrowed from the resolver's
+// cache: valid at least until the lease expires, not to be Released by
+// the caller. A caller that needs a reference beyond the lease should Dup
+// it or route calls through a Handle, which re-resolves transparently.
+type Resolver struct {
+	sp   *core.Space
+	opts ResolverOptions
+	m    *obs.Metrics
+
+	mu           sync.Mutex
+	cache        map[string]*cacheEnt
+	home         int    // replica currently preferred for reads
+	leaderEP     string // last known sequencer endpoint, "" when unknown
+	subscribedTo int    // peer index the sink is subscribed at, -1 none
+	closed       bool
+
+	sink *core.Ref // owner handle on the invalidation sink, nil if disabled
+}
+
+// NewResolver returns a resolver for the replica set in opts, using sp
+// for its calls. Unless invalidations are disabled it subscribes a push
+// sink at its home replica (best-effort; the lease TTL covers the gap).
+func NewResolver(sp *core.Space, opts ResolverOptions) (*Resolver, error) {
+	if len(opts.Peers) == 0 {
+		return nil, errors.New("registry: resolver needs at least one peer")
+	}
+	opts.defaults()
+	r := &Resolver{
+		sp:           sp,
+		opts:         opts,
+		m:            sp.Metrics(),
+		cache:        make(map[string]*cacheEnt),
+		subscribedTo: -1,
+	}
+	if !opts.DisableInvalidations {
+		ref, err := sp.Export(&invalSink{r: r})
+		if err != nil {
+			return nil, err
+		}
+		r.sink = ref
+		r.resubscribe()
+	}
+	return r, nil
+}
+
+// Close drops the cache (releasing its references) and unsubscribes the
+// invalidation sink.
+func (r *Resolver) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	cache := r.cache
+	r.cache = make(map[string]*cacheEnt)
+	subscribedTo, sink := r.subscribedTo, r.sink
+	r.subscribedTo = -1
+	r.mu.Unlock()
+	for _, e := range cache {
+		e.ref.Release()
+	}
+	if sink != nil && subscribedTo >= 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+		_, _ = r.sp.CallEndpointCtx(ctx, r.opts.Peers[subscribedTo], wire.AgentIndex, "Unsubscribe", sink)
+		cancel()
+	}
+}
+
+// resubscribe points the invalidation subscription at the current home
+// replica. Best-effort: a failed subscription leaves TTL-only freshness.
+func (r *Resolver) resubscribe() {
+	r.mu.Lock()
+	sink, home, cur := r.sink, r.home, r.subscribedTo
+	r.mu.Unlock()
+	if sink == nil || home == cur {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.opts.PerTryTimeout)
+	defer cancel()
+	if _, err := r.sp.CallEndpointCtx(ctx, r.opts.Peers[home], wire.AgentIndex, "Subscribe", sink); err != nil {
+		return
+	}
+	r.mu.Lock()
+	r.subscribedTo = home
+	r.mu.Unlock()
+}
+
+// invalidate marks a cached name stale (pushed invalidation or observed
+// failure); the next Resolve revalidates at a replica.
+func (r *Resolver) invalidate(name string, version uint64) {
+	r.mu.Lock()
+	if e, ok := r.cache[name]; ok && version > e.version {
+		e.stale = true
+	}
+	r.mu.Unlock()
+}
+
+// drop removes a cached name entirely, releasing the cache's reference.
+// Handles use it when a cached surrogate turns out to be dead.
+func (r *Resolver) drop(name string) {
+	r.mu.Lock()
+	e := r.cache[name]
+	delete(r.cache, name)
+	r.mu.Unlock()
+	if e != nil {
+		e.ref.Release()
+	}
+}
+
+// Lookup resolves name, from the leased cache when fresh. The reference
+// is borrowed; see Resolver's contract.
+func (r *Resolver) Lookup(ctx context.Context, name string) (*core.Ref, error) {
+	ref, _, err := r.Resolve(ctx, name)
+	return ref, err
+}
+
+// Resolve resolves name to its binding and version, from the leased
+// cache when fresh, failing over across replicas otherwise.
+func (r *Resolver) Resolve(ctx context.Context, name string) (*core.Ref, uint64, error) {
+	now := time.Now()
+	r.mu.Lock()
+	if e, ok := r.cache[name]; ok && !e.stale && !r.opts.DisableCache && now.Before(e.expires) {
+		ref, v := e.ref, e.version
+		r.mu.Unlock()
+		r.m.RegistryLookupHits.Inc()
+		return ref, v, nil
+	}
+	r.mu.Unlock()
+	r.m.RegistryLookupMisses.Inc()
+	ref, v, err := r.lookupRemote(ctx, name)
+	if err != nil {
+		return nil, 0, err
+	}
+	r.store(name, ref, v)
+	return ref, v, nil
+}
+
+// store anchors a freshly decoded binding in the cache. A re-decode of
+// the same surrogate is the same *Ref pointer carrying the same hold, so
+// the old reference is released only when the binding moved.
+func (r *Resolver) store(name string, ref *core.Ref, version uint64) {
+	now := time.Now()
+	r.mu.Lock()
+	old := r.cache[name]
+	r.cache[name] = &cacheEnt{ref: ref, version: version, expires: now.Add(r.opts.LeaseTTL)}
+	r.mu.Unlock()
+	if old != nil && old.ref != ref {
+		old.ref.Release()
+	}
+}
+
+// lookupRemote asks the replicas for name, starting at the home replica
+// and failing over on errors other than an authoritative "not bound".
+func (r *Resolver) lookupRemote(ctx context.Context, name string) (*core.Ref, uint64, error) {
+	r.mu.Lock()
+	home := r.home
+	r.mu.Unlock()
+	var lastErr error
+	for i := 0; i < len(r.opts.Peers); i++ {
+		idx := (home + i) % len(r.opts.Peers)
+		tryCtx, cancel := r.tryContext(ctx)
+		out, err := r.sp.CallEndpointCtx(tryCtx, r.opts.Peers[idx], wire.AgentIndex, "LookupV", name)
+		cancel()
+		if err == nil {
+			ref, _ := out[0].(*core.Ref)
+			if ref == nil {
+				return nil, 0, fmt.Errorf("registry: replica returned no reference for %q", name)
+			}
+			if idx != home {
+				r.mu.Lock()
+				r.home = idx
+				r.mu.Unlock()
+				r.resubscribe()
+			}
+			return ref, asU64(out[1]), nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, 0, err
+		}
+		var re *core.RemoteError
+		if errors.As(err, &re) && !IsSyncing(err) {
+			// Authoritative application error (name not bound).
+			return nil, 0, err
+		}
+		r.m.RegistryFailovers.Inc()
+	}
+	return nil, 0, fmt.Errorf("registry: lookup %q failed at every replica: %w", name, lastErr)
+}
+
+// tryContext derives one attempt's context: the caller's deadline capped
+// at PerTryTimeout.
+func (r *Resolver) tryContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, r.opts.PerTryTimeout)
+}
+
+// Bind publishes ref under name through the cluster's sequencer,
+// following redirects and retrying around elections. It returns the
+// binding's version.
+func (r *Resolver) Bind(ctx context.Context, name string, ref *core.Ref) (uint64, error) {
+	return r.writeOp(ctx, "Bind", name, ref)
+}
+
+// Rebind publishes ref under name, replacing any existing binding.
+func (r *Resolver) Rebind(ctx context.Context, name string, ref *core.Ref) (uint64, error) {
+	return r.writeOp(ctx, "Rebind", name, ref)
+}
+
+// Unbind removes name's binding through the sequencer.
+func (r *Resolver) Unbind(ctx context.Context, name string) (uint64, error) {
+	return r.writeOp(ctx, "Unbind", name)
+}
+
+// writeOp routes one write to the sequencer: start at the last known
+// leader (or the home replica), follow "not sequencer" redirects, retry
+// around elections and syncing replicas until the context gives up.
+func (r *Resolver) writeOp(ctx context.Context, method, name string, extra ...any) (uint64, error) {
+	args := append([]any{name}, extra...)
+	r.mu.Lock()
+	target := r.leaderEP
+	if target == "" {
+		target = r.opts.Peers[r.home]
+	}
+	r.mu.Unlock()
+	rotation := 0
+	var lastErr error
+	for attempt := 0; attempt < 4*len(r.opts.Peers)+4; attempt++ {
+		tryCtx, cancel := r.tryContext(ctx)
+		out, err := r.sp.CallEndpointCtx(tryCtx, target, wire.AgentIndex, method, args...)
+		cancel()
+		if err == nil {
+			r.mu.Lock()
+			r.leaderEP = target
+			r.mu.Unlock()
+			if name != "" {
+				r.invalidateSelf(name)
+			}
+			return asU64(out[0]), nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return 0, err
+		}
+		if redirect := RedirectTarget(err); redirect != "" {
+			target = redirect
+			continue
+		}
+		retriable := IsSyncing(err) ||
+			strings.Contains(err.Error(), "no sequencer") ||
+			strings.Contains(err.Error(), "replication failed")
+		var re *core.RemoteError
+		if errors.As(err, &re) && !retriable {
+			// Authoritative application error (duplicate bind, unbinding
+			// an unbound name): no other replica will disagree.
+			return 0, err
+		}
+		if !retriable {
+			r.m.RegistryFailovers.Inc()
+		}
+		// Rotate to the next replica and give an election a beat.
+		rotation++
+		r.mu.Lock()
+		target = r.opts.Peers[(r.home+rotation)%len(r.opts.Peers)]
+		r.leaderEP = ""
+		r.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	return 0, fmt.Errorf("registry: %s %q gave up: %w", method, name, lastErr)
+}
+
+// invalidateSelf marks our own cached copy stale after a write we made,
+// so the next read revalidates rather than serving the overwritten lease.
+func (r *Resolver) invalidateSelf(name string) {
+	r.mu.Lock()
+	if e, ok := r.cache[name]; ok {
+		e.stale = true
+	}
+	r.mu.Unlock()
+}
+
+// Handle returns a rebinding handle on name: calls through it re-resolve
+// and retry when the binding's surrogate turns out to be stale (owner
+// crashed and republished, replica failed over). This is the paper's
+// transparency carried across owner restarts.
+func (r *Resolver) Handle(name string) *Handle {
+	return &Handle{r: r, name: name}
+}
+
+// Handle routes calls to whatever object a registry name currently
+// binds, transparently re-resolving across rebinds and owner restarts.
+type Handle struct {
+	r    *Resolver
+	name string
+}
+
+// Name reports the registry name the handle tracks.
+func (h *Handle) Name() string { return h.name }
+
+// Call invokes method on the current binding (see CallCtx).
+func (h *Handle) Call(method string, args ...any) ([]any, error) {
+	return h.CallCtx(context.Background(), method, args...)
+}
+
+// CallCtx invokes method on the name's current binding. When the call
+// fails because the reference went stale — the owner's space closed or
+// restarted, the surrogate was released or withdrawn, the link died — the
+// handle drops its lease, re-resolves through the registry and retries.
+// Application errors and context expiry pass through unchanged.
+func (h *Handle) CallCtx(ctx context.Context, method string, args ...any) ([]any, error) {
+	const attempts = 3
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		ref, _, err := h.r.Resolve(ctx, h.name)
+		if err != nil {
+			return nil, err
+		}
+		out, err := ref.CallCtx(ctx, method, args...)
+		if err == nil || !rebindable(err) || ctx.Err() != nil {
+			return out, err
+		}
+		lastErr = err
+		h.r.drop(h.name)
+		h.r.m.RegistryRebinds.Inc()
+	}
+	return nil, fmt.Errorf("registry: call %s on %q kept failing after rebinds: %w", method, h.name, lastErr)
+}
+
+// rebindable classifies call failures that a fresh resolve can fix: the
+// failure is in reaching or using the reference, not in the application.
+func rebindable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *core.RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// invalSink receives pushed invalidations from the subscribed replica.
+type invalSink struct {
+	r *Resolver
+}
+
+// Invalidate is called one-way by the replica when name changes.
+func (s *invalSink) Invalidate(name string, version uint64) error {
+	s.r.m.RegistryInvalRecv.Inc()
+	s.r.invalidate(name, version)
+	return nil
+}
