@@ -66,7 +66,7 @@ func withObs(o *netobjects.Options) {
 }
 
 func main() {
-	which := flag.String("t", "all", "comma-separated experiments: t1,t2,f1,t3,t4,t5,t6,e1,e2,e3,e4,e5")
+	which := flag.String("t", "all", "comma-separated experiments: t1,t2,f1,t3,t4,t5,t6,e1,e2,e3,e4,e5,e6")
 	obsFlag := flag.Bool("obs", false, "aggregate runtime metrics across experiments and print the digest")
 	httpAddr := flag.String("http", "", "serve live /metrics and /debug/netobj on this address during the run (implies -obs)")
 	chaosFlag := flag.Bool("chaos", false, "run the fault-injection soak instead of the benchmark tables")
@@ -131,6 +131,7 @@ func main() {
 	run("e3", runE3)
 	run("e4", runE4)
 	run("e5", runE5)
+	run("e6", runE6)
 
 	if obsMetrics != nil {
 		fmt.Printf("\n========== METRICS DIGEST ==========\n%s", obsMetrics.Registry().Summary())
@@ -1874,5 +1875,149 @@ func runE5() error {
 		return fmt.Errorf("E5 acceptance failed: writer blip %v is far beyond the detection window %v",
 			wb.detect, detection)
 	}
+	return nil
+}
+
+// runE6 measures what the collector's liveness traffic costs as importers
+// multiply, across the three owner/client liveness designs: explicit
+// pings (the paper's), aggregated per-peer leases, and session-subsumed
+// liveness (healthy mux keepalives stand in for both). Each cell builds
+// one owner and N importer spaces all holding the same export, lets the
+// daemons run over a fixed window counting explicit liveness exchanges
+// (pings + lease renewals; each exchange is one request and one ack), and
+// then crashes one importer and times how long the owner takes to drop
+// its registration — the control-cost vs reclamation-latency trade the
+// designs differ on.
+func runE6() error {
+	counts := []int{1, 64, 1024}
+	window := 4 * time.Second
+	if *quick {
+		counts = []int{1, 16, 64}
+		window = 2 * time.Second
+	}
+	const (
+		pingInterval = 200 * time.Millisecond
+		pingFailures = 3
+		leaseTTL     = 6 * time.Second // renewed at TTL/3 = 2s
+		keepalive    = time.Second
+	)
+	fmt.Printf("E6: liveness traffic and reclamation latency vs importer count (inmem)\n")
+	fmt.Printf("host: NumCPU=%d GOMAXPROCS=%d\n", runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	fmt.Printf("ping %v x%d failures | lease ttl %v renew every %v | keepalive %v\n\n",
+		pingInterval, pingFailures, leaseTTL, leaseTTL/3, keepalive)
+
+	type mode struct {
+		name    string
+		setup   func(o *netobjects.Options)
+	}
+	modes := []mode{
+		{"pings", func(o *netobjects.Options) {
+			o.DisableSessionLiveness = true
+		}},
+		{"leases", func(o *netobjects.Options) {
+			o.Liveness = netobjects.LivenessLease
+			o.LeaseTTL = leaseTTL
+			o.DisableSessionLiveness = true
+		}},
+		{"session", func(o *netobjects.Options) {
+			// Ping fallback underneath, but the healthy keepalive-bearing
+			// sessions subsume it while importers live.
+		}},
+	}
+
+	cell := func(md mode, n int) error {
+		tr := netobjects.NewMem()
+		m := netobjects.NewMetrics()
+		mk := func(name string) (*netobjects.Space, error) {
+			opts := netobjects.Options{
+				Name:              name,
+				Transports:        []netobjects.Transport{tr},
+				CallTimeout:       10 * time.Second,
+				PingInterval:      pingInterval,
+				PingTimeout:       time.Second,
+				PingMaxFailures:   pingFailures,
+				KeepaliveInterval: keepalive,
+				Metrics:           m,
+			}
+			md.setup(&opts)
+			return netobjects.New(opts)
+		}
+		owner, err := mk("e6-owner")
+		if err != nil {
+			return err
+		}
+		defer owner.Close()
+		ref, err := owner.Export(&e4Obj{})
+		if err != nil {
+			return err
+		}
+		w, err := ref.WireRep()
+		if err != nil {
+			return err
+		}
+		clients := make([]*netobjects.Space, n)
+		defer func() {
+			for _, c := range clients {
+				if c != nil {
+					_ = c.Close()
+				}
+			}
+		}()
+		for i := range clients {
+			if clients[i], err = mk(fmt.Sprintf("e6-c%d", i)); err != nil {
+				return err
+			}
+			r, err := clients[i].Import(w)
+			if err != nil {
+				return err
+			}
+			// One call establishes the identified mux session the
+			// subsumed mode rides on.
+			if _, err := r.Call("Null"); err != nil {
+				return err
+			}
+		}
+		// Let registration traffic settle out of the window.
+		time.Sleep(500 * time.Millisecond)
+		before := m.PingsSent.Load() + m.LeasesSent.Load()
+		time.Sleep(window)
+		exchanges := m.PingsSent.Load() + m.LeasesSent.Load() - before
+		rate := float64(exchanges) / window.Seconds()
+
+		// Reclamation: crash the last importer (no parting cleans) and
+		// time the owner noticing.
+		victim := clients[n-1]
+		vid := victim.ID()
+		victim.Abort()
+		clients[n-1] = nil
+		t0 := time.Now()
+		reclaim := time.Duration(0)
+		for {
+			if !owner.Exports().HoldsDirty(w.Index, vid) {
+				reclaim = time.Since(t0)
+				break
+			}
+			if time.Since(t0) > 30*time.Second {
+				return fmt.Errorf("e6 %s n=%d: crashed importer never reclaimed", md.name, n)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		fmt.Printf("  %-8s n=%-5d %10.1f liveness exchanges/sec  (%6.3f /sec/importer)   reclaim %v\n",
+			md.name, n, rate, rate/float64(n), reclaim.Round(time.Millisecond))
+		return nil
+	}
+
+	for _, n := range counts {
+		for _, md := range modes {
+			if err := cell(md, n); err != nil {
+				return err
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("reading: pings pay per importer per interval forever; aggregated leases pay one renewal\n")
+	fmt.Printf("per importer per TTL/3 (and would cover any number of entries per importer); the\n")
+	fmt.Printf("subsumed mode pays nothing explicit while sessions stay healthy — its cost rides on\n")
+	fmt.Printf("keepalives the transport already sends — and falls back to pings on session loss.\n")
 	return nil
 }

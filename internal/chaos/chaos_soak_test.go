@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -13,6 +14,11 @@ func soakOps(t *testing.T) int {
 	t.Helper()
 	if testing.Short() {
 		return 120
+	}
+	// The nightly CI lane sets CHAOS_NIGHTLY to run the matrix at 10x
+	// the short-lane ops; the plain full suite keeps a bounded runtime.
+	if os.Getenv("CHAOS_NIGHTLY") != "" {
+		return 1200
 	}
 	return 300
 }

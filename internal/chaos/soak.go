@@ -41,6 +41,11 @@ type SoakConfig struct {
 	// nodes reserve a fixed loopback port up front so a crashed node
 	// restarts at the same endpoint, as the collector protocol assumes.
 	Transport string
+	// Liveness selects the collector's dead-client detection for the
+	// soaked spaces: "ping" (default, owner-driven probing) or "lease"
+	// (client-renewed leases with owner-side stripe expiry). Both run with
+	// session-subsumed liveness on, as production would.
+	Liveness string
 	// HealTimeout bounds the post-heal quiescence wait (default 30s).
 	HealTimeout time.Duration
 	// Metrics, when non-nil, receives the chaos fault counters
@@ -61,6 +66,7 @@ type SoakReport struct {
 	Seed      uint64
 	Profile   string
 	Transport string
+	Liveness  string
 	Elapsed   time.Duration
 	// Faults aggregates the fault counters across every wrapper.
 	Faults Stats
@@ -109,8 +115,8 @@ func (r *SoakReport) String() string {
 			r.Elapsed.Round(time.Millisecond), verdict)
 	}
 	return fmt.Sprintf(
-		"chaos soak %s/%s seed=%d: %d spaces, %d ops, %d crashes, %d faults (%d drops, %d resets, %d dups, %d reorders, %d refusals), %d abandoned cleans, %v — %s",
-		r.Profile, r.Transport, r.Seed, r.Spaces, r.Ops, r.Crashes,
+		"chaos soak %s/%s/%s seed=%d: %d spaces, %d ops, %d crashes, %d faults (%d drops, %d resets, %d dups, %d reorders, %d refusals), %d abandoned cleans, %v — %s",
+		r.Profile, r.Transport, r.Liveness, r.Seed, r.Spaces, r.Ops, r.Crashes,
 		r.Faults.Faults(), r.Faults.Drops, r.Faults.Resets, r.Faults.Duplicates,
 		r.Faults.Reorders, r.Faults.Refusals, r.AbandonedCleans,
 		r.Elapsed.Round(time.Millisecond), verdict)
@@ -241,6 +247,13 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 	if cfg.Profile == "" {
 		cfg.Profile = "mixed"
 	}
+	switch cfg.Liveness {
+	case "":
+		cfg.Liveness = "ping"
+	case "ping", "lease":
+	default:
+		return nil, fmt.Errorf("chaos: unknown soak liveness %q (want ping or lease)", cfg.Liveness)
+	}
 	var inner transport.Transport
 	switch cfg.Transport {
 	case "", "inmem":
@@ -314,6 +327,7 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 		Seed:      cfg.Seed,
 		Profile:   cfg.Profile,
 		Transport: cfg.Transport,
+		Liveness:  cfg.Liveness,
 		Crashes:   h.crashes,
 	}
 	h.quiesce(report)
@@ -345,6 +359,10 @@ func (h *harness) startSpace(n *soakNode) error {
 	if h.cfg.Tracer != nil {
 		tracer = obs.MultiTracer(mirror, h.cfg.Tracer)
 	}
+	liveness := core.LivenessPing
+	if h.cfg.Liveness == "lease" {
+		liveness = core.LivenessLease
+	}
 	sp, err := core.NewSpace(core.Options{
 		Name:            n.name,
 		Transports:      []transport.Transport{n.ct},
@@ -369,6 +387,11 @@ func (h *harness) startSpace(n *soakNode) error {
 		PingInterval:    150 * time.Millisecond,
 		PingTimeout:     300 * time.Millisecond,
 		PingMaxFailures: 4,
+		// Lease mode (when selected): a TTL in the same band as the ping
+		// policy's drop latency (4 failures x 150ms), so partitioned-dead
+		// clients reclaim on a comparable clock.
+		Liveness: liveness,
+		LeaseTTL: 600 * time.Millisecond,
 		// Abandoning a clean is how a client concludes an owner is dead,
 		// and it must not happen merely because a fault window outlasted
 		// the retry budget: under an asymmetric partition the owner still
@@ -660,10 +683,13 @@ func (h *harness) quiesce(report *SoakReport) {
 			}
 		}
 		// Drive the collector: orphaned surrogates (arguments of calls
-		// that timed out before dispatch) are reclaimed by GC cleanups.
+		// that timed out before dispatch) are reclaimed by GC cleanups,
+		// and an immediate liveness round (ping or lease-expiry sweep)
+		// notices crashed incarnations without waiting out the ticker.
 		runtime.GC()
 		quiet := true
 		for _, n := range h.nodes {
+			n.sp.PokeLiveness()
 			n.sp.Exports().Sweep()
 		}
 		for _, n := range h.nodes {

@@ -120,6 +120,33 @@ type Options struct {
 	// PingMaxFailures is how many consecutive failed pings a client
 	// survives before its dirty entries are dropped (default 3).
 	PingMaxFailures int
+	// DisableSessionLiveness stops mux-session health from standing in
+	// for collector liveness traffic. By default, a healthy session whose
+	// keepalives are confirming a peer that identified itself as space X
+	// proves X alive: the owner's pinger skips probing X, a lease-mode
+	// owner renews X's lease implicitly, and a lease-mode client skips
+	// explicit renewals to X — collector control traffic approaches zero
+	// between peers that are already talking. Disable for A/B
+	// measurement, or to force the explicit protocol everywhere.
+	DisableSessionLiveness bool
+	// CycleDetect enables the cross-space cycle detector: a periodic
+	// trial-deletion pass over exports whose only liveness is their remote
+	// dirty sets, querying each dirty-set member for the back-references
+	// behind its surrogates (see NetRefHolder). Detected dead cycles are
+	// counted and logged; they are reclaimed only when CycleCollect is
+	// also set. The pass is one-round pairwise: it detects cycles spanning
+	// two spaces, and conservatively keeps longer rings alive.
+	CycleDetect bool
+	// CycleCollect additionally reclaims detected dead cycles by dropping
+	// the member spaces' dirty entries. Opt-in, because Go cannot see
+	// which local values reference a surrogate: an application that keeps
+	// a surrogate reachable alongside an exported holder object declaring
+	// the same reference must Dup() its copy, or collection of a dead-
+	// looking cycle invalidates it (subsequent calls fail with
+	// ErrNoSuchObject, exactly as if the owner had restarted).
+	CycleCollect bool
+	// CycleInterval paces detection passes (default 1 minute).
+	CycleInterval time.Duration
 	// CleanMaxAttempts bounds delivery attempts for one clean call
 	// (default 8).
 	CleanMaxAttempts int
@@ -206,6 +233,9 @@ type Space struct {
 
 	leases  *dgc.Leases
 	renewer *dgc.Renewer
+	expirer *dgc.Expirer
+
+	detector *dgc.Detector
 
 	listeners []transport.Listener
 	endpoints []string
@@ -336,6 +366,7 @@ func NewSpace(opts Options) (*Space, error) {
 	sp.pool.SetObserver(sp.metrics, sp.tracer)
 	sp.pool.SetFlow(sp.flowParams())
 	sp.pool.SetPipeline(opts.DisablePipeline, opts.BatchWindow)
+	sp.pool.SetLocalSpace(sp.id)
 
 	listenEPs := opts.ListenEndpoints
 	if len(listenEPs) == 0 {
@@ -408,38 +439,55 @@ func NewSpace(opts Options) (*Space, error) {
 		Logger:      sp.log,
 		Obs:         sp.metrics,
 	})
+	// A healthy identified mux session subsumes explicit liveness traffic
+	// in both modes, unless the space opts out.
+	sessionAlive := sp.sessionAlive
+	if opts.DisableSessionLiveness {
+		sessionAlive = nil
+	}
 	switch sp.opts.Liveness {
 	case LivenessLease:
 		sp.leases = dgc.NewLeases(sp.opts.LeaseTTL)
-		// The expiry sweep reuses the pinger's cadence machinery: every
-		// interval, clients in some dirty set whose lease lapsed are
-		// dropped. The "ping" is a local lease check, no network traffic.
-		sp.pinger = dgc.NewPinger(dgc.PingerConfig{
-			Interval:    max(sp.leases.TTL()/3, 10*time.Millisecond),
-			MaxFailures: 1,
-			Clients:     sp.exports.Clients,
-			Ping:        sp.checkLease,
-			Drop:        sp.dropClient,
-			OnProbe:     opts.OnPingProbe,
-			Logger:      sp.log,
+		// The expiry sweep walks the export table one stripe per tick, so
+		// a full pass completes in about half the TTL however large the
+		// table is, and no tick holds more than one shard's lock.
+		sp.expirer = dgc.NewExpirer(dgc.ExpirerConfig{
+			Interval:     max(sp.leases.TTL()/(2*time.Duration(sp.exports.ShardCount())), time.Millisecond),
+			Shards:       sp.exports.ShardCount,
+			ClientsShard: sp.exports.ClientsShard,
+			Leases:       sp.leases,
+			SessionAlive: sessionAlive,
+			Drop:         sp.dropClient,
+			Logger:       sp.log,
+			Obs:          sp.metrics,
 		})
 		sp.renewer = dgc.NewRenewer(dgc.RenewerConfig{
-			Interval: max(sp.leases.TTL()/3, 10*time.Millisecond),
-			Owners:   sp.imports.OwnersSnapshot,
-			Renew:    sp.sendLease,
-			Logger:   sp.log,
-			Obs:      sp.metrics,
+			Interval:     max(sp.leases.TTL()/3, 10*time.Millisecond),
+			Owners:       sp.imports.OwnersSnapshot,
+			Renew:        sp.sendLease,
+			SessionAlive: sessionAlive,
+			Logger:       sp.log,
+			Obs:          sp.metrics,
 		})
 	default:
 		sp.pinger = dgc.NewPinger(dgc.PingerConfig{
-			Interval:    sp.opts.PingInterval,
-			MaxFailures: opts.PingMaxFailures,
-			Clients:     sp.exports.Clients,
-			Ping:        sp.sendPing,
-			Drop:        sp.dropClient,
-			OnProbe:     opts.OnPingProbe,
-			Logger:      sp.log,
-			Obs:         sp.metrics,
+			Interval:     sp.opts.PingInterval,
+			MaxFailures:  opts.PingMaxFailures,
+			Clients:      sp.exports.Clients,
+			Ping:         sp.sendPing,
+			Drop:         sp.dropClient,
+			OnProbe:      opts.OnPingProbe,
+			SessionAlive: sessionAlive,
+			Logger:       sp.log,
+			Obs:          sp.metrics,
+		})
+	}
+
+	if opts.CycleDetect {
+		sp.detector = dgc.NewDetector(dgc.DetectorConfig{
+			Interval: opts.CycleInterval,
+			Pass:     sp.cyclePass,
+			Logger:   sp.log,
 		})
 	}
 
@@ -636,8 +684,16 @@ func (sp *Space) shutdown(graceful bool) error {
 	}
 	sp.serveCancel()
 	close(sp.closedCh)
+	if sp.detector != nil {
+		sp.detector.Close()
+	}
 	sp.cleaner.Close()
-	sp.pinger.Close()
+	if sp.pinger != nil {
+		sp.pinger.Close()
+	}
+	if sp.expirer != nil {
+		sp.expirer.Close()
+	}
 	if sp.renewer != nil {
 		sp.renewer.Close()
 	}
@@ -693,11 +749,35 @@ func (sp *Space) dropClient(id wire.SpaceID) {
 	sp.log.Info("dropped dead client", "client", id.String(), "withdrawn", len(withdrawn))
 }
 
-// checkLease plays the pinger's probe role in lease mode: it "fails" for
-// clients whose lease lapsed, which (with MaxFailures 1) drops them.
-func (sp *Space) checkLease(id wire.SpaceID, _ []string) error {
-	if expired := sp.leases.Expired([]wire.SpaceID{id}); len(expired) != 0 {
-		return fmt.Errorf("netobjects: lease of %v expired", id)
+// sessionAlive reports whether a healthy mux session whose peer
+// identified itself as id exists — outbound (cached in the pool, never
+// dialed for this) or inbound (being served). Only sessions with an
+// active keepalive currently confirming the peer count: the keepalive is
+// what makes "the session is up" equivalent to "the peer is alive", and
+// the PeerHello identity is what stops an endpoint reused by a new
+// incarnation from impersonating the old space.
+func (sp *Space) sessionAlive(id wire.SpaceID, endpoints []string) bool {
+	if s := sp.pool.Cached(endpoints); s != nil && s.PeerSpace() == id && s.KeepaliveHealthy() {
+		return true
 	}
-	return nil
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	for s := range sp.muxServers {
+		if s.PeerSpace() == id && s.KeepaliveHealthy() {
+			return true
+		}
+	}
+	return false
+}
+
+// PokeLiveness runs one immediate round of the owner-side liveness
+// machinery — a full ping round, or a sweep of every lease stripe —
+// so tests and drain harnesses need not wait out an interval.
+func (sp *Space) PokeLiveness() {
+	if sp.pinger != nil {
+		sp.pinger.Poke()
+	}
+	if sp.expirer != nil {
+		sp.expirer.Poke()
+	}
 }

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"netobjects/internal/wire"
+)
+
+// wireRepFor rebuilds the wire representation of sp's export at ix, the
+// way a name service that stored it earlier would replay it.
+func wireRepFor(t *testing.T, sp *Space, ix uint64) wire.WireRep {
+	t.Helper()
+	return wire.WireRep{Owner: sp.ID(), Endpoints: sp.Endpoints(), Index: ix}
+}
+
+// refHolder is an exported object holding network references, declaring
+// them for the cycle detector.
+type refHolder struct {
+	refs []*Ref
+}
+
+func (h *refHolder) NetRefs() []*Ref { return h.refs }
+
+// Hi keeps the type remotely invocable so exports look realistic.
+func (h *refHolder) Hi() string { return "hi" }
+
+// buildTwoSpaceCycle wires the canonical dead cycle: X at a holds a
+// surrogate for Y at b and vice versa, each space's application keeps no
+// reference of its own. Returns the export indices of X and Y.
+func buildTwoSpaceCycle(t *testing.T, a, b *Space) (xIx, yIx uint64) {
+	t.Helper()
+	x := &refHolder{}
+	y := &refHolder{}
+	refX, err := a.Export(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refY, err := b.Export(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wx, _ := refX.WireRep()
+	wy, _ := refY.WireRep()
+	sx, err := b.Import(wx) // b's surrogate for X
+	if err != nil {
+		t.Fatal(err)
+	}
+	sy, err := a.Import(wy) // a's surrogate for Y
+	if err != nil {
+		t.Fatal(err)
+	}
+	y.refs = []*Ref{sx}
+	x.refs = []*Ref{sy}
+	return wx.Index, wy.Index
+}
+
+func TestCycleDetectedButNotCollectedByDefault(t *testing.T) {
+	tn := newTestNet(t)
+	a := tn.space("a", func(o *Options) { o.CycleDetect = true })
+	b := tn.space("b", func(o *Options) { o.CycleDetect = true })
+	buildTwoSpaceCycle(t, a, b)
+
+	a.PokeCycles()
+	if n := a.metrics.CyclesDetected.Load(); n < 2 {
+		t.Fatalf("detected %d cycle members, want both", n)
+	}
+	// Detection without CycleCollect reports only: both entries survive.
+	if a.Exports().Len() != 1 || b.Exports().Len() != 1 {
+		t.Fatalf("detection-only pass reclaimed entries: a=%d b=%d",
+			a.Exports().Len(), b.Exports().Len())
+	}
+}
+
+func TestCycleCollectedWhenOptedIn(t *testing.T) {
+	tn := newTestNet(t)
+	opt := func(o *Options) { o.CycleDetect = true; o.CycleCollect = true }
+	a := tn.space("a", opt)
+	b := tn.space("b", opt)
+	buildTwoSpaceCycle(t, a, b)
+
+	a.PokeCycles()
+	if a.Exports().Len() != 0 {
+		t.Fatalf("detector's own cycle member not reclaimed: %d entries", a.Exports().Len())
+	}
+	if b.Exports().Len() != 0 {
+		t.Fatalf("peer cycle member not reclaimed: %d entries", b.Exports().Len())
+	}
+	if a.metrics.CyclesDetected.Load() < 2 {
+		t.Fatal("collection without detection accounting")
+	}
+	if a.metrics.CyclesCollected.Load() == 0 || b.metrics.CyclesCollected.Load() == 0 {
+		t.Fatalf("collection counters: a=%d b=%d",
+			a.metrics.CyclesCollected.Load(), b.metrics.CyclesCollected.Load())
+	}
+}
+
+func TestCycleWithIndependentHoldSurvives(t *testing.T) {
+	tn := newTestNet(t)
+	opt := func(o *Options) { o.CycleDetect = true; o.CycleCollect = true }
+	a := tn.space("a", opt)
+	b := tn.space("b", opt)
+	xIx, yIx := buildTwoSpaceCycle(t, a, b)
+
+	// b's application keeps its own claim on X alongside the exported
+	// holder: Dup adds an independent hold, so the responder's accounting
+	// (holds != declared) roots the surrogate.
+	sx, err := b.Import(wireRepFor(t, a, xIx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sx.Dup(); err != nil {
+		t.Fatal(err)
+	}
+
+	a.PokeCycles()
+	b.PokeCycles()
+	if !a.Exports().HoldsDirty(xIx, b.ID()) {
+		t.Fatal("independently held object collected")
+	}
+	if !b.Exports().HoldsDirty(yIx, a.ID()) {
+		t.Fatal("object held by a rooted holder collected")
+	}
+}
+
+func TestThreeSpaceRingSurvivesPairwisePass(t *testing.T) {
+	// A ring spanning three spaces is beyond the one-round pairwise pass:
+	// every member must survive (conservative), none may be misreclaimed.
+	tn := newTestNet(t)
+	opt := func(o *Options) { o.CycleDetect = true; o.CycleCollect = true }
+	sps := []*Space{tn.space("a", opt), tn.space("b", opt), tn.space("c", opt)}
+	objs := make([]*refHolder, 3)
+	wires := make([]uint64, 3)
+	for i := range sps {
+		objs[i] = &refHolder{}
+		ref, err := sps[i].Export(objs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, _ := ref.WireRep()
+		wires[i] = w.Index
+	}
+	for i := range sps {
+		next := (i + 1) % 3
+		s, err := sps[i].Import(wireRepFor(t, sps[next], wires[next]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs[i].refs = []*Ref{s}
+	}
+	for _, sp := range sps {
+		sp.PokeCycles()
+	}
+	for i, sp := range sps {
+		if sp.Exports().Len() != 1 {
+			t.Fatalf("ring member %d reclaimed by a pairwise pass", i)
+		}
+	}
+	if sps[0].metrics.CyclesDetected.Load() != 0 {
+		t.Fatal("pairwise pass claimed to detect a three-space ring")
+	}
+}

@@ -5,10 +5,14 @@ import (
 	"time"
 )
 
+// leaseSpace disables session-subsumed liveness: these tests exercise the
+// explicit lease protocol (renew messages, TTL expiry), which session
+// health would otherwise short-circuit. Subsumption has its own tests.
 func leaseSpace(tn *testNet, name string, ttl time.Duration) *Space {
 	return tn.space(name, func(o *Options) {
 		o.Liveness = LivenessLease
 		o.LeaseTTL = ttl
+		o.DisableSessionLiveness = true
 	})
 }
 
@@ -81,7 +85,7 @@ func TestLeaseGraceForUnknownClients(t *testing.T) {
 	}
 	// The first sweep must not evict (implicit lease from the dirty
 	// call); expiry happens only after a full TTL of silence.
-	owner.pinger.Poke()
+	owner.PokeLiveness()
 	if !owner.Exports().HoldsDirty(w.Index, client.ID()) {
 		t.Fatal("client evicted before its lease could lapse")
 	}

@@ -124,8 +124,18 @@ func (s *callSession) unpinAll() {
 	for _, key := range s.pinnedImports {
 		if s.sp.imports.Unpin(key) {
 			// A Release arrived while the reference was in transit; the
-			// deferred clean call is due now. The cleaner recovers the
-			// owner endpoints from the import entry when it dequeues.
+			// release transition commits here, so this is where the
+			// surrogate-released event belongs (Ref.Release returned
+			// before the transition and emitted nothing — a trace
+			// checker must see the release before the clean call it
+			// causes, or the clean-triggered withdraw at the owner looks
+			// like reclaiming from a live holder). The cleaner recovers
+			// the owner endpoints from the import entry when it dequeues.
+			s.sp.metrics.SurrogatesReleased.Inc()
+			if tr != nil {
+				tr.Emit(obs.Event{Kind: obs.EvSurrogateReleased, Time: time.Now(),
+					Key: key.String()})
+			}
 			s.sp.cleaner.Schedule(key, nil)
 		}
 		if tr != nil {

@@ -79,6 +79,16 @@ func (p *Promise) breakWith(cause error) {
 // Done is closed once the promise has resolved (or broken).
 func (p *Promise) Done() <-chan struct{} { return p.done }
 
+// FailedPromise returns a promise already resolved with err. Callers
+// that fail before a pipelined call can ship — a registry handle whose
+// resolve failed, for instance — use it to keep the promise contract
+// instead of inventing a second error path.
+func (sp *Space) FailedPromise(method string, err error) *Promise {
+	p := newPromise(sp, method, nil)
+	p.resolve(nil, nil, err)
+	return p
+}
+
 // Await blocks until the promise resolves and returns the call's
 // dynamic results, following the Ref.Call error conventions. A promise
 // may be awaited any number of times, from any goroutine.

@@ -137,6 +137,10 @@ func (sp *Space) serveConn(c transport.Conn) {
 			reply = &wire.PingAck{From: sp.id}
 		case *wire.Lease:
 			reply = sp.handleLease(m)
+		case *wire.CycleQuery:
+			reply = sp.handleCycleQuery(m)
+		case *wire.CycleCollect:
+			reply = sp.handleCycleCollect(m)
 		case *wire.CancelCall:
 			reply = sp.handleCancel(m)
 		default:
@@ -165,6 +169,7 @@ func (sp *Space) serveMux(c transport.Conn, first []byte) {
 		Metrics:     sp.metrics,
 		NoPipeline:  sp.opts.DisablePipeline,
 		BatchWindow: sp.opts.BatchWindow,
+		LocalSpace:  sp.id,
 	})
 	sp.mu.Lock()
 	sp.muxServers[s] = struct{}{}
@@ -230,6 +235,10 @@ func (sp *Space) serveStream(st *transport.Stream) {
 		reply = &wire.PingAck{From: sp.id}
 	case *wire.Lease:
 		reply = sp.handleLease(m)
+	case *wire.CycleQuery:
+		reply = sp.handleCycleQuery(m)
+	case *wire.CycleCollect:
+		reply = sp.handleCycleCollect(m)
 	case *wire.CancelCall:
 		reply = sp.handleCancel(m)
 	default:

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"netobjects/internal/obs"
+)
+
+// gatedRelay blocks inside Put until the test opens the gate, holding the
+// caller's exchange — and therefore the caller's transient pin on the
+// argument surrogate — open for as long as the test needs.
+type gatedRelay struct {
+	entered chan struct{}
+	gate    chan struct{}
+	once    sync.Once
+}
+
+func (g *gatedRelay) Put(r *Ref) error {
+	g.once.Do(func() { close(g.entered) })
+	<-g.gate
+	return nil
+}
+
+// TestDeferredReleaseEmitsEvent releases a surrogate while it is pinned
+// in transit as a call argument. The release transition defers to the
+// final unpin (after the call's exchange completes), and that commit must
+// emit the surrogate-released trace event: a trace checker that sees the
+// clean call's consequences (the owner withdrawing the export) without a
+// preceding release believes the collector reclaimed out from under a
+// live holder. The chaos soak found exactly that phantom violation at
+// seed 4 before the unpin path emitted the event.
+func TestDeferredReleaseEmitsEvent(t *testing.T) {
+	tn := newTestNet(t)
+	ring := obs.NewRing(256)
+	owner := tn.space("owner", nil)
+	relaySp := tn.space("relay", nil)
+	client := tn.space("client", func(o *Options) { o.Tracer = ring })
+
+	target, err := owner.Export(&counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relayObj := &gatedRelay{entered: make(chan struct{}), gate: make(chan struct{})}
+	relayRef, err := relaySp.Export(relayObj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctarget := handoff(t, target, client)
+	crelay := handoff(t, relayRef, client)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := crelay.Call("Put", ctarget)
+		done <- err
+	}()
+	select {
+	case <-relayObj.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("relay never entered Put")
+	}
+
+	// The exchange is in flight, so the argument surrogate is pinned and
+	// this release must defer — no event yet.
+	ctarget.Release()
+	if n := ring.CountKind(obs.EvSurrogateReleased); n != 0 {
+		t.Fatalf("release emitted %d events while pinned in transit", n)
+	}
+
+	close(relayObj.gate)
+	if err := <-done; err != nil {
+		t.Fatalf("relay call failed: %v", err)
+	}
+	// unpinAll ran on the call path before Call returned; the deferred
+	// release committed there and must have emitted exactly one event.
+	if n := ring.CountKind(obs.EvSurrogateReleased); n != 1 {
+		t.Fatalf("deferred release emitted %d surrogate-released events, want 1", n)
+	}
+}

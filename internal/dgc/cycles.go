@@ -1,0 +1,88 @@
+package dgc
+
+import (
+	"sort"
+
+	"netobjects/internal/wire"
+)
+
+// Cross-space reference cycles are the one class of garbage Birrell's
+// reference-listing collector cannot reclaim: object A at space 1 holds a
+// surrogate for object B at space 2 and vice versa, each export's dirty
+// set names the other space, and both entries live forever although no
+// application can reach either. This file implements the decision
+// procedure of a trial-deletion pass over a snapshot of such a graph; the
+// runtime assembles the snapshot with CycleQuery RPCs, and the model
+// checker in internal/refmodel drives this same function through every
+// interleaving of a small object graph.
+
+// CycleKey identifies one exported object in a detection graph.
+type CycleKey struct {
+	Space wire.SpaceID
+	Index uint64
+}
+
+// CycleNode is one exported object with the facts trial deletion needs.
+type CycleNode struct {
+	// Rooted marks a node that must stay alive for a reason other than
+	// being held by another node in the graph: an application reference,
+	// a pin (reference in transit), a pinned well-known export, or any
+	// holder the responding space could not account for. Rootedness is
+	// the conservative side — when in doubt, a node is rooted.
+	Rooted bool
+	// Holders are the exported objects holding a reference to this one.
+	// A holder absent from the graph is treated as a root for this node.
+	Holders []CycleKey
+}
+
+// GarbageCycles returns the nodes unreachable from any root: liveness
+// seeds at rooted nodes and flows from holder to held, and whatever it
+// never reaches is garbage — dead cross-space cycles (and any dead
+// acyclic debris snapshotted with them). The result is sorted for
+// deterministic reporting.
+func GarbageCycles(nodes map[CycleKey]*CycleNode) []CycleKey {
+	live := make(map[CycleKey]bool)
+	var stack []CycleKey
+	mark := func(k CycleKey) {
+		if !live[k] {
+			live[k] = true
+			stack = append(stack, k)
+		}
+	}
+	// held[h] lists the nodes h holds, inverting the Holders edges so
+	// liveness can propagate forward.
+	held := make(map[CycleKey][]CycleKey)
+	for k, n := range nodes {
+		if n.Rooted {
+			mark(k)
+		}
+		for _, h := range n.Holders {
+			if _, ok := nodes[h]; !ok {
+				// Unknown holder: conservatively a root.
+				mark(k)
+				continue
+			}
+			held[h] = append(held[h], k)
+		}
+	}
+	for len(stack) > 0 {
+		h := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, k := range held[h] {
+			mark(k)
+		}
+	}
+	var garbage []CycleKey
+	for k := range nodes {
+		if !live[k] {
+			garbage = append(garbage, k)
+		}
+	}
+	sort.Slice(garbage, func(i, j int) bool {
+		if garbage[i].Space != garbage[j].Space {
+			return garbage[i].Space < garbage[j].Space
+		}
+		return garbage[i].Index < garbage[j].Index
+	})
+	return garbage
+}

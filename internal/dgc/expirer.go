@@ -1,0 +1,127 @@
+package dgc
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+
+	"netobjects/internal/obs"
+	"netobjects/internal/wire"
+)
+
+// ExpirerConfig wires an Expirer to the runtime.
+type ExpirerConfig struct {
+	// Interval is the pause between stripe sweeps (default 250ms). Each
+	// tick sweeps ONE shard of the export table, so a full pass over an
+	// n-shard table takes n intervals; size it so a full pass completes
+	// well inside the lease TTL (TTL / (2*shards) is a sound choice).
+	Interval time.Duration
+	// Shards reports the export table's stripe count.
+	Shards func() int
+	// ClientsShard snapshots the dirty-set clients of one stripe.
+	ClientsShard func(i int) map[wire.SpaceID][]string
+	// Leases is the owner-side lease table the sweep consults.
+	Leases *Leases
+	// SessionAlive, when non-nil, reports whether a healthy mux session
+	// whose peer identified itself as id exists. Session health counts as
+	// an implicit renewal: the keepalives flowing on the session prove the
+	// client alive more cheaply and more recently than any lease message.
+	SessionAlive func(id wire.SpaceID, endpoints []string) bool
+	// Drop removes a lease-lapsed client from every dirty set.
+	Drop func(id wire.SpaceID)
+	// Logger receives expiry events; nil discards them.
+	Logger *slog.Logger
+	// Obs, when non-nil, counts implicit renewals.
+	Obs *obs.Metrics
+}
+
+// Expirer is the owner-side lease daemon: it sweeps the export table one
+// stripe at a time, dropping clients whose lease lapsed. One lease covers
+// all of a client's dirty entries, so the sweep's unit of work is a peer,
+// not a reference — collector control state stays O(peers) even when the
+// table holds millions of entries.
+type Expirer struct {
+	cfg    ExpirerConfig
+	next   int
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+// NewExpirer starts a lease-expiry daemon.
+func NewExpirer(cfg ExpirerConfig) *Expirer {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * time.Millisecond
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	x := &Expirer{cfg: cfg, closed: make(chan struct{})}
+	x.wg.Add(1)
+	go x.run()
+	return x
+}
+
+// Close stops the daemon.
+func (x *Expirer) Close() {
+	x.once.Do(func() { close(x.closed) })
+	x.wg.Wait()
+}
+
+// Poke sweeps every stripe immediately (tests and shutdown drains).
+func (x *Expirer) Poke() {
+	for i := 0; i < x.cfg.Shards(); i++ {
+		x.sweep(i)
+	}
+}
+
+func (x *Expirer) run() {
+	defer x.wg.Done()
+	t := time.NewTicker(x.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			n := x.cfg.Shards()
+			if n <= 0 {
+				continue
+			}
+			x.sweep(x.next % n)
+			x.next++
+		case <-x.closed:
+			return
+		}
+	}
+}
+
+// sweep examines one stripe: clients with a healthy identified session are
+// renewed implicitly; the rest are checked against the lease table and
+// dropped if lapsed. A client appearing in several stripes is re-checked
+// each time, which is harmless — renewal is idempotent, and once expired
+// its lease record is gone and Drop cleared every stripe at once.
+func (x *Expirer) sweep(i int) {
+	clients := x.cfg.ClientsShard(i)
+	if len(clients) == 0 {
+		return
+	}
+	candidates := make([]wire.SpaceID, 0, len(clients))
+	for id, eps := range clients {
+		select {
+		case <-x.closed:
+			return
+		default:
+		}
+		if x.cfg.SessionAlive != nil && x.cfg.SessionAlive(id, eps) {
+			x.cfg.Leases.Renew(id)
+			if x.cfg.Obs != nil {
+				x.cfg.Obs.LeasesImplicit.Inc()
+			}
+			continue
+		}
+		candidates = append(candidates, id)
+	}
+	for _, id := range x.cfg.Leases.Expired(candidates) {
+		x.cfg.Logger.Info("dgc: client lease expired", "client", id.String())
+		x.cfg.Drop(id)
+	}
+}

@@ -19,9 +19,16 @@ import (
 
 // Leases is the owner-side lease table: the last renewal time per client.
 // A client's lease is implicitly started by its first dirty call and must
-// be renewed within the TTL thereafter.
+// be renewed within the TTL thereafter. One lease covers every dirty
+// entry its client holds at this owner — the per-peer aggregation that
+// keeps collector control traffic O(peers), not O(references).
 type Leases struct {
 	ttl time.Duration
+	// created is when this table came up — the owner's restart time. It
+	// bounds the grace extended to clients with no lease record.
+	created time.Time
+	// now is the clock, swappable by tests.
+	now func() time.Time
 
 	mu      sync.Mutex
 	renewed map[wire.SpaceID]time.Time
@@ -32,7 +39,9 @@ func NewLeases(ttl time.Duration) *Leases {
 	if ttl <= 0 {
 		ttl = 30 * time.Second
 	}
-	return &Leases{ttl: ttl, renewed: make(map[wire.SpaceID]time.Time)}
+	l := &Leases{ttl: ttl, now: time.Now, renewed: make(map[wire.SpaceID]time.Time)}
+	l.created = l.now()
+	return l
 }
 
 // TTL returns the granted lease duration.
@@ -40,25 +49,29 @@ func (l *Leases) TTL() time.Duration { return l.ttl }
 
 // Renew stamps a client's lease.
 func (l *Leases) Renew(id wire.SpaceID) {
+	t := l.now()
 	l.mu.Lock()
-	l.renewed[id] = time.Now()
+	l.renewed[id] = t
 	l.mu.Unlock()
 }
 
 // Expired returns the clients among candidates whose lease has lapsed.
 // A candidate with no lease record (the owner restarted, or the entry
-// predates lease mode) is granted a fresh lease rather than dropped, so a
-// single sweep can never evict a live client spuriously.
+// predates lease mode) is not dropped outright — the client may be alive
+// and mid-interval — but its grace is bounded by the table's creation
+// time, NOT stamped fresh at first observation: stamping at observation
+// would let every owner restart extend a dead client's entries by a full
+// TTL beyond whenever the first sweep happened to reach them.
 func (l *Leases) Expired(candidates []wire.SpaceID) []wire.SpaceID {
-	now := time.Now()
+	now := l.now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var out []wire.SpaceID
 	for _, id := range candidates {
 		last, ok := l.renewed[id]
 		if !ok {
-			l.renewed[id] = now
-			continue
+			last = l.created
+			l.renewed[id] = last
 		}
 		if now.Sub(last) > l.ttl {
 			out = append(out, id)
@@ -85,9 +98,14 @@ type RenewerConfig struct {
 	Owners func() map[wire.SpaceID][]string
 	// Renew delivers one lease renewal.
 	Renew func(owner wire.SpaceID, endpoints []string) error
+	// SessionAlive, when non-nil, reports whether a healthy mux session to
+	// the owner already exists. Its keepalives piggyback the renewal — the
+	// owner treats traffic on an identified session as an implicit renewal
+	// — so an explicit lease message would be redundant and is skipped.
+	SessionAlive func(owner wire.SpaceID, endpoints []string) bool
 	// Logger receives renewal failures; nil discards them.
 	Logger *slog.Logger
-	// Obs, when non-nil, counts renewal failures.
+	// Obs, when non-nil, counts renewal failures and suppressions.
 	Obs *obs.Metrics
 }
 
@@ -143,6 +161,12 @@ func (r *Renewer) round() {
 		case <-r.closed:
 			return
 		default:
+		}
+		if r.cfg.SessionAlive != nil && r.cfg.SessionAlive(owner, eps) {
+			if r.cfg.Obs != nil {
+				r.cfg.Obs.LeasesSuppressed.Inc()
+			}
+			continue
 		}
 		if err := r.cfg.Renew(owner, eps); err != nil {
 			if r.cfg.Obs != nil {

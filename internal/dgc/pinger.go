@@ -25,6 +25,12 @@ type PingerConfig struct {
 	Ping func(id wire.SpaceID, endpoints []string) error
 	// Drop removes a presumed-dead client from every dirty set.
 	Drop func(id wire.SpaceID)
+	// SessionAlive, when non-nil, reports whether a healthy mux session
+	// whose peer identified itself as id already exists. Such a session's
+	// keepalives subsume the probe: the round skips the explicit ping and
+	// clears the client's failure count, so the Pinger degrades to a
+	// fallback for session-less peers only.
+	SessionAlive func(id wire.SpaceID, endpoints []string) bool
 	// OnProbe, when non-nil, observes every ping outcome (err == nil for a
 	// live client) before the failure policy is applied. Fault-injection
 	// harnesses subscribe here to watch liveness detection under faults.
@@ -114,6 +120,18 @@ func (p *Pinger) round() {
 		case <-p.closed:
 			return
 		default:
+		}
+		if p.cfg.SessionAlive != nil && p.cfg.SessionAlive(id, eps) {
+			if p.cfg.Obs != nil {
+				p.cfg.Obs.PingsSubsumed.Inc()
+			}
+			if p.cfg.OnProbe != nil {
+				p.cfg.OnProbe(id, nil)
+			}
+			p.mu.Lock()
+			delete(p.failures, id)
+			p.mu.Unlock()
+			continue
 		}
 		err := p.cfg.Ping(id, eps)
 		if p.cfg.OnProbe != nil {

@@ -1,6 +1,7 @@
 package objtable
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -77,22 +78,36 @@ func TestExportsConcurrentGrowLookupRemove(t *testing.T) {
 		)
 		idxCh := make(chan uint64, writers*perG)
 
-		// Growers: export fresh objects and register a dirty client.
+		// Growers: export fresh objects and register a dirty client. The
+		// runtime pins an export while the reference is in transit; this
+		// test doesn't, so a concurrent Sweep may legitimately withdraw an
+		// entry between Export and its first Dirty — re-export and retry,
+		// counting the extra withdrawals for the final accounting.
 		var grow sync.WaitGroup
+		var swept atomic.Int64
 		for g := 0; g < writers; g++ {
 			grow.Add(1)
 			go func(g int) {
 				defer grow.Done()
 				client := wire.SpaceID(g + 1)
 				for i := 0; i < perG; i++ {
-					ix, err := e.Export(&thing{n: g*perG + i}, nil)
-					if err != nil {
-						t.Error(err)
-						return
-					}
-					if err := e.Dirty(ix, client, 1, nil); err != nil {
-						t.Error(err)
-						return
+					obj := &thing{n: g*perG + i}
+					var ix uint64
+					for {
+						var err error
+						if ix, err = e.Export(obj, nil); err != nil {
+							t.Error(err)
+							return
+						}
+						err = e.Dirty(ix, client, 1, nil)
+						if err == nil {
+							break
+						}
+						if !errors.Is(err, ErrNoSuchObject) {
+							t.Error(err)
+							return
+						}
+						swept.Add(1)
 					}
 					idxCh <- ix
 				}
@@ -152,8 +167,8 @@ func TestExportsConcurrentGrowLookupRemove(t *testing.T) {
 		if n := e.Len(); n != 0 {
 			t.Fatalf("shards=%d: %d entries stranded after drain:\n%s", shards, n, e.DebugDump())
 		}
-		if w := withdrawn.Load(); w != int64(writers*perG) {
-			t.Fatalf("shards=%d: OnWithdraw fired %d times, want %d", shards, w, writers*perG)
+		if w, s := withdrawn.Load(), swept.Load(); w != int64(writers*perG)+s {
+			t.Fatalf("shards=%d: OnWithdraw fired %d times, want %d (+%d swept pre-dirty)", shards, w, writers*perG, s)
 		}
 	}
 }

@@ -45,12 +45,21 @@ type Metrics struct {
 	PingsSent        *Counter
 	PingsServed      *Counter
 	PingFailures     *Counter
+	PingsSubsumed    *Counter
 	LeasesSent       *Counter
 	LeasesServed     *Counter
 	LeaseFailures    *Counter
+	LeasesSuppressed *Counter
+	LeasesImplicit   *Counter
 	ResultAcksSent   *Counter
 	ResultAcksWaited *Counter
 	StaleRejected    *Counter
+
+	// Cross-space cycle detection.
+	CycleQueriesSent   *Counter
+	CycleQueriesServed *Counter
+	CyclesDetected     *Counter
+	CyclesCollected    *Counter
 
 	// Reference life cycle.
 	SurrogatesMade     *Counter
@@ -137,12 +146,20 @@ func NewMetrics() *Metrics {
 		PingsSent:        r.Counter("netobj_pings_sent_total", "Client-liveness pings sent by this owner."),
 		PingsServed:      r.Counter("netobj_pings_served_total", "Liveness pings answered by this space."),
 		PingFailures:     r.Counter("netobj_ping_failures_total", "Ping probes that failed (one per client per round)."),
+		PingsSubsumed:    r.Counter("netobj_pings_subsumed_total", "Ping probes skipped because a healthy identified session already proved the client alive."),
 		LeasesSent:       r.Counter("netobj_leases_sent_total", "Lease renewals sent to owners."),
 		LeasesServed:     r.Counter("netobj_leases_served_total", "Lease renewals served by this owner."),
 		LeaseFailures:    r.Counter("netobj_lease_failures_total", "Lease renewals that failed to reach an owner."),
+		LeasesSuppressed: r.Counter("netobj_lease_renewals_suppressed_total", "Lease renewals skipped because a healthy identified session stands in for them."),
+		LeasesImplicit:   r.Counter("netobj_lease_implicit_renewals_total", "Owner-side lease renewals granted from session health instead of a renewal message."),
 		ResultAcksSent:   r.Counter("netobj_result_acks_sent_total", "Result acknowledgements sent for reference-bearing replies."),
 		ResultAcksWaited: r.Counter("netobj_result_acks_waited_total", "Reference-bearing replies this space held pinned awaiting an ack."),
 		StaleRejected:    r.Counter("netobj_stale_rejected_total", "Collector messages addressed to a previous space incarnation at a reused endpoint, refused."),
+
+		CycleQueriesSent:   r.Counter("netobj_dgc_cycle_queries_sent_total", "Back-reference queries sent while running cycle-detection passes."),
+		CycleQueriesServed: r.Counter("netobj_dgc_cycle_queries_served_total", "Back-reference queries answered by this space."),
+		CyclesDetected:     r.Counter("netobj_dgc_cycles_detected_total", "Cross-space reference cycles detected by the trial-deletion pass."),
+		CyclesCollected:    r.Counter("netobj_dgc_cycles_collected_total", "Exported objects reclaimed as members of dead cross-space cycles."),
 
 		SurrogatesMade:     r.Counter("netobj_surrogates_made_total", "Surrogates created (first import of a reference)."),
 		SurrogatesReleased: r.Counter("netobj_surrogates_released_total", "Surrogates explicitly released."),

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"strings"
 	"sync"
 	"time"
@@ -386,6 +387,52 @@ func (h *Handle) CallCtx(ctx context.Context, method string, args ...any) ([]any
 		h.r.m.RegistryRebinds.Inc()
 	}
 	return nil, fmt.Errorf("registry: call %s on %q kept failing after rebinds: %w", method, h.name, lastErr)
+}
+
+// Handle implements core.Caller, so a generated stub can be constructed
+// directly over a registry name and inherit the rebinding behaviour.
+var _ core.Caller = (*Handle)(nil)
+
+// InvokeTyped performs a typed call on the name's current binding under
+// the resolver space's call timeout (see InvokeTypedCtx).
+func (h *Handle) InvokeTyped(method string, fingerprint uint64, args []reflect.Value, resultTypes []reflect.Type) ([]reflect.Value, error) {
+	return h.InvokeTypedCtx(context.Background(), method, fingerprint, args, resultTypes)
+}
+
+// InvokeTypedCtx is the typed twin of CallCtx: generated stub methods
+// route through it, so stubs constructed over a handle keep the typed
+// fast path and the fingerprint version check while still re-resolving
+// and retrying across rebinds and owner restarts.
+func (h *Handle) InvokeTypedCtx(ctx context.Context, method string, fingerprint uint64, args []reflect.Value, resultTypes []reflect.Type) ([]reflect.Value, error) {
+	const attempts = 3
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		ref, _, err := h.r.Resolve(ctx, h.name)
+		if err != nil {
+			return nil, err
+		}
+		out, err := ref.InvokeTypedCtx(ctx, method, fingerprint, args, resultTypes)
+		if err == nil || !rebindable(err) || ctx.Err() != nil {
+			return out, err
+		}
+		lastErr = err
+		h.r.drop(h.name)
+		h.r.m.RegistryRebinds.Inc()
+	}
+	return nil, fmt.Errorf("registry: call %s on %q kept failing after rebinds: %w", method, h.name, lastErr)
+}
+
+// InvokeTypedPipe issues a typed pipelined call on the name's current
+// binding. A pipelined call cannot be transparently retried — its promise
+// is already in the caller's hands when a stale binding surfaces — so the
+// handle resolves once and the usual break-promise semantics apply; a
+// failed resolve returns an already-failed promise.
+func (h *Handle) InvokeTypedPipe(ctx context.Context, method string, fingerprint uint64, args []reflect.Value, resultTypes []reflect.Type) *core.Promise {
+	ref, _, err := h.r.Resolve(ctx, h.name)
+	if err != nil {
+		return h.r.sp.FailedPromise(method, err)
+	}
+	return ref.InvokeTypedPipe(ctx, method, fingerprint, args, resultTypes)
 }
 
 // rebindable classifies call failures that a fresh resolve can fix: the

@@ -1,0 +1,103 @@
+package fixture
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"netobjects"
+	"netobjects/internal/naming"
+	"netobjects/internal/registry"
+	"netobjects/internal/wire"
+)
+
+// TestStubOverRegistryHandle constructs the generated stub over a
+// rebinding registry handle instead of a *Ref: typed calls resolve the
+// name on demand, survive an owner restart behind the same name, and
+// pipelined calls issue through the current binding.
+func TestStubOverRegistryHandle(t *testing.T) {
+	mem := netobjects.NewMem()
+	mk := func(name, addr string, auto bool) *netobjects.Space {
+		sp, err := netobjects.New(netobjects.Options{
+			Name:            name,
+			Transports:      []netobjects.Transport{mem},
+			ListenEndpoints: []string{wire.JoinEndpoint("inmem", addr)},
+			CallTimeout:     5 * time.Second,
+			PingInterval:    time.Hour,
+			AutoRelease:     auto,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = sp.Close() })
+		if err := RegisterCalc(sp); err != nil {
+			t.Fatal(err)
+		}
+		return sp
+	}
+
+	regSp := mk("registry", "reg0", true)
+	regEP := wire.JoinEndpoint("inmem", "reg0")
+	rep, err := registry.Serve(regSp, registry.Options{Peers: []string{regEP}, Self: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rep.Close)
+
+	owner1 := mk("owner1", "owner", false)
+	ref1, err := owner1.Export(&Server{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := naming.Bind(owner1, regEP, "calc", ref1); err != nil {
+		t.Fatal(err)
+	}
+
+	// A long lease and no invalidations pin the user's cache, so the
+	// rebinding below must come from the stub's own retry path.
+	user := mk("user", "user", false)
+	res, err := registry.NewResolver(user, registry.ResolverOptions{
+		Peers:                []string{regEP},
+		LeaseTTL:             time.Minute,
+		DisableInvalidations: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+
+	calc := NewCalcStub(res.Handle("calc"))
+	ctx := context.Background()
+	if got, err := calc.Add(ctx, 2, 3); err != nil || got != 5 {
+		t.Fatalf("Add over handle: %v %v", got, err)
+	}
+	// A name-bound stub carries no fixed reference: it marshals as nil
+	// rather than pinning one resolution of the name.
+	if calc.NetObjRef() != nil {
+		t.Fatal("name-bound stub claims a fixed reference")
+	}
+	// Pipelined calls issue through the current binding.
+	if sum, err := calc.SumPipe(ctx, []float64{1, 2, 3}).Await(ctx); err != nil || sum != 6 {
+		t.Fatalf("SumPipe over handle: %v %v", sum, err)
+	}
+
+	// The owner crashes and a new incarnation republishes the service
+	// under the same name and address. The stub's cached surrogate is
+	// stale; its next typed call re-resolves and lands on the new owner.
+	owner1.Abort()
+	owner2 := mk("owner2", "owner", false)
+	ref2, err := owner2.Export(&Server{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := naming.Rebind(owner2, regEP, "calc", ref2); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, err := calc.Add(ctx, 20, 30); err != nil || got != 50 {
+		t.Fatalf("Add after owner restart: %v %v", got, err)
+	}
+	if user.Metrics().RegistryRebinds.Load() == 0 {
+		t.Fatal("typed call did not record a transparent rebind")
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"netobjects/internal/flow"
 	"netobjects/internal/obs"
+	"netobjects/internal/wire"
 )
 
 // Pool is the per-peer session cache: Session returns the live multiplexed
@@ -25,6 +26,9 @@ type Pool struct {
 	// batchWindow is the frame-coalescing window new sessions are created
 	// with (see SessionOptions.BatchWindow).
 	batchWindow time.Duration
+	// localSpace is the space identity new sessions advertise in their
+	// PeerHello (zero: no advertisement).
+	localSpace wire.SpaceID
 
 	mu       sync.Mutex
 	sessions map[string]*sessionSlot
@@ -77,9 +81,39 @@ func (p *Pool) SetPipeline(noPipe bool, batchWindow time.Duration) {
 	p.mu.Unlock()
 }
 
+// SetLocalSpace installs the space identity new outbound sessions
+// advertise on stream 0, letting peers fold their collector liveness
+// traffic for this space onto the session keepalives.
+func (p *Pool) SetLocalSpace(id wire.SpaceID) {
+	p.mu.Lock()
+	p.localSpace = id
+	p.mu.Unlock()
+}
+
 // sessionKey identifies one peer by its full endpoint list, so retries
 // against any of a peer's endpoints share the same session.
 func sessionKey(endpoints []string) string { return strings.Join(endpoints, " ") }
+
+// Cached returns the live cached session for endpoints without dialing,
+// or nil when none exists or the cached one has died. The collector's
+// liveness daemons use it: a missing session must NOT trigger a dial —
+// the whole point is to avoid per-peer traffic when a session happens to
+// be up already.
+func (p *Pool) Cached(endpoints []string) *Session {
+	p.mu.Lock()
+	slot := p.sessions[sessionKey(endpoints)]
+	p.mu.Unlock()
+	if slot == nil {
+		return nil
+	}
+	slot.mu.Lock()
+	s := slot.s
+	slot.mu.Unlock()
+	if s == nil || !s.Healthy() {
+		return nil
+	}
+	return s
+}
 
 // Session returns the live multiplexed session for the peer reachable at
 // endpoints, dialing one if none exists or the cached one has died. The
@@ -156,9 +190,9 @@ func (p *Pool) Session(ctx context.Context, endpoints []string) (*Session, strin
 		t.Emit(obs.Event{Kind: obs.EvPoolMiss, Time: time.Now(), Key: ep, Dur: dial})
 	}
 	p.mu.Lock()
-	fp, noPipe, bw := p.flow, p.noPipe, p.batchWindow
+	fp, noPipe, bw, ls := p.flow, p.noPipe, p.batchWindow, p.localSpace
 	p.mu.Unlock()
-	slot.s = NewSession(c, SessionOptions{Flow: fp, Metrics: m, NoPipeline: noPipe, BatchWindow: bw})
+	slot.s = NewSession(c, SessionOptions{Flow: fp, Metrics: m, NoPipeline: noPipe, BatchWindow: bw, LocalSpace: ls})
 	slot.ep = ep
 	return slot.s, ep, nil
 }

@@ -74,6 +74,11 @@ type SessionOptions struct {
 	// frame of a burst up to this long for companions. Only effective once
 	// the peer has advertised CapBatch; zero disables batching.
 	BatchWindow time.Duration
+	// LocalSpace, when nonzero, is the space identity this endpoint
+	// advertises on stream 0 (wire.PeerHello). A peer that has identified
+	// itself lets the collector treat this session's health as proof of
+	// that space's liveness; legacy peers discard the hello harmlessly.
+	LocalSpace wire.SpaceID
 }
 
 // Session multiplexes logical streams over one Conn. It assumes exclusive
@@ -111,6 +116,10 @@ type Session struct {
 	// the peer's completion table and one-way lane die with the session.
 	promiseIDs atomic.Uint64
 	onewaySeq  atomic.Uint64
+
+	// peerSpace is the space id the peer advertised in its PeerHello
+	// (zero until it arrives; forever zero against legacy peers).
+	peerSpace atomic.Uint64
 }
 
 // SessionStats is a point-in-time snapshot of one session's load, for the
@@ -170,6 +179,13 @@ func NewSession(c Conn, opts SessionOptions) *Session {
 		}
 		s.batchWindow = opts.BatchWindow
 	}
+	if opts.LocalSpace != 0 {
+		// Identify ourselves on stream 0 so the peer's collector can fold
+		// its liveness traffic for us onto this session's keepalives. Sent
+		// even on flowless sessions: identity is orthogonal to flow, and
+		// like the other hellos it is discarded harmlessly by old peers.
+		s.writeCh <- writeReq{bp: peerHelloFrame(opts.LocalSpace), ack: make(chan error, 1)}
+	}
 	loops := 2
 	if s.flow != nil && s.flow.ka != nil {
 		loops++
@@ -181,6 +197,55 @@ func NewSession(c Conn, opts SessionOptions) *Session {
 		go s.keepaliveLoop()
 	}
 	return s
+}
+
+// peerHelloFrame builds the space-identity advertisement, mux-wrapped on
+// stream 0 like the capability hellos.
+func peerHelloFrame(id wire.SpaceID) *[]byte {
+	inner := wire.Marshal(nil, &wire.PeerHello{Space: id})
+	bp := wire.GetBuf()
+	*bp = append(wire.AppendMuxHeader((*bp)[:0], 0), inner...)
+	return bp
+}
+
+// onStream0 handles one stream-0 control message: the peer-identity
+// hello lands in the session itself, everything else belongs to the flow
+// state. Unknown future control messages are ignored, not failed — that
+// forward-compatibility rule is what lets the hello set grow at all.
+func (s *Session) onStream0(payload []byte) {
+	if wire.PeekOp(payload) == wire.OpPeerHello {
+		if msg, err := wire.Unmarshal(payload); err == nil {
+			if ph, ok := msg.(*wire.PeerHello); ok {
+				s.peerSpace.Store(uint64(ph.Space))
+			}
+		}
+		return
+	}
+	if s.flow != nil {
+		s.flow.onHello(payload)
+	}
+}
+
+// PeerSpace reports the space id the peer advertised on this session,
+// or zero when the peer has not (yet) identified itself.
+func (s *Session) PeerSpace() wire.SpaceID {
+	return wire.SpaceID(s.peerSpace.Load())
+}
+
+// KeepaliveHealthy reports whether an active session keepalive is
+// currently confirming the peer: flow is on, the keepalive is running,
+// and the peer has answered within its miss budget. This is the strong
+// liveness signal collector traffic may be subsumed by — Healthy() alone
+// falls back to a connection probe, which cannot distinguish a hung peer
+// process from a live one.
+func (s *Session) KeepaliveHealthy() bool {
+	select {
+	case <-s.done:
+		return false
+	default:
+	}
+	f := s.flow
+	return f != nil && f.ka != nil && f.peerOK.Load()
 }
 
 // Open starts a new stream with a fresh process-wide unique id.
@@ -534,13 +599,12 @@ func (s *Session) readLoop(preread []byte) {
 				return
 			}
 			if id == 0 {
-				// Reserved session-control stream: the peer's capability
-				// hello (or a future control message, ignored). Dropped
-				// when flow is disabled locally — the peer's grace
-				// fallback then treats us as a legacy link.
-				if s.flow != nil {
-					s.flow.onHello(payload)
-				}
+				// Reserved session-control stream: the peer's identity or
+				// capability hello (or a future control message, ignored).
+				// Flow hellos are dropped when flow is disabled locally —
+				// the peer's grace fallback then treats us as a legacy
+				// link.
+				s.onStream0(payload)
 			} else {
 				s.dispatch(id, payload)
 			}
@@ -571,9 +635,7 @@ func (s *Session) readLoop(preread []byte) {
 					return
 				}
 				if id == 0 {
-					if s.flow != nil {
-						s.flow.onHello(payload)
-					}
+					s.onStream0(payload)
 				} else {
 					s.dispatch(id, payload)
 				}

@@ -111,10 +111,31 @@ const (
 	// to peers that advertised CapBatch in their PipeHello, so it never
 	// reaches a decoder that cannot split it.
 	OpBatch
+	// OpPeerHello advertises a session endpoint's space identity. Like
+	// SessHello and PipeHello it travels wrapped in the mux envelope on
+	// reserved stream id 0 so legacy peers discard it harmlessly; it is a
+	// separate message (not new SessHello fields) because the decoder
+	// rejects trailing bytes. The identity lets the collector's liveness
+	// daemons treat a healthy session to a peer as proof that the peer is
+	// alive, without mistaking an endpoint reused by a new incarnation for
+	// the space that used to answer there.
+	OpPeerHello
+	// OpCycleQuery asks a client space for the back-references behind its
+	// surrogates of the sender's objects — the cross-space cycle
+	// detector's probe. Answered with an OpCycleAnswer.
+	OpCycleQuery
+	// OpCycleAnswer reports, per queried key, whether the surrogate is
+	// rooted in the responding space's application and which of the
+	// responder's own exported objects hold it.
+	OpCycleAnswer
+	// OpCycleCollect instructs an owner to reclaim the dirty entries of
+	// exported objects that a completed trial-deletion pass proved to be
+	// members of a dead cross-space cycle. Answered with a CleanAck.
+	OpCycleCollect
 )
 
 // maxOp is the largest valid op, for PeekOp range checks.
-const maxOp = OpBatch
+const maxOp = OpCycleCollect
 
 // String names the op for logs.
 func (o Op) String() string {
@@ -169,6 +190,14 @@ func (o Op) String() string {
 		return "one-way"
 	case OpBatch:
 		return "batch"
+	case OpPeerHello:
+		return "peer-hello"
+	case OpCycleQuery:
+		return "cycle-query"
+	case OpCycleAnswer:
+		return "cycle-answer"
+	case OpCycleCollect:
+		return "cycle-collect"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -728,6 +757,14 @@ func Unmarshal(b []byte) (Message, error) {
 		m = new(PromiseResolve)
 	case OpOneWay:
 		m = new(OneWay)
+	case OpPeerHello:
+		m = new(PeerHello)
+	case OpCycleQuery:
+		m = new(CycleQuery)
+	case OpCycleAnswer:
+		m = new(CycleAnswer)
+	case OpCycleCollect:
+		m = new(CycleCollect)
 	default:
 		if err := d.Err(); err != nil {
 			return nil, err
