@@ -92,6 +92,13 @@ type SoakReport struct {
 	RegistryLookups   int
 	RegistryFailovers uint64
 	RegistryElections uint64
+
+	// Distarray-profile extras (Profile == "distarray"): completed
+	// verified sorts, worker-to-worker shuffle volume, and completed
+	// digest-checked bulk replicas.
+	DistSorts         int
+	DistShuffledBytes uint64
+	DistMirrors       int
 }
 
 // Failed reports whether any invariant was violated.
@@ -105,6 +112,14 @@ func (r *SoakReport) String() string {
 	if r.Failed() {
 		verdict = fmt.Sprintf("FAILED (%d violations, %d leaks, %d table leaks)",
 			len(r.Violations), len(r.Leaks), len(r.TableLeaks))
+	}
+	if r.Profile == "distarray" {
+		return fmt.Sprintf(
+			"chaos soak %s/%s/%s seed=%d: %d workers, %d verified sorts (%d shuffle bytes), %d replicas, %d crashes, %d faults (%d drops, %d reorders), %v — %s",
+			r.Profile, r.Transport, r.Liveness, r.Seed, r.Spaces,
+			r.DistSorts, r.DistShuffledBytes, r.DistMirrors, r.Crashes,
+			r.Faults.Faults(), r.Faults.Drops, r.Faults.Reorders,
+			r.Elapsed.Round(time.Millisecond), verdict)
 	}
 	if r.Profile == "registry" {
 		return fmt.Sprintf(
@@ -234,6 +249,12 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 		// than the collector: replica crash/restart under a rebind and
 		// leased-lookup workload, with its own invariants.
 		return runRegistrySoak(cfg)
+	}
+	if cfg.Profile == "distarray" {
+		// The distarray profile soaks the bulk data plane: distributed
+		// sorts and bulk array replicas under OpData chunk faults, with
+		// a worker crash-restarted mid-shuffle.
+		return runDistArraySoak(cfg)
 	}
 	if cfg.Spaces < 2 {
 		if cfg.Spaces != 0 {

@@ -367,6 +367,7 @@ func NewSpace(opts Options) (*Space, error) {
 	sp.pool.SetFlow(sp.flowParams())
 	sp.pool.SetPipeline(opts.DisablePipeline, opts.BatchWindow)
 	sp.pool.SetLocalSpace(sp.id)
+	sp.pool.SetOnKeepalive(sp.keepaliveRenewed)
 
 	listenEPs := opts.ListenEndpoints
 	if len(listenEPs) == 0 {
@@ -461,11 +462,20 @@ func NewSpace(opts Options) (*Space, error) {
 			Logger:       sp.log,
 			Obs:          sp.metrics,
 		})
+		// When a healthy session subsumes the explicit renewal, fold the
+		// renewal onto its keepalive instead: an off-schedule probe keeps
+		// the exchange (and thus the owner's implicit lease stamp) at
+		// renewal cadence even on an otherwise quiet link.
+		fold := sp.sessionFold
+		if opts.DisableSessionLiveness {
+			fold = nil
+		}
 		sp.renewer = dgc.NewRenewer(dgc.RenewerConfig{
 			Interval:     max(sp.leases.TTL()/3, 10*time.Millisecond),
 			Owners:       sp.imports.OwnersSnapshot,
 			Renew:        sp.sendLease,
 			SessionAlive: sessionAlive,
+			Fold:         fold,
 			Logger:       sp.log,
 			Obs:          sp.metrics,
 		})
@@ -768,6 +778,38 @@ func (sp *Space) sessionAlive(id wire.SpaceID, endpoints []string) bool {
 		}
 	}
 	return false
+}
+
+// keepaliveRenewed is the owner-side half of piggybacked lease renewal:
+// sessions invoke it on every keepalive exchange with an identified
+// peer, and the stamp renews whatever lease that client holds here. It
+// runs on session reader goroutines, so it must stay cheap and
+// non-blocking. Spaces in ping mode, or opted out of session-subsumed
+// liveness, ignore the signal.
+func (sp *Space) keepaliveRenewed(peer wire.SpaceID) {
+	if sp.leases == nil || sp.opts.DisableSessionLiveness {
+		return
+	}
+	sp.leases.Renew(peer)
+	sp.metrics.LeasesImplicit.Inc()
+}
+
+// sessionFold is the client-side half: when the renewer suppresses an
+// explicit renewal because a healthy session stands in for it, it nudges
+// that session's keepalive instead, so the owner sees an exchange — and
+// stamps the lease — at renewal cadence even if the link would otherwise
+// have stayed quiet until the next keepalive tick.
+func (sp *Space) sessionFold(id wire.SpaceID, endpoints []string) {
+	if s := sp.pool.Cached(endpoints); s != nil && s.PeerSpace() == id && s.PokeKeepalive() {
+		return
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	for s := range sp.muxServers {
+		if s.PeerSpace() == id && s.PokeKeepalive() {
+			return
+		}
+	}
 }
 
 // PokeLiveness runs one immediate round of the owner-side liveness

@@ -91,12 +91,21 @@ func (sp *Space) FailedPromise(method string, err error) *Promise {
 
 // Await blocks until the promise resolves and returns the call's
 // dynamic results, following the Ref.Call error conventions. A promise
-// may be awaited any number of times, from any goroutine.
+// may be awaited any number of times, from any goroutine. Typed promises
+// (issued by generated ...Pipe stubs) resolve statically typed values;
+// Await unwraps them so callers can treat every promise uniformly.
 func (p *Promise) Await(ctx context.Context) ([]any, error) {
 	select {
 	case <-p.done:
 	case <-ctx.Done():
 		return nil, ctxCallError(ctx, p.method+" promise not awaited")
+	}
+	if p.vals == nil && p.tvals != nil {
+		out := make([]any, len(p.tvals))
+		for i, v := range p.tvals {
+			out[i] = v.Interface()
+		}
+		return out, p.err
 	}
 	return p.vals, p.err
 }

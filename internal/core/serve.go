@@ -170,6 +170,7 @@ func (sp *Space) serveMux(c transport.Conn, first []byte) {
 		NoPipeline:  sp.opts.DisablePipeline,
 		BatchWindow: sp.opts.BatchWindow,
 		LocalSpace:  sp.id,
+		OnKeepalive: sp.keepaliveRenewed,
 	})
 	sp.mu.Lock()
 	sp.muxServers[s] = struct{}{}

@@ -88,6 +88,13 @@ func (x *Expirer) run() {
 			}
 			x.sweep(x.next % n)
 			x.next++
+			if x.next%n == 0 {
+				// Once per full pass, shed lease records whose clients the
+				// sweep will never visit (keepalive-stamped bystanders with
+				// no dirty entries). Two TTLs of quiet is far beyond any
+				// record a sweep still consults.
+				x.cfg.Leases.Prune(2 * x.cfg.Leases.TTL())
+			}
 		case <-x.closed:
 			return
 		}

@@ -81,6 +81,24 @@ func (l *Leases) Expired(candidates []wire.SpaceID) []wire.SpaceID {
 	return out
 }
 
+// Prune drops lease records that have not been renewed within maxAge.
+// Renewals can now be stamped by keepalive traffic from any identified
+// peer — including one that holds no dirty entries here and so will
+// never be swept as a candidate or dropped — and Prune is what keeps
+// those bystander records from accumulating forever. Records younger
+// than maxAge are kept; anything a sweep still cares about renews far
+// more often than that.
+func (l *Leases) Prune(maxAge time.Duration) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for id, last := range l.renewed {
+		if now.Sub(last) > maxAge {
+			delete(l.renewed, id)
+		}
+	}
+}
+
 // Forget drops a client's lease record (after its dirty entries are gone).
 func (l *Leases) Forget(id wire.SpaceID) {
 	l.mu.Lock()
@@ -103,6 +121,12 @@ type RenewerConfig struct {
 	// owner treats traffic on an identified session as an implicit renewal
 	// — so an explicit lease message would be redundant and is skipped.
 	SessionAlive func(owner wire.SpaceID, endpoints []string) bool
+	// Fold, when non-nil, is invoked instead of Renew whenever SessionAlive
+	// suppresses an explicit renewal: it nudges the standing session's
+	// keepalive so the owner sees an exchange — and stamps the lease — at
+	// renewal cadence even on an otherwise quiet link, rather than only at
+	// the keepalive tick.
+	Fold func(owner wire.SpaceID, endpoints []string)
 	// Logger receives renewal failures; nil discards them.
 	Logger *slog.Logger
 	// Obs, when non-nil, counts renewal failures and suppressions.
@@ -165,6 +189,9 @@ func (r *Renewer) round() {
 		if r.cfg.SessionAlive != nil && r.cfg.SessionAlive(owner, eps) {
 			if r.cfg.Obs != nil {
 				r.cfg.Obs.LeasesSuppressed.Inc()
+			}
+			if r.cfg.Fold != nil {
+				r.cfg.Fold(owner, eps)
 			}
 			continue
 		}

@@ -222,6 +222,64 @@ func TestRenewerSessionSuppression(t *testing.T) {
 	}
 }
 
+// TestRenewerKeepaliveFold: when a healthy session suppresses the
+// explicit renewal, the fold hook nudges that session's keepalive
+// instead; session-less owners get the explicit message and no fold.
+func TestRenewerKeepaliveFold(t *testing.T) {
+	var mu sync.Mutex
+	renewed := map[wire.SpaceID]int{}
+	folded := map[wire.SpaceID]int{}
+
+	r := NewRenewer(RenewerConfig{
+		Interval: time.Hour,
+		Owners: func() map[wire.SpaceID][]string {
+			return map[wire.SpaceID][]string{1: {"inmem:a"}, 2: {"inmem:b"}}
+		},
+		Renew: func(owner wire.SpaceID, eps []string) error {
+			mu.Lock()
+			renewed[owner]++
+			mu.Unlock()
+			return nil
+		},
+		SessionAlive: func(owner wire.SpaceID, eps []string) bool { return owner == 1 },
+		Fold: func(owner wire.SpaceID, eps []string) {
+			mu.Lock()
+			folded[owner]++
+			mu.Unlock()
+		},
+	})
+	defer r.Close()
+
+	r.Poke()
+	mu.Lock()
+	defer mu.Unlock()
+	if folded[1] != 1 || renewed[1] != 0 {
+		t.Fatalf("owner 1: folded %d, renewed %d; want the renewal folded onto the session", folded[1], renewed[1])
+	}
+	if folded[2] != 0 || renewed[2] != 1 {
+		t.Fatalf("owner 2: folded %d, renewed %d; want an explicit renewal, no fold", folded[2], renewed[2])
+	}
+}
+
+// TestLeasePrune: records quiet past maxAge are shed, fresh ones kept.
+func TestLeasePrune(t *testing.T) {
+	l, clk := newTestLeases(time.Second)
+	l.Renew(1)
+	clk.advance(3 * time.Second)
+	l.Renew(2)
+	l.Prune(2 * time.Second)
+	l.mu.Lock()
+	_, has1 := l.renewed[1]
+	_, has2 := l.renewed[2]
+	l.mu.Unlock()
+	if has1 {
+		t.Fatal("stale record survived Prune")
+	}
+	if !has2 {
+		t.Fatal("fresh record pruned")
+	}
+}
+
 // TestExpirerStripes: the expirer sweeps stripes independently, renews
 // implicitly over live sessions, and drops only truly lapsed clients.
 func TestExpirerStripes(t *testing.T) {

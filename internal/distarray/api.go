@@ -1,0 +1,77 @@
+package distarray
+
+import "context"
+
+// This file is the stub compiler's input: the remote interfaces of the
+// bulk data plane. Regenerate the committed stubs with
+//
+//	go run ./cmd/stubgen -src internal/distarray/api.go -o internal/distarray/distarray_stubs.go
+//
+// Partition and Store are the generic partitioned-array surface; Sorter
+// is the phase worker of the distributed radix sort built on top of it.
+
+// Partition is one contiguous byte range of a distributed array — a
+// network object owned by its worker space. Every method is safe to call
+// from any space holding a reference: the coordinating host, or another
+// worker that was handed the reference in a third-party transfer. Large
+// Fetch/Put payloads ride the flow layer's chunked streams, so an 8MB+
+// transfer never monopolises the session.
+type Partition interface {
+	// Len reports the partition's size in bytes.
+	Len(ctx context.Context) (int64, error)
+	// Fetch returns the n bytes at [off, off+n).
+	Fetch(ctx context.Context, off int64, n int64) ([]byte, error)
+	// Put overwrites the bytes at [off, off+len(data)).
+	Put(ctx context.Context, off int64, data []byte) error
+	// Slice returns a view partition aliasing [off, off+n) of this one,
+	// exported by the same owner. Writes through either handle are seen
+	// by both; the view adds no copy.
+	Slice(ctx context.Context, off int64, n int64) (Partition, error)
+}
+
+// Store allocates partitions on a worker space. The host calls Alloc and
+// keeps only the returned reference — the bytes never leave the worker
+// unless someone explicitly fetches them.
+type Store interface {
+	// Alloc creates a zero-filled partition of n bytes.
+	Alloc(ctx context.Context, n int64) (Partition, error)
+	// Report summarises the store's live partitions for debugging.
+	Report(ctx context.Context) (StoreReport, error)
+}
+
+// Sorter is the per-worker service of the distributed LSD radix sort.
+// One Sorter runs on each worker space; the host drives them in
+// bulk-synchronous phases and never touches element data. A pass is
+// Group (local counting sort by the current digit into the staging
+// partition), SetPlan (the host's O(workers x buckets) shuffle plan),
+// then a one-way Gather kickoff fenced by a pipelined Barrier.
+type Sorter interface {
+	// Load fills this worker's slab with n uint32 keys derived
+	// deterministically from seed, and returns the data partition.
+	Load(ctx context.Context, n int64, seed uint64) (Partition, error)
+	// Stage returns the staging partition — the slab other workers pull
+	// from during a shuffle. The host collects one per worker into the
+	// stages Array it hands to SetPlan.
+	Stage(ctx context.Context) (Partition, error)
+	// Group stable-sorts the local keys by the digit at shift into the
+	// staging partition and returns the bucket counts (len 1<<RadixBits).
+	Group(ctx context.Context, shift uint32) ([]int64, error)
+	// SetPlan installs the shuffle plan for the next Gather: the vector
+	// of every worker's staging partition (passing the array is a
+	// third-party transfer of each reference), the full bucket-count
+	// matrix, and this worker's slice [start, start+n) of the global
+	// key order.
+	SetPlan(ctx context.Context, stages Array, counts [][]int64, start int64, n int64) error
+	// Gather pulls this worker's slice of the global order directly from
+	// the staging partitions named in the plan — worker to worker, the
+	// host out of the data path. Invoked one-way; a failure is stored
+	// and reported by the next Barrier.
+	Gather(ctx context.Context) error
+	// Barrier fences the phase: the session's one-way lane orders it
+	// after the Gather kickoff, so its reply means the shuffle landed.
+	// It reports the bytes gathered and any deferred Gather error.
+	Barrier(ctx context.Context) (int64, error)
+	// Summary digests the local keys for host-side verification without
+	// the host reading them.
+	Summary(ctx context.Context) (Digest, error)
+}

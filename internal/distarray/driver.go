@@ -1,0 +1,68 @@
+package distarray
+
+import (
+	"context"
+	"fmt"
+
+	"netobjects"
+	"netobjects/internal/obs"
+)
+
+// Driver runs bulk-synchronous phases over a fixed set of workers, one
+// service reference per worker space. Result-bearing phases fan out as
+// pipelined calls and Await is the barrier; side-effect phases fan out
+// as one-way kickoffs and the pipelined barrier call that follows rides
+// each session's one-way lane, so it executes only after the kickoff's
+// handler completed. Either way every worker runs concurrently and a
+// phase costs one round trip per worker, overlapped.
+type Driver struct {
+	// Refs are the per-worker phase services.
+	Refs []*netobjects.Ref
+	// M, when non-nil, counts completed phases (the host's metrics set).
+	M *obs.Metrics
+}
+
+// Await issues one pipelined call per worker via f and awaits them all.
+// It returns each worker's decoded results; the first failure wins but
+// every promise is still awaited, so no phase work is left in flight.
+func (d *Driver) Await(ctx context.Context, f func(i int, ref *netobjects.Ref) *netobjects.Promise) ([][]any, error) {
+	ps := make([]*netobjects.Promise, len(d.Refs))
+	for i, r := range d.Refs {
+		ps[i] = f(i, r)
+	}
+	out := make([][]any, len(ps))
+	var firstErr error
+	for i, p := range ps {
+		vs, err := p.Await(ctx)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("distarray: phase call on worker %d: %w", i, err)
+		}
+		out[i] = vs
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if d.M != nil {
+		d.M.DistPhases.Inc()
+	}
+	return out, nil
+}
+
+// Kick runs a side-effect phase: method is issued one-way on every
+// worker (args may be nil for none), then barrier is issued as a
+// pipelined call on each — fenced behind the one-way by the session
+// lane — and awaited. It returns the barrier results per worker.
+func (d *Driver) Kick(ctx context.Context, method string, args func(i int) []any, barrier string) ([][]any, error) {
+	for i, r := range d.Refs {
+		var a []any
+		if args != nil {
+			a = args(i)
+		}
+		if err := r.OneWayCtx(ctx, method, a...); err != nil {
+			return nil, fmt.Errorf("distarray: one-way %s on worker %d: %w", method, i, err)
+		}
+	}
+	return d.Await(ctx, func(i int, r *netobjects.Ref) *netobjects.Promise {
+		return r.PipeCall(ctx, barrier)
+	})
+}

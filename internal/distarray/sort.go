@@ -1,0 +1,247 @@
+package distarray
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"netobjects"
+	"netobjects/internal/obs"
+)
+
+// SortConfig drives one distributed radix sort.
+type SortConfig struct {
+	// Workers are the per-worker Sorter services (one per worker space).
+	Workers []*netobjects.Ref
+	// Keys is the total key count, split near-equally across workers.
+	Keys int64
+	// Seed derives every worker's deterministic input.
+	Seed uint64
+	// Metrics, when non-nil, counts the driver's phases (the host set).
+	Metrics *obs.Metrics
+}
+
+// SortResult reports a completed, verified sort.
+type SortResult struct {
+	Workers int
+	Keys    int64
+	Passes  int
+	// ShuffledBytes is the worker-to-worker volume: bytes every worker
+	// pulled from staging partitions across all passes. The host never
+	// carried any of it.
+	ShuffledBytes int64
+	Elapsed       time.Duration
+	// Data and Stages hold the host's references to the per-worker
+	// partitions. The caller owns them: ReleaseParts both when done.
+	Data   Array
+	Stages Array
+	// Digests are the final per-worker digests the verification used.
+	Digests []Digest
+}
+
+// Sort runs a bulk-synchronous distributed LSD radix sort: each pass
+// locally groups every worker's keys by the current digit, the host
+// turns the per-worker bucket counts into O(workers x buckets) shuffle
+// plans, and the workers pull their slices of the global order straight
+// from each other's staging partitions. The host's traffic is counts and
+// plans — it never touches a key, and the final order is verified from
+// digests alone (per-worker sortedness, cross-worker boundaries, and
+// count/sum/xor conservation against the loaded input).
+func Sort(ctx context.Context, cfg SortConfig) (*SortResult, error) {
+	nw := len(cfg.Workers)
+	if nw == 0 {
+		return nil, fmt.Errorf("distarray: sort needs at least one worker")
+	}
+	if cfg.Keys < 0 {
+		return nil, fmt.Errorf("distarray: negative key count")
+	}
+	start := time.Now()
+	d := &Driver{Refs: cfg.Workers, M: cfg.Metrics}
+	stubs := make([]*SorterStub, nw)
+	for i, r := range cfg.Workers {
+		stubs[i] = NewSorterStub(r)
+	}
+
+	// Split the key space: worker i owns the contiguous global slice
+	// [starts[i], starts[i]+sizes[i]), constant across passes.
+	sizes := make([]int64, nw)
+	starts := make([]int64, nw)
+	per, extra := cfg.Keys/int64(nw), cfg.Keys%int64(nw)
+	var at int64
+	for i := range sizes {
+		sizes[i] = per
+		if int64(i) < extra {
+			sizes[i]++
+		}
+		starts[i] = at
+		at += sizes[i]
+	}
+
+	res := &SortResult{Workers: nw, Keys: cfg.Keys, Passes: SortKeyPasses}
+	cleanup := func() {
+		ReleaseParts(res.Data)
+		ReleaseParts(res.Stages)
+	}
+
+	// Load: every worker generates its slice of the input; the returned
+	// partitions form the distributed array (the host holds stubs only).
+	outs, err := d.Await(ctx, func(i int, _ *netobjects.Ref) *netobjects.Promise {
+		return stubs[i].LoadPipe(ctx, sizes[i], cfg.Seed+uint64(i)*0x51ed2701).Promise()
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Data, err = partsOf(outs, sizes); err != nil {
+		return nil, err
+	}
+	outs, err = d.Await(ctx, func(i int, _ *netobjects.Ref) *netobjects.Promise {
+		return stubs[i].StagePipe(ctx).Promise()
+	})
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+	if res.Stages, err = partsOf(outs, sizes); err != nil {
+		cleanup()
+		return nil, err
+	}
+
+	initial, err := summaries(ctx, d, stubs)
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+
+	for pass := 0; pass < SortKeyPasses; pass++ {
+		shift := uint32(pass * RadixBits)
+		// Group: local counting sort by digit; the counts matrix is the
+		// only data-derived thing the host ever holds.
+		outs, err := d.Await(ctx, func(i int, _ *netobjects.Ref) *netobjects.Promise {
+			return stubs[i].GroupPipe(ctx, shift).Promise()
+		})
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		counts := make([][]int64, nw)
+		for i, vs := range outs {
+			row, ok := first(vs).([]int64)
+			if !ok || len(row) != Buckets {
+				cleanup()
+				return nil, fmt.Errorf("distarray: worker %d returned malformed counts (%T)", i, first(vs))
+			}
+			counts[i] = row
+		}
+		// Plan: handing every worker the stages array is a third-party
+		// transfer of every staging partition reference.
+		if _, err := d.Await(ctx, func(i int, _ *netobjects.Ref) *netobjects.Promise {
+			return stubs[i].SetPlanPipe(ctx, res.Stages, counts, starts[i], sizes[i]).Promise()
+		}); err != nil {
+			cleanup()
+			return nil, err
+		}
+		// Shuffle: one-way kickoff, pipelined barrier.
+		outs, err = d.Kick(ctx, "Gather", nil, "Barrier")
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		for i, vs := range outs {
+			n, ok := first(vs).(int64)
+			if !ok {
+				cleanup()
+				return nil, fmt.Errorf("distarray: worker %d returned malformed barrier result (%T)", i, first(vs))
+			}
+			res.ShuffledBytes += n
+		}
+	}
+
+	res.Digests, err = summaries(ctx, d, stubs)
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+	if err := VerifyDigests(initial, res.Digests); err != nil {
+		cleanup()
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// partsOf extracts one Partition per worker from a phase's results.
+func partsOf(outs [][]any, sizes []int64) (Array, error) {
+	a := Array{Parts: make([]Partition, len(outs)), Lens: make([]int64, len(outs))}
+	for i, vs := range outs {
+		p, ok := first(vs).(Partition)
+		if !ok {
+			return Array{}, fmt.Errorf("distarray: worker %d returned %T, want Partition", i, first(vs))
+		}
+		a.Parts[i] = p
+		a.Lens[i] = sizes[i] * KeyBytes
+	}
+	return a, nil
+}
+
+// summaries fans out Summary and collects the digests.
+func summaries(ctx context.Context, d *Driver, stubs []*SorterStub) ([]Digest, error) {
+	outs, err := d.Await(ctx, func(i int, _ *netobjects.Ref) *netobjects.Promise {
+		return stubs[i].SummaryPipe(ctx).Promise()
+	})
+	if err != nil {
+		return nil, err
+	}
+	ds := make([]Digest, len(outs))
+	for i, vs := range outs {
+		dg, ok := first(vs).(Digest)
+		if !ok {
+			return nil, fmt.Errorf("distarray: worker %d returned %T, want Digest", i, first(vs))
+		}
+		ds[i] = dg
+	}
+	return ds, nil
+}
+
+func first(vs []any) any {
+	if len(vs) == 0 {
+		return nil
+	}
+	return vs[0]
+}
+
+// VerifyDigests checks that after equals a sorted permutation of before:
+// conservation of count, sum and xor; per-worker sortedness; and
+// non-decreasing boundaries across consecutive non-empty workers.
+func VerifyDigests(before, after []Digest) error {
+	var bc, ac int64
+	var bs, as uint64
+	var bx, ax uint32
+	for _, d := range before {
+		bc += d.Count
+		bs += d.Sum
+		bx ^= d.Xor
+	}
+	for _, d := range after {
+		ac += d.Count
+		as += d.Sum
+		ax ^= d.Xor
+	}
+	if bc != ac || bs != as || bx != ax {
+		return fmt.Errorf("distarray: content not conserved: count %d->%d, sum %d->%d, xor %x->%x", bc, ac, bs, as, bx, ax)
+	}
+	lastSet := false
+	var last uint32
+	for i, d := range after {
+		if d.Count == 0 {
+			continue
+		}
+		if !d.Sorted {
+			return fmt.Errorf("distarray: worker %d not locally sorted", i)
+		}
+		if lastSet && d.First < last {
+			return fmt.Errorf("distarray: boundary inversion at worker %d: %d < %d", i, d.First, last)
+		}
+		last, lastSet = d.Last, true
+	}
+	return nil
+}

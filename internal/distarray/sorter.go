@@ -1,0 +1,293 @@
+package distarray
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"netobjects/internal/obs"
+)
+
+// Radix parameters of the distributed LSD sort: 8-bit digits over
+// uint32 keys, so a full sort is 4 passes of 256 buckets.
+const (
+	RadixBits     = 8
+	Buckets       = 1 << RadixBits
+	KeyBytes      = 4
+	SortKeyPasses = 32 / RadixBits
+)
+
+// DefaultFetchChunk bounds one Gather pull: larger ranges are fetched in
+// pieces this big, so a shuffle never materialises a peer's whole
+// partition in one call and the flow layer sees steady chunked traffic.
+const DefaultFetchChunk = 1 << 20
+
+// SortWorker is the worker-space implementation of Sorter. It owns two
+// equal slabs from its store: data (the live keys) and stage (the
+// digit-grouped copy other workers pull from during a shuffle).
+type SortWorker struct {
+	store *SlabStore
+	chunk int64
+	m     *obs.Metrics
+
+	mu        sync.Mutex
+	data      *part
+	stage     *part
+	plan      *gatherPlan
+	lastBytes int64
+	lastErr   error
+}
+
+// gatherPlan is one installed shuffle assignment.
+type gatherPlan struct {
+	stages Array
+	counts [][]int64
+	start  int64 // first global key index this worker will own
+	n      int64 // keys to gather
+}
+
+// NewSortWorker returns a sorter backed by store. chunkBytes bounds each
+// Gather pull (DefaultFetchChunk when <= 0).
+func NewSortWorker(store *SlabStore, chunkBytes int64) *SortWorker {
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultFetchChunk
+	}
+	return &SortWorker{store: store, chunk: chunkBytes, m: store.m}
+}
+
+// Load fills the worker with n keys derived from seed (splitmix64, low
+// 32 bits) and returns the data partition.
+func (w *SortWorker) Load(ctx context.Context, n int64, seed uint64) (Partition, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("distarray: negative key count %d", n)
+	}
+	dp, err := w.store.Alloc(ctx, n*KeyBytes)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := w.store.Alloc(ctx, n*KeyBytes)
+	if err != nil {
+		return nil, err
+	}
+	data, stage := dp.(*part), sp.(*part)
+	data.mu.Lock()
+	s := seed
+	for i := int64(0); i < n; i++ {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		binary.LittleEndian.PutUint32(data.buf[i*KeyBytes:], uint32(z))
+	}
+	data.mu.Unlock()
+	w.mu.Lock()
+	w.data, w.stage = data, stage
+	w.plan, w.lastBytes, w.lastErr = nil, 0, nil
+	w.mu.Unlock()
+	return dp, nil
+}
+
+// Stage returns the staging partition other workers pull from.
+func (w *SortWorker) Stage(ctx context.Context) (Partition, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.stage == nil {
+		return nil, fmt.Errorf("distarray: no data loaded")
+	}
+	return w.stage, nil
+}
+
+// Group stable-sorts the local keys by the digit at shift into the
+// staging slab and returns the bucket counts.
+func (w *SortWorker) Group(ctx context.Context, shift uint32) ([]int64, error) {
+	w.mu.Lock()
+	data, stage := w.data, w.stage
+	w.mu.Unlock()
+	if data == nil {
+		return nil, fmt.Errorf("distarray: no data loaded")
+	}
+	counts := make([]int64, Buckets)
+	data.mu.RLock()
+	stage.mu.Lock()
+	n := int64(len(data.buf)) / KeyBytes
+	for i := int64(0); i < n; i++ {
+		k := binary.LittleEndian.Uint32(data.buf[i*KeyBytes:])
+		counts[(k>>shift)&(Buckets-1)]++
+	}
+	offs := make([]int64, Buckets)
+	var acc int64
+	for b := range counts {
+		offs[b] = acc
+		acc += counts[b]
+	}
+	for i := int64(0); i < n; i++ {
+		k := binary.LittleEndian.Uint32(data.buf[i*KeyBytes:])
+		b := (k >> shift) & (Buckets - 1)
+		binary.LittleEndian.PutUint32(stage.buf[offs[b]*KeyBytes:], k)
+		offs[b]++
+	}
+	stage.mu.Unlock()
+	data.mu.RUnlock()
+	return counts, nil
+}
+
+// SetPlan installs the next shuffle assignment. The stages array arrived
+// as a vector of references — for every remote partition in it this
+// space now holds a direct surrogate on the owning worker.
+func (w *SortWorker) SetPlan(ctx context.Context, stages Array, counts [][]int64, start int64, n int64) error {
+	if len(stages.Parts) == 0 || len(counts) != len(stages.Parts) {
+		return fmt.Errorf("distarray: malformed plan: %d stages, %d count rows", len(stages.Parts), len(counts))
+	}
+	for i, row := range counts {
+		if len(row) != Buckets {
+			return fmt.Errorf("distarray: count row %d has %d buckets, want %d", i, len(row), Buckets)
+		}
+	}
+	w.mu.Lock()
+	old := w.plan
+	w.plan = &gatherPlan{stages: stages, counts: counts, start: start, n: n}
+	w.mu.Unlock()
+	if old != nil {
+		ReleaseParts(old.stages)
+	}
+	return nil
+}
+
+// Gather pulls this worker's slice of the global digit order straight
+// from the staging partitions — worker-to-worker traffic the host never
+// sees. It is invoked one-way; the error is also stored for the next
+// Barrier.
+func (w *SortWorker) Gather(ctx context.Context) error {
+	w.mu.Lock()
+	plan := w.plan
+	w.plan = nil
+	w.mu.Unlock()
+	bytes, err := w.gather(ctx, plan)
+	w.mu.Lock()
+	w.lastBytes, w.lastErr = bytes, err
+	w.mu.Unlock()
+	return err
+}
+
+func (w *SortWorker) gather(ctx context.Context, plan *gatherPlan) (int64, error) {
+	if plan == nil {
+		return 0, fmt.Errorf("distarray: gather without a plan")
+	}
+	defer ReleaseParts(plan.stages)
+	w.mu.Lock()
+	data := w.data
+	w.mu.Unlock()
+	if data == nil {
+		return 0, fmt.Errorf("distarray: no data loaded")
+	}
+	if want := plan.n * KeyBytes; int64(len(data.base().buf)) != want {
+		return 0, fmt.Errorf("distarray: plan wants %d bytes, partition holds %d", want, len(data.base().buf))
+	}
+	buf := make([]byte, plan.n*KeyBytes)
+	nsrc := len(plan.stages.Parts)
+	// pref[src] accumulates the key offset of bucket b inside src's
+	// staging slab as the outer loop advances over buckets.
+	pref := make([]int64, nsrc)
+	var pulled int64
+	var ranges uint64
+	pos := int64(0) // global key index where the current segment starts
+	for b := 0; b < Buckets; b++ {
+		for src := 0; src < nsrc; src++ {
+			c := plan.counts[src][b]
+			segStart := pos
+			pos += c
+			lo := max(segStart, plan.start)
+			hi := min(segStart+c, plan.start+plan.n)
+			if lo < hi {
+				srcOff := (pref[src] + lo - segStart) * KeyBytes
+				dstOff := (lo - plan.start) * KeyBytes
+				want := (hi - lo) * KeyBytes
+				if err := w.pull(ctx, plan.stages.Parts[src], srcOff, buf[dstOff:dstOff+want]); err != nil {
+					return pulled, fmt.Errorf("distarray: pulling %d bytes from worker %d: %w", want, src, err)
+				}
+				pulled += want
+				ranges++
+			}
+			pref[src] += c
+		}
+	}
+	root := data.base()
+	root.mu.Lock()
+	copy(root.buf[data.off:], buf)
+	root.mu.Unlock()
+	if w.m != nil {
+		w.m.DistShuffleRanges.Add(ranges)
+		w.m.DistShuffleBytes.Add(uint64(pulled))
+	}
+	return pulled, nil
+}
+
+// pull fetches into dst from src at off, in chunk-bounded pieces.
+func (w *SortWorker) pull(ctx context.Context, src Partition, off int64, dst []byte) error {
+	for len(dst) > 0 {
+		take := min(int64(len(dst)), w.chunk)
+		b, err := src.Fetch(ctx, off, take)
+		if err != nil {
+			return err
+		}
+		if int64(len(b)) != take {
+			return fmt.Errorf("distarray: short fetch: %d of %d bytes", len(b), take)
+		}
+		copy(dst, b)
+		off += take
+		dst = dst[take:]
+	}
+	return nil
+}
+
+// Barrier fences a shuffle phase: ordered after the one-way Gather by
+// the session's one-way lane, its reply certifies the pull landed. It
+// reports the bytes gathered and any deferred error.
+func (w *SortWorker) Barrier(ctx context.Context) (int64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastBytes, w.lastErr
+}
+
+// Summary digests the local keys.
+func (w *SortWorker) Summary(ctx context.Context) (Digest, error) {
+	w.mu.Lock()
+	data := w.data
+	w.mu.Unlock()
+	if data == nil {
+		return Digest{}, fmt.Errorf("distarray: no data loaded")
+	}
+	root := data.base()
+	root.mu.RLock()
+	defer root.mu.RUnlock()
+	buf := root.buf[data.off : data.off+data.n]
+	d := Digest{Count: int64(len(buf)) / KeyBytes, Sorted: true}
+	var prev uint32
+	for i := int64(0); i < d.Count; i++ {
+		k := binary.LittleEndian.Uint32(buf[i*KeyBytes:])
+		if i == 0 {
+			d.First = k
+		} else if k < prev {
+			d.Sorted = false
+		}
+		prev = k
+		d.Sum += uint64(k)
+		d.Xor ^= k
+	}
+	d.Last = prev
+	return d, nil
+}
+
+// ReleaseParts releases every released-capable handle in an array —
+// surrogate stubs are, local concrete partitions are not. A worker calls
+// it once a plan's references are consumed so surrogate counts stay
+// balanced across passes and nothing leaks after the sort.
+func ReleaseParts(a Array) {
+	for _, p := range a.Parts {
+		if r, ok := p.(interface{ Release() }); ok {
+			r.Release()
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package distarray
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"netobjects/internal/obs"
+)
+
+// SlabStore is the worker-side implementation of Store: flat in-memory
+// slabs, one per root partition. Views made by Slice alias their root's
+// slab and share its lock, so a view costs no copy and writes through
+// either handle are coherent.
+type SlabStore struct {
+	m *obs.Metrics
+
+	mu    sync.Mutex
+	next  int64
+	parts map[int64]*part
+
+	fetched atomic.Int64
+	put     atomic.Int64
+}
+
+// NewStore returns an empty store. m, when non-nil, receives the
+// netobj_distarray_* counters (pass the owning space's metrics set).
+func NewStore(m *obs.Metrics) *SlabStore {
+	return &SlabStore{m: m, parts: make(map[int64]*part)}
+}
+
+// part is one partition: a root owns a slab; a view names a window of
+// its root. Concrete parts implement the remote Partition interface, so
+// returning one from any method auto-exports it and remote holders get
+// stubs.
+type part struct {
+	st   *SlabStore
+	root *part // nil for roots
+	off  int64 // window start within the root slab
+	n    int64 // window length
+
+	// Root-only: the slab and its lock. Phase code (the sorter) may take
+	// the lock around multi-step rewrites; views lock through base().
+	mu  sync.RWMutex
+	buf []byte
+}
+
+// base resolves to the root partition holding the slab and lock.
+func (p *part) base() *part {
+	if p.root != nil {
+		return p.root
+	}
+	return p
+}
+
+func (p *part) window(off, n int64) error {
+	if off < 0 || n < 0 || off+n > p.n {
+		return fmt.Errorf("distarray: range [%d,%d) outside partition of %d bytes", off, off+n, p.n)
+	}
+	return nil
+}
+
+// Alloc creates a zero-filled root partition of n bytes.
+func (s *SlabStore) Alloc(ctx context.Context, n int64) (Partition, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("distarray: negative partition size %d", n)
+	}
+	p := &part{st: s, n: n, buf: make([]byte, n)}
+	s.mu.Lock()
+	id := s.next
+	s.next++
+	s.parts[id] = p
+	s.mu.Unlock()
+	if s.m != nil {
+		s.m.DistPartitions.Inc()
+		s.m.DistAllocBytes.Add(uint64(n))
+	}
+	return p, nil
+}
+
+// Report summarises the store's live partitions.
+func (s *SlabStore) Report(ctx context.Context) (StoreReport, error) {
+	s.mu.Lock()
+	r := StoreReport{Partitions: int64(len(s.parts))}
+	for _, p := range s.parts {
+		r.Bytes += p.n
+	}
+	s.mu.Unlock()
+	r.FetchBytes = s.fetched.Load()
+	r.PutBytes = s.put.Load()
+	return r, nil
+}
+
+// DebugString renders the store for a /debug/netobj section.
+func (s *SlabStore) DebugString() string {
+	s.mu.Lock()
+	ids := make([]int64, 0, len(s.parts))
+	for id := range s.parts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b []byte
+	var total int64
+	for _, id := range ids {
+		p := s.parts[id]
+		total += p.n
+		b = fmt.Appendf(b, "  part %d: %d bytes\n", id, p.n)
+	}
+	s.mu.Unlock()
+	head := fmt.Sprintf("%d partitions, %d bytes (%d fetched, %d put)\n",
+		len(ids), total, s.fetched.Load(), s.put.Load())
+	return head + string(b)
+}
+
+// Len reports the partition's size in bytes.
+func (p *part) Len(ctx context.Context) (int64, error) { return p.n, nil }
+
+// Fetch returns a copy of [off, off+n).
+func (p *part) Fetch(ctx context.Context, off int64, n int64) ([]byte, error) {
+	if err := p.window(off, n); err != nil {
+		return nil, err
+	}
+	r := p.base()
+	out := make([]byte, n)
+	r.mu.RLock()
+	copy(out, r.buf[p.off+off:p.off+off+n])
+	r.mu.RUnlock()
+	if p.st != nil {
+		p.st.fetched.Add(n)
+		if p.st.m != nil {
+			p.st.m.DistFetchBytes.Add(uint64(n))
+		}
+	}
+	return out, nil
+}
+
+// Put overwrites [off, off+len(data)).
+func (p *part) Put(ctx context.Context, off int64, data []byte) error {
+	if err := p.window(off, int64(len(data))); err != nil {
+		return err
+	}
+	r := p.base()
+	r.mu.Lock()
+	copy(r.buf[p.off+off:], data)
+	r.mu.Unlock()
+	if p.st != nil {
+		p.st.put.Add(int64(len(data)))
+		if p.st.m != nil {
+			p.st.m.DistPutBytes.Add(uint64(len(data)))
+		}
+	}
+	return nil
+}
+
+// Slice returns a view of [off, off+n), owned by the same space.
+func (p *part) Slice(ctx context.Context, off int64, n int64) (Partition, error) {
+	if err := p.window(off, n); err != nil {
+		return nil, err
+	}
+	return &part{st: p.st, root: p.base(), off: p.off + off, n: n}, nil
+}

@@ -35,6 +35,11 @@ func (k *Keepalive) Touch(now time.Time) {
 	k.lastAlive.Store(now.UnixNano())
 }
 
+// Probe allocates a fresh ping token outside the Tick schedule, for
+// callers that want to nudge an immediate probe onto the wire — a lease
+// renewal folding itself onto the keepalive exchange, for instance.
+func (k *Keepalive) Probe() uint64 { return k.token.Add(1) }
+
 // Tick advances the detector at now. dead reports that the peer has been
 // silent for KeepaliveMisses intervals and the session must be failed;
 // otherwise ping reports whether a probe should be sent (the link is

@@ -115,6 +115,13 @@ type importShard struct {
 	// increase across successive lifecycles of the same reference at the
 	// same client, or the owner would discard a re-registration as stale.
 	lastSeq map[wire.Key]uint64
+	// lastGen survives entry deletion for the same reason lastSeq does,
+	// but for the surrogate generation counter: a finalizer-driven cleanup
+	// armed in one lifecycle may fire after the reference has been
+	// released and re-imported, and generations must keep increasing or
+	// the stale cleanup would match the fresh entry and release it out
+	// from under live users.
+	lastGen map[wire.Key]uint64
 }
 
 // Imports is the import (surrogate) table of one space. Construct with
@@ -139,6 +146,7 @@ func NewImportsSharded(n int) *Imports {
 		s := &im.shards[i]
 		s.entries = make(map[wire.Key]*ImportEntry)
 		s.lastSeq = make(map[wire.Key]uint64)
+		s.lastGen = make(map[wire.Key]uint64)
 		s.cond = sync.NewCond(&s.mu)
 	}
 	return im
@@ -179,6 +187,15 @@ func (s *importShard) nextSeqLocked(key wire.Key) uint64 {
 	return s.lastSeq[key]
 }
 
+// dropLocked removes key's entry, banking its generation counter so the
+// next lifecycle of the same key resumes from it rather than from zero.
+func (s *importShard) dropLocked(key wire.Key, e *ImportEntry) {
+	if e.gen > 0 {
+		s.lastGen[key] = e.gen
+	}
+	delete(s.entries, key)
+}
+
 // NextSeq allocates a sequence number outside any entry lifecycle; the
 // runtime uses it for strong cleans after a failed dirty call.
 func (im *Imports) NextSeq(key wire.Key) uint64 {
@@ -197,7 +214,9 @@ func (im *Imports) Acquire(key wire.Key, endpoints []string) (ent *ImportEntry, 
 	defer s.mu.Unlock()
 	e, ok := s.entries[key]
 	if !ok {
-		e = &ImportEntry{Key: key, Endpoints: endpoints, state: StateNil}
+		// gen resumes where the previous lifecycle left off (see lastGen),
+		// so a cleanup armed before the entry died can never match again.
+		e = &ImportEntry{Key: key, Endpoints: endpoints, state: StateNil, gen: s.lastGen[key]}
 		s.entries[key] = e
 		return e, ActionRegister, s.nextSeqLocked(key)
 	}
@@ -246,7 +265,7 @@ func (im *Imports) FinishRegister(key wire.Key, surrogate any, err error) (gen u
 	if err != nil {
 		e.dead = true
 		e.err = fmt.Errorf("%w: %v", ErrRegistration, err)
-		delete(s.entries, key)
+		s.dropLocked(key, e)
 	} else {
 		e.state = StateOK
 		e.surrogate = surrogate
@@ -474,13 +493,13 @@ func (im *Imports) FinishClean(key wire.Key, err error) (redo bool, seq uint64) 
 	if err != nil {
 		e.dead = true
 		e.err = fmt.Errorf("%w: clean call abandoned: %v", ErrRegistration, err)
-		delete(s.entries, key)
+		s.dropLocked(key, e)
 		s.cond.Broadcast()
 		return false, 0
 	}
 	switch e.state {
 	case StateCcit:
-		delete(s.entries, key)
+		s.dropLocked(key, e)
 		s.cond.Broadcast()
 		return false, 0
 	case StateCcitNil:
@@ -508,7 +527,7 @@ func (im *Imports) Kill(key wire.Key, err error) {
 	}
 	e.dead = true
 	e.err = fmt.Errorf("%w: %v", ErrRegistration, err)
-	delete(s.entries, key)
+	s.dropLocked(key, e)
 	s.cond.Broadcast()
 }
 

@@ -297,3 +297,49 @@ func TestConcurrentAcquireSingleRegistration(t *testing.T) {
 		}
 	}
 }
+
+// TestGenerationSurvivesRelifecycle: generations must keep increasing
+// across successive lifecycles of the same key, like sequence numbers do.
+// Before the fix a re-imported entry restarted at generation 1, so a
+// finalizer cleanup armed in the previous lifecycle (and firing late,
+// after the release/clean/re-import cycle completed) matched the fresh
+// entry and released it out from under live users — ReleaseGen's match
+// deliberately overrides holds, because for a genuinely matching
+// generation the surrogate is unreachable.
+func TestGenerationSurvivesRelifecycle(t *testing.T) {
+	im := NewImports()
+
+	// Lifecycle 1: register, release, clean to completion.
+	gen1 := registerGen(t, im, testKey)
+	if !im.Release(testKey) {
+		t.Fatal("release did not queue a clean")
+	}
+	if _, _, ok := im.BeginClean(testKey); !ok {
+		t.Fatal("clean not begun")
+	}
+	if redo, _ := im.FinishClean(testKey, nil); redo {
+		t.Fatal("unexpected redo")
+	}
+	if got := im.StateOf(testKey); got != StateNone {
+		t.Fatalf("entry survived clean: %v", got)
+	}
+
+	// Lifecycle 2 of the same key.
+	gen2 := registerGen(t, im, testKey)
+	if gen2 <= gen1 {
+		t.Fatalf("generation reused across lifecycles: %d then %d", gen1, gen2)
+	}
+
+	// The stale cleanup from lifecycle 1 fires now: it must not touch the
+	// fresh entry.
+	if im.ReleaseGen(testKey, gen1) {
+		t.Fatal("stale cleanup released the re-imported entry")
+	}
+	if _, err := im.Use(testKey); err != nil {
+		t.Fatalf("fresh entry unusable after stale cleanup: %v", err)
+	}
+	// The current incarnation's cleanup still works.
+	if !im.ReleaseGen(testKey, gen2) {
+		t.Fatal("live generation refused to release")
+	}
+}

@@ -98,6 +98,15 @@ type Metrics struct {
 	KeepalivePongsRecv    *Counter
 	KeepaliveFailures     *Counter
 
+	// Bulk data plane (internal/distarray).
+	DistPartitions    *Counter
+	DistAllocBytes    *Counter
+	DistFetchBytes    *Counter
+	DistPutBytes      *Counter
+	DistShuffleRanges *Counter
+	DistShuffleBytes  *Counter
+	DistPhases        *Counter
+
 	// Replicated name service (internal/registry).
 	RegistryWrites       *Counter
 	RegistryReplicated   *Counter
@@ -193,6 +202,14 @@ func NewMetrics() *Metrics {
 		KeepalivePingsSent:    r.Counter("netobj_keepalive_pings_sent_total", "Session keepalive probes sent."),
 		KeepalivePongsRecv:    r.Counter("netobj_keepalive_pongs_recv_total", "Session keepalive probe answers received."),
 		KeepaliveFailures:     r.Counter("netobj_keepalive_failures_total", "Sessions failed because the peer went silent past the keepalive allowance."),
+
+		DistPartitions:    r.Counter("netobj_distarray_partitions_total", "Distributed-array partitions allocated by this space's stores."),
+		DistAllocBytes:    r.Counter("netobj_distarray_alloc_bytes_total", "Backing bytes allocated for distributed-array partitions."),
+		DistFetchBytes:    r.Counter("netobj_distarray_fetch_bytes_total", "Partition payload bytes served by Fetch."),
+		DistPutBytes:      r.Counter("netobj_distarray_put_bytes_total", "Partition payload bytes written by Put."),
+		DistShuffleRanges: r.Counter("netobj_distarray_shuffle_ranges_total", "Contiguous ranges pulled from peer staging partitions during shuffles."),
+		DistShuffleBytes:  r.Counter("netobj_distarray_shuffle_bytes_total", "Bytes pulled worker-to-worker during shuffles."),
+		DistPhases:        r.Counter("netobj_distarray_phases_total", "Bulk-synchronous phases completed by drivers using this metrics set."),
 
 		RegistryWrites:       r.Counter("netobj_registry_writes_total", "Name-table writes (bind/rebind/unbind) sequenced by this replica."),
 		RegistryReplicated:   r.Counter("netobj_registry_replicated_total", "Replicated name-table updates applied by this replica."),

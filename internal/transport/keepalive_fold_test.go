@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"netobjects/internal/flow"
+	"netobjects/internal/wire"
+)
+
+// kaRecorder collects OnKeepalive callback invocations.
+type kaRecorder struct {
+	mu    sync.Mutex
+	peers []wire.SpaceID
+}
+
+func (r *kaRecorder) hook(id wire.SpaceID) {
+	r.mu.Lock()
+	r.peers = append(r.peers, id)
+	r.mu.Unlock()
+}
+
+func (r *kaRecorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.peers)
+}
+
+func (r *kaRecorder) last() wire.SpaceID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.peers) == 0 {
+		return 0
+	}
+	return r.peers[len(r.peers)-1]
+}
+
+// TestSessionKeepaliveCallback pins the piggybacked-renewal hook: an
+// off-schedule PokeKeepalive on the client puts a ping on the wire, the
+// server's OnKeepalive fires with the client's advertised identity on
+// the inbound ping, and the client's fires with the server's identity
+// when the pong returns. The hour-long keepalive interval guarantees no
+// scheduled probe can be the cause.
+func TestSessionKeepaliveCallback(t *testing.T) {
+	mem := NewMem()
+	l, err := mem.Listen("fold")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	cc, err := mem.Dial("fold")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	sc := <-accepted
+	p := flow.Params{KeepaliveInterval: time.Hour}
+	var clientRec, serverRec kaRecorder
+	client := NewSession(cc, SessionOptions{Flow: &p, LocalSpace: wire.SpaceID(7), OnKeepalive: clientRec.hook})
+	server := NewSession(sc, SessionOptions{Flow: &p, LocalSpace: wire.SpaceID(9), OnKeepalive: serverRec.hook,
+		Accept: func(st *Stream) { st.Close() }})
+	defer client.Close()
+	defer server.Close()
+
+	eventually(t, "keepalives to confirm both peers", func() bool {
+		return client.KeepaliveHealthy() && server.KeepaliveHealthy()
+	})
+	if clientRec.count() != 0 || serverRec.count() != 0 {
+		t.Fatalf("callbacks fired before any keepalive exchange (client %d, server %d)",
+			clientRec.count(), serverRec.count())
+	}
+
+	if !client.PokeKeepalive() {
+		t.Fatal("PokeKeepalive refused on a healthy session")
+	}
+	eventually(t, "server callback on the inbound ping", func() bool { return serverRec.count() >= 1 })
+	if got := serverRec.last(); got != wire.SpaceID(7) {
+		t.Fatalf("server callback saw peer %v, want the client's identity 7", got)
+	}
+	eventually(t, "client callback on the returning pong", func() bool { return clientRec.count() >= 1 })
+	if got := clientRec.last(); got != wire.SpaceID(9) {
+		t.Fatalf("client callback saw peer %v, want the server's identity 9", got)
+	}
+
+	client.Close()
+	eventually(t, "health to drop after close", func() bool { return !client.KeepaliveHealthy() })
+	if client.PokeKeepalive() {
+		t.Fatal("PokeKeepalive accepted on a dead session")
+	}
+}

@@ -29,6 +29,9 @@ type Pool struct {
 	// localSpace is the space identity new sessions advertise in their
 	// PeerHello (zero: no advertisement).
 	localSpace wire.SpaceID
+	// onKeepalive is handed to new sessions (see
+	// SessionOptions.OnKeepalive).
+	onKeepalive func(wire.SpaceID)
 
 	mu       sync.Mutex
 	sessions map[string]*sessionSlot
@@ -87,6 +90,15 @@ func (p *Pool) SetPipeline(noPipe bool, batchWindow time.Duration) {
 func (p *Pool) SetLocalSpace(id wire.SpaceID) {
 	p.mu.Lock()
 	p.localSpace = id
+	p.mu.Unlock()
+}
+
+// SetOnKeepalive installs the keepalive-exchange callback new outbound
+// sessions are created with: the collector's hook for stamping lease
+// renewals off keepalive traffic from identified peers.
+func (p *Pool) SetOnKeepalive(f func(wire.SpaceID)) {
+	p.mu.Lock()
+	p.onKeepalive = f
 	p.mu.Unlock()
 }
 
@@ -190,9 +202,9 @@ func (p *Pool) Session(ctx context.Context, endpoints []string) (*Session, strin
 		t.Emit(obs.Event{Kind: obs.EvPoolMiss, Time: time.Now(), Key: ep, Dur: dial})
 	}
 	p.mu.Lock()
-	fp, noPipe, bw, ls := p.flow, p.noPipe, p.batchWindow, p.localSpace
+	fp, noPipe, bw, ls, oka := p.flow, p.noPipe, p.batchWindow, p.localSpace, p.onKeepalive
 	p.mu.Unlock()
-	slot.s = NewSession(c, SessionOptions{Flow: fp, Metrics: m, NoPipeline: noPipe, BatchWindow: bw, LocalSpace: ls})
+	slot.s = NewSession(c, SessionOptions{Flow: fp, Metrics: m, NoPipeline: noPipe, BatchWindow: bw, LocalSpace: ls, OnKeepalive: oka})
 	slot.ep = ep
 	return slot.s, ep, nil
 }

@@ -79,6 +79,13 @@ type SessionOptions struct {
 	// itself lets the collector treat this session's health as proof of
 	// that space's liveness; legacy peers discard the hello harmlessly.
 	LocalSpace wire.SpaceID
+	// OnKeepalive, when non-nil, is invoked with the peer's advertised
+	// space id on every keepalive exchange (inbound ping or pong) from an
+	// identified peer. The collector uses it to stamp lease renewals off
+	// the frames the session already sends, instead of minting renewal
+	// calls of its own. Called on the session's reader goroutine — it must
+	// not block.
+	OnKeepalive func(wire.SpaceID)
 }
 
 // Session multiplexes logical streams over one Conn. It assumes exclusive
@@ -120,6 +127,10 @@ type Session struct {
 	// peerSpace is the space id the peer advertised in its PeerHello
 	// (zero until it arrives; forever zero against legacy peers).
 	peerSpace atomic.Uint64
+
+	// onKeepalive, when non-nil, fires on keepalive exchanges with an
+	// identified peer (see SessionOptions.OnKeepalive).
+	onKeepalive func(wire.SpaceID)
 }
 
 // SessionStats is a point-in-time snapshot of one session's load, for the
@@ -157,11 +168,12 @@ func NewSession(c Conn, opts SessionOptions) *Session {
 		q = DefaultWriteQueue
 	}
 	s := &Session{
-		c:       c,
-		accept:  opts.Accept,
-		writeCh: make(chan writeReq, q),
-		done:    make(chan struct{}),
-		streams: make(map[uint64]*Stream),
+		c:           c,
+		accept:      opts.Accept,
+		writeCh:     make(chan writeReq, q),
+		done:        make(chan struct{}),
+		streams:     make(map[uint64]*Stream),
+		onKeepalive: opts.OnKeepalive,
 	}
 	if opts.Flow != nil {
 		s.flow = newFlowState(opts.Flow.WithDefaults(), opts.Metrics)
@@ -246,6 +258,31 @@ func (s *Session) KeepaliveHealthy() bool {
 	}
 	f := s.flow
 	return f != nil && f.ka != nil && f.peerOK.Load()
+}
+
+// notifyKeepalive fires the OnKeepalive callback for an identified peer.
+// Unidentified (legacy) peers have no space id to stamp a lease for.
+func (s *Session) notifyKeepalive() {
+	if s.onKeepalive == nil {
+		return
+	}
+	if peer := s.PeerSpace(); peer != 0 {
+		s.onKeepalive(peer)
+	}
+}
+
+// PokeKeepalive nudges an immediate keepalive probe onto a healthy flow
+// session, off the regular tick schedule, and reports whether one was
+// queued. The lease renewer uses it to fold a renewal into the keepalive
+// exchange: the pong's arrival stamps the peer's lease table without a
+// renewal call ever being sent.
+func (s *Session) PokeKeepalive() bool {
+	if !s.KeepaliveHealthy() {
+		return false
+	}
+	f := s.flow
+	f.queuePing(f.ka.Probe())
+	return true
 }
 
 // Open starts a new stream with a fresh process-wide unique id.
@@ -679,9 +716,11 @@ func (s *Session) readFlowFrame(frame []byte) bool {
 			return false
 		}
 		f.queuePong(token)
+		s.notifyKeepalive()
 	case wire.OpFlowPong:
 		// Touch already recorded the liveness; just count it.
 		f.mPongs.Inc()
+		s.notifyKeepalive()
 	default:
 		return false
 	}
